@@ -1,0 +1,383 @@
+(* Benchmark harness regenerating every table and figure of the paper's
+   evaluation (see the experiment index in DESIGN.md):
+
+     table1       Table 1 (six designs: read / reach / LC / MC)
+     table1-small same with the scheduler scaled down
+     fig2         Figure 2 invariance automaton on the two-writer bus
+     quant        Sec. 4's 1600-relation early-quantification example
+     ablate-quant scheduling heuristics (A4)
+     ablate-tr    partitioned vs monolithic transition relations (A3)
+     ablate-dc    don't-care minimization (A1)
+     ablate-efd   early failure detection (A2)
+     bech         Bechamel micro-benchmarks
+
+   With no argument everything runs (Table 1 at paper scale last, since
+   the 17-station scheduler dominates the runtime). *)
+
+open Hsis_core
+open Hsis_models
+
+let wall f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+let pr fmt = Format.printf fmt
+
+(* ------------------------------------------------------------------ *)
+(* Table 1 *)
+
+let table1_row (m : Model.t) =
+  let d, read_time = wall (fun () -> Hsis.read_verilog m.Model.verilog) in
+  let states, _reach_time = wall (fun () -> Hsis.reached_states d) in
+  let pif = Model.parse_pif m in
+  let report = Hsis.run_pif ~witnesses:false d pif in
+  pr "%-10s %9d %10d %8.2f %12.0f %4d %8.2f %5d %8.2f@."
+    m.Model.name
+    (Option.value ~default:0 d.Hsis.verilog_lines)
+    d.Hsis.blifmv_lines read_time states
+    (List.length report.Hsis.lc)
+    report.Hsis.lc_time
+    (List.length report.Hsis.ctl)
+    report.Hsis.mc_time
+
+let table1 ?(scale = `Paper) () =
+  pr "@.== Table 1: examples ==@.";
+  pr "%-10s %9s %10s %8s %12s %4s %8s %5s %8s@." "example" "#lines-v"
+    "#lines-mv" "read(s)" "#reached" "#lc" "lc(s)" "#ctl" "mc(s)";
+  let models =
+    match scale with
+    | `Paper -> Models.table1 ()
+    | `Small -> Models.table1_small ()
+  in
+  List.iter table1_row models
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2 *)
+
+let bus_model buggy =
+  Printf.sprintf
+    {|
+module bus(clk);
+  input clk;
+  reg out1; reg out2;
+  wire req1; wire req2;
+  assign req1 = $ND(0, 1);
+  assign req2 = $ND(0, 1);
+  initial out1 = 0;
+  initial out2 = 0;
+  always @(posedge clk) begin
+    if (req1 & !req2) begin out1 <= 1; out2 <= 0; end
+    else if (req2 & !req1) begin out1 <= 0; out2 <= 1; end
+    else if (req1 & req2) begin out1 <= %s; out2 <= 1; end
+    else begin out1 <= 0; out2 <= 0; end
+  end
+endmodule
+|}
+    (if buggy then "1" else "0")
+
+let fig2_automaton () =
+  Hsis_auto.Autom.invariance ~name:"fig2"
+    ~ok:(Hsis_auto.Expr.parse "!(out1=1 & out2=1)")
+
+let fig2 () =
+  pr "@.== Figure 2: invariance automaton (out1/out2 never together) ==@.";
+  let aut = fig2_automaton () in
+  List.iter
+    (fun buggy ->
+      let d = Hsis.read_verilog (bus_model buggy) in
+      let lc = Hsis.check_lc d aut in
+      let mc =
+        Hsis.check_ctl d ~name:"AG"
+          (Hsis_auto.Ctl.parse "AG !(out1=1 & out2=1)")
+      in
+      pr "  %-7s  lc %-6s %.4fs   mc %-6s %.4fs   trace %s@."
+        (if buggy then "buggy" else "correct")
+        (if lc.Hsis.lr_holds then "passed" else "FAILED")
+        lc.Hsis.lr_time
+        (if mc.Hsis.cr_holds then "passed" else "FAILED")
+        mc.Hsis.cr_time
+        (match lc.Hsis.lr_trace with
+        | Some t ->
+            Printf.sprintf "%d states (verified %b)"
+              (Hsis_debug.Trace.total_length t)
+              t.Hsis_debug.Trace.verified
+        | None -> "-"))
+    [ false; true ]
+
+(* ------------------------------------------------------------------ *)
+(* Sec. 4: 1600 relations, 1500 quantified variables *)
+
+(* A synthetic compiled netlist, matching vl2mv's output profile: each
+   relation is a functional table defining one fresh gate variable from a
+   few earlier ones, and the intermediate gate variables are quantified
+   out.  [ninputs] circuit inputs stay free; the last [nkeep] gates are
+   the "latch inputs" that must survive. *)
+let circuit_soup ~nrels ~ninputs ~nkeep ~seed =
+  let h = ref (seed * 7919) in
+  let rand n =
+    h := ((!h * 1103515245) + 12345) land 0x3FFFFFFF;
+    (!h lsr 11) mod n
+  in
+  let nvars = ninputs + nrels in
+  let supports =
+    Array.init nrels (fun i ->
+        let out = ninputs + i in
+        let fanin = 1 + rand 3 in
+        let pick_src () =
+          (* mostly local fanin, occasionally long-range *)
+          if i = 0 || rand 8 = 0 then rand ninputs
+          else ninputs + max 0 (i - 1 - rand (min i 12))
+        in
+        List.sort_uniq compare
+          (out :: List.init fanin (fun _ -> pick_src ())))
+  in
+  let quantify =
+    (* every gate output except the last nkeep *)
+    List.init (max 0 (nrels - nkeep)) (fun i -> ninputs + i)
+  in
+  (supports, quantify, nvars, rand)
+
+(* A functional relation: out <-> f(fanin) for a random f. *)
+let gate_relation man vars rand support ~out =
+  let open Hsis_bdd in
+  let fanin = List.filter (fun v -> v <> out) support in
+  let fanin = Array.of_list fanin in
+  let n = Array.length fanin in
+  let f = ref (Bdd.dfalse man) in
+  for m' = 0 to (1 lsl n) - 1 do
+    if rand 2 = 0 then begin
+      let cube = ref (Bdd.dtrue man) in
+      for i = 0 to n - 1 do
+        let lit =
+          if (m' lsr i) land 1 = 1 then vars.(fanin.(i))
+          else Bdd.dnot vars.(fanin.(i))
+        in
+        cube := Bdd.dand !cube lit
+      done;
+      f := Bdd.dor !f !cube
+    end
+  done;
+  Bdd.eqv vars.(out) !f
+
+let quant_bench () =
+  pr "@.== Sec. 4: early quantification at vl2mv scale ==@.";
+  let nrels = 1600 and ninputs = 60 and nkeep = 100 in
+  let supports, quantify, nvars, rand =
+    circuit_soup ~nrels ~ninputs ~nkeep ~seed:42
+  in
+  let problem = { Hsis_quant.Schedule.supports; quantify } in
+  let sched, t_sched = wall (fun () -> Hsis_quant.Schedule.min_width problem) in
+  (match Hsis_quant.Schedule.validate problem sched with
+  | Ok () -> ()
+  | Error m -> pr "  INVALID SCHEDULE: %s@." m);
+  let man = Hsis_bdd.Bdd.new_man () in
+  let vars = Array.init nvars (fun _ -> Hsis_bdd.Bdd.new_var man) in
+  let rels =
+    Array.mapi
+      (fun i support ->
+        gate_relation man vars rand support ~out:(ninputs + i))
+      supports
+  in
+  let cube_of ids = Hsis_bdd.Bdd.cube man (List.map (fun v -> vars.(v)) ids) in
+  let result, t_exec =
+    wall (fun () -> Hsis_quant.Apply.execute ~rels ~cube_of sched)
+  in
+  pr
+    "  %d relations, %d quantified variables: schedule %.2fs, \
+     multiply+quantify %.2fs@."
+    nrels (List.length quantify) t_sched t_exec;
+  pr "  peak intermediate BDD %d nodes, result %d nodes@."
+    result.Hsis_quant.Apply.peak_nodes
+    (Hsis_bdd.Bdd.dag_size result.Hsis_quant.Apply.value);
+  pr "  (the paper reports \"only several seconds\" for this profile)@."
+
+(* ------------------------------------------------------------------ *)
+(* Ablations *)
+
+let ablate_quant () =
+  pr "@.== A4: scheduling heuristics on relation soups ==@.";
+  pr "  %-8s %-16s %10s %12s@." "size" "heuristic" "width" "schedule(s)";
+  List.iter
+    (fun nrels ->
+      let supports, quantify, _, _ =
+        circuit_soup ~nrels ~ninputs:20 ~nkeep:10 ~seed:7
+      in
+      let problem = { Hsis_quant.Schedule.supports; quantify } in
+      List.iter
+        (fun (name, h) ->
+          let sched, t = wall (fun () -> h problem) in
+          pr "  %-8d %-16s %10d %12.3f@." nrels name
+            (Hsis_quant.Schedule.max_cluster_support problem sched)
+            t)
+        [
+          ("min-width", Hsis_quant.Schedule.min_width);
+          ("pair-cluster", Hsis_quant.Schedule.pair_clustering);
+          ("naive", Hsis_quant.Schedule.naive);
+        ])
+    [ 50; 200 ]
+
+let ablate_tr () =
+  pr "@.== A3: partitioned vs monolithic transition relation ==@.";
+  List.iter
+    (fun (name, n) ->
+      let m = Scheduler.make ~n () in
+      let d = Hsis.read_verilog m.Model.verilog in
+      let init = Hsis_fsm.Trans.initial d.Hsis.trans in
+      let r_part, t_part =
+        wall (fun () -> Hsis_check.Reach.compute d.Hsis.trans init)
+      in
+      let _, t_mono_build =
+        wall (fun () -> Hsis_fsm.Trans.monolithic d.Hsis.trans)
+      in
+      let r_mono, t_mono =
+        wall (fun () ->
+            Hsis_check.Reach.compute ~use_mono:true d.Hsis.trans init)
+      in
+      let agree =
+        Hsis_bdd.Bdd.equal r_part.Hsis_check.Reach.reachable
+          r_mono.Hsis_check.Reach.reachable
+      in
+      pr
+        "  %-12s partitioned %.2fs | monolithic build %.2fs + reach %.2fs \
+         (peak %d nodes) | agree %b@."
+        name t_part t_mono_build t_mono
+        (Hsis_fsm.Trans.monolithic_peak d.Hsis.trans)
+        agree)
+    [ ("scheduler8", 8); ("scheduler12", 12) ]
+
+let ablate_dc () =
+  pr "@.== A1: don't-care (restrict) minimization of relation parts ==@.";
+  List.iter
+    (fun (m : Model.t) ->
+      let d = Hsis.read_verilog m.Model.verilog in
+      ignore (Hsis.reached_states d);
+      let report, t = wall (fun () -> Hsis.minimize d) in
+      let reach = Hsis.reachable d in
+      let ok =
+        Hsis_bisim.Dontcare.image_equal d.Hsis.trans
+          report.Hsis_bisim.Dontcare.minimized
+          ~from_:reach.Hsis_check.Reach.reachable
+      in
+      pr
+        "  %-10s parts %6d -> %6d nodes (%.1f%%) in %.2fs, image preserved \
+         %b@."
+        m.Model.name report.Hsis_bisim.Dontcare.before
+        report.Hsis_bisim.Dontcare.after
+        (100.0
+        *. Float.of_int report.Hsis_bisim.Dontcare.after
+        /. Float.of_int (max 1 report.Hsis_bisim.Dontcare.before))
+        t ok)
+    [ Gigamax.make (); Dcnew.make (); Mdlc.make () ]
+
+let ablate_efd () =
+  pr "@.== A2: early failure detection on a buggy design ==@.";
+  let m = Dcnew.make () in
+  let d = Hsis.read_verilog m.Model.verilog in
+  ignore (Hsis.reached_states d);
+  let bad = Hsis_auto.Ctl.parse "AG !(st=SETUP)" in
+  let with_efd = Hsis.check_ctl ~early_failure:true d ~name:"bad" bad in
+  let without_efd = Hsis.check_ctl ~early_failure:false d ~name:"bad" bad in
+  pr "  failing invariant: with EFD %.3fs (caught at step %s), without %.3fs@."
+    with_efd.Hsis.cr_time
+    (match with_efd.Hsis.cr_early_step with
+    | Some k -> string_of_int k
+    | None -> "-")
+    without_efd.Hsis.cr_time;
+  let lc_bad =
+    Hsis_auto.Autom.invariance ~name:"no-setup"
+      ~ok:(Hsis_auto.Expr.parse "st!=SETUP")
+  in
+  let lc_with = Hsis.check_lc ~early_failure:true ~trace:false d lc_bad in
+  let lc_without = Hsis.check_lc ~early_failure:false ~trace:false d lc_bad in
+  pr "  failing containment: with EFD %.3fs (step %s), without %.3fs@."
+    lc_with.Hsis.lr_time
+    (match lc_with.Hsis.lr_early_step with
+    | Some k -> string_of_int k
+    | None -> "-")
+    lc_without.Hsis.lr_time
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test per experiment family *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let gigamax_design =
+    lazy (Hsis.read_verilog (Gigamax.make ()).Model.verilog)
+  in
+  let t1_image =
+    Test.make ~name:"table1/gigamax-image"
+      (Staged.stage (fun () ->
+           let d = Lazy.force gigamax_design in
+           ignore
+             (Hsis_fsm.Trans.image d.Hsis.trans
+                (Hsis_fsm.Trans.initial d.Hsis.trans))))
+  in
+  let fig2_design = lazy (Hsis.read_verilog (bus_model false)) in
+  let fig2_aut = fig2_automaton () in
+  let fig2_lc =
+    Test.make ~name:"fig2/lc-check"
+      (Staged.stage (fun () ->
+           let d = Lazy.force fig2_design in
+           ignore (Hsis_check.Lc.check d.Hsis.flat fig2_aut)))
+  in
+  let quant_sched =
+    let supports, quantify, _, _ =
+      circuit_soup ~nrels:400 ~ninputs:30 ~nkeep:20 ~seed:3
+    in
+    let problem = { Hsis_quant.Schedule.supports; quantify } in
+    Test.make ~name:"quant/min-width-400"
+      (Staged.stage (fun () -> ignore (Hsis_quant.Schedule.min_width problem)))
+  in
+  [ t1_image; fig2_lc; quant_sched ]
+
+let run_bechamel () =
+  pr "@.== Bechamel micro-benchmarks ==@.";
+  let open Bechamel in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~stabilize:false ()
+  in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+      in
+      let results = Analyze.all ols (List.hd instances) raw in
+      Hashtbl.iter
+        (fun name v ->
+          match Analyze.OLS.estimates v with
+          | Some [ t ] -> pr "  %-28s %12.0f ns/run@." name t
+          | Some _ | None -> pr "  %-28s (no estimate)@." name)
+        results)
+    (List.map
+       (fun t -> Test.make_grouped ~name:"bench" [ t ])
+       (bechamel_tests ()))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match arg with
+  | "table1" -> table1 ()
+  | "table1-small" -> table1 ~scale:`Small ()
+  | "fig2" -> fig2 ()
+  | "quant" -> quant_bench ()
+  | "ablate-quant" -> ablate_quant ()
+  | "ablate-tr" -> ablate_tr ()
+  | "ablate-dc" -> ablate_dc ()
+  | "ablate-efd" -> ablate_efd ()
+  | "bech" -> run_bechamel ()
+  | "all" ->
+      fig2 ();
+      quant_bench ();
+      ablate_quant ();
+      ablate_tr ();
+      ablate_dc ();
+      ablate_efd ();
+      run_bechamel ();
+      table1 ()
+  | other ->
+      prerr_endline ("unknown bench: " ^ other);
+      exit 1

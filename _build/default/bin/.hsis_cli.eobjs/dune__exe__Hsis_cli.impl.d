@@ -1,0 +1,1 @@
+bin/hsis_cli.ml: Arg Cmd Cmdliner Filename Format Hsis Hsis_auto Hsis_bdd Hsis_bisim Hsis_blifmv Hsis_check Hsis_core Hsis_debug Hsis_fsm Hsis_models Hsis_sim Hsis_verilog List Printf Term

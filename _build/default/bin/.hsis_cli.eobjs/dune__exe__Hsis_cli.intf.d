@@ -1,0 +1,1 @@
+bin/hsis_cli.mli:

@@ -1,0 +1,1 @@
+bin/vl2mv.ml: Arg Cmd Cmdliner Hsis_verilog Printf Term

@@ -1,0 +1,1 @@
+bin/vl2mv.mli:

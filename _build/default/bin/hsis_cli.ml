@@ -1,0 +1,238 @@
+(* The hsis command-line tool: read a design (Verilog or BLIF-MV), check
+   PIF properties, print bug reports with error traces, simulate, and
+   report statistics — the environment of the paper's Fig. 1. *)
+
+open Hsis_core
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_design verilog blifmv builtin heuristic =
+  let heuristic =
+    match heuristic with
+    | "min-width" -> Hsis_fsm.Trans.Min_width
+    | "pairs" -> Hsis_fsm.Trans.Pair_clustering
+    | "naive" -> Hsis_fsm.Trans.Naive
+    | h -> failwith ("unknown heuristic " ^ h)
+  in
+  match (verilog, blifmv, builtin) with
+  | Some path, None, None -> (Hsis.read_verilog ~heuristic (read_file path), None)
+  | None, Some path, None -> (Hsis.read_blifmv ~heuristic (read_file path), None)
+  | None, None, Some name -> (
+      match Hsis_models.Models.by_name name with
+      | Some m ->
+          ( Hsis.read_verilog ~heuristic m.Hsis_models.Model.verilog,
+            Some (Hsis_models.Model.parse_pif m) )
+      | None -> failwith ("unknown builtin design " ^ name))
+  | _ -> failwith "give exactly one of --verilog, --blifmv, --builtin"
+
+let wrap f = try f () with Failure m | Invalid_argument m ->
+  Printf.eprintf "hsis: %s\n" m;
+  1
+
+(* ------------------------------------------------------------------ *)
+
+let check_cmd verilog blifmv builtin pif_path heuristic no_early witness () =
+  wrap (fun () ->
+      let design, builtin_pif = load_design verilog blifmv builtin heuristic in
+      let pif =
+        match (pif_path, builtin_pif) with
+        | Some p, _ -> Hsis_auto.Pif.parse_file p
+        | None, Some p -> p
+        | None, None -> failwith "no properties: give --pif"
+      in
+      let report =
+        Hsis.run_pif ~early_failure:(not no_early) ~witnesses:witness design pif
+      in
+      Format.printf "%a" Hsis.pp_report report;
+      if witness then begin
+        List.iter
+          (fun (l : Hsis.lc_result) ->
+            match l.Hsis.lr_trace with
+            | Some t ->
+                Format.printf "@.error trace for %s:@.%a" l.Hsis.lr_name
+                  (Hsis_debug.Trace.pp l.Hsis.lr_trans)
+                  t
+            | None -> ())
+          report.Hsis.lc;
+        List.iter
+          (fun (c : Hsis.ctl_result) ->
+            match c.Hsis.cr_explanation with
+            | Some e ->
+                Format.printf "@.debug tree for %s:@.%a" c.Hsis.cr_name
+                  (Hsis_debug.Mcdbg.pp design.Hsis.trans)
+                  e
+            | None -> ())
+          report.Hsis.ctl
+      end;
+      let failed =
+        List.exists (fun (c : Hsis.ctl_result) -> not c.Hsis.cr_holds) report.Hsis.ctl
+        || List.exists (fun (l : Hsis.lc_result) -> not l.Hsis.lr_holds) report.Hsis.lc
+      in
+      if failed then 2 else 0)
+
+let reach_cmd verilog blifmv builtin heuristic () =
+  wrap (fun () ->
+      let design, _ = load_design verilog blifmv builtin heuristic in
+      let r = Hsis.reachable design in
+      Format.printf "design        : %s@." design.Hsis.flat.Hsis_blifmv.Ast.m_name;
+      Format.printf "read time     : %.3fs@." design.Hsis.read_time;
+      Format.printf "blif-mv lines : %d@." design.Hsis.blifmv_lines;
+      Format.printf "reached states: %.0f@." (Hsis.reached_states design);
+      Format.printf "bfs depth     : %d@." r.Hsis_check.Reach.steps;
+      let st = Hsis.stats design in
+      Format.printf "bdd nodes     : %d (%d vars)@." st.Hsis_bdd.Bdd.st_nodes
+        st.Hsis_bdd.Bdd.st_vars;
+      0)
+
+let sim_cmd verilog blifmv builtin heuristic steps seed () =
+  wrap (fun () ->
+      let design, _ = load_design verilog blifmv builtin heuristic in
+      let sim = Hsis.simulator design in
+      let net = Hsis_sim.Simulator.net sim in
+      let state = ref seed in
+      let rand n =
+        state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+        !state / 7 mod n
+      in
+      Format.printf "   0: %a@." (Hsis_sim.Simulator.pp_state net)
+        (Hsis_sim.Simulator.state sim);
+      (try
+         for i = 1 to steps do
+           let opts = Hsis_sim.Simulator.options sim in
+           if opts = [] then begin
+             Format.printf "deadlock after %d steps@." (i - 1);
+             raise Exit
+           end;
+           Hsis_sim.Simulator.step sim (rand (List.length opts));
+           Format.printf "%4d: %a@." i (Hsis_sim.Simulator.pp_state net)
+             (Hsis_sim.Simulator.state sim)
+         done
+       with Exit -> ());
+      0)
+
+let refine_cmd impl_path spec_path obs () =
+  wrap (fun () ->
+      let net_of path =
+        let src = read_file path in
+        let ast =
+          if Filename.check_suffix path ".v" then Hsis_verilog.Elab.compile src
+          else Hsis_blifmv.Parser.parse src
+        in
+        Hsis_blifmv.Net.of_ast ast
+      in
+      let impl = net_of impl_path in
+      let spec = net_of spec_path in
+      let obs = match obs with [] -> None | o -> Some o in
+      let r = Hsis_bisim.Simrel.refines ?obs ~impl ~spec () in
+      Format.printf "refinement %s (%d iterations)@."
+        (if r.Hsis_bisim.Simrel.holds then "holds" else "FAILS")
+        r.Hsis_bisim.Simrel.iterations;
+      if r.Hsis_bisim.Simrel.holds then 0 else 2)
+
+let stats_cmd verilog blifmv builtin heuristic () =
+  wrap (fun () ->
+      let design, _ = load_design verilog blifmv builtin heuristic in
+      ignore (Hsis.reachable design);
+      let st = Hsis.stats design in
+      Format.printf "nodes=%d dead=%d vars=%d gc_runs=%d reorders=%d cache=%d@."
+        st.Hsis_bdd.Bdd.st_nodes st.Hsis_bdd.Bdd.st_dead st.Hsis_bdd.Bdd.st_vars
+        st.Hsis_bdd.Bdd.st_gc_runs st.Hsis_bdd.Bdd.st_reorder_runs
+        st.Hsis_bdd.Bdd.st_cache_entries;
+      let report = Hsis.minimize design in
+      Format.printf "don't-care minimization: %d -> %d part nodes@."
+        report.Hsis_bisim.Dontcare.before report.Hsis_bisim.Dontcare.after;
+      0)
+
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let verilog_arg =
+  Arg.(value & opt (some file) None & info [ "v"; "verilog" ] ~docv:"FILE.v")
+
+let blifmv_arg =
+  Arg.(value & opt (some file) None & info [ "b"; "blifmv" ] ~docv:"FILE.mv")
+
+let builtin_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "builtin" ] ~docv:"NAME"
+        ~doc:
+          "Use a built-in Table-1 design: philos, pingpong, gigamax, \
+           scheduler, dcnew, mdlc (also scheduler5/8/12).")
+
+let pif_arg =
+  Arg.(value & opt (some file) None & info [ "p"; "pif" ] ~docv:"FILE.pif")
+
+let heuristic_arg =
+  Arg.(
+    value & opt string "min-width"
+    & info [ "heuristic" ] ~docv:"H"
+        ~doc:"Early-quantification heuristic: min-width, pairs, naive.")
+
+let no_early_arg =
+  Arg.(value & flag & info [ "no-early" ] ~doc:"Disable early failure detection.")
+
+let witness_arg =
+  Arg.(value & flag & info [ "witness" ] ~doc:"Print error traces / debug trees.")
+
+let steps_arg = Arg.(value & opt int 20 & info [ "n"; "steps" ])
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ])
+
+let check =
+  Cmd.v
+    (Cmd.info "check" ~doc:"check CTL and language-containment properties")
+    Term.(
+      const (fun a b c d e f g -> check_cmd a b c d e f g ())
+      $ verilog_arg $ blifmv_arg $ builtin_arg $ pif_arg $ heuristic_arg
+      $ no_early_arg $ witness_arg)
+
+let reach =
+  Cmd.v
+    (Cmd.info "reach" ~doc:"compute the reachable state set")
+    Term.(
+      const (fun a b c d -> reach_cmd a b c d ())
+      $ verilog_arg $ blifmv_arg $ builtin_arg $ heuristic_arg)
+
+let sim =
+  Cmd.v
+    (Cmd.info "sim" ~doc:"random-walk the state-based simulator")
+    Term.(
+      const (fun a b c d e f -> sim_cmd a b c d e f ())
+      $ verilog_arg $ blifmv_arg $ builtin_arg $ heuristic_arg $ steps_arg
+      $ seed_arg)
+
+let stats =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"BDD statistics and minimization report")
+    Term.(
+      const (fun a b c d -> stats_cmd a b c d ())
+      $ verilog_arg $ blifmv_arg $ builtin_arg $ heuristic_arg)
+
+let refine =
+  let impl_arg =
+    Arg.(required & opt (some file) None & info [ "impl" ] ~docv:"IMPL")
+  in
+  let spec_arg =
+    Arg.(required & opt (some file) None & info [ "spec" ] ~docv:"SPEC")
+  in
+  let obs_arg =
+    Arg.(value & opt_all string [] & info [ "obs" ] ~docv:"SIGNAL")
+  in
+  Cmd.v
+    (Cmd.info "refine"
+       ~doc:"check that IMPL refines SPEC over the observed signals")
+    Term.(
+      const (fun a b c -> refine_cmd a b c ()) $ impl_arg $ spec_arg $ obs_arg)
+
+let () =
+  let doc = "HSIS: a BDD-based environment for formal verification" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "hsis" ~doc) [ check; reach; sim; stats; refine ]))

@@ -1,0 +1,45 @@
+(* vl2mv: translate the supported Verilog subset into BLIF-MV, mirroring
+   the tool of the same name shipped with HSIS (paper Sec. 7). *)
+
+let run input output =
+  let src =
+    let ic = open_in input in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  match Hsis_verilog.Elab.to_blifmv src with
+  | text -> (
+      match output with
+      | None ->
+          print_string text;
+          0
+      | Some path ->
+          let oc = open_out path in
+          output_string oc text;
+          close_out oc;
+          0)
+  | exception Hsis_verilog.Vparser.Error (line, msg) ->
+      Printf.eprintf "%s:%d: parse error: %s\n" input line msg;
+      1
+  | exception Hsis_verilog.Vlexer.Error (line, msg) ->
+      Printf.eprintf "%s:%d: lexical error: %s\n" input line msg;
+      1
+  | exception Hsis_verilog.Elab.Error msg ->
+      Printf.eprintf "%s: %s\n" input msg;
+      1
+
+open Cmdliner
+
+let input =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.v")
+
+let output =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT.mv")
+
+let cmd =
+  let doc = "translate a Verilog subset into BLIF-MV" in
+  Cmd.v (Cmd.info "vl2mv" ~doc) Term.(const run $ input $ output)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/extensions.ml: Expr Flatten Format Hsis_auto Hsis_bisim Hsis_blifmv Hsis_check Hsis_core List Net Parser Pif Proplib Stree

@@ -1,0 +1,1 @@
+examples/gigamax_coherence.ml: Float Format Gigamax Hsis_bisim Hsis_blifmv Hsis_check Hsis_core Hsis_models List Model

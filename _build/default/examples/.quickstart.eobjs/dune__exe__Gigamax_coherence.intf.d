@@ -1,0 +1,1 @@
+examples/gigamax_coherence.mli:

@@ -1,0 +1,1 @@
+examples/mutex_lc.ml: Autom Ctl Expr Format Hsis_auto Hsis_core Hsis_debug Printf

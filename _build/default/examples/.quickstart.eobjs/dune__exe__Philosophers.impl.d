@@ -1,0 +1,1 @@
+examples/philosophers.ml: Format Hsis_core Hsis_debug Hsis_models Hsis_sim List Model Option Philos

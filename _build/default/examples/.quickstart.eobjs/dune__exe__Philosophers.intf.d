@@ -1,0 +1,1 @@
+examples/philosophers.mli:

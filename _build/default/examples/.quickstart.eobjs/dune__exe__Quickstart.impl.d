@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Hsis_auto Hsis_blifmv Hsis_core Hsis_debug Hsis_verilog List

@@ -1,0 +1,1 @@
+examples/scheduler_scaling.ml: Format Hsis_bdd Hsis_core Hsis_fsm Hsis_models List Model Scheduler Sys

@@ -1,0 +1,1 @@
+examples/simulator_walk.ml: Array Flatten Format Hsis_blifmv Hsis_models Hsis_sim Hsis_verilog Net Simulator

@@ -1,0 +1,1 @@
+examples/simulator_walk.mli:

@@ -1,0 +1,57 @@
+(* The state-based simulator (paper Sec. 2 item 4) used two ways on the
+   mdlc link: a guided walk that forces a frame through the lossy channel,
+   and frontier-at-a-time enumeration of the reachable states.
+
+   Run with: dune exec examples/simulator_walk.exe *)
+
+open Hsis_blifmv
+open Hsis_sim
+
+let link_only =
+  (* just one link of the 2mdlc design *)
+  let m = Hsis_models.Mdlc.make () in
+  let ast = Hsis_verilog.Elab.compile m.Hsis_models.Model.verilog in
+  Net.of_model
+    (Flatten.flatten ~root:"link" ast)
+
+let () =
+  Format.printf "=== simulator: stepping an mdlc link ===@.@.";
+  let net = link_only in
+  let sim = Simulator.create net in
+  let value name vals =
+    match Net.find_signal net name with
+    | Some s -> vals.(s)
+    | None -> -1
+  in
+  Format.printf "start: %a@." (Simulator.pp_state net) (Simulator.state sim);
+  (* force the frame through: never lose, always time out when waiting *)
+  let forced = ref 0 in
+  for i = 1 to 8 do
+    let took =
+      Simulator.step_where sim (fun vals ->
+          value "lose" vals = 0 && value "alose" vals = 0
+          && value "timeout" vals = 1)
+    in
+    if took then incr forced;
+    Format.printf "%4d: %a@." i (Simulator.pp_state net) (Simulator.state sim)
+  done;
+  Format.printf "guided steps taken: %d, depth %d@.@." !forced
+    (Simulator.depth sim);
+  (* backtrack a couple of steps *)
+  ignore (Simulator.backtrack sim);
+  ignore (Simulator.backtrack sim);
+  Format.printf "after backtracking twice: %a@.@." (Simulator.pp_state net)
+    (Simulator.state sim);
+
+  (* frontier-at-a-time reachable-state enumeration under user control *)
+  Format.printf "frontier exploration:@.";
+  let e = Simulator.explorer net in
+  let level = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let fresh = Simulator.expand e in
+    incr level;
+    Format.printf "  level %2d: %5d new states (total %d)@." !level fresh
+      (Simulator.discovered e);
+    if fresh = 0 || !level >= 12 then continue := false
+  done

@@ -1,0 +1,1 @@
+lib/auto/autom.ml: Ast Domain Expr Fair Fun Hsis_blifmv Hsis_mv List Net Option

@@ -1,0 +1,1 @@
+lib/auto/autom.mli: Ast Expr Fair Hsis_blifmv

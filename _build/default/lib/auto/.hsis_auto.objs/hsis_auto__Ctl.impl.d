@@ -1,0 +1,1 @@
+lib/auto/ctl.ml: Expr Format Option Tok

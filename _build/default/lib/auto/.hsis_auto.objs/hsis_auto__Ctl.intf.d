@@ -1,0 +1,1 @@
+lib/auto/ctl.mli: Expr

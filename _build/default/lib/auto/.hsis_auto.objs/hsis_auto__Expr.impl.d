@@ -1,0 +1,1 @@
+lib/auto/expr.ml: Bdd Domain Enc Format Hsis_bdd Hsis_blifmv Hsis_fsm Hsis_mv List Net Sym Tok

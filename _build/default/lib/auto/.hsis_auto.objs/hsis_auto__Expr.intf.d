@@ -1,0 +1,1 @@
+lib/auto/expr.mli: Bdd Hsis_bdd Hsis_blifmv Hsis_fsm Net Sym Tok

@@ -1,0 +1,1 @@
+lib/auto/fair.ml: Bdd Expr Format Hsis_bdd Hsis_blifmv Hsis_fsm List Printf String Sym Trans

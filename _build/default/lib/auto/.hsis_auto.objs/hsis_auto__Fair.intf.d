@@ -1,0 +1,1 @@
+lib/auto/fair.mli: Bdd Expr Format Hsis_bdd Hsis_fsm Trans

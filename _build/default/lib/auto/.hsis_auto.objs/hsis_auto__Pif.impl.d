@@ -1,0 +1,1 @@
+lib/auto/pif.ml: Autom Ctl Expr Fair Format List Printf Tok

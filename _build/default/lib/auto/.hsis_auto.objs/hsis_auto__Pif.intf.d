@@ -1,0 +1,1 @@
+lib/auto/pif.mli: Autom Ctl Fair

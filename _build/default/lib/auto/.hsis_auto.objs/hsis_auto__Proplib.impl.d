@@ -1,0 +1,1 @@
+lib/auto/proplib.ml: Array Autom Buffer Ctl Expr List Printf String

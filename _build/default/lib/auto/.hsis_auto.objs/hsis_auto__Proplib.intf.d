@@ -1,0 +1,1 @@
+lib/auto/proplib.mli: Autom Ctl Expr

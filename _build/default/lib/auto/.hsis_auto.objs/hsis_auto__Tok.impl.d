@@ -1,0 +1,1 @@
+lib/auto/tok.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/auto/tok.mli:

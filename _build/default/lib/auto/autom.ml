@@ -1,0 +1,205 @@
+open Hsis_mv
+open Hsis_blifmv
+
+type edge = { e_src : string; e_dst : string; e_guard : Expr.t }
+
+type accept_pair = {
+  inf_states : string list;
+  inf_edges : (string * string) list;
+  fin_states : string list;
+  fin_edges : (string * string) list;
+}
+
+type t = {
+  a_name : string;
+  a_states : string list;
+  a_init : string list;
+  a_edges : edge list;
+  a_pairs : accept_pair list;
+}
+
+let dead_state = "_dead"
+
+let validate a =
+  let known s = List.mem s a.a_states in
+  let check_pair_part part =
+    List.for_all known part
+  in
+  if a.a_states = [] then Error "automaton has no states"
+  else if List.mem dead_state a.a_states then
+    Error (dead_state ^ " is a reserved state name")
+  else if a.a_init = [] then Error "automaton has no initial state"
+  else if not (List.for_all known a.a_init) then
+    Error "unknown initial state"
+  else if
+    not
+      (List.for_all (fun e -> known e.e_src && known e.e_dst) a.a_edges)
+  then Error "edge endpoint is not a declared state"
+  else if
+    not
+      (List.for_all
+         (fun p ->
+           check_pair_part p.inf_states
+           && check_pair_part p.fin_states
+           && List.for_all (fun (s, d) -> known s && known d) p.inf_edges
+           && List.for_all (fun (s, d) -> known s && known d) p.fin_edges)
+         a.a_pairs)
+  then Error "acceptance refers to unknown states"
+  else if a.a_pairs = [] then Error "automaton has no acceptance condition"
+  else Ok ()
+
+let monitor_signal a = "_aut_" ^ a.a_name
+
+(* All valuations of the guard's support satisfying it, as
+   (signal name, value name) association lists. *)
+let guard_rows (doms : (string * Domain.t) list) guard =
+  let support = Expr.signals guard in
+  let dom_of name =
+    match List.assoc_opt name doms with
+    | Some d -> d
+    | None -> invalid_arg ("Autom: guard mentions unknown signal " ^ name)
+  in
+  let rec enumerate = function
+    | [] -> [ [] ]
+    | name :: rest ->
+        let d = dom_of name in
+        let tails = enumerate rest in
+        List.concat_map
+          (fun i ->
+            List.map (fun tl -> (name, Domain.value d i) :: tl) tails)
+          (List.init (Domain.size d) Fun.id)
+  in
+  let sat env =
+    let net_lookup name = List.assoc name env in
+    (* Evaluate the expression directly on names/values. *)
+    let rec go = function
+      | Expr.True -> true
+      | Expr.False -> false
+      | Expr.Eq (n, v) -> net_lookup n = v
+      | Expr.Neq (n, v) -> net_lookup n <> v
+      | Expr.Not e -> not (go e)
+      | Expr.And (x, y) -> go x && go y
+      | Expr.Or (x, y) -> go x || go y
+      | Expr.Imp (x, y) -> (not (go x)) || go y
+    in
+    go guard
+  in
+  List.filter sat (enumerate support)
+
+let compose (flat : Ast.model) a =
+  (match validate a with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Autom.compose: " ^ m));
+  if flat.Ast.m_subckts <> [] then invalid_arg "Autom.compose: model not flat";
+  let sys = Net.of_model flat in
+  let mon = monitor_signal a in
+  let mon_next = mon ^ "_next" in
+  (match Net.find_signal sys mon with
+  | Some _ -> invalid_arg ("Autom.compose: signal " ^ mon ^ " already exists")
+  | None -> ());
+  let doms =
+    List.filter_map
+      (fun name ->
+        Option.map
+          (fun s -> (name, Net.dom sys s))
+          (Net.find_signal sys name))
+      (List.sort_uniq compare
+         (List.concat_map (fun e -> Expr.signals e.e_guard) a.a_edges))
+  in
+  (* Validate guard signals exist up front for a clean error. *)
+  List.iter
+    (fun e ->
+      List.iter
+        (fun name ->
+          if not (List.mem_assoc name doms) then
+            invalid_arg ("Autom.compose: guard mentions unknown signal " ^ name))
+        (Expr.signals e.e_guard))
+    a.a_edges;
+  let support = List.map fst doms in
+  let states = a.a_states @ [ dead_state ] in
+  let mv_decl =
+    {
+      Ast.v_names = [ mon; mon_next ];
+      v_size = List.length states;
+      v_values = states;
+    }
+  in
+  let latch = { Ast.l_input = mon_next; l_output = mon; l_reset = a.a_init } in
+  let rows =
+    List.concat_map
+      (fun e ->
+        List.map
+          (fun env ->
+            let ins =
+              List.map
+                (fun name ->
+                  match List.assoc_opt name env with
+                  | Some v -> Ast.Val v
+                  | None -> Ast.Any)
+                support
+            in
+            {
+              Ast.r_inputs = ins @ [ Ast.Val e.e_src ];
+              r_outputs = [ Ast.Val e.e_dst ];
+            })
+          (guard_rows doms e.e_guard))
+      a.a_edges
+  in
+  let table =
+    {
+      Ast.t_inputs = support @ [ mon ];
+      t_outputs = [ mon_next ];
+      t_rows = rows;
+      t_default = Some [ Ast.Val dead_state ];
+    }
+  in
+  {
+    flat with
+    Ast.m_mvs = flat.Ast.m_mvs @ [ mv_decl ];
+    m_tables = flat.Ast.m_tables @ [ table ];
+    m_latches = flat.Ast.m_latches @ [ latch ];
+  }
+
+let complement_constraints a =
+  let mon = monitor_signal a in
+  let state_expr states =
+    List.fold_left
+      (fun acc s -> Expr.Or (acc, Expr.Eq (mon, s)))
+      Expr.False states
+  in
+  let cond states edges =
+    if edges = [] then Fair.State (state_expr states)
+    else
+      Fair.Edges
+        (List.map (fun (s, d) -> (Expr.Eq (mon, s), Expr.Eq (mon, d))) edges
+        @ List.map (fun s -> (Expr.True, Expr.Eq (mon, s))) states)
+  in
+  (* Rabin pair (Inf, Fin) complements to the Streett pair (Inf, Fin):
+     "if Inf occurs infinitely often, so must Fin". *)
+  List.map
+    (fun p ->
+      Fair.Streett
+        (cond p.inf_states p.inf_edges, cond p.fin_states p.fin_edges))
+    a.a_pairs
+
+let invariance ~name ~ok =
+  {
+    a_name = name;
+    a_states = [ "good"; "bad" ];
+    a_init = [ "good" ];
+    a_edges =
+      [
+        { e_src = "good"; e_dst = "good"; e_guard = ok };
+        { e_src = "good"; e_dst = "bad"; e_guard = Expr.Not ok };
+        { e_src = "bad"; e_dst = "bad"; e_guard = Expr.True };
+      ];
+    a_pairs =
+      [
+        {
+          inf_states = [ "good" ];
+          inf_edges = [];
+          fin_states = [ "bad" ];
+          fin_edges = [];
+        };
+      ];
+  }

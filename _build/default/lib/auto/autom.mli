@@ -1,0 +1,55 @@
+open Hsis_blifmv
+
+(** Explicit ω-automata with edge-Rabin acceptance, used as properties in
+    the language-containment paradigm (paper Sec. 5.2, Figure 2).
+
+    An automaton observes the system's signals through its edge guards.
+    For checking, it is compiled into a BLIF-MV monitor (one latch + one
+    table) and composed with the system — exactly how HSIS's PIF properties
+    were "written in Verilog" with acceptance in PIF (Sec. 7). *)
+
+type edge = { e_src : string; e_dst : string; e_guard : Expr.t }
+
+type accept_pair = {
+  inf_states : string list;
+  inf_edges : (string * string) list;
+  fin_states : string list;
+  fin_edges : (string * string) list;
+}
+(** Rabin acceptance: a run is accepted iff {e some} pair has its [inf]
+    part visited infinitely often and its [fin] part visited only finitely
+    often.  The common "dotted box" invariance automaton of Figure 2 is
+    [inf_states = interior; fin_states = exterior]. *)
+
+type t = {
+  a_name : string;
+  a_states : string list;
+  a_init : string list;
+  a_edges : edge list;
+  a_pairs : accept_pair list;
+}
+
+val dead_state : string
+(** Implicit reject sink added when the automaton is incomplete. *)
+
+val validate : t -> (unit, string) result
+(** Structural sanity: non-empty states, known endpoints, known acceptance
+    states, initial states declared, no reserved names. *)
+
+val monitor_signal : t -> string
+(** Name of the latch output added by {!compose}. *)
+
+val compose : Ast.model -> t -> Ast.model
+(** Append the compiled monitor to a flat system model.  Guards are
+    expanded into table rows by enumerating the guard's support valuations;
+    uncovered input patterns fall to {!dead_state} via [.default]. *)
+
+val complement_constraints : t -> Fair.syntactic list
+(** Streett constraints (over the composed model) characterizing the
+    complement of the automaton's language — a deterministic Rabin
+    automaton complements into a Streett condition, which is what the
+    emptiness check conjoins with the system's own fairness. *)
+
+val invariance : name:string -> ok:Expr.t -> t
+(** The Figure-2 pattern: a two-state automaton accepting exactly the runs
+    where [ok] holds forever. *)

@@ -1,0 +1,161 @@
+type t =
+  | Prop of Expr.t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Imp of t * t
+  | EX of t
+  | EF of t
+  | EG of t
+  | EU of t * t
+  | AX of t
+  | AF of t
+  | AG of t
+  | AU of t * t
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* The grammar layers boolean connectives over unary-ish temporal atoms.
+   A temporal operator applies to the next unary item, like negation. *)
+let rec parse_imp toks =
+  let lhs, rest = parse_or toks in
+  match rest with
+  | Tok.Arrow :: rest ->
+      let rhs, rest = parse_imp rest in
+      (Imp (lhs, rhs), rest)
+  | _ -> (lhs, rest)
+
+and parse_or toks =
+  let lhs, rest = parse_and toks in
+  let rec loop lhs = function
+    | Tok.Bar :: rest ->
+        let rhs, rest = parse_and rest in
+        loop (Or (lhs, rhs)) rest
+    | rest -> (lhs, rest)
+  in
+  loop lhs rest
+
+and parse_and toks =
+  let lhs, rest = parse_unary toks in
+  let rec loop lhs = function
+    | Tok.Amp :: rest ->
+        let rhs, rest = parse_unary rest in
+        loop (And (lhs, rhs)) rest
+    | rest -> (lhs, rest)
+  in
+  loop lhs rest
+
+and parse_unary = function
+  | Tok.Bang :: rest ->
+      let e, rest = parse_unary rest in
+      (Not e, rest)
+  | Tok.Ident "AG" :: rest ->
+      let e, rest = parse_unary rest in
+      (AG e, rest)
+  | Tok.Ident "AF" :: rest ->
+      let e, rest = parse_unary rest in
+      (AF e, rest)
+  | Tok.Ident "AX" :: rest ->
+      let e, rest = parse_unary rest in
+      (AX e, rest)
+  | Tok.Ident "EG" :: rest ->
+      let e, rest = parse_unary rest in
+      (EG e, rest)
+  | Tok.Ident "EF" :: rest ->
+      let e, rest = parse_unary rest in
+      (EF e, rest)
+  | Tok.Ident "EX" :: rest ->
+      let e, rest = parse_unary rest in
+      (EX e, rest)
+  | Tok.Ident ("E" | "A") :: Tok.Lbracket :: _ as toks -> parse_until toks
+  | Tok.Lparen :: rest -> (
+      let e, rest = parse_imp rest in
+      match rest with
+      | Tok.Rparen :: rest -> (e, rest)
+      | _ -> fail "expected )")
+  | Tok.Ident "true" :: rest -> (Prop Expr.True, rest)
+  | Tok.Ident "false" :: rest -> (Prop Expr.False, rest)
+  | Tok.Ident n :: Tok.Eq :: Tok.Ident v :: rest -> (Prop (Expr.Eq (n, v)), rest)
+  | Tok.Ident n :: Tok.Neq :: Tok.Ident v :: rest ->
+      (Prop (Expr.Neq (n, v)), rest)
+  | Tok.Ident n :: rest -> (Prop (Expr.Eq (n, "1")), rest)
+  | t :: _ -> fail "unexpected token %s" (Tok.to_string t)
+  | [] -> fail "unexpected end of formula"
+
+and parse_until = function
+  | Tok.Ident q :: Tok.Lbracket :: rest -> (
+      let p, rest = parse_imp rest in
+      match rest with
+      | Tok.Ident "U" :: rest -> (
+          let r, rest = parse_imp rest in
+          match rest with
+          | Tok.Rbracket :: rest ->
+              if q = "E" then (EU (p, r), rest) else (AU (p, r), rest)
+          | _ -> fail "expected ] in until")
+      | _ -> fail "expected U in until")
+  | _ -> fail "malformed until"
+
+let parse s =
+  let toks = try Tok.tokenize s with Tok.Error m -> fail "%s" m in
+  match parse_imp toks with
+  | e, [] -> e
+  | _, t :: _ -> fail "trailing token %s" (Tok.to_string t)
+
+let rec to_string = function
+  | Prop e -> Expr.to_string e
+  | Not f -> "!(" ^ to_string f ^ ")"
+  | And (a, b) -> "(" ^ to_string a ^ " & " ^ to_string b ^ ")"
+  | Or (a, b) -> "(" ^ to_string a ^ " | " ^ to_string b ^ ")"
+  | Imp (a, b) -> "(" ^ to_string a ^ " -> " ^ to_string b ^ ")"
+  | EX f -> "EX " ^ to_string f
+  | EF f -> "EF " ^ to_string f
+  | EG f -> "EG " ^ to_string f
+  | EU (a, b) -> "E[" ^ to_string a ^ " U " ^ to_string b ^ "]"
+  | AX f -> "AX " ^ to_string f
+  | AF f -> "AF " ^ to_string f
+  | AG f -> "AG " ^ to_string f
+  | AU (a, b) -> "A[" ^ to_string a ^ " U " ^ to_string b ^ "]"
+
+let rec as_prop = function
+  | Prop e -> Some e
+  | Not f -> Option.map (fun e -> Expr.Not e) (as_prop f)
+  | And (a, b) -> (
+      match (as_prop a, as_prop b) with
+      | Some x, Some y -> Some (Expr.And (x, y))
+      | _ -> None)
+  | Or (a, b) -> (
+      match (as_prop a, as_prop b) with
+      | Some x, Some y -> Some (Expr.Or (x, y))
+      | _ -> None)
+  | Imp (a, b) -> (
+      match (as_prop a, as_prop b) with
+      | Some x, Some y -> Some (Expr.Imp (x, y))
+      | _ -> None)
+  | EX _ | EF _ | EG _ | EU _ | AX _ | AF _ | AG _ | AU _ -> None
+
+let is_invariance = function
+  | AG f -> as_prop f
+  | _ -> None
+
+let universal_only f =
+  (* positive = under an even number of negations *)
+  let rec go positive = function
+    | Prop _ -> true
+    | Not f -> go (not positive) f
+    | And (a, b) | Or (a, b) -> go positive a && go positive b
+    | Imp (a, b) -> go (not positive) a && go positive b
+    | AX f | AF f | AG f -> if positive then go positive f else false
+    | AU (a, b) -> if positive then go positive a && go positive b else false
+    | EX f | EF f | EG f -> if positive then false else go positive f
+    | EU (a, b) ->
+        if positive then false else go positive a && go positive b
+  in
+  go true f
+
+let rec size = function
+  | Prop _ -> 1
+  | Not f | EX f | EF f | EG f | AX f | AF f | AG f -> 1 + size f
+  | And (a, b) | Or (a, b) | Imp (a, b) | EU (a, b) | AU (a, b) ->
+      1 + size a + size b

@@ -1,0 +1,35 @@
+(** CTL formula syntax (paper Sec. 5.2); fair semantics are implemented by
+    the model checker in [Hsis_check.Mc]. *)
+
+type t =
+  | Prop of Expr.t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Imp of t * t
+  | EX of t
+  | EF of t
+  | EG of t
+  | EU of t * t
+  | AX of t
+  | AF of t
+  | AG of t
+  | AU of t * t
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Temporal operators are prefixes binding like negation; until is written
+    [E[p U q]] / [A[p U q]].  Example: [AG !(out1=1 & out2=1)]. *)
+
+val to_string : t -> string
+
+val is_invariance : t -> Expr.t option
+(** [Some p] when the formula is [AG p] with [p] propositional — the fast
+    path the paper optimizes (Sec. 5.2 item 3). *)
+
+val universal_only : t -> bool
+(** No existential quantifier under an even number of negations — the
+    fragment eligible for early failure detection (Sec. 5.4). *)
+
+val size : t -> int

@@ -1,0 +1,139 @@
+open Hsis_bdd
+open Hsis_mv
+open Hsis_blifmv
+open Hsis_fsm
+
+type t =
+  | True
+  | False
+  | Eq of string * string
+  | Neq of string * string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Imp of t * t
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* Recursive descent; each level returns (expr, remaining tokens). *)
+let rec parse_imp toks =
+  let lhs, rest = parse_or toks in
+  match rest with
+  | Tok.Arrow :: rest ->
+      let rhs, rest = parse_imp rest in
+      (Imp (lhs, rhs), rest)
+  | _ -> (lhs, rest)
+
+and parse_or toks =
+  let lhs, rest = parse_and toks in
+  let rec loop lhs rest =
+    match rest with
+    | Tok.Bar :: rest ->
+        let rhs, rest = parse_and rest in
+        loop (Or (lhs, rhs)) rest
+    | _ -> (lhs, rest)
+  in
+  loop lhs rest
+
+and parse_and toks =
+  let lhs, rest = parse_unary toks in
+  let rec loop lhs rest =
+    match rest with
+    | Tok.Amp :: rest ->
+        let rhs, rest = parse_unary rest in
+        loop (And (lhs, rhs)) rest
+    | _ -> (lhs, rest)
+  in
+  loop lhs rest
+
+and parse_unary = function
+  | Tok.Bang :: rest ->
+      let e, rest = parse_unary rest in
+      (Not e, rest)
+  | Tok.Lparen :: rest -> (
+      let e, rest = parse_imp rest in
+      match rest with
+      | Tok.Rparen :: rest -> (e, rest)
+      | _ -> fail "expected )")
+  | Tok.Ident "true" :: rest -> (True, rest)
+  | Tok.Ident "false" :: rest -> (False, rest)
+  | Tok.Ident name :: Tok.Eq :: Tok.Ident v :: rest -> (Eq (name, v), rest)
+  | Tok.Ident name :: Tok.Neq :: Tok.Ident v :: rest -> (Neq (name, v), rest)
+  | Tok.Ident name :: rest -> (Eq (name, "1"), rest)
+  | t :: _ -> fail "unexpected token %s" (Tok.to_string t)
+  | [] -> fail "unexpected end of expression"
+
+let parse_tokens toks = parse_imp toks
+
+let parse s =
+  let toks = try Tok.tokenize s with Tok.Error m -> fail "%s" m in
+  match parse_imp toks with
+  | e, [] -> e
+  | _, t :: _ -> fail "trailing token %s" (Tok.to_string t)
+
+let rec to_string = function
+  | True -> "true"
+  | False -> "false"
+  | Eq (s, v) -> s ^ "=" ^ v
+  | Neq (s, v) -> s ^ "!=" ^ v
+  | Not e -> "!(" ^ to_string e ^ ")"
+  | And (a, b) -> "(" ^ to_string a ^ " & " ^ to_string b ^ ")"
+  | Or (a, b) -> "(" ^ to_string a ^ " | " ^ to_string b ^ ")"
+  | Imp (a, b) -> "(" ^ to_string a ^ " -> " ^ to_string b ^ ")"
+
+let signals e =
+  let rec go acc = function
+    | True | False -> acc
+    | Eq (s, _) | Neq (s, _) -> s :: acc
+    | Not e -> go acc e
+    | And (a, b) | Or (a, b) | Imp (a, b) -> go (go acc a) b
+  in
+  List.sort_uniq compare (go [] e)
+
+let resolve net name v =
+  match Net.find_signal net name with
+  | None -> invalid_arg ("Expr: unknown signal " ^ name)
+  | Some s -> (
+      match Domain.index_of (Net.dom net s) v with
+      | None -> invalid_arg ("Expr: signal " ^ name ^ " has no value " ^ v)
+      | Some i -> (s, i))
+
+let to_bdd sym e =
+  let net = Sym.net sym in
+  let man = Sym.man sym in
+  let rec go = function
+    | True -> Bdd.dtrue man
+    | False -> Bdd.dfalse man
+    | Eq (name, v) ->
+        let s, i = resolve net name v in
+        Enc.value_bdd (Sym.pres sym s) i
+    | Neq (name, v) ->
+        let s, i = resolve net name v in
+        Bdd.dand
+          (Bdd.dnot (Enc.value_bdd (Sym.pres sym s) i))
+          (Enc.domain_constraint (Sym.pres sym s))
+    | Not e -> Bdd.dnot (go e)
+    | And (a, b) -> Bdd.dand (go a) (go b)
+    | Or (a, b) -> Bdd.dor (go a) (go b)
+    | Imp (a, b) -> Bdd.imp (go a) (go b)
+  in
+  go e
+
+let eval net value e =
+  let rec go = function
+    | True -> true
+    | False -> false
+    | Eq (name, v) ->
+        let s, i = resolve net name v in
+        value s = i
+    | Neq (name, v) ->
+        let s, i = resolve net name v in
+        value s <> i
+    | Not e -> not (go e)
+    | And (a, b) -> go a && go b
+    | Or (a, b) -> go a || go b
+    | Imp (a, b) -> (not (go a)) || go b
+  in
+  go e

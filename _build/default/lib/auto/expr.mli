@@ -1,0 +1,39 @@
+open Hsis_bdd
+open Hsis_blifmv
+open Hsis_fsm
+
+(** Propositional conditions over network signals: the atoms of CTL
+    formulas, automaton edge guards and fairness constraints. *)
+
+type t =
+  | True
+  | False
+  | Eq of string * string  (** signal = value *)
+  | Neq of string * string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Imp of t * t
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Grammar (loosest to tightest): [e -> e] (right-assoc), [e | e], [e & e],
+    [!e], atoms.  An atom is [name=value], [name!=value], [true], [false],
+    or a bare [name] which abbreviates [name=1]. *)
+
+val parse_tokens : Tok.t list -> t * Tok.t list
+(** Parse a leading expression, returning the rest (used by CTL/PIF). *)
+
+val to_string : t -> string
+
+val signals : t -> string list
+(** Signal names mentioned, sorted and deduplicated. *)
+
+val to_bdd : Sym.t -> t -> Bdd.t
+(** Over the present encodings of the mentioned signals (not lifted to
+    state variables; see {!Hsis_fsm.Trans.abstract_to_states}).
+    Raises [Invalid_argument] on unknown signals or values. *)
+
+val eval : Net.t -> (int -> int) -> t -> bool
+(** Evaluate under concrete signal values (explicit engine). *)

@@ -1,0 +1,94 @@
+open Hsis_bdd
+open Hsis_fsm
+
+type 'c cond = State of 'c | Edges of ('c * 'c) list
+
+type 'c constr =
+  | Inf of 'c cond
+  | Not_forever of 'c
+  | Streett of 'c cond * 'c cond
+
+type syntactic = Expr.t constr
+
+type compiled =
+  | CInf_state of Bdd.t
+  | CInf_edge of Bdd.t
+  | CStreett of compiled_cond * compiled_cond
+
+and compiled_cond = CState of Bdd.t | CEdge of Bdd.t
+
+let state_set trans e =
+  Trans.abstract_to_states trans (Expr.to_bdd (Trans.sym trans) e)
+
+(* Does the expression mention only latch outputs?  Conditions on inputs or
+   internal signals must be compiled to edge sets so they stay correlated
+   with the transition that reads them. *)
+let state_only trans e =
+  let sym = Trans.sym trans in
+  List.for_all
+    (fun name ->
+      match Hsis_blifmv.Net.find_signal (Sym.net sym) name with
+      | Some s -> Sym.is_state sym s
+      | None -> invalid_arg ("Fair: unknown signal " ^ name))
+    (Expr.signals e)
+
+let edge_set trans (from_e, to_e) =
+  let sym = Trans.sym trans in
+  if not (state_only trans to_e) then
+    invalid_arg "Fair: edge to-condition mentions non-state signal";
+  let from_edges =
+    Trans.abstract_to_edges trans (Expr.to_bdd sym from_e)
+  in
+  let to_states = state_set trans to_e in
+  Bdd.dand from_edges (Bdd.permute (Sym.pres_to_next sym) to_states)
+
+let edges_union trans pairs =
+  List.fold_left
+    (fun acc p -> Bdd.dor acc (edge_set trans p))
+    (Bdd.dfalse (Sym.man (Trans.sym trans)))
+    pairs
+
+let compile_cond trans = function
+  | State e ->
+      if state_only trans e then CState (state_set trans e)
+      else
+        CEdge (Trans.abstract_to_edges trans (Expr.to_bdd (Trans.sym trans) e))
+  | Edges pairs -> CEdge (edges_union trans pairs)
+
+let compile trans = function
+  | Inf (State e) ->
+      if state_only trans e then CInf_state (state_set trans e)
+      else
+        CInf_edge
+          (Trans.abstract_to_edges trans (Expr.to_bdd (Trans.sym trans) e))
+  | Inf (Edges pairs) -> CInf_edge (edges_union trans pairs)
+  | Not_forever e ->
+      (* Excluding "eventually always e" is requiring "infinitely often
+         not-e"; for conditions on non-state signals that is an edge
+         constraint on steps that can be labeled with not-e. *)
+      if state_only trans e then CInf_state (Bdd.dnot (state_set trans e))
+      else
+        CInf_edge
+          (Trans.abstract_to_edges trans
+             (Bdd.dnot (Expr.to_bdd (Trans.sym trans) e)))
+  | Streett (p, q) -> CStreett (compile_cond trans p, compile_cond trans q)
+
+let compile_all trans cs = List.map (compile trans) cs
+
+let pp_cond fmt = function
+  | State e -> Format.fprintf fmt "state \"%s\"" (Expr.to_string e)
+  | Edges pairs ->
+      Format.fprintf fmt "edges {%s}"
+        (String.concat "; "
+           (List.map
+              (fun (f, t) ->
+                Printf.sprintf "\"%s\" -> \"%s\"" (Expr.to_string f)
+                  (Expr.to_string t))
+              pairs))
+
+let pp_syntactic fmt = function
+  | Inf c -> Format.fprintf fmt "inf %a" pp_cond c
+  | Not_forever e ->
+      Format.fprintf fmt "not-forever \"%s\"" (Expr.to_string e)
+  | Streett (p, q) ->
+      Format.fprintf fmt "streett (%a, %a)" pp_cond p pp_cond q

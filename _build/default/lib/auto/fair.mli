@@ -1,0 +1,42 @@
+open Hsis_bdd
+open Hsis_fsm
+
+(** Fairness constraints (paper Sec. 5.1): the edge-Streett / edge-Rabin
+    environment.  Constraints come in a syntactic form (conditions are
+    {!Expr.t}) and a compiled form (conditions are state sets or edge sets
+    over the symbolic space). *)
+
+type 'c cond =
+  | State of 'c  (** a condition on states *)
+  | Edges of ('c * 'c) list
+      (** a union of transition sets, each given as a from-condition and a
+          to-condition *)
+
+type 'c constr =
+  | Inf of 'c cond
+      (** positive (Büchi): the condition holds infinitely often *)
+  | Not_forever of 'c
+      (** negative state-subset constraint: runs that eventually stay in
+          the subset forever are excluded *)
+  | Streett of 'c cond * 'c cond
+      (** (p, q): if p holds infinitely often then so does q *)
+
+type syntactic = Expr.t constr
+
+type compiled =
+  | CInf_state of Bdd.t
+  | CInf_edge of Bdd.t  (** over present and next state variables *)
+  | CStreett of compiled_cond * compiled_cond
+
+and compiled_cond = CState of Bdd.t | CEdge of Bdd.t
+
+val state_set : Trans.t -> Expr.t -> Bdd.t
+(** Lift a condition to state variables by existential abstraction. *)
+
+val edge_set : Trans.t -> Expr.t * Expr.t -> Bdd.t
+(** E(x, y) = from(x) /\ to(y); the to-condition may only mention state
+    signals. *)
+
+val compile : Trans.t -> syntactic -> compiled
+val compile_all : Trans.t -> syntactic list -> compiled list
+val pp_syntactic : Format.formatter -> syntactic -> unit

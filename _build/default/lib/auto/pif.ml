@@ -1,0 +1,185 @@
+type t = {
+  p_fairness : Fair.syntactic list;
+  p_ctl : (string * Ctl.t) list;
+  p_automata : Autom.t list;
+  p_lc : string list;
+}
+
+exception Error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let empty = { p_fairness = []; p_ctl = []; p_automata = []; p_lc = [] }
+
+let expr_of s =
+  try Expr.parse s with Expr.Parse_error m -> fail "bad expression %S: %s" s m
+
+let ctl_of s =
+  try Ctl.parse s with Ctl.Parse_error m -> fail "bad CTL %S: %s" s m
+
+(* Parse a semicolon-terminated statement; return remaining tokens. *)
+let rec parse_stmts acc toks =
+  match toks with
+  | [] -> acc
+  | Tok.Ident "fairness" :: rest -> (
+      match rest with
+      | Tok.Ident "inf" :: Tok.Str e :: Tok.Semi :: rest ->
+          parse_stmts
+            { acc with p_fairness = Fair.Inf (Fair.State (expr_of e)) :: acc.p_fairness }
+            rest
+      | Tok.Ident "inf_edge" :: Tok.Str f :: Tok.Str t :: Tok.Semi :: rest ->
+          parse_stmts
+            {
+              acc with
+              p_fairness =
+                Fair.Inf (Fair.Edges [ (expr_of f, expr_of t) ])
+                :: acc.p_fairness;
+            }
+            rest
+      | Tok.Ident "notforever" :: Tok.Str e :: Tok.Semi :: rest ->
+          parse_stmts
+            { acc with p_fairness = Fair.Not_forever (expr_of e) :: acc.p_fairness }
+            rest
+      | Tok.Ident "streett" :: Tok.Str p :: Tok.Str q :: Tok.Semi :: rest ->
+          parse_stmts
+            {
+              acc with
+              p_fairness =
+                Fair.Streett (Fair.State (expr_of p), Fair.State (expr_of q))
+                :: acc.p_fairness;
+            }
+            rest
+      | _ -> fail "malformed fairness statement")
+  | Tok.Ident "ctl" :: Tok.Ident name :: Tok.Str f :: Tok.Semi :: rest ->
+      parse_stmts { acc with p_ctl = (name, ctl_of f) :: acc.p_ctl } rest
+  | Tok.Ident "ctl" :: Tok.Str f :: Tok.Semi :: rest ->
+      let name = Printf.sprintf "ctl%d" (List.length acc.p_ctl + 1) in
+      parse_stmts { acc with p_ctl = (name, ctl_of f) :: acc.p_ctl } rest
+  | Tok.Ident "lc" :: Tok.Ident name :: Tok.Semi :: rest ->
+      parse_stmts { acc with p_lc = name :: acc.p_lc } rest
+  | Tok.Ident "automaton" :: Tok.Ident name :: Tok.Lbrace :: rest ->
+      let aut, rest = parse_automaton name rest in
+      parse_stmts { acc with p_automata = aut :: acc.p_automata } rest
+  | t :: _ -> fail "unexpected token %s" (Tok.to_string t)
+
+and parse_automaton name toks =
+  let states = ref [] in
+  let init = ref [] in
+  let edges = ref [] in
+  let pairs = ref [] in
+  let rec idents acc = function
+    | Tok.Ident s :: rest -> idents (s :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  let parse_state_set toks =
+    match toks with
+    | Tok.Lbrace :: rest ->
+        let rec go acc = function
+          | Tok.Rbrace :: rest -> (List.rev acc, rest)
+          | Tok.Ident s :: rest -> go (s :: acc) rest
+          | Tok.Comma :: rest -> go acc rest
+          | _ -> fail "malformed state set in automaton %s" name
+        in
+        go [] rest
+    | _ -> fail "expected { in automaton %s" name
+  in
+  let parse_edge_set toks =
+    match toks with
+    | Tok.Lbrace :: rest ->
+        let rec go acc = function
+          | Tok.Rbrace :: rest -> (List.rev acc, rest)
+          | Tok.Ident s :: Tok.Arrow :: Tok.Ident d :: rest ->
+              go ((s, d) :: acc) rest
+          | Tok.Comma :: rest -> go acc rest
+          | _ -> fail "malformed edge set in automaton %s" name
+        in
+        go [] rest
+    | _ -> fail "expected { in automaton %s" name
+  in
+  let rec body toks =
+    match toks with
+    | Tok.Rbrace :: rest ->
+        ( {
+            Autom.a_name = name;
+            a_states = List.rev !states;
+            a_init = List.rev !init;
+            a_edges = List.rev !edges;
+            a_pairs = List.rev !pairs;
+          },
+          rest )
+    | Tok.Ident "states" :: rest ->
+        let ss, rest = idents [] rest in
+        if ss = [] then fail "empty states list in automaton %s" name;
+        states := List.rev_append ss !states;
+        expect_semi rest
+    | Tok.Ident "init" :: rest ->
+        let ss, rest = idents [] rest in
+        if ss = [] then fail "empty init list in automaton %s" name;
+        init := List.rev_append ss !init;
+        expect_semi rest
+    | Tok.Ident "edge" :: Tok.Ident s :: Tok.Ident d :: Tok.Str g :: rest ->
+        edges :=
+          { Autom.e_src = s; e_dst = d; e_guard = expr_of g } :: !edges;
+        expect_semi rest
+    | Tok.Ident "accept" :: rest ->
+        let pair =
+          ref
+            {
+              Autom.inf_states = [];
+              inf_edges = [];
+              fin_states = [];
+              fin_edges = [];
+            }
+        in
+        let rec parts toks =
+          match toks with
+          | Tok.Ident "inf" :: rest ->
+              let ss, rest = parse_state_set rest in
+              pair := { !pair with Autom.inf_states = ss };
+              parts rest
+          | Tok.Ident "fin" :: rest ->
+              let ss, rest = parse_state_set rest in
+              pair := { !pair with Autom.fin_states = ss };
+              parts rest
+          | Tok.Ident "inf_edges" :: rest ->
+              let es, rest = parse_edge_set rest in
+              pair := { !pair with Autom.inf_edges = es };
+              parts rest
+          | Tok.Ident "fin_edges" :: rest ->
+              let es, rest = parse_edge_set rest in
+              pair := { !pair with Autom.fin_edges = es };
+              parts rest
+          | Tok.Semi :: rest ->
+              pairs := !pair :: !pairs;
+              rest
+          | _ -> fail "malformed accept in automaton %s" name
+        in
+        body (parts rest)
+    | t :: _ ->
+        fail "unexpected token %s in automaton %s" (Tok.to_string t) name
+    | [] -> fail "unterminated automaton %s" name
+  and expect_semi = function
+    | Tok.Semi :: rest -> body rest
+    | _ -> fail "expected ; in automaton %s" name
+  in
+  body toks
+
+let parse src =
+  let toks = try Tok.tokenize src with Tok.Error m -> fail "%s" m in
+  let acc = parse_stmts empty toks in
+  {
+    p_fairness = List.rev acc.p_fairness;
+    p_ctl = List.rev acc.p_ctl;
+    p_automata = List.rev acc.p_automata;
+    p_lc = List.rev acc.p_lc;
+  }
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  parse src
+
+let find_automaton t name =
+  List.find_opt (fun a -> a.Autom.a_name = name) t.p_automata

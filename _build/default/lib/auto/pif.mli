@@ -1,0 +1,32 @@
+(** The Property Intermediate Format (PIF): fairness constraints, CTL
+    properties and containment automata, in one text file (paper Fig. 1).
+
+    Grammar (statements end with [;], ['#'] comments):
+    {v
+    fairness inf "expr";
+    fairness inf_edge "from-expr" "to-expr";
+    fairness notforever "expr";
+    fairness streett "p-expr" "q-expr";
+    ctl [name] "AG !(out1=1 & out2=1)";
+    automaton name {
+      states A B;  init A;
+      edge A B "guard-expr";
+      accept inf { A } fin { B };
+      accept inf_edges { A->B, B->B } fin_edges { };
+    }
+    lc name;
+    v} *)
+
+type t = {
+  p_fairness : Fair.syntactic list;
+  p_ctl : (string * Ctl.t) list;
+  p_automata : Autom.t list;
+  p_lc : string list;  (** automata to check for language containment *)
+}
+
+exception Error of string
+
+val parse : string -> t
+val parse_file : string -> t
+val find_automaton : t -> string -> Autom.t option
+val empty : t

@@ -1,0 +1,256 @@
+type t = {
+  p_name : string;
+  p_ctl : Ctl.t option;
+  p_autom : Autom.t option;
+  p_doc : string;
+}
+
+let enot e = Expr.Not e
+let eand a b = Expr.And (a, b)
+
+let all_states_pair states =
+  {
+    Autom.inf_states = states;
+    inf_edges = [];
+    fin_states = [];
+    fin_edges = [];
+  }
+
+let invariant ~name ok =
+  {
+    p_name = name;
+    p_ctl = Some (Ctl.AG (Ctl.Prop ok));
+    p_autom = Some (Autom.invariance ~name ~ok);
+    p_doc = "invariant: " ^ Expr.to_string ok;
+  }
+
+let mutual_exclusion ~name a b =
+  let t = invariant ~name (enot (eand a b)) in
+  {
+    t with
+    p_doc =
+      Printf.sprintf "mutual exclusion of %s and %s" (Expr.to_string a)
+        (Expr.to_string b);
+  }
+
+let response ~name ~trigger ~response =
+  let aut =
+    {
+      Autom.a_name = name;
+      a_states = [ "idle"; "pending" ];
+      a_init = [ "idle" ];
+      a_edges =
+        [
+          (* an immediately-answered trigger never leaves idle *)
+          {
+            Autom.e_src = "idle";
+            e_dst = "idle";
+            e_guard = Expr.Or (enot trigger, eand trigger response);
+          };
+          {
+            Autom.e_src = "idle";
+            e_dst = "pending";
+            e_guard = eand trigger (enot response);
+          };
+          { Autom.e_src = "pending"; e_dst = "idle"; e_guard = response };
+          {
+            Autom.e_src = "pending";
+            e_dst = "pending";
+            e_guard = enot response;
+          };
+        ];
+      a_pairs =
+        [
+          {
+            Autom.inf_states = [ "idle" ];
+            inf_edges = [];
+            fin_states = [];
+            fin_edges = [];
+          };
+        ];
+    }
+  in
+  {
+    p_name = name;
+    p_ctl = Some (Ctl.AG (Ctl.Imp (Ctl.Prop trigger, Ctl.AF (Ctl.Prop response))));
+    p_autom = Some aut;
+    p_doc =
+      Printf.sprintf "%s is always followed by %s" (Expr.to_string trigger)
+        (Expr.to_string response);
+  }
+
+let recurrence ~name p =
+  let aut =
+    {
+      Autom.a_name = name;
+      a_states = [ "wait"; "hit" ];
+      a_init = [ "wait" ];
+      a_edges =
+        [
+          { Autom.e_src = "wait"; e_dst = "wait"; e_guard = enot p };
+          { Autom.e_src = "wait"; e_dst = "hit"; e_guard = p };
+          { Autom.e_src = "hit"; e_dst = "hit"; e_guard = p };
+          { Autom.e_src = "hit"; e_dst = "wait"; e_guard = enot p };
+        ];
+      a_pairs =
+        [
+          {
+            Autom.inf_states = [ "hit" ];
+            inf_edges = [];
+            fin_states = [];
+            fin_edges = [];
+          };
+        ];
+    }
+  in
+  {
+    p_name = name;
+    p_ctl = Some (Ctl.AG (Ctl.AF (Ctl.Prop p)));
+    p_autom = Some aut;
+    p_doc = Expr.to_string p ^ " holds infinitely often";
+  }
+
+let stability ~name p =
+  let aut =
+    {
+      Autom.a_name = name;
+      a_states = [ "low"; "high" ];
+      a_init = [ "low" ];
+      a_edges =
+        [
+          { Autom.e_src = "low"; e_dst = "low"; e_guard = enot p };
+          { Autom.e_src = "low"; e_dst = "high"; e_guard = p };
+          { Autom.e_src = "high"; e_dst = "high"; e_guard = p };
+          (* high with !p falls to the dead state via the default row *)
+        ];
+      a_pairs = [ all_states_pair [ "low"; "high" ] ];
+    }
+  in
+  {
+    p_name = name;
+    p_ctl = Some (Ctl.AG (Ctl.Imp (Ctl.Prop p, Ctl.AG (Ctl.Prop p))));
+    p_autom = Some aut;
+    p_doc = "once " ^ Expr.to_string p ^ " holds, it holds forever";
+  }
+
+let precedence ~name ~first ~before =
+  let aut =
+    {
+      Autom.a_name = name;
+      a_states = [ "waiting"; "opened" ];
+      a_init = [ "waiting" ];
+      a_edges =
+        [
+          {
+            Autom.e_src = "waiting";
+            e_dst = "waiting";
+            e_guard = eand (enot first) (enot before);
+          };
+          { Autom.e_src = "waiting"; e_dst = "opened"; e_guard = first };
+          (* before without first: dead via default *)
+          { Autom.e_src = "opened"; e_dst = "opened"; e_guard = Expr.True };
+        ];
+      a_pairs = [ all_states_pair [ "waiting"; "opened" ] ];
+    }
+  in
+  {
+    p_name = name;
+    p_ctl = None;
+    p_autom = Some aut;
+    p_doc =
+      Printf.sprintf "%s cannot occur before %s" (Expr.to_string before)
+        (Expr.to_string first);
+  }
+
+let sequence ~name es =
+  if es = [] then invalid_arg "Proplib.sequence: empty";
+  let k = List.length es in
+  let state i = Printf.sprintf "s%d" i in
+  let states = List.init (k + 1) state in
+  let es_arr = Array.of_list es in
+  let none_of_rest i =
+    (* none of e_i .. e_{k-1} *)
+    let rec go j acc =
+      if j >= k then acc else go (j + 1) (eand acc (enot es_arr.(j)))
+    in
+    go i Expr.True
+  in
+  let edges =
+    List.concat
+      (List.init k (fun i ->
+           [
+             { Autom.e_src = state i; e_dst = state (i + 1); e_guard = es_arr.(i) };
+             {
+               Autom.e_src = state i;
+               e_dst = state i;
+               e_guard = none_of_rest i;
+             };
+           ]))
+    @ [ { Autom.e_src = state k; e_dst = state k; e_guard = Expr.True } ]
+  in
+  let aut =
+    {
+      Autom.a_name = name;
+      a_states = states;
+      a_init = [ state 0 ];
+      a_edges = edges;
+      a_pairs = [ all_states_pair states ];
+    }
+  in
+  {
+    p_name = name;
+    p_ctl = None;
+    p_autom = Some aut;
+    p_doc =
+      "events occur in order: "
+      ^ String.concat " ; " (List.map Expr.to_string es);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering as PIF *)
+
+let autom_to_pif (a : Autom.t) =
+  let b = Buffer.create 256 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "automaton %s {\n" a.Autom.a_name;
+  pf "  states %s;\n" (String.concat " " a.Autom.a_states);
+  pf "  init %s;\n" (String.concat " " a.Autom.a_init);
+  List.iter
+    (fun (e : Autom.edge) ->
+      pf "  edge %s %s \"%s\";\n" e.Autom.e_src e.Autom.e_dst
+        (Expr.to_string e.Autom.e_guard))
+    a.Autom.a_edges;
+  List.iter
+    (fun (p : Autom.accept_pair) ->
+      let edge_set es =
+        String.concat ", " (List.map (fun (s, d) -> s ^ "->" ^ d) es)
+      in
+      pf "  accept inf { %s }" (String.concat ", " p.Autom.inf_states);
+      if p.Autom.inf_edges <> [] then
+        pf " inf_edges { %s }" (edge_set p.Autom.inf_edges);
+      pf " fin { %s }" (String.concat ", " p.Autom.fin_states);
+      if p.Autom.fin_edges <> [] then
+        pf " fin_edges { %s }" (edge_set p.Autom.fin_edges);
+      pf ";\n")
+    a.Autom.a_pairs;
+  pf "}\n";
+  Buffer.contents b
+
+let to_pif ts =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun t ->
+      Buffer.add_string b ("# " ^ t.p_doc ^ "\n");
+      (match t.p_ctl with
+      | Some f ->
+          Buffer.add_string b
+            (Printf.sprintf "ctl %s \"%s\";\n" t.p_name (Ctl.to_string f))
+      | None -> ());
+      (match t.p_autom with
+      | Some a ->
+          Buffer.add_string b (autom_to_pif a);
+          Buffer.add_string b (Printf.sprintf "lc %s;\n" a.Autom.a_name)
+      | None -> ());
+      Buffer.add_char b '\n')
+    ts;
+  Buffer.contents b

@@ -1,0 +1,40 @@
+(** The library of commonly used properties the paper plans as future work
+    (Sec. 8 item 8): parameterized templates, each available in both
+    formalisms where expressible — a CTL formula and/or a deterministic
+    edge-Rabin automaton — so novices need not write either by hand. *)
+
+type t = {
+  p_name : string;
+  p_ctl : Ctl.t option;
+  p_autom : Autom.t option;
+  p_doc : string;
+}
+
+val invariant : name:string -> Expr.t -> t
+(** [ok] holds in every reachable state (Figure 2's pattern). *)
+
+val mutual_exclusion : name:string -> Expr.t -> Expr.t -> t
+(** The two conditions never hold together. *)
+
+val response : name:string -> trigger:Expr.t -> response:Expr.t -> t
+(** Every trigger is eventually followed by the response
+    (AG (trigger -> AF response); automaton form uses a Büchi-style
+    acceptance forbidding an eventually-forever-pending trigger). *)
+
+val recurrence : name:string -> Expr.t -> t
+(** The condition holds infinitely often on every (fair) run. *)
+
+val stability : name:string -> Expr.t -> t
+(** Once the condition holds it holds forever
+    (AG (p -> AG p); automaton: no p to !p edge accepted). *)
+
+val precedence : name:string -> first:Expr.t -> before:Expr.t -> t
+(** [before] cannot hold until [first] has held
+    (automaton-only: sequencing is where automata shine, Sec. 5.2). *)
+
+val sequence : name:string -> Expr.t list -> t
+(** The conditions occur in order, each at most starting after the
+    previous one was seen (automaton-only). *)
+
+val to_pif : t list -> string
+(** Render templates as a PIF source text (parseable by {!Pif.parse}). *)

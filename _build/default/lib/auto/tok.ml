@@ -1,0 +1,112 @@
+type t =
+  | Ident of string
+  | Str of string
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Lbrace
+  | Rbrace
+  | Bang
+  | Amp
+  | Bar
+  | Arrow
+  | Eq
+  | Neq
+  | Semi
+  | Comma
+
+exception Error of string
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '/' || c = '\''
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '#' then begin
+      (* comment to end of line *)
+      while !i < n && s.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char s.[!i] do
+        incr i
+      done;
+      push (Ident (String.sub s start (!i - start)))
+    end
+    else if c = '"' then begin
+      incr i;
+      let start = !i in
+      while !i < n && s.[!i] <> '"' do
+        incr i
+      done;
+      if !i >= n then raise (Error "unterminated string");
+      push (Str (String.sub s start (!i - start)));
+      incr i
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub s !i 2 else "" in
+      match two with
+      | "->" ->
+          push Arrow;
+          i := !i + 2
+      | "!=" ->
+          push Neq;
+          i := !i + 2
+      | "&&" ->
+          push Amp;
+          i := !i + 2
+      | "||" ->
+          push Bar;
+          i := !i + 2
+      | "==" ->
+          push Eq;
+          i := !i + 2
+      | _ -> (
+          incr i;
+          match c with
+          | '(' -> push Lparen
+          | ')' -> push Rparen
+          | '[' -> push Lbracket
+          | ']' -> push Rbracket
+          | '{' -> push Lbrace
+          | '}' -> push Rbrace
+          | '!' -> push Bang
+          | '&' -> push Amp
+          | '|' -> push Bar
+          | '=' -> push Eq
+          | ';' -> push Semi
+          | ',' -> push Comma
+          | c -> raise (Error (Printf.sprintf "unexpected character %c" c)))
+    end
+  done;
+  List.rev !toks
+
+let to_string = function
+  | Ident s -> s
+  | Str s -> "\"" ^ s ^ "\""
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbracket -> "["
+  | Rbracket -> "]"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Bang -> "!"
+  | Amp -> "&"
+  | Bar -> "|"
+  | Arrow -> "->"
+  | Eq -> "="
+  | Neq -> "!="
+  | Semi -> ";"
+  | Comma -> ","

@@ -1,0 +1,24 @@
+(** Tokenizer shared by the expression, CTL and PIF parsers. *)
+
+type t =
+  | Ident of string
+  | Str of string  (** double-quoted *)
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Lbrace
+  | Rbrace
+  | Bang
+  | Amp
+  | Bar
+  | Arrow  (** [->] *)
+  | Eq
+  | Neq
+  | Semi
+  | Comma
+
+exception Error of string
+
+val tokenize : string -> t list
+val to_string : t -> string

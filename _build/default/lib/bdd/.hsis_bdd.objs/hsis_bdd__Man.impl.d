@@ -1,0 +1,1 @@
+lib/bdd/man.ml: Array Float Format Hashtbl List Option Printf

@@ -1,0 +1,167 @@
+type man = Man.t
+
+type t = { node : int; man : man }
+
+let wrap man node =
+  Man.incr_ref man node;
+  let h = { node; man } in
+  Gc.finalise (fun h -> Man.decr_ref h.man h.node) h;
+  h
+
+let same_man a b =
+  if a.man != b.man then invalid_arg "Bdd: handles from different managers"
+
+let new_man ?initial_capacity () = Man.create ?initial_capacity ()
+let man_of h = h.man
+let num_vars = Man.num_vars
+let node_count = Man.node_count
+
+let new_var ?name m =
+  let v = Man.new_var ?name m in
+  wrap m (Man.ithvar m v)
+
+let ithvar m v =
+  if v < 0 || v >= Man.num_vars m then invalid_arg "Bdd.ithvar";
+  wrap m (Man.ithvar m v)
+
+let var_index h =
+  if Man.is_const h.node then invalid_arg "Bdd.var_index: constant";
+  if
+    Man.lo h.man h.node = Man.false_id
+    && Man.hi h.man h.node = Man.true_id
+  then Man.var h.man h.node
+  else invalid_arg "Bdd.var_index: not a positive literal"
+
+let dtrue m = wrap m Man.true_id
+let dfalse m = wrap m Man.false_id
+let is_true h = h.node = Man.true_id
+let is_false h = h.node = Man.false_id
+let equal a b = a.man == b.man && a.node = b.node
+let id h = h.node
+
+let unary f h =
+  Man.entry_hook h.man;
+  wrap h.man (f h.man h.node)
+
+let binary f a b =
+  same_man a b;
+  Man.entry_hook a.man;
+  wrap a.man (f a.man a.node b.node)
+
+let dnot h = unary Man.apply_not h
+let dand a b = binary Man.apply_and a b
+let dor a b = binary Man.apply_or a b
+let xor a b = binary Man.apply_xor a b
+let nand a b = dnot (dand a b)
+let nor a b = dnot (dor a b)
+let imp a b = dor (dnot a) b
+let eqv a b = dnot (xor a b)
+
+let ite f g h =
+  same_man f g;
+  same_man g h;
+  Man.entry_hook f.man;
+  wrap f.man (Man.apply_ite f.man f.node g.node h.node)
+
+let conj m hs = List.fold_left dand (dtrue m) hs
+let disj m hs = List.fold_left dor (dfalse m) hs
+let cube m hs = conj m hs
+
+let exists ~cube f =
+  same_man cube f;
+  Man.entry_hook f.man;
+  wrap f.man (Man.apply_exists f.man f.node cube.node)
+
+let forall ~cube f = dnot (exists ~cube (dnot f))
+
+let and_exists ~cube f g =
+  same_man cube f;
+  same_man f g;
+  Man.entry_hook f.man;
+  wrap f.man (Man.apply_and_exists f.man f.node g.node cube.node)
+
+type varmap = { vm_man : man; vm_id : int; vm_map : int array }
+
+let make_varmap m pairs =
+  let map = Array.init (Man.num_vars m) (fun i -> i) in
+  List.iter
+    (fun (src, dst) ->
+      if src < 0 || src >= Array.length map then invalid_arg "Bdd.make_varmap";
+      map.(src) <- dst)
+    pairs;
+  { vm_man = m; vm_id = Man.register_map m map; vm_map = map }
+
+let permute vm f =
+  if vm.vm_man != f.man then invalid_arg "Bdd.permute: manager mismatch";
+  Man.entry_hook f.man;
+  wrap f.man (Man.apply_permute f.man vm.vm_id vm.vm_map f.node)
+
+let restrict f ~care =
+  same_man f care;
+  Man.entry_hook f.man;
+  wrap f.man (Man.apply_restrict f.man f.node care.node)
+
+let constrain f ~care =
+  same_man f care;
+  Man.entry_hook f.man;
+  wrap f.man (Man.apply_constrain f.man f.node care.node)
+
+let support h = Man.support h.man h.node
+let dag_size h = Man.dag_size h.man h.node
+let satcount h ~nvars = Man.satcount h.man h.node nvars
+let satcount_vars h ~vars = Man.satcount_vars h.man h.node vars
+let eval h env = Man.eval h.man h.node env
+let pick_cube h = Man.pick_cube h.man h.node
+
+let pick_state h ~over =
+  let partial = pick_cube h in
+  List.map
+    (fun v ->
+      match List.assoc_opt v partial with
+      | Some b -> (v, b)
+      | None -> (v, false))
+    over
+
+let iter_cubes h k = Man.iter_cubes h.man h.node ~nvars:(Man.num_vars h.man) k
+let gc m = Man.collect m
+let set_gc_threshold = Man.set_gc_threshold
+let sift ?max_vars m = Man.sift ?max_vars m
+let set_auto_reorder = Man.set_auto_reorder
+let set_reorder_threshold = Man.set_reorder_threshold
+let order = Man.order
+let name_of_var = Man.name_of_var
+
+type stats = Man.stats = {
+  st_nodes : int;
+  st_dead : int;
+  st_vars : int;
+  st_gc_runs : int;
+  st_reorder_runs : int;
+  st_cache_entries : int;
+}
+
+let stats = Man.stats
+let check = Man.check
+
+let pp fmt h =
+  if is_true h then Format.fprintf fmt "true"
+  else if is_false h then Format.fprintf fmt "false"
+  else begin
+    let first = ref true in
+    let cubes = ref 0 in
+    iter_cubes h (fun lookup ->
+        incr cubes;
+        if !cubes <= 64 then begin
+          if not !first then Format.fprintf fmt " + ";
+          first := false;
+          let lits = ref [] in
+          for v = Man.num_vars h.man - 1 downto 0 do
+            match lookup v with
+            | Some true -> lits := Man.name_of_var h.man v :: !lits
+            | Some false -> lits := ("!" ^ Man.name_of_var h.man v) :: !lits
+            | None -> ()
+          done;
+          Format.fprintf fmt "%s" (String.concat "." !lits)
+        end);
+    if !cubes > 64 then Format.fprintf fmt " + ... (%d cubes)" !cubes
+  end

@@ -1,0 +1,875 @@
+(* Low-level BDD manager: hash-consed nodes in integer arenas, per-variable
+   unique tables, computed caches, eager reference counting with deferred
+   collection, and in-place adjacent-level swaps used by sifting.
+
+   Node ids: 0 = logical false, 1 = logical true; real nodes start at 2.
+   Convention: a node [(v, lo, hi)] denotes [if v then hi else lo], and the
+   reduced-ordered invariant is [lo <> hi] with both children at strictly
+   greater levels than [v]'s level. *)
+
+type node_id = int
+
+let false_id = 0
+let true_id = 1
+
+(* Computed-cache operation tags. *)
+let op_and = 0
+let op_or = 1
+let op_xor = 2
+let op_not = 3
+let op_ite = 4
+let op_exists = 5
+let op_and_exists = 6
+let op_restrict = 7
+let op_constrain = 8
+let op_permute_base = 16
+(* permute cache tags are [op_permute_base + map_id] *)
+
+type t = {
+  mutable var_arr : int array; (* node -> variable index, -1 when free *)
+  mutable lo_arr : int array; (* node -> else-child; freelist thread when free *)
+  mutable hi_arr : int array; (* node -> then-child *)
+  mutable rc_arr : int array; (* node -> internal parents + external refs *)
+  mutable used : int; (* high-water mark of allocated ids *)
+  mutable free_list : int; (* head of freed ids, -1 when empty *)
+  mutable nodecount : int; (* allocated, not yet freed (live + dead) *)
+  mutable deadcount : int; (* allocated nodes whose rc dropped to 0 *)
+  mutable tables : (int * int, int) Hashtbl.t array; (* unique table per var *)
+  mutable perm : int array; (* var -> level *)
+  mutable invperm : int array; (* level -> var *)
+  mutable nvars : int;
+  mutable names : string array;
+  cache : (int * int * int * int, int) Hashtbl.t;
+  satcache : (int, float) Hashtbl.t;
+  mutable maps : int array array; (* registered permutation maps *)
+  mutable gc_enabled : bool;
+  mutable gc_threshold : int;
+  mutable gc_runs : int;
+  mutable reorder_runs : int;
+  mutable auto_reorder : bool;
+  mutable reorder_threshold : int;
+}
+
+let create ?(initial_capacity = 1 lsl 12) () =
+  let cap = max 16 initial_capacity in
+  {
+    var_arr = Array.make cap (-1);
+    lo_arr = Array.make cap (-1);
+    hi_arr = Array.make cap (-1);
+    rc_arr = Array.make cap 0;
+    used = 2;
+    free_list = -1;
+    nodecount = 0;
+    deadcount = 0;
+    tables = [||];
+    perm = [||];
+    invperm = [||];
+    nvars = 0;
+    names = [||];
+    cache = Hashtbl.create 4096;
+    satcache = Hashtbl.create 64;
+    maps = [||];
+    gc_enabled = true;
+    gc_threshold = 1 lsl 18;
+    gc_runs = 0;
+    reorder_runs = 0;
+    auto_reorder = false;
+    reorder_threshold = 1 lsl 20;
+  }
+
+let is_const u = u < 2
+let terminal_level = max_int
+
+let level m u = if is_const u then terminal_level else m.perm.(m.var_arr.(u))
+let var m u = m.var_arr.(u)
+let lo m u = m.lo_arr.(u)
+let hi m u = m.hi_arr.(u)
+let num_vars m = m.nvars
+let node_count m = m.nodecount - m.deadcount
+
+let name_of_var m v =
+  if v >= 0 && v < Array.length m.names && m.names.(v) <> "" then m.names.(v)
+  else "v" ^ string_of_int v
+
+(* ------------------------------------------------------------------ *)
+(* Variables *)
+
+let new_var ?(name = "") m =
+  let v = m.nvars in
+  m.nvars <- v + 1;
+  let grow a fill =
+    let old = Array.length a in
+    if v >= old then begin
+      let b = Array.make (max 8 (2 * (v + 1))) fill in
+      Array.blit a 0 b 0 old;
+      b
+    end
+    else a
+  in
+  m.perm <- grow m.perm 0;
+  m.invperm <- grow m.invperm 0;
+  m.names <-
+    (let old = Array.length m.names in
+     if v >= old then begin
+       let b = Array.make (max 8 (2 * (v + 1))) "" in
+       Array.blit m.names 0 b 0 old;
+       b
+     end
+     else m.names);
+  m.tables <-
+    (let old = Array.length m.tables in
+     if v >= old then begin
+       let b =
+         Array.init (max 8 (2 * (v + 1))) (fun i ->
+             if i < old then m.tables.(i) else Hashtbl.create 64)
+       in
+       b
+     end
+     else m.tables);
+  m.perm.(v) <- v;
+  m.invperm.(v) <- v;
+  m.names.(v) <- name;
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Reference counting and node allocation *)
+
+let incr_ref m u =
+  if not (is_const u) then begin
+    let rc = m.rc_arr.(u) in
+    if rc = 0 then m.deadcount <- m.deadcount - 1;
+    m.rc_arr.(u) <- rc + 1
+  end
+
+let decr_ref m u =
+  if not (is_const u) then begin
+    let rc = m.rc_arr.(u) in
+    if rc <= 0 then invalid_arg "Man.decr_ref: reference count underflow";
+    m.rc_arr.(u) <- rc - 1;
+    if rc = 1 then m.deadcount <- m.deadcount + 1
+  end
+
+let grow_arenas m needed =
+  let old = Array.length m.var_arr in
+  if needed >= old then begin
+    let ncap = max (2 * old) (needed + 1) in
+    let g a fill =
+      let b = Array.make ncap fill in
+      Array.blit a 0 b 0 old;
+      b
+    in
+    m.var_arr <- g m.var_arr (-1);
+    m.lo_arr <- g m.lo_arr (-1);
+    m.hi_arr <- g m.hi_arr (-1);
+    m.rc_arr <- g m.rc_arr 0
+  end
+
+let alloc_id m =
+  if m.free_list >= 0 then begin
+    let id = m.free_list in
+    m.free_list <- m.lo_arr.(id);
+    id
+  end
+  else begin
+    let id = m.used in
+    grow_arenas m id;
+    m.used <- id + 1;
+    id
+  end
+
+(* [mk v lo hi] returns the canonical node for [if v then hi else lo].
+   Children reference counts are incremented only when a fresh node is
+   created (they gain one new internal parent). *)
+let mk m v lo_child hi_child =
+  if lo_child = hi_child then lo_child
+  else begin
+    let tbl = m.tables.(v) in
+    let key = (lo_child, hi_child) in
+    match Hashtbl.find_opt tbl key with
+    | Some id -> id
+    | None ->
+        let id = alloc_id m in
+        m.var_arr.(id) <- v;
+        m.lo_arr.(id) <- lo_child;
+        m.hi_arr.(id) <- hi_child;
+        m.rc_arr.(id) <- 0;
+        m.nodecount <- m.nodecount + 1;
+        m.deadcount <- m.deadcount + 1;
+        incr_ref m lo_child;
+        incr_ref m hi_child;
+        Hashtbl.replace tbl key id;
+        id
+  end
+
+let ithvar m v = mk m v false_id true_id
+let nithvar m v = mk m v true_id false_id
+
+(* ------------------------------------------------------------------ *)
+(* Collection of dead nodes *)
+
+let clear_caches m =
+  Hashtbl.reset m.cache;
+  Hashtbl.reset m.satcache
+
+(* Free a node known dead: unlink from its unique table, release children
+   (cascading via the worklist), thread onto the freelist. *)
+let collect m =
+  clear_caches m;
+  let stack = ref [] in
+  for id = 2 to m.used - 1 do
+    if m.var_arr.(id) >= 0 && m.rc_arr.(id) = 0 then stack := id :: !stack
+  done;
+  let freed = ref 0 in
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | id :: rest ->
+        stack := rest;
+        (* A node on the stack may have been resurrected or already freed. *)
+        if m.var_arr.(id) >= 0 && m.rc_arr.(id) = 0 then begin
+          let v = m.var_arr.(id) and l = m.lo_arr.(id) and h = m.hi_arr.(id) in
+          Hashtbl.remove m.tables.(v) (l, h);
+          m.var_arr.(id) <- -1;
+          m.lo_arr.(id) <- m.free_list;
+          m.free_list <- id;
+          m.nodecount <- m.nodecount - 1;
+          m.deadcount <- m.deadcount - 1;
+          incr freed;
+          let release c =
+            if not (is_const c) then begin
+              decr_ref m c;
+              if m.rc_arr.(c) = 0 then stack := c :: !stack
+            end
+          in
+          release l;
+          release h
+        end;
+        drain ()
+  in
+  drain ();
+  m.gc_runs <- m.gc_runs + 1;
+  !freed
+
+let maybe_collect m =
+  if m.gc_enabled && m.nodecount > m.gc_threshold then begin
+    let freed = collect m in
+    (* If collection reclaimed little, raise the bar to avoid thrashing. *)
+    if freed < m.gc_threshold / 4 then m.gc_threshold <- 2 * m.gc_threshold
+  end
+
+let set_gc_enabled m b = m.gc_enabled <- b
+let set_gc_threshold m n = m.gc_threshold <- max 16 n
+
+(* ------------------------------------------------------------------ *)
+(* Core operations; all recursion is over raw ids and never collects. *)
+
+let cofactors m u v =
+  if is_const u || m.var_arr.(u) <> v then (u, u)
+  else (m.lo_arr.(u), m.hi_arr.(u))
+
+let top_of2 m f g =
+  let lf = level m f and lg = level m g in
+  if lf <= lg then m.var_arr.(f) else m.var_arr.(g)
+
+let rec apply_and m f g =
+  if f = g then f
+  else if f = false_id || g = false_id then false_id
+  else if f = true_id then g
+  else if g = true_id then f
+  else begin
+    let f, g = if f < g then (f, g) else (g, f) in
+    let key = (op_and, f, g, 0) in
+    match Hashtbl.find_opt m.cache key with
+    | Some r -> r
+    | None ->
+        let v = top_of2 m f g in
+        let f0, f1 = cofactors m f v and g0, g1 = cofactors m g v in
+        let r0 = apply_and m f0 g0 in
+        let r1 = apply_and m f1 g1 in
+        let r = mk m v r0 r1 in
+        Hashtbl.replace m.cache key r;
+        r
+  end
+
+let rec apply_or m f g =
+  if f = g then f
+  else if f = true_id || g = true_id then true_id
+  else if f = false_id then g
+  else if g = false_id then f
+  else begin
+    let f, g = if f < g then (f, g) else (g, f) in
+    let key = (op_or, f, g, 0) in
+    match Hashtbl.find_opt m.cache key with
+    | Some r -> r
+    | None ->
+        let v = top_of2 m f g in
+        let f0, f1 = cofactors m f v and g0, g1 = cofactors m g v in
+        let r0 = apply_or m f0 g0 in
+        let r1 = apply_or m f1 g1 in
+        let r = mk m v r0 r1 in
+        Hashtbl.replace m.cache key r;
+        r
+  end
+
+let rec apply_xor m f g =
+  if f = g then false_id
+  else if f = false_id then g
+  else if g = false_id then f
+  else begin
+    let f, g = if f < g then (f, g) else (g, f) in
+    let key = (op_xor, f, g, 0) in
+    match Hashtbl.find_opt m.cache key with
+    | Some r -> r
+    | None ->
+        let v = top_of2 m f g in
+        let f0, f1 = cofactors m f v and g0, g1 = cofactors m g v in
+        let r0 = apply_xor m f0 g0 in
+        let r1 = apply_xor m f1 g1 in
+        let r = mk m v r0 r1 in
+        Hashtbl.replace m.cache key r;
+        r
+  end
+
+let rec apply_not m f =
+  if f = false_id then true_id
+  else if f = true_id then false_id
+  else begin
+    let key = (op_not, f, 0, 0) in
+    match Hashtbl.find_opt m.cache key with
+    | Some r -> r
+    | None ->
+        let v = m.var_arr.(f) in
+        let r = mk m v (apply_not m m.lo_arr.(f)) (apply_not m m.hi_arr.(f)) in
+        Hashtbl.replace m.cache key r;
+        r
+  end
+
+let rec apply_ite m f g h =
+  if f = true_id then g
+  else if f = false_id then h
+  else if g = h then g
+  else if g = true_id && h = false_id then f
+  else if g = false_id && h = true_id then apply_not m f
+  else begin
+    let key = (op_ite, f, g, h) in
+    match Hashtbl.find_opt m.cache key with
+    | Some r -> r
+    | None ->
+        let lf = level m f and lg = level m g and lh = level m h in
+        let lmin = min lf (min lg lh) in
+        let v = m.invperm.(lmin) in
+        let f0, f1 = cofactors m f v in
+        let g0, g1 = cofactors m g v in
+        let h0, h1 = cofactors m h v in
+        let r0 = apply_ite m f0 g0 h0 in
+        let r1 = apply_ite m f1 g1 h1 in
+        let r = mk m v r0 r1 in
+        Hashtbl.replace m.cache key r;
+        r
+  end
+
+(* Existential quantification of the positive cube [cube] from [f]. *)
+let rec apply_exists m f cube =
+  if is_const f || cube = true_id then f
+  else begin
+    let lf = level m f in
+    (* Skip cube variables above f's support. *)
+    let rec advance cube =
+      if cube = true_id then cube
+      else if level m cube < lf then advance m.hi_arr.(cube)
+      else cube
+    in
+    let cube = advance cube in
+    if cube = true_id then f
+    else begin
+      let key = (op_exists, f, cube, 0) in
+      match Hashtbl.find_opt m.cache key with
+      | Some r -> r
+      | None ->
+          let v = m.var_arr.(f) in
+          let r =
+            if level m cube = lf then begin
+              let r0 = apply_exists m m.lo_arr.(f) m.hi_arr.(cube) in
+              let r1 = apply_exists m m.hi_arr.(f) m.hi_arr.(cube) in
+              apply_or m r0 r1
+            end
+            else begin
+              let r0 = apply_exists m m.lo_arr.(f) cube in
+              let r1 = apply_exists m m.hi_arr.(f) cube in
+              mk m v r0 r1
+            end
+          in
+          Hashtbl.replace m.cache key r;
+          r
+    end
+  end
+
+(* Relational product: exists cube (f /\ g), without building f /\ g. *)
+let rec apply_and_exists m f g cube =
+  if f = false_id || g = false_id then false_id
+  else if cube = true_id then apply_and m f g
+  else if f = true_id then apply_exists m g cube
+  else if g = true_id then apply_exists m f cube
+  else begin
+    let f, g = if f < g then (f, g) else (g, f) in
+    let lf = level m f and lg = level m g in
+    let ltop = min lf lg in
+    let rec advance cube =
+      if cube = true_id then cube
+      else if level m cube < ltop then advance m.hi_arr.(cube)
+      else cube
+    in
+    let cube = advance cube in
+    if cube = true_id then apply_and m f g
+    else begin
+      let key = (op_and_exists, f, g, cube) in
+      match Hashtbl.find_opt m.cache key with
+      | Some r -> r
+      | None ->
+          let v = m.invperm.(ltop) in
+          let f0, f1 = cofactors m f v and g0, g1 = cofactors m g v in
+          let r =
+            if level m cube = ltop then begin
+              let r0 = apply_and_exists m f0 g0 m.hi_arr.(cube) in
+              if r0 = true_id then true_id
+              else begin
+                let r1 = apply_and_exists m f1 g1 m.hi_arr.(cube) in
+                apply_or m r0 r1
+              end
+            end
+            else begin
+              let r0 = apply_and_exists m f0 g0 cube in
+              let r1 = apply_and_exists m f1 g1 cube in
+              mk m v r0 r1
+            end
+          in
+          Hashtbl.replace m.cache key r;
+          r
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Permutation (variable relabeling) *)
+
+let register_map m map =
+  let id = Array.length m.maps in
+  m.maps <- Array.append m.maps [| Array.copy map |];
+  id
+
+let rec apply_permute m map_id map f =
+  if is_const f then f
+  else begin
+    let key = (op_permute_base + map_id, f, 0, 0) in
+    match Hashtbl.find_opt m.cache key with
+    | Some r -> r
+    | None ->
+        let v = m.var_arr.(f) in
+        let nv = if v < Array.length map then map.(v) else v in
+        let r0 = apply_permute m map_id map m.lo_arr.(f) in
+        let r1 = apply_permute m map_id map m.hi_arr.(f) in
+        (* The image variable must still sit above both rewritten children;
+           relabelings used here (present<->next swaps) preserve levels
+           pairwise, so [mk] keeps canonicity. Build via ite to stay safe
+           even if the permutation is not level-monotonic. *)
+        let r =
+          let lv = m.perm.(nv) in
+          if level m r0 > lv && level m r1 > lv then mk m nv r0 r1
+          else apply_ite m (ithvar m nv) r1 r0
+        in
+        Hashtbl.replace m.cache key r;
+        r
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Don't-care minimization *)
+
+let rec apply_restrict m f c =
+  if c = true_id || is_const f then f
+  else if c = false_id then f
+  else begin
+    let key = (op_restrict, f, c, 0) in
+    match Hashtbl.find_opt m.cache key with
+    | Some r -> r
+    | None ->
+        let lf = level m f and lc = level m c in
+        let r =
+          if lc < lf then
+            (* variable absent from f: merge the two care branches *)
+            apply_restrict m f (apply_or m m.lo_arr.(c) m.hi_arr.(c))
+          else begin
+            let v = m.var_arr.(f) in
+            let c0, c1 = cofactors m c v in
+            if c0 = false_id then apply_restrict m m.hi_arr.(f) c1
+            else if c1 = false_id then apply_restrict m m.lo_arr.(f) c0
+            else
+              mk m v
+                (apply_restrict m m.lo_arr.(f) c0)
+                (apply_restrict m m.hi_arr.(f) c1)
+          end
+        in
+        Hashtbl.replace m.cache key r;
+        r
+  end
+
+let rec apply_constrain m f c =
+  if c = true_id || is_const f then f
+  else if c = false_id then false_id
+  else if f = c then true_id
+  else begin
+    let key = (op_constrain, f, c, 0) in
+    match Hashtbl.find_opt m.cache key with
+    | Some r -> r
+    | None ->
+        let lf = level m f and lc = level m c in
+        let lmin = min lf lc in
+        let v = m.invperm.(lmin) in
+        let f0, f1 = cofactors m f v and c0, c1 = cofactors m c v in
+        let r =
+          if c0 = false_id then apply_constrain m f1 c1
+          else if c1 = false_id then apply_constrain m f0 c0
+          else mk m v (apply_constrain m f0 c0) (apply_constrain m f1 c1)
+        in
+        Hashtbl.replace m.cache key r;
+        r
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Structural queries *)
+
+let support m f =
+  let seen = Hashtbl.create 64 in
+  let vars = Hashtbl.create 16 in
+  let rec go u =
+    if (not (is_const u)) && not (Hashtbl.mem seen u) then begin
+      Hashtbl.add seen u ();
+      Hashtbl.replace vars m.var_arr.(u) ();
+      go m.lo_arr.(u);
+      go m.hi_arr.(u)
+    end
+  in
+  go f;
+  let l = Hashtbl.fold (fun v () acc -> v :: acc) vars [] in
+  List.sort compare l
+
+let dag_size m f =
+  let seen = Hashtbl.create 64 in
+  let rec go u acc =
+    if is_const u || Hashtbl.mem seen u then acc
+    else begin
+      Hashtbl.add seen u ();
+      go m.hi_arr.(u) (go m.lo_arr.(u) (acc + 1))
+    end
+  in
+  go f 0
+
+(* Number of satisfying assignments over [n] variables. *)
+let satcount m f n =
+  Hashtbl.reset m.satcache;
+  let rec go u =
+    if u = false_id then 0.0
+    else if u = true_id then 1.0
+    else
+      match Hashtbl.find_opt m.satcache u with
+      | Some c -> c
+      | None ->
+          let l = m.lo_arr.(u) and h = m.hi_arr.(u) in
+          let lev_u = level m u in
+          let gap c =
+            let lev_c = if is_const c then n else level m c in
+            Float.of_int (lev_c - lev_u - 1)
+          in
+          let c = (go l *. (2.0 ** gap l)) +. (go h *. (2.0 ** gap h)) in
+          Hashtbl.replace m.satcache u c;
+          c
+  in
+  if is_const f then if f = true_id then 2.0 ** Float.of_int n else 0.0
+  else go f *. (2.0 ** Float.of_int (level m f))
+
+(* Number of satisfying assignments over exactly the variables in [vars]
+   (the support of [f] must be a subset).  Levels outside [vars] contribute
+   no factor. *)
+let satcount_vars m f vars =
+  let levels = List.sort compare (List.map (fun v -> m.perm.(v)) vars) in
+  let k = List.length levels in
+  (* rank.(i): number of counted levels strictly below level i; plus a
+     sentinel giving k for the terminal level. *)
+  let rank =
+    let tbl = Hashtbl.create (2 * k) in
+    List.iteri (fun i l -> Hashtbl.replace tbl l i) levels;
+    fun l ->
+      if l = terminal_level then k
+      else
+        match Hashtbl.find_opt tbl l with
+        | Some i -> i
+        | None ->
+            (* level not counted: rank = number of counted levels below *)
+            let rec count i = function
+              | [] -> i
+              | x :: rest -> if x < l then count (i + 1) rest else i
+            in
+            count 0 levels
+  in
+  let memo = Hashtbl.create 64 in
+  let rec go u =
+    if u = false_id then 0.0
+    else if u = true_id then 1.0
+    else
+      match Hashtbl.find_opt memo u with
+      | Some c -> c
+      | None ->
+          let lu = level m u in
+          let branch c =
+            let skipped = rank (level m c) - rank lu - 1 in
+            go c *. (2.0 ** Float.of_int skipped)
+          in
+          let c = branch m.lo_arr.(u) +. branch m.hi_arr.(u) in
+          Hashtbl.replace memo u c;
+          c
+  in
+  if f = false_id then 0.0
+  else if f = true_id then 2.0 ** Float.of_int k
+  else go f *. (2.0 ** Float.of_int (rank (level m f)))
+
+(* One satisfying path as [(var, value)] pairs; raises [Not_found] on 0. *)
+let pick_cube m f =
+  if f = false_id then raise Not_found;
+  let rec go u acc =
+    if u = true_id then List.rev acc
+    else begin
+      let v = m.var_arr.(u) in
+      if m.lo_arr.(u) <> false_id then go m.lo_arr.(u) ((v, false) :: acc)
+      else go m.hi_arr.(u) ((v, true) :: acc)
+    end
+  in
+  go f []
+
+(* Iterate all satisfying cubes (paths to 1); values: Some b or None (free). *)
+let iter_cubes m f ~nvars:(_ : int) k =
+  let assign = Hashtbl.create 16 in
+  let rec go u =
+    if u = true_id then
+      k (fun v -> Hashtbl.find_opt assign v)
+    else if u <> false_id then begin
+      let v = m.var_arr.(u) in
+      Hashtbl.replace assign v false;
+      go m.lo_arr.(u);
+      Hashtbl.replace assign v true;
+      go m.hi_arr.(u);
+      Hashtbl.remove assign v
+    end
+  in
+  go f
+
+(* Evaluate under a total assignment given as a function var -> bool. *)
+let rec eval m f env =
+  if f = true_id then true
+  else if f = false_id then false
+  else if env m.var_arr.(f) then eval m m.hi_arr.(f) env
+  else eval m m.lo_arr.(f) env
+
+(* ------------------------------------------------------------------ *)
+(* Consistency checking (used by the test suite) *)
+
+let check m =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  for id = 2 to m.used - 1 do
+    let v = m.var_arr.(id) in
+    if v >= 0 then begin
+      let l = m.lo_arr.(id) and h = m.hi_arr.(id) in
+      if l = h then err "node %d: lo = hi" id;
+      if level m id >= level m l then err "node %d: lo level order" id;
+      if level m id >= level m h then err "node %d: hi level order" id;
+      (match Hashtbl.find_opt m.tables.(v) (l, h) with
+      | Some id' when id' = id -> ()
+      | Some id' -> err "node %d: duplicate of %d in unique table" id id'
+      | None -> err "node %d: missing from unique table" id)
+    end
+  done;
+  (* Internal-parent counts must never exceed stored reference counts. *)
+  let parents = Hashtbl.create 256 in
+  let bump u =
+    if not (is_const u) then
+      Hashtbl.replace parents u (1 + Option.value ~default:0 (Hashtbl.find_opt parents u))
+  in
+  for id = 2 to m.used - 1 do
+    if m.var_arr.(id) >= 0 then begin
+      bump m.lo_arr.(id);
+      bump m.hi_arr.(id)
+    end
+  done;
+  Hashtbl.iter
+    (fun u p ->
+      if m.rc_arr.(u) < p then err "node %d: rc %d < parents %d" u m.rc_arr.(u) p)
+    parents;
+  List.rev !errors
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic reordering: adjacent-level swap + sifting *)
+
+(* Remove dead node [id] during a swap; children may cascade. *)
+let rec purge m id =
+  if m.var_arr.(id) >= 0 && m.rc_arr.(id) = 0 then begin
+    let v = m.var_arr.(id) and l = m.lo_arr.(id) and h = m.hi_arr.(id) in
+    Hashtbl.remove m.tables.(v) (l, h);
+    m.var_arr.(id) <- -1;
+    m.lo_arr.(id) <- m.free_list;
+    m.free_list <- id;
+    m.nodecount <- m.nodecount - 1;
+    m.deadcount <- m.deadcount - 1;
+    let release c =
+      if not (is_const c) then begin
+        decr_ref m c;
+        if m.rc_arr.(c) = 0 then purge m c
+      end
+    in
+    release l;
+    release h
+  end
+
+(* Swap the variables at levels [l] and [l+1]. Caches must be clear. *)
+let swap_levels m l =
+  let x = m.invperm.(l) and y = m.invperm.(l + 1) in
+  let xs = Hashtbl.fold (fun _ id acc -> id :: acc) m.tables.(x) [] in
+  let rewrite id =
+    if m.var_arr.(id) = x then begin
+      if m.rc_arr.(id) = 0 then purge m id
+      else begin
+        let f0 = m.lo_arr.(id) and f1 = m.hi_arr.(id) in
+        let dep0 = (not (is_const f0)) && m.var_arr.(f0) = y in
+        let dep1 = (not (is_const f1)) && m.var_arr.(f1) = y in
+        if dep0 || dep1 then begin
+          let f00 = if dep0 then m.lo_arr.(f0) else f0 in
+          let f01 = if dep0 then m.hi_arr.(f0) else f0 in
+          let f10 = if dep1 then m.lo_arr.(f1) else f1 in
+          let f11 = if dep1 then m.hi_arr.(f1) else f1 in
+          (* New structure: y ? (x ? f11 : f01) : (x ? f10 : f00) *)
+          let c0 = mk m x f00 f10 in
+          incr_ref m c0;
+          let c1 = mk m x f01 f11 in
+          incr_ref m c1;
+          Hashtbl.remove m.tables.(x) (f0, f1);
+          decr_ref m f0;
+          if m.rc_arr.(f0) = 0 then purge m f0;
+          decr_ref m f1;
+          if (not (is_const f1)) && m.var_arr.(f1) >= 0 && m.rc_arr.(f1) = 0
+          then purge m f1;
+          m.var_arr.(id) <- y;
+          m.lo_arr.(id) <- c0;
+          m.hi_arr.(id) <- c1;
+          (* rc transfer: the two incr_ref above are now the node's own
+             references to its children; drop the temporary protection. *)
+          (match Hashtbl.find_opt m.tables.(y) (c0, c1) with
+          | Some other when other <> id ->
+              (* Cannot happen for reduced diagrams: two distinct nodes
+                 would denote the same function. *)
+              invalid_arg
+                (Printf.sprintf "swap_levels: collision %d/%d" id other)
+          | _ -> Hashtbl.replace m.tables.(y) (c0, c1) id)
+        end
+      end
+    end
+  in
+  List.iter rewrite xs;
+  m.perm.(x) <- l + 1;
+  m.perm.(y) <- l;
+  m.invperm.(l) <- y;
+  m.invperm.(l + 1) <- x
+
+(* Sift a single variable to its locally optimal level. *)
+let sift_var m v =
+  let n = m.nvars in
+  if n > 1 then begin
+    let best_size = ref (node_count m) in
+    let best_lev = ref m.perm.(v) in
+    let move_to target =
+      while m.perm.(v) < target do
+        swap_levels m m.perm.(v)
+      done;
+      while m.perm.(v) > target do
+        swap_levels m (m.perm.(v) - 1)
+      done
+    in
+    let start = m.perm.(v) in
+    (* Explore toward the closer end first, then the other. *)
+    let down_first = start >= n / 2 in
+    let explore_down () =
+      while m.perm.(v) < n - 1 do
+        swap_levels m m.perm.(v);
+        let s = node_count m in
+        if s < !best_size then begin
+          best_size := s;
+          best_lev := m.perm.(v)
+        end
+      done
+    in
+    let explore_up () =
+      while m.perm.(v) > 0 do
+        swap_levels m (m.perm.(v) - 1);
+        let s = node_count m in
+        if s < !best_size then begin
+          best_size := s;
+          best_lev := m.perm.(v)
+        end
+      done
+    in
+    if down_first then begin
+      explore_down ();
+      explore_up ()
+    end
+    else begin
+      explore_up ();
+      explore_down ()
+    end;
+    move_to !best_lev
+  end
+
+(* Sift the [max_vars] largest variables (all by default). *)
+let sift ?max_vars m =
+  clear_caches m;
+  ignore (collect m);
+  let order =
+    List.init m.nvars (fun v -> (Hashtbl.length m.tables.(v), v))
+    |> List.sort (fun (a, _) (b, _) -> compare b a)
+    |> List.map snd
+  in
+  let order =
+    match max_vars with
+    | None -> order
+    | Some k -> List.filteri (fun i _ -> i < k) order
+  in
+  List.iter (fun v -> sift_var m v) order;
+  m.reorder_runs <- m.reorder_runs + 1;
+  clear_caches m
+
+let set_auto_reorder m b = m.auto_reorder <- b
+let set_reorder_threshold m n = m.reorder_threshold <- max 16 n
+
+(* Hook called by the handle layer at operation entry. *)
+let entry_hook m =
+  maybe_collect m;
+  if m.auto_reorder && node_count m > m.reorder_threshold then begin
+    sift m;
+    m.reorder_threshold <- max (2 * node_count m) m.reorder_threshold
+  end
+
+type stats = {
+  st_nodes : int;
+  st_dead : int;
+  st_vars : int;
+  st_gc_runs : int;
+  st_reorder_runs : int;
+  st_cache_entries : int;
+}
+
+let stats m =
+  {
+    st_nodes = node_count m;
+    st_dead = m.deadcount;
+    st_vars = m.nvars;
+    st_gc_runs = m.gc_runs;
+    st_reorder_runs = m.reorder_runs;
+    st_cache_entries = Hashtbl.length m.cache;
+  }
+
+let order m = Array.to_list (Array.sub m.invperm 0 m.nvars)

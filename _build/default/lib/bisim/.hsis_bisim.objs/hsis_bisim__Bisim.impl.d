@@ -1,0 +1,1 @@
+lib/bisim/bisim.ml: Bdd Domain Enc Fun Hsis_bdd Hsis_blifmv Hsis_fsm Hsis_mv List Net Printf Sym Trans

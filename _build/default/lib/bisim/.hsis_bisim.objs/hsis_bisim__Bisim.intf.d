@@ -1,0 +1,1 @@
+lib/bisim/bisim.mli: Bdd Hsis_bdd Hsis_fsm Trans

@@ -1,0 +1,1 @@
+lib/bisim/dontcare.ml: Bdd Hsis_bdd Hsis_fsm Trans

@@ -1,0 +1,1 @@
+lib/bisim/simrel.ml: Bdd Domain Enc Fun Hsis_bdd Hsis_blifmv Hsis_fsm Hsis_mv List Net Sym Trans

@@ -1,0 +1,1 @@
+lib/bisim/simrel.mli: Bdd Hsis_bdd Hsis_blifmv Net

@@ -1,0 +1,112 @@
+open Hsis_bdd
+open Hsis_mv
+open Hsis_blifmv
+open Hsis_fsm
+
+type result = {
+  relation : Bdd.t;
+  classes : int;
+  states : float;
+  iterations : int;
+  to_shadow : Bdd.varmap;
+  x2_cube : Bdd.t;
+}
+
+let compute ?obs ?(class_cap = 4096) trans ~reach =
+  let sym = Trans.sym trans in
+  let man = Trans.man trans in
+  let net = Sym.net sym in
+  let state_sigs = Sym.state_signals sym in
+  let pres_bits =
+    List.concat_map (fun s -> Enc.var_indices (Sym.pres sym s)) state_sigs
+  in
+  let next_bits =
+    List.concat_map (fun s -> Enc.var_indices (Sym.next sym s)) state_sigs
+  in
+  (* shadow copies of both spaces *)
+  let shadow v = Bdd.var_index (Bdd.new_var ~name:(Printf.sprintf "~%d" v) man) in
+  let x2_bits = List.map shadow pres_bits in
+  let y2_bits = List.map shadow next_bits in
+  let zip = List.combine in
+  let map_t2 =
+    Bdd.make_varmap man (zip pres_bits x2_bits @ zip next_bits y2_bits)
+  in
+  let map_e_next =
+    Bdd.make_varmap man (zip pres_bits next_bits @ zip x2_bits y2_bits)
+  in
+  let map_x_to_x2 = Bdd.make_varmap man (zip pres_bits x2_bits) in
+  let map_x2_to_x = Bdd.make_varmap man (zip x2_bits pres_bits) in
+  let cube_of bits = Bdd.cube man (List.map (Bdd.ithvar man) bits) in
+  let y_cube = cube_of next_bits in
+  let y2_cube = cube_of y2_bits in
+  let x1_cube = cube_of pres_bits in
+  let x2_cube = cube_of x2_bits in
+  let t = Trans.monolithic trans in
+  let t2 = Bdd.permute map_t2 t in
+  let reach2 = Bdd.permute map_x_to_x2 reach in
+  (* observation equivalence *)
+  let observed =
+    match obs with
+    | Some o -> o
+    | None -> if net.Net.outputs <> [] then net.Net.outputs else state_sigs
+  in
+  let e0 =
+    List.fold_left
+      (fun acc o ->
+        let dom = Net.dom net o in
+        let per_value acc v =
+          let s =
+            Bdd.dand reach
+              (Trans.abstract_to_states trans
+                 (Enc.value_bdd (Sym.pres sym o) v))
+          in
+          let s2 = Bdd.permute map_x_to_x2 s in
+          Bdd.dand acc (Bdd.eqv s s2)
+        in
+        List.fold_left per_value acc (List.init (Domain.size dom) Fun.id))
+      (Bdd.dand reach reach2)
+      observed
+  in
+  (* greatest fixpoint of mutual simulation *)
+  let rec fix e k =
+    let e_next = Bdd.permute map_e_next e in
+    let inner1 = Bdd.and_exists ~cube:y2_cube t2 e_next in
+    let match1 =
+      Bdd.dnot (Bdd.exists ~cube:y_cube (Bdd.dand t (Bdd.dnot inner1)))
+    in
+    let inner2 = Bdd.and_exists ~cube:y_cube t e_next in
+    let match2 =
+      Bdd.dnot (Bdd.exists ~cube:y2_cube (Bdd.dand t2 (Bdd.dnot inner2)))
+    in
+    let e' = Bdd.dand e (Bdd.dand match1 match2) in
+    if Bdd.equal e e' then (e, k) else fix e' (k + 1)
+  in
+  let relation, iterations = fix e0 1 in
+  (* count classes by peeling representatives *)
+  let classes =
+    let rec count rem n =
+      if Bdd.is_false rem then n
+      else if n >= class_cap then -1
+      else begin
+        let assignment = Bdd.pick_state rem ~over:pres_bits in
+        let x0 =
+          Bdd.conj man
+            (List.map
+               (fun (v, b) ->
+                 let lit = Bdd.ithvar man v in
+                 if b then lit else Bdd.dnot lit)
+               assignment)
+        in
+        let cls_x2 = Bdd.and_exists ~cube:x1_cube relation x0 in
+        let cls = Bdd.permute map_x2_to_x cls_x2 in
+        count (Bdd.dand rem (Bdd.dnot cls)) (n + 1)
+      end
+    in
+    count reach 0
+  in
+  let states = Bdd.satcount_vars reach ~vars:pres_bits in
+  { relation; classes; states; iterations; to_shadow = map_x_to_x2; x2_cube }
+
+let equivalent_to _trans result set =
+  let set2 = Bdd.permute result.to_shadow set in
+  Bdd.exists ~cube:result.x2_cube (Bdd.dand result.relation set2)

@@ -1,0 +1,26 @@
+open Hsis_bdd
+open Hsis_fsm
+
+(** Symbolic bisimulation for state minimization (paper Sec. 2 item 3):
+    the greatest relation E(x1, x2) over reachable states such that related
+    states agree on the observed signals and every move of one can be
+    matched by the other into related states. *)
+
+type result = {
+  relation : Bdd.t;  (** E over present vars (x1) and the shadow copy (x2) *)
+  classes : int;  (** number of equivalence classes (-1 if above the cap) *)
+  states : float;  (** reachable states, for the reduction ratio *)
+  iterations : int;
+  to_shadow : Bdd.varmap;  (** present vars -> shadow copy *)
+  x2_cube : Bdd.t;  (** quantification cube of the shadow variables *)
+}
+
+val compute :
+  ?obs:int list -> ?class_cap:int -> Trans.t -> reach:Bdd.t -> result
+(** [obs] defaults to the network's outputs (falling back to all latch
+    outputs when the network declares none).  Shadow variables for the
+    second state copy are allocated in the transition structure's manager
+    on first use. *)
+
+val equivalent_to : Trans.t -> result -> Bdd.t -> Bdd.t
+(** All reachable states bisimilar to some state of the given set. *)

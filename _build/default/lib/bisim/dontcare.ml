@@ -1,0 +1,14 @@
+open Hsis_bdd
+open Hsis_fsm
+
+type report = { before : int; after : int; minimized : Trans.t }
+
+let with_care trans ~care =
+  let before = Trans.parts_size trans in
+  let minimized = Trans.map_parts trans (fun p -> Bdd.restrict p ~care) in
+  { before; after = Trans.parts_size minimized; minimized }
+
+let with_reachable trans ~reach = with_care trans ~care:reach
+
+let image_equal t1 t2 ~from_ =
+  Bdd.equal (Trans.image t1 from_) (Trans.image t2 from_)

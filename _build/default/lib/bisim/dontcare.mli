@@ -1,0 +1,24 @@
+open Hsis_bdd
+open Hsis_fsm
+
+(** Don't-care based BDD minimization (paper Sec. 2 item 3): shrink the
+    relation parts of a transition structure using reachability (and
+    optionally bisimulation-class) don't cares via the restrict
+    operator. *)
+
+type report = {
+  before : int;  (** total dag nodes of the parts before minimization *)
+  after : int;
+  minimized : Trans.t;
+}
+
+val with_reachable : Trans.t -> reach:Bdd.t -> report
+(** Restrict every part with the reachable set as the care set: behavior on
+    unreachable states is free. *)
+
+val with_care : Trans.t -> care:Bdd.t -> report
+(** Restrict with an arbitrary care set over present variables. *)
+
+val image_equal : Trans.t -> Trans.t -> from_:Bdd.t -> bool
+(** Do the two structures compute the same image of a state set?  Used to
+    validate that minimization preserved behavior on the care set. *)

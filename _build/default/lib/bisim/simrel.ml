@@ -1,0 +1,94 @@
+open Hsis_bdd
+open Hsis_mv
+open Hsis_blifmv
+open Hsis_fsm
+
+type result = {
+  holds : bool;
+  relation : Bdd.t;
+  iterations : int;
+  uncovered_init : Bdd.t;
+}
+
+let refines ?obs ~impl ~spec () =
+  let man = Bdd.new_man () in
+  let sym_i = Sym.make man impl in
+  let sym_s = Sym.make man spec in
+  let trans_i = Trans.build sym_i in
+  let trans_s = Trans.build sym_s in
+  let obs =
+    match obs with
+    | Some o -> o
+    | None ->
+        List.map (fun s -> (Net.signal spec s).Net.s_name) spec.Net.outputs
+  in
+  if obs = [] then invalid_arg "Simrel.refines: no observed signals";
+  let lookup net name =
+    match Net.find_signal net name with
+    | Some s -> s
+    | None -> invalid_arg ("Simrel.refines: no signal " ^ name ^ " in a model")
+  in
+  (* capability containment on each observed value *)
+  let obs_ok =
+    List.fold_left
+      (fun acc name ->
+        let si = lookup impl name and ss = lookup spec name in
+        let di = Net.dom impl si and ds = Net.dom spec ss in
+        if Domain.size di <> Domain.size ds then
+          invalid_arg ("Simrel.refines: domain mismatch on " ^ name);
+        let per_value acc v =
+          let can_i =
+            Trans.abstract_to_states trans_i
+              (Enc.value_bdd (Sym.pres sym_i si) v)
+          in
+          let can_s =
+            Trans.abstract_to_states trans_s
+              (Enc.value_bdd (Sym.pres sym_s ss) v)
+          in
+          Bdd.dand acc (Bdd.imp can_i can_s)
+        in
+        List.fold_left per_value acc (List.init (Domain.size di) Fun.id))
+      (Bdd.dtrue man) obs
+  in
+  (* restrict to reachable impl states (simulation need only cover them) *)
+  let reach_i =
+    let rec go reached frontier =
+      if Bdd.is_false frontier then reached
+      else begin
+        let next =
+          Bdd.dand (Trans.image trans_i frontier) (Bdd.dnot reached)
+        in
+        go (Bdd.dor reached next) next
+      end
+    in
+    let init = Trans.initial trans_i in
+    go init init
+  in
+  let s0 =
+    Bdd.dand obs_ok (Bdd.dand reach_i (Sym.domain_ok sym_s))
+  in
+  let to_next =
+    Bdd.make_varmap man (Sym.var_pairs sym_i @ Sym.var_pairs sym_s)
+  in
+  let y_i_cube = Sym.next_cube sym_i in
+  let y_s_cube = Sym.next_cube sym_s in
+  let t_i = Trans.monolithic trans_i in
+  let t_s = Trans.monolithic trans_s in
+  let rec gfp s k =
+    let s_next = Bdd.permute to_next s in
+    (* spec can match: exists y_s with a spec transition into relation *)
+    let inner = Bdd.and_exists ~cube:y_s_cube t_s s_next in
+    (* for all impl moves *)
+    let matched =
+      Bdd.dnot (Bdd.exists ~cube:y_i_cube (Bdd.dand t_i (Bdd.dnot inner)))
+    in
+    let s' = Bdd.dand s matched in
+    if Bdd.equal s s' then (s, k) else gfp s' (k + 1)
+  in
+  let relation, iterations = gfp s0 1 in
+  let x_s_cube = Sym.state_cube sym_s in
+  let covered =
+    Bdd.exists ~cube:x_s_cube (Bdd.dand (Trans.initial trans_s) relation)
+  in
+  let uncovered_init = Bdd.dand (Trans.initial trans_i) (Bdd.dnot covered) in
+  { holds = Bdd.is_false uncovered_init; relation; iterations; uncovered_init }

@@ -1,0 +1,31 @@
+open Hsis_bdd
+open Hsis_blifmv
+
+(** Hierarchical verification support (paper Sec. 8 item 3): check that a
+    lower-level design refines a higher-level one, so properties proved on
+    the abstraction need not be re-evaluated.
+
+    Refinement here is the standard simulation preorder over observed
+    signals: every reachable implementation state is related to a
+    specification state that can produce the same observations, every
+    implementation move is matched by a specification move, and every
+    implementation initial state is covered by a specification initial
+    state. *)
+
+type result = {
+  holds : bool;
+  relation : Bdd.t;
+      (** the greatest simulation (over the combined variable spaces) *)
+  iterations : int;
+  uncovered_init : Bdd.t;
+      (** implementation initial states no spec initial state simulates
+          (empty when [holds]) *)
+}
+
+val refines : ?obs:string list -> impl:Net.t -> spec:Net.t -> unit -> result
+(** [obs] defaults to the specification's declared outputs; each observed
+    name must exist in both networks with equal-size domains.  Both
+    networks are built into one fresh BDD manager.  Observation matching
+    is capability containment: any observed valuation the implementation
+    can produce in a state, the related specification state can produce
+    too.  Raises [Invalid_argument] on missing or mismatched observables. *)

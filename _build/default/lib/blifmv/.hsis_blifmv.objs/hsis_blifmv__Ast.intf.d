@@ -1,0 +1,1 @@
+lib/blifmv/ast.mli:

@@ -1,0 +1,1 @@
+lib/blifmv/check.ml: Array Domain Fun Hsis_mv List Net

@@ -1,0 +1,1 @@
+lib/blifmv/check.mli: Net

@@ -1,0 +1,1 @@
+lib/blifmv/flatten.ml: Ast Format Hashtbl List Option

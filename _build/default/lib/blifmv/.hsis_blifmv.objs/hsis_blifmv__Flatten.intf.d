@@ -1,0 +1,1 @@
+lib/blifmv/flatten.mli: Ast

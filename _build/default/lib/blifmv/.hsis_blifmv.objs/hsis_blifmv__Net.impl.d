@@ -1,0 +1,1 @@
+lib/blifmv/net.ml: Array Ast Domain Flatten Format Fun Hashtbl Hsis_mv List Option Timing

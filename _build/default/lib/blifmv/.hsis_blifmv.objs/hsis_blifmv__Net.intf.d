@@ -1,0 +1,1 @@
+lib/blifmv/net.mli: Ast Domain Format Hsis_mv

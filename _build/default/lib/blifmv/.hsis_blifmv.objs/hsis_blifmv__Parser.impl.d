@@ -1,0 +1,1 @@
+lib/blifmv/parser.ml: Ast Format Lexer List String

@@ -1,0 +1,1 @@
+lib/blifmv/parser.mli: Ast

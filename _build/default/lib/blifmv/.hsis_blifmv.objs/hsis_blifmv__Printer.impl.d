@@ -1,0 +1,1 @@
+lib/blifmv/printer.ml: Ast Buffer List Printf String

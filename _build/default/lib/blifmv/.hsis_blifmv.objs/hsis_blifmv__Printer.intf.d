@@ -1,0 +1,1 @@
+lib/blifmv/printer.mli: Ast

@@ -1,0 +1,1 @@
+lib/blifmv/stree.ml: Ast List Printf

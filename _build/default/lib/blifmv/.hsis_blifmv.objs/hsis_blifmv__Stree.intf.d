@@ -1,0 +1,1 @@
+lib/blifmv/stree.mli: Ast

@@ -1,0 +1,1 @@
+lib/blifmv/timing.ml: Ast Format List Printf

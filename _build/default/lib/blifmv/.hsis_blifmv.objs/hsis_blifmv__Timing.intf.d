@@ -1,0 +1,1 @@
+lib/blifmv/timing.mli: Ast

@@ -1,0 +1,39 @@
+type entry =
+  | Any
+  | Val of string
+  | Set of string list
+  | Not of string
+  | Eq of string
+
+type row = { r_inputs : entry list; r_outputs : entry list }
+
+type table = {
+  t_inputs : string list;
+  t_outputs : string list;
+  t_rows : row list;
+  t_default : entry list option;
+}
+
+type var_decl = { v_names : string list; v_size : int; v_values : string list }
+type latch = { l_input : string; l_output : string; l_reset : string list }
+type subckt = { s_model : string; s_inst : string; s_conns : (string * string) list }
+
+type model = {
+  m_name : string;
+  m_inputs : string list;
+  m_outputs : string list;
+  m_mvs : var_decl list;
+  m_tables : table list;
+  m_latches : latch list;
+  m_subckts : subckt list;
+  m_delays : (string * int * int) list;
+}
+
+type t = { models : model list; root : string }
+
+let find_model t name = List.find_opt (fun m -> m.m_name = name) t.models
+
+let line_count src =
+  String.split_on_char '\n' src
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length

@@ -1,0 +1,55 @@
+(** Abstract syntax of BLIF-MV, the multi-valued, non-deterministic
+    extension of BLIF used as HSIS's intermediate format (paper Sec. 4). *)
+
+type entry =
+  | Any  (** ['-']: any value *)
+  | Val of string  (** a single symbolic value *)
+  | Set of string list  (** [{v1,v2,...}]: one of the listed values *)
+  | Not of string  (** [!v]: any value except [v] *)
+  | Eq of string  (** [=x] in an output column: copy input [x] *)
+
+type row = { r_inputs : entry list; r_outputs : entry list }
+
+type table = {
+  t_inputs : string list;
+  t_outputs : string list;
+  t_rows : row list;
+  t_default : entry list option;  (** outputs for uncovered input patterns *)
+}
+
+type var_decl = {
+  v_names : string list;
+  v_size : int;
+  v_values : string list;  (** empty means ["0" .. size-1] *)
+}
+
+type latch = {
+  l_input : string;  (** next-state signal *)
+  l_output : string;  (** present-state signal *)
+  l_reset : string list;  (** one or more initial values (non-determinism) *)
+}
+
+type subckt = {
+  s_model : string;
+  s_inst : string;
+  s_conns : (string * string) list;  (** formal = actual *)
+}
+
+type model = {
+  m_name : string;
+  m_inputs : string list;
+  m_outputs : string list;
+  m_mvs : var_decl list;
+  m_tables : table list;
+  m_latches : latch list;
+  m_subckts : subckt list;
+  m_delays : (string * int * int) list;
+      (** bounded transport delays: (latch output, dmin, dmax) — the timing
+          extension of paper Sec. 8 item 1; see {!Timing}. *)
+}
+
+type t = { models : model list; root : string }
+
+val find_model : t -> string -> model option
+val line_count : string -> int
+(** Number of non-blank lines in a BLIF-MV source text (Table 1 metric). *)

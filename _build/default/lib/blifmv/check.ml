@@ -1,0 +1,112 @@
+open Hsis_mv
+
+let entry_values t tb pos = function
+  | Net.FAny ->
+      let d = (Net.signal t (List.nth tb.Net.ft_inputs pos)).Net.s_dom in
+      List.init (Domain.size d) Fun.id
+  | Net.FSet vs -> vs
+  | Net.FEq _ -> invalid_arg "Check: =x in an input column"
+
+let inputs_overlap t tb (a : Net.frow) (b : Net.frow) =
+  let rec go pos ea eb =
+    match (ea, eb) with
+    | [], [] -> true
+    | x :: xs, y :: ys ->
+        let va = entry_values t tb pos x and vb = entry_values t tb pos y in
+        List.exists (fun v -> List.mem v vb) va && go (pos + 1) xs ys
+    | _, _ -> invalid_arg "Check.inputs_overlap: arity mismatch"
+  in
+  go 0 a.Net.fr_in b.Net.fr_in
+
+(* An output tuple is unique when every entry pins a single value. *)
+let outputs_single (r : Net.frow) =
+  List.for_all
+    (function
+      | Net.FSet [ _ ] | Net.FEq _ -> true
+      | Net.FSet _ | Net.FAny -> false)
+    r.Net.fr_out
+
+let same_outputs (a : Net.frow) (b : Net.frow) = a.Net.fr_out = b.Net.fr_out
+
+let table_deterministic t (tb : Net.ftable) =
+  let rows = tb.Net.ft_rows in
+  List.for_all outputs_single rows
+  && (match tb.Net.ft_default with
+     | None -> true
+     | Some d ->
+         List.for_all
+           (function
+             | Net.FSet [ _ ] | Net.FEq _ -> true
+             | Net.FSet _ | Net.FAny -> false)
+           d)
+  &&
+  let rec pairs = function
+    | [] -> true
+    | r :: rest ->
+        List.for_all
+          (fun r' ->
+            (not (inputs_overlap t tb r r')) || same_outputs r r')
+          rest
+        && pairs rest
+  in
+  pairs rows
+
+(* Completeness: every input pattern matches a row or there is a default.
+   With a default the table is trivially complete; otherwise we check that
+   row input cubes cover the full input space by enumeration (input spaces
+   of individual tables are small in practice). *)
+let table_complete t (tb : Net.ftable) =
+  match tb.Net.ft_default with
+  | Some _ -> true
+  | None ->
+      let dims =
+        List.map (fun s -> Domain.size (Net.signal t s).Net.s_dom) tb.Net.ft_inputs
+      in
+      let space = List.fold_left ( * ) 1 dims in
+      if space > 1 lsl 16 then
+        (* conservatively treat huge tables as incomplete *)
+        false
+      else begin
+        let rec patterns = function
+          | [] -> [ [] ]
+          | d :: rest ->
+              let tails = patterns rest in
+              List.concat_map
+                (fun v -> List.map (fun tl -> v :: tl) tails)
+                (List.init d Fun.id)
+        in
+        List.for_all
+          (fun pat ->
+            let inputs = Array.of_list pat in
+            List.exists
+              (fun r ->
+                List.for_all2
+                  (fun e v -> Net.entry_matches e ~inputs v)
+                  r.Net.fr_in pat)
+              tb.Net.ft_rows)
+          (patterns dims)
+      end
+
+let deterministic t =
+  List.for_all (table_deterministic t) t.Net.tables
+  && List.for_all (fun l -> List.length l.Net.fl_reset = 1) t.Net.latches
+
+let synthesizable t = deterministic t
+
+let nondet_signals t =
+  let from_tables =
+    List.concat_map
+      (fun tb ->
+        if table_deterministic t tb then []
+        else List.map (fun s -> (Net.signal t s).Net.s_name) tb.Net.ft_outputs)
+      t.Net.tables
+  in
+  let from_latches =
+    List.filter_map
+      (fun l ->
+        if List.length l.Net.fl_reset > 1 then
+          Some (Net.signal t l.Net.fl_output).Net.s_name
+        else None)
+      t.Net.latches
+  in
+  List.sort_uniq compare (from_tables @ from_latches)

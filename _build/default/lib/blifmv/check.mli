@@ -1,0 +1,22 @@
+(** Legality and determinism analysis of flattened networks.
+
+    A BLIF-MV description with no non-determinism is exactly synchronous
+    hardware (paper Sec. 4); these checks decide which fragment a network
+    lies in, and validate property automata (which must be deterministic
+    for language containment, Sec. 5.2). *)
+
+val table_deterministic : Net.t -> Net.ftable -> bool
+(** No input pattern admits two distinct output tuples.  Decided by a
+    pairwise row-overlap test, exact for the entry forms we produce. *)
+
+val table_complete : Net.t -> Net.ftable -> bool
+(** Every input pattern admits at least one output tuple. *)
+
+val deterministic : Net.t -> bool
+(** All tables deterministic and all latch resets unique. *)
+
+val synthesizable : Net.t -> bool
+(** Deterministic and closed-under-drivers: the synthesizable fragment. *)
+
+val nondet_signals : Net.t -> string list
+(** Names of signals driven non-deterministically (for diagnostics). *)

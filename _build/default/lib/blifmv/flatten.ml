@@ -1,0 +1,104 @@
+exception Error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* Rename every signal of [model] through [rn] and accumulate its contents
+   (minus subckts, which are expanded recursively). *)
+let rec expand ast ~stack ~prefix ~bind (model : Ast.model) acc =
+  if List.mem model.Ast.m_name stack then
+    err "recursive instantiation of model %s" model.Ast.m_name;
+  let stack = model.Ast.m_name :: stack in
+  let rn name =
+    match Hashtbl.find_opt bind name with
+    | Some actual -> actual
+    | None -> prefix ^ name
+  in
+  let rn_entry = function
+    | (Ast.Any | Ast.Val _ | Ast.Set _ | Ast.Not _) as e -> e
+    | Ast.Eq x -> Ast.Eq (rn x)
+  in
+  let mvs =
+    List.map
+      (fun (d : Ast.var_decl) -> { d with Ast.v_names = List.map rn d.v_names })
+      model.Ast.m_mvs
+  in
+  let tables =
+    List.map
+      (fun (t : Ast.table) ->
+        {
+          Ast.t_inputs = List.map rn t.t_inputs;
+          t_outputs = List.map rn t.t_outputs;
+          t_rows =
+            List.map
+              (fun (r : Ast.row) ->
+                {
+                  Ast.r_inputs = List.map rn_entry r.r_inputs;
+                  r_outputs = List.map rn_entry r.r_outputs;
+                })
+              t.t_rows;
+          t_default = Option.map (List.map rn_entry) t.t_default;
+        })
+      model.Ast.m_tables
+  in
+  let latches =
+    List.map
+      (fun (l : Ast.latch) ->
+        { l with Ast.l_input = rn l.l_input; l_output = rn l.l_output })
+      model.Ast.m_latches
+  in
+  let delays =
+    List.map (fun (out, dmin, dmax) -> (rn out, dmin, dmax)) model.Ast.m_delays
+  in
+  let acc =
+    let mvs0, tables0, latches0, delays0 = acc in
+    (mvs0 @ mvs, tables0 @ tables, latches0 @ latches, delays0 @ delays)
+  in
+  List.fold_left
+    (fun acc (s : Ast.subckt) ->
+      let sub =
+        match Ast.find_model ast s.Ast.s_model with
+        | Some m -> m
+        | None -> err "unknown model %s" s.Ast.s_model
+      in
+      let ports = sub.Ast.m_inputs @ sub.Ast.m_outputs in
+      let bind' = Hashtbl.create 16 in
+      List.iter
+        (fun (formal, actual) ->
+          if not (List.mem formal ports) then
+            err "instance %s: %s is not a port of %s" s.Ast.s_inst formal
+              s.Ast.s_model;
+          if Hashtbl.mem bind' formal then
+            err "instance %s: duplicate connection for %s" s.Ast.s_inst formal;
+          Hashtbl.add bind' formal (rn actual))
+        s.Ast.s_conns;
+      List.iter
+        (fun p ->
+          if not (Hashtbl.mem bind' p) then
+            err "instance %s: port %s of %s left unconnected" s.Ast.s_inst p
+              s.Ast.s_model)
+        ports;
+      expand ast ~stack ~prefix:(prefix ^ s.Ast.s_inst ^ "/") ~bind:bind' sub
+        acc)
+    acc model.Ast.m_subckts
+
+let flatten ?root (ast : Ast.t) =
+  let root_name = Option.value ~default:ast.Ast.root root in
+  let model =
+    match Ast.find_model ast root_name with
+    | Some m -> m
+    | None -> err "unknown root model %s" root_name
+  in
+  let mvs, tables, latches, delays =
+    expand ast ~stack:[] ~prefix:"" ~bind:(Hashtbl.create 1) model
+      ([], [], [], [])
+  in
+  {
+    Ast.m_name = model.Ast.m_name;
+    m_inputs = model.Ast.m_inputs;
+    m_outputs = model.Ast.m_outputs;
+    m_mvs = mvs;
+    m_tables = tables;
+    m_latches = latches;
+    m_subckts = [];
+    m_delays = delays;
+  }

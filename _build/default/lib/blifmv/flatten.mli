@@ -1,0 +1,9 @@
+(** Hierarchy elaboration: instantiate every [.subckt] recursively, producing
+    a single flat model whose internal signals are prefixed by instance path
+    (e.g. [cpu1/alu/carry]). *)
+
+exception Error of string
+
+val flatten : ?root:string -> Ast.t -> Ast.model
+(** Raises {!Error} on unknown models, recursive instantiation, unbound or
+    duplicate connections. *)

@@ -1,0 +1,66 @@
+type line = { num : int; tokens : string list }
+
+exception Error of int * string
+
+let strip_comment s =
+  match String.index_opt s '#' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+(* Split on whitespace, keeping brace groups like [{a,b}] intact.  Spaces
+   are not allowed inside braces; a dangling brace is an error. *)
+let tokenize num s =
+  let toks = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      toks := Buffer.contents buf :: !toks;
+      Buffer.clear buf
+    end
+  in
+  let depth = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | '\r' ->
+          if !depth > 0 then raise (Error (num, "whitespace inside braces"));
+          flush ()
+      | '{' | '(' ->
+          incr depth;
+          Buffer.add_char buf '{'
+      | '}' | ')' ->
+          decr depth;
+          if !depth < 0 then raise (Error (num, "unbalanced brace"));
+          Buffer.add_char buf '}'
+      | c -> Buffer.add_char buf c)
+    s;
+  if !depth <> 0 then raise (Error (num, "unbalanced brace"));
+  flush ();
+  List.rev !toks
+
+let logical_lines src =
+  let raw = String.split_on_char '\n' src in
+  let rec go num pending pending_start acc = function
+    | [] ->
+        if pending <> "" then raise (Error (pending_start, "dangling continuation"))
+        else List.rev acc
+    | l :: rest ->
+        let l = strip_comment l in
+        let trimmed = String.trim l in
+        let continued =
+          String.length trimmed > 0 && trimmed.[String.length trimmed - 1] = '\\'
+        in
+        let body =
+          if continued then String.sub trimmed 0 (String.length trimmed - 1)
+          else trimmed
+        in
+        let start = if pending = "" then num else pending_start in
+        let joined = if pending = "" then body else pending ^ " " ^ body in
+        if continued then go (num + 1) joined start acc rest
+        else begin
+          let tokens = tokenize start joined in
+          let acc = if tokens = [] then acc else { num = start; tokens } :: acc in
+          go (num + 1) "" 0 acc rest
+        end
+  in
+  go 1 "" 0 [] raw

@@ -1,0 +1,10 @@
+(** Line-level tokenizer for BLIF-MV: strips ['#'] comments, joins
+    backslash-continued lines, and splits each logical line into tokens. *)
+
+type line = { num : int; tokens : string list }
+
+exception Error of int * string
+(** Line number and message. *)
+
+val logical_lines : string -> line list
+(** Non-empty logical lines of a source text, in order. *)

@@ -1,0 +1,290 @@
+open Hsis_mv
+
+type fentry = FAny | FSet of int list | FEq of int
+type frow = { fr_in : fentry list; fr_out : fentry list }
+
+type ftable = {
+  ft_inputs : int list;
+  ft_outputs : int list;
+  ft_rows : frow list;
+  ft_default : fentry list option;
+}
+
+type flatch = { fl_input : int; fl_output : int; fl_reset : int list }
+type signal = { s_id : int; s_name : string; s_dom : Domain.t }
+
+type t = {
+  name : string;
+  signals : signal array;
+  inputs : int list;
+  outputs : int list;
+  tables : ftable list;
+  latches : flatch list;
+}
+
+exception Error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let signal t id = t.signals.(id)
+
+let find_signal t name =
+  let n = Array.length t.signals in
+  let rec go i =
+    if i >= n then None
+    else if t.signals.(i).s_name = name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let dom t id = t.signals.(id).s_dom
+let num_signals t = Array.length t.signals
+let state_signals t = List.map (fun l -> l.fl_output) t.latches
+let is_closed t = t.inputs = []
+
+(* ------------------------------------------------------------------ *)
+(* Resolution of a flat model *)
+
+let of_model (m : Ast.model) =
+  if m.Ast.m_subckts <> [] then err "of_model: model %s not flat" m.Ast.m_name;
+  (* compile away any timing annotations first *)
+  let m = Timing.expand m in
+  (* Domains from .mv declarations; duplicates must agree. *)
+  let doms = Hashtbl.create 64 in
+  List.iter
+    (fun (d : Ast.var_decl) ->
+      let domain name =
+        if d.Ast.v_values = [] then Domain.of_size name d.Ast.v_size
+        else Domain.make name (Array.of_list d.Ast.v_values)
+      in
+      List.iter
+        (fun name ->
+          let nd = domain name in
+          match Hashtbl.find_opt doms name with
+          | Some old when not (Domain.equal old nd) ->
+              err "conflicting .mv declarations for %s" name
+          | _ -> Hashtbl.replace doms name nd)
+        d.Ast.v_names)
+    m.Ast.m_mvs;
+  (* Signal ids in first-mention order. *)
+  let ids = Hashtbl.create 64 in
+  let order = ref [] in
+  let intern name =
+    match Hashtbl.find_opt ids name with
+    | Some id -> id
+    | None ->
+        let id = Hashtbl.length ids in
+        Hashtbl.add ids name id;
+        order := name :: !order;
+        id
+  in
+  List.iter (fun n -> ignore (intern n)) m.Ast.m_inputs;
+  List.iter
+    (fun (l : Ast.latch) ->
+      ignore (intern l.Ast.l_output);
+      ignore (intern l.Ast.l_input))
+    m.Ast.m_latches;
+  List.iter
+    (fun (t : Ast.table) ->
+      List.iter (fun n -> ignore (intern n)) t.Ast.t_inputs;
+      List.iter (fun n -> ignore (intern n)) t.Ast.t_outputs)
+    m.Ast.m_tables;
+  List.iter (fun n -> ignore (intern n)) m.Ast.m_outputs;
+  let names = Array.of_list (List.rev !order) in
+  let signals =
+    Array.mapi
+      (fun id name ->
+        let dom =
+          match Hashtbl.find_opt doms name with
+          | Some d -> d
+          | None -> Domain.make name [| "0"; "1" |]
+        in
+        { s_id = id; s_name = name; s_dom = dom })
+      names
+  in
+  let sig_of name =
+    match Hashtbl.find_opt ids name with
+    | Some id -> id
+    | None -> err "undeclared signal %s" name
+  in
+  let value_index name v =
+    let d = signals.(sig_of name).s_dom in
+    match Domain.index_of d v with
+    | Some i -> i
+    | None ->
+        err "signal %s: value %s not in domain %s" name v
+          (Format.asprintf "%a" Domain.pp d)
+  in
+  let all_values name =
+    List.init (Domain.size signals.(sig_of name).s_dom) Fun.id
+  in
+  let convert_entry ~table_inputs ~is_output column_signal = function
+    | Ast.Any -> FAny
+    | Ast.Val v -> FSet [ value_index column_signal v ]
+    | Ast.Set vs ->
+        FSet (List.sort_uniq compare (List.map (value_index column_signal) vs))
+    | Ast.Not v ->
+        let bad = value_index column_signal v in
+        FSet (List.filter (fun i -> i <> bad) (all_values column_signal))
+    | Ast.Eq x ->
+        if not is_output then err "=%s used in an input column" x;
+        let rec pos i = function
+          | [] -> err "=%s: %s is not an input of the table" x x
+          | y :: _ when y = x -> i
+          | _ :: rest -> pos (i + 1) rest
+        in
+        let k = pos 0 table_inputs in
+        if Domain.size signals.(sig_of x).s_dom
+           <> Domain.size signals.(sig_of column_signal).s_dom
+        then err "=%s: domain size mismatch with %s" x column_signal;
+        FEq k
+  in
+  let tables =
+    List.map
+      (fun (t : Ast.table) ->
+        let conv_row (r : Ast.row) =
+          if List.length r.Ast.r_inputs <> List.length t.Ast.t_inputs then
+            err "table in %s: row arity mismatch" m.Ast.m_name;
+          {
+            fr_in =
+              List.map2
+                (fun s e ->
+                  convert_entry ~table_inputs:t.Ast.t_inputs ~is_output:false s e)
+                t.Ast.t_inputs r.Ast.r_inputs;
+            fr_out =
+              List.map2
+                (fun s e ->
+                  convert_entry ~table_inputs:t.Ast.t_inputs ~is_output:true s e)
+                t.Ast.t_outputs r.Ast.r_outputs;
+          }
+        in
+        {
+          ft_inputs = List.map sig_of t.Ast.t_inputs;
+          ft_outputs = List.map sig_of t.Ast.t_outputs;
+          ft_rows = List.map conv_row t.Ast.t_rows;
+          ft_default =
+            Option.map
+              (List.map2
+                 (fun s e ->
+                   convert_entry ~table_inputs:t.Ast.t_inputs ~is_output:true s e)
+                 t.Ast.t_outputs)
+              t.Ast.t_default;
+        })
+      m.Ast.m_tables
+  in
+  let latches =
+    List.map
+      (fun (l : Ast.latch) ->
+        let input = sig_of l.Ast.l_input and output = sig_of l.Ast.l_output in
+        if Domain.size signals.(input).s_dom <> Domain.size signals.(output).s_dom
+        then err "latch %s: input/output domain mismatch" l.Ast.l_output;
+        let reset =
+          match l.Ast.l_reset with
+          | [] -> [ 0 ]
+          | vs -> List.sort_uniq compare (List.map (value_index l.Ast.l_output) vs)
+        in
+        { fl_input = input; fl_output = output; fl_reset = reset })
+      m.Ast.m_latches
+  in
+  let inputs = List.map sig_of m.Ast.m_inputs in
+  let outputs = List.map sig_of m.Ast.m_outputs in
+  (* Driver discipline: every signal except primary inputs is driven by
+     exactly one table column or latch. *)
+  let drivers = Array.make (Array.length signals) 0 in
+  List.iter
+    (fun t -> List.iter (fun o -> drivers.(o) <- drivers.(o) + 1) t.ft_outputs)
+    tables;
+  List.iter (fun l -> drivers.(l.fl_output) <- drivers.(l.fl_output) + 1) latches;
+  List.iter
+    (fun i ->
+      if drivers.(i) > 0 then err "primary input %s is driven" names.(i))
+    inputs;
+  Array.iteri
+    (fun id d ->
+      if not (List.mem id inputs) then begin
+        if d = 0 then err "signal %s has no driver" names.(id);
+        if d > 1 then err "signal %s has %d drivers" names.(id) d
+      end)
+    drivers;
+  { name = m.Ast.m_name; signals; inputs; outputs; tables; latches }
+
+let of_ast ?root ast = of_model (Flatten.flatten ?root ast)
+
+(* ------------------------------------------------------------------ *)
+(* Topological order of tables *)
+
+let topo_tables t =
+  let nsig = Array.length t.signals in
+  let resolved = Array.make nsig false in
+  List.iter (fun i -> resolved.(i) <- true) t.inputs;
+  List.iter (fun l -> resolved.(l.fl_output) <- true) t.latches;
+  let remaining = ref t.tables in
+  let out = ref [] in
+  let progress = ref true in
+  while !remaining <> [] && !progress do
+    progress := false;
+    let ready, blocked =
+      List.partition
+        (fun tb -> List.for_all (fun i -> resolved.(i)) tb.ft_inputs)
+        !remaining
+    in
+    if ready <> [] then begin
+      progress := true;
+      List.iter
+        (fun tb ->
+          List.iter (fun o -> resolved.(o) <- true) tb.ft_outputs;
+          out := tb :: !out)
+        ready
+    end;
+    remaining := blocked
+  done;
+  if !remaining <> [] then err "combinational cycle in %s" t.name;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Explicit row semantics (used by the enumerative engine) *)
+
+let entry_matches e ~inputs v =
+  match e with
+  | FAny -> true
+  | FSet vs -> List.mem v vs
+  | FEq k -> v = inputs.(k)
+
+let expand_out_entry t tb ~inputs pos = function
+  | FAny ->
+      let d = t.signals.(List.nth tb.ft_outputs pos).s_dom in
+      List.init (Domain.size d) Fun.id
+  | FSet vs -> vs
+  | FEq k -> [ inputs.(k) ]
+
+(* Exact semantics including .default: the set of output tuples allowed for
+   the given concrete input values. *)
+let row_output_options t tb inputs =
+  let matching =
+    List.filter
+      (fun r ->
+        List.for_all2 (fun e v -> entry_matches e ~inputs v) r.fr_in
+          (Array.to_list inputs))
+      tb.ft_rows
+  in
+  let expand_row entries =
+    let choices =
+      List.mapi (fun pos e -> expand_out_entry t tb ~inputs pos e) entries
+    in
+    List.fold_right
+      (fun opts acc ->
+        List.concat_map (fun v -> List.map (fun tl -> v :: tl) acc) opts)
+      choices [ [] ]
+  in
+  let tuples =
+    if matching <> [] then
+      List.concat_map (fun r -> expand_row r.fr_out) matching
+    else
+      match tb.ft_default with Some d -> expand_row d | None -> []
+  in
+  List.sort_uniq compare tuples
+
+let pp_stats fmt t =
+  Format.fprintf fmt "net %s: %d signals, %d tables, %d latches, %d inputs"
+    t.name (Array.length t.signals) (List.length t.tables)
+    (List.length t.latches) (List.length t.inputs)

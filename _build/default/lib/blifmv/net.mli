@@ -1,0 +1,67 @@
+(** Flattened BLIF-MV networks with resolved signals and domains.
+
+    This is the form consumed by the symbolic engine: a set of signals, a
+    set of (possibly non-deterministic) relations over them, and a set of
+    latches implementing the synchronous combinational/sequential model of
+    paper Sec. 4. *)
+
+open Hsis_mv
+
+type fentry =
+  | FAny  (** any domain value *)
+  | FSet of int list  (** one of these value indices (sorted, non-empty) *)
+  | FEq of int  (** output equals the table input at this position *)
+
+type frow = { fr_in : fentry list; fr_out : fentry list }
+
+type ftable = {
+  ft_inputs : int list;  (** signal ids *)
+  ft_outputs : int list;
+  ft_rows : frow list;
+  ft_default : fentry list option;
+}
+
+type flatch = { fl_input : int; fl_output : int; fl_reset : int list }
+
+type signal = { s_id : int; s_name : string; s_dom : Domain.t }
+
+type t = {
+  name : string;
+  signals : signal array;
+  inputs : int list;  (** primary inputs (empty for a closed system) *)
+  outputs : int list;
+  tables : ftable list;
+  latches : flatch list;
+}
+
+exception Error of string
+
+val of_model : Ast.model -> t
+(** Resolve a flat model (no subckts; see {!Flatten.flatten}). *)
+
+val of_ast : ?root:string -> Ast.t -> t
+(** [Flatten.flatten] followed by {!of_model}. *)
+
+val signal : t -> int -> signal
+val find_signal : t -> string -> int option
+val dom : t -> int -> Domain.t
+val num_signals : t -> int
+val state_signals : t -> int list
+(** Latch outputs, in latch order. *)
+
+val is_closed : t -> bool
+
+val topo_tables : t -> ftable list
+(** Tables in dependency order (inputs before outputs), treating latch
+    outputs and primary inputs as sources.  Raises {!Error} on a
+    combinational cycle. *)
+
+val entry_matches : fentry -> inputs:int array -> int -> bool
+(** [entry_matches e ~inputs v]: does value [v] satisfy entry [e]?
+    For [FEq k], compares against [inputs.(k)]. *)
+
+val row_output_options : t -> ftable -> int array -> int list list
+(** Given concrete input values (by position), the list of output tuples
+    allowed by the table.  Implements row union + [.default] semantics. *)
+
+val pp_stats : Format.formatter -> t -> unit

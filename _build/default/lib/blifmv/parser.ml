@@ -1,0 +1,246 @@
+exception Error of int * string
+
+let fail num fmt = Format.kasprintf (fun s -> raise (Error (num, s))) fmt
+
+let parse_entry num tok =
+  if tok = "-" then Ast.Any
+  else if String.length tok >= 2 && tok.[0] = '{' then begin
+    let body = String.sub tok 1 (String.length tok - 2) in
+    match String.split_on_char ',' body with
+    | [] | [ "" ] -> fail num "empty value set"
+    | vs -> Ast.Set vs
+  end
+  else if tok.[0] = '!' then Ast.Not (String.sub tok 1 (String.length tok - 1))
+  else if tok.[0] = '=' then Ast.Eq (String.sub tok 1 (String.length tok - 1))
+  else Ast.Val tok
+
+(* Mutable accumulator for the model being parsed. *)
+type building = {
+  mutable b_name : string;
+  mutable b_inputs : string list;
+  mutable b_outputs : string list;
+  mutable b_mvs : Ast.var_decl list;
+  mutable b_tables : Ast.table list;
+  mutable b_latches : Ast.latch list;
+  mutable b_subckts : Ast.subckt list;
+  mutable b_delays : (string * int * int) list;
+  (* current table being filled, in reverse row order *)
+  mutable b_cur : (string list * string list * Ast.row list * Ast.entry list option) option;
+}
+
+let fresh_building name =
+  {
+    b_name = name;
+    b_inputs = [];
+    b_outputs = [];
+    b_mvs = [];
+    b_tables = [];
+    b_latches = [];
+    b_subckts = [];
+    b_delays = [];
+    b_cur = None;
+  }
+
+let flush_table b =
+  match b.b_cur with
+  | None -> ()
+  | Some (ins, outs, rows, dflt) ->
+      b.b_cur <- None;
+      b.b_tables <-
+        { Ast.t_inputs = ins; t_outputs = outs; t_rows = List.rev rows;
+          t_default = dflt }
+        :: b.b_tables
+
+let finish b =
+  flush_table b;
+  {
+    Ast.m_name = b.b_name;
+    m_inputs = List.rev b.b_inputs;
+    m_outputs = List.rev b.b_outputs;
+    m_mvs = List.rev b.b_mvs;
+    m_tables = List.rev b.b_tables;
+    m_latches = List.rev b.b_latches;
+    m_subckts = List.rev b.b_subckts;
+    m_delays = List.rev b.b_delays;
+  }
+
+let split_arrow tokens =
+  let rec go before = function
+    | [] -> None
+    | "->" :: after -> Some (List.rev before, after)
+    | t :: rest -> go (t :: before) rest
+  in
+  go [] tokens
+
+let parse src =
+  let lines = Lexer.logical_lines src in
+  let models = ref [] in
+  let cur = ref None in
+  let with_model num f =
+    match !cur with
+    | None -> fail num "directive outside of a .model"
+    | Some b -> f b
+  in
+  let handle { Lexer.num; tokens } =
+    match tokens with
+    | [] -> ()
+    | dir :: args when String.length dir > 0 && dir.[0] = '.' -> (
+        match dir with
+        | ".model" -> (
+            (match !cur with
+            | Some b -> models := finish b :: !models
+            | None -> ());
+            match args with
+            | [ name ] -> cur := Some (fresh_building name)
+            | _ -> fail num ".model expects one name")
+        | ".inputs" ->
+            with_model num (fun b ->
+                flush_table b;
+                b.b_inputs <- List.rev_append args b.b_inputs)
+        | ".outputs" ->
+            with_model num (fun b ->
+                flush_table b;
+                b.b_outputs <- List.rev_append args b.b_outputs)
+        | ".mv" ->
+            with_model num (fun b ->
+                flush_table b;
+                match args with
+                | names :: size :: values ->
+                    let size =
+                      match int_of_string_opt size with
+                      | Some n when n >= 1 -> n
+                      | _ -> fail num ".mv: bad size %s" size
+                    in
+                    let names = String.split_on_char ',' names in
+                    if values <> [] && List.length values <> size then
+                      fail num ".mv: %d values for size %d"
+                        (List.length values) size;
+                    b.b_mvs <-
+                      { Ast.v_names = names; v_size = size; v_values = values }
+                      :: b.b_mvs
+                | _ -> fail num ".mv expects names and a size")
+        | ".latch" ->
+            with_model num (fun b ->
+                flush_table b;
+                match args with
+                | [ i; o ] ->
+                    b.b_latches <-
+                      { Ast.l_input = i; l_output = o; l_reset = [] }
+                      :: b.b_latches
+                | _ -> fail num ".latch expects input and output")
+        | ".reset" | ".r" ->
+            with_model num (fun b ->
+                flush_table b;
+                match args with
+                | out :: (_ :: _ as values) ->
+                    let found = ref false in
+                    b.b_latches <-
+                      List.map
+                        (fun l ->
+                          if l.Ast.l_output = out then begin
+                            found := true;
+                            { l with Ast.l_reset = l.Ast.l_reset @ values }
+                          end
+                          else l)
+                        b.b_latches;
+                    if not !found then
+                      fail num ".reset: no latch drives %s" out
+                | _ -> fail num ".reset expects a latch output and values")
+        | ".table" | ".names" ->
+            with_model num (fun b ->
+                flush_table b;
+                match split_arrow args with
+                | Some (ins, outs) ->
+                    if outs = [] then fail num ".table: no outputs";
+                    b.b_cur <- Some (ins, outs, [], None)
+                | None -> (
+                    (* BLIF convention: last signal is the single output *)
+                    match List.rev args with
+                    | out :: rev_ins ->
+                        b.b_cur <- Some (List.rev rev_ins, [ out ], [], None)
+                    | [] -> fail num ".table expects signals"))
+        | ".default" ->
+            with_model num (fun b ->
+                match b.b_cur with
+                | None -> fail num ".default outside of a table"
+                | Some (ins, outs, rows, _) ->
+                    if List.length args <> List.length outs then
+                      fail num ".default: expected %d entries"
+                        (List.length outs);
+                    let entries = List.map (parse_entry num) args in
+                    b.b_cur <- Some (ins, outs, rows, Some entries))
+        | ".subckt" ->
+            with_model num (fun b ->
+                flush_table b;
+                match args with
+                | model :: inst :: conns ->
+                    let parse_conn c =
+                      match String.index_opt c '=' with
+                      | Some i ->
+                          ( String.sub c 0 i,
+                            String.sub c (i + 1) (String.length c - i - 1) )
+                      | None -> fail num ".subckt: bad connection %s" c
+                    in
+                    b.b_subckts <-
+                      {
+                        Ast.s_model = model;
+                        s_inst = inst;
+                        s_conns = List.map parse_conn conns;
+                      }
+                      :: b.b_subckts
+                | _ -> fail num ".subckt expects a model and instance name")
+        | ".delay" ->
+            with_model num (fun b ->
+                flush_table b;
+                let int_arg s =
+                  match int_of_string_opt s with
+                  | Some n when n >= 1 -> n
+                  | _ -> fail num ".delay: bad bound %s" s
+                in
+                match args with
+                | [ out; d ] ->
+                    let d = int_arg d in
+                    b.b_delays <- (out, d, d) :: b.b_delays
+                | [ out; dmin; dmax ] ->
+                    let dmin = int_arg dmin and dmax = int_arg dmax in
+                    if dmin > dmax then fail num ".delay: min above max";
+                    b.b_delays <- (out, dmin, dmax) :: b.b_delays
+                | _ -> fail num ".delay expects a latch output and bounds")
+        | ".end" -> with_model num (fun b -> flush_table b)
+        | ".exdc" | ".wire_load_slope" | ".gate" ->
+            fail num "unsupported BLIF construct %s" dir
+        | _ -> fail num "unknown directive %s" dir)
+    | tokens ->
+        with_model num (fun b ->
+            match b.b_cur with
+            | None -> fail num "table row outside of a table"
+            | Some (ins, outs, rows, dflt) ->
+                let arity = List.length ins + List.length outs in
+                if List.length tokens <> arity then
+                  fail num "row has %d entries, expected %d"
+                    (List.length tokens) arity;
+                let entries = List.map (parse_entry num) tokens in
+                let rec take n acc = function
+                  | rest when n = 0 -> (List.rev acc, rest)
+                  | x :: rest -> take (n - 1) (x :: acc) rest
+                  | [] -> assert false
+                in
+                let rin, rout = take (List.length ins) [] entries in
+                let row = { Ast.r_inputs = rin; r_outputs = rout } in
+                b.b_cur <- Some (ins, outs, row :: rows, dflt))
+  in
+  List.iter handle lines;
+  (match !cur with
+  | Some b -> models := finish b :: !models
+  | None -> raise (Error (0, "no .model in input")));
+  let models = List.rev !models in
+  match models with
+  | [] -> raise (Error (0, "no .model in input"))
+  | first :: _ -> { Ast.models; root = first.Ast.m_name }
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  parse src

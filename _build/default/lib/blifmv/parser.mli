@@ -1,0 +1,9 @@
+(** BLIF-MV parser (paper Sec. 4). *)
+
+exception Error of int * string
+(** Line number and message. *)
+
+val parse : string -> Ast.t
+(** Parse a source text; the root model is the first one declared. *)
+
+val parse_file : string -> Ast.t

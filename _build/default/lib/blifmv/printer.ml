@@ -1,0 +1,62 @@
+let entry_to_string = function
+  | Ast.Any -> "-"
+  | Ast.Val v -> v
+  | Ast.Set vs -> "{" ^ String.concat "," vs ^ "}"
+  | Ast.Not v -> "!" ^ v
+  | Ast.Eq x -> "=" ^ x
+
+let buf_add_line buf s =
+  Buffer.add_string buf s;
+  Buffer.add_char buf '\n'
+
+let model_to_string (m : Ast.model) =
+  let buf = Buffer.create 1024 in
+  let line s = buf_add_line buf s in
+  line (".model " ^ m.m_name);
+  if m.m_inputs <> [] then line (".inputs " ^ String.concat " " m.m_inputs);
+  if m.m_outputs <> [] then line (".outputs " ^ String.concat " " m.m_outputs);
+  List.iter
+    (fun (d : Ast.var_decl) ->
+      let values = if d.v_values = [] then "" else " " ^ String.concat " " d.v_values in
+      line
+        (Printf.sprintf ".mv %s %d%s" (String.concat "," d.v_names) d.v_size
+           values))
+    m.m_mvs;
+  List.iter
+    (fun (s : Ast.subckt) ->
+      let conns = List.map (fun (f, a) -> f ^ "=" ^ a) s.s_conns in
+      line (".subckt " ^ s.s_model ^ " " ^ s.s_inst ^ " " ^ String.concat " " conns))
+    m.m_subckts;
+  List.iter
+    (fun (l : Ast.latch) ->
+      line (".latch " ^ l.l_input ^ " " ^ l.l_output);
+      if l.l_reset <> [] then
+        line (".reset " ^ l.l_output ^ " " ^ String.concat " " l.l_reset))
+    m.m_latches;
+  List.iter
+    (fun (out, dmin, dmax) ->
+      if dmin = dmax then line (Printf.sprintf ".delay %s %d" out dmin)
+      else line (Printf.sprintf ".delay %s %d %d" out dmin dmax))
+    m.m_delays;
+  List.iter
+    (fun (t : Ast.table) ->
+      line
+        (".table " ^ String.concat " " t.t_inputs ^ " -> "
+        ^ String.concat " " t.t_outputs);
+      (match t.t_default with
+      | Some entries ->
+          line (".default " ^ String.concat " " (List.map entry_to_string entries))
+      | None -> ());
+      List.iter
+        (fun (r : Ast.row) ->
+          line
+            (String.concat " "
+               (List.map entry_to_string (r.r_inputs @ r.r_outputs))))
+        t.t_rows)
+    m.m_tables;
+  line ".end";
+  Buffer.contents buf
+
+let to_string (t : Ast.t) =
+  (* Root model first, preserving declaration order otherwise. *)
+  String.concat "\n" (List.map model_to_string t.models)

@@ -1,0 +1,5 @@
+(** Pretty-printer producing parseable BLIF-MV text. *)
+
+val entry_to_string : Ast.entry -> string
+val model_to_string : Ast.model -> string
+val to_string : Ast.t -> string

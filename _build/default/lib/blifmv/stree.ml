@@ -1,0 +1,108 @@
+type t = Leaf of string | Sync of t list | Async of t list
+
+let rec leaves = function
+  | Leaf l -> [ l ]
+  | Sync ts | Async ts -> List.concat_map leaves ts
+
+let validate (m : Ast.model) tree =
+  let latch_outputs = List.map (fun l -> l.Ast.l_output) m.Ast.m_latches in
+  let ls = leaves tree in
+  let sorted = List.sort compare ls in
+  if List.length sorted <> List.length (List.sort_uniq compare sorted) then
+    Error "synchrony tree mentions a latch twice"
+  else if List.sort compare latch_outputs <> sorted then
+    Error "synchrony tree leaves do not match the model's latches"
+  else Ok ()
+
+let fully_synchronous (m : Ast.model) =
+  Sync (List.map (fun l -> Leaf l.Ast.l_output) m.Ast.m_latches)
+
+let interleaved (m : Ast.model) =
+  Async (List.map (fun l -> Leaf l.Ast.l_output) m.Ast.m_latches)
+
+(* Per latch, the (choice signal, branch index) constraints on its root
+   path; [fresh k] allocates the choice signal of an A node. *)
+let selection_paths tree ~fresh =
+  let rec go tree acc_path acc =
+    match tree with
+    | Leaf l -> (l, List.rev acc_path) :: acc
+    | Sync ts -> List.fold_left (fun acc t -> go t acc_path acc) acc ts
+    | Async [ t ] -> go t acc_path acc (* a one-way choice is no choice *)
+    | Async ts ->
+        let choice = fresh (List.length ts) in
+        snd
+          (List.fold_left
+             (fun (i, acc) t -> (i + 1, go t ((choice, i) :: acc_path) acc))
+             (0, acc) ts)
+  in
+  go tree [] []
+
+let apply (m : Ast.model) tree =
+  (match validate m tree with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Stree.apply: " ^ e));
+  let counter = ref 0 in
+  let new_mvs = ref [] in
+  let new_tables = ref [] in
+  let fresh k =
+    let name = Printf.sprintf "_ch%d" !counter in
+    incr counter;
+    if k <> 2 then
+      new_mvs := { Ast.v_names = [ name ]; v_size = k; v_values = [] } :: !new_mvs;
+    new_tables :=
+      {
+        Ast.t_inputs = [];
+        t_outputs = [ name ];
+        t_rows =
+          List.init k (fun i ->
+              { Ast.r_inputs = []; r_outputs = [ Ast.Val (string_of_int i) ] });
+        t_default = None;
+      }
+      :: !new_tables;
+    name
+  in
+  let paths = selection_paths tree ~fresh in
+  let domain_decl_of output =
+    List.find_opt
+      (fun (d : Ast.var_decl) -> List.mem output d.Ast.v_names)
+      m.Ast.m_mvs
+  in
+  let latches' =
+    List.map
+      (fun (l : Ast.latch) ->
+        match List.assoc l.Ast.l_output paths with
+        | [] -> l (* always selected: plain synchronous latch *)
+        | path ->
+            let hold = "_hold_" ^ l.Ast.l_output in
+            (match domain_decl_of l.Ast.l_output with
+            | Some d ->
+                new_mvs :=
+                  { d with Ast.v_names = [ hold ] } :: !new_mvs
+            | None -> ());
+            let choice_sigs = List.map fst path in
+            let selected =
+              List.map (fun (_, v) -> Ast.Val (string_of_int v)) path
+            in
+            new_tables :=
+              {
+                Ast.t_inputs = choice_sigs @ [ l.Ast.l_input; l.Ast.l_output ];
+                t_outputs = [ hold ];
+                t_rows =
+                  [
+                    {
+                      Ast.r_inputs = selected @ [ Ast.Any; Ast.Any ];
+                      r_outputs = [ Ast.Eq l.Ast.l_input ];
+                    };
+                  ];
+                t_default = Some [ Ast.Eq l.Ast.l_output ];
+              }
+              :: !new_tables;
+            { l with Ast.l_input = hold })
+      m.Ast.m_latches
+  in
+  {
+    m with
+    Ast.m_mvs = m.Ast.m_mvs @ List.rev !new_mvs;
+    m_tables = m.Ast.m_tables @ List.rev !new_tables;
+    m_latches = latches';
+  }

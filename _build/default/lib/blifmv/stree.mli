@@ -1,0 +1,32 @@
+(** The extended combinational/sequential concurrency model (paper Sec. 4):
+    a {e synchrony tree} whose leaves are the latches and whose internal
+    nodes are labeled synchronous or asynchronous.  At every clock tick the
+    set of latches that update is found by walking from the root, taking
+    every branch of an S node and one non-deterministically chosen branch
+    of an A node; all other latches hold their values.
+
+    The tree is applied as a source-to-source transformation on a flat
+    model: choice signals and hold-muxes are added, so the synchronous
+    engines (symbolic and explicit) run unchanged on the result. *)
+
+type t =
+  | Leaf of string  (** a latch, by its output signal name *)
+  | Sync of t list
+  | Async of t list
+
+val leaves : t -> string list
+
+val validate : Ast.model -> t -> (unit, string) result
+(** Leaves must name each latch output of the model exactly once. *)
+
+val fully_synchronous : Ast.model -> t
+(** [Sync] over all latches: the ordinary c/s model. *)
+
+val interleaved : Ast.model -> t
+(** [Async] over all latches: classic interleaving semantics. *)
+
+val apply : Ast.model -> t -> Ast.model
+(** Elaborate the tree: each A node gets a free choice signal; each latch
+    input is replaced by a mux holding the latch when it is not selected.
+    A fully synchronous tree returns the model unchanged.
+    Raises [Invalid_argument] when {!validate} fails. *)

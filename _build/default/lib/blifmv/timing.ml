@@ -1,0 +1,108 @@
+exception Error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let expand (m : Ast.model) =
+  if m.Ast.m_delays = [] then m
+  else begin
+    if m.Ast.m_subckts <> [] then err "Timing.expand: model %s not flat" m.Ast.m_name;
+    let domain_decl_of output =
+      List.find_opt
+        (fun (d : Ast.var_decl) -> List.mem output d.Ast.v_names)
+        m.Ast.m_mvs
+    in
+    let new_mvs = ref [] in
+    let new_tables = ref [] in
+    let declare_like out name =
+      match domain_decl_of out with
+      | Some d -> new_mvs := { d with Ast.v_names = [ name ] } :: !new_mvs
+      | None -> ()
+    in
+    let latches = ref [] in
+    let expand_one (l : Ast.latch) (dmin, dmax) =
+      let out = l.Ast.l_output in
+      let stage i = Printf.sprintf "_dly%d_%s" i out in
+      if dmin = dmax then begin
+        (* fixed pipeline: in -> _dly1 -> ... -> out (still a latch) *)
+        let d = dmin in
+        if d = 1 then latches := l :: !latches
+        else begin
+          for i = 1 to d - 1 do
+            declare_like out (stage i);
+            let input = if i = 1 then l.Ast.l_input else stage (i - 1) in
+            latches :=
+              { Ast.l_input = input; l_output = stage i; l_reset = l.Ast.l_reset }
+              :: !latches
+          done;
+          latches :=
+            { l with Ast.l_input = stage (d - 1) } :: !latches
+        end
+      end
+      else begin
+        (* interval delay: a dmax-deep chain plus a non-deterministic tap
+           selector; [out] becomes the selected tap *)
+        for i = 1 to dmax do
+          declare_like out (stage i);
+          let input = if i = 1 then l.Ast.l_input else stage (i - 1) in
+          latches :=
+            { Ast.l_input = input; l_output = stage i; l_reset = l.Ast.l_reset }
+            :: !latches
+        done;
+        let k = dmax - dmin + 1 in
+        let sel = "_tap_" ^ out in
+        if k <> 2 then
+          new_mvs := { Ast.v_names = [ sel ]; v_size = k; v_values = [] } :: !new_mvs;
+        new_tables :=
+          {
+            Ast.t_inputs = [];
+            t_outputs = [ sel ];
+            t_rows =
+              List.init k (fun i ->
+                  { Ast.r_inputs = []; r_outputs = [ Ast.Val (string_of_int i) ] });
+            t_default = None;
+          }
+          :: !new_tables;
+        let taps = List.init k (fun i -> stage (dmin + i)) in
+        new_tables :=
+          {
+            Ast.t_inputs = sel :: taps;
+            t_outputs = [ out ];
+            t_rows =
+              List.mapi
+                (fun i tap ->
+                  {
+                    Ast.r_inputs =
+                      Ast.Val (string_of_int i)
+                      :: List.map (fun _ -> Ast.Any) taps;
+                    r_outputs = [ Ast.Eq tap ];
+                  })
+                taps;
+            t_default = None;
+          }
+          :: !new_tables
+      end
+    in
+    List.iter
+      (fun (l : Ast.latch) ->
+        match
+          List.find_opt (fun (o, _, _) -> o = l.Ast.l_output) m.Ast.m_delays
+        with
+        | Some (_, dmin, dmax) -> expand_one l (dmin, dmax)
+        | None -> latches := l :: !latches)
+      m.Ast.m_latches;
+    List.iter
+      (fun (out, _, _) ->
+        if
+          not
+            (List.exists (fun (l : Ast.latch) -> l.Ast.l_output = out)
+               m.Ast.m_latches)
+        then err ".delay %s: not a latch output" out)
+      m.Ast.m_delays;
+    {
+      m with
+      Ast.m_mvs = m.Ast.m_mvs @ List.rev !new_mvs;
+      m_tables = m.Ast.m_tables @ List.rev !new_tables;
+      m_latches = List.rev !latches;
+      m_delays = [];
+    }
+  end

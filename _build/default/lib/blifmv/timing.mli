@@ -1,0 +1,21 @@
+(** The timing extension (paper Sec. 8 item 1: "to accommodate timing
+    verification, we have extended BLIF-MV to handle timing constraints").
+
+    A [.delay out dmin dmax] annotation gives a latch a bounded transport
+    delay: the value observed at [out] is the one presented at the latch
+    input between [dmin] and [dmax] clock ticks earlier, the exact lag
+    chosen non-deterministically at every tick.  [.delay out d] is a fixed
+    [d]-stage pipeline.
+
+    {!expand} compiles the annotations away into ordinary synchronous
+    constructs — a chain of [dmax] stages plus, for a proper interval, a
+    non-deterministic tap selector — so all engines run unchanged. *)
+
+exception Error of string
+
+val expand : Ast.model -> Ast.model
+(** Apply and clear [m_delays] of a flat model.  Fixed delays keep the
+    delayed signal a latch output; interval delays turn it into a
+    combinational tap mux (so edge-fairness to-conditions may no longer
+    reference it).  Raises {!Error} when an annotation names a signal that
+    is not a latch output. *)

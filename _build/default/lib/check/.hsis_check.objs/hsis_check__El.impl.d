@@ -1,0 +1,1 @@
+lib/check/el.ml: Bdd Fair Hashtbl Hsis_auto Hsis_bdd Hsis_fsm List Trans

@@ -1,0 +1,1 @@
+lib/check/el.mli: Bdd Fair Hsis_auto Hsis_bdd Hsis_fsm Trans

@@ -1,0 +1,1 @@
+lib/check/enum.ml: Array Autom Ctl Domain Expr Fair Fun Hashtbl Hsis_auto Hsis_blifmv Hsis_mv List Net Queue

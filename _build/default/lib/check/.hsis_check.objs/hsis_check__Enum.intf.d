@@ -1,0 +1,1 @@
+lib/check/enum.mli: Ast Autom Ctl Expr Fair Hsis_auto Hsis_blifmv Net

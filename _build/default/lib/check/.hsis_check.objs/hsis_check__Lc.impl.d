@@ -1,0 +1,1 @@
+lib/check/lc.ml: Array Autom Bdd Check El Fair Hsis_auto Hsis_bdd Hsis_blifmv Hsis_fsm List Net Reach Sym Trans

@@ -1,0 +1,1 @@
+lib/check/lc.mli: Ast Autom Bdd El Fair Hsis_auto Hsis_bdd Hsis_blifmv Hsis_fsm Reach Trans

@@ -1,0 +1,1 @@
+lib/check/mc.ml: Array Bdd Ctl El Expr Hsis_auto Hsis_bdd Hsis_fsm Reach Trans

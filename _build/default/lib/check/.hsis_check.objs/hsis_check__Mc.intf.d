@@ -1,0 +1,1 @@
+lib/check/mc.mli: Bdd Ctl Fair Hsis_auto Hsis_bdd Hsis_fsm Reach Trans

@@ -1,0 +1,1 @@
+lib/check/reach.ml: Array Bdd Hsis_bdd Hsis_fsm List Sym Trans

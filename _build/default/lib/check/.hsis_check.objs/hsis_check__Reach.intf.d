@@ -1,0 +1,1 @@
+lib/check/reach.mli: Bdd Hsis_bdd Hsis_fsm Trans

@@ -1,0 +1,111 @@
+open Hsis_bdd
+open Hsis_fsm
+open Hsis_auto
+
+type env = {
+  trans : Trans.t;
+  cs : Fair.compiled list;
+  (* Edge-restricted transition structures, shared across fixpoints. *)
+  edge_trans : (int, Trans.t) Hashtbl.t;
+}
+
+let edge_key b = Bdd.id b
+
+let edge_restricted env trans edge =
+  (* Caching is only valid against the base structure; restricted recursion
+     (Streett avoid-branches) builds fresh ones. *)
+  if trans == env.trans then begin
+    let k = edge_key edge in
+    match Hashtbl.find_opt env.edge_trans k with
+    | Some t -> t
+    | None ->
+        let t = Trans.transition_constraint trans edge in
+        Hashtbl.replace env.edge_trans k t;
+        t
+  end
+  else Trans.transition_constraint trans edge
+
+let prepare trans cs = { trans; cs; edge_trans = Hashtbl.create 8 }
+let constraints env = env.cs
+let trans_of env = env.trans
+
+(* ---- generic operators over an explicit transition structure ---- *)
+
+let pre trans s = Trans.preimage trans s
+
+let eu trans ~within target =
+  let target = Bdd.dand target within in
+  let rec lfp y =
+    let y' = Bdd.dor target (Bdd.dand within (pre trans y)) in
+    if Bdd.equal y y' then y else lfp y'
+  in
+  lfp target
+
+let eg trans within =
+  let rec gfp y =
+    let y' = Bdd.dand y (pre trans y) in
+    if Bdd.equal y y' then y else gfp y'
+  in
+  gfp within
+
+(* ---- Emerson-Lei with exact Streett handling ----
+
+   The greatest fixpoint keeps a state when, within the current hull Z, it
+   can (a) reach each Büchi condition again, and (b) for each Streett pair
+   (p, q), either reach q again or reach a region where an infinite path
+   avoids p forever *while still satisfying the remaining constraints* —
+   the latter computed by recursing with the pair removed (and, for edge
+   conditions, with the transition relation restricted to non-p edges). *)
+
+let rec fair_rec env trans cs within =
+  let step z =
+    let z = eg trans z in
+    List.fold_left
+      (fun z c ->
+        if Bdd.is_false z then z
+        else
+          match c with
+          | Fair.CInf_state p ->
+              let hull = eu trans ~within:z (Bdd.dand p z) in
+              Bdd.dand z (Bdd.dand z (pre trans hull))
+          | Fair.CInf_edge e ->
+              let t_e = edge_restricted env trans e in
+              let sources = Bdd.dand z (Trans.preimage t_e z) in
+              Bdd.dand z (eu trans ~within:z sources)
+          | Fair.CStreett (p, q) ->
+              let others = List.filter (fun c' -> c' != c) cs in
+              let satisfy_q =
+                match q with
+                | Fair.CState qs ->
+                    Bdd.dand z
+                      (pre trans (eu trans ~within:z (Bdd.dand qs z)))
+                | Fair.CEdge qe ->
+                    let t_q = edge_restricted env trans qe in
+                    let sources = Bdd.dand z (Trans.preimage t_q z) in
+                    eu trans ~within:z sources
+              in
+              let avoid_p =
+                match p with
+                | Fair.CState ps ->
+                    fair_rec env trans others (Bdd.dand z (Bdd.dnot ps))
+                | Fair.CEdge pe ->
+                    let t_notp = edge_restricted env trans (Bdd.dnot pe) in
+                    fair_rec env t_notp others z
+              in
+              Bdd.dand z (Bdd.dor satisfy_q (eu trans ~within:z avoid_p))
+          )
+      z cs
+  in
+  let rec outer z =
+    let z' = step z in
+    if Bdd.equal z z' then z else outer z'
+  in
+  outer within
+
+let fair_states env ~within = fair_rec env env.trans env.cs within
+let eu_within env ~within target = eu env.trans ~within target
+let eg_within env within = eg env.trans within
+let pre_within env ~within s = Bdd.dand within (pre env.trans s)
+
+let pre_edge env ~edge s =
+  Trans.preimage (edge_restricted env env.trans edge) s

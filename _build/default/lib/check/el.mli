@@ -1,0 +1,36 @@
+open Hsis_bdd
+open Hsis_fsm
+open Hsis_auto
+
+(** Emerson-Lei style fair-state computation (paper Sec. 5.3, refs
+    [10]/[17]): the greatest set of states from which an infinite path
+    exists satisfying every fairness constraint, computed as a nested
+    fixpoint over preimage operators. *)
+
+type env
+(** Prepared operators: the transition structure plus, per edge condition,
+    a transition structure restricted to (or avoiding) those edges. *)
+
+val prepare : Trans.t -> Fair.compiled list -> env
+val constraints : env -> Fair.compiled list
+val trans_of : env -> Trans.t
+
+val eu_within : env -> within:Bdd.t -> Bdd.t -> Bdd.t
+(** [eu_within env ~within target]: least fixpoint of
+    [Y = (target /\ within) \/ (within /\ pre Y)] — states with a path
+    inside [within] to [target]. *)
+
+val eg_within : env -> Bdd.t -> Bdd.t
+(** Greatest fixpoint of [Y = within /\ pre Y] — states with an infinite
+    path inside [within] (no fairness). *)
+
+val fair_states : env -> within:Bdd.t -> Bdd.t
+(** The fair hull: states in [within] from which some infinite path stays
+    in [within] and satisfies all constraints of the environment.  With no
+    constraints this degenerates to {!eg_within}. *)
+
+val pre_within : env -> within:Bdd.t -> Bdd.t -> Bdd.t
+(** One [EX] step restricted to [within]. *)
+
+val pre_edge : env -> edge:Bdd.t -> Bdd.t -> Bdd.t
+(** Preimage through the transitions satisfying the edge condition. *)

@@ -1,0 +1,447 @@
+open Hsis_mv
+open Hsis_blifmv
+open Hsis_auto
+
+type state = int array
+type valuation = int array
+
+type graph = {
+  states : state array;
+  succ : int list array;
+  init : int list;
+  complete : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Combinational evaluation *)
+
+let valuations_of_state (net : Net.t) (st : state) =
+  let nsig = Net.num_signals net in
+  let topo = Net.topo_tables net in
+  let base = Array.make nsig (-1) in
+  List.iteri
+    (fun i (l : Net.flatch) -> base.(l.Net.fl_output) <- st.(i))
+    net.Net.latches;
+  let rec assign_inputs vals inputs acc =
+    match inputs with
+    | [] -> eval_tables vals topo acc
+    | i :: rest ->
+        let d = Domain.size (Net.dom net i) in
+        let acc = ref acc in
+        for v = 0 to d - 1 do
+          let vals' = Array.copy vals in
+          vals'.(i) <- v;
+          acc := assign_inputs vals' rest !acc
+        done;
+        !acc
+  and eval_tables vals tables acc =
+    match tables with
+    | [] -> vals :: acc
+    | (tb : Net.ftable) :: rest ->
+        let inputs =
+          Array.of_list (List.map (fun i -> vals.(i)) tb.Net.ft_inputs)
+        in
+        let options = Net.row_output_options net tb inputs in
+        List.fold_left
+          (fun acc tuple ->
+            let vals' = Array.copy vals in
+            List.iter2 (fun o v -> vals'.(o) <- v) tb.Net.ft_outputs tuple;
+            eval_tables vals' rest acc)
+          acc options
+  in
+  List.rev (assign_inputs base net.Net.inputs [])
+
+let initial_states (net : Net.t) =
+  let rec go = function
+    | [] -> [ [] ]
+    | (l : Net.flatch) :: rest ->
+        let tails = go rest in
+        List.concat_map
+          (fun v -> List.map (fun tl -> v :: tl) tails)
+          l.Net.fl_reset
+  in
+  List.map Array.of_list (go net.Net.latches)
+
+let successors (net : Net.t) (st : state) =
+  let vals = valuations_of_state net st in
+  let next_of v =
+    Array.of_list
+      (List.map (fun (l : Net.flatch) -> v.(l.Net.fl_input)) net.Net.latches)
+  in
+  List.sort_uniq compare (List.map next_of vals)
+
+(* Growable state store. *)
+module Store = struct
+  type t = {
+    mutable arr : state array;
+    mutable n : int;
+    index : (state, int) Hashtbl.t;
+  }
+
+  let create () = { arr = Array.make 64 [||]; n = 0; index = Hashtbl.create 1024 }
+
+  let intern t st =
+    match Hashtbl.find_opt t.index st with
+    | Some i -> (i, false)
+    | None ->
+        if t.n >= Array.length t.arr then begin
+          let bigger = Array.make (2 * Array.length t.arr) [||] in
+          Array.blit t.arr 0 bigger 0 t.n;
+          t.arr <- bigger
+        end;
+        let i = t.n in
+        t.arr.(i) <- st;
+        t.n <- t.n + 1;
+        Hashtbl.add t.index st i;
+        (i, true)
+end
+
+let build ?(limit = 1_000_000) (net : Net.t) =
+  let store = Store.create () in
+  let queue = Queue.create () in
+  let inits =
+    List.map
+      (fun st ->
+        let i, fresh = Store.intern store st in
+        if fresh then Queue.add i queue;
+        i)
+      (initial_states net)
+  in
+  let succ_acc = ref [] in
+  let complete = ref true in
+  let rec loop () =
+    if not (Queue.is_empty queue) then begin
+      let i = Queue.pop queue in
+      if store.Store.n > limit then complete := false
+      else begin
+        let st = store.Store.arr.(i) in
+        let js =
+          List.map
+            (fun st' ->
+              let j, fresh = Store.intern store st' in
+              if fresh then Queue.add j queue;
+              j)
+            (successors net st)
+        in
+        succ_acc := (i, js) :: !succ_acc;
+        loop ()
+      end
+    end
+  in
+  loop ();
+  let n = store.Store.n in
+  let succ = Array.make (max n 1) [] in
+  List.iter (fun (i, js) -> succ.(i) <- js) !succ_acc;
+  {
+    states = Array.sub store.Store.arr 0 n;
+    succ;
+    init = List.sort_uniq compare inits;
+    complete = !complete;
+  }
+
+let state_sat (net : Net.t) (st : state) e =
+  List.exists
+    (fun vals -> Expr.eval net (fun s -> vals.(s)) e)
+    (valuations_of_state net st)
+
+(* ------------------------------------------------------------------ *)
+(* Fairness, explicit *)
+
+type econd = Estate of bool array | Eedge of (int -> int -> bool)
+type econstr = EInf of econd | EStreett of econd * econd
+
+let compile_fairness (net : Net.t) g (cs : Fair.syntactic list) =
+  let n = Array.length g.states in
+  let state_pred e = Array.init n (fun i -> state_sat net g.states.(i) e) in
+  let latch_index =
+    let tbl = Hashtbl.create 16 in
+    List.iteri
+      (fun i (l : Net.flatch) -> Hashtbl.add tbl l.Net.fl_output i)
+      net.Net.latches;
+    tbl
+  in
+  let state_only e =
+    List.for_all
+      (fun name ->
+        match Net.find_signal net name with
+        | Some s -> Hashtbl.mem latch_index s
+        | None -> invalid_arg ("Enum: unknown signal " ^ name))
+      (Expr.signals e)
+  in
+  let state_index =
+    let tbl = Hashtbl.create n in
+    Array.iteri (fun i st -> Hashtbl.replace tbl st i) g.states;
+    tbl
+  in
+  (* Edge predicate for a condition on non-state signals: the step (i, j)
+     admits a valuation satisfying [pred_of_valuation].  Mirrors the
+     symbolic abstract_to_edges construction exactly. *)
+  let edge_pred_of sat_valuation =
+    let edges = Hashtbl.create 64 in
+    Array.iteri
+      (fun i st ->
+        List.iter
+          (fun vals ->
+            if sat_valuation vals then begin
+              let next =
+                Array.of_list
+                  (List.map
+                     (fun (l : Net.flatch) -> vals.(l.Net.fl_input))
+                     net.Net.latches)
+              in
+              match Hashtbl.find_opt state_index next with
+              | Some j -> Hashtbl.replace edges (i, j) ()
+              | None -> () (* truncated graph *)
+            end)
+          (valuations_of_state net st))
+      g.states;
+    fun i j -> Hashtbl.mem edges (i, j)
+  in
+  let expr_edge_pred e =
+    edge_pred_of (fun vals -> Expr.eval net (fun s -> vals.(s)) e)
+  in
+  let to_pred e =
+    let eval_state st =
+      Expr.eval net
+        (fun s ->
+          match Hashtbl.find_opt latch_index s with
+          | Some i -> st.(i)
+          | None -> invalid_arg "Enum: to-condition on non-state signal")
+        e
+    in
+    Array.init n (fun i -> eval_state g.states.(i))
+  in
+  let cond = function
+    | Fair.State e ->
+        if state_only e then Estate (state_pred e)
+        else Eedge (expr_edge_pred e)
+    | Fair.Edges pairs ->
+        let preds =
+          List.map (fun (f, t) -> (expr_edge_pred f, to_pred t)) pairs
+        in
+        Eedge (fun i j -> List.exists (fun (pf, pt) -> pf i j && pt.(j)) preds)
+  in
+  List.map
+    (function
+      | Fair.Inf c -> EInf (cond c)
+      | Fair.Not_forever e ->
+          if state_only e then EInf (Estate (Array.map not (state_pred e)))
+          else EInf (Eedge (expr_edge_pred (Expr.Not e)))
+      | Fair.Streett (p, q) -> EStreett (cond p, cond q))
+    cs
+
+(* Tarjan over the subgraph of [alive] states and edges passing [edge_ok]. *)
+let sccs succ alive edge_ok =
+  let n = Array.length succ in
+  let index = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let out = ref [] in
+  let rec strong v =
+    index.(v) <- !counter;
+    low.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if alive.(w) && edge_ok v w then
+          if index.(w) < 0 then begin
+            strong w;
+            low.(v) <- min low.(v) low.(w)
+          end
+          else if on_stack.(w) then low.(v) <- min low.(v) index.(w))
+      succ.(v);
+    if low.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      out := pop [] :: !out
+    end
+  in
+  for v = 0 to n - 1 do
+    if alive.(v) && index.(v) < 0 then strong v
+  done;
+  !out
+
+(* Find a sub-SCC where every constraint is directly realizable.  Returns
+   its members, or None.  Streett pairs with a reachable q-witness are
+   directly fine; otherwise the pair's p-part must be cut out and the
+   analysis recurses on the pieces (standard Streett emptiness). *)
+let rec feasible_core succ cs members edge_ok =
+  let member = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace member v ()) members;
+  let is_member v = Hashtbl.mem member v in
+  let internal_edges v =
+    List.filter (fun w -> is_member w && edge_ok v w) succ.(v)
+  in
+  let has_cycle = List.exists (fun v -> internal_edges v <> []) members in
+  if not has_cycle then None
+  else begin
+    let cond_witness = function
+      | Estate p -> List.exists (fun v -> p.(v)) members
+      | Eedge f ->
+          List.exists
+            (fun v -> List.exists (fun w -> f v w) (internal_edges v))
+            members
+    in
+    let inf_ok =
+      List.for_all
+        (function EInf c -> cond_witness c | EStreett _ -> true)
+        cs
+    in
+    if not inf_ok then None
+    else begin
+      let violating =
+        List.find_opt
+          (function
+            | EStreett (p, q) -> cond_witness p && not (cond_witness q)
+            | EInf _ -> false)
+          cs
+      in
+      match violating with
+      | None -> Some members
+      | Some (EStreett (p, _)) ->
+          (* cut p out of this SCC and recurse on the pieces *)
+          let n = Array.length succ in
+          let alive = Array.make n false in
+          List.iter (fun v -> alive.(v) <- true) members;
+          let edge_ok' =
+            match p with
+            | Estate ps ->
+                List.iter (fun v -> if ps.(v) then alive.(v) <- false) members;
+                edge_ok
+            | Eedge f -> fun v w -> edge_ok v w && not (f v w)
+          in
+          let pieces =
+            sccs succ alive (fun v w -> alive.(v) && alive.(w) && edge_ok' v w)
+          in
+          List.fold_left
+            (fun acc piece ->
+              match acc with
+              | Some _ -> acc
+              | None -> feasible_core succ cs piece edge_ok')
+            None pieces
+      | Some (EInf _) -> assert false
+    end
+  end
+
+let fair_states_within g cs within =
+  let n = Array.length g.states in
+  let alive = Array.copy within in
+  let edge_ok v w = alive.(v) && alive.(w) in
+  let cores =
+    List.filter_map
+      (fun scc -> feasible_core g.succ cs scc edge_ok)
+      (sccs g.succ alive edge_ok)
+  in
+  (* backward closure within [within] *)
+  let fair = Array.make n false in
+  let queue = Queue.create () in
+  List.iter
+    (List.iter (fun v ->
+         if not fair.(v) then begin
+           fair.(v) <- true;
+           Queue.add v queue
+         end))
+    cores;
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun v ws ->
+      if within.(v) then
+        List.iter (fun w -> if within.(w) then preds.(w) <- v :: preds.(w)) ws)
+    g.succ;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun u ->
+        if not fair.(u) then begin
+          fair.(u) <- true;
+          Queue.add u queue
+        end)
+      preds.(v)
+  done;
+  fair
+
+let fair_states g cs =
+  fair_states_within g cs (Array.make (Array.length g.states) true)
+
+(* ------------------------------------------------------------------ *)
+(* Explicit CTL *)
+
+let check_ctl (net : Net.t) g cs f =
+  let n = Array.length g.states in
+  let fair = fair_states g cs in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun v ws -> List.iter (fun w -> preds.(w) <- v :: preds.(w)) ws)
+    g.succ;
+  let band a b = Array.init n (fun i -> a.(i) && b.(i)) in
+  let bnot a = Array.map not a in
+  let ex s =
+    Array.init n (fun v -> List.exists (fun w -> s.(w) && fair.(w)) g.succ.(v))
+  in
+  let eu p q =
+    let set = Array.init n (fun i -> q.(i) && fair.(i)) in
+    let queue = Queue.create () in
+    Array.iteri (fun i b -> if b then Queue.add i queue) set;
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      List.iter
+        (fun u ->
+          if p.(u) && not set.(u) then begin
+            set.(u) <- true;
+            Queue.add u queue
+          end)
+        preds.(v)
+    done;
+    set
+  in
+  let eg p = fair_states_within g cs p in
+  let rec go = function
+    | Ctl.Prop e -> Array.init n (fun i -> state_sat net g.states.(i) e)
+    | Ctl.Not f -> bnot (go f)
+    | Ctl.And (a, b) -> band (go a) (go b)
+    | Ctl.Or (a, b) ->
+        let x = go a and y = go b in
+        Array.init n (fun i -> x.(i) || y.(i))
+    | Ctl.Imp (a, b) ->
+        let x = go a and y = go b in
+        Array.init n (fun i -> (not x.(i)) || y.(i))
+    | Ctl.EX f -> ex (go f)
+    | Ctl.EF f -> eu (Array.make n true) (go f)
+    | Ctl.EG f -> eg (go f)
+    | Ctl.EU (p, q) -> eu (go p) (go q)
+    | Ctl.AX f -> bnot (ex (bnot (go f)))
+    | Ctl.AF f -> bnot (eg (bnot (go f)))
+    | Ctl.AG f -> bnot (eu (Array.make n true) (bnot (go f)))
+    | Ctl.AU (p, q) ->
+        let np = bnot (go p) and nq = bnot (go q) in
+        bnot
+          (Array.init n
+             (let viaeu = eu nq (band np nq) and viaeg = eg nq in
+              fun i -> viaeu.(i) || viaeg.(i)))
+  in
+  let s = go f in
+  (s, List.for_all (fun i -> s.(i)) g.init)
+
+let check_lc ?(fairness = []) flat aut =
+  let composed = Autom.compose flat aut in
+  let net = Net.of_model composed in
+  let g = build net in
+  let cs =
+    compile_fairness net g (fairness @ Autom.complement_constraints aut)
+  in
+  let fair = fair_states g cs in
+  not (Array.exists Fun.id fair)
+
+let count_reachable ?limit (net : Net.t) =
+  let g = build ?limit net in
+  Array.length g.states

@@ -1,0 +1,61 @@
+open Hsis_blifmv
+open Hsis_auto
+
+(** Explicit-state reference engine.
+
+    Re-implements reachability, fair-cycle detection (SCC-based, a different
+    algorithm from the symbolic Emerson-Lei), CTL and language containment
+    by enumeration.  It exists to cross-validate the symbolic engines on
+    small examples and to power the interactive simulator. *)
+
+type state = int array
+(** Latch values in latch order. *)
+
+type valuation = int array
+(** Values of every signal (indexed by signal id). *)
+
+type graph = {
+  states : state array;
+  succ : int list array;
+  init : int list;
+  complete : bool;  (** false when the state [limit] was hit *)
+}
+
+val valuations_of_state : Net.t -> state -> valuation list
+(** All consistent assignments of every signal given latch values: primary
+    inputs range over their domains, tables contribute each allowed output
+    tuple.  Empty when the combinational constraints are unsatisfiable. *)
+
+val initial_states : Net.t -> state list
+val successors : Net.t -> state -> state list
+val build : ?limit:int -> Net.t -> graph
+(** Breadth-first enumeration from the initial states (default limit
+    1_000_000 states). *)
+
+val state_sat : Net.t -> state -> Expr.t -> bool
+(** Some consistent valuation satisfies the expression (matches the
+    symbolic engine's existential abstraction). *)
+
+(** Fairness constraints in explicit form. *)
+type econd = Estate of bool array | Eedge of (int -> int -> bool)
+type econstr =
+  | EInf of econd
+  | EStreett of econd * econd
+
+val compile_fairness :
+  Net.t -> graph -> Fair.syntactic list -> econstr list
+
+val fair_states : graph -> econstr list -> bool array
+(** States from which an infinite path satisfying every constraint exists,
+    via SCC decomposition with recursive Streett analysis. *)
+
+val check_ctl :
+  Net.t -> graph -> econstr list -> Ctl.t -> bool array * bool
+(** Satisfying set over graph states, and whether all initial states are in
+    it. *)
+
+val check_lc :
+  ?fairness:Fair.syntactic list -> Ast.model -> Autom.t -> bool
+(** Explicit language containment on the composed product. *)
+
+val count_reachable : ?limit:int -> Net.t -> int

@@ -1,0 +1,87 @@
+open Hsis_bdd
+open Hsis_fsm
+open Hsis_auto
+open Hsis_blifmv
+
+type outcome = {
+  holds : bool;
+  trans : Trans.t;
+  reach : Reach.t;
+  fair : Bdd.t;
+  env : El.env;
+  early_failure_step : int option;
+  monitor : string;
+}
+
+exception Not_deterministic of string
+
+let build_product ?(heuristic = Trans.Min_width) flat aut =
+  let composed = Autom.compose flat aut in
+  let net = Net.of_model composed in
+  (* The property automaton must be deterministic: its compiled table must
+     never allow two next states for one input pattern. *)
+  let mon = Autom.monitor_signal aut in
+  let mon_next =
+    match Net.find_signal net (mon ^ "_next") with
+    | Some s -> s
+    | None -> invalid_arg "Lc: monitor signal missing after composition"
+  in
+  List.iter
+    (fun (tb : Net.ftable) ->
+      if List.mem mon_next tb.Net.ft_outputs then
+        if not (Check.table_deterministic net tb) then
+          raise (Not_deterministic aut.Autom.a_name))
+    net.Net.tables;
+  let man = Bdd.new_man () in
+  let sym = Sym.make man net in
+  Trans.build ~heuristic sym
+
+let product ?heuristic flat aut = build_product ?heuristic flat aut
+
+let check ?(fairness = []) ?(early_failure = false) ?heuristic flat aut =
+  (match Autom.validate aut with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Lc.check: " ^ m));
+  let trans = build_product ?heuristic flat aut in
+  let mon = Autom.monitor_signal aut in
+  let constraints =
+    Fair.compile_all trans (fairness @ Autom.complement_constraints aut)
+  in
+  let env = El.prepare trans constraints in
+  let init = Trans.initial trans in
+  (* Early failure detection, second technique (Sec. 5.4): while exploring,
+     probe growing prefixes of the reachable set for a fair cycle — a fair
+     cycle of a substructure is a fair cycle of the full structure. *)
+  let full = Reach.compute trans init in
+  let probe upto =
+    let partial = Reach.partial full ~upto in
+    El.fair_states env ~within:partial
+  in
+  let early =
+    (* One probe on a short prefix: a fair cycle of a substructure is
+       real, and most errors are shallow (Sec. 5.4). *)
+    if early_failure then begin
+      let n = Array.length full.Reach.rings in
+      let k = min 4 (n - 2) in
+      if k < 1 then None
+      else begin
+        let fair = probe k in
+        if not (Bdd.is_false fair) then Some (k, fair) else None
+      end
+    end
+    else None
+  in
+  let fair, early_step =
+    match early with
+    | Some (k, fair) -> (fair, Some k)
+    | None -> (El.fair_states env ~within:full.Reach.reachable, None)
+  in
+  {
+    holds = Bdd.is_false fair;
+    trans;
+    reach = full;
+    fair;
+    env;
+    early_failure_step = early_step;
+    monitor = mon;
+  }

@@ -1,0 +1,39 @@
+open Hsis_bdd
+open Hsis_fsm
+open Hsis_auto
+open Hsis_blifmv
+
+(** Language containment checking (paper Sec. 5.2): is every fair behavior
+    of the system accepted by the property automaton?
+
+    The automaton (deterministic edge-Rabin) is compiled into a BLIF-MV
+    monitor and composed with the system; containment fails exactly when
+    the product has a reachable fair cycle satisfying the system fairness
+    and the complemented (Streett) acceptance — a language-emptiness check
+    carried out with the Emerson-Lei engine. *)
+
+type outcome = {
+  holds : bool;
+  trans : Trans.t;  (** transition structure of the composed product *)
+  reach : Reach.t;
+  fair : Bdd.t;  (** reachable fair states of the product (empty iff holds) *)
+  env : El.env;
+  early_failure_step : int option;
+  monitor : string;  (** name of the monitor state signal *)
+}
+
+exception Not_deterministic of string
+(** Raised when the property automaton is non-deterministic (the paper
+    restricts containment to deterministic properties, Sec. 8 item 6). *)
+
+val check :
+  ?fairness:Fair.syntactic list ->
+  ?early_failure:bool ->
+  ?heuristic:Trans.heuristic ->
+  Ast.model ->
+  Autom.t ->
+  outcome
+(** [check flat_model automaton].  [fairness] constrains the system. *)
+
+val product : ?heuristic:Trans.heuristic -> Ast.model -> Autom.t -> Trans.t
+(** Just the composed transition structure (for debugging/benches). *)

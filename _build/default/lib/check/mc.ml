@@ -1,0 +1,116 @@
+open Hsis_bdd
+open Hsis_fsm
+open Hsis_auto
+
+type outcome = {
+  holds : bool;
+  sat : Bdd.t;
+  fail_init : Bdd.t;
+  early_failure_step : int option;
+  explored : Reach.t;
+}
+
+(* Satisfaction sets are always kept within the explored state set [reach];
+   negation is relative to it. *)
+let rec sat env trans reach fair f =
+  let recur f = sat env trans reach fair f in
+  let lift e =
+    Bdd.dand reach (Trans.abstract_to_states trans (Expr.to_bdd (Trans.sym trans) e))
+  in
+  let ex s = Bdd.dand reach (El.pre_within env ~within:reach (Bdd.dand s fair)) in
+  (* Fair E[p U q]: least fixpoint from fair q-states; q-states need not
+     satisfy p, so this is the standard lfp rather than eu_within. *)
+  let eu p q =
+    let target = Bdd.dand (Bdd.dand q fair) reach in
+    let rec lfp y =
+      let y' =
+        Bdd.dor target (Bdd.dand p (El.pre_within env ~within:reach y))
+      in
+      if Bdd.equal y y' then y else lfp y'
+    in
+    lfp target
+  in
+  let eg p =
+    (* fair EG: infinite fair path staying in p *)
+    El.fair_states env ~within:(Bdd.dand p reach)
+  in
+  match f with
+  | Ctl.Prop e -> lift e
+  | Ctl.Not f -> Bdd.dand reach (Bdd.dnot (recur f))
+  | Ctl.And (a, b) -> Bdd.dand (recur a) (recur b)
+  | Ctl.Or (a, b) -> Bdd.dor (recur a) (recur b)
+  | Ctl.Imp (a, b) -> Bdd.dand reach (Bdd.dor (Bdd.dnot (recur a)) (recur b))
+  | Ctl.EX f -> ex (recur f)
+  | Ctl.EF f -> eu reach (recur f)
+  | Ctl.EG f -> eg (recur f)
+  | Ctl.EU (p, q) -> eu (recur p) (recur q)
+  | Ctl.AX f -> Bdd.dand reach (Bdd.dnot (ex (Bdd.dand reach (Bdd.dnot (recur f)))))
+  | Ctl.AF f ->
+      (* AF f = !EG !f *)
+      Bdd.dand reach (Bdd.dnot (eg (Bdd.dand reach (Bdd.dnot (recur f)))))
+  | Ctl.AG f ->
+      (* AG f = !EF !f *)
+      Bdd.dand reach (Bdd.dnot (eu reach (Bdd.dand reach (Bdd.dnot (recur f)))))
+  | Ctl.AU (p, q) ->
+      (* A[p U q] = !( E[!q U (!p & !q)] | EG !q ) *)
+      let np = Bdd.dand reach (Bdd.dnot (recur p)) in
+      let nq = Bdd.dand reach (Bdd.dnot (recur q)) in
+      Bdd.dand reach
+        (Bdd.dnot (Bdd.dor (eu nq (Bdd.dand np nq)) (eg nq)))
+
+let sat_within ?(fairness = []) trans ~within f =
+  let env = El.prepare trans fairness in
+  let fair = El.fair_states env ~within in
+  sat env trans within fair f
+
+let sat_states ?fairness trans ~within f = sat_within ?fairness trans ~within f
+
+let evaluate ?(fairness = []) trans reach_set init f =
+  let env = El.prepare trans fairness in
+  let fair = El.fair_states env ~within:reach_set in
+  let s = sat env trans reach_set fair f in
+  let fail_init = Bdd.dand init (Bdd.dand reach_set (Bdd.dnot s)) in
+  (s, fail_init)
+
+let check ?(fairness = []) ?(early_failure = false) ?reach trans f =
+  let init = Trans.initial trans in
+  let full =
+    match reach with Some r -> r | None -> Reach.compute trans init
+  in
+  (* Early failure detection on growing prefixes: sound for refutation of
+     universal formulas because a counterexample inside a substructure is a
+     counterexample of the full structure. *)
+  let early =
+    (* One cheap probe on a short prefix: most errors show up within a few
+       reachability steps (Sec. 5.4), while passing properties should not
+       pay for repeated re-evaluation. *)
+    if early_failure && Ctl.universal_only f then begin
+      let n = Array.length full.Reach.rings in
+      let k = min 4 (n - 2) in
+      if k < 1 then None
+      else begin
+        let partial = Reach.partial full ~upto:k in
+        let _, fail_init = evaluate ~fairness trans partial init f in
+        if not (Bdd.is_false fail_init) then Some (k, fail_init) else None
+      end
+    end
+    else None
+  in
+  match early with
+  | Some (k, fail_init) ->
+      {
+        holds = false;
+        sat = Bdd.dfalse (Trans.man trans);
+        fail_init;
+        early_failure_step = Some k;
+        explored = full;
+      }
+  | None ->
+      let s, fail_init = evaluate ~fairness trans full.Reach.reachable init f in
+      {
+        holds = Bdd.is_false fail_init;
+        sat = s;
+        fail_init;
+        early_failure_step = None;
+        explored = full;
+      }

@@ -1,0 +1,33 @@
+open Hsis_bdd
+open Hsis_fsm
+open Hsis_auto
+
+(** Fair CTL model checking (paper Sec. 5.2), with the invariance fast path
+    and early failure detection (Sec. 5.4). *)
+
+type outcome = {
+  holds : bool;
+  sat : Bdd.t;  (** states (within the explored set) satisfying the formula *)
+  fail_init : Bdd.t;  (** initial states violating the formula *)
+  early_failure_step : int option;
+      (** set when a violation was detected on a partial reachable set *)
+  explored : Reach.t;
+}
+
+val check :
+  ?fairness:Fair.compiled list ->
+  ?early_failure:bool ->
+  ?reach:Reach.t ->
+  Trans.t ->
+  Ctl.t ->
+  outcome
+(** Atoms are lifted to state predicates by existential abstraction.  The
+    formula holds when every initial state satisfies it; existential
+    quantifiers range over fair paths.  When [early_failure] is set and the
+    formula is universal (Sec. 5.4), the property is first evaluated on
+    growing prefixes of the reachable set — any violation found there is
+    definitive. *)
+
+val sat_states :
+  ?fairness:Fair.compiled list -> Trans.t -> within:Bdd.t -> Ctl.t -> Bdd.t
+(** The satisfying set alone, relative to an explored set. *)

@@ -1,0 +1,53 @@
+open Hsis_bdd
+open Hsis_fsm
+
+type t = {
+  reachable : Bdd.t;
+  rings : Bdd.t array;
+  steps : int;
+  bad_hit : int option;
+}
+
+let compute ?(use_mono = false) ?bad ?(stop_on_bad = false) ?max_steps trans
+    init =
+  let hits set =
+    match bad with
+    | None -> false
+    | Some b -> not (Bdd.is_false (Bdd.dand set b))
+  in
+  let rec go k reached frontier rings bad_hit =
+    let bad_hit =
+      match bad_hit with
+      | Some _ -> bad_hit
+      | None -> if hits frontier then Some k else None
+    in
+    let stop_bad = stop_on_bad && bad_hit <> None in
+    let stop_depth = match max_steps with Some m -> k >= m | None -> false in
+    if Bdd.is_false frontier || stop_bad || stop_depth then
+      (reached, List.rev rings, k, bad_hit)
+    else begin
+      let next = Trans.image ~use_mono trans frontier in
+      let fresh = Bdd.dand next (Bdd.dnot reached) in
+      go (k + 1) (Bdd.dor reached fresh) fresh (fresh :: rings) bad_hit
+    end
+  in
+  let reachable, rings, steps, bad_hit = go 0 init init [ init ] None in
+  (* The last ring may be empty (fixpoint detection step); drop it. *)
+  let rings =
+    match List.rev rings with
+    | r :: rest when Bdd.is_false r -> List.rev rest
+    | _ -> rings
+  in
+  { reachable; rings = Array.of_list rings; steps; bad_hit }
+
+let count_states trans set =
+  let sym = Trans.sym trans in
+  Bdd.satcount_vars set ~vars:(Sym.state_bit_vars sym)
+
+let partial t ~upto =
+  let upto = min upto (Array.length t.rings - 1) in
+  let acc = ref t.rings.(0) in
+  for k = 1 to upto do
+    acc := Bdd.dor !acc t.rings.(k)
+  done;
+  !acc

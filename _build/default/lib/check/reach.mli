@@ -1,0 +1,28 @@
+open Hsis_bdd
+open Hsis_fsm
+
+(** Breadth-first symbolic reachability with onion rings and early failure
+    detection (paper Secs. 2 and 5.4). *)
+
+type t = {
+  reachable : Bdd.t;
+  rings : Bdd.t array;
+      (** [rings.(k)] = states first reached in exactly [k] steps; their
+          union is [reachable].  Kept for shortest-prefix debug traces. *)
+  steps : int;
+  bad_hit : int option;
+      (** First ring index intersecting the [bad] set, if one was given. *)
+}
+
+val compute :
+  ?use_mono:bool -> ?bad:Bdd.t -> ?stop_on_bad:bool -> ?max_steps:int ->
+  Trans.t -> Bdd.t -> t
+(** [compute trans init].  With [stop_on_bad] (early failure detection) the
+    exploration stops at the first ring intersecting [bad]; [reachable] is
+    then a subset of the true reachable set. *)
+
+val count_states : Trans.t -> Bdd.t -> float
+(** Number of states in a set (satisfying assignments over state bits). *)
+
+val partial : t -> upto:int -> Bdd.t
+(** Union of the first [upto+1] rings. *)

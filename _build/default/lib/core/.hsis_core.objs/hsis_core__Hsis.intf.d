@@ -1,0 +1,1 @@
+lib/core/hsis.mli: Ast Autom Bdd Ctl Fair Format Hsis_auto Hsis_bdd Hsis_bisim Hsis_blifmv Hsis_check Hsis_debug Hsis_fsm Hsis_sim Mcdbg Net Pif Reach Trace Trans

@@ -1,0 +1,187 @@
+open Hsis_bdd
+open Hsis_blifmv
+open Hsis_fsm
+open Hsis_auto
+open Hsis_check
+open Hsis_debug
+
+type design = {
+  flat : Ast.model;
+  net : Net.t;
+  trans : Trans.t;
+  verilog_lines : int option;
+  blifmv_lines : int;
+  read_time : float;
+  mutable reach_cache : Reach.t option;
+}
+
+let timed f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+let read_flat ?(heuristic = Trans.Min_width) ?verilog_lines flat =
+  let blifmv_lines = Ast.line_count (Printer.model_to_string flat) in
+  let (net, trans), read_time =
+    timed (fun () ->
+        let net = Net.of_model flat in
+        let man = Bdd.new_man () in
+        let sym = Sym.make man net in
+        let trans = Trans.build ~heuristic sym in
+        (* building the relation BDDs is part of "read" in Table 1 *)
+        ignore (Trans.parts trans);
+        (net, trans))
+  in
+  { flat; net; trans; verilog_lines; blifmv_lines; read_time;
+    reach_cache = None }
+
+let read_blifmv ?heuristic src =
+  let ast = Parser.parse src in
+  read_flat ?heuristic (Flatten.flatten ast)
+
+let read_verilog ?heuristic src =
+  let verilog_lines = Ast.line_count src in
+  let ast = Hsis_verilog.Elab.compile src in
+  read_flat ?heuristic ~verilog_lines (Flatten.flatten ast)
+
+let reachable d =
+  match d.reach_cache with
+  | Some r -> r
+  | None ->
+      let r = Reach.compute d.trans (Trans.initial d.trans) in
+      d.reach_cache <- Some r;
+      r
+
+let reached_states d = Reach.count_states d.trans (reachable d).Reach.reachable
+
+type ctl_result = {
+  cr_name : string;
+  cr_formula : Ctl.t;
+  cr_holds : bool;
+  cr_time : float;
+  cr_early_step : int option;
+  cr_explanation : Mcdbg.explanation option;
+}
+
+type lc_result = {
+  lr_name : string;
+  lr_holds : bool;
+  lr_time : float;
+  lr_early_step : int option;
+  lr_trace : Trace.t option;
+  lr_trans : Trans.t;
+}
+
+let check_ctl ?(fairness = []) ?(early_failure = true) ?(explain = false) d
+    ~name formula =
+  let reach = reachable d in
+  let (outcome, compiled), cr_time =
+    timed (fun () ->
+        let compiled = Fair.compile_all d.trans fairness in
+        (Mc.check ~fairness:compiled ~early_failure ~reach d.trans formula,
+         compiled))
+  in
+  let cr_explanation =
+    if explain && not outcome.Mc.holds then begin
+      let ctx = Mcdbg.make ~fairness:compiled d.trans ~reach in
+      Mcdbg.explain_failure ctx formula outcome
+    end
+    else None
+  in
+  {
+    cr_name = name;
+    cr_formula = formula;
+    cr_holds = outcome.Mc.holds;
+    cr_time;
+    cr_early_step = outcome.Mc.early_failure_step;
+    cr_explanation;
+  }
+
+let check_lc ?(fairness = []) ?(early_failure = true) ?(trace = true) d aut =
+  let outcome, lr_time =
+    timed (fun () -> Lc.check ~fairness ~early_failure d.flat aut)
+  in
+  let lr_trace =
+    if trace && not outcome.Lc.holds then
+      try
+        Some
+          (Trace.fair_lasso outcome.Lc.env ~reach:outcome.Lc.reach
+             ~fair:outcome.Lc.fair)
+      with Not_found -> None
+    else None
+  in
+  {
+    lr_name = aut.Autom.a_name;
+    lr_holds = outcome.Lc.holds;
+    lr_time;
+    lr_early_step = outcome.Lc.early_failure_step;
+    lr_trace;
+    lr_trans = outcome.Lc.trans;
+  }
+
+type report = {
+  design_name : string;
+  ctl : ctl_result list;
+  lc : lc_result list;
+  mc_time : float;
+  lc_time : float;
+}
+
+let run_pif ?(early_failure = true) ?(witnesses = false) d (pif : Pif.t) =
+  let ctl =
+    List.map
+      (fun (name, f) ->
+        check_ctl ~fairness:pif.Pif.p_fairness ~early_failure
+          ~explain:witnesses d ~name f)
+      pif.Pif.p_ctl
+  in
+  let lc =
+    List.map
+      (fun name ->
+        match Pif.find_automaton pif name with
+        | Some aut ->
+            check_lc ~fairness:pif.Pif.p_fairness ~early_failure
+              ~trace:witnesses d aut
+        | None -> invalid_arg ("run_pif: unknown automaton " ^ name))
+      pif.Pif.p_lc
+  in
+  {
+    design_name = d.flat.Ast.m_name;
+    ctl;
+    lc;
+    mc_time = List.fold_left (fun acc r -> acc +. r.cr_time) 0.0 ctl;
+    lc_time = List.fold_left (fun acc r -> acc +. r.lr_time) 0.0 lc;
+  }
+
+let simulator d = Hsis_sim.Simulator.create d.net
+
+let bisimulation ?class_cap d =
+  Hsis_bisim.Bisim.compute ?class_cap d.trans
+    ~reach:(reachable d).Reach.reachable
+
+let minimize d =
+  Hsis_bisim.Dontcare.with_reachable d.trans
+    ~reach:(reachable d).Reach.reachable
+
+let stats d = Bdd.stats (Trans.man d.trans)
+
+let pp_report fmt r =
+  Format.fprintf fmt "design %s:@." r.design_name;
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "  ctl %-24s %-6s %6.3fs%s@." c.cr_name
+        (if c.cr_holds then "passed" else "FAILED")
+        c.cr_time
+        (match c.cr_early_step with
+        | Some k -> Printf.sprintf " (early failure at step %d)" k
+        | None -> ""))
+    r.ctl;
+  List.iter
+    (fun l ->
+      Format.fprintf fmt "  lc  %-24s %-6s %6.3fs%s@." l.lr_name
+        (if l.lr_holds then "passed" else "FAILED")
+        l.lr_time
+        (match l.lr_early_step with
+        | Some k -> Printf.sprintf " (early failure at step %d)" k
+        | None -> ""))
+    r.lc

@@ -1,0 +1,86 @@
+open Hsis_bdd
+open Hsis_blifmv
+open Hsis_fsm
+open Hsis_auto
+open Hsis_check
+open Hsis_debug
+
+(** The unified HSIS environment (paper Fig. 1): read a design from Verilog
+    or BLIF-MV, build its symbolic transition structure, check CTL and
+    containment properties from a PIF file, and produce bug reports with
+    error traces. *)
+
+type design = {
+  flat : Ast.model;  (** flattened BLIF-MV *)
+  net : Net.t;
+  trans : Trans.t;
+  verilog_lines : int option;
+  blifmv_lines : int;
+  read_time : float;  (** seconds to parse + build relation BDDs *)
+  mutable reach_cache : Reach.t option;  (** filled by {!reachable} *)
+}
+
+val read_verilog : ?heuristic:Trans.heuristic -> string -> design
+val read_blifmv : ?heuristic:Trans.heuristic -> string -> design
+val read_flat : ?heuristic:Trans.heuristic -> ?verilog_lines:int -> Ast.model -> design
+
+val reachable : design -> Reach.t
+(** Cached after the first call. *)
+
+val reached_states : design -> float
+
+type ctl_result = {
+  cr_name : string;
+  cr_formula : Ctl.t;
+  cr_holds : bool;
+  cr_time : float;
+  cr_early_step : int option;
+  cr_explanation : Mcdbg.explanation option;  (** bug report when failing *)
+}
+
+type lc_result = {
+  lr_name : string;
+  lr_holds : bool;
+  lr_time : float;
+  lr_early_step : int option;
+  lr_trace : Trace.t option;  (** error trace when containment fails *)
+  lr_trans : Trans.t;  (** product structure, for printing the trace *)
+}
+
+val check_ctl :
+  ?fairness:Fair.syntactic list ->
+  ?early_failure:bool ->
+  ?explain:bool ->
+  design ->
+  name:string ->
+  Ctl.t ->
+  ctl_result
+
+val check_lc :
+  ?fairness:Fair.syntactic list ->
+  ?early_failure:bool ->
+  ?trace:bool ->
+  design ->
+  Autom.t ->
+  lc_result
+
+type report = {
+  design_name : string;
+  ctl : ctl_result list;
+  lc : lc_result list;
+  mc_time : float;
+  lc_time : float;
+}
+
+val run_pif :
+  ?early_failure:bool -> ?witnesses:bool -> design -> Pif.t -> report
+(** Check every [ctl] and [lc] property of the PIF file under its fairness
+    constraints. *)
+
+val simulator : design -> Hsis_sim.Simulator.t
+val bisimulation : ?class_cap:int -> design -> Hsis_bisim.Bisim.result
+val minimize : design -> Hsis_bisim.Dontcare.report
+(** Restrict the relation parts with the reachable care set. *)
+
+val stats : design -> Bdd.stats
+val pp_report : Format.formatter -> report -> unit

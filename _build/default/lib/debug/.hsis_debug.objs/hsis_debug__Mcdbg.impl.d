@@ -1,0 +1,1 @@
+lib/debug/mcdbg.ml: Bdd Ctl El Expr Fair Format Hashtbl Hsis_auto Hsis_bdd Hsis_blifmv Hsis_check Hsis_fsm Hsis_mv List Mc Printf Reach String Sym Trace Trans

@@ -1,0 +1,1 @@
+lib/debug/mcdbg.mli: Bdd Ctl Expr Fair Format Hsis_auto Hsis_bdd Hsis_check Hsis_fsm Mc Reach Trace Trans

@@ -1,0 +1,1 @@
+lib/debug/trace.ml: Array Bdd Domain El Enc Fair Format Fun Hsis_auto Hsis_bdd Hsis_blifmv Hsis_check Hsis_fsm Hsis_mv List Net Printf Reach String Sym Trans

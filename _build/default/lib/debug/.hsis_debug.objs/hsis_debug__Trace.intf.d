@@ -1,0 +1,1 @@
+lib/debug/trace.mli: Bdd El Format Hsis_bdd Hsis_check Hsis_fsm Reach Trans

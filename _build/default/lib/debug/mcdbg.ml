@@ -1,0 +1,240 @@
+open Hsis_bdd
+open Hsis_fsm
+open Hsis_auto
+open Hsis_check
+
+type explanation =
+  | Prop_value of Expr.t * bool
+  | Conjuncts of (Ctl.t * explanation) list
+  | Disjuncts of (Ctl.t * explanation) list
+  | Negation of explanation
+  | Successor of Trace.step * explanation
+  | Path of Trace.step list * explanation
+  | Lasso of Trace.t
+  | Choice of (Trace.step * explanation) list
+  | Holds
+  | Unreachable of Ctl.t
+
+type ctx = {
+  trans : Trans.t;
+  env : El.env;
+  reach : Reach.t;
+  sat_cache : (Ctl.t, Bdd.t) Hashtbl.t;
+  fairness : Fair.compiled list;
+}
+
+let make ?(fairness = []) trans ~reach =
+  {
+    trans;
+    env = El.prepare trans fairness;
+    reach;
+    sat_cache = Hashtbl.create 32;
+    fairness;
+  }
+
+let sat ctx f =
+  match Hashtbl.find_opt ctx.sat_cache f with
+  | Some s -> s
+  | None ->
+      let s =
+        Mc.sat_states ~fairness:ctx.fairness ctx.trans
+          ~within:ctx.reach.Reach.reachable f
+      in
+      Hashtbl.replace ctx.sat_cache f s;
+      s
+
+let in_set state set = not (Bdd.is_false (Bdd.dand state set))
+
+(* successors of a concrete state within reach *)
+let successors ctx state =
+  Bdd.dand (Trans.image ctx.trans state) ctx.reach.Reach.reachable
+
+(* path of steps from a list of state cubes *)
+let steps_of_states ctx states =
+  List.map
+    (fun s -> { Trace.state = Trace.decode_state ctx.trans s; others = [] })
+    states
+
+let rec explain_false ctx f state =
+  match f with
+  | Ctl.Prop e -> Prop_value (e, false)
+  | Ctl.Not f -> Negation (explain_true ctx f state)
+  | Ctl.And (a, b) ->
+      let failing =
+        List.filter (fun g -> not (in_set state (sat ctx g))) [ a; b ]
+      in
+      Conjuncts (List.map (fun g -> (g, explain_false ctx g state)) failing)
+  | Ctl.Or (a, b) ->
+      Disjuncts
+        (List.map (fun g -> (g, explain_false ctx g state)) [ a; b ])
+  | Ctl.Imp (a, b) ->
+      (* fails because a holds and b fails *)
+      Conjuncts
+        [ (a, explain_true ctx a state); (b, explain_false ctx b state) ]
+  | Ctl.AX f ->
+      (* some successor violates f *)
+      let bad = Bdd.dand (successors ctx state) (Bdd.dnot (sat ctx f)) in
+      let t = Trace.pick_state ctx.trans bad in
+      Successor (List.hd (steps_of_states ctx [ t ]), explain_false ctx f t)
+  | Ctl.AG f ->
+      (* shortest path to a violating state *)
+      let bad =
+        Bdd.dand ctx.reach.Reach.reachable (Bdd.dnot (sat ctx f))
+      in
+      let path =
+        Trace.bfs_path ctx.trans ~within:ctx.reach.Reach.reachable ~src:state
+          ~dst:bad
+      in
+      let last = List.nth path (List.length path - 1) in
+      Path (steps_of_states ctx path, explain_false ctx f last)
+  | Ctl.AF f ->
+      (* a fair lasso avoiding f forever *)
+      let region =
+        Bdd.dand ctx.reach.Reach.reachable (Bdd.dnot (sat ctx f))
+      in
+      (try Lasso (Trace.lasso_from ctx.env ~within:region state)
+       with Not_found -> Unreachable f)
+  | Ctl.AU (p, q) ->
+      (* either a path where p fails before q, or a lasso avoiding q *)
+      let nq = Bdd.dand ctx.reach.Reach.reachable (Bdd.dnot (sat ctx q)) in
+      let np = Bdd.dand ctx.reach.Reach.reachable (Bdd.dnot (sat ctx p)) in
+      let bad = Bdd.dand np nq in
+      (try
+         let path = Trace.bfs_path ctx.trans ~within:nq ~src:state ~dst:bad in
+         let last = List.nth path (List.length path - 1) in
+         Path
+           ( steps_of_states ctx path,
+             Conjuncts
+               [ (p, explain_false ctx p last); (q, explain_false ctx q last) ]
+           )
+       with Not_found -> (
+         try Lasso (Trace.lasso_from ctx.env ~within:nq state)
+         with Not_found -> Unreachable q))
+  | Ctl.EX f ->
+      (* every successor violates f: present up to three for inspection *)
+      let succ = ref (successors ctx state) in
+      let choices = ref [] in
+      (try
+         for _ = 1 to 3 do
+           let t = Trace.pick_state ctx.trans !succ in
+           choices :=
+             (List.hd (steps_of_states ctx [ t ]), explain_false ctx f t)
+             :: !choices;
+           succ := Bdd.dand !succ (Bdd.dnot t)
+         done
+       with Not_found -> ());
+      Choice (List.rev !choices)
+  | Ctl.EF f -> Unreachable f
+  | Ctl.EG _ -> Unreachable f
+  | Ctl.EU (_, q) -> Unreachable q
+
+and explain_true ctx f state =
+  match f with
+  | Ctl.Prop e -> Prop_value (e, true)
+  | Ctl.Not f -> Negation (explain_false ctx f state)
+  | Ctl.EX f ->
+      let good = Bdd.dand (successors ctx state) (sat ctx f) in
+      let t = Trace.pick_state ctx.trans good in
+      Successor (List.hd (steps_of_states ctx [ t ]), explain_true ctx f t)
+  | Ctl.EF f ->
+      let path =
+        Trace.bfs_path ctx.trans ~within:ctx.reach.Reach.reachable ~src:state
+          ~dst:(sat ctx f)
+      in
+      let last = List.nth path (List.length path - 1) in
+      Path (steps_of_states ctx path, explain_true ctx f last)
+  | Ctl.EU (p, q) ->
+      let path =
+        Trace.bfs_path ctx.trans ~within:(sat ctx p) ~src:state
+          ~dst:(sat ctx q)
+      in
+      let last = List.nth path (List.length path - 1) in
+      Path (steps_of_states ctx path, explain_true ctx q last)
+  | Ctl.EG f -> (
+      try Lasso (Trace.lasso_from ctx.env ~within:(sat ctx f) state)
+      with Not_found -> Holds)
+  | Ctl.And (a, b) ->
+      Conjuncts
+        [ (a, explain_true ctx a state); (b, explain_true ctx b state) ]
+  | Ctl.Or (a, b) ->
+      let winner = if in_set state (sat ctx a) then a else b in
+      Disjuncts [ (winner, explain_true ctx winner state) ]
+  | Ctl.Imp (_, _) | Ctl.AX _ | Ctl.AG _ | Ctl.AF _ | Ctl.AU _ -> Holds
+
+let explain ctx f ~state = explain_false ctx f state
+
+let explain_failure ctx f (outcome : Mc.outcome) =
+  if outcome.Mc.holds then None
+  else begin
+    let state = Trace.pick_state ctx.trans outcome.Mc.fail_init in
+    Some (explain_false ctx f state)
+  end
+
+let rec depth = function
+  | Prop_value _ | Holds | Unreachable _ -> 1
+  | Negation e -> 1 + depth e
+  | Successor (_, e) -> 1 + depth e
+  | Path (_, e) -> 1 + depth e
+  | Lasso _ -> 1
+  | Conjuncts es | Disjuncts es ->
+      1 + List.fold_left (fun acc (_, e) -> max acc (depth e)) 0 es
+  | Choice es ->
+      1 + List.fold_left (fun acc (_, e) -> max acc (depth e)) 0 es
+
+let pp trans fmt expl =
+  let sym = Trans.sym trans in
+  let net = Sym.net sym in
+  let show_state st =
+    String.concat " "
+      (List.map
+         (fun (s, v) ->
+           Printf.sprintf "%s=%s"
+             (Hsis_blifmv.Net.signal net s).Hsis_blifmv.Net.s_name
+             (Hsis_mv.Domain.value (Hsis_blifmv.Net.dom net s) v))
+         st)
+  in
+  let rec go indent = function
+    | Prop_value (e, b) ->
+        Format.fprintf fmt "%s%s is %b@." indent (Expr.to_string e) b
+    | Conjuncts es ->
+        Format.fprintf fmt "%sconjuncts:@." indent;
+        List.iter
+          (fun (f, e) ->
+            Format.fprintf fmt "%s- %s:@." indent (Ctl.to_string f);
+            go (indent ^ "  ") e)
+          es
+    | Disjuncts es ->
+        Format.fprintf fmt "%sdisjuncts:@." indent;
+        List.iter
+          (fun (f, e) ->
+            Format.fprintf fmt "%s- %s:@." indent (Ctl.to_string f);
+            go (indent ^ "  ") e)
+          es
+    | Negation e ->
+        Format.fprintf fmt "%sbecause the negated formula:@." indent;
+        go (indent ^ "  ") e
+    | Successor (s, e) ->
+        Format.fprintf fmt "%sstep to %s@." indent (show_state s.Trace.state);
+        go indent e
+    | Path (steps, e) ->
+        Format.fprintf fmt "%spath:@." indent;
+        List.iter
+          (fun s -> Format.fprintf fmt "%s  %s@." indent (show_state s.Trace.state))
+          steps;
+        go indent e
+    | Lasso t ->
+        Format.fprintf fmt "%sinfinite path (lasso):@." indent;
+        Format.fprintf fmt "%s%a" indent (Trace.pp trans) t
+    | Choice es ->
+        Format.fprintf fmt "%ssuccessor choices:@." indent;
+        List.iter
+          (fun (s, e) ->
+            Format.fprintf fmt "%s> %s:@." indent (show_state s.Trace.state);
+            go (indent ^ "  ") e)
+          es
+    | Holds -> Format.fprintf fmt "%sholds@." indent
+    | Unreachable f ->
+        Format.fprintf fmt "%sno witness anywhere for %s@." indent
+          (Ctl.to_string f)
+  in
+  go "" expl

@@ -1,0 +1,52 @@
+open Hsis_bdd
+open Hsis_fsm
+open Hsis_auto
+open Hsis_check
+
+(** Interactive model-checking debugger (paper Sec. 6.2): unfold a failing
+    CTL formula one step at a time.  The result is a machine-walkable
+    explanation tree; a front end can present the user's choices (which
+    conjunct to certify false, which successor to pursue) one node at a
+    time. *)
+
+type explanation =
+  | Prop_value of Expr.t * bool
+      (** the propositional atom's value at the current state *)
+  | Conjuncts of (Ctl.t * explanation) list
+      (** a conjunction fails: the failing conjuncts (user picks one) *)
+  | Disjuncts of (Ctl.t * explanation) list
+      (** a disjunction fails: every disjunct fails *)
+  | Negation of explanation
+  | Successor of Trace.step * explanation
+      (** one transition, then continue at the reached state *)
+  | Path of Trace.step list * explanation
+      (** a finite path witnessing an eventuality failure, explained at its
+          last state *)
+  | Lasso of Trace.t
+      (** an infinite (fair) path witnessing an EG/AF-style failure *)
+  | Choice of (Trace.step * explanation) list
+      (** several successors, each with its own continuation (the user
+          prompts which next state to pursue) *)
+  | Holds
+      (** the sub-formula holds here; nothing to explain *)
+  | Unreachable of Ctl.t
+      (** no witness exists anywhere (e.g. EF of an unreachable target) *)
+
+type ctx
+
+val make :
+  ?fairness:Fair.compiled list -> Trans.t -> reach:Reach.t -> ctx
+
+val explain : ctx -> Ctl.t -> state:Bdd.t -> explanation
+(** Why the formula fails (or how it holds, for negations) at the given
+    concrete state. *)
+
+val explain_failure : ctx -> Ctl.t -> Mc.outcome -> explanation option
+(** Explanation at one failing initial state; [None] when the property
+    holds. *)
+
+val pp : Trans.t -> Format.formatter -> explanation -> unit
+(** Render the whole tree (a CLI front end may instead walk it node by
+    node). *)
+
+val depth : explanation -> int

@@ -1,0 +1,577 @@
+open Hsis_bdd
+open Hsis_mv
+open Hsis_blifmv
+open Hsis_fsm
+open Hsis_auto
+open Hsis_check
+
+type step = { state : (int * int) list; others : (int * int) list }
+type t = { prefix : step list; cycle : step list; verified : bool }
+
+(* ------------------------------------------------------------------ *)
+(* Concrete states *)
+
+let pick_state trans set =
+  if Bdd.is_false set then raise Not_found;
+  let sym = Trans.sym trans in
+  let man = Trans.man trans in
+  let assignment = Bdd.pick_state set ~over:(Sym.state_bit_vars sym) in
+  Bdd.conj man
+    (List.map
+       (fun (v, b) ->
+         let lit = Bdd.ithvar man v in
+         if b then lit else Bdd.dnot lit)
+       assignment)
+
+let env_of_point point =
+  let cube = Bdd.pick_cube point in
+  fun v -> match List.assoc_opt v cube with Some b -> b | None -> false
+
+let decode_state trans point =
+  let sym = Trans.sym trans in
+  Sym.state_of_assignment sym (env_of_point point)
+
+(* Values of non-state signals on the transition pres -> next. *)
+let solve_others trans ~pres ~next =
+  let sym = Trans.sym trans in
+  let net = Sym.net sym in
+  let next_cube = Bdd.permute (Sym.pres_to_next sym) next in
+  let sol = Trans.solve_step trans ~pres ~next:next_cube in
+  if Bdd.is_false sol then []
+  else begin
+    let env = env_of_point sol in
+    List.filter_map
+      (fun s ->
+        if Sym.is_state sym s then None
+        else
+          match Enc.decode (Sym.pres sym s) env with
+          | v -> Some (s, v)
+          | exception Invalid_argument _ -> None)
+      (List.init (Net.num_signals net) Fun.id)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Shortest paths *)
+
+let bfs_path trans ~within ~src ~dst =
+  if not (Bdd.is_false (Bdd.dand src dst)) then [ src ]
+  else begin
+    (* forward rings from src within the region *)
+    let rec forward rings frontier reached =
+      if Bdd.is_false frontier then raise Not_found
+      else if not (Bdd.is_false (Bdd.dand frontier dst)) then List.rev rings
+      else begin
+        let next =
+          Bdd.dand (Bdd.dand (Trans.image trans frontier) within)
+            (Bdd.dnot reached)
+        in
+        forward (next :: rings) next (Bdd.dor reached next)
+      end
+    in
+    let rings = forward [ src ] src src in
+    (* rings are now src-first; the last intersects dst *)
+    let rings = Array.of_list rings in
+    let k = Array.length rings - 1 in
+    let target = pick_state trans (Bdd.dand rings.(k) dst) in
+    let rec backward j acc current =
+      if j < 0 then acc
+      else begin
+        let prev =
+          pick_state trans
+            (Bdd.dand rings.(j) (Trans.preimage trans current))
+        in
+        backward (j - 1) (prev :: acc) prev
+      end
+    in
+    backward (k - 1) [ target ] target
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Fair cycles *)
+
+(* Forward/backward reachable sets in at least one step, within a region. *)
+let forward_within trans ~within s =
+  let rec go reached frontier =
+    if Bdd.is_false frontier then reached
+    else begin
+      let next =
+        Bdd.dand (Bdd.dand (Trans.image trans frontier) within)
+          (Bdd.dnot reached)
+      in
+      go (Bdd.dor reached next) next
+    end
+  in
+  let first = Bdd.dand (Trans.image trans s) within in
+  go first first
+
+let backward_within trans ~within s =
+  let rec go reached frontier =
+    if Bdd.is_false frontier then reached
+    else begin
+      let next =
+        Bdd.dand (Bdd.dand (Trans.preimage trans frontier) within)
+          (Bdd.dnot reached)
+      in
+      go (Bdd.dor reached next) next
+    end
+  in
+  let first = Bdd.dand (Trans.preimage trans s) within in
+  go first first
+
+(* Every constraint has a witness inside the candidate cycle region. *)
+let witnesses_ok env scc =
+  let nonempty b = not (Bdd.is_false b) in
+  List.for_all
+    (fun c ->
+      match c with
+      | Fair.CInf_state p -> nonempty (Bdd.dand scc p)
+      | Fair.CInf_edge e -> nonempty (Bdd.dand scc (El.pre_edge env ~edge:e scc))
+      | Fair.CStreett (p, q) ->
+          let q_ok =
+            match q with
+            | Fair.CState qs -> nonempty (Bdd.dand scc qs)
+            | Fair.CEdge qe ->
+                nonempty (Bdd.dand scc (El.pre_edge env ~edge:qe scc))
+          in
+          let p_absent =
+            match p with
+            | Fair.CState ps -> Bdd.is_false (Bdd.dand scc ps)
+            | Fair.CEdge pe ->
+                Bdd.is_false (Bdd.dand scc (El.pre_edge env ~edge:pe scc))
+          in
+          q_ok || p_absent)
+    (El.constraints env)
+
+(* States that directly witness some constraint — the fair cycle must pass
+   through them, so they make good anchors. *)
+let witness_states env ~within =
+  let trans = El.trans_of env in
+  List.fold_left
+    (fun acc c ->
+      match c with
+      | Fair.CInf_state p -> Bdd.dor acc p
+      | Fair.CInf_edge e -> Bdd.dor acc (El.pre_edge env ~edge:e within)
+      | Fair.CStreett (_, Fair.CState qs) -> Bdd.dor acc qs
+      | Fair.CStreett (_, Fair.CEdge qe) ->
+          Bdd.dor acc (El.pre_edge env ~edge:qe within))
+    (Bdd.dfalse (Trans.man trans))
+    (El.constraints env)
+
+(* The cycle region through a candidate anchor, when the anchor can reach
+   itself within the hull. *)
+let scc_of env trans ~fair c =
+  let fwd = forward_within trans ~within:fair c in
+  if Bdd.is_false (Bdd.dand c fwd) then None
+  else begin
+    let scc = Bdd.dor c (Bdd.dand fwd (backward_within trans ~within:fair c)) in
+    if witnesses_ok env scc then Some scc else None
+  end
+
+(* Scan the reachability onion rings earliest-first for a witness state on
+   a fair cycle: this keeps the prefix minimal (paper Sec. 6.1). *)
+let ring_scan env trans ~fair rings =
+  let witnessy = witness_states env ~within:fair in
+  let max_rings = min (Array.length rings) 24 in
+  let rec scan k =
+    if k >= max_rings then None
+    else begin
+      let rec tries cand n =
+        if n = 0 || Bdd.is_false cand then None
+        else begin
+          let c = pick_state trans cand in
+          match scc_of env trans ~fair c with
+          | Some scc -> Some (c, scc)
+          | None -> tries (Bdd.dand cand (Bdd.dnot c)) (n - 1)
+        end
+      in
+      match tries (Bdd.dand (Bdd.dand rings.(k) fair) witnessy) 3 with
+      | Some r -> Some r
+      | None -> scan (k + 1)
+    end
+  in
+  scan 0
+
+(* Find a concrete state lying on a fair cycle, together with the
+   strongly-connected region the cycle can be built in.  Starting from a
+   hull state, walk into ever-deeper fair sub-hulls until the state can
+   reach itself and all constraint witnesses are available locally. *)
+let locate_cycle env trans ~fair start =
+  let rec go s depth =
+    let fwd = forward_within trans ~within:fair s in
+    let on_cycle = not (Bdd.is_false (Bdd.dand s fwd)) in
+    if on_cycle then begin
+      let scc =
+        Bdd.dor s (Bdd.dand fwd (backward_within trans ~within:fair s))
+      in
+      if witnesses_ok env scc || depth >= 32 then (s, scc)
+      else descend s fwd depth
+    end
+    else descend s fwd depth
+  and descend s fwd depth =
+    if depth >= 32 then (s, fair)
+    else begin
+      let inner = El.fair_states env ~within:fwd in
+      (* move strictly deeper in the SCC dag: exclude anything that can
+         still reach s (else the walk could oscillate on prefix states) *)
+      let back = backward_within trans ~within:fair s in
+      let candidates = Bdd.dand inner (Bdd.dnot (Bdd.dor back s)) in
+      if Bdd.is_false candidates then (s, fair)
+      else begin
+        (* prefer candidates that themselves witness a constraint: they
+           sit on or next to the fair cycle, keeping the prefix short *)
+        let witnessy =
+          List.fold_left
+            (fun acc c ->
+              match c with
+              | Fair.CInf_state p -> Bdd.dor acc p
+              | Fair.CInf_edge e ->
+                  Bdd.dor acc (El.pre_edge env ~edge:e inner)
+              | Fair.CStreett (_, Fair.CState qs) -> Bdd.dor acc qs
+              | Fair.CStreett (_, Fair.CEdge qe) ->
+                  Bdd.dor acc (El.pre_edge env ~edge:qe inner))
+            (Bdd.dfalse (Trans.man trans))
+            (El.constraints env)
+        in
+        let preferred = Bdd.dand candidates witnessy in
+        let next_s =
+          if Bdd.is_false preferred then pick_state trans candidates
+          else pick_state trans preferred
+        in
+        go next_s (depth + 1)
+      end
+    end
+  in
+  go start 0
+
+let edge_step env trans ~fair ~edge cur =
+  let sym = Trans.sym trans in
+  ignore env;
+  let e_cur =
+    Bdd.exists ~cube:(Sym.state_cube sym) (Bdd.dand edge cur)
+  in
+  let to_pres = Bdd.permute (Sym.next_to_pres sym) e_cur in
+  let candidates = Bdd.dand (Bdd.dand to_pres (Trans.image trans cur)) fair in
+  pick_state trans candidates
+
+(* Build a cycle through [start] inside the fair hull, visiting a witness
+   of every constraint. *)
+let build_cycle env trans ~fair start =
+  let cs = El.constraints env in
+  let path = ref [ start ] in
+  let cur = ref start in
+  let extend_to target =
+    match bfs_path trans ~within:fair ~src:!cur ~dst:target with
+    | [ _ ] -> () (* already there *)
+    | _ :: rest ->
+        path := List.rev_append rest !path;
+        cur := List.nth rest (List.length rest - 1)
+    | [] -> ()
+  in
+  List.iter
+    (fun c ->
+      match c with
+      | Fair.CInf_state p ->
+          if
+            Bdd.is_false (Bdd.dand !cur p)
+            && not (Bdd.is_false (Bdd.dand p fair))
+          then extend_to (Bdd.dand p fair)
+      | Fair.CInf_edge e ->
+          (* reach a source of the fair edge, then take it *)
+          let sources = Bdd.dand fair (El.pre_edge env ~edge:e fair) in
+          if not (Bdd.is_false sources) then begin
+            extend_to sources;
+            match edge_step env trans ~fair ~edge:e !cur with
+            | next ->
+                path := next :: !path;
+                cur := next
+            | exception Not_found -> ()
+          end
+      | Fair.CStreett (_, q) -> (
+          (* heuristic: route through a q-witness when one exists in the
+             hull; otherwise rely on the hull avoiding p (verified later) *)
+          match q with
+          | Fair.CState qs ->
+              if
+                (not (Bdd.is_false (Bdd.dand qs fair)))
+                && Bdd.is_false (Bdd.dand !cur qs)
+              then extend_to (Bdd.dand qs fair)
+          | Fair.CEdge qe ->
+              let sources = Bdd.dand fair (El.pre_edge env ~edge:qe fair) in
+              if not (Bdd.is_false sources) then begin
+                extend_to sources;
+                match edge_step env trans ~fair ~edge:qe !cur with
+                | next ->
+                    path := next :: !path;
+                    cur := next
+                | exception Not_found -> ()
+              end))
+    cs;
+  (* Ensure the cycle has at least one transition: if no constraint moved
+     us, hop to any fair successor first. *)
+  if Bdd.equal !cur start && List.length !path = 1 then begin
+    let succ = pick_state trans (Bdd.dand (Trans.image trans start) fair) in
+    path := succ :: !path;
+    cur := succ
+  end;
+  (* close the loop back to the start; drop the repeated start state *)
+  (match bfs_path trans ~within:fair ~src:!cur ~dst:start with
+  | _ :: rest when rest <> [] ->
+      let rest = List.filteri (fun i _ -> i < List.length rest - 1) rest in
+      path := List.rev_append rest !path
+  | _ -> ());
+  List.rev !path
+
+(* ------------------------------------------------------------------ *)
+(* Verification and minimization *)
+
+let has_transition trans a b =
+  let sym = Trans.sym trans in
+  let next = Bdd.permute (Sym.pres_to_next sym) b in
+  not (Bdd.is_false (Trans.solve_step trans ~pres:a ~next))
+
+let cycle_pairs cycle =
+  match cycle with
+  | [] -> []
+  | first :: _ ->
+      let rec go = function
+        | [ last ] -> [ (last, first) ]
+        | a :: (b :: _ as rest) -> (a, b) :: go rest
+        | [] -> []
+      in
+      go cycle
+
+let verify_cycle env trans cycle =
+  let sym = Trans.sym trans in
+  let pairs = cycle_pairs cycle in
+  let edge_bdd (a, b) = Bdd.dand a (Bdd.permute (Sym.pres_to_next sym) b) in
+  List.for_all (fun (a, b) -> has_transition trans a b) pairs
+  && List.for_all
+       (fun c ->
+         let state_hit p =
+           List.exists (fun s -> not (Bdd.is_false (Bdd.dand s p))) cycle
+         in
+         let edge_hit e =
+           List.exists
+             (fun pr -> not (Bdd.is_false (Bdd.dand (edge_bdd pr) e)))
+             pairs
+         in
+         match c with
+         | Fair.CInf_state p -> state_hit p
+         | Fair.CInf_edge e -> edge_hit e
+         | Fair.CStreett (p, q) ->
+             let p_hit =
+               match p with Fair.CState ps -> state_hit ps | Fair.CEdge pe -> edge_hit pe
+             in
+             let q_hit =
+               match q with Fair.CState qs -> state_hit qs | Fair.CEdge qe -> edge_hit qe
+             in
+             (not p_hit) || q_hit)
+       (El.constraints env)
+
+(* One shortcut pass: splice out segments when a direct transition skips
+   them and fairness still verifies (cycle minimization is NP-hard; this is
+   the paper's "heuristically minimized"). *)
+let minimize_cycle env trans cycle =
+  let arr = Array.of_list cycle in
+  let n = Array.length arr in
+  (* a self-loop on the anchor is the ideal cycle; other states cannot be
+     used alone, since the prefix connects to the head *)
+  let singleton =
+    match cycle with
+    | head :: _ :: _
+      when has_transition trans head head && verify_cycle env trans [ head ] ->
+        Some head
+    | _ -> None
+  in
+  match singleton with
+  | Some s -> [ s ]
+  | None ->
+  if n <= 2 then cycle
+  else begin
+    let best = ref cycle in
+    let try_splice i j =
+      (* keep 0..i, then j..n-1 *)
+      let candidate =
+        List.filteri (fun k _ -> k <= i || k >= j) (Array.to_list arr |> List.mapi (fun k s -> (k, s)))
+        |> List.map snd
+      in
+      if
+        List.length candidate >= 1
+        && List.length candidate < List.length !best
+        && has_transition trans arr.(i) arr.(j)
+        && verify_cycle env trans candidate
+      then best := candidate
+    in
+    for i = 0 to n - 2 do
+      for j = n - 1 downto i + 2 do
+        try_splice i j
+      done
+    done;
+    !best
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Assembly *)
+
+let steps_of trans states ~closing =
+  let rec go = function
+    | [] -> []
+    | [ last ] ->
+        let others =
+          match closing with
+          | Some first -> solve_others trans ~pres:last ~next:first
+          | None -> []
+        in
+        [ { state = decode_state trans last; others } ]
+    | a :: (b :: _ as rest) ->
+        { state = decode_state trans a; others = solve_others trans ~pres:a ~next:b }
+        :: go rest
+  in
+  go states
+
+let assemble env trans prefix_states cycle_states =
+  let cycle_states = minimize_cycle env trans cycle_states in
+  let verified = verify_cycle env trans cycle_states in
+  (* the prefix's last step transitions into the cycle head *)
+  let prefix_states, cycle_head =
+    match cycle_states with
+    | head :: _ -> (prefix_states, head)
+    | [] -> (prefix_states, Bdd.dfalse (Trans.man trans))
+  in
+  let prefix =
+    match List.rev prefix_states with
+    | [] -> []
+    | _last :: _ ->
+        let rec go = function
+          | [] -> []
+          | [ last ] ->
+              [
+                {
+                  state = decode_state trans last;
+                  others = solve_others trans ~pres:last ~next:cycle_head;
+                };
+              ]
+          | a :: (b :: _ as rest) ->
+              {
+                state = decode_state trans a;
+                others = solve_others trans ~pres:a ~next:b;
+              }
+              :: go rest
+        in
+        go prefix_states
+  in
+  let cycle =
+    match cycle_states with
+    | [] -> []
+    | first :: _ -> steps_of trans cycle_states ~closing:(Some first)
+  in
+  { prefix; cycle; verified }
+
+let fair_lasso env ~reach ~fair =
+  if Bdd.is_false fair then raise Not_found;
+  let trans = El.trans_of env in
+  let rings = reach.Reach.rings in
+  (* shortest prefix candidate: first ring intersecting the fair hull *)
+  let k0 =
+    let rec find i =
+      if i >= Array.length rings then raise Not_found
+      else if not (Bdd.is_false (Bdd.dand rings.(i) fair)) then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let anchor, region =
+    match ring_scan env trans ~fair rings with
+    | Some r -> r
+    | None ->
+        let start0 = pick_state trans (Bdd.dand rings.(k0) fair) in
+        locate_cycle env trans ~fair start0
+  in
+  (* minimum-length prefix to the anchor (it sits in exactly one ring) *)
+  let k =
+    let rec find i =
+      if i >= Array.length rings then raise Not_found
+      else if not (Bdd.is_false (Bdd.dand rings.(i) anchor)) then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let rec backward j acc current =
+    if j < 0 then acc
+    else begin
+      let prev =
+        pick_state trans (Bdd.dand rings.(j) (Trans.preimage trans current))
+      in
+      backward (j - 1) (prev :: acc) prev
+    end
+  in
+  let prefix_states = backward (k - 1) [] anchor in
+  let cycle_states = build_cycle env trans ~fair:region anchor in
+  assemble env trans prefix_states cycle_states
+
+let lasso_from env ~within start =
+  let trans = El.trans_of env in
+  let fair = El.fair_states env ~within in
+  if Bdd.is_false fair then raise Not_found;
+  let path = bfs_path trans ~within ~src:start ~dst:fair in
+  let entry = List.nth path (List.length path - 1) in
+  let head =
+    List.filteri (fun i _ -> i < List.length path - 1) path
+  in
+  let anchor, region = locate_cycle env trans ~fair entry in
+  let walk = bfs_path trans ~within:fair ~src:entry ~dst:anchor in
+  let walk_head =
+    List.filteri (fun i _ -> i < List.length walk - 1) walk
+  in
+  let prefix_states = head @ walk_head in
+  let cycle_states = build_cycle env trans ~fair:region anchor in
+  assemble env trans prefix_states cycle_states
+
+let total_length t = List.length t.prefix + List.length t.cycle
+
+(* ------------------------------------------------------------------ *)
+(* Printing *)
+
+(* Elaboration temporaries and next-state shadows are noise in a trace. *)
+let display_worthy name =
+  let temp =
+    String.length name >= 2
+    && name.[0] = '_'
+    && name.[1] = 'e'
+    && String.for_all
+         (fun c -> c >= '0' && c <= '9')
+         (String.sub name 2 (String.length name - 2))
+  in
+  let next_shadow =
+    String.length name > 5
+    && String.sub name (String.length name - 5) 5 = "_next"
+  in
+  (not temp) && not next_shadow
+
+let pp_step trans fmt (i, tag, { state; others }) =
+  let sym = Trans.sym trans in
+  let net = Sym.net sym in
+  let show (s, v) =
+    Printf.sprintf "%s=%s"
+      (Net.signal net s).Net.s_name
+      (Domain.value (Net.dom net s) v)
+  in
+  let visible =
+    List.filter (fun (s, _) -> display_worthy (Net.signal net s).Net.s_name)
+      others
+  in
+  Format.fprintf fmt "%s%3d: %s" tag i
+    (String.concat " " (List.map show state));
+  if visible <> [] then
+    Format.fprintf fmt "   [%s]" (String.concat " " (List.map show visible))
+
+let pp trans fmt t =
+  Format.fprintf fmt "prefix (%d states):@." (List.length t.prefix);
+  List.iteri
+    (fun i s -> Format.fprintf fmt "  %a@." (pp_step trans) (i, " ", s))
+    t.prefix;
+  Format.fprintf fmt "cycle (%d states)%s:@." (List.length t.cycle)
+    (if t.verified then "" else " [unverified]");
+  List.iteri
+    (fun i s -> Format.fprintf fmt "  %a@." (pp_step trans) (i, "*", s))
+    t.cycle

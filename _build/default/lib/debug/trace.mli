@@ -1,0 +1,47 @@
+open Hsis_bdd
+open Hsis_fsm
+open Hsis_check
+
+(** Error-trace generation for language containment (paper Sec. 6.1): a
+    debug trace is an initial path to a cycle plus a cycle satisfying all
+    fairness constraints.  The prefix is minimum-length (recovered from the
+    reachability onion rings); the cycle is heuristically minimized. *)
+
+type step = {
+  state : (int * int) list;  (** latch signal id, value *)
+  others : (int * int) list;
+      (** chosen values of inputs and internal signals on the {e outgoing}
+          transition (empty for the final state of a prefix) *)
+}
+
+type t = {
+  prefix : step list;  (** from an initial state to the cycle entry *)
+  cycle : step list;  (** the fair cycle; last step returns to the first *)
+  verified : bool;  (** replay confirmed the cycle meets every constraint *)
+}
+
+val pick_state : Trans.t -> Bdd.t -> Bdd.t
+(** One concrete state of a non-empty set, as a full cube over the present
+    state variables. *)
+
+val decode_state : Trans.t -> Bdd.t -> (int * int) list
+(** Latch values of a state cube. *)
+
+val bfs_path : Trans.t -> within:Bdd.t -> src:Bdd.t -> dst:Bdd.t -> Bdd.t list
+(** Shortest sequence of state cubes from [src] (a concrete state) to some
+    state of [dst], staying in [within].  Includes both endpoints.
+    Raises [Not_found] if unreachable. *)
+
+val fair_lasso : El.env -> reach:Reach.t -> fair:Bdd.t -> t
+(** Build a full counterexample: shortest prefix from an initial ring to a
+    fair state, then a cycle through it visiting a witness of every
+    fairness constraint.  Raises [Not_found] when [fair] is empty. *)
+
+val lasso_from : El.env -> within:Bdd.t -> Bdd.t -> t
+(** A fair lasso starting at the given concrete state (prefix only walks
+    inside [within]; used by the CTL debugger for EG witnesses). *)
+
+val total_length : t -> int
+
+val pp : Trans.t -> Format.formatter -> t -> unit
+(** Human-readable trace using signal and value names. *)

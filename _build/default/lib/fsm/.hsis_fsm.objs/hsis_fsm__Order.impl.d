@@ -1,0 +1,1 @@
+lib/fsm/order.ml: Array Hsis_blifmv List Net

@@ -1,0 +1,1 @@
+lib/fsm/order.mli: Hsis_blifmv

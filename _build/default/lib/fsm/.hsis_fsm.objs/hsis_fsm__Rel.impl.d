@@ -1,0 +1,1 @@
+lib/fsm/rel.ml: Bdd Enc Hsis_bdd Hsis_blifmv Hsis_mv List Net Sym

@@ -1,0 +1,1 @@
+lib/fsm/rel.mli: Bdd Hsis_bdd Hsis_blifmv Net Sym

@@ -1,0 +1,1 @@
+lib/fsm/sym.ml: Array Bdd Domain Enc Format Fun Hsis_bdd Hsis_blifmv Hsis_mv List Net Option Order Printf String

@@ -1,0 +1,1 @@
+lib/fsm/sym.mli: Bdd Enc Format Hsis_bdd Hsis_blifmv Hsis_mv Net

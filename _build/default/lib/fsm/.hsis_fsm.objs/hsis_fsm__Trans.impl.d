@@ -1,0 +1,1 @@
+lib/fsm/trans.ml: Apply Array Bdd Enc Fun Hashtbl Hsis_bdd Hsis_blifmv Hsis_mv Hsis_quant List Net Rel Schedule Sym

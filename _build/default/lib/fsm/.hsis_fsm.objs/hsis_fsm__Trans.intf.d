@@ -1,0 +1,1 @@
+lib/fsm/trans.mli: Bdd Hsis_bdd Sym

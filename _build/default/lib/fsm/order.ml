@@ -1,0 +1,30 @@
+open Hsis_blifmv
+
+let signal_order (net : Net.t) =
+  let n = Net.num_signals net in
+  (* fanin: for each signal, the inputs of the table driving it. *)
+  let fanin = Array.make n [] in
+  List.iter
+    (fun (tb : Net.ftable) ->
+      List.iter (fun o -> fanin.(o) <- tb.Net.ft_inputs) tb.Net.ft_outputs)
+    net.Net.tables;
+  List.iter
+    (fun (l : Net.flatch) -> fanin.(l.Net.fl_output) <- [ l.Net.fl_input ])
+    net.Net.latches;
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec dfs s =
+    if not (visited.(s)) then begin
+      visited.(s) <- true;
+      order := s :: !order;
+      List.iter dfs fanin.(s)
+    end
+  in
+  (* Latches first (state variables at the top of the order, cones
+     interleaved), then primary outputs, then anything left. *)
+  List.iter (fun (l : Net.flatch) -> dfs l.Net.fl_output) net.Net.latches;
+  List.iter dfs net.Net.outputs;
+  for s = 0 to n - 1 do
+    dfs s
+  done;
+  List.rev !order

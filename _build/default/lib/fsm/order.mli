@@ -1,0 +1,7 @@
+(** Static BDD variable ordering for interacting FSMs (paper footnote 1,
+    ref [1]): a depth-first traversal of the network's fanin graph from the
+    latches keeps signals that interact in the same table at nearby
+    levels. *)
+
+val signal_order : Hsis_blifmv.Net.t -> int list
+(** All signal ids, each exactly once. *)

@@ -1,0 +1,60 @@
+open Hsis_bdd
+open Hsis_mv
+open Hsis_blifmv
+
+let in_entry_bdd sym tb pos entry =
+  let s = List.nth tb.Net.ft_inputs pos in
+  let enc = Sym.pres sym s in
+  match entry with
+  | Net.FAny -> Bdd.dtrue (Sym.man sym)
+  | Net.FSet vs -> Enc.set_bdd enc vs
+  | Net.FEq _ -> invalid_arg "Rel: =x in an input column"
+
+let out_entry_bdd sym tb pos entry =
+  let s = List.nth tb.Net.ft_outputs pos in
+  let enc = Sym.pres sym s in
+  match entry with
+  | Net.FAny -> Enc.domain_constraint enc
+  | Net.FSet vs -> Enc.set_bdd enc vs
+  | Net.FEq k -> Enc.eq enc (Sym.pres sym (List.nth tb.Net.ft_inputs k))
+
+let table_rel sym (tb : Net.ftable) =
+  let man = Sym.man sym in
+  let row_match (r : Net.frow) =
+    List.fold_left Bdd.dand (Bdd.dtrue man)
+      (List.mapi (fun pos e -> in_entry_bdd sym tb pos e) r.Net.fr_in)
+  in
+  let row_out entries =
+    List.fold_left Bdd.dand (Bdd.dtrue man)
+      (List.mapi (fun pos e -> out_entry_bdd sym tb pos e) entries)
+  in
+  let covered = ref (Bdd.dfalse man) in
+  let rel = ref (Bdd.dfalse man) in
+  List.iter
+    (fun (r : Net.frow) ->
+      let m = row_match r in
+      covered := Bdd.dor !covered m;
+      rel := Bdd.dor !rel (Bdd.dand m (row_out r.Net.fr_out)))
+    tb.Net.ft_rows;
+  (match tb.Net.ft_default with
+  | Some entries ->
+      rel := Bdd.dor !rel (Bdd.dand (Bdd.dnot !covered) (row_out entries))
+  | None -> ());
+  (* Exclude illegal codes on every signal the table touches. *)
+  let dc =
+    Bdd.conj man
+      (List.map
+         (fun s -> Enc.domain_constraint (Sym.pres sym s))
+         (tb.Net.ft_inputs @ tb.Net.ft_outputs))
+  in
+  Bdd.dand !rel dc
+
+let latch_rel sym (l : Net.flatch) =
+  Enc.eq (Sym.next sym l.Net.fl_output) (Sym.pres sym l.Net.fl_input)
+
+let table_support (net : Net.t) (tb : Net.ftable) =
+  ignore net;
+  List.sort_uniq compare (tb.Net.ft_inputs @ tb.Net.ft_outputs)
+
+let latch_support (net : Net.t) (l : Net.flatch) =
+  [ l.Net.fl_input; Net.num_signals net + l.Net.fl_output ]

@@ -1,0 +1,20 @@
+open Hsis_bdd
+open Hsis_blifmv
+
+(** Per-component relation BDDs (each BLIF-MV table is one relation, as in
+    paper Sec. 4). *)
+
+val table_rel : Sym.t -> Net.ftable -> Bdd.t
+(** Characteristic function of the table over the present encodings of its
+    signals, including row union, [.default] fallback, and the domain
+    constraints of every signal involved. *)
+
+val latch_rel : Sym.t -> Net.flatch -> Bdd.t
+(** [next(output) = pres(input)]. *)
+
+val table_support : Net.t -> Net.ftable -> int list
+(** Abstract support as signal ids (present space). *)
+
+val latch_support : Net.t -> Net.flatch -> int list
+(** Abstract support: the input's present id and the output's {e next} id,
+    encoded as [num_signals + output]. *)

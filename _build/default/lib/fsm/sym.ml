@@ -1,0 +1,124 @@
+open Hsis_bdd
+open Hsis_mv
+open Hsis_blifmv
+
+type t = {
+  net : Net.t;
+  man : Bdd.man;
+  pres_enc : Enc.t array;
+  next_enc : Enc.t option array;
+  nxt2prs : Bdd.varmap;
+  prs2nxt : Bdd.varmap;
+}
+
+let make ?order man (net : Net.t) =
+  let order = match order with Some o -> o | None -> Order.signal_order net in
+  let n = Net.num_signals net in
+  if List.sort compare order <> List.init n Fun.id then
+    invalid_arg "Sym.make: order must mention each signal exactly once";
+  let is_state = Array.make n false in
+  List.iter (fun (l : Net.flatch) -> is_state.(l.Net.fl_output) <- true)
+    net.Net.latches;
+  let pres_enc = Array.make n None in
+  let next_enc = Array.make n None in
+  let pairs = ref [] in
+  List.iter
+    (fun s ->
+      let d = Net.dom net s in
+      let nbits = Domain.bits d in
+      let name = (Net.signal net s).Net.s_name in
+      let pres_bits = Array.make nbits (Bdd.dtrue man) in
+      let next_bits = Array.make nbits (Bdd.dtrue man) in
+      for i = 0 to nbits - 1 do
+        let b = Bdd.new_var ~name:(Printf.sprintf "%s.%d" name i) man in
+        pres_bits.(i) <- b;
+        if is_state.(s) then begin
+          let b' = Bdd.new_var ~name:(Printf.sprintf "%s'.%d" name i) man in
+          next_bits.(i) <- b';
+          pairs := (Bdd.var_index b, Bdd.var_index b') :: !pairs
+        end
+      done;
+      pres_enc.(s) <- Some (Enc.make d pres_bits);
+      if is_state.(s) then next_enc.(s) <- Some (Enc.make d next_bits))
+    order;
+  let pairs = !pairs in
+  let nxt2prs = Bdd.make_varmap man (List.map (fun (p, x) -> (x, p)) pairs) in
+  let prs2nxt = Bdd.make_varmap man pairs in
+  {
+    net;
+    man;
+    pres_enc = Array.map Option.get pres_enc;
+    next_enc;
+    nxt2prs;
+    prs2nxt;
+  }
+
+let net t = t.net
+let man t = t.man
+let pres t s = t.pres_enc.(s)
+
+let next t s =
+  match t.next_enc.(s) with
+  | Some e -> e
+  | None ->
+      invalid_arg
+        ("Sym.next: " ^ (Net.signal t.net s).Net.s_name ^ " is not a state signal")
+
+let is_state t s = t.next_enc.(s) <> None
+let state_signals t = Net.state_signals t.net
+
+let pres_cube_of t signals =
+  Bdd.conj t.man (List.map (fun s -> Enc.cube t.pres_enc.(s)) signals)
+
+let next_cube t =
+  Bdd.conj t.man
+    (List.filter_map (Option.map Enc.cube) (Array.to_list t.next_enc))
+
+let state_cube t = pres_cube_of t (state_signals t)
+
+let nonstate_cube t =
+  let all = List.init (Net.num_signals t.net) Fun.id in
+  pres_cube_of t (List.filter (fun s -> not (is_state t s)) all)
+
+let next_to_pres t = t.nxt2prs
+let pres_to_next t = t.prs2nxt
+
+let domain_ok t =
+  Bdd.conj t.man
+    (List.map (fun s -> Enc.domain_constraint t.pres_enc.(s)) (state_signals t))
+
+let initial t =
+  List.fold_left
+    (fun acc (l : Net.flatch) ->
+      Bdd.dand acc (Enc.set_bdd t.pres_enc.(l.Net.fl_output) l.Net.fl_reset))
+    (Bdd.dtrue t.man) t.net.Net.latches
+
+let state_of_assignment t env =
+  List.map (fun s -> (s, Enc.decode t.pres_enc.(s) env)) (state_signals t)
+
+let pp_state t fmt state =
+  let items =
+    List.map
+      (fun (s, v) ->
+        Printf.sprintf "%s=%s"
+          (Net.signal t.net s).Net.s_name
+          (Domain.value (Net.dom t.net s) v))
+      state
+  in
+  Format.fprintf fmt "%s" (String.concat " " items)
+
+let num_state_bits t =
+  List.fold_left
+    (fun acc s -> acc + Array.length (Enc.bits t.pres_enc.(s)))
+    0 (state_signals t)
+
+let state_bit_vars t =
+  List.concat_map (fun s -> Enc.var_indices t.pres_enc.(s)) (state_signals t)
+
+let var_pairs t =
+  List.concat_map
+    (fun s ->
+      List.combine
+        (Enc.var_indices t.pres_enc.(s))
+        (Enc.var_indices (next t s)))
+    (state_signals t)

@@ -1,0 +1,63 @@
+open Hsis_bdd
+open Hsis_mv
+open Hsis_blifmv
+
+(** Symbol table binding network signals to BDD-variable encodings.
+
+    Every signal gets a present-state encoding; latch outputs additionally
+    get a next-state encoding whose bits are interleaved with the present
+    bits (pairing present/next keeps relabeling a level-preserving
+    permutation). *)
+
+type t
+
+val make : ?order:int list -> Bdd.man -> Net.t -> t
+(** Allocate variables in [order] (default {!Order.signal_order}). *)
+
+val net : t -> Net.t
+val man : t -> Bdd.man
+val pres : t -> int -> Enc.t
+(** Present-state encoding of a signal. *)
+
+val next : t -> int -> Enc.t
+(** Next-state encoding; raises [Invalid_argument] for non-state signals. *)
+
+val is_state : t -> int -> bool
+val state_signals : t -> int list
+
+val pres_cube_of : t -> int list -> Bdd.t
+(** Quantification cube of the present encodings of the given signals. *)
+
+val next_cube : t -> Bdd.t
+(** Cube of all next-state variables. *)
+
+val state_cube : t -> Bdd.t
+(** Cube of all present-state variables of latches. *)
+
+val nonstate_cube : t -> Bdd.t
+(** Cube of present encodings of all non-state signals (inputs and
+    internal signals) — the variables quantified when forming T(x,y). *)
+
+val next_to_pres : t -> Bdd.varmap
+val pres_to_next : t -> Bdd.varmap
+
+val domain_ok : t -> Bdd.t
+(** Conjunction of present-state domain constraints of all state signals. *)
+
+val initial : t -> Bdd.t
+(** Initial-state set from latch reset values (over present vars). *)
+
+val state_of_assignment : t -> (int -> bool) -> (int * int) list
+(** Decode a total BDD-variable assignment into [(state signal, value)]
+    pairs. *)
+
+val pp_state : t -> Format.formatter -> (int * int) list -> unit
+(** Print a decoded state using signal and value names. *)
+
+val num_state_bits : t -> int
+
+val state_bit_vars : t -> int list
+(** BDD variable indices of all present-state bits. *)
+
+val var_pairs : t -> (int * int) list
+(** (present bit, next bit) variable pairs of every latch. *)

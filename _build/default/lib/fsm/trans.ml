@@ -1,0 +1,221 @@
+open Hsis_bdd
+open Hsis_mv
+open Hsis_blifmv
+open Hsis_quant
+
+type heuristic = Min_width | Pair_clustering | Naive
+
+type t = {
+  sym : Sym.t;
+  heuristic : heuristic;
+  parts : Bdd.t array;
+  supports : int list array; (* abstract: signal id, or n + id for next *)
+  mutable mono : Bdd.t option;
+  mutable mono_peak : int;
+  mutable img_sched : Schedule.t option;
+  mutable pre_sched : Schedule.t option;
+  (* abstraction schedules keyed by the abstract support of the predicate
+     and whether latch parts participate *)
+  abs_scheds : (int list * bool, Schedule.t) Hashtbl.t;
+}
+
+let schedule_of heuristic problem =
+  match heuristic with
+  | Min_width -> Schedule.min_width problem
+  | Pair_clustering -> Schedule.pair_clustering problem
+  | Naive -> Schedule.naive problem
+
+let sym t = t.sym
+let man t = Sym.man t.sym
+let parts t = t.parts
+
+let nsig t = Net.num_signals (Sym.net t.sym)
+
+(* Abstract id -> quantification cube over the proper variable space. *)
+let cube_of t ids =
+  let n = nsig t in
+  Bdd.conj (man t)
+    (List.map
+       (fun id ->
+         if id < n then Enc.cube (Sym.pres t.sym id)
+         else Enc.cube (Sym.next t.sym (id - n)))
+       ids)
+
+(* Abstract support of an arbitrary BDD, via its variable support. *)
+let abstract_support t b =
+  let n = nsig t in
+  let var2abs = Hashtbl.create 64 in
+  for s = 0 to n - 1 do
+    List.iter
+      (fun v -> Hashtbl.replace var2abs v s)
+      (Enc.var_indices (Sym.pres t.sym s));
+    if Sym.is_state t.sym s then
+      List.iter
+        (fun v -> Hashtbl.replace var2abs v (n + s))
+        (Enc.var_indices (Sym.next t.sym s))
+  done;
+  Bdd.support b
+  |> List.filter_map (Hashtbl.find_opt var2abs)
+  |> List.sort_uniq compare
+
+let build ?(heuristic = Min_width) sym =
+  let net = Sym.net sym in
+  let table_parts =
+    List.map (fun tb -> (Rel.table_rel sym tb, Rel.table_support net tb))
+      net.Net.tables
+  in
+  let latch_parts =
+    List.map (fun l -> (Rel.latch_rel sym l, Rel.latch_support net l))
+      net.Net.latches
+  in
+  let all = table_parts @ latch_parts in
+  {
+    sym;
+    heuristic;
+    parts = Array.of_list (List.map fst all);
+    supports = Array.of_list (List.map snd all);
+    mono = None;
+    mono_peak = 0;
+    img_sched = None;
+    pre_sched = None;
+    abs_scheds = Hashtbl.create 16;
+  }
+
+let initial t = Bdd.dand (Sym.initial t.sym) (Sym.domain_ok t.sym)
+
+let nonstate_ids t =
+  let net = Sym.net t.sym in
+  List.filter
+    (fun s -> not (Sym.is_state t.sym s))
+    (List.init (Net.num_signals net) Fun.id)
+
+let present_ids t = List.init (nsig t) Fun.id
+
+let next_ids t =
+  List.map (fun s -> nsig t + s) (Sym.state_signals t.sym)
+
+let monolithic t =
+  match t.mono with
+  | Some b -> b
+  | None ->
+      let problem =
+        { Schedule.supports = t.supports; quantify = nonstate_ids t }
+      in
+      let sched = schedule_of t.heuristic problem in
+      let { Apply.value; peak_nodes } =
+        Apply.execute ~rels:t.parts ~cube_of:(cube_of t) sched
+      in
+      t.mono <- Some value;
+      t.mono_peak <- peak_nodes;
+      value
+
+let monolithic_peak t = t.mono_peak
+
+let image_schedule t =
+  match t.img_sched with
+  | Some s -> s
+  | None ->
+      let supports = Array.append t.supports [| Sym.state_signals t.sym |] in
+      let problem = { Schedule.supports; quantify = present_ids t } in
+      let s = schedule_of t.heuristic problem in
+      t.img_sched <- Some s;
+      s
+
+let preimage_schedule t =
+  match t.pre_sched with
+  | Some s -> s
+  | None ->
+      let supports = Array.append t.supports [| next_ids t |] in
+      let problem =
+        { Schedule.supports; quantify = nonstate_ids t @ next_ids t }
+      in
+      let s = schedule_of t.heuristic problem in
+      t.pre_sched <- Some s;
+      s
+
+let image ?(use_mono = false) t s =
+  let next_result =
+    if use_mono then
+      Bdd.and_exists ~cube:(Sym.state_cube t.sym) s (monolithic t)
+    else begin
+      let rels = Array.append t.parts [| s |] in
+      let sched = image_schedule t in
+      (Apply.execute ~rels ~cube_of:(cube_of t) sched).Apply.value
+    end
+  in
+  Bdd.dand
+    (Bdd.permute (Sym.next_to_pres t.sym) next_result)
+    (Sym.domain_ok t.sym)
+
+let preimage ?(use_mono = false) t s =
+  let s_next = Bdd.permute (Sym.pres_to_next t.sym) s in
+  let result =
+    if use_mono then
+      Bdd.and_exists ~cube:(Sym.next_cube t.sym) s_next (monolithic t)
+    else begin
+      let rels = Array.append t.parts [| s_next |] in
+      let sched = preimage_schedule t in
+      (Apply.execute ~rels ~cube_of:(cube_of t) sched).Apply.value
+    end
+  in
+  Bdd.dand result (Sym.domain_ok t.sym)
+
+let preimage_within t ~restrict_to s = Bdd.dand restrict_to (preimage t s)
+
+let abs_schedule t ~with_latches p_support =
+  let key = (p_support, with_latches) in
+  match Hashtbl.find_opt t.abs_scheds key with
+  | Some s -> s
+  | None ->
+      let nparts =
+        if with_latches then Array.length t.parts
+        else List.length (Sym.net t.sym).Net.tables
+      in
+      let supports =
+        Array.append (Array.sub t.supports 0 nparts) [| p_support |]
+      in
+      let problem = { Schedule.supports; quantify = nonstate_ids t } in
+      let s = schedule_of t.heuristic problem in
+      Hashtbl.replace t.abs_scheds key s;
+      s
+
+let abstract_to_states t p =
+  let net = Sym.net t.sym in
+  let ntables = List.length net.Net.tables in
+  let table_parts = Array.sub t.parts 0 ntables in
+  let rels = Array.append table_parts [| p |] in
+  let sched = abs_schedule t ~with_latches:false (abstract_support t p) in
+  (Apply.execute ~rels ~cube_of:(cube_of t) sched).Apply.value
+
+let abstract_to_edges t p =
+  let rels = Array.append t.parts [| p |] in
+  let sched = abs_schedule t ~with_latches:true (abstract_support t p) in
+  (Apply.execute ~rels ~cube_of:(cube_of t) sched).Apply.value
+
+let transition_constraint t extra =
+  {
+    t with
+    parts = Array.append t.parts [| extra |];
+    supports = Array.append t.supports [| abstract_support t extra |];
+    mono = None;
+    mono_peak = 0;
+    img_sched = None;
+    pre_sched = None;
+    abs_scheds = Hashtbl.create 16;
+  }
+
+let map_parts t f =
+  {
+    t with
+    parts = Array.map f t.parts;
+    mono = None;
+    mono_peak = 0;
+    (* supports unchanged: restrict-style maps only shrink supports *)
+  }
+
+let parts_size t =
+  Array.fold_left (fun acc p -> acc + Bdd.dag_size p) 0 t.parts
+
+let solve_step t ~pres ~next =
+  let conj = Array.fold_left Bdd.dand (Bdd.dand pres next) t.parts in
+  conj

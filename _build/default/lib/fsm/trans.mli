@@ -1,0 +1,67 @@
+open Hsis_bdd
+
+(** Symbolic transition structure of a network: conjunctively partitioned
+    transition relation with early-quantification schedules for image and
+    preimage, plus an optional monolithic T(x,y) (paper Secs. 4-5). *)
+
+type heuristic = Min_width | Pair_clustering | Naive
+
+type t
+
+val build : ?heuristic:heuristic -> Sym.t -> t
+(** Build the relation parts (one per table, one per latch) and the image /
+    preimage schedules. *)
+
+val sym : t -> Sym.t
+val man : t -> Bdd.man
+val parts : t -> Bdd.t array
+
+val initial : t -> Bdd.t
+(** Initial states, with state domain constraints applied. *)
+
+val monolithic : t -> Bdd.t
+(** T(x,y): product of all parts with non-state variables quantified early;
+    computed once and cached. *)
+
+val monolithic_peak : t -> int
+(** Largest intermediate BDD seen while building {!monolithic} (0 if not yet
+    built). *)
+
+val image : ?use_mono:bool -> t -> Bdd.t -> Bdd.t
+(** Successors of a state set (present vars -> present vars). *)
+
+val preimage : ?use_mono:bool -> t -> Bdd.t -> Bdd.t
+(** Predecessors of a state set. *)
+
+val preimage_within : t -> restrict_to:Bdd.t -> Bdd.t -> Bdd.t
+(** [preimage] intersected with a state set (the common EX-within-Z step of
+    fair-cycle computation). *)
+
+val abstract_to_states : t -> Bdd.t -> Bdd.t
+(** Lift a predicate over arbitrary present-signal encodings to a predicate
+    on state variables: existentially abstract the non-state signals
+    through the combinational relations ("the atom can hold in this
+    state"). *)
+
+val abstract_to_edges : t -> Bdd.t -> Bdd.t
+(** Lift a predicate over arbitrary present-signal encodings to a predicate
+    on {e transitions} (present state vars x next state vars): the pairs
+    (x, y) with a transition consistent with the predicate.  This keeps
+    conditions on inputs/internal signals correlated with the step that
+    reads them — the exact compilation of edge fairness. *)
+
+val transition_constraint : t -> Bdd.t -> t
+(** Conjoin an extra relation over (x, i, y) onto the partition — used to
+    compose property monitors and edge-fairness constraints. *)
+
+val map_parts : t -> (Bdd.t -> Bdd.t) -> t
+(** Apply a transformation (e.g. don't-care minimization) to each part;
+    supports may only shrink, so schedules stay valid. *)
+
+val parts_size : t -> int
+(** Total dag nodes across parts (metric for minimization benches). *)
+
+val solve_step : t -> pres:Bdd.t -> next:Bdd.t -> Bdd.t
+(** The conjunction of all parts with the given present and next state
+    constraints — no quantification, so a satisfying cube fixes the
+    internal/input signals as well (used for trace reconstruction). *)

@@ -1,0 +1,1 @@
+lib/models/dcnew.ml: Model

@@ -1,0 +1,1 @@
+lib/models/gigamax.ml: Model

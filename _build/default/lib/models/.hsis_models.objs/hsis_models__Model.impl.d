@@ -1,0 +1,1 @@
+lib/models/model.ml: Hsis_auto Hsis_blifmv Hsis_verilog

@@ -1,0 +1,1 @@
+lib/models/model.mli: Hsis_auto Hsis_blifmv

@@ -1,0 +1,1 @@
+lib/models/models.ml: Dcnew Gigamax List Mdlc Model Peterson Philos Pingpong Scheduler

@@ -1,0 +1,1 @@
+lib/models/peterson.ml: Model Printf

@@ -1,0 +1,1 @@
+lib/models/philos.ml: Model

@@ -1,0 +1,74 @@
+let verilog =
+  {|
+// Data controller: copy a block in bursts, drain the pipeline, retry on
+// aborted transfers.
+module dcnew(clk);
+  input clk;
+  enum {IDLE, SETUP, COPY, DRAIN, DONE, ERROR} reg st;
+  reg [5:0] src;
+  reg [5:0] dst;
+  reg [2:0] errs;
+  wire req;
+  wire abort;
+  wire [5:0] burst;
+  assign req = $ND(0, 1);
+  assign abort = $ND(0, 1);
+  assign burst = $ND(1, 2, 4);
+  initial st = IDLE;
+  initial src = 0;
+  initial dst = 0;
+  initial errs = 0;
+  always @(posedge clk) begin
+    case (st)
+      IDLE: if (req) st <= SETUP;
+      SETUP: begin src <= 0; dst <= 0; st <= COPY; end
+      COPY: begin
+        if (abort) st <= ERROR;
+        else begin
+          src <= src + burst;
+          dst <= dst + 1;
+          if (dst >= 60) st <= DRAIN;
+        end
+      end
+      DRAIN: begin
+        if (dst == 0) st <= DONE;
+        else dst <= dst - 1;
+      end
+      ERROR: begin
+        errs <= (errs == 7) ? 7 : errs + 1;
+        st <= IDLE;
+      end
+      DONE: if (req) st <= IDLE;
+    endcase
+  end
+endmodule
+|}
+
+let pif =
+  {|
+ctl completion_possible "EF st=DONE";
+ctl error_recovers "AG (st=ERROR -> AX st=IDLE)";
+ctl drain_empties "AG (st=DONE -> dst=0)";
+ctl restartable "AG EF st=IDLE";
+ctl copy_commits "AG (st=COPY -> EF (st=DRAIN | st=ERROR))";
+ctl setup_zeroes "AG (st=SETUP -> AX (st=COPY & dst=0))";
+ctl err_saturates "AG !(errs=7 & st=SETUP) | AG EF st=IDLE";
+
+automaton no_done_after_error {
+  states calm burned; init calm;
+  edge calm calm "st!=ERROR";
+  edge calm burned "st=ERROR";
+  edge burned calm "st=IDLE";
+  edge burned burned "st!=IDLE & st!=DONE";
+  accept inf { calm } fin { };
+}
+lc no_done_after_error;
+|}
+
+let make () =
+  {
+    Model.name = "dcnew";
+    verilog;
+    pif;
+    description = "burst data controller with abort/retry";
+  }

@@ -1,0 +1,6 @@
+(** A DMA-style data controller (Table 1 row "dcnew"): a control FSM
+    moving a block with a non-deterministic burst size, abort/retry
+    handling and an error counter.  Seven CTL properties and one
+    containment property. *)
+
+val make : unit -> Model.t

@@ -1,0 +1,6 @@
+(** The Encore Gigamax cache-consistency protocol (Table 1 row "gigamax",
+    after McMillan-Schwalbe): three caches with invalid/shared/dirty lines,
+    a two-phase bus, and a memory-freshness bit.  Nine CTL coherence
+    properties and one containment property. *)
+
+val make : unit -> Model.t

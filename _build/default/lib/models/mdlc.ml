@@ -1,0 +1,128 @@
+let verilog =
+  {|
+// Two independent message data-link controllers (the "2" of 2mdlc):
+// alternating-bit protocol with lossy channels, retransmission and a
+// bounded retry counter, instantiated twice.
+module mdlc2(clk);
+  input clk;
+  link a(.clk(clk));
+  link b(.clk(clk));
+endmodule
+
+module link(clk);
+  input clk;
+  enum {S_SEND, S_WAIT} reg sst;
+  reg sseq;
+  reg [1:0] sdata;
+  reg [1:0] tries;
+  // data channel (one frame deep)
+  reg cvalid;
+  reg cseq;
+  reg [1:0] cdata;
+  // ack channel
+  reg avalid;
+  reg aseq;
+  // receiver
+  reg rseq;
+  reg [1:0] rdata;
+  wire lose;
+  wire alose;
+  wire timeout;
+  wire [1:0] newdata;
+  wire deliver;
+  assign lose = $ND(0, 1);
+  assign alose = $ND(0, 1);
+  assign timeout = $ND(0, 1);
+  assign newdata = $ND(0, 1, 2, 3);
+  assign deliver = cvalid & !lose & cseq == rseq;
+  initial sst = S_SEND;
+  initial sseq = 0;
+  initial sdata = 0;
+  initial tries = 0;
+  initial cvalid = 0;
+  initial cseq = 0;
+  initial cdata = 0;
+  initial avalid = 0;
+  initial aseq = 0;
+  initial rseq = 0;
+  initial rdata = 0;
+  always @(posedge clk) begin
+    // receiver end of the data channel
+    if (cvalid) begin
+      if (!lose) begin
+        if (cseq == rseq) begin
+          rdata <= cdata;
+          rseq <= !rseq;
+        end
+        avalid <= 1;
+        aseq <= cseq;
+      end
+      cvalid <= 0;
+    end
+    // sender
+    if (sst == S_SEND) begin
+      if (!cvalid) begin
+        cvalid <= 1;
+        cseq <= sseq;
+        cdata <= sdata;
+        sst <= S_WAIT;
+      end
+    end else begin
+      if (avalid) begin
+        avalid <= 0;
+        if (!alose && aseq == sseq) begin
+          sseq <= !sseq;
+          sdata <= newdata;
+          tries <= 0;
+          sst <= S_SEND;
+        end
+      end else begin
+        if (timeout) begin
+          tries <= (tries == 3) ? 3 : tries + 1;
+          sst <= S_SEND;
+        end
+      end
+    end
+  end
+endmodule
+|}
+
+let pif =
+  {|
+# the channels may lose messages, but not forever
+fairness notforever "a/lose=1";
+fairness notforever "a/alose=1";
+fairness inf "a/timeout=1";
+fairness notforever "b/lose=1";
+fairness notforever "b/alose=1";
+fairness inf "b/timeout=1";
+
+# the one (expensive) fair-CTL property: both senders keep making
+# progress under fair loss
+ctl sender_progress "AG ((a/sst=S_WAIT -> AF a/sst=S_SEND) & (b/sst=S_WAIT -> AF b/sst=S_SEND))";
+
+# containment: link a's expected sequence bit toggles exactly one cycle
+# after a delivery, never spontaneously.
+automaton seq_discipline {
+  states e0 e1 o0 o1; init e0;
+  edge e0 e0 "a/rseq=0 & a/deliver=0";
+  edge e0 e1 "a/rseq=0 & a/deliver=1";
+  edge e1 o0 "a/rseq=1 & a/deliver=0";
+  edge e1 o1 "a/rseq=1 & a/deliver=1";
+  edge o0 o0 "a/rseq=1 & a/deliver=0";
+  edge o0 o1 "a/rseq=1 & a/deliver=1";
+  edge o1 e0 "a/rseq=0 & a/deliver=0";
+  edge o1 e1 "a/rseq=0 & a/deliver=1";
+  accept inf { e0, e1, o0, o1 } fin { };
+}
+lc seq_discipline;
+|}
+
+let make () =
+  {
+    Model.name = "mdlc";
+    verilog;
+    pif;
+    description =
+      "two alternating-bit data-link controllers over lossy channels";
+  }

@@ -1,0 +1,6 @@
+(** A message data-link controller (Table 1 row "2mdlc"): an
+    alternating-bit-style sender/receiver pair over lossy data and ack
+    channels with bounded retry.  One expensive fair-CTL property (the
+    paper's slowest MC row) and one containment property. *)
+
+val make : unit -> Model.t

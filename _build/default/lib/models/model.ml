@@ -1,0 +1,11 @@
+type t = {
+  name : string;
+  verilog : string;
+  pif : string;
+  description : string;
+}
+
+let parse_pif t = Hsis_auto.Pif.parse t.pif
+let compile t = Hsis_verilog.Elab.compile t.verilog
+let flat t = Hsis_blifmv.Flatten.flatten (compile t)
+let net t = Hsis_blifmv.Net.of_model (flat t)

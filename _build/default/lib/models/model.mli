@@ -1,0 +1,16 @@
+(** A benchmark design: Verilog source plus its PIF property file
+    (fairness constraints, CTL formulas, containment automata). *)
+
+type t = {
+  name : string;
+  verilog : string;
+  pif : string;
+  description : string;
+}
+
+val parse_pif : t -> Hsis_auto.Pif.t
+val compile : t -> Hsis_blifmv.Ast.t
+(** Through the Verilog front end. *)
+
+val flat : t -> Hsis_blifmv.Ast.model
+val net : t -> Hsis_blifmv.Net.t

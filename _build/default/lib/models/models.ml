@@ -1,0 +1,32 @@
+let table1 () =
+  [
+    Philos.make ();
+    Pingpong.make ();
+    Gigamax.make ();
+    Scheduler.make ();
+    Dcnew.make ();
+    Mdlc.make ();
+  ]
+
+let table1_small () =
+  [
+    Philos.make ();
+    Pingpong.make ();
+    Gigamax.make ();
+    Scheduler.make ~n:5 ();
+    Dcnew.make ();
+    Mdlc.make ();
+  ]
+
+let by_name name =
+  let candidates =
+    table1 ()
+    @ [
+        Scheduler.make ~n:5 ();
+        Scheduler.make ~n:8 ();
+        Scheduler.make ~n:12 ();
+        Peterson.make ();
+        Peterson.broken ();
+      ]
+  in
+  List.find_opt (fun m -> m.Model.name = name) candidates

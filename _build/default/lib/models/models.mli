@@ -1,0 +1,11 @@
+(** The six evaluation designs of the paper's Table 1. *)
+
+val table1 : unit -> Model.t list
+(** philos, pingpong, gigamax, scheduler, dcnew, mdlc at paper scale
+    (scheduler at its 17-station default: ~2.2M states). *)
+
+val table1_small : unit -> Model.t list
+(** Same designs with the scheduler scaled down (for tests). *)
+
+val by_name : string -> Model.t option
+(** Table-1 designs plus scheduler5/8/12 and peterson / peterson-broken. *)

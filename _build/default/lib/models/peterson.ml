@@ -1,0 +1,75 @@
+(* The broken variant waits on the wrong turn polarity: process 0 yields
+   to itself, so both processes can pass the gate together. *)
+let verilog ~p0_turn_guard =
+  Printf.sprintf
+    {|
+// Peterson's mutual exclusion, one process step per clock tick.
+module peterson(clk);
+  input clk;
+  enum {IDLE, WANT, WAITTURN, CRIT} reg p0;
+  enum {IDLE, WANT, WAITTURN, CRIT} reg p1;
+  reg flag0;
+  reg flag1;
+  reg turn;
+  wire who;
+  assign who = $ND(0, 1);
+  initial p0 = IDLE;
+  initial p1 = IDLE;
+  initial flag0 = 0;
+  initial flag1 = 0;
+  initial turn = 0;
+  always @(posedge clk) begin
+    if (who == 0) begin
+      case (p0)
+        IDLE: begin p0 <= WANT; flag0 <= 1; end
+        WANT: begin p0 <= WAITTURN; turn <= 1; end
+        WAITTURN: if (flag1 == 0 | turn == %s) p0 <= CRIT;
+        CRIT: begin p0 <= IDLE; flag0 <= 0; end
+      endcase
+    end else begin
+      case (p1)
+        IDLE: begin p1 <= WANT; flag1 <= 1; end
+        WANT: begin p1 <= WAITTURN; turn <= 0; end
+        WAITTURN: if (flag0 == 0 | turn == 1) p1 <= CRIT;
+        CRIT: begin p1 <= IDLE; flag1 <= 0; end
+      endcase
+    end
+  end
+endmodule
+|}
+    p0_turn_guard
+
+let pif =
+  {|
+# both processes get scheduled infinitely often
+fairness inf "who=0";
+fairness inf "who=1";
+
+ctl mutual_exclusion "AG !(p0=CRIT & p1=CRIT)";
+ctl no_starvation_0 "AG (p0=WAITTURN -> AF p0=CRIT)";
+ctl no_starvation_1 "AG (p1=WAITTURN -> AF p1=CRIT)";
+ctl can_contend "EF (p0=WAITTURN & p1=WAITTURN)";
+
+automaton crit_excl {
+  states ok; init ok;
+  edge ok ok "!(p0=CRIT & p1=CRIT)";
+  accept inf { ok } fin { };
+}
+lc crit_excl;
+|}
+
+let make () =
+  {
+    Model.name = "peterson";
+    verilog = verilog ~p0_turn_guard:"0";
+    pif;
+    description = "Peterson's mutual exclusion under a fair scheduler";
+  }
+
+let broken () =
+  {
+    Model.name = "peterson-broken";
+    verilog = verilog ~p0_turn_guard:"1";
+    pif;
+    description = "Peterson with an inverted turn guard: both can enter";
+  }

@@ -1,0 +1,9 @@
+(** Peterson's mutual-exclusion algorithm, interleaved via a scheduler
+    choice — the classic shared-memory protocol (the paper notes the
+    interleaving shared-memory model maps into synchronous c/s, Sec. 4).
+    Mutual exclusion holds; entry is starvation-free under a fair
+    scheduler.  The [broken] variant raises its flag too late and violates
+    mutual exclusion, exercising the debugger. *)
+
+val make : unit -> Model.t
+val broken : unit -> Model.t

@@ -1,0 +1,6 @@
+(** Dining philosophers (Table 1 row "philos"): two philosophers, two
+    forks picked up one at a time — mutual exclusion holds, the liveness
+    containment property fails on the classic deadlock, which exercises
+    the debugger. *)
+
+val make : unit -> Model.t

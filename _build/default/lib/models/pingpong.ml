@@ -1,0 +1,90 @@
+let verilog =
+  {|
+// Two players bounce a ball: serve, then alternate ping / pong.
+module pingpong(clk);
+  input clk;
+  enum {SERVE, PING, PONG} reg ball;
+  initial ball = SERVE;
+  always @(posedge clk) begin
+    case (ball)
+      SERVE: ball <= PING;
+      PING:  ball <= PONG;
+      PONG:  ball <= PING;
+    endcase
+  end
+endmodule
+|}
+
+let pif =
+  {|
+# six small properties in both formalisms
+ctl serve_once "AG (ball=SERVE -> AX ball=PING)";
+ctl alternate1 "AG (ball=PING -> AX ball=PONG)";
+ctl alternate2 "AG (ball=PONG -> AX ball=PING)";
+ctl rally "AG AF ball=PING";
+ctl no_return "AG (ball!=SERVE | ball=SERVE)";
+ctl reach_pong "EF ball=PONG";
+
+automaton never_reserve {
+  states rally; init rally;
+  edge rally rally "true";
+  accept inf { rally } fin { };
+}
+lc never_reserve;
+
+automaton serve_first {
+  states fresh played; init fresh;
+  edge fresh fresh "ball=SERVE";
+  edge fresh played "ball!=SERVE";
+  edge played played "ball!=SERVE";
+  accept inf { played } fin { fresh };
+}
+lc serve_first;
+
+automaton strict_alternation {
+  states s p q; init s;
+  edge s s "ball=SERVE";
+  edge s p "ball=PING";
+  edge p q "ball=PONG";
+  edge q p "ball=PING";
+  accept inf { p, q } fin { };
+}
+lc strict_alternation;
+
+automaton eventually_pong {
+  states waiting seen; init waiting;
+  edge waiting waiting "ball!=PONG";
+  edge waiting seen "ball=PONG";
+  edge seen seen "true";
+  accept inf { seen } fin { waiting };
+}
+lc eventually_pong;
+
+automaton ping_recurs {
+  states hunt hit; init hunt;
+  edge hunt hunt "ball!=PING";
+  edge hunt hit "ball=PING";
+  edge hit hunt "ball!=PING";
+  edge hit hit "ball=PING";
+  accept inf { hit } fin { };
+}
+lc ping_recurs;
+
+automaton no_double_pong {
+  states ok bad; init ok;
+  edge ok ok "ball!=PONG";
+  edge ok bad "ball=PONG";
+  edge bad ok "ball!=PONG";
+  edge bad bad "ball=PONG";
+  accept inf { ok } fin { };
+}
+lc no_double_pong;
+|}
+
+let make () =
+  {
+    Model.name = "pingpong";
+    verilog;
+    pif;
+    description = "toy two-player rally; 3 reachable states";
+  }

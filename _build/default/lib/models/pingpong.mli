@@ -1,0 +1,4 @@
+(** The "ping pong" toy example of Table 1: two players exchanging a ball,
+    3 reachable states, six tiny properties. *)
+
+val make : unit -> Model.t

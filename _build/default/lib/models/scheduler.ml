@@ -1,0 +1,77 @@
+let default_n = 17
+
+let bits_for n =
+  let rec go b acc = if acc >= n then b else go (b + 1) (2 * acc) in
+  go 0 1
+
+let verilog n =
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let w = max 1 (bits_for n) in
+  pf "// Milner's cycler with %d stations: a token advances when the\n" n;
+  pf "// station at the token starts its task; tasks finish on their own.\n";
+  pf "module scheduler(clk);\n  input clk;\n";
+  pf "  reg [%d:0] pos;\n" (w - 1);
+  for i = 0 to n - 1 do
+    pf "  reg run_%d;\n" i
+  done;
+  pf "  wire start;\n  assign start = $ND(0, 1);\n";
+  for i = 0 to n - 1 do
+    pf "  wire fin_%d;\n  assign fin_%d = $ND(0, 1);\n" i i
+  done;
+  (* task running at the token position *)
+  pf "  wire atpos_run;\n  assign atpos_run = ";
+  for i = 0 to n - 2 do
+    pf "(pos == %d) ? run_%d : " i i
+  done;
+  pf "run_%d;\n" (n - 1);
+  pf "  wire legal;\n  assign legal = pos < %d;\n" n;
+  pf "  wire advance;\n  assign advance = start & !atpos_run & legal;\n";
+  pf "  wire start0;\n  assign start0 = advance & pos == 0;\n";
+  pf "  wire start1;\n  assign start1 = advance & pos == 1;\n";
+  pf "  initial pos = 0;\n";
+  for i = 0 to n - 1 do
+    pf "  initial run_%d = 0;\n" i
+  done;
+  pf "  always @(posedge clk) begin\n";
+  pf "    if (advance) pos <= (pos == %d) ? 0 : pos + 1;\n" (n - 1);
+  pf "  end\n";
+  for i = 0 to n - 1 do
+    pf "  always @(posedge clk) begin\n";
+    pf "    if (advance && pos == %d) run_%d <= 1;\n" i i;
+    pf "    else if (run_%d && fin_%d) run_%d <= 0;\n" i i i;
+    pf "  end\n"
+  done;
+  pf "endmodule\n";
+  Buffer.contents b
+
+let pif =
+  {|
+ctl token_home "AG EF pos=0";
+
+automaton stays_legal {
+  states ok; init ok;
+  edge ok ok "legal=1";
+  accept inf { ok } fin { };
+}
+lc stays_legal;
+
+# round-robin order: between two starts of station 0 lies a start of 1
+automaton round_robin {
+  states a b; init a;
+  edge a a "start0=0";
+  edge a b "start0=1";
+  edge b a "start1=1";
+  edge b b "start1=0 & start0=0";
+  accept inf { a, b } fin { };
+}
+lc round_robin;
+|}
+
+let make ?(n = default_n) () =
+  {
+    Model.name = (if n = default_n then "scheduler" else Printf.sprintf "scheduler%d" n);
+    verilog = verilog n;
+    pif;
+    description = Printf.sprintf "Milner cycler with %d stations" n;
+  }

@@ -1,0 +1,10 @@
+(** Milner's distributed cycler / scheduler (Table 1 row "scheduler", from
+    Communication and Concurrency): a token cycles through [n] stations;
+    each station starts its task when it holds the token, tasks finish
+    non-deterministically.  Reachable states grow as [n * 2^n]; the paper's
+    instance has ~2.7M states, matched here at the default scale. *)
+
+val make : ?n:int -> unit -> Model.t
+(** Default [n = 17]. *)
+
+val default_n : int

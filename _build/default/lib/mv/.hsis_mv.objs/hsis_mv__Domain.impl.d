@@ -1,0 +1,1 @@
+lib/mv/domain.ml: Array Format Hashtbl String

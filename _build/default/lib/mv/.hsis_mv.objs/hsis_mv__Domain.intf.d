@@ -1,0 +1,1 @@
+lib/mv/domain.mli: Format

@@ -1,0 +1,1 @@
+lib/mv/enc.ml: Array Bdd Domain Fun Hsis_bdd List Printf

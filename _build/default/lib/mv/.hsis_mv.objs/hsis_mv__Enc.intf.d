@@ -1,0 +1,1 @@
+lib/mv/enc.mli: Bdd Domain Hsis_bdd

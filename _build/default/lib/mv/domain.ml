@@ -1,0 +1,33 @@
+type t = { name : string; values : string array; index : (string, int) Hashtbl.t }
+
+let make name values =
+  if Array.length values = 0 then invalid_arg "Domain.make: empty domain";
+  let index = Hashtbl.create (Array.length values) in
+  Array.iteri
+    (fun i v ->
+      if Hashtbl.mem index v then
+        invalid_arg ("Domain.make: duplicate value " ^ v);
+      Hashtbl.add index v i)
+    values;
+  { name; values = Array.copy values; index }
+
+let boolean = make "bool" [| "0"; "1" |]
+let of_size name n = make name (Array.init n string_of_int)
+let name d = d.name
+let size d = Array.length d.values
+let values d = Array.copy d.values
+let value d i = d.values.(i)
+let index_of d v = Hashtbl.find_opt d.index v
+
+let bits d =
+  let n = size d in
+  let rec go b acc = if acc >= n then b else go (b + 1) (2 * acc) in
+  (* singleton domains still get one (constrained) bit so every signal has
+     a non-empty encoding *)
+  max 1 (go 0 1)
+
+let equal a b =
+  size a = size b && Array.for_all2 String.equal a.values b.values
+
+let pp fmt d =
+  Format.fprintf fmt "%s{%s}" d.name (String.concat "," (Array.to_list d.values))

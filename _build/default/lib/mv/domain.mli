@@ -1,0 +1,25 @@
+(** Finite symbolic domains of multi-valued variables (BLIF-MV [.mv]). *)
+
+type t
+
+val make : string -> string array -> t
+(** [make name values]; values must be non-empty and distinct. *)
+
+val boolean : t
+(** The two-valued domain [{"0"; "1"}]. *)
+
+val of_size : string -> int -> t
+(** Anonymous values ["0"], ["1"], ... *)
+
+val name : t -> string
+val size : t -> int
+val values : t -> string array
+val value : t -> int -> string
+val index_of : t -> string -> int option
+val bits : t -> int
+(** Number of binary variables needed to encode the domain. *)
+
+val equal : t -> t -> bool
+(** Same size and same value names. *)
+
+val pp : Format.formatter -> t -> unit

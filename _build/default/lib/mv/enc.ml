@@ -1,0 +1,61 @@
+open Hsis_bdd
+
+type t = { dom : Domain.t; bits : Bdd.t array; man : Bdd.man }
+
+let make dom bits =
+  let expected = Domain.bits dom in
+  if Array.length bits <> expected then
+    invalid_arg
+      (Printf.sprintf "Enc.make: %s needs %d bits, got %d" (Domain.name dom)
+         expected (Array.length bits));
+  let man =
+    if Array.length bits = 0 then invalid_arg "Enc.make: empty encoding"
+    else Bdd.man_of bits.(0)
+  in
+  { dom; bits = Array.copy bits; man }
+
+let domain e = e.dom
+let bits e = Array.copy e.bits
+let man e = e.man
+
+let value_bdd e v =
+  if v < 0 || v >= Domain.size e.dom then invalid_arg "Enc.value_bdd";
+  let acc = ref (Bdd.dtrue e.man) in
+  Array.iteri
+    (fun i bit ->
+      let lit = if (v lsr i) land 1 = 1 then bit else Bdd.dnot bit in
+      acc := Bdd.dand !acc lit)
+    e.bits;
+  !acc
+
+let set_bdd e vs =
+  List.fold_left (fun acc v -> Bdd.dor acc (value_bdd e v)) (Bdd.dfalse e.man) vs
+
+let full_bdd e = set_bdd e (List.init (Domain.size e.dom) Fun.id)
+let domain_constraint = full_bdd
+
+let eq a b =
+  if Domain.size a.dom <> Domain.size b.dom then
+    invalid_arg "Enc.eq: domain size mismatch";
+  let acc = ref (Bdd.dtrue a.man) in
+  Array.iteri (fun i bit -> acc := Bdd.dand !acc (Bdd.eqv bit b.bits.(i))) a.bits;
+  !acc
+
+let cube e = Bdd.cube e.man (Array.to_list e.bits)
+let var_indices e = Array.to_list (Array.map Bdd.var_index e.bits)
+
+let decode e env =
+  let v = ref 0 in
+  Array.iteri
+    (fun i bit -> if env (Bdd.var_index bit) then v := !v lor (1 lsl i))
+    e.bits;
+  if !v >= Domain.size e.dom then
+    invalid_arg
+      (Printf.sprintf "Enc.decode: illegal code %d for %s" !v
+         (Domain.name e.dom));
+  !v
+
+let assign e v =
+  if v < 0 || v >= Domain.size e.dom then invalid_arg "Enc.assign";
+  Array.to_list
+    (Array.mapi (fun i bit -> (Bdd.var_index bit, (v lsr i) land 1 = 1)) e.bits)

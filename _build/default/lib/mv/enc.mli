@@ -1,0 +1,44 @@
+open Hsis_bdd
+
+(** Binary encoding of a multi-valued variable onto BDD literals.
+
+    A variable with domain size [k] uses [ceil(log2 k)] BDD variables
+    (least-significant bit first).  Codes at or beyond [k] are illegal and
+    excluded by {!domain_constraint}. *)
+
+type t
+
+val make : Domain.t -> Bdd.t array -> t
+(** [make dom bits]: [bits] are positive literals, LSB first; their count
+    must equal [Domain.bits dom]. *)
+
+val domain : t -> Domain.t
+val bits : t -> Bdd.t array
+val man : t -> Bdd.man
+
+val value_bdd : t -> int -> Bdd.t
+(** Characteristic function of [var = value-index]. *)
+
+val set_bdd : t -> int list -> Bdd.t
+(** Characteristic function of membership in a set of value indices. *)
+
+val full_bdd : t -> Bdd.t
+(** Same as [set_bdd] over the whole domain — the domain constraint. *)
+
+val domain_constraint : t -> Bdd.t
+(** Excludes the unused binary codes; [true] when the size is a power of 2. *)
+
+val eq : t -> t -> Bdd.t
+(** Bitwise equality of two encodings of equal-size domains. *)
+
+val cube : t -> Bdd.t
+(** Quantification cube of the encoding's variables. *)
+
+val var_indices : t -> int list
+
+val decode : t -> (int -> bool) -> int
+(** Recover the value index from a total assignment of the bit variables.
+    Raises [Invalid_argument] on an illegal code. *)
+
+val assign : t -> int -> (int * bool) list
+(** Bit-variable assignment encoding a value index. *)

@@ -1,0 +1,1 @@
+lib/quant/apply.ml: Array Bdd Hsis_bdd Schedule

@@ -1,0 +1,1 @@
+lib/quant/apply.mli: Bdd Hsis_bdd Schedule

@@ -1,0 +1,1 @@
+lib/quant/schedule.ml: Array Format Fun Hashtbl Int List Option Set String

@@ -1,0 +1,1 @@
+lib/quant/schedule.mli: Format

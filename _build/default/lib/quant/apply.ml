@@ -1,0 +1,23 @@
+open Hsis_bdd
+
+type result = { value : Bdd.t; peak_nodes : int }
+
+let execute ~rels ~cube_of sched =
+  let peak = ref 0 in
+  let note b =
+    let s = Bdd.dag_size b in
+    if s > !peak then peak := s;
+    b
+  in
+  let rec go = function
+    | Schedule.Leaf { rel; q } ->
+        let b = rels.(rel) in
+        if q = [] then note b else note (Bdd.exists ~cube:(cube_of q) b)
+    | Schedule.Join { left; right; q } ->
+        let l = go left in
+        let r = go right in
+        if q = [] then note (Bdd.dand l r)
+        else note (Bdd.and_exists ~cube:(cube_of q) l r)
+  in
+  let value = go sched in
+  { value; peak_nodes = !peak }

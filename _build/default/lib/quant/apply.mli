@@ -1,0 +1,14 @@
+open Hsis_bdd
+
+(** Execute a quantification schedule over concrete BDD relations. *)
+
+type result = { value : Bdd.t; peak_nodes : int }
+(** [peak_nodes] is the largest intermediate BDD (dag nodes) built while
+    executing the schedule — the metric the scheduling heuristics minimize. *)
+
+val execute :
+  rels:Bdd.t array -> cube_of:(int list -> Bdd.t) -> Schedule.t -> result
+(** [cube_of vars] must return the BDD-variable cube encoding the abstract
+    variables [vars] (an MV signal maps to several BDD bits).  Products at
+    joins use the relational-product operator so the conjunction under a
+    quantifier is never materialized. *)

@@ -1,0 +1,318 @@
+module IS = Set.Make (Int)
+
+type t =
+  | Leaf of { rel : int; q : int list }
+  | Join of { left : t; right : t; q : int list }
+
+type problem = { supports : int list array; quantify : int list }
+
+(* Active item during scheduling: a partial tree and its remaining support
+   (support minus everything already quantified inside it). *)
+type item = { tree : t; supp : IS.t }
+
+let add_q tree q =
+  if q = [] then tree
+  else
+    match tree with
+    | Leaf l -> Leaf { l with q = l.q @ q }
+    | Join j -> Join { j with q = j.q @ q }
+
+let leaf_items problem =
+  Array.to_list
+    (Array.mapi
+       (fun i supp -> { tree = Leaf { rel = i; q = [] }; supp = IS.of_list supp })
+       problem.supports)
+
+(* Variables quantifiable once the given items are merged: quantify
+   candidates whose every occurrence lies inside the merged cluster. *)
+let locally_quantifiable qset merged_supp others =
+  IS.filter
+    (fun v ->
+      IS.mem v merged_supp
+      && List.for_all (fun it -> not (IS.mem v it.supp)) others)
+    qset
+
+(* Merge a list of items into one, joining smallest-support first and
+   quantifying [q] at the final join. *)
+let merge_items items q =
+  match List.sort (fun a b -> compare (IS.cardinal a.supp) (IS.cardinal b.supp)) items with
+  | [] -> invalid_arg "Schedule.merge_items: empty cluster"
+  | first :: rest ->
+      let merged =
+        List.fold_left
+          (fun acc it ->
+            {
+              tree = Join { left = acc.tree; right = it.tree; q = [] };
+              supp = IS.union acc.supp it.supp;
+            })
+          first rest
+      in
+      let qlist = IS.elements q in
+      { tree = add_q merged.tree qlist; supp = IS.diff merged.supp q }
+
+let finish items qset =
+  (* Join the leftovers (smallest first), quantifying stragglers at root. *)
+  match items with
+  | [] -> Leaf { rel = 0; q = [] } (* unreachable for non-empty problems *)
+  | items ->
+      let merged = merge_items items qset in
+      merged.tree
+
+(* Bucket-elimination scheduling with occurrence indexing: items live in a
+   growable array (dead after merging); [occ] maps each variable to the
+   item ids mentioning it (stale ids filtered on read); per-variable costs
+   are cached and recomputed only when a touching cluster merges. *)
+let min_width problem =
+  let n = Array.length problem.supports in
+  if n = 0 then invalid_arg "Schedule.min_width: no relations";
+  let items = ref (Array.of_list (leaf_items problem)) in
+  let alive = ref (Array.make n true) in
+  let count = ref n in
+  let capacity = ref n in
+  let add_item it =
+    if !count >= !capacity then begin
+      let cap = max 8 (2 * !capacity) in
+      let bigger_items = Array.make cap it in
+      Array.blit !items 0 bigger_items 0 !count;
+      let bigger_alive = Array.make cap false in
+      Array.blit !alive 0 bigger_alive 0 !count;
+      items := bigger_items;
+      alive := bigger_alive;
+      capacity := cap
+    end;
+    let id = !count in
+    !items.(id) <- it;
+    !alive.(id) <- true;
+    count := id + 1;
+    id
+  in
+  let occ : (int, int list) Hashtbl.t = Hashtbl.create 256 in
+  let note_occ id supp =
+    IS.iter
+      (fun v ->
+        Hashtbl.replace occ v (id :: Option.value ~default:[] (Hashtbl.find_opt occ v)))
+      supp
+  in
+  Array.iteri (fun id it -> note_occ id it.supp) !items;
+  let live_occ v =
+    let ids =
+      List.filter (fun id -> !alive.(id) && IS.mem v !items.(id).supp)
+        (Option.value ~default:[] (Hashtbl.find_opt occ v))
+    in
+    let ids = List.sort_uniq compare ids in
+    Hashtbl.replace occ v ids;
+    ids
+  in
+  let appearing =
+    Array.fold_left (fun acc s -> IS.union acc (IS.of_list s)) IS.empty
+      problem.supports
+  in
+  let qset = ref (IS.inter (IS.of_list problem.quantify) appearing) in
+  let cost_cache : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let cost v =
+    match Hashtbl.find_opt cost_cache v with
+    | Some c -> c
+    | None ->
+        let union =
+          List.fold_left
+            (fun acc id -> IS.union acc !items.(id).supp)
+            IS.empty (live_occ v)
+        in
+        let c = IS.cardinal union in
+        Hashtbl.replace cost_cache v c;
+        c
+  in
+  while not (IS.is_empty !qset) do
+    let v =
+      IS.fold
+        (fun v best ->
+          match best with
+          | None -> Some (v, cost v)
+          | Some (_, c) ->
+              let cv = cost v in
+              if cv < c then Some (v, cv) else best)
+        !qset None
+      |> Option.get |> fst
+    in
+    let cluster_ids = live_occ v in
+    let cluster = List.map (fun id -> !items.(id)) cluster_ids in
+    let merged_supp =
+      List.fold_left (fun acc it -> IS.union acc it.supp) IS.empty cluster
+    in
+    (* quantify every candidate local to the cluster *)
+    let q =
+      IS.filter
+        (fun u ->
+          u = v
+          || (IS.mem u merged_supp
+             && List.for_all (fun id -> List.mem id cluster_ids) (live_occ u)))
+        (IS.add v !qset)
+    in
+    let merged = merge_items cluster q in
+    List.iter (fun id -> !alive.(id) <- false) cluster_ids;
+    let new_id = add_item merged in
+    note_occ new_id merged.supp;
+    qset := IS.diff !qset q;
+    (* costs touching the merged support are stale *)
+    IS.iter (fun u -> Hashtbl.remove cost_cache u) merged_supp
+  done;
+  let leftovers =
+    List.filteri (fun id _ -> !alive.(id)) (Array.to_list (Array.sub !items 0 !count))
+  in
+  finish leftovers IS.empty
+
+let pair_clustering problem =
+  if Array.length problem.supports = 0 then
+    invalid_arg "Schedule.pair_clustering: no relations";
+  let appearing =
+    Array.fold_left (fun acc s -> IS.union acc (IS.of_list s)) IS.empty
+      problem.supports
+  in
+  let qset = ref (IS.inter (IS.of_list problem.quantify) appearing) in
+  let items = ref (Array.of_list (leaf_items problem)) in
+  (* First, quantify variables local to a single relation. *)
+  items :=
+    Array.map
+      (fun it ->
+        let others =
+          Array.to_list !items |> List.filter (fun o -> o != it)
+        in
+        let q = locally_quantifiable !qset it.supp others in
+        qset := IS.diff !qset q;
+        { tree = add_q it.tree (IS.elements q); supp = IS.diff it.supp q })
+      !items;
+  let arr = ref (Array.to_list !items) in
+  let rec loop () =
+    match !arr with
+    | [] -> invalid_arg "Schedule.pair_clustering: empty"
+    | [ last ] -> add_q last.tree (IS.elements !qset)
+    | items ->
+        (* Find the pair with the smallest union support. *)
+        let best = ref None in
+        List.iteri
+          (fun i a ->
+            List.iteri
+              (fun j b ->
+                if j > i then begin
+                  let c = IS.cardinal (IS.union a.supp b.supp) in
+                  match !best with
+                  | Some (_, _, c') when c' <= c -> ()
+                  | _ -> best := Some (a, b, c)
+                end)
+              items)
+          items;
+        let a, b, _ = Option.get !best in
+        let rest = List.filter (fun it -> it != a && it != b) items in
+        let supp = IS.union a.supp b.supp in
+        let q = locally_quantifiable !qset supp rest in
+        qset := IS.diff !qset q;
+        let merged =
+          {
+            tree = Join { left = a.tree; right = b.tree; q = IS.elements q };
+            supp = IS.diff supp q;
+          }
+        in
+        arr := merged :: rest;
+        loop ()
+  in
+  loop ()
+
+let naive problem =
+  if Array.length problem.supports = 0 then
+    invalid_arg "Schedule.naive: no relations";
+  let appearing =
+    Array.fold_left (fun acc s -> IS.union acc (IS.of_list s)) IS.empty
+      problem.supports
+  in
+  let q = IS.elements (IS.inter (IS.of_list problem.quantify) appearing) in
+  let n = Array.length problem.supports in
+  let rec fold acc i =
+    if i >= n then acc
+    else fold (Join { left = acc; right = Leaf { rel = i; q = [] }; q = [] }) (i + 1)
+  in
+  add_q (fold (Leaf { rel = 0; q = [] }) 1) q
+
+let rec quantified_vars = function
+  | Leaf { q; _ } -> q
+  | Join { left; right; q } ->
+      q @ quantified_vars left @ quantified_vars right
+
+let quantified_vars t = List.sort compare (quantified_vars t)
+
+let rec rels_used = function
+  | Leaf { rel; _ } -> [ rel ]
+  | Join { left; right; _ } -> rels_used left @ rels_used right
+
+let rels_used t = List.sort compare (rels_used t)
+
+let validate problem t =
+  let n = Array.length problem.supports in
+  let rels = rels_used t in
+  if rels <> List.init n Fun.id then Error "relations not used exactly once"
+  else begin
+    let appearing =
+      Array.fold_left (fun acc s -> IS.union acc (IS.of_list s)) IS.empty
+        problem.supports
+    in
+    let expected =
+      IS.elements (IS.inter (IS.of_list problem.quantify) appearing)
+    in
+    let got = quantified_vars t in
+    if got <> expected then Error "quantified variable set mismatch"
+    else begin
+      (* Early-quantification soundness: a variable quantified at a node must
+         not occur in any relation outside that node's subtree. *)
+      let rec subtree_rels = function
+        | Leaf { rel; _ } -> IS.singleton rel
+        | Join { left; right; _ } ->
+            IS.union (subtree_rels left) (subtree_rels right)
+      in
+      let ok = ref true in
+      let rec walk node =
+        let inside = subtree_rels node in
+        let q = match node with Leaf { q; _ } -> q | Join { q; _ } -> q in
+        List.iter
+          (fun v ->
+            for i = 0 to n - 1 do
+              if (not (IS.mem i inside)) && List.mem v problem.supports.(i)
+              then ok := false
+            done)
+          q;
+        match node with
+        | Leaf _ -> ()
+        | Join { left; right; _ } ->
+            walk left;
+            walk right
+      in
+      walk t;
+      if !ok then Ok () else Error "variable quantified before last use"
+    end
+  end
+
+let max_cluster_support problem t =
+  let rec go = function
+    | Leaf { rel; q } ->
+        let supp = IS.diff (IS.of_list problem.supports.(rel)) (IS.of_list q) in
+        (supp, IS.cardinal supp)
+    | Join { left; right; q } ->
+        let sl, ml = go left and sr, mr = go right in
+        let united = IS.union sl sr in
+        let peak = max (IS.cardinal united) (max ml mr) in
+        let supp = IS.diff united (IS.of_list q) in
+        (supp, peak)
+  in
+  snd (go t)
+
+let rec pp fmt = function
+  | Leaf { rel; q } ->
+      if q = [] then Format.fprintf fmt "r%d" rel
+      else
+        Format.fprintf fmt "(E%s . r%d)"
+          (String.concat "," (List.map string_of_int q))
+          rel
+  | Join { left; right; q } ->
+      if q = [] then Format.fprintf fmt "(%a * %a)" pp left pp right
+      else
+        Format.fprintf fmt "(E%s . %a * %a)"
+          (String.concat "," (List.map string_of_int q))
+          pp left pp right

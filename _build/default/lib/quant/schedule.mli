@@ -1,0 +1,46 @@
+(** Early-quantification scheduling (paper Secs. 1 and 4, ref [14]).
+
+    Given a collection of relations (identified by index, each with an
+    abstract support — a set of variable ids) and a set of variables to
+    quantify existentially from their product, compute a tree telling in
+    which order to multiply relations and where each variable can be
+    quantified {e early}, i.e. as soon as no relation outside the partial
+    product mentions it.  The goal is to keep intermediate BDDs small. *)
+
+type t =
+  | Leaf of { rel : int; q : int list }
+      (** Relation [rel]; quantify [q] from it immediately. *)
+  | Join of { left : t; right : t; q : int list }
+      (** Multiply the two sub-results, then quantify [q]. *)
+
+type problem = { supports : int list array; quantify : int list }
+(** [supports.(i)] is the abstract support of relation [i]. *)
+
+val min_width : problem -> t
+(** Bucket-elimination style: repeatedly eliminate the quantified variable
+    whose cluster (all active items mentioning it) has the smallest combined
+    support, joining the cluster smallest-first. *)
+
+val pair_clustering : problem -> t
+(** Repeatedly join the pair of items whose union support is smallest,
+    quantifying variables that become local. *)
+
+val naive : problem -> t
+(** Left fold in input order, all quantification at the root (baseline). *)
+
+val quantified_vars : t -> int list
+(** All variables quantified somewhere in the tree, sorted. *)
+
+val rels_used : t -> int list
+(** All relation indices, sorted. *)
+
+val validate : problem -> t -> (unit, string) result
+(** Every relation used exactly once; the quantified variables are exactly
+    [quantify] (minus those appearing in no support); each variable is
+    quantified only after its last occurrence. *)
+
+val max_cluster_support : problem -> t -> int
+(** Width metric: the largest abstract support of any intermediate node
+    (a proxy for intermediate BDD size, used by benches). *)
+
+val pp : Format.formatter -> t -> unit

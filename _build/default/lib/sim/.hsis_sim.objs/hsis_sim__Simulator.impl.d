@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Domain Enum Format Fun Hashtbl Hsis_blifmv Hsis_check Hsis_mv List Net Printf String

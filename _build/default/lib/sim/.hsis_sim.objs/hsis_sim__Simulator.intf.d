@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Enum Format Hsis_blifmv Hsis_check Net

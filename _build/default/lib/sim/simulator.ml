@@ -1,0 +1,119 @@
+open Hsis_mv
+open Hsis_blifmv
+open Hsis_check
+
+type t = {
+  net : Net.t;
+  mutable trail : Enum.state list; (* newest first, never empty *)
+}
+
+let create ?(init_choice = 0) net =
+  let inits = Enum.initial_states net in
+  let n = List.length inits in
+  if n = 0 then invalid_arg "Simulator.create: no initial states";
+  let st = List.nth inits (init_choice mod n) in
+  { net; trail = [ st ] }
+
+let net t = t.net
+
+let state t =
+  match t.trail with
+  | st :: _ -> st
+  | [] -> assert false
+
+let depth t = List.length t.trail - 1
+
+let next_of net vals =
+  Array.of_list
+    (List.map (fun (l : Net.flatch) -> vals.(l.Net.fl_input)) net.Net.latches)
+
+let options t =
+  List.map
+    (fun vals -> (vals, next_of t.net vals))
+    (Enum.valuations_of_state t.net (state t))
+
+let step t i =
+  let opts = options t in
+  match List.nth_opt opts i with
+  | Some (_, next) -> t.trail <- next :: t.trail
+  | None -> invalid_arg "Simulator.step: option out of range"
+
+let step_where t pred =
+  let opts = options t in
+  match List.find_opt (fun (v, _) -> pred v) opts with
+  | Some (_, next) ->
+      t.trail <- next :: t.trail;
+      true
+  | None -> false
+
+let backtrack t =
+  match t.trail with
+  | _ :: (_ :: _ as rest) ->
+      t.trail <- rest;
+      true
+  | _ -> false
+
+let history t = List.rev t.trail
+
+let pp_state net fmt st =
+  let items =
+    List.mapi
+      (fun i (l : Net.flatch) ->
+        let s = l.Net.fl_output in
+        Printf.sprintf "%s=%s"
+          (Net.signal net s).Net.s_name
+          (Domain.value (Net.dom net s) st.(i)))
+      net.Net.latches
+  in
+  Format.fprintf fmt "%s" (String.concat " " items)
+
+let pp_valuation net fmt vals =
+  let items =
+    List.filter_map
+      (fun s ->
+        if List.exists (fun (l : Net.flatch) -> l.Net.fl_output = s)
+             net.Net.latches
+        then None
+        else
+          Some
+            (Printf.sprintf "%s=%s"
+               (Net.signal net s).Net.s_name
+               (Domain.value (Net.dom net s) vals.(s))))
+      (List.init (Net.num_signals net) Fun.id)
+  in
+  Format.fprintf fmt "%s" (String.concat " " items)
+
+(* ------------------------------------------------------------------ *)
+(* Frontier exploration *)
+
+type explorer = {
+  e_net : Net.t;
+  seen : (Enum.state, unit) Hashtbl.t;
+  mutable front : Enum.state list;
+  mutable count : int;
+}
+
+let explorer net =
+  let seen = Hashtbl.create 256 in
+  let inits = Enum.initial_states net in
+  List.iter (fun st -> Hashtbl.replace seen st ()) inits;
+  { e_net = net; seen; front = inits; count = List.length inits }
+
+let expand e =
+  let fresh = ref [] in
+  List.iter
+    (fun st ->
+      List.iter
+        (fun st' ->
+          if not (Hashtbl.mem e.seen st') then begin
+            Hashtbl.replace e.seen st' ();
+            fresh := st' :: !fresh
+          end)
+        (Enum.successors e.e_net st))
+    e.front;
+  e.front <- !fresh;
+  e.count <- e.count + List.length !fresh;
+  List.length !fresh
+
+let discovered e = e.count
+let frontier e = e.front

@@ -1,0 +1,48 @@
+open Hsis_blifmv
+open Hsis_check
+
+(** The state-based simulator (paper Sec. 2 item 4): enumerate reachable
+    states under user control — step through concrete behaviors, inspect
+    the enabled non-deterministic choices, backtrack, or expand the
+    reachable frontier level by level. *)
+
+type t
+
+val create : ?init_choice:int -> Net.t -> t
+(** Start at one of the initial states ([init_choice]-th, default 0). *)
+
+val net : t -> Net.t
+val state : t -> Enum.state
+val depth : t -> int
+(** Number of steps taken so far. *)
+
+val options : t -> (Enum.valuation * Enum.state) list
+(** The enabled combinational valuations and the successor each leads to.
+    Distinct valuations may lead to the same successor. *)
+
+val step : t -> int -> unit
+(** Take the [i]-th option.  Raises [Invalid_argument] when out of range. *)
+
+val step_where : t -> (Enum.valuation -> bool) -> bool
+(** Take the first option whose valuation satisfies the predicate; returns
+    false (and stays put) when none does. *)
+
+val backtrack : t -> bool
+(** Undo the last step; false at the start. *)
+
+val history : t -> Enum.state list
+(** States visited, oldest first, including the current one. *)
+
+val pp_state : Net.t -> Format.formatter -> Enum.state -> unit
+val pp_valuation : Net.t -> Format.formatter -> Enum.valuation -> unit
+
+(** Frontier-at-a-time exploration of the reachable states. *)
+type explorer
+
+val explorer : Net.t -> explorer
+val expand : explorer -> int
+(** Expand one BFS level; returns the number of newly discovered states
+    (0 when the reachable set is exhausted). *)
+
+val discovered : explorer -> int
+val frontier : explorer -> Enum.state list

@@ -1,0 +1,1 @@
+lib/verilog/elab.ml: Ast Bool Format Hashtbl Hsis_blifmv List Map Option Printer Printf String Vast Vparser

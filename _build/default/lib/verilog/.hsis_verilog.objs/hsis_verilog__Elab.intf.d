@@ -1,0 +1,1 @@
+lib/verilog/elab.mli: Ast Hsis_blifmv Vast

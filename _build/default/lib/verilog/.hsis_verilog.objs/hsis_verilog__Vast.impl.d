@@ -1,0 +1,1 @@
+lib/verilog/vast.ml: List

@@ -1,0 +1,1 @@
+lib/verilog/vlexer.ml: List Printf String

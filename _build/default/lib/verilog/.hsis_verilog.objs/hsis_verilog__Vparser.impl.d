@@ -1,0 +1,1 @@
+lib/verilog/vparser.ml: Format List Vast Vlexer

@@ -1,0 +1,1 @@
+lib/verilog/vparser.mli: Vast

@@ -1,0 +1,636 @@
+open Hsis_blifmv
+
+exception Error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* Value types: words of a bit width, or symbolic enumerations. *)
+type ty = Tword of int | Tenum of string list
+
+let dom_size = function
+  | Tword w -> 1 lsl w
+  | Tenum vs -> List.length vs
+
+let ty_equal a b =
+  match (a, b) with
+  | Tword w1, Tword w2 -> w1 = w2
+  | Tenum v1, Tenum v2 -> v1 = v2
+  | Tword _, Tenum _ | Tenum _, Tword _ -> false
+
+let value_name ty v =
+  match ty with
+  | Tword _ -> string_of_int v
+  | Tenum vs -> List.nth vs v
+
+let max_table_rows = 1 lsl 16
+
+(* Per-module elaboration state. *)
+type state = {
+  module_name : string;
+  types : (string, ty) Hashtbl.t;  (* signal -> type *)
+  enum_lits : (string, ty * int) Hashtbl.t;  (* literal -> (type, index) *)
+  mutable tables : Ast.table list;  (* reverse order *)
+  mutable latches : Ast.latch list;
+  mutable temp : int;
+  mutable temps : (string * ty) list;  (* declared temporaries *)
+  const_cache : (string * int, string) Hashtbl.t;
+}
+
+let fresh st ty =
+  let name = Printf.sprintf "_e%d" st.temp in
+  st.temp <- st.temp + 1;
+  st.temps <- (name, ty) :: st.temps;
+  name
+
+let emit_table st tb = st.tables <- tb :: st.tables
+
+let ty_of st name =
+  match Hashtbl.find_opt st.types name with
+  | Some t -> t
+  | None -> err "%s: undeclared signal %s" st.module_name name
+
+(* Expression results: a signal carrying a value, or a constant (whose
+   type, for plain integer literals, is inferred from context). *)
+type res = Rsig of string * ty | Rconst of ty option * int
+
+let res_ty = function
+  | Rsig (_, ty) -> Some ty
+  | Rconst (ty, _) -> ty
+
+(* Materialize a constant as a one-row, zero-input table. *)
+let force_const st ty v =
+  if v < 0 || v >= dom_size ty then
+    err "%s: constant %d out of range for its context" st.module_name v;
+  let key = (value_name ty v, dom_size ty) in
+  match Hashtbl.find_opt st.const_cache key with
+  | Some s -> s
+  | None ->
+      let s = fresh st ty in
+      emit_table st
+        {
+          Ast.t_inputs = [];
+          t_outputs = [ s ];
+          t_rows =
+            [ { Ast.r_inputs = []; r_outputs = [ Ast.Val (value_name ty v) ] } ];
+          t_default = None;
+        };
+      Hashtbl.replace st.const_cache key s;
+      s
+
+(* Widen a word signal to a wider word domain via an identity table. *)
+let widen st s w_from w_to =
+  let out = fresh st (Tword w_to) in
+  let rows =
+    List.init (1 lsl w_from) (fun v ->
+        {
+          Ast.r_inputs = [ Ast.Val (string_of_int v) ];
+          r_outputs = [ Ast.Val (string_of_int v) ];
+        })
+  in
+  emit_table st
+    { Ast.t_inputs = [ s ]; t_outputs = [ out ]; t_rows = rows; t_default = None };
+  out
+
+let force st ty = function
+  | Rsig (s, ty') -> (
+      if ty_equal ty ty' then s
+      else
+        match (ty, ty') with
+        | Tword w_to, Tword w_from when w_from < w_to -> widen st s w_from w_to
+        | (Tword _ | Tenum _), (Tword _ | Tenum _) ->
+            err "%s: type mismatch on %s" st.module_name s)
+  | Rconst (Some ty', v) -> (
+      if ty_equal ty ty' then force_const st ty v
+      else
+        match (ty, ty') with
+        | Tword w_to, Tword w_from when w_from < w_to ->
+            ignore w_to;
+            ignore w_from;
+            force_const st ty v
+        | (Tword _ | Tenum _), (Tword _ | Tenum _) ->
+            err "%s: constant type mismatch" st.module_name)
+  | Rconst (None, v) -> force_const st ty v
+
+(* Unify operand types for a binary operator. *)
+let unify st a b =
+  match (res_ty a, res_ty b) with
+  | Some (Tenum v1), Some (Tenum v2) when v1 = v2 -> Tenum v1
+  | Some (Tenum _), Some (Tenum _) ->
+      err "%s: comparing different enum types" st.module_name
+  | Some (Tenum _), Some (Tword _) | Some (Tword _), Some (Tenum _) ->
+      err "%s: mixing enum and word operands" st.module_name
+  | Some (Tword w1), Some (Tword w2) -> Tword (max w1 w2)
+  | Some t, None | None, Some t -> t
+  | None, None ->
+      (* both constants: width of the larger value *)
+      let v = match (a, b) with
+        | Rconst (_, x), Rconst (_, y) -> max (max x y) 1
+        | _ -> 1
+      in
+      let rec width n = if n <= 1 then 1 else 1 + width (n / 2) in
+      Tword (width v)
+
+let bool_ty = Tword 1
+
+let apply_binop op w a b =
+  let mask = (1 lsl w) - 1 in
+  match op with
+  | Vast.Add -> (a + b) land mask
+  | Vast.Sub -> (a - b) land mask
+  | Vast.And -> a land b
+  | Vast.Or -> a lor b
+  | Vast.Xor -> a lxor b
+  | Vast.Eq -> if a = b then 1 else 0
+  | Vast.Neq -> if a <> b then 1 else 0
+  | Vast.Lt -> if a < b then 1 else 0
+  | Vast.Le -> if a <= b then 1 else 0
+  | Vast.Gt -> if a > b then 1 else 0
+  | Vast.Ge -> if a >= b then 1 else 0
+
+let out_ty_of op operand_ty =
+  match op with
+  | Vast.Eq | Vast.Neq | Vast.Lt | Vast.Le | Vast.Gt | Vast.Ge -> bool_ty
+  | Vast.Add | Vast.Sub | Vast.And | Vast.Or | Vast.Xor -> (
+      match operand_ty with
+      | Tword w -> Tword w
+      | Tenum _ -> err "arithmetic on enum values")
+
+let rec compile_expr st (e : Vast.expr) : res =
+  match e with
+  | Vast.Int n -> Rconst (None, n)
+  | Vast.Id x -> (
+      match Hashtbl.find_opt st.types x with
+      | Some ty -> Rsig (x, ty)
+      | None -> (
+          match Hashtbl.find_opt st.enum_lits x with
+          | Some (ty, v) -> Rconst (Some ty, v)
+          | None -> err "%s: unknown identifier %s" st.module_name x))
+  | Vast.Unop (Vast.Lnot, e) -> (
+      match compile_expr st e with
+      | Rconst (_, v) -> Rconst (Some bool_ty, if v = 0 then 1 else 0)
+      | Rsig (s, ty) ->
+          let out = fresh st bool_ty in
+          let d = dom_size ty in
+          let rows =
+            List.init d (fun v ->
+                {
+                  Ast.r_inputs = [ Ast.Val (value_name ty v) ];
+                  r_outputs = [ Ast.Val (if v = 0 then "1" else "0") ];
+                })
+          in
+          emit_table st
+            {
+              Ast.t_inputs = [ s ];
+              t_outputs = [ out ];
+              t_rows = rows;
+              t_default = None;
+            };
+          Rsig (out, bool_ty))
+  | Vast.Binop (op, ea, eb) -> (
+      let ra = compile_expr st ea and rb = compile_expr st eb in
+      let ty = unify st ra rb in
+      (* widen narrower word operands into the unified domain *)
+      let coerce r =
+        match r with
+        | Rsig (_, ty') when not (ty_equal ty' ty) -> Rsig (force st ty r, ty)
+        | Rsig _ | Rconst _ -> r
+      in
+      let ra = coerce ra and rb = coerce rb in
+      let w = match ty with Tword w -> w | Tenum _ -> 0 in
+      (match (op, ty) with
+      | (Vast.Eq | Vast.Neq), _ -> ()
+      | _, Tenum _ -> err "%s: arithmetic on enum operands" st.module_name
+      | _, Tword _ -> ());
+      match (ra, rb) with
+      | Rconst (_, va), Rconst (_, vb) ->
+          Rconst (Some (out_ty_of op ty), apply_binop op (max w 1) va vb)
+      | _ ->
+          let d = dom_size ty in
+          let out_ty = out_ty_of op ty in
+          let eval va vb =
+            match ty with
+            | Tword w -> apply_binop op w va vb
+            | Tenum _ -> apply_binop op 1 (Bool.to_int (va = vb)) 1
+              (* enum: only eq/neq reach here; recompute directly *)
+          in
+          let eval va vb =
+            match ty with
+            | Tword _ -> eval va vb
+            | Tenum _ -> (
+                match op with
+                | Vast.Eq -> if va = vb then 1 else 0
+                | Vast.Neq -> if va <> vb then 1 else 0
+                | _ -> assert false)
+          in
+          let rows_and_inputs =
+            match (ra, rb) with
+            | Rsig (sa, _), Rsig (sb, _) ->
+                if d * d > max_table_rows then
+                  err "%s: operator table too large (%d rows)" st.module_name
+                    (d * d);
+                let rows = ref [] in
+                for va = 0 to d - 1 do
+                  for vb = 0 to d - 1 do
+                    rows :=
+                      {
+                        Ast.r_inputs =
+                          [ Ast.Val (value_name ty va); Ast.Val (value_name ty vb) ];
+                        r_outputs =
+                          [ Ast.Val (value_name out_ty (eval va vb)) ];
+                      }
+                      :: !rows
+                  done
+                done;
+                (List.rev !rows, [ sa; sb ])
+            | Rsig (sa, _), Rconst (_, vb) ->
+                let rows =
+                  List.init d (fun va ->
+                      {
+                        Ast.r_inputs = [ Ast.Val (value_name ty va) ];
+                        r_outputs = [ Ast.Val (value_name out_ty (eval va vb)) ];
+                      })
+                in
+                (rows, [ sa ])
+            | Rconst (_, va), Rsig (sb, _) ->
+                let rows =
+                  List.init d (fun vb ->
+                      {
+                        Ast.r_inputs = [ Ast.Val (value_name ty vb) ];
+                        r_outputs = [ Ast.Val (value_name out_ty (eval va vb)) ];
+                      })
+                in
+                (rows, [ sb ])
+            | Rconst _, Rconst _ -> assert false
+          in
+          let rows, inputs = rows_and_inputs in
+          let out = fresh st out_ty in
+          emit_table st
+            {
+              Ast.t_inputs = inputs;
+              t_outputs = [ out ];
+              t_rows = rows;
+              t_default = None;
+            };
+          Rsig (out, out_ty))
+  | Vast.Cond (c, t, e) -> (
+      let rc = compile_expr st c in
+      match rc with
+      | Rconst (_, v) -> if v <> 0 then compile_expr st t else compile_expr st e
+      | Rsig (sc, cty) ->
+          if dom_size cty <> 2 then
+            err "%s: condition must be boolean" st.module_name;
+          let rt = compile_expr st t and re = compile_expr st e in
+          let ty =
+            match (res_ty rt, res_ty re) with
+            | Some a, Some b when ty_equal a b -> a
+            | Some a, None | None, Some a -> a
+            | Some _, Some _ -> err "%s: branches of ?: differ" st.module_name
+            | None, None -> unify st rt re
+          in
+          let s_t = force st ty rt and s_e = force st ty re in
+          let out = fresh st ty in
+          emit_table st
+            {
+              Ast.t_inputs = [ sc; s_t; s_e ];
+              t_outputs = [ out ];
+              t_rows =
+                [
+                  {
+                    Ast.r_inputs = [ Ast.Val "1"; Ast.Any; Ast.Any ];
+                    r_outputs = [ Ast.Eq s_t ];
+                  };
+                  {
+                    Ast.r_inputs = [ Ast.Val "0"; Ast.Any; Ast.Any ];
+                    r_outputs = [ Ast.Eq s_e ];
+                  };
+                ];
+              t_default = None;
+            };
+          Rsig (out, ty))
+  | Vast.Nd es ->
+      let rs = List.map (compile_expr st) es in
+      let rec width n = if n <= 1 then 1 else 1 + width (n / 2) in
+      let ty =
+        (* widest alternative wins; enums must all agree *)
+        List.fold_left
+          (fun acc r ->
+            let t =
+              match r with
+              | Rsig (_, t) | Rconst (Some t, _) -> Some t
+              | Rconst (None, v) -> Some (Tword (width (max v 1)))
+            in
+            match (acc, t) with
+            | None, t -> t
+            | Some a, Some b -> (
+                match (a, b) with
+                | Tword wa, Tword wb -> Some (Tword (max wa wb))
+                | Tenum va, Tenum vb when va = vb -> Some a
+                | (Tword _ | Tenum _), (Tword _ | Tenum _) ->
+                    err "%s: $ND alternatives differ in type" st.module_name)
+            | Some a, None -> Some a)
+          None rs
+        |> Option.get
+      in
+      let rs =
+        List.map
+          (fun r ->
+            match r with
+            | Rsig (_, ty') when not (ty_equal ty' ty) ->
+                Rsig (force st ty r, ty)
+            | Rsig _ | Rconst _ -> r)
+          rs
+      in
+      let inputs =
+        List.filter_map (function Rsig (s, _) -> Some s | Rconst _ -> None) rs
+      in
+      let out = fresh st ty in
+      let any_inputs = List.map (fun _ -> Ast.Any) inputs in
+      let rows =
+        List.map
+          (fun r ->
+            let out_entry =
+              match r with
+              | Rsig (s, _) -> Ast.Eq s
+              | Rconst (_, v) -> Ast.Val (value_name ty v)
+            in
+            { Ast.r_inputs = any_inputs; r_outputs = [ out_entry ] })
+          rs
+      in
+      emit_table st
+        {
+          Ast.t_inputs = inputs;
+          t_outputs = [ out ];
+          t_rows = rows;
+          t_default = None;
+        };
+      Rsig (out, ty)
+
+(* ------------------------------------------------------------------ *)
+(* Statement normalization: an always-block becomes, per assigned signal,
+   one expression tree.  Reads always see pre-block values (non-blocking
+   semantics). *)
+
+let rec desugar_case scrut arms dflt =
+  match arms with
+  | [] -> (
+      match dflt with
+      | Some s -> s
+      | None -> Vast.Block [] (* no default: hold / nothing *))
+  | (labels, s) :: rest ->
+      let cond =
+        match labels with
+        | [] -> err "empty case labels"
+        | l0 :: ls ->
+            List.fold_left
+              (fun acc l -> Vast.Binop (Vast.Or, acc, Vast.Binop (Vast.Eq, scrut, l)))
+              (Vast.Binop (Vast.Eq, scrut, l0))
+              ls
+      in
+      Vast.If (cond, s, Some (desugar_case scrut rest dflt))
+
+(* Map from signal to its assigned expression after the statement. *)
+module SM = Map.Make (String)
+
+let rec xform (stmt : Vast.stmt) (cur : Vast.expr SM.t) : Vast.expr SM.t =
+  match stmt with
+  | Vast.Assign (x, e) -> SM.add x e cur
+  | Vast.Block ss -> List.fold_left (fun acc s -> xform s acc) cur ss
+  | Vast.If (c, t, e) ->
+      let mt = xform t cur in
+      let me = match e with Some s -> xform s cur | None -> cur in
+      let keys =
+        SM.fold (fun k _ acc -> k :: acc) mt []
+        @ SM.fold (fun k _ acc -> k :: acc) me []
+        |> List.sort_uniq compare
+      in
+      List.fold_left
+        (fun acc k ->
+          let vt = SM.find_opt k mt and ve = SM.find_opt k me in
+          match (vt, ve) with
+          | Some a, Some b when a = b -> SM.add k a acc
+          | _ ->
+              let dflt = SM.find_opt k cur in
+              let hold = Option.value ~default:(Vast.Id k) dflt in
+              let a = Option.value ~default:hold vt in
+              let b = Option.value ~default:hold ve in
+              SM.add k (Vast.Cond (c, a, b)) acc)
+        cur keys
+  | Vast.Case (scrut, arms, dflt) -> xform (desugar_case scrut arms dflt) cur
+
+let assigned_signals stmt =
+  let rec go acc = function
+    | Vast.Assign (x, _) -> x :: acc
+    | Vast.Block ss -> List.fold_left go acc ss
+    | Vast.If (_, t, e) ->
+        let acc = go acc t in
+        (match e with Some s -> go acc s | None -> acc)
+    | Vast.Case (_, arms, dflt) ->
+        let acc = List.fold_left (fun acc (_, s) -> go acc s) acc arms in
+        (match dflt with Some s -> go acc s | None -> acc)
+  in
+  List.sort_uniq compare (go [] stmt)
+
+(* Does the expression (after merge) fall back to reading the signal
+   itself — i.e. would a combinational block infer a latch? *)
+let rec reads_self x = function
+  | Vast.Id y -> x = y
+  | Vast.Int _ -> false
+  | Vast.Unop (_, e) -> reads_self x e
+  | Vast.Binop (_, a, b) -> reads_self x a || reads_self x b
+  | Vast.Cond (c, t, e) -> reads_self x c || reads_self x t || reads_self x e
+  | Vast.Nd es -> List.exists (reads_self x) es
+
+(* ------------------------------------------------------------------ *)
+(* Module elaboration *)
+
+let elaborate_module (m : Vast.module_) : Ast.model =
+  (* Clock signals: any identifier used in @(posedge _) — the parser drops
+     the name, so detect "clk"-style ports that are never read: simpler,
+     treat any input named "clk" or "clock" as the implicit clock. *)
+  let is_clock n = n = "clk" || n = "clock" in
+  let st =
+    {
+      module_name = m.Vast.m_name;
+      types = Hashtbl.create 64;
+      enum_lits = Hashtbl.create 64;
+      tables = [];
+      latches = [];
+      temp = 0;
+      temps = [];
+      const_cache = Hashtbl.create 16;
+    }
+  in
+  List.iter
+    (fun (d : Vast.decl) ->
+      if not (is_clock d.Vast.d_name) then begin
+        let ty =
+          match d.Vast.d_enum with
+          | Some vs ->
+              List.iteri
+                (fun i v ->
+                  match Hashtbl.find_opt st.enum_lits v with
+                  | Some (ty', i') when ty_equal ty' (Tenum vs) && i' = i -> ()
+                  | Some _ -> err "%s: enum literal %s redeclared" m.Vast.m_name v
+                  | None -> Hashtbl.add st.enum_lits v (Tenum vs, i))
+                vs;
+              Tenum vs
+          | None -> Tword d.Vast.d_width
+        in
+        if Hashtbl.mem st.types d.Vast.d_name then
+          err "%s: signal %s redeclared" m.Vast.m_name d.Vast.d_name;
+        Hashtbl.add st.types d.Vast.d_name ty
+      end)
+    m.Vast.m_decls;
+  (* continuous assignments *)
+  List.iter
+    (fun (x, e) ->
+      let ty = ty_of st x in
+      let r = compile_expr st e in
+      let s = force st ty r in
+      emit_table st
+        {
+          Ast.t_inputs = [ s ];
+          t_outputs = [ x ];
+          t_rows = [ { Ast.r_inputs = [ Ast.Any ]; r_outputs = [ Ast.Eq s ] } ];
+          t_default = None;
+        })
+    m.Vast.m_assigns;
+  (* always blocks *)
+  let seq_regs = Hashtbl.create 16 in
+  List.iter
+    (fun (kind, body) ->
+      let final = xform body SM.empty in
+      let targets = assigned_signals body in
+      List.iter
+        (fun x ->
+          let ty = ty_of st x in
+          let e =
+            match SM.find_opt x final with
+            | Some e -> e
+            | None -> Vast.Id x
+          in
+          match kind with
+          | Vast.Seq ->
+              let r = compile_expr st e in
+              let s = force st ty r in
+              let next = x ^ "_next" in
+              if Hashtbl.mem st.types next then
+                err "%s: reserved name %s already used" m.Vast.m_name next;
+              Hashtbl.add st.types next ty;
+              emit_table st
+                {
+                  Ast.t_inputs = [ s ];
+                  t_outputs = [ next ];
+                  t_rows =
+                    [ { Ast.r_inputs = [ Ast.Any ]; r_outputs = [ Ast.Eq s ] } ];
+                  t_default = None;
+                };
+              Hashtbl.replace seq_regs x next
+          | Vast.Comb ->
+              if reads_self x e then
+                err "%s: combinational always block infers a latch on %s"
+                  m.Vast.m_name x;
+              let r = compile_expr st e in
+              let s = force st ty r in
+              emit_table st
+                {
+                  Ast.t_inputs = [ s ];
+                  t_outputs = [ x ];
+                  t_rows =
+                    [ { Ast.r_inputs = [ Ast.Any ]; r_outputs = [ Ast.Eq s ] } ];
+                  t_default = None;
+                })
+        targets)
+    m.Vast.m_always;
+  (* latches with reset values *)
+  Hashtbl.iter
+    (fun x next ->
+      let ty = ty_of st x in
+      let resets =
+        match List.assoc_opt x m.Vast.m_initials with
+        | None -> [ value_name ty 0 ]
+        | Some e ->
+            let const_of = function
+              | Vast.Int n -> value_name ty n
+              | Vast.Id lit -> (
+                  match Hashtbl.find_opt st.enum_lits lit with
+                  | Some (ty', v) when ty_equal ty ty' -> value_name ty v
+                  | Some _ -> err "%s: initial value type mismatch on %s" m.Vast.m_name x
+                  | None -> err "%s: initial value must be constant" m.Vast.m_name)
+              | Vast.Unop _ | Vast.Binop _ | Vast.Cond _ | Vast.Nd _ ->
+                  err "%s: initial value must be constant" m.Vast.m_name
+            in
+            (match e with
+            | Vast.Nd es -> List.map const_of es
+            | e -> [ const_of e ])
+      in
+      st.latches <-
+        { Ast.l_input = next; l_output = x; l_reset = resets } :: st.latches)
+    seq_regs;
+  (* declarations for BLIF-MV *)
+  let mv_of name ty =
+    match ty with
+    | Tword 1 -> None
+    | Tword w ->
+        Some { Ast.v_names = [ name ]; v_size = 1 lsl w; v_values = [] }
+    | Tenum vs ->
+        Some { Ast.v_names = [ name ]; v_size = List.length vs; v_values = vs }
+  in
+  let decl_mvs =
+    List.filter_map
+      (fun (d : Vast.decl) ->
+        if is_clock d.Vast.d_name then None
+        else mv_of d.Vast.d_name (ty_of st d.Vast.d_name))
+      m.Vast.m_decls
+  in
+  let next_mvs =
+    Hashtbl.fold
+      (fun x next acc ->
+        match mv_of next (ty_of st x) with Some d -> d :: acc | None -> acc)
+      seq_regs []
+  in
+  let temp_mvs =
+    List.filter_map (fun (name, ty) -> mv_of name ty) st.temps
+  in
+  let subckts =
+    List.map
+      (fun (i : Vast.instance) ->
+        {
+          Ast.s_model = i.Vast.i_module;
+          s_inst = i.Vast.i_name;
+          (* clock hookups vanish: the BLIF-MV clock is implicit *)
+          s_conns =
+            List.filter (fun (formal, _) -> not (is_clock formal)) i.Vast.i_conns;
+        })
+      m.Vast.m_instances
+  in
+  let port_kind k =
+    List.filter_map
+      (fun (d : Vast.decl) ->
+        if d.Vast.d_kind = k && (not (is_clock d.Vast.d_name)) then
+          Some d.Vast.d_name
+        else None)
+      m.Vast.m_decls
+  in
+  {
+    Ast.m_name = m.Vast.m_name;
+    m_inputs = port_kind Vast.Input;
+    m_outputs = port_kind Vast.Output;
+    m_mvs = decl_mvs @ next_mvs @ List.rev temp_mvs;
+    m_tables = List.rev st.tables;
+    m_latches = List.rev st.latches;
+    m_subckts = subckts;
+    m_delays = [];
+  }
+
+let elaborate (d : Vast.design) : Ast.t =
+  match d.Vast.modules with
+  | [] -> err "no modules in design"
+  | first :: _ ->
+      {
+        Ast.models = List.map elaborate_module d.Vast.modules;
+        root = first.Vast.m_name;
+      }
+
+let compile src = elaborate (Vparser.parse src)
+let to_blifmv src = Printer.to_string (compile src)

@@ -1,0 +1,20 @@
+open Hsis_blifmv
+
+(** Elaboration of the Verilog subset into BLIF-MV (the vl2mv step of the
+    paper's Fig. 1).  Each operator becomes one small table; [$ND] becomes a
+    non-deterministic table; sequential always-blocks become latches whose
+    next-state expressions merge the branch structure; [initial] gives
+    latch reset values (possibly non-deterministic via [$ND]). *)
+
+exception Error of string
+
+val elaborate : Vast.design -> Ast.t
+(** One BLIF-MV model per Verilog module; the root is the first module.
+    Signals named as a [posedge] clock are dropped (the BLIF-MV clock is
+    implicit). *)
+
+val compile : string -> Ast.t
+(** Parse + elaborate a Verilog source text. *)
+
+val to_blifmv : string -> string
+(** End-to-end translation to BLIF-MV text (the [vl2mv] tool). *)

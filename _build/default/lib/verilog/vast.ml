@@ -1,0 +1,48 @@
+type unop = Lnot
+
+type binop = Add | Sub | And | Or | Xor | Eq | Neq | Lt | Le | Gt | Ge
+
+type expr =
+  | Id of string
+  | Int of int
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Cond of expr * expr * expr
+  | Nd of expr list
+
+type stmt =
+  | Block of stmt list
+  | If of expr * stmt * stmt option
+  | Case of expr * (expr list * stmt) list * stmt option
+  | Assign of string * expr
+
+type decl_kind = Input | Output | Wire | Reg
+
+type decl = {
+  d_kind : decl_kind;
+  d_name : string;
+  d_width : int;
+  d_enum : string list option;
+}
+
+type always_kind = Comb | Seq
+
+type instance = {
+  i_module : string;
+  i_name : string;
+  i_conns : (string * string) list;
+}
+
+type module_ = {
+  m_name : string;
+  m_ports : string list;
+  m_decls : decl list;
+  m_assigns : (string * expr) list;
+  m_always : (always_kind * stmt) list;
+  m_initials : (string * expr) list;
+  m_instances : instance list;
+}
+
+type design = { modules : module_ list }
+
+let find_module d name = List.find_opt (fun m -> m.m_name = name) d.modules

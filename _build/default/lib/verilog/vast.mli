@@ -1,0 +1,65 @@
+(** Abstract syntax of the supported Verilog subset (paper Sec. 3): the
+    synthesizable core, extended with [$ND(...)] non-determinism (after
+    Balarin-York) and [enum] declarations. *)
+
+type unop = Lnot  (** [!] / [~] (same thing on our value domains) *)
+
+type binop =
+  | Add
+  | Sub
+  | And  (** [&] / [&&] *)
+  | Or  (** [|] / [||] *)
+  | Xor
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type expr =
+  | Id of string  (** signal or enum literal; resolved at elaboration *)
+  | Int of int
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Cond of expr * expr * expr
+  | Nd of expr list  (** [$ND(e1, ..., en)] *)
+
+type stmt =
+  | Block of stmt list
+  | If of expr * stmt * stmt option
+  | Case of expr * (expr list * stmt) list * stmt option
+  | Assign of string * expr  (** [x <= e] or [x = e] *)
+
+type decl_kind = Input | Output | Wire | Reg
+
+type decl = {
+  d_kind : decl_kind;
+  d_name : string;
+  d_width : int;  (** bits; 1 for scalars *)
+  d_enum : string list option;  (** enum value names, overrides width *)
+}
+
+type always_kind =
+  | Comb  (** combinational: [always] sensitive to everything *)
+  | Seq  (** sequential: [always] on [posedge clk] *)
+
+type instance = {
+  i_module : string;
+  i_name : string;
+  i_conns : (string * string) list;  (** .formal(actual) *)
+}
+
+type module_ = {
+  m_name : string;
+  m_ports : string list;
+  m_decls : decl list;
+  m_assigns : (string * expr) list;
+  m_always : (always_kind * stmt) list;
+  m_initials : (string * expr) list;  (** reset values; may be [$ND] *)
+  m_instances : instance list;
+}
+
+type design = { modules : module_ list }
+
+val find_module : design -> string -> module_ option

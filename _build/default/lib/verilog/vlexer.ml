@@ -1,0 +1,123 @@
+type token = ID of string | NUM of int | KW of string | SYM of string | EOF
+
+exception Error of int * string
+
+let keywords =
+  [
+    "module"; "endmodule"; "input"; "output"; "wire"; "reg"; "always";
+    "posedge"; "negedge"; "if"; "else"; "case"; "endcase"; "default";
+    "begin"; "end"; "assign"; "initial"; "enum"; "parameter";
+  ]
+
+let is_id_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+
+let is_id_char c = is_id_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let push t = toks := (t, !line) :: !toks in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      i := !i + 2;
+      let rec skip () =
+        if !i + 1 >= n then raise (Error (!line, "unterminated comment"))
+        else if src.[!i] = '*' && src.[!i + 1] = '/' then i := !i + 2
+        else begin
+          if src.[!i] = '\n' then incr line;
+          incr i;
+          skip ()
+        end
+      in
+      skip ()
+    end
+    else if is_id_start c then begin
+      let start = !i in
+      while !i < n && is_id_char src.[!i] do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      if List.mem word keywords then push (KW word) else push (ID word)
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && (is_digit src.[!i] || src.[!i] = '_') do
+        incr i
+      done;
+      let digits = String.sub src start (!i - start) in
+      (* sized literal like 4'b1010 / 3'd5 / 2'h3 *)
+      if !i < n && src.[!i] = '\'' then begin
+        incr i;
+        if !i >= n then raise (Error (!line, "bad sized literal"));
+        let base = src.[!i] in
+        incr i;
+        let vstart = !i in
+        while
+          !i < n
+          && (is_digit src.[!i]
+             || (src.[!i] >= 'a' && src.[!i] <= 'f')
+             || (src.[!i] >= 'A' && src.[!i] <= 'F')
+             || src.[!i] = '_')
+        do
+          incr i
+        done;
+        let value = String.sub src vstart (!i - vstart) in
+        let value = String.concat "" (String.split_on_char '_' value) in
+        let v =
+          match base with
+          | 'b' | 'B' -> int_of_string ("0b" ^ value)
+          | 'h' | 'H' -> int_of_string ("0x" ^ value)
+          | 'd' | 'D' -> int_of_string value
+          | 'o' | 'O' -> int_of_string ("0o" ^ value)
+          | c -> raise (Error (!line, Printf.sprintf "bad base '%c'" c))
+        in
+        push (NUM v)
+      end
+      else
+        push (NUM (int_of_string (String.concat "" (String.split_on_char '_' digits))))
+    end
+    else begin
+      let two =
+        match peek 1 with
+        | Some c2 -> Printf.sprintf "%c%c" c c2
+        | None -> ""
+      in
+      match two with
+      | "<=" | "==" | "!=" | "&&" | "||" | ">=" | "@(" ->
+          (* "@(" split into two symbols below; handle multichar ops *)
+          if two = "@(" then begin
+            push (SYM "@");
+            incr i
+          end
+          else begin
+            push (SYM two);
+            i := !i + 2
+          end
+      | _ -> (
+          incr i;
+          match c with
+          | '(' | ')' | '[' | ']' | '{' | '}' | ';' | ',' | ':' | '.' | '='
+          | '!' | '~' | '&' | '|' | '^' | '+' | '-' | '<' | '>' | '?' | '@'
+          | '*' | '#' | '\'' ->
+              push (SYM (String.make 1 c))
+          | c -> raise (Error (!line, Printf.sprintf "unexpected character %c" c)))
+    end
+  done;
+  push EOF;
+  List.rev !toks

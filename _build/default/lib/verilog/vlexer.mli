@@ -1,0 +1,16 @@
+(** Verilog tokenizer. *)
+
+type token =
+  | ID of string
+  | NUM of int
+  | KW of string  (** reserved word *)
+  | SYM of string  (** punctuation / operator, e.g. "<=", "==", "(" *)
+  | EOF
+
+exception Error of int * string
+(** Line and message. *)
+
+val tokenize : string -> (token * int) list
+(** Tokens with their line numbers, ending with [EOF]. *)
+
+val keywords : string list

@@ -1,0 +1,429 @@
+open Vast
+
+exception Error of int * string
+
+type stream = { mutable toks : (Vlexer.token * int) list }
+
+let fail_at line fmt =
+  Format.kasprintf (fun s -> raise (Error (line, s))) fmt
+
+let peek st =
+  match st.toks with
+  | (t, l) :: _ -> (t, l)
+  | [] -> (Vlexer.EOF, 0)
+
+let advance st =
+  match st.toks with
+  | _ :: rest -> st.toks <- rest
+  | [] -> ()
+
+let next st =
+  let t, l = peek st in
+  advance st;
+  (t, l)
+
+let expect_sym st s =
+  match next st with
+  | Vlexer.SYM s', _ when s' = s -> ()
+  | t, l -> fail_at l "expected '%s', got %s" s (match t with
+      | Vlexer.ID x -> x
+      | Vlexer.KW x -> x
+      | Vlexer.SYM x -> "'" ^ x ^ "'"
+      | Vlexer.NUM n -> string_of_int n
+      | Vlexer.EOF -> "end of file")
+
+let expect_kw st k =
+  match next st with
+  | Vlexer.KW k', _ when k' = k -> ()
+  | _, l -> fail_at l "expected keyword %s" k
+
+let expect_id st =
+  match next st with
+  | Vlexer.ID x, _ -> x
+  | _, l -> fail_at l "expected identifier"
+
+let accept_sym st s =
+  match peek st with
+  | Vlexer.SYM s', _ when s' = s ->
+      advance st;
+      true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Expressions, precedence climbing *)
+
+let rec parse_expr st = parse_cond st
+
+and parse_cond st =
+  let c = parse_or st in
+  if accept_sym st "?" then begin
+    let t = parse_expr st in
+    expect_sym st ":";
+    let e = parse_cond st in
+    Cond (c, t, e)
+  end
+  else c
+
+and parse_or st =
+  let rec loop lhs =
+    match peek st with
+    | Vlexer.SYM ("||" | "|"), _ ->
+        advance st;
+        loop (Binop (Or, lhs, parse_xor st))
+    | _ -> lhs
+  in
+  loop (parse_xor st)
+
+and parse_xor st =
+  let rec loop lhs =
+    match peek st with
+    | Vlexer.SYM "^", _ ->
+        advance st;
+        loop (Binop (Xor, lhs, parse_and st))
+    | _ -> lhs
+  in
+  loop (parse_and st)
+
+and parse_and st =
+  let rec loop lhs =
+    match peek st with
+    | Vlexer.SYM ("&&" | "&"), _ ->
+        advance st;
+        loop (Binop (And, lhs, parse_cmp st))
+    | _ -> lhs
+  in
+  loop (parse_cmp st)
+
+and parse_cmp st =
+  let lhs = parse_addsub st in
+  match peek st with
+  | Vlexer.SYM "==", _ ->
+      advance st;
+      Binop (Eq, lhs, parse_addsub st)
+  | Vlexer.SYM "!=", _ ->
+      advance st;
+      Binop (Neq, lhs, parse_addsub st)
+  | Vlexer.SYM "<", _ ->
+      advance st;
+      Binop (Lt, lhs, parse_addsub st)
+  | Vlexer.SYM "<=", _ ->
+      advance st;
+      Binop (Le, lhs, parse_addsub st)
+  | Vlexer.SYM ">", _ ->
+      advance st;
+      Binop (Gt, lhs, parse_addsub st)
+  | Vlexer.SYM ">=", _ ->
+      advance st;
+      Binop (Ge, lhs, parse_addsub st)
+  | _ -> lhs
+
+and parse_addsub st =
+  let rec loop lhs =
+    match peek st with
+    | Vlexer.SYM "+", _ ->
+        advance st;
+        loop (Binop (Add, lhs, parse_unary st))
+    | Vlexer.SYM "-", _ ->
+        advance st;
+        loop (Binop (Sub, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Vlexer.SYM ("!" | "~"), _ ->
+      advance st;
+      Unop (Lnot, parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match next st with
+  | Vlexer.NUM n, _ -> Int n
+  | Vlexer.ID "$ND", l ->
+      expect_sym st "(";
+      let rec args acc =
+        let e = parse_expr st in
+        if accept_sym st "," then args (e :: acc)
+        else begin
+          expect_sym st ")";
+          List.rev (e :: acc)
+        end
+      in
+      let es = args [] in
+      if es = [] then fail_at l "$ND needs at least one alternative";
+      Nd es
+  | Vlexer.ID x, _ -> Id x
+  | Vlexer.SYM "(", _ ->
+      let e = parse_expr st in
+      expect_sym st ")";
+      e
+  | _, l -> fail_at l "expected expression"
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let rec parse_stmt st =
+  match peek st with
+  | Vlexer.KW "begin", _ ->
+      advance st;
+      let rec items acc =
+        match peek st with
+        | Vlexer.KW "end", _ ->
+            advance st;
+            Block (List.rev acc)
+        | _ -> items (parse_stmt st :: acc)
+      in
+      items []
+  | Vlexer.KW "if", _ ->
+      advance st;
+      expect_sym st "(";
+      let c = parse_expr st in
+      expect_sym st ")";
+      let t = parse_stmt st in
+      let e =
+        match peek st with
+        | Vlexer.KW "else", _ ->
+            advance st;
+            Some (parse_stmt st)
+        | _ -> None
+      in
+      If (c, t, e)
+  | Vlexer.KW "case", _ ->
+      advance st;
+      expect_sym st "(";
+      let scrut = parse_expr st in
+      expect_sym st ")";
+      let rec items arms dflt =
+        match peek st with
+        | Vlexer.KW "endcase", _ ->
+            advance st;
+            Case (scrut, List.rev arms, dflt)
+        | Vlexer.KW "default", _ ->
+            advance st;
+            expect_sym st ":";
+            let s = parse_stmt st in
+            items arms (Some s)
+        | _ ->
+            let rec labels acc =
+              let e = parse_expr st in
+              if accept_sym st "," then labels (e :: acc)
+              else begin
+                expect_sym st ":";
+                List.rev (e :: acc)
+              end
+            in
+            let ls = labels [] in
+            let s = parse_stmt st in
+            items ((ls, s) :: arms) dflt
+      in
+      items [] None
+  | Vlexer.ID x, l ->
+      advance st;
+      let () =
+        match next st with
+        | Vlexer.SYM ("=" | "<="), _ -> ()
+        | _, l' -> fail_at l' "expected assignment to %s" x
+      in
+      ignore l;
+      let e = parse_expr st in
+      expect_sym st ";";
+      Assign (x, e)
+  | _, l -> fail_at l "expected statement"
+
+(* ------------------------------------------------------------------ *)
+(* Module items *)
+
+let parse_range st =
+  (* '[' msb ':' lsb ']' -> width *)
+  if accept_sym st "[" then begin
+    let msb = match next st with
+      | Vlexer.NUM n, _ -> n
+      | _, l -> fail_at l "expected number in range"
+    in
+    expect_sym st ":";
+    let lsb = match next st with
+      | Vlexer.NUM n, _ -> n
+      | _, l -> fail_at l "expected number in range"
+    in
+    expect_sym st "]";
+    if lsb <> 0 then fail_at 0 "only [msb:0] ranges supported";
+    msb - lsb + 1
+  end
+  else 1
+
+let parse_name_list st =
+  let rec go acc =
+    let x = expect_id st in
+    if accept_sym st "," then go (x :: acc)
+    else begin
+      expect_sym st ";";
+      List.rev (x :: acc)
+    end
+  in
+  go []
+
+let parse_module st =
+  expect_kw st "module";
+  let name = expect_id st in
+  expect_sym st "(";
+  let rec ports acc =
+    match next st with
+    | Vlexer.ID x, _ ->
+        if accept_sym st "," then ports (x :: acc)
+        else begin
+          expect_sym st ")";
+          List.rev (x :: acc)
+        end
+    | Vlexer.SYM ")", _ -> List.rev acc
+    | _, l -> fail_at l "expected port name"
+  in
+  let ports = ports [] in
+  expect_sym st ";";
+  let decls = ref [] in
+  let assigns = ref [] in
+  let always = ref [] in
+  let initials = ref [] in
+  let instances = ref [] in
+  let add_decls kind width enum names =
+    List.iter
+      (fun d_name ->
+        decls := { d_kind = kind; d_name; d_width = width; d_enum = enum } :: !decls)
+      names
+  in
+  let rec items () =
+    match peek st with
+    | Vlexer.KW "endmodule", _ -> advance st
+    | Vlexer.KW (("input" | "output" | "wire" | "reg") as kw), _ ->
+        advance st;
+        let width = parse_range st in
+        let kind =
+          match kw with
+          | "input" -> Input
+          | "output" -> Output
+          | "wire" -> Wire
+          | _ -> Reg
+        in
+        (* "output reg [..]" style *)
+        let kind, width =
+          match peek st with
+          | Vlexer.KW "reg", _ when kind = Output ->
+              advance st;
+              let w = parse_range st in
+              (Output, max width w)
+          | _ -> (kind, width)
+        in
+        add_decls kind width None (parse_name_list st);
+        items ()
+    | Vlexer.KW "enum", _ ->
+        advance st;
+        expect_sym st "{";
+        let rec values acc =
+          let v = expect_id st in
+          if accept_sym st "," then values (v :: acc)
+          else begin
+            expect_sym st "}";
+            List.rev (v :: acc)
+          end
+        in
+        let vs = values [] in
+        let kind =
+          match peek st with
+          | Vlexer.KW "reg", _ ->
+              advance st;
+              Reg
+          | Vlexer.KW "wire", _ ->
+              advance st;
+              Wire
+          | _ -> Reg
+        in
+        add_decls kind 1 (Some vs) (parse_name_list st);
+        items ()
+    | Vlexer.KW "assign", _ ->
+        advance st;
+        let x = expect_id st in
+        expect_sym st "=";
+        let e = parse_expr st in
+        expect_sym st ";";
+        assigns := (x, e) :: !assigns;
+        items ()
+    | Vlexer.KW "always", l ->
+        advance st;
+        expect_sym st "@";
+        expect_sym st "(";
+        let kind =
+          match next st with
+          | Vlexer.SYM "*", _ -> Comb
+          | Vlexer.KW "posedge", _ ->
+              let _clk = expect_id st in
+              Seq
+          | _ -> fail_at l "expected @(*) or @(posedge clk)"
+        in
+        expect_sym st ")";
+        let body = parse_stmt st in
+        always := (kind, body) :: !always;
+        items ()
+    | Vlexer.KW "initial", _ ->
+        advance st;
+        let x = expect_id st in
+        expect_sym st "=";
+        let e = parse_expr st in
+        expect_sym st ";";
+        initials := (x, e) :: !initials;
+        items ()
+    | Vlexer.ID mname, _ ->
+        advance st;
+        let iname = expect_id st in
+        expect_sym st "(";
+        let rec conns acc =
+          expect_sym st ".";
+          let formal = expect_id st in
+          expect_sym st "(";
+          let actual = expect_id st in
+          expect_sym st ")";
+          if accept_sym st "," then conns ((formal, actual) :: acc)
+          else begin
+            expect_sym st ")";
+            List.rev ((formal, actual) :: acc)
+          end
+        in
+        let cs = conns [] in
+        expect_sym st ";";
+        instances := { i_module = mname; i_name = iname; i_conns = cs } :: !instances;
+        items ()
+    | t, l ->
+        fail_at l "unexpected token %s in module body"
+          (match t with
+          | Vlexer.ID x -> x
+          | Vlexer.KW x -> x
+          | Vlexer.SYM x -> "'" ^ x ^ "'"
+          | Vlexer.NUM n -> string_of_int n
+          | Vlexer.EOF -> "EOF")
+  in
+  items ();
+  {
+    m_name = name;
+    m_ports = ports;
+    m_decls = List.rev !decls;
+    m_assigns = List.rev !assigns;
+    m_always = List.rev !always;
+    m_initials = List.rev !initials;
+    m_instances = List.rev !instances;
+  }
+
+let parse src =
+  let st = { toks = Vlexer.tokenize src } in
+  let rec modules acc =
+    match peek st with
+    | Vlexer.EOF, _ -> List.rev acc
+    | Vlexer.KW "module", _ -> modules (parse_module st :: acc)
+    | _, l -> fail_at l "expected module"
+  in
+  { modules = modules [] }
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  parse src

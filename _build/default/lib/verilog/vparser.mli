@@ -1,0 +1,6 @@
+(** Recursive-descent parser for the supported Verilog subset. *)
+
+exception Error of int * string
+
+val parse : string -> Vast.design
+val parse_file : string -> Vast.design

@@ -1,0 +1,1 @@
+test/test_auto.ml: Alcotest Autom Ctl Expr Fair Hsis_auto Hsis_blifmv Hsis_mv List Option Pif

@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Array Bdd Float Fun Gc Hsis_bdd List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_blifmv.ml: Alcotest Ast Check Flatten Hsis_blifmv Lexer List Net Option Parser Printer String

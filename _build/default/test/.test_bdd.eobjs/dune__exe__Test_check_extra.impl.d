@@ -1,0 +1,1 @@
+test/test_check_extra.ml: Alcotest Array Bdd Ctl El Enum Expr Fair Fun Gc Hsis_auto Hsis_bdd Hsis_blifmv Hsis_check Hsis_fsm List Mc Net Parser Printf Reach Sym Trans

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Ast Autom Bdd Ctl Enum Expr Fair Flatten Hsis_auto Hsis_bdd Hsis_blifmv Hsis_check Hsis_fsm Lc List Mc Net Parser QCheck QCheck_alcotest Reach Sym Trans

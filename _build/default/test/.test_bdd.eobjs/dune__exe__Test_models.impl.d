@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Dcnew Enum Gigamax Hsis Hsis_auto Hsis_check Hsis_core Hsis_debug Hsis_models List Mdlc Model Option Philos Pingpong Printf Scheduler Trace

@@ -1,0 +1,1 @@
+test/test_mv.ml: Alcotest Array Bdd Domain Enc Fun Hsis_bdd Hsis_mv List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_peterson.ml: Alcotest Autom Ctl Enum Expr Fair Hsis Hsis_auto Hsis_check Hsis_core Hsis_debug Hsis_models List Model Peterson

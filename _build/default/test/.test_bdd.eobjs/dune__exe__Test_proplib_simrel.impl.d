@@ -1,0 +1,1 @@
+test/test_proplib_simrel.ml: Alcotest Autom Ctl Enum Expr Flatten Hsis_auto Hsis_bdd Hsis_bisim Hsis_blifmv Hsis_check Hsis_fsm Lc List Mc Net Option Parser Pif Proplib Simrel

@@ -1,0 +1,1 @@
+test/test_quant.ml: Alcotest Apply Array Bdd Hsis_bdd Hsis_quant List Printf QCheck QCheck_alcotest Schedule String

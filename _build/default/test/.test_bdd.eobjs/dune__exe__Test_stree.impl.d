@@ -1,0 +1,1 @@
+test/test_stree.ml: Alcotest Ast Bdd Ctl Enum Expr Fair Flatten Hsis_auto Hsis_bdd Hsis_blifmv Hsis_check Hsis_fsm List Mc Net Parser QCheck QCheck_alcotest Reach Stree Sym Trans

@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Array Ast Bdd Enum Hsis_bdd Hsis_blifmv Hsis_check Hsis_fsm List Net Option Parser Printer Printf Reach String Sym Timing Trans

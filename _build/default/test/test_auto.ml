@@ -1,0 +1,193 @@
+(* Property-side tests: expression/CTL/PIF parsers, automata validation
+   and composition, fairness compilation. *)
+
+open Hsis_auto
+
+let test_expr_parse () =
+  let cases =
+    [
+      ("a=1", "a=1");
+      ("a", "a=1");
+      ("a=req & b!=2", "(a=req & b!=2)");
+      ("!a | b -> c", "((!(a=1) | b=1) -> c=1)");
+      ("a -> b -> c", "(a=1 -> (b=1 -> c=1))");
+      ("(a | b) & c", "((a=1 | b=1) & c=1)");
+      ("true & false", "(true & false)");
+    ]
+  in
+  List.iter
+    (fun (src, expected) ->
+      Alcotest.(check string) src expected (Expr.to_string (Expr.parse src)))
+    cases
+
+let test_expr_errors () =
+  List.iter
+    (fun src ->
+      Alcotest.(check bool) ("rejects " ^ src) true
+        (try
+           ignore (Expr.parse src);
+           false
+         with Expr.Parse_error _ -> true))
+    [ "("; "a &"; "a = "; "&"; "a b" ]
+
+let test_expr_signals () =
+  Alcotest.(check (list string)) "signals" [ "a"; "b"; "c" ]
+    (Expr.signals (Expr.parse "a=1 & (b!=0 | c=2) & a=0"))
+
+let test_ctl_parse () =
+  let cases =
+    [
+      ("AG p", "AG p=1");
+      ("AG !(out1=1 & out2=1)", "AG !((out1=1 & out2=1))");
+      ("E[p U q]", "E[p=1 U q=1]");
+      ("A[p=0 U q=2]", "A[p=0 U q=2]");
+      ("AG (req=1 -> AF ack=1)", "AG (req=1 -> AF ack=1)");
+      ("EF EG p", "EF EG p=1");
+      ("AG AF p | EF q", "(AG AF p=1 | EF q=1)");
+      ("AX (a & b)", "AX (a=1 & b=1)");
+    ]
+  in
+  List.iter
+    (fun (src, expected) ->
+      Alcotest.(check string) src expected (Ctl.to_string (Ctl.parse src)))
+    cases
+
+let test_ctl_roundtrip () =
+  (* to_string of a parse is itself parseable and stable *)
+  List.iter
+    (fun src ->
+      let f = Ctl.parse src in
+      let s = Ctl.to_string f in
+      Alcotest.(check string) src s (Ctl.to_string (Ctl.parse s)))
+    [ "AG (a -> E[b U c=2])"; "!EF !p"; "A[x U A[y U z]]" ]
+
+let test_ctl_classify () =
+  Alcotest.(check bool) "AG prop is invariance" true
+    (Ctl.is_invariance (Ctl.parse "AG !(a & b)") <> None);
+  Alcotest.(check bool) "AG EF is not invariance" true
+    (Ctl.is_invariance (Ctl.parse "AG EF a") = None);
+  Alcotest.(check bool) "AG AF universal" true
+    (Ctl.universal_only (Ctl.parse "AG AF p"));
+  Alcotest.(check bool) "EF not universal" false
+    (Ctl.universal_only (Ctl.parse "EF p"));
+  Alcotest.(check bool) "!EF universal" true
+    (Ctl.universal_only (Ctl.parse "!EF p"));
+  Alcotest.(check bool) "AG !EX universal-with-negation" true
+    (Ctl.universal_only (Ctl.parse "AG !(EX p)"))
+
+let test_pif_parse () =
+  let src =
+    {|
+# comment
+fairness inf "go=1";
+fairness notforever "stall=1";
+fairness streett "p=1" "q=1";
+fairness inf_edge "a=1" "s=2";
+ctl named "AG p";
+ctl "EF q";
+automaton watch {
+  states a b; init a;
+  edge a b "p=1";
+  edge a a "p=0";
+  edge b b "true";
+  accept inf { b } fin { a };
+  accept inf_edges { a->b, b->b } fin { };
+}
+lc watch;
+|}
+  in
+  let p = Pif.parse src in
+  Alcotest.(check int) "4 fairness" 4 (List.length p.Pif.p_fairness);
+  Alcotest.(check int) "2 ctl" 2 (List.length p.Pif.p_ctl);
+  Alcotest.(check int) "1 automaton" 1 (List.length p.Pif.p_automata);
+  Alcotest.(check (list string)) "lc list" [ "watch" ] p.Pif.p_lc;
+  let a = Option.get (Pif.find_automaton p "watch") in
+  Alcotest.(check int) "2 accept pairs" 2 (List.length a.Autom.a_pairs);
+  Alcotest.(check int) "3 edges" 3 (List.length a.Autom.a_edges);
+  (match a.Autom.a_pairs with
+  | [ p1; p2 ] ->
+      Alcotest.(check (list string)) "pair1 inf" [ "b" ] p1.Autom.inf_states;
+      Alcotest.(check int) "pair2 edges" 2 (List.length p2.Autom.inf_edges)
+  | _ -> Alcotest.fail "expected two pairs");
+  Alcotest.(check bool) "named ctl present" true
+    (List.mem_assoc "named" p.Pif.p_ctl)
+
+let test_pif_errors () =
+  List.iter
+    (fun src ->
+      Alcotest.(check bool) ("rejects " ^ src) true
+        (try
+           ignore (Pif.parse src);
+           false
+         with Pif.Error _ -> true))
+    [
+      "ctl \"AG (\";";
+      "fairness bogus \"x\";";
+      "automaton a { states; }";
+      "lc;";
+    ]
+
+let test_autom_validate () =
+  let base = Autom.invariance ~name:"i" ~ok:Expr.True in
+  Alcotest.(check bool) "invariance valid" true (Autom.validate base = Ok ());
+  let bad_init = { base with Autom.a_init = [ "nope" ] } in
+  Alcotest.(check bool) "unknown init rejected" true
+    (Autom.validate bad_init <> Ok ());
+  let no_accept = { base with Autom.a_pairs = [] } in
+  Alcotest.(check bool) "no acceptance rejected" true
+    (Autom.validate no_accept <> Ok ());
+  let reserved = { base with Autom.a_states = [ "good"; "_dead" ] } in
+  Alcotest.(check bool) "reserved state rejected" true
+    (Autom.validate reserved <> Ok ())
+
+let test_autom_compose () =
+  let flat =
+    Hsis_blifmv.Flatten.flatten
+      (Hsis_blifmv.Parser.parse
+         ".model m\n.table -> x\n0\n1\n.latch n s\n.reset s 0\n.table x -> n\n0 0\n1 1\n.end\n")
+  in
+  let aut = Autom.invariance ~name:"w" ~ok:(Expr.parse "s=0") in
+  let composed = Autom.compose flat aut in
+  let net = Hsis_blifmv.Net.of_model composed in
+  Alcotest.(check bool) "monitor signal exists" true
+    (Hsis_blifmv.Net.find_signal net "_aut_w" <> None);
+  Alcotest.(check int) "one more latch" 2
+    (List.length net.Hsis_blifmv.Net.latches);
+  (* monitor domain carries the dead state *)
+  let mon = Option.get (Hsis_blifmv.Net.find_signal net "_aut_w") in
+  Alcotest.(check int) "monitor domain" 3
+    (Hsis_mv.Domain.size (Hsis_blifmv.Net.dom net mon))
+
+let test_complement_constraints () =
+  let aut = Autom.invariance ~name:"v" ~ok:Expr.True in
+  match Autom.complement_constraints aut with
+  | [ Hsis_auto.Fair.Streett (Fair.State _, Fair.State _) ] -> ()
+  | _ -> Alcotest.fail "expected one state-Streett pair"
+
+let () =
+  Alcotest.run "auto"
+    [
+      ( "expr",
+        [
+          Alcotest.test_case "parse" `Quick test_expr_parse;
+          Alcotest.test_case "errors" `Quick test_expr_errors;
+          Alcotest.test_case "signals" `Quick test_expr_signals;
+        ] );
+      ( "ctl",
+        [
+          Alcotest.test_case "parse" `Quick test_ctl_parse;
+          Alcotest.test_case "roundtrip" `Quick test_ctl_roundtrip;
+          Alcotest.test_case "classification" `Quick test_ctl_classify;
+        ] );
+      ( "pif",
+        [
+          Alcotest.test_case "parse" `Quick test_pif_parse;
+          Alcotest.test_case "errors" `Quick test_pif_errors;
+        ] );
+      ( "autom",
+        [
+          Alcotest.test_case "validate" `Quick test_autom_validate;
+          Alcotest.test_case "compose" `Quick test_autom_compose;
+          Alcotest.test_case "complement" `Quick test_complement_constraints;
+        ] );
+    ]

@@ -1,0 +1,338 @@
+(* BDD package tests: algebraic laws, quantification, substitution,
+   don't-care minimization, counting, garbage collection, reordering. *)
+
+open Hsis_bdd
+
+(* ------------------------------------------------------------------ *)
+(* Random boolean formulas for property tests *)
+
+type form =
+  | V of int
+  | Tt
+  | Ff
+  | Neg of form
+  | Conj of form * form
+  | Disj of form * form
+  | Xor of form * form
+  | Ite of form * form * form
+
+let rec gen_form nvars depth st =
+  if depth = 0 || QCheck.Gen.int_bound 4 st = 0 then
+    match QCheck.Gen.int_bound 6 st with
+    | 0 -> Tt
+    | 1 -> Ff
+    | _ -> V (QCheck.Gen.int_bound (nvars - 1) st)
+  else
+    let sub st = gen_form nvars (depth - 1) st in
+    match QCheck.Gen.int_bound 4 st with
+    | 0 -> Neg (sub st)
+    | 1 -> Conj (sub st, sub st)
+    | 2 -> Disj (sub st, sub st)
+    | 3 -> Xor (sub st, sub st)
+    | _ -> Ite (sub st, sub st, sub st)
+
+let rec eval_form env = function
+  | V i -> env i
+  | Tt -> true
+  | Ff -> false
+  | Neg f -> not (eval_form env f)
+  | Conj (a, b) -> eval_form env a && eval_form env b
+  | Disj (a, b) -> eval_form env a || eval_form env b
+  | Xor (a, b) -> eval_form env a <> eval_form env b
+  | Ite (c, t, e) -> if eval_form env c then eval_form env t else eval_form env e
+
+let rec build man vars = function
+  | V i -> vars.(i)
+  | Tt -> Bdd.dtrue man
+  | Ff -> Bdd.dfalse man
+  | Neg f -> Bdd.dnot (build man vars f)
+  | Conj (a, b) -> Bdd.dand (build man vars a) (build man vars b)
+  | Disj (a, b) -> Bdd.dor (build man vars a) (build man vars b)
+  | Xor (a, b) -> Bdd.xor (build man vars a) (build man vars b)
+  | Ite (c, t, e) ->
+      Bdd.ite (build man vars c) (build man vars t) (build man vars e)
+
+let rec pp_form = function
+  | V i -> Printf.sprintf "x%d" i
+  | Tt -> "T"
+  | Ff -> "F"
+  | Neg f -> "!" ^ pp_form f
+  | Conj (a, b) -> "(" ^ pp_form a ^ "&" ^ pp_form b ^ ")"
+  | Disj (a, b) -> "(" ^ pp_form a ^ "|" ^ pp_form b ^ ")"
+  | Xor (a, b) -> "(" ^ pp_form a ^ "^" ^ pp_form b ^ ")"
+  | Ite (c, t, e) ->
+      "ite(" ^ pp_form c ^ "," ^ pp_form t ^ "," ^ pp_form e ^ ")"
+
+let nvars = 6
+
+let form_arb =
+  QCheck.make ~print:pp_form (gen_form nvars 4)
+
+let with_man f =
+  let man = Bdd.new_man () in
+  let vars = Array.init nvars (fun i -> Bdd.new_var ~name:(Printf.sprintf "x%d" i) man) in
+  f man vars
+
+let all_envs n =
+  List.init (1 lsl n) (fun bits -> fun i -> (bits lsr i) land 1 = 1)
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests *)
+
+let test_constants () =
+  with_man (fun man _ ->
+      Alcotest.(check bool) "true is true" true (Bdd.is_true (Bdd.dtrue man));
+      Alcotest.(check bool) "false is false" true (Bdd.is_false (Bdd.dfalse man));
+      Alcotest.(check bool)
+        "not true = false" true
+        (Bdd.is_false (Bdd.dnot (Bdd.dtrue man))))
+
+let test_var_laws () =
+  with_man (fun man vars ->
+      let x = vars.(0) and y = vars.(1) in
+      Alcotest.(check bool) "x & !x = 0" true
+        (Bdd.is_false (Bdd.dand x (Bdd.dnot x)));
+      Alcotest.(check bool) "x | !x = 1" true
+        (Bdd.is_true (Bdd.dor x (Bdd.dnot x)));
+      Alcotest.(check bool) "x ^ x = 0" true (Bdd.is_false (Bdd.xor x x));
+      Alcotest.(check bool) "and commutes" true
+        (Bdd.equal (Bdd.dand x y) (Bdd.dand y x));
+      Alcotest.(check bool) "de morgan" true
+        (Bdd.equal
+           (Bdd.dnot (Bdd.dand x y))
+           (Bdd.dor (Bdd.dnot x) (Bdd.dnot y)));
+      ignore man)
+
+let test_ite () =
+  with_man (fun man vars ->
+      let x = vars.(0) and y = vars.(1) and z = vars.(2) in
+      Alcotest.(check bool) "ite(x,y,z) = xy | !xz" true
+        (Bdd.equal (Bdd.ite x y z)
+           (Bdd.dor (Bdd.dand x y) (Bdd.dand (Bdd.dnot x) z)));
+      ignore man)
+
+let test_quantification () =
+  with_man (fun man vars ->
+      let x = vars.(0) and y = vars.(1) in
+      let f = Bdd.dand x y in
+      Alcotest.(check bool) "exists x. xy = y" true
+        (Bdd.equal (Bdd.exists ~cube:x f) y);
+      Alcotest.(check bool) "forall x. xy = 0" true
+        (Bdd.is_false (Bdd.forall ~cube:x f));
+      let g = Bdd.dor x y in
+      Alcotest.(check bool) "forall x. x|y = y" true
+        (Bdd.equal (Bdd.forall ~cube:x g) y);
+      Alcotest.(check bool) "and_exists = exists of and" true
+        (Bdd.equal
+           (Bdd.and_exists ~cube:x f g)
+           (Bdd.exists ~cube:x (Bdd.dand f g)));
+      ignore man)
+
+let test_permute () =
+  with_man (fun man vars ->
+      let x = vars.(0) and y = vars.(1) in
+      let vm = Bdd.make_varmap man [ (0, 1); (1, 0) ] in
+      let f = Bdd.dand x (Bdd.dnot y) in
+      let g = Bdd.permute vm f in
+      Alcotest.(check bool) "swap x,y" true
+        (Bdd.equal g (Bdd.dand y (Bdd.dnot x))))
+
+let test_satcount () =
+  with_man (fun man vars ->
+      let x = vars.(0) and y = vars.(1) in
+      Alcotest.(check (float 1e-9)) "count x" (Float.of_int (1 lsl (nvars - 1)))
+        (Bdd.satcount x ~nvars);
+      Alcotest.(check (float 1e-9)) "count xy" (Float.of_int (1 lsl (nvars - 2)))
+        (Bdd.satcount (Bdd.dand x y) ~nvars);
+      Alcotest.(check (float 1e-9)) "count over {0,1}" 1.0
+        (Bdd.satcount_vars (Bdd.dand x y) ~vars:[ 0; 1 ]);
+      Alcotest.(check (float 1e-9)) "count x over {0,1,2}" 4.0
+        (Bdd.satcount_vars x ~vars:[ 0; 1; 2 ]);
+      ignore man)
+
+let test_pick_cube () =
+  with_man (fun man vars ->
+      let f = Bdd.dand vars.(0) (Bdd.dnot vars.(3)) in
+      let cube = Bdd.pick_cube f in
+      Alcotest.(check bool) "cube satisfies f" true
+        (Bdd.eval f (fun v -> match List.assoc_opt v cube with
+           | Some b -> b
+           | None -> false));
+      Alcotest.check_raises "pick on false" Not_found (fun () ->
+          ignore (Bdd.pick_cube (Bdd.dfalse man))))
+
+let test_gc () =
+  with_man (fun man vars ->
+      let keep = ref (Bdd.dtrue man) in
+      for i = 0 to 50 do
+        let f = Bdd.dand vars.(i mod nvars) vars.((i + 1) mod nvars) in
+        let g = Bdd.xor f vars.((i + 2) mod nvars) in
+        if i = 25 then keep := g
+      done;
+      let before = Bdd.node_count man in
+      Gc.full_major ();
+      let freed = Bdd.gc man in
+      let after = Bdd.node_count man in
+      Alcotest.(check bool) "some nodes freed" true (freed >= 0 && after <= before);
+      (* The kept handle must still be intact. *)
+      Alcotest.(check bool) "kept handle valid" true
+        (Bdd.eval !keep (fun _ -> true) || not (Bdd.eval !keep (fun _ -> true)));
+      Alcotest.(check (list string)) "invariants hold" [] (Bdd.check man))
+
+let test_restrict_unit () =
+  with_man (fun man vars ->
+      let x = vars.(0) and y = vars.(1) in
+      let f = Bdd.dand x y in
+      (* within care = x, f is just y *)
+      let r = Bdd.restrict f ~care:x in
+      Alcotest.(check bool) "restrict shrinks to y" true (Bdd.equal r y);
+      ignore man)
+
+let test_sift_preserves () =
+  with_man (fun man vars ->
+      (* Build a function with a known bad-then-good order: the classic
+         x0 x2 | x1 x3 | ... pattern. *)
+      let f =
+        Bdd.dor
+          (Bdd.dor (Bdd.dand vars.(0) vars.(3)) (Bdd.dand vars.(1) vars.(4)))
+          (Bdd.dand vars.(2) vars.(5))
+      in
+      let envs = all_envs nvars in
+      let before = List.map (fun env -> Bdd.eval f env) envs in
+      let size_before = Bdd.dag_size f in
+      Bdd.sift man;
+      let after = List.map (fun env -> Bdd.eval f env) envs in
+      Alcotest.(check (list bool)) "semantics preserved" before after;
+      Alcotest.(check (list string)) "invariants hold" [] (Bdd.check man);
+      Alcotest.(check bool) "size not worse" true (Bdd.dag_size f <= size_before))
+
+(* ------------------------------------------------------------------ *)
+(* Property tests *)
+
+let prop_build_matches_eval =
+  QCheck.Test.make ~count:200 ~name:"bdd agrees with direct evaluation"
+    form_arb (fun form ->
+      with_man (fun _man vars ->
+          let b = build _man vars form in
+          List.for_all
+            (fun env -> Bdd.eval b env = eval_form env form)
+            (all_envs nvars)))
+
+let prop_double_negation =
+  QCheck.Test.make ~count:100 ~name:"double negation" form_arb (fun form ->
+      with_man (fun man vars ->
+          let b = build man vars form in
+          Bdd.equal b (Bdd.dnot (Bdd.dnot b))))
+
+let prop_exists_or =
+  QCheck.Test.make ~count:100 ~name:"exists v f = f[v:=0] | f[v:=1]" form_arb
+    (fun form ->
+      with_man (fun man vars ->
+          let b = build man vars form in
+          let v = 0 in
+          let q = Bdd.exists ~cube:vars.(v) b in
+          List.for_all
+            (fun env ->
+              let e0 i = if i = v then false else env i in
+              let e1 i = if i = v then true else env i in
+              Bdd.eval q env = (Bdd.eval b e0 || Bdd.eval b e1))
+            (all_envs nvars)))
+
+let prop_restrict_agrees_on_care =
+  QCheck.Test.make ~count:100 ~name:"restrict agrees on care set"
+    (QCheck.pair form_arb form_arb) (fun (f_form, c_form) ->
+      with_man (fun man vars ->
+          let f = build man vars f_form in
+          let c = build man vars c_form in
+          QCheck.assume (not (Bdd.is_false c));
+          let r = Bdd.restrict f ~care:c in
+          List.for_all
+            (fun env ->
+              (not (Bdd.eval c env)) || Bdd.eval r env = Bdd.eval f env)
+            (all_envs nvars)))
+
+let prop_constrain_agrees_on_care =
+  QCheck.Test.make ~count:100 ~name:"constrain agrees on care set"
+    (QCheck.pair form_arb form_arb) (fun (f_form, c_form) ->
+      with_man (fun man vars ->
+          let f = build man vars f_form in
+          let c = build man vars c_form in
+          QCheck.assume (not (Bdd.is_false c));
+          let r = Bdd.constrain f ~care:c in
+          List.for_all
+            (fun env ->
+              (not (Bdd.eval c env)) || Bdd.eval r env = Bdd.eval f env)
+            (all_envs nvars)))
+
+let prop_satcount =
+  QCheck.Test.make ~count:100 ~name:"satcount matches enumeration" form_arb
+    (fun form ->
+      with_man (fun man vars ->
+          let b = build man vars form in
+          let expected =
+            List.length (List.filter (fun env -> Bdd.eval b env) (all_envs nvars))
+          in
+          Float.abs (Bdd.satcount b ~nvars -. Float.of_int expected) < 1e-6))
+
+let prop_sift_random =
+  QCheck.Test.make ~count:30 ~name:"sifting preserves random functions"
+    (QCheck.pair form_arb form_arb) (fun (f1, f2) ->
+      with_man (fun man vars ->
+          let b1 = build man vars f1 in
+          let b2 = build man vars f2 in
+          let envs = all_envs nvars in
+          let r1 = List.map (Bdd.eval b1) envs in
+          let r2 = List.map (Bdd.eval b2) envs in
+          Bdd.sift man;
+          Bdd.check man = []
+          && List.map (Bdd.eval b1) envs = r1
+          && List.map (Bdd.eval b2) envs = r2))
+
+let prop_support =
+  QCheck.Test.make ~count:100 ~name:"support contains only relevant vars"
+    form_arb (fun form ->
+      with_man (fun man vars ->
+          let b = build man vars form in
+          let sup = Bdd.support b in
+          (* flipping a variable outside the support never changes f *)
+          List.for_all
+            (fun v ->
+              List.mem v sup
+              || List.for_all
+                   (fun env ->
+                     let env' i = if i = v then not (env i) else env i in
+                     Bdd.eval b env = Bdd.eval b env')
+                   (all_envs nvars))
+            (List.init nvars Fun.id)))
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_build_matches_eval;
+      prop_double_negation;
+      prop_exists_or;
+      prop_restrict_agrees_on_care;
+      prop_constrain_agrees_on_care;
+      prop_satcount;
+      prop_sift_random;
+      prop_support;
+    ]
+
+let () =
+  Alcotest.run "bdd"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "variable laws" `Quick test_var_laws;
+          Alcotest.test_case "ite" `Quick test_ite;
+          Alcotest.test_case "quantification" `Quick test_quantification;
+          Alcotest.test_case "permute" `Quick test_permute;
+          Alcotest.test_case "satcount" `Quick test_satcount;
+          Alcotest.test_case "pick_cube" `Quick test_pick_cube;
+          Alcotest.test_case "gc" `Quick test_gc;
+          Alcotest.test_case "restrict" `Quick test_restrict_unit;
+          Alcotest.test_case "sift preserves semantics" `Quick test_sift_preserves;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,206 @@
+(* BLIF-MV front end: lexer, parser, printer round trips, flattening,
+   network resolution, determinism analysis. *)
+
+open Hsis_blifmv
+
+let counter_src =
+  {|
+# a 2-bit counter with a non-deterministic pause input
+.model counter
+.outputs s
+.mv s,ns 4
+.table -> go
+0
+1
+.table s go -> ns
+0 1 1
+1 1 2
+2 1 3
+3 1 0
+- 0 =s
+.latch ns s
+.reset s 0
+.end
+|}
+
+let hier_src =
+  {|
+.model top
+.subckt cell a x=p y=q
+.subckt cell b x=q y=p
+.table -> p0
+1
+.end
+
+.model cell
+.inputs x
+.outputs y
+.table x -> y
+0 1
+1 0
+.end
+|}
+
+let parse_counter () = Parser.parse counter_src
+
+let test_lexer () =
+  let lines = Lexer.logical_lines "a b \\\n c\n# comment\n\nx {1,2} y" in
+  Alcotest.(check int) "two logical lines" 2 (List.length lines);
+  (match lines with
+  | [ l1; l2 ] ->
+      Alcotest.(check (list string)) "continuation" [ "a"; "b"; "c" ] l1.Lexer.tokens;
+      Alcotest.(check (list string)) "braces" [ "x"; "{1,2}"; "y" ] l2.Lexer.tokens
+  | _ -> Alcotest.fail "expected two lines");
+  Alcotest.check_raises "unbalanced brace" (Lexer.Error (1, "unbalanced brace"))
+    (fun () -> ignore (Lexer.logical_lines "a {1,2"))
+
+let test_parse_counter () =
+  let ast = parse_counter () in
+  let m = Option.get (Ast.find_model ast "counter") in
+  Alcotest.(check int) "tables" 2 (List.length m.Ast.m_tables);
+  Alcotest.(check int) "latches" 1 (List.length m.Ast.m_latches);
+  let l = List.hd m.Ast.m_latches in
+  Alcotest.(check (list string)) "reset" [ "0" ] l.Ast.l_reset
+
+let test_roundtrip () =
+  let ast = parse_counter () in
+  let printed = Printer.to_string ast in
+  let ast2 = Parser.parse printed in
+  let printed2 = Printer.to_string ast2 in
+  Alcotest.(check string) "print . parse . print is stable" printed printed2
+
+let test_net_counter () =
+  let net = Net.of_ast (parse_counter ()) in
+  Alcotest.(check int) "latches" 1 (List.length net.Net.latches);
+  Alcotest.(check bool) "closed" true (Net.is_closed net);
+  Alcotest.(check int) "signals" 3 (Net.num_signals net);
+  let topo = Net.topo_tables net in
+  Alcotest.(check int) "topo covers tables" 2 (List.length topo)
+
+let test_row_semantics () =
+  let net = Net.of_ast (parse_counter ()) in
+  let tb =
+    List.find
+      (fun t -> List.length t.Net.ft_inputs = 2)
+      net.Net.tables
+  in
+  (* s=1, go=1 -> ns=2 *)
+  Alcotest.(check (list (list int))) "increment" [ [ 2 ] ]
+    (Net.row_output_options net tb [| 1; 1 |]);
+  (* s=2, go=0 -> ns=2 via =s *)
+  Alcotest.(check (list (list int))) "hold" [ [ 2 ] ]
+    (Net.row_output_options net tb [| 2; 0 |])
+
+let test_flatten () =
+  let ast = Parser.parse hier_src in
+  let flat = Flatten.flatten ast in
+  Alcotest.(check int) "three tables" 3 (List.length flat.Ast.m_tables);
+  let net = Net.of_model flat in
+  Alcotest.(check bool) "signal a/y exists" true
+    (Net.find_signal net "q" <> None)
+
+let test_flatten_recursion () =
+  let src = ".model a\n.subckt a self x=x\n.inputs x\n.end\n" in
+  Alcotest.(check bool) "recursive instantiation rejected" true
+    (try
+       ignore (Flatten.flatten (Parser.parse src));
+       false
+     with Flatten.Error _ -> true)
+
+let test_driver_checks () =
+  let dup = ".model m\n.table -> x\n1\n.table -> x\n0\n.end\n" in
+  Alcotest.(check bool) "duplicate driver rejected" true
+    (try
+       ignore (Net.of_ast (Parser.parse dup));
+       false
+     with Net.Error _ -> true);
+  let undriven = ".model m\n.table a -> x\n1 1\n.end\n" in
+  Alcotest.(check bool) "undriven signal rejected" true
+    (try
+       ignore (Net.of_ast (Parser.parse undriven));
+       false
+     with Net.Error _ -> true)
+
+let test_comb_cycle () =
+  let src =
+    ".model m\n.table a -> b\n0 1\n1 0\n.table b -> a\n0 1\n1 0\n.end\n"
+  in
+  Alcotest.(check bool) "combinational cycle detected" true
+    (try
+       ignore (Net.topo_tables (Net.of_ast (Parser.parse src)));
+       false
+     with Net.Error _ -> true)
+
+let test_determinism () =
+  let net = Net.of_ast (parse_counter ()) in
+  let free_tb = List.find (fun t -> t.Net.ft_inputs = []) net.Net.tables in
+  let inc_tb = List.find (fun t -> t.Net.ft_inputs <> []) net.Net.tables in
+  Alcotest.(check bool) "free table nondet" false
+    (Check.table_deterministic net free_tb);
+  Alcotest.(check bool) "increment table det" true
+    (Check.table_deterministic net inc_tb);
+  Alcotest.(check bool) "net nondet" false (Check.deterministic net);
+  Alcotest.(check (list string)) "nondet signals" [ "go" ]
+    (Check.nondet_signals net)
+
+let test_completeness () =
+  let net = Net.of_ast (parse_counter ()) in
+  List.iter
+    (fun tb ->
+      Alcotest.(check bool) "tables complete" true (Check.table_complete net tb))
+    net.Net.tables;
+  let partial = ".model m\n.table -> a\n1\n.table a -> b\n1 0\n.end\n" in
+  let net2 = Net.of_ast (Parser.parse partial) in
+  let tb = List.find (fun t -> t.Net.ft_inputs <> []) net2.Net.tables in
+  Alcotest.(check bool) "partial table incomplete" false
+    (Check.table_complete net2 tb)
+
+let test_line_count () =
+  Alcotest.(check int) "non-blank lines" 3 (Ast.line_count "a\n\nb\n  \nc\n")
+
+let test_parse_errors () =
+  let bad_cases =
+    [
+      ".table a b\n0 0 0\n";
+      (* outside model *)
+      ".model m\n.latch\n.end\n";
+      ".model m\n.mv x two\n.end\n";
+      ".model m\n.table a -> b\n0\n.end\n" (* row arity *);
+    ]
+  in
+  List.iter
+    (fun src ->
+      Alcotest.(check bool) ("rejects: " ^ String.escaped src) true
+        (try
+           ignore (Parser.parse src);
+           false
+         with Parser.Error _ -> true))
+    bad_cases
+
+let () =
+  Alcotest.run "blifmv"
+    [
+      ( "lexer",
+        [ Alcotest.test_case "logical lines" `Quick test_lexer ] );
+      ( "parser",
+        [
+          Alcotest.test_case "counter" `Quick test_parse_counter;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "line count" `Quick test_line_count;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "resolution" `Quick test_net_counter;
+          Alcotest.test_case "row semantics" `Quick test_row_semantics;
+          Alcotest.test_case "flatten" `Quick test_flatten;
+          Alcotest.test_case "flatten recursion" `Quick test_flatten_recursion;
+          Alcotest.test_case "driver checks" `Quick test_driver_checks;
+          Alcotest.test_case "combinational cycle" `Quick test_comb_cycle;
+        ] );
+      ( "check",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "completeness" `Quick test_completeness;
+        ] );
+    ]

@@ -1,0 +1,253 @@
+(* Additional engine coverage: Emerson-Lei edge cases, early failure
+   detection, reachability rings, monolithic-vs-partitioned agreement,
+   deadlocking systems, multiple initial states, and the BDD manager under
+   combined GC + reordering load. *)
+
+open Hsis_bdd
+open Hsis_blifmv
+open Hsis_fsm
+open Hsis_auto
+open Hsis_check
+
+let build src =
+  let net = Net.of_ast (Parser.parse src) in
+  let man = Bdd.new_man () in
+  let sym = Sym.make man net in
+  (net, Trans.build sym)
+
+let counter_src =
+  {|
+.model counter
+.mv s,ns 4
+.table -> go
+0
+1
+.table s go -> ns
+0 1 1
+1 1 2
+2 1 3
+3 1 0
+- 0 =s
+.latch ns s
+.reset s 0
+.end
+|}
+
+(* A system that deadlocks: from s=2 no row matches and there is no
+   default, so the relation is empty there. *)
+let deadlock_src =
+  {|
+.model dead
+.mv s,ns 3
+.table s -> ns
+0 1
+1 2
+.latch ns s
+.reset s 0
+.end
+|}
+
+let test_rings_partition () =
+  let _, trans = build counter_src in
+  let r = Reach.compute trans (Trans.initial trans) in
+  (* rings are disjoint and union to the reachable set *)
+  let union = Array.fold_left Bdd.dor (Bdd.dfalse (Trans.man trans)) r.Reach.rings in
+  Alcotest.(check bool) "union = reachable" true
+    (Bdd.equal union r.Reach.reachable);
+  Array.iteri
+    (fun i ri ->
+      Array.iteri
+        (fun j rj ->
+          if i < j then
+            Alcotest.(check bool)
+              (Printf.sprintf "rings %d,%d disjoint" i j)
+              true
+              (Bdd.is_false (Bdd.dand ri rj)))
+        r.Reach.rings)
+    r.Reach.rings
+
+let test_bad_hit () =
+  let _, trans = build counter_src in
+  let sym = Trans.sym trans in
+  let bad =
+    Trans.abstract_to_states trans
+      (Expr.to_bdd sym (Expr.parse "s=3"))
+  in
+  let r = Reach.compute ~bad trans (Trans.initial trans) in
+  Alcotest.(check (option int)) "s=3 first hit at step 3" (Some 3) r.Reach.bad_hit;
+  let r2 = Reach.compute ~bad ~stop_on_bad:true trans (Trans.initial trans) in
+  Alcotest.(check int) "stopped early" 3 r2.Reach.steps
+
+let test_deadlock_eg () =
+  let net, trans = build deadlock_src in
+  let env = El.prepare trans [] in
+  let r = Reach.compute trans (Trans.initial trans) in
+  (* all three states reachable, but no state has an infinite path *)
+  Alcotest.(check (float 0.01)) "3 reachable" 3.0
+    (Reach.count_states trans r.Reach.reachable);
+  let eg = El.fair_states env ~within:r.Reach.reachable in
+  Alcotest.(check bool) "no infinite path" true (Bdd.is_false eg);
+  (* explicit engine agrees: EG true holds nowhere *)
+  let g = Enum.build net in
+  let sat, holds = Enum.check_ctl net g [] (Ctl.parse "EG true") in
+  Alcotest.(check bool) "explicit EG true empty" false
+    (Array.exists Fun.id sat);
+  Alcotest.(check bool) "formula fails" false holds
+
+let test_multiple_init () =
+  let src =
+    {|
+.model multi
+.mv s,ns 4
+.table s -> ns
+0 0
+1 1
+2 2
+3 3
+.latch ns s
+.reset s 0 2
+.end
+|}
+  in
+  let _, trans = build src in
+  let r = Reach.compute trans (Trans.initial trans) in
+  Alcotest.(check (float 0.01)) "two frozen states" 2.0
+    (Reach.count_states trans r.Reach.reachable)
+
+let test_el_edge_buchi () =
+  (* Büchi on the increment edge: fair paths must keep counting *)
+  let _, trans = build counter_src in
+  let sym = Trans.sym trans in
+  let inc_edge =
+    (* a step where the counter changes *)
+    let s0 = Expr.to_bdd sym (Expr.parse "s=0") in
+    ignore s0;
+    Fair.edge_set trans (Expr.parse "s=0", Expr.parse "s=1")
+  in
+  let env = El.prepare trans [ Fair.CInf_edge inc_edge ] in
+  let r = Reach.compute trans (Trans.initial trans) in
+  let fair = El.fair_states env ~within:r.Reach.reachable in
+  (* taking edge 0->1 infinitely often forces full cycling: all states fair *)
+  Alcotest.(check (float 0.01)) "all 4 states fair" 4.0
+    (Reach.count_states trans fair)
+
+let test_el_unsatisfiable_streett () =
+  (* (GF true -> GF false) is unsatisfiable on any infinite path *)
+  let _, trans = build counter_src in
+  let cs =
+    Fair.compile_all trans
+      [ Fair.Streett (Fair.State Expr.True, Fair.State Expr.False) ]
+  in
+  let env = El.prepare trans cs in
+  let r = Reach.compute trans (Trans.initial trans) in
+  Alcotest.(check bool) "no fair states" true
+    (Bdd.is_false (El.fair_states env ~within:r.Reach.reachable))
+
+let test_el_vacuous_streett () =
+  (* (GF false -> GF q) holds vacuously: everything with a path is fair *)
+  let _, trans = build counter_src in
+  let cs =
+    Fair.compile_all trans
+      [ Fair.Streett (Fair.State Expr.False, Fair.State Expr.False) ]
+  in
+  let env = El.prepare trans cs in
+  let r = Reach.compute trans (Trans.initial trans) in
+  Alcotest.(check (float 0.01)) "all states fair" 4.0
+    (Reach.count_states trans (El.fair_states env ~within:r.Reach.reachable))
+
+let test_mono_vs_partitioned_pre () =
+  let _, trans = build counter_src in
+  let sym = Trans.sym trans in
+  let target = Trans.abstract_to_states trans (Expr.to_bdd sym (Expr.parse "s=2")) in
+  let p1 = Trans.preimage trans target in
+  let p2 = Trans.preimage ~use_mono:true trans target in
+  Alcotest.(check bool) "preimages agree" true (Bdd.equal p1 p2)
+
+let test_invariance_fast_path () =
+  let _, trans = build counter_src in
+  let f = Ctl.parse "AG s!=2" in
+  let with_efd = Mc.check ~early_failure:true trans f in
+  Alcotest.(check bool) "fails" false with_efd.Mc.holds;
+  Alcotest.(check bool) "early step recorded" true
+    (with_efd.Mc.early_failure_step <> None)
+
+let test_manager_stress () =
+  (* interleave bulk BDD construction, garbage collection and sifting;
+     invariants must hold throughout and results stay correct *)
+  let man = Bdd.new_man () in
+  let vars = Array.init 12 (fun i -> Bdd.new_var ~name:(Printf.sprintf "v%d" i) man) in
+  Bdd.set_gc_threshold man 2048;
+  let majority a b c = Bdd.dor (Bdd.dand a b) (Bdd.dor (Bdd.dand b c) (Bdd.dand a c)) in
+  let keep = ref [] in
+  for round = 0 to 20 do
+    let f =
+      majority vars.(round mod 12) vars.((round + 5) mod 12) vars.((round + 9) mod 12)
+    in
+    let g = Bdd.xor f vars.((round + 3) mod 12) in
+    if round mod 4 = 0 then keep := g :: !keep;
+    if round mod 7 = 0 then begin
+      Gc.full_major ();
+      ignore (Bdd.gc man)
+    end;
+    if round mod 10 = 5 then Bdd.sift man
+  done;
+  Alcotest.(check (list string)) "invariants" [] (Bdd.check man);
+  (* all kept functions still evaluate consistently *)
+  List.iteri
+    (fun i g ->
+      let env v = (v + i) mod 3 = 0 in
+      (* evaluate twice; identical by determinism *)
+      Alcotest.(check bool) (Printf.sprintf "kept %d stable" i)
+        (Bdd.eval g env) (Bdd.eval g env))
+    !keep
+
+let test_auto_reorder () =
+  let man = Bdd.new_man () in
+  let vars = Array.init 10 (fun _ -> Bdd.new_var man) in
+  Bdd.set_auto_reorder man true;
+  Bdd.set_reorder_threshold man 30;
+  (* the classic order-sensitive function *)
+  let f = ref (Bdd.dfalse man) in
+  for i = 0 to 4 do
+    f := Bdd.dor !f (Bdd.dand vars.(i) vars.(i + 5))
+  done;
+  Alcotest.(check (list string)) "invariants after auto-reorder" []
+    (Bdd.check man);
+  Alcotest.(check bool) "auto reorder fired" true
+    ((Bdd.stats man).Bdd.st_reorder_runs >= 1);
+  (* with intermediate garbage collected, sifting reaches the linear
+     interleaved order *)
+  Gc.full_major ();
+  ignore (Bdd.gc man);
+  Bdd.sift man;
+  Alcotest.(check (list string)) "invariants after final sift" []
+    (Bdd.check man);
+  Alcotest.(check bool)
+    (Printf.sprintf "small after reorder (%d)" (Bdd.dag_size !f))
+    true
+    (Bdd.dag_size !f <= 16)
+
+let () =
+  Alcotest.run "check-extra"
+    [
+      ( "reach",
+        [
+          Alcotest.test_case "rings partition" `Quick test_rings_partition;
+          Alcotest.test_case "bad hit" `Quick test_bad_hit;
+          Alcotest.test_case "multiple init" `Quick test_multiple_init;
+        ] );
+      ( "el",
+        [
+          Alcotest.test_case "deadlock EG" `Quick test_deadlock_eg;
+          Alcotest.test_case "edge buchi" `Quick test_el_edge_buchi;
+          Alcotest.test_case "unsat streett" `Quick test_el_unsatisfiable_streett;
+          Alcotest.test_case "vacuous streett" `Quick test_el_vacuous_streett;
+          Alcotest.test_case "mono preimage" `Quick test_mono_vs_partitioned_pre;
+          Alcotest.test_case "invariance EFD" `Quick test_invariance_fast_path;
+        ] );
+      ( "manager",
+        [
+          Alcotest.test_case "gc + sift stress" `Quick test_manager_stress;
+          Alcotest.test_case "auto reorder" `Quick test_auto_reorder;
+        ] );
+    ]

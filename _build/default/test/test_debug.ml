@@ -1,0 +1,306 @@
+(* Debugger tests: error traces are real executions (replayed on the
+   explicit engine), prefixes are shortest, cycles satisfy the fairness
+   constraints, and CTL debug trees witness the right things. *)
+
+open Hsis_bdd
+open Hsis_blifmv
+open Hsis_fsm
+open Hsis_auto
+open Hsis_check
+open Hsis_debug
+
+let counter_src =
+  {|
+.model counter
+.mv s,ns 4
+.table -> go
+0
+1
+.table s go -> ns
+0 1 1
+1 1 2
+2 1 3
+3 1 0
+- 0 =s
+.latch ns s
+.reset s 0
+.end
+|}
+
+let build src =
+  let net = Net.of_ast (Parser.parse src) in
+  let man = Bdd.new_man () in
+  let sym = Sym.make man net in
+  (net, Trans.build sym)
+
+(* Replay a decoded state sequence on the explicit engine: every
+   consecutive pair must be a real transition. *)
+let replayable net states =
+  let latch_pos =
+    List.mapi (fun i (l : Net.flatch) -> (l.Net.fl_output, i)) net.Net.latches
+  in
+  let to_estate decoded =
+    let arr = Array.make (List.length net.Net.latches) 0 in
+    List.iter
+      (fun (s, v) ->
+        match List.assoc_opt s latch_pos with
+        | Some i -> arr.(i) <- v
+        | None -> ())
+      decoded;
+    arr
+  in
+  let rec ok = function
+    | a :: (b :: _ as rest) ->
+        List.mem (to_estate b) (Enum.successors net (to_estate a)) && ok rest
+    | _ -> true
+  in
+  ok states
+
+let test_lc_trace_real () =
+  (* failing invariance: s never reaches 2 *)
+  let ast = Flatten.flatten (Parser.parse counter_src) in
+  let aut = Autom.invariance ~name:"no2" ~ok:(Expr.parse "s!=2") in
+  let out = Lc.check ast aut in
+  Alcotest.(check bool) "fails" false out.Lc.holds;
+  let t = Trace.fair_lasso out.Lc.env ~reach:out.Lc.reach ~fair:out.Lc.fair in
+  Alcotest.(check bool) "verified" true t.Trace.verified;
+  Alcotest.(check bool) "cycle nonempty" true (List.length t.Trace.cycle >= 1);
+  (* the trace must visit a state where the monitor has left "good" *)
+  let composed = Net.of_model (Autom.compose ast aut) in
+  let mon = Option.get (Net.find_signal composed "_aut_no2") in
+  let all_states =
+    List.map (fun (s : Trace.step) -> s.Trace.state) (t.Trace.prefix @ t.Trace.cycle)
+  in
+  Alcotest.(check bool) "monitor leaves good" true
+    (List.exists
+       (fun st ->
+         match List.assoc_opt mon st with Some v -> v > 0 | None -> false)
+       all_states);
+  Alcotest.(check bool) "prefix+cycle replayable" true
+    (replayable composed all_states)
+
+let test_prefix_shortest () =
+  (* s=2 is first reached in exactly 2 steps; the prefix must have 2
+     states (s=0, s=1) before the cycle *)
+  let ast = Flatten.flatten (Parser.parse counter_src) in
+  let aut = Autom.invariance ~name:"no2" ~ok:(Expr.parse "s!=2") in
+  let out = Lc.check ~early_failure:false ast aut in
+  let t = Trace.fair_lasso out.Lc.env ~reach:out.Lc.reach ~fair:out.Lc.fair in
+  (* earliest fair state is at depth >= 2 (need to see s=2 to leave good);
+     the shortest possible lasso has prefix <= 3 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "prefix %d within [0,3]" (List.length t.Trace.prefix))
+    true
+    (List.length t.Trace.prefix <= 3)
+
+let test_lasso_under_fairness () =
+  let net, trans = build counter_src in
+  ignore net;
+  let fairness =
+    Fair.compile_all trans [ Fair.Inf (Fair.State (Expr.parse "go=1")) ]
+  in
+  let env = El.prepare trans fairness in
+  let reach = Reach.compute trans (Trans.initial trans) in
+  let fair = El.fair_states env ~within:reach.Reach.reachable in
+  Alcotest.(check bool) "fair nonempty" false (Bdd.is_false fair);
+  let t = Trace.fair_lasso env ~reach ~fair in
+  Alcotest.(check bool) "verified" true t.Trace.verified;
+  (* under go-fairness the counter must keep counting: the cycle visits
+     all four values of s *)
+  Alcotest.(check int) "cycle visits all 4 counter values" 4
+    (List.length t.Trace.cycle)
+
+let test_streett_lasso () =
+  let _, trans = build counter_src in
+  (* Streett: if s=1 occurs infinitely often, s=3 does too *)
+  let fairness =
+    Fair.compile_all trans
+      [
+        Fair.Streett
+          (Fair.State (Expr.parse "s=1"), Fair.State (Expr.parse "s=3"));
+      ]
+  in
+  let env = El.prepare trans fairness in
+  let reach = Reach.compute trans (Trans.initial trans) in
+  let fair = El.fair_states env ~within:reach.Reach.reachable in
+  let t = Trace.fair_lasso env ~reach ~fair in
+  Alcotest.(check bool) "verified" true t.Trace.verified
+
+let test_mcdbg_ag () =
+  let _, trans = build counter_src in
+  let reach = Reach.compute trans (Trans.initial trans) in
+  let ctx = Mcdbg.make trans ~reach in
+  let f = Ctl.parse "AG s!=2" in
+  let outcome = Mc.check ~reach trans f in
+  Alcotest.(check bool) "fails" false outcome.Mc.holds;
+  match Mcdbg.explain_failure ctx f outcome with
+  | Some (Mcdbg.Path (steps, Mcdbg.Prop_value (_, false))) ->
+      (* path of length 3: s=0, s=1, s=2 *)
+      Alcotest.(check int) "path length" 3 (List.length steps)
+  | Some other ->
+      Alcotest.failf "unexpected explanation shape (depth %d)"
+        (Mcdbg.depth other)
+  | None -> Alcotest.fail "no explanation"
+
+let test_mcdbg_af () =
+  let _, trans = build counter_src in
+  let reach = Reach.compute trans (Trans.initial trans) in
+  let ctx = Mcdbg.make trans ~reach in
+  let f = Ctl.parse "AF s=1" in
+  let outcome = Mc.check ~reach trans f in
+  Alcotest.(check bool) "fails (can pause forever)" false outcome.Mc.holds;
+  match Mcdbg.explain_failure ctx f outcome with
+  | Some (Mcdbg.Lasso t) ->
+      Alcotest.(check bool) "lasso verified" true t.Trace.verified;
+      (* the lasso must avoid s=1 entirely *)
+      List.iter
+        (fun (s : Trace.step) ->
+          List.iter (fun (_, v) -> Alcotest.(check bool) "avoids s=1" true (v <> 1))
+            s.Trace.state)
+        (t.Trace.prefix @ t.Trace.cycle)
+  | Some other ->
+      Alcotest.failf "expected lasso, got depth-%d tree" (Mcdbg.depth other)
+  | None -> Alcotest.fail "no explanation"
+
+let test_mcdbg_conjunction () =
+  let _, trans = build counter_src in
+  let reach = Reach.compute trans (Trans.initial trans) in
+  let ctx = Mcdbg.make trans ~reach in
+  let f = Ctl.parse "s=0 & s=1" in
+  let outcome = Mc.check ~reach trans f in
+  match Mcdbg.explain_failure ctx f outcome with
+  | Some (Mcdbg.Conjuncts [ (sub, Mcdbg.Prop_value (_, false)) ]) ->
+      Alcotest.(check string) "failing conjunct" "s=1" (Ctl.to_string sub)
+  | Some other -> Alcotest.failf "unexpected shape (depth %d)" (Mcdbg.depth other)
+  | None -> Alcotest.fail "no explanation"
+
+let test_mcdbg_ex_true_witness () =
+  let _, trans = build counter_src in
+  let reach = Reach.compute trans (Trans.initial trans) in
+  let ctx = Mcdbg.make trans ~reach in
+  (* !EX s=1 fails at init; the explanation is the EX witness *)
+  let f = Ctl.parse "!(EX s=1)" in
+  let outcome = Mc.check ~reach trans f in
+  Alcotest.(check bool) "fails" false outcome.Mc.holds;
+  match Mcdbg.explain_failure ctx f outcome with
+  | Some (Mcdbg.Negation (Mcdbg.Successor (step, Mcdbg.Prop_value (_, true)))) ->
+      Alcotest.(check bool) "witness reaches s=1" true
+        (List.exists (fun (_, v) -> v = 1) step.Trace.state)
+  | Some other -> Alcotest.failf "unexpected shape (depth %d)" (Mcdbg.depth other)
+  | None -> Alcotest.fail "no explanation"
+
+(* ------------------------------------------------------------------ *)
+(* Randomized soundness: on random networks where an invariance property
+   fails, the produced counterexample must verify and replay on the
+   explicit engine. *)
+
+let random_model rng_seed =
+  let h = ref (rng_seed * 7919) in
+  let rand n =
+    h := ((!h * 1103515245) + 12345) land 0x3FFFFFFF;
+    (!h lsr 12) mod n
+  in
+  let rows =
+    let out = ref [] in
+    for a = 0 to 3 do
+      for u = 0 to 1 do
+        let width = 1 + rand 2 in
+        for _ = 1 to width do
+          out :=
+            {
+              Ast.r_inputs = [ Ast.Val (string_of_int a); Ast.Val (string_of_int u) ];
+              r_outputs = [ Ast.Val (string_of_int (rand 4)) ];
+            }
+            :: !out
+        done
+      done
+    done;
+    List.rev !out
+  in
+  {
+    Ast.m_name = "rnd";
+    m_inputs = [];
+    m_outputs = [];
+    m_mvs = [ { Ast.v_names = [ "s"; "n" ]; v_size = 4; v_values = [] } ];
+    m_tables =
+      [
+        {
+          Ast.t_inputs = [];
+          t_outputs = [ "u" ];
+          t_rows =
+            [
+              { Ast.r_inputs = []; r_outputs = [ Ast.Val "0" ] };
+              { Ast.r_inputs = []; r_outputs = [ Ast.Val "1" ] };
+            ];
+          t_default = None;
+        };
+        {
+          Ast.t_inputs = [ "s"; "u" ];
+          t_outputs = [ "n" ];
+          t_rows = rows;
+          t_default = None;
+        };
+      ];
+    m_latches = [ { Ast.l_input = "n"; l_output = "s"; l_reset = [ "0" ] } ];
+    m_subckts = [];
+    m_delays = [];
+  }
+
+let prop_counterexamples_sound =
+  QCheck.Test.make ~count:60 ~name:"failing LC always yields a verified trace"
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let model = random_model seed in
+      let target = string_of_int (1 + (seed mod 3)) in
+      let aut =
+        Autom.invariance
+          ~name:"inv"
+          ~ok:(Expr.parse (Printf.sprintf "s!=%s" target))
+      in
+      let out = Lc.check model aut in
+      if out.Lc.holds then true (* nothing to witness *)
+      else begin
+        let t =
+          Trace.fair_lasso out.Lc.env ~reach:out.Lc.reach ~fair:out.Lc.fair
+        in
+        let composed = Net.of_model (Autom.compose model aut) in
+        let states =
+          List.map (fun (s : Trace.step) -> s.Trace.state)
+            (t.Trace.prefix @ t.Trace.cycle)
+        in
+        if not t.Trace.verified then
+          QCheck.Test.fail_reportf "seed %d: unverified trace" seed
+        else if not (replayable composed states) then
+          QCheck.Test.fail_reportf "seed %d: trace not replayable" seed
+        else begin
+          (* the trace must actually exhibit the violation: some state where
+             the system reads s = target *)
+          let mon = Option.get (Net.find_signal composed "_aut_inv") in
+          List.exists
+            (fun st ->
+              match List.assoc_opt mon st with Some v -> v > 0 | None -> false)
+            states
+          ||
+          QCheck.Test.fail_reportf "seed %d: trace never leaves good" seed
+        end
+      end)
+
+let () =
+  Alcotest.run "debug"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "lc trace is real" `Quick test_lc_trace_real;
+          Alcotest.test_case "prefix short" `Quick test_prefix_shortest;
+          Alcotest.test_case "fair lasso" `Quick test_lasso_under_fairness;
+          Alcotest.test_case "streett lasso" `Quick test_streett_lasso;
+          QCheck_alcotest.to_alcotest prop_counterexamples_sound;
+        ] );
+      ( "mcdbg",
+        [
+          Alcotest.test_case "AG path" `Quick test_mcdbg_ag;
+          Alcotest.test_case "AF lasso" `Quick test_mcdbg_af;
+          Alcotest.test_case "conjunction" `Quick test_mcdbg_conjunction;
+          Alcotest.test_case "EX witness" `Quick test_mcdbg_ex_true_witness;
+        ] );
+    ]

@@ -1,0 +1,378 @@
+(* Cross-validation: the symbolic engines (reachability, fair-CTL model
+   checking, language containment) against the explicit-state reference on
+   fixed and randomized networks. *)
+
+open Hsis_bdd
+open Hsis_blifmv
+open Hsis_fsm
+open Hsis_auto
+open Hsis_check
+
+let counter_src =
+  {|
+.model counter
+.outputs s
+.mv s,ns 4
+.table -> go
+0
+1
+.table s go -> ns
+0 1 1
+1 1 2
+2 1 3
+3 1 0
+- 0 =s
+.latch ns s
+.reset s 0
+.end
+|}
+
+let build_trans ?heuristic net =
+  let man = Bdd.new_man () in
+  let sym = Sym.make man net in
+  Trans.build ?heuristic sym
+
+let counter_net () = Net.of_ast (Parser.parse counter_src)
+
+let test_reachable_counter () =
+  let net = counter_net () in
+  let trans = build_trans net in
+  let r = Reach.compute trans (Trans.initial trans) in
+  Alcotest.(check (float 1e-9)) "4 reachable states" 4.0
+    (Reach.count_states trans r.Reach.reachable);
+  Alcotest.(check int) "explicit agrees" 4 (Enum.count_reachable net)
+
+let test_image_heuristics_agree () =
+  let net = counter_net () in
+  List.iter
+    (fun h ->
+      let trans = build_trans ~heuristic:h net in
+      let r = Reach.compute trans (Trans.initial trans) in
+      Alcotest.(check (float 1e-9)) "4 states" 4.0
+        (Reach.count_states trans r.Reach.reachable);
+      let r' = Reach.compute ~use_mono:true trans (Trans.initial trans) in
+      Alcotest.(check bool) "monolithic image agrees" true
+        (Bdd.equal r.Reach.reachable r'.Reach.reachable))
+    [ Trans.Min_width; Trans.Pair_clustering; Trans.Naive ]
+
+let ctl_cases =
+  [
+    ("AG s!=9ish", "AG !(s=2 & go=0) | true", true);
+    (* plain propositional reachability facts *)
+    ("EF s=3", "EF s=3", true);
+    ("EF s=2", "EF s=2", true);
+    ("AG s!=2 fails", "AG s!=2", false);
+    ("AX from init", "AX (s=0 | s=1)", true);
+    ("EX s=1", "EX s=1", true);
+    ("EG true", "EG true", true);
+    ("EU", "E[s!=3 U s=2]", true);
+    ("AU fails", "A[s!=3 U s=2]", false);
+    (* without fairness, the counter can pause forever *)
+    ("AF s=3 fails", "AF s=3", false);
+    ("EG s=0", "EG s=0", true);
+  ]
+
+let test_ctl_counter () =
+  let net = counter_net () in
+  let trans = build_trans net in
+  let g = Enum.build net in
+  List.iter
+    (fun (name, src, expected) ->
+      let f = Ctl.parse src in
+      let outcome = Mc.check trans f in
+      Alcotest.(check bool) (name ^ " (symbolic)") expected outcome.Mc.holds;
+      let _, holds = Enum.check_ctl net g [] f in
+      Alcotest.(check bool) (name ^ " (explicit)") expected holds)
+    ctl_cases
+
+let test_ctl_fair_counter () =
+  let net = counter_net () in
+  let trans = build_trans net in
+  let g = Enum.build net in
+  (* Fairness: the pause input is asserted infinitely often -> progress. *)
+  let fair_syn = [ Fair.Inf (Fair.State (Expr.parse "go=1")) ] in
+  let cases =
+    [ ("AF s=3 holds under fairness", "AF s=3", true);
+      ("EG s=0 fails under fairness", "EG s=0", false);
+      ("AG AF s=0", "AG AF s=0", true) ]
+  in
+  let compiled = Fair.compile_all trans fair_syn in
+  let econstrs = Enum.compile_fairness net g fair_syn in
+  List.iter
+    (fun (name, src, expected) ->
+      let f = Ctl.parse src in
+      let outcome = Mc.check ~fairness:compiled trans f in
+      Alcotest.(check bool) (name ^ " (symbolic)") expected outcome.Mc.holds;
+      let _, holds = Enum.check_ctl net g econstrs f in
+      Alcotest.(check bool) (name ^ " (explicit)") expected holds)
+    cases
+
+let test_lc_counter () =
+  let flat = Flatten.flatten (Parser.parse counter_src) in
+  let ok_prop = Autom.invariance ~name:"nosecond" ~ok:(Expr.parse "s!=2") in
+  let sym_out = Lc.check flat ok_prop in
+  Alcotest.(check bool) "s!=2 containment fails (symbolic)" false
+    sym_out.Lc.holds;
+  Alcotest.(check bool) "s!=2 containment fails (explicit)" false
+    (Enum.check_lc flat ok_prop);
+  let triv = Autom.invariance ~name:"trivial" ~ok:Expr.True in
+  Alcotest.(check bool) "trivial containment holds (symbolic)" true
+    (Lc.check flat triv).Lc.holds;
+  Alcotest.(check bool) "trivial containment holds (explicit)" true
+    (Enum.check_lc flat triv)
+
+let test_lc_liveness () =
+  let flat = Flatten.flatten (Parser.parse counter_src) in
+  (* "s=3 happens infinitely often": a one-state automaton with a Büchi
+     (Rabin with empty fin) acceptance on the s=3-reading self-loop. *)
+  let live =
+    {
+      Autom.a_name = "live3";
+      a_states = [ "w" ];
+      a_init = [ "w" ];
+      a_edges =
+        [
+          { Autom.e_src = "w"; e_dst = "w"; e_guard = Expr.True };
+        ];
+      a_pairs =
+        [
+          {
+            Autom.inf_states = [];
+            inf_edges = [];
+            fin_states = [];
+            fin_edges = [];
+          };
+        ];
+    }
+  in
+  (* without acceptance constraints this accepts everything *)
+  ignore live;
+  let fairness = [ Fair.Inf (Fair.State (Expr.parse "go=1")) ] in
+  (* under fairness, every fair run visits s=3 infinitely often; the
+     invariance property s!=3 must still fail, and with fairness removed
+     ("go can stall") EG-style stalling makes the liveness moot. *)
+  let inv3 = Autom.invariance ~name:"never3" ~ok:(Expr.parse "s!=3") in
+  Alcotest.(check bool) "never3 fails under fairness (symbolic)" false
+    (Lc.check ~fairness flat inv3).Lc.holds;
+  Alcotest.(check bool) "never3 fails under fairness (explicit)" false
+    (Enum.check_lc ~fairness flat inv3)
+
+let test_lc_nondeterministic_rejected () =
+  let flat = Flatten.flatten (Parser.parse counter_src) in
+  let nondet =
+    {
+      Autom.a_name = "nd";
+      a_states = [ "a"; "b" ];
+      a_init = [ "a" ];
+      a_edges =
+        [
+          { Autom.e_src = "a"; e_dst = "a"; e_guard = Expr.True };
+          { Autom.e_src = "a"; e_dst = "b"; e_guard = Expr.parse "s=1" };
+          { Autom.e_src = "b"; e_dst = "b"; e_guard = Expr.True };
+        ];
+      a_pairs =
+        [
+          {
+            Autom.inf_states = [ "a" ];
+            inf_edges = [];
+            fin_states = [];
+            fin_edges = [];
+          };
+        ];
+    }
+  in
+  Alcotest.(check bool) "nondeterministic property rejected" true
+    (try
+       ignore (Lc.check flat nondet);
+       false
+     with Lc.Not_deterministic _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Randomized cross-validation *)
+
+(* Build a random closed network: two latches with random complete
+   (possibly non-deterministic) next-state tables over both latches and a
+   free non-deterministic binary signal. *)
+let random_model rng_seed =
+  let h = ref (rng_seed * 7919) in
+  let rand n =
+    h := ((!h * 1103515245) + 12345) land 0x3FFFFFFF;
+    (!h lsr 12) mod n
+  in
+  let dom_sizes = [| 2 + rand 2; 2 + rand 2 |] in
+  let mv =
+    [
+      { Ast.v_names = [ "s0"; "n0" ]; v_size = dom_sizes.(0); v_values = [] };
+      { Ast.v_names = [ "s1"; "n1" ]; v_size = dom_sizes.(1); v_values = [] };
+    ]
+  in
+  let free_table =
+    {
+      Ast.t_inputs = [];
+      t_outputs = [ "u" ];
+      t_rows =
+        [
+          { Ast.r_inputs = []; r_outputs = [ Ast.Val "0" ] };
+          { Ast.r_inputs = []; r_outputs = [ Ast.Val "1" ] };
+        ];
+      t_default = None;
+    }
+  in
+  let next_table out dom_size =
+    let rows = ref [] in
+    for a = 0 to dom_sizes.(0) - 1 do
+      for b = 0 to dom_sizes.(1) - 1 do
+        for u = 0 to 1 do
+          (* one or two possible next values *)
+          let n = 1 + rand 2 in
+          for _ = 1 to n do
+            rows :=
+              {
+                Ast.r_inputs =
+                  [
+                    Ast.Val (string_of_int a);
+                    Ast.Val (string_of_int b);
+                    Ast.Val (string_of_int u);
+                  ];
+                r_outputs = [ Ast.Val (string_of_int (rand dom_size)) ];
+              }
+              :: !rows
+          done
+        done
+      done
+    done;
+    {
+      Ast.t_inputs = [ "s0"; "s1"; "u" ];
+      t_outputs = [ out ];
+      t_rows = List.rev !rows;
+      t_default = None;
+    }
+  in
+  {
+    Ast.m_name = "rand";
+    m_inputs = [];
+    m_outputs = [];
+    m_mvs = mv;
+    m_tables =
+      [ free_table; next_table "n0" dom_sizes.(0); next_table "n1" dom_sizes.(1) ];
+    m_latches =
+      [
+        { Ast.l_input = "n0"; l_output = "s0"; l_reset = [ "0" ] };
+        { Ast.l_input = "n1"; l_output = "s1"; l_reset = [ "0" ] };
+      ];
+    m_subckts = [];
+    m_delays = [];
+  }
+
+let random_formulas =
+  [
+    "EF s0=1";
+    "AG !(s0=1 & s1=1)";
+    "AF s1=1";
+    "EG s0=0";
+    "E[s0=0 U s1=1]";
+    "A[s0=0 U s1=1]";
+    "AG EF (s0=0 & s1=0)";
+    "EX s1=1";
+    "AX (s0=0 | s0=1)";
+  ]
+
+let prop_random_crosscheck =
+  QCheck.Test.make ~count:60 ~name:"symbolic = explicit on random nets"
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let model = random_model seed in
+      let net = Net.of_model model in
+      let trans = build_trans net in
+      let g = Enum.build net in
+      let r = Reach.compute trans (Trans.initial trans) in
+      let symbolic_count =
+        int_of_float (Reach.count_states trans r.Reach.reachable)
+      in
+      if symbolic_count <> Array.length g.Enum.states then
+        QCheck.Test.fail_reportf "reachable: symbolic %d explicit %d"
+          symbolic_count
+          (Array.length g.Enum.states);
+      List.for_all
+        (fun src ->
+          let f = Ctl.parse src in
+          let sym_holds = (Mc.check ~reach:r trans f).Mc.holds in
+          let _, exp_holds = Enum.check_ctl net g [] f in
+          if sym_holds <> exp_holds then
+            QCheck.Test.fail_reportf "seed %d formula %s: symbolic %b explicit %b"
+              seed src sym_holds exp_holds
+          else true)
+        random_formulas)
+
+let prop_random_crosscheck_fair =
+  QCheck.Test.make ~count:40 ~name:"fair symbolic = fair explicit"
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let model = random_model seed in
+      let net = Net.of_model model in
+      let trans = build_trans net in
+      let g = Enum.build net in
+      let fair_syn =
+        [
+          Fair.Inf (Fair.State (Expr.parse "u=1"));
+          Fair.Streett
+            (Fair.State (Expr.parse "s0=1"), Fair.State (Expr.parse "s1=1"));
+        ]
+      in
+      let compiled = Fair.compile_all trans fair_syn in
+      let econstrs = Enum.compile_fairness net g fair_syn in
+      List.for_all
+        (fun src ->
+          let f = Ctl.parse src in
+          let sym_holds = (Mc.check ~fairness:compiled trans f).Mc.holds in
+          let _, exp_holds = Enum.check_ctl net g econstrs f in
+          if sym_holds <> exp_holds then
+            QCheck.Test.fail_reportf
+              "seed %d formula %s (fair): symbolic %b explicit %b" seed src
+              sym_holds exp_holds
+          else true)
+        [ "AF s1=1"; "EG s0=0"; "AG AF s0=0"; "EF (s0=1 & s1=1)" ])
+
+let prop_random_lc =
+  QCheck.Test.make ~count:40 ~name:"language containment symbolic = explicit"
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let model = random_model seed in
+      let props =
+        [
+          Autom.invariance ~name:"p1" ~ok:(Expr.parse "!(s0=1 & s1=1)");
+          Autom.invariance ~name:"p2" ~ok:(Expr.parse "s1!=1");
+        ]
+      in
+      List.for_all
+        (fun aut ->
+          let sym_holds = (Lc.check model aut).Lc.holds in
+          let exp_holds = Enum.check_lc model aut in
+          if sym_holds <> exp_holds then
+            QCheck.Test.fail_reportf "seed %d automaton %s: symbolic %b explicit %b"
+              seed aut.Autom.a_name sym_holds exp_holds
+          else true)
+        props)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "counter",
+        [
+          Alcotest.test_case "reachability" `Quick test_reachable_counter;
+          Alcotest.test_case "image heuristics agree" `Quick
+            test_image_heuristics_agree;
+          Alcotest.test_case "ctl" `Quick test_ctl_counter;
+          Alcotest.test_case "fair ctl" `Quick test_ctl_fair_counter;
+          Alcotest.test_case "language containment" `Quick test_lc_counter;
+          Alcotest.test_case "lc under fairness" `Quick test_lc_liveness;
+          Alcotest.test_case "nondet property rejected" `Quick
+            test_lc_nondeterministic_rejected;
+        ] );
+      ( "random",
+        [
+          QCheck_alcotest.to_alcotest prop_random_crosscheck;
+          QCheck_alcotest.to_alcotest prop_random_crosscheck_fair;
+          QCheck_alcotest.to_alcotest prop_random_lc;
+        ] );
+    ]

@@ -1,0 +1,162 @@
+(* End-to-end runs of the Table-1 designs through the Hsis facade: state
+   counts, property verdicts, explicit cross-checks at small scale, and
+   debugger traces on the known-failing property. *)
+
+open Hsis_models
+open Hsis_core
+open Hsis_check
+open Hsis_debug
+
+let run_design model =
+  let d = Hsis.read_verilog model.Model.verilog in
+  let pif = Model.parse_pif model in
+  (d, pif, Hsis.run_pif ~witnesses:true d pif)
+
+let test_pingpong () =
+  let m = Pingpong.make () in
+  let d, _, report = run_design m in
+  Alcotest.(check (float 0.1)) "3 states" 3.0 (Hsis.reached_states d);
+  Alcotest.(check int) "6 ctl" 6 (List.length report.Hsis.ctl);
+  Alcotest.(check int) "6 lc" 6 (List.length report.Hsis.lc);
+  List.iter
+    (fun (c : Hsis.ctl_result) ->
+      Alcotest.(check bool) ("ctl " ^ c.Hsis.cr_name) true c.Hsis.cr_holds)
+    report.Hsis.ctl;
+  List.iter
+    (fun (l : Hsis.lc_result) ->
+      Alcotest.(check bool) ("lc " ^ l.Hsis.lr_name) true l.Hsis.lr_holds)
+    report.Hsis.lc
+
+let test_philos () =
+  let m = Philos.make () in
+  let d, _, report = run_design m in
+  let states = Hsis.reached_states d in
+  Alcotest.(check bool)
+    (Printf.sprintf "state count plausible (%g)" states)
+    true
+    (states >= 10.0 && states <= 60.0);
+  (* explicit engine agrees *)
+  Alcotest.(check int) "explicit agrees" (int_of_float states)
+    (Enum.count_reachable (Model.net m));
+  let find_ctl name =
+    List.find (fun c -> c.Hsis.cr_name = name) report.Hsis.ctl
+  in
+  Alcotest.(check bool) "mutual exclusion" true
+    (find_ctl "mutual_exclusion").Hsis.cr_holds;
+  Alcotest.(check bool) "possible progress" true
+    (find_ctl "possible_progress").Hsis.cr_holds;
+  let find_lc name =
+    List.find (fun l -> l.Hsis.lr_name = name) report.Hsis.lc
+  in
+  Alcotest.(check bool) "never_both_eat holds" true
+    (find_lc "never_both_eat").Hsis.lr_holds;
+  let starving = find_lc "p0_eats_forever_often" in
+  Alcotest.(check bool) "liveness fails (deadlock)" false
+    starving.Hsis.lr_holds;
+  (* the failing property must come with a verified error trace *)
+  match starving.Hsis.lr_trace with
+  | None -> Alcotest.fail "no error trace produced"
+  | Some t ->
+      Alcotest.(check bool) "trace has a cycle" true (List.length t.Trace.cycle >= 1);
+      Alcotest.(check bool) "trace verified" true t.Trace.verified
+
+let test_philos_explicit_lc () =
+  let m = Philos.make () in
+  let flat = Model.flat m in
+  let pif = Model.parse_pif m in
+  let aut name = Option.get (Hsis_auto.Pif.find_automaton pif name) in
+  Alcotest.(check bool) "explicit: mutex holds" true
+    (Enum.check_lc flat (aut "never_both_eat"));
+  Alcotest.(check bool) "explicit: liveness fails" false
+    (Enum.check_lc flat (aut "p0_eats_forever_often"))
+
+let test_gigamax () =
+  let m = Gigamax.make () in
+  let d, _, report = run_design m in
+  let states = Hsis.reached_states d in
+  Alcotest.(check bool)
+    (Printf.sprintf "hundreds of states (%g)" states)
+    true
+    (states >= 200.0 && states <= 2000.0);
+  Alcotest.(check int) "explicit agrees" (int_of_float states)
+    (Enum.count_reachable (Model.net m));
+  Alcotest.(check int) "9 ctl" 9 (List.length report.Hsis.ctl);
+  List.iter
+    (fun (c : Hsis.ctl_result) ->
+      Alcotest.(check bool) ("ctl " ^ c.Hsis.cr_name) true c.Hsis.cr_holds)
+    report.Hsis.ctl;
+  List.iter
+    (fun (l : Hsis.lc_result) ->
+      Alcotest.(check bool) ("lc " ^ l.Hsis.lr_name) true l.Hsis.lr_holds)
+    report.Hsis.lc
+
+let test_scheduler_small () =
+  let m = Scheduler.make ~n:4 () in
+  let d, _, report = run_design m in
+  (* n * 2^n = 64 for n=4 *)
+  Alcotest.(check (float 0.1)) "n*2^n states" 64.0 (Hsis.reached_states d);
+  Alcotest.(check int) "explicit agrees" 64
+    (Enum.count_reachable (Model.net m));
+  List.iter
+    (fun (c : Hsis.ctl_result) ->
+      Alcotest.(check bool) ("ctl " ^ c.Hsis.cr_name) true c.Hsis.cr_holds)
+    report.Hsis.ctl;
+  List.iter
+    (fun (l : Hsis.lc_result) ->
+      Alcotest.(check bool) ("lc " ^ l.Hsis.lr_name) true l.Hsis.lr_holds)
+    report.Hsis.lc
+
+let test_scheduler_medium () =
+  let m = Scheduler.make ~n:8 () in
+  let d = Hsis.read_verilog m.Model.verilog in
+  Alcotest.(check (float 0.5)) "8 * 2^8 states" 2048.0 (Hsis.reached_states d)
+
+let test_dcnew () =
+  let m = Dcnew.make () in
+  let d, _, report = run_design m in
+  let states = Hsis.reached_states d in
+  Alcotest.(check bool)
+    (Printf.sprintf "10^4..10^6 states (%g)" states)
+    true
+    (states >= 1.0e4 && states <= 1.0e6);
+  List.iter
+    (fun (c : Hsis.ctl_result) ->
+      Alcotest.(check bool) ("ctl " ^ c.Hsis.cr_name) true c.Hsis.cr_holds)
+    report.Hsis.ctl;
+  List.iter
+    (fun (l : Hsis.lc_result) ->
+      Alcotest.(check bool) ("lc " ^ l.Hsis.lr_name) true l.Hsis.lr_holds)
+    report.Hsis.lc
+
+let test_mdlc () =
+  let m = Mdlc.make () in
+  let d, _, report = run_design m in
+  let states = Hsis.reached_states d in
+  Alcotest.(check bool)
+    (Printf.sprintf "10^3..10^6 states (%g)" states)
+    true
+    (states >= 1.0e3 && states <= 1.0e6);
+  List.iter
+    (fun (c : Hsis.ctl_result) ->
+      Alcotest.(check bool) ("ctl " ^ c.Hsis.cr_name) true c.Hsis.cr_holds)
+    report.Hsis.ctl;
+  List.iter
+    (fun (l : Hsis.lc_result) ->
+      Alcotest.(check bool) ("lc " ^ l.Hsis.lr_name) true l.Hsis.lr_holds)
+    report.Hsis.lc
+
+let () =
+  Alcotest.run "models"
+    [
+      ( "table1",
+        [
+          Alcotest.test_case "pingpong" `Quick test_pingpong;
+          Alcotest.test_case "philos" `Quick test_philos;
+          Alcotest.test_case "philos explicit lc" `Quick test_philos_explicit_lc;
+          Alcotest.test_case "gigamax" `Quick test_gigamax;
+          Alcotest.test_case "scheduler n=4" `Quick test_scheduler_small;
+          Alcotest.test_case "scheduler n=8" `Quick test_scheduler_medium;
+          Alcotest.test_case "dcnew" `Quick test_dcnew;
+          Alcotest.test_case "mdlc" `Quick test_mdlc;
+        ] );
+    ]

@@ -1,0 +1,105 @@
+(* Multi-valued domain and encoding tests. *)
+
+open Hsis_bdd
+open Hsis_mv
+
+let test_domain () =
+  let d = Domain.make "state" [| "idle"; "busy"; "done" |] in
+  Alcotest.(check int) "size" 3 (Domain.size d);
+  Alcotest.(check int) "bits" 2 (Domain.bits d);
+  Alcotest.(check (option int)) "index" (Some 1) (Domain.index_of d "busy");
+  Alcotest.(check (option int)) "missing" None (Domain.index_of d "nope");
+  Alcotest.(check string) "value" "done" (Domain.value d 2);
+  Alcotest.(check int) "bits of 1" 1 (Domain.bits (Domain.make "u" [| "x" |]));
+  Alcotest.(check int) "bits of 2" 1 (Domain.bits Domain.boolean);
+  Alcotest.(check int) "bits of 4" 2 (Domain.bits (Domain.of_size "q" 4));
+  Alcotest.(check int) "bits of 5" 3 (Domain.bits (Domain.of_size "q" 5))
+
+let test_domain_dup () =
+  Alcotest.check_raises "duplicate values"
+    (Invalid_argument "Domain.make: duplicate value a") (fun () ->
+      ignore (Domain.make "d" [| "a"; "a" |]))
+
+let with_enc size f =
+  let man = Bdd.new_man () in
+  let d = Domain.of_size "sig" size in
+  let bits =
+    Array.init (Domain.bits d) (fun i ->
+        Bdd.new_var ~name:(Printf.sprintf "b%d" i) man)
+  in
+  f man d (Enc.make d bits)
+
+let test_value_bdds_disjoint () =
+  with_enc 5 (fun man _d e ->
+      for i = 0 to 4 do
+        for j = i + 1 to 4 do
+          Alcotest.(check bool)
+            (Printf.sprintf "v%d and v%d disjoint" i j)
+            true
+            (Bdd.is_false (Bdd.dand (Enc.value_bdd e i) (Enc.value_bdd e j)))
+        done
+      done;
+      ignore man)
+
+let test_domain_constraint () =
+  with_enc 5 (fun man _d e ->
+      (* 5 values on 3 bits: 3 illegal codes *)
+      let dc = Enc.domain_constraint e in
+      Alcotest.(check (float 1e-9)) "legal codes" 5.0
+        (Bdd.satcount_vars dc ~vars:(Enc.var_indices e));
+      ignore man)
+
+let test_set_and_decode () =
+  with_enc 4 (fun _man _d e ->
+      let s = Enc.set_bdd e [ 1; 3 ] in
+      Alcotest.(check (float 1e-9)) "set of two" 2.0
+        (Bdd.satcount_vars s ~vars:(Enc.var_indices e));
+      let assign = Enc.assign e 3 in
+      let env v = List.assoc v assign in
+      Alcotest.(check int) "decode of assign" 3 (Enc.decode e env);
+      Alcotest.(check bool) "assign satisfies set" true (Bdd.eval s env))
+
+let test_eq () =
+  let man = Bdd.new_man () in
+  let d = Domain.of_size "x" 4 in
+  let mk () = Array.init 2 (fun _ -> Bdd.new_var man) in
+  let a = Enc.make d (mk ()) and b = Enc.make d (mk ()) in
+  let eq = Enc.eq a b in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      let assign = Enc.assign a i @ Enc.assign b j in
+      let env v = List.assoc v assign in
+      Alcotest.(check bool)
+        (Printf.sprintf "eq %d %d" i j)
+        (i = j) (Bdd.eval eq env)
+    done
+  done
+
+let prop_decode_value_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"decode . assign = id"
+    QCheck.(int_range 2 9)
+    (fun size ->
+      with_enc size (fun _man _d e ->
+          List.for_all
+            (fun v ->
+              let assign = Enc.assign e v in
+              Enc.decode e (fun var -> List.assoc var assign) = v)
+            (List.init size Fun.id)))
+
+let () =
+  Alcotest.run "mv"
+    [
+      ( "domain",
+        [
+          Alcotest.test_case "basics" `Quick test_domain;
+          Alcotest.test_case "duplicates rejected" `Quick test_domain_dup;
+        ] );
+      ( "enc",
+        [
+          Alcotest.test_case "values disjoint" `Quick test_value_bdds_disjoint;
+          Alcotest.test_case "domain constraint" `Quick test_domain_constraint;
+          Alcotest.test_case "sets and decode" `Quick test_set_and_decode;
+          Alcotest.test_case "equality relation" `Quick test_eq;
+          QCheck_alcotest.to_alcotest prop_decode_value_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,94 @@
+(* Peterson's algorithm end to end: safety, fairness-dependent liveness,
+   the seeded bug, and agreement of both engines on all of it. *)
+
+open Hsis_models
+open Hsis_core
+open Hsis_check
+open Hsis_auto
+
+let test_correct () =
+  let m = Peterson.make () in
+  let d = Hsis.read_verilog m.Model.verilog in
+  let pif = Model.parse_pif m in
+  let report = Hsis.run_pif d pif in
+  List.iter
+    (fun (c : Hsis.ctl_result) ->
+      Alcotest.(check bool) ("ctl " ^ c.Hsis.cr_name) true c.Hsis.cr_holds)
+    report.Hsis.ctl;
+  List.iter
+    (fun (l : Hsis.lc_result) ->
+      Alcotest.(check bool) ("lc " ^ l.Hsis.lr_name) true l.Hsis.lr_holds)
+    report.Hsis.lc
+
+let test_liveness_needs_fairness () =
+  let m = Peterson.make () in
+  let d = Hsis.read_verilog m.Model.verilog in
+  (* without scheduler fairness, a process can be starved by never being
+     scheduled *)
+  let f = Ctl.parse "AG (p0=WAITTURN -> AF p0=CRIT)" in
+  let unfair = Hsis.check_ctl d ~name:"starve" f in
+  Alcotest.(check bool) "starvation without fairness" false
+    unfair.Hsis.cr_holds;
+  let fair =
+    Hsis.check_ctl
+      ~fairness:
+        [
+          Fair.Inf (Fair.State (Expr.parse "who=0"));
+          Fair.Inf (Fair.State (Expr.parse "who=1"));
+        ]
+      d ~name:"progress" f
+  in
+  Alcotest.(check bool) "progress under fairness" true fair.Hsis.cr_holds
+
+let test_broken () =
+  let m = Peterson.broken () in
+  let d = Hsis.read_verilog m.Model.verilog in
+  let mutex = Hsis.check_ctl d ~name:"mutex" (Ctl.parse "AG !(p0=CRIT & p1=CRIT)") in
+  Alcotest.(check bool) "mutex violated" false mutex.Hsis.cr_holds;
+  (* the language-containment route agrees and yields a verified trace *)
+  let aut =
+    Autom.invariance ~name:"excl" ~ok:(Expr.parse "!(p0=CRIT & p1=CRIT)")
+  in
+  let lc = Hsis.check_lc d aut in
+  Alcotest.(check bool) "lc violated" false lc.Hsis.lr_holds;
+  (match lc.Hsis.lr_trace with
+  | Some t ->
+      Alcotest.(check bool) "trace verified" true t.Hsis_debug.Trace.verified
+  | None -> Alcotest.fail "no trace");
+  (* explicit engine agrees on the violation *)
+  Alcotest.(check bool) "explicit agrees" false
+    (Enum.check_lc (Model.flat m) aut)
+
+let test_explicit_crosscheck () =
+  let m = Peterson.make () in
+  let net = Model.net m in
+  let d = Hsis.read_verilog m.Model.verilog in
+  Alcotest.(check int) "state counts agree"
+    (Enum.count_reachable net)
+    (int_of_float (Hsis.reached_states d));
+  let g = Enum.build net in
+  let fair_syn =
+    [
+      Fair.Inf (Fair.State (Expr.parse "who=0"));
+      Fair.Inf (Fair.State (Expr.parse "who=1"));
+    ]
+  in
+  let econstrs = Enum.compile_fairness net g fair_syn in
+  let _, holds =
+    Enum.check_ctl net g econstrs (Ctl.parse "AG (p0=WAITTURN -> AF p0=CRIT)")
+  in
+  Alcotest.(check bool) "explicit fair liveness" true holds
+
+let () =
+  Alcotest.run "peterson"
+    [
+      ( "peterson",
+        [
+          Alcotest.test_case "correct version" `Quick test_correct;
+          Alcotest.test_case "liveness needs fairness" `Quick
+            test_liveness_needs_fairness;
+          Alcotest.test_case "broken version" `Quick test_broken;
+          Alcotest.test_case "explicit crosscheck" `Quick
+            test_explicit_crosscheck;
+        ] );
+    ]

@@ -1,0 +1,210 @@
+(* Property-library templates and the simulation-refinement checker. *)
+
+open Hsis_blifmv
+open Hsis_auto
+open Hsis_check
+open Hsis_bisim
+
+let counter_src =
+  {|
+.model counter
+.outputs tick
+.mv s,ns 4
+.table -> go
+0
+1
+.table s go -> ns
+0 1 1
+1 1 2
+2 1 3
+3 1 0
+- 0 =s
+.table s -> tick
+0 0
+1 0
+2 0
+3 1
+.latch ns s
+.reset s 0
+.end
+|}
+
+let flat () = Flatten.flatten (Parser.parse counter_src)
+
+let check_aut aut expected =
+  let out = Lc.check (flat ()) aut in
+  Alcotest.(check bool) ("lc " ^ aut.Autom.a_name) expected out.Lc.holds;
+  (* the explicit engine agrees *)
+  Alcotest.(check bool)
+    ("explicit lc " ^ aut.Autom.a_name)
+    expected
+    (Enum.check_lc (flat ()) aut)
+
+let check_ctl f expected =
+  let net = Net.of_ast (Parser.parse counter_src) in
+  let man = Hsis_bdd.Bdd.new_man () in
+  let sym = Hsis_fsm.Sym.make man net in
+  let trans = Hsis_fsm.Trans.build sym in
+  Alcotest.(check bool) ("ctl " ^ Ctl.to_string f) expected
+    (Mc.check trans f).Mc.holds
+
+let get_aut t = Option.get t.Proplib.p_autom
+let get_ctl t = Option.get t.Proplib.p_ctl
+
+let test_invariant () =
+  let good = Proplib.invariant ~name:"inv_ok" (Expr.parse "s!=9") in
+  ignore good;
+  let holds = Proplib.invariant ~name:"always_legal" (Expr.parse "go=0 | go=1") in
+  check_aut (get_aut holds) true;
+  check_ctl (get_ctl holds) true;
+  let fails = Proplib.invariant ~name:"never3" (Expr.parse "s!=3") in
+  check_aut (get_aut fails) false;
+  check_ctl (get_ctl fails) false
+
+let test_mutex () =
+  let t = Proplib.mutual_exclusion ~name:"mx" (Expr.parse "s=0") (Expr.parse "tick=1") in
+  (* tick only at s=3, so never together with s=0 *)
+  check_aut (get_aut t) true;
+  check_ctl (get_ctl t) true;
+  let bad = Proplib.mutual_exclusion ~name:"mx2" (Expr.parse "s=3") (Expr.parse "tick=1") in
+  check_aut (get_aut bad) false
+
+let test_response () =
+  (* without fairness the counter can stall: response fails *)
+  let t = Proplib.response ~name:"resp" ~trigger:(Expr.parse "s=1")
+      ~response:(Expr.parse "tick=1")
+  in
+  check_ctl (get_ctl t) false;
+  check_aut (get_aut t) false;
+  (* trivial response: trigger implies response in the same state *)
+  let t2 =
+    Proplib.response ~name:"resp2" ~trigger:(Expr.parse "s=3")
+      ~response:(Expr.parse "tick=1")
+  in
+  check_ctl (get_ctl t2) true;
+  check_aut (get_aut t2) true
+
+let test_stability () =
+  (* s=3 is left on the next fair step: stability fails *)
+  let t = Proplib.stability ~name:"sticky3" (Expr.parse "s=3") in
+  check_ctl (get_ctl t) false;
+  (* "true" is trivially stable *)
+  let t2 = Proplib.stability ~name:"stable_true" Expr.True in
+  check_ctl (get_ctl t2) true;
+  check_aut (get_aut t2) true
+
+let test_precedence () =
+  (* s=2 cannot occur before s=1 on any run: holds *)
+  let t = Proplib.precedence ~name:"ordered" ~first:(Expr.parse "s=1")
+      ~before:(Expr.parse "s=2")
+  in
+  check_aut (get_aut t) true;
+  (* s=1 before s=2... reversed fails *)
+  let t2 =
+    Proplib.precedence ~name:"reversed" ~first:(Expr.parse "s=2")
+      ~before:(Expr.parse "s=1")
+  in
+  check_aut (get_aut t2) false
+
+let test_sequence () =
+  let t =
+    Proplib.sequence ~name:"upseq"
+      [ Expr.parse "s=1"; Expr.parse "s=2"; Expr.parse "s=3" ]
+  in
+  check_aut (get_aut t) true;
+  let t2 =
+    Proplib.sequence ~name:"downseq" [ Expr.parse "s=2"; Expr.parse "s=1" ]
+  in
+  check_aut (get_aut t2) false
+
+let test_to_pif_roundtrip () =
+  let templates =
+    [
+      Proplib.invariant ~name:"inv" (Expr.parse "s!=3");
+      Proplib.response ~name:"resp" ~trigger:(Expr.parse "s=1")
+        ~response:(Expr.parse "tick=1");
+      Proplib.precedence ~name:"prec" ~first:(Expr.parse "s=1")
+        ~before:(Expr.parse "s=2");
+    ]
+  in
+  let text = Proplib.to_pif templates in
+  let pif = Pif.parse text in
+  Alcotest.(check int) "automata survive" 3 (List.length pif.Pif.p_automata);
+  Alcotest.(check int) "lc entries" 3 (List.length pif.Pif.p_lc);
+  Alcotest.(check int) "ctl entries" 2 (List.length pif.Pif.p_ctl);
+  (* the rendered automata still check the same way *)
+  let aut = Option.get (Pif.find_automaton pif "inv") in
+  check_aut aut false
+
+(* ---------------- simulation refinement ---------------- *)
+
+(* Specification: the output may tick or not, freely. *)
+let spec_src =
+  {|
+.model spec
+.outputs tick
+.table -> choice
+0
+1
+.table choice -> ntk
+0 0
+1 1
+.table st -> tick
+0 0
+1 1
+.latch ntk st
+.reset st 0
+.end
+|}
+
+let impl_src =
+  (* implementation: tick exactly every 4th step (the counter) *)
+  counter_src
+
+let test_refines () =
+  let impl = Net.of_ast (Parser.parse impl_src) in
+  let spec = Net.of_ast (Parser.parse spec_src) in
+  let r = Simrel.refines ~obs:[ "tick" ] ~impl ~spec () in
+  Alcotest.(check bool) "counter refines free ticker" true r.Simrel.holds;
+  (* the converse fails: the free ticker can tick twice in a row, the
+     counter cannot *)
+  let r2 = Simrel.refines ~obs:[ "tick" ] ~impl:spec ~spec:impl () in
+  Alcotest.(check bool) "free ticker does not refine counter" false
+    r2.Simrel.holds;
+  Alcotest.(check bool) "uncovered initial states reported" false
+    (Hsis_bdd.Bdd.is_false r2.Simrel.uncovered_init)
+
+let test_refines_self () =
+  let impl = Net.of_ast (Parser.parse impl_src) in
+  let r = Simrel.refines ~obs:[ "tick" ] ~impl ~spec:impl () in
+  Alcotest.(check bool) "reflexive" true r.Simrel.holds
+
+let test_refines_errors () =
+  let impl = Net.of_ast (Parser.parse impl_src) in
+  let spec = Net.of_ast (Parser.parse spec_src) in
+  Alcotest.(check bool) "unknown obs rejected" true
+    (try
+       ignore (Simrel.refines ~obs:[ "nope" ] ~impl ~spec ());
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "proplib-simrel"
+    [
+      ( "proplib",
+        [
+          Alcotest.test_case "invariant" `Quick test_invariant;
+          Alcotest.test_case "mutex" `Quick test_mutex;
+          Alcotest.test_case "response" `Quick test_response;
+          Alcotest.test_case "stability" `Quick test_stability;
+          Alcotest.test_case "precedence" `Quick test_precedence;
+          Alcotest.test_case "sequence" `Quick test_sequence;
+          Alcotest.test_case "pif roundtrip" `Quick test_to_pif_roundtrip;
+        ] );
+      ( "simrel",
+        [
+          Alcotest.test_case "refinement" `Quick test_refines;
+          Alcotest.test_case "reflexive" `Quick test_refines_self;
+          Alcotest.test_case "errors" `Quick test_refines_errors;
+        ] );
+    ]

@@ -1,0 +1,227 @@
+(* Synchrony trees (extended c/s model, paper Sec. 4): interleaved and
+   mixed semantics, symbolic vs explicit agreement. *)
+
+open Hsis_bdd
+open Hsis_blifmv
+open Hsis_fsm
+open Hsis_auto
+open Hsis_check
+
+(* Two 2-bit counters that each increment every tick. *)
+let twin_src =
+  {|
+.model twin
+.mv a,na,b,nb 4
+.table a -> na
+0 1
+1 2
+2 3
+3 0
+.table b -> nb
+0 1
+1 2
+2 3
+3 0
+.latch na a
+.reset a 0
+.latch nb b
+.reset b 0
+.end
+|}
+
+let flat () = Flatten.flatten (Parser.parse twin_src)
+
+let reach_count net =
+  let man = Bdd.new_man () in
+  let sym = Sym.make man net in
+  let trans = Trans.build sym in
+  let r = Reach.compute trans (Trans.initial trans) in
+  int_of_float (Reach.count_states trans r.Reach.reachable)
+
+let test_validate () =
+  let m = flat () in
+  Alcotest.(check bool) "synchronous tree valid" true
+    (Stree.validate m (Stree.fully_synchronous m) = Ok ());
+  Alcotest.(check bool) "interleaved tree valid" true
+    (Stree.validate m (Stree.interleaved m) = Ok ());
+  Alcotest.(check bool) "missing latch rejected" true
+    (Stree.validate m (Stree.Sync [ Stree.Leaf "a" ]) <> Ok ());
+  Alcotest.(check bool) "duplicate latch rejected" true
+    (Stree.validate m
+       (Stree.Sync [ Stree.Leaf "a"; Stree.Leaf "a"; Stree.Leaf "b" ])
+    <> Ok ())
+
+let test_synchronous_diagonal () =
+  (* lock-step: a and b always equal -> 4 reachable states *)
+  let m = flat () in
+  let net = Net.of_model (Stree.apply m (Stree.fully_synchronous m)) in
+  Alcotest.(check int) "diagonal only" 4 (reach_count net);
+  Alcotest.(check int) "explicit agrees" 4 (Enum.count_reachable net)
+
+let test_interleaved_full () =
+  (* one counter steps per tick: all 16 combinations become reachable *)
+  let m = flat () in
+  let net = Net.of_model (Stree.apply m (Stree.interleaved m)) in
+  Alcotest.(check int) "full product" 16 (reach_count net);
+  Alcotest.(check int) "explicit agrees" 16 (Enum.count_reachable net)
+
+let test_mixed_tree () =
+  (* a three-latch system: (a | b) sync with c -- a or b steps, c always *)
+  let src =
+    {|
+.model mixed
+.table a -> na
+0 1
+1 0
+.table b -> nb
+0 1
+1 0
+.table c -> nc
+0 1
+1 0
+.latch na a
+.reset a 0
+.latch nb b
+.reset b 0
+.latch nc c
+.reset c 0
+.end
+|}
+  in
+  let m = Flatten.flatten (Parser.parse src) in
+  let tree =
+    Stree.Sync [ Stree.Async [ Stree.Leaf "a"; Stree.Leaf "b" ]; Stree.Leaf "c" ]
+  in
+  Alcotest.(check bool) "tree valid" true (Stree.validate m tree = Ok ());
+  let net = Net.of_model (Stree.apply m tree) in
+  let symbolic = reach_count net in
+  Alcotest.(check int) "symbolic = explicit" (Enum.count_reachable net) symbolic;
+  (* each tick flips c and exactly one of a, b: the parity a^b^c is
+     invariant, and all 4 even-parity states are reachable *)
+  Alcotest.(check int) "even-parity states" 4 symbolic;
+  (* whereas full lock-step would visit only 2 states *)
+  let sync_net = Net.of_model (Stree.apply m (Stree.fully_synchronous m)) in
+  Alcotest.(check int) "lock-step visits 2" 2 (reach_count sync_net)
+
+let test_interleaved_ctl () =
+  let m = flat () in
+  let net = Net.of_model (Stree.apply m (Stree.interleaved m)) in
+  let man = Bdd.new_man () in
+  let sym = Sym.make man net in
+  let trans = Trans.build sym in
+  let holds src = (Mc.check trans (Ctl.parse src)).Mc.holds in
+  (* desynchronized states are reachable *)
+  Alcotest.(check bool) "EF (a=3 & b=0)" true (holds "EF (a=3 & b=0)");
+  (* but each counter still only ever increments *)
+  Alcotest.(check bool) "AG (a=0 -> AX (a=0 | a=1))" true
+    (holds "AG (a=0 -> AX (a=0 | a=1))");
+  (* under interleaving, a can starve without fairness *)
+  Alcotest.(check bool) "AF a=1 fails" false (holds "AF a=1")
+
+let test_fair_interleaving () =
+  (* weak fairness on each choice direction restores progress *)
+  let m = flat () in
+  let net = Net.of_model (Stree.apply m (Stree.interleaved m)) in
+  let man = Bdd.new_man () in
+  let sym = Sym.make man net in
+  let trans = Trans.build sym in
+  let fairness =
+    Fair.compile_all trans
+      [
+        Fair.Inf (Fair.State (Expr.parse "_ch0=0"));
+        Fair.Inf (Fair.State (Expr.parse "_ch0=1"));
+      ]
+  in
+  let holds src = (Mc.check ~fairness trans (Ctl.parse src)).Mc.holds in
+  Alcotest.(check bool) "AF a=1 holds under fair scheduling" true
+    (holds "AF a=1");
+  Alcotest.(check bool) "AG AF b=0 holds" true (holds "AG AF b=0")
+
+(* ------------------------------------------------------------------ *)
+(* Randomized: arbitrary synchrony trees over random small nets keep the
+   symbolic and explicit engines in agreement, and every tree's reachable
+   set sits between lock-step and full interleaving is NOT generally true
+   (grouping can both add and remove behaviors), so we only check engine
+   agreement and basic sanity. *)
+
+let random_tree latches rand =
+  (* random binary tree shape over a shuffled latch list *)
+  let rec build = function
+    | [ l ] -> Stree.Leaf l
+    | ls ->
+        let n = List.length ls in
+        let k = 1 + rand (n - 1) in
+        let left = List.filteri (fun i _ -> i < k) ls in
+        let right = List.filteri (fun i _ -> i >= k) ls in
+        if rand 2 = 0 then Stree.Sync [ build left; build right ]
+        else Stree.Async [ build left; build right ]
+  in
+  build latches
+
+let prop_random_stree =
+  QCheck.Test.make ~count:40 ~name:"random synchrony trees: symbolic = explicit"
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let h = ref (seed * 31) in
+      let rand n =
+        h := ((!h * 1103515245) + 12345) land 0x3FFFFFFF;
+        (!h lsr 12) mod n
+      in
+      (* three independent togglers with random next-state tables *)
+      let table out rows_src =
+        {
+          Hsis_blifmv.Ast.t_inputs = [ rows_src ];
+          t_outputs = [ out ];
+          t_rows =
+            List.init 2 (fun v ->
+                {
+                  Hsis_blifmv.Ast.r_inputs = [ Ast.Val (string_of_int v) ];
+                  r_outputs = [ Ast.Val (string_of_int (rand 2)) ];
+                });
+          t_default = None;
+        }
+      in
+      let model =
+        {
+          Ast.m_name = "rnd";
+          m_inputs = [];
+          m_outputs = [];
+          m_mvs = [];
+          m_tables = [ table "na" "a"; table "nb" "b"; table "nc" "c" ];
+          m_latches =
+            [
+              { Ast.l_input = "na"; l_output = "a"; l_reset = [ "0" ] };
+              { Ast.l_input = "nb"; l_output = "b"; l_reset = [ "0" ] };
+              { Ast.l_input = "nc"; l_output = "c"; l_reset = [ "0" ] };
+            ];
+          m_subckts = [];
+          m_delays = [];
+        }
+      in
+      let tree = random_tree [ "a"; "b"; "c" ] rand in
+      (match Stree.validate model tree with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_reportf "invalid tree: %s" e);
+      let net = Net.of_model (Stree.apply model tree) in
+      let explicit = Enum.count_reachable net in
+      let symbolic = reach_count net in
+      if explicit <> symbolic then
+        QCheck.Test.fail_reportf "seed %d: symbolic %d explicit %d" seed
+          symbolic explicit
+      else true)
+
+let () =
+  Alcotest.run "stree"
+    [
+      ( "stree",
+        [
+          Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "synchronous diagonal" `Quick
+            test_synchronous_diagonal;
+          Alcotest.test_case "interleaved full" `Quick test_interleaved_full;
+          Alcotest.test_case "mixed tree" `Quick test_mixed_tree;
+          Alcotest.test_case "interleaved ctl" `Quick test_interleaved_ctl;
+          Alcotest.test_case "fair interleaving" `Quick test_fair_interleaving;
+          QCheck_alcotest.to_alcotest prop_random_stree;
+        ] );
+    ]

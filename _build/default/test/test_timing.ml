@@ -1,0 +1,137 @@
+(* The .delay timing extension: fixed pipelines and bounded-interval
+   transport delays. *)
+
+open Hsis_bdd
+open Hsis_blifmv
+open Hsis_fsm
+open Hsis_check
+
+let toggler_with delay_line =
+  Printf.sprintf
+    {|
+.model toggler
+.outputs s
+.table s -> n
+0 1
+1 0
+.latch n s
+.reset s 0
+%s
+.end
+|}
+    delay_line
+
+let net_of src = Net.of_ast (Parser.parse src)
+
+(* The deterministic output sequence of a net with one observable latch
+   chainend signal, via the explicit engine. *)
+let trace_of net ~signal ~steps =
+  let g = Enum.build net in
+  ignore g;
+  let s = Option.get (Net.find_signal net signal) in
+  let rec go st k acc =
+    if k = 0 then List.rev acc
+    else begin
+      match Enum.successors net st with
+      | [ next ] ->
+          let v =
+            (* find the signal's value in a consistent valuation *)
+            match Enum.valuations_of_state net st with
+            | vals :: _ -> vals.(s)
+            | [] -> -1
+          in
+          go next (k - 1) (v :: acc)
+      | _ -> List.rev acc (* non-deterministic: stop *)
+    end
+  in
+  match Enum.initial_states net with
+  | [ st ] -> go st steps []
+  | _ -> []
+
+let test_no_delay_period_2 () =
+  let net = net_of (toggler_with "") in
+  Alcotest.(check (list int)) "period 2" [ 0; 1; 0; 1; 0; 1 ]
+    (trace_of net ~signal:"s" ~steps:6)
+
+let test_fixed_delay_pipeline () =
+  (* with a 3-stage delay, the feedback loop has period 6 *)
+  let net = net_of (toggler_with ".delay s 3") in
+  Alcotest.(check int) "three extra latches" 3 (List.length net.Net.latches);
+  Alcotest.(check (list int)) "period 6"
+    [ 0; 0; 0; 1; 1; 1; 0; 0; 0; 1; 1; 1 ]
+    (trace_of net ~signal:"s" ~steps:12)
+
+let test_interval_delay () =
+  let net = net_of (toggler_with ".delay s 1 2") in
+  (* symbolic and explicit reachable sets agree *)
+  let man = Bdd.new_man () in
+  let sym = Sym.make man net in
+  let trans = Trans.build sym in
+  let r = Reach.compute trans (Trans.initial trans) in
+  Alcotest.(check int) "symbolic = explicit"
+    (Enum.count_reachable net)
+    (int_of_float (Reach.count_states trans r.Reach.reachable));
+  (* jitter adds behaviors: the interval net has branching states, while
+     the fixed pipeline stays deterministic *)
+  let branching net =
+    let g = Enum.build net in
+    Array.exists (fun succ -> List.length succ >= 2) g.Enum.succ
+  in
+  let fixed = net_of (toggler_with ".delay s 2") in
+  Alcotest.(check bool) "interval branches" true (branching net);
+  Alcotest.(check bool) "fixed deterministic" false (branching fixed)
+
+let test_roundtrip () =
+  let src = toggler_with ".delay s 1 2" in
+  let printed = Printer.to_string (Parser.parse src) in
+  Alcotest.(check bool) ".delay survives printing" true
+    (let rec contains i =
+       i + 12 <= String.length printed
+       && (String.sub printed i 12 = ".delay s 1 2" || contains (i + 1))
+     in
+     contains 0);
+  let reparsed = Parser.parse printed in
+  let m = Option.get (Ast.find_model reparsed "toggler") in
+  Alcotest.(check int) "delay entry" 1 (List.length m.Ast.m_delays)
+
+let test_errors () =
+  Alcotest.(check bool) "unknown signal rejected" true
+    (try
+       ignore (net_of (toggler_with ".delay nope 2"));
+       false
+     with Timing.Error _ -> true);
+  Alcotest.(check bool) "bad bounds rejected" true
+    (try
+       ignore (Parser.parse (toggler_with ".delay s 3 2"));
+       false
+     with Parser.Error _ -> true);
+  Alcotest.(check bool) "zero delay rejected" true
+    (try
+       ignore (Parser.parse (toggler_with ".delay s 0"));
+       false
+     with Parser.Error _ -> true)
+
+let test_delay_one_is_identity () =
+  let plain = net_of (toggler_with "") in
+  let delayed = net_of (toggler_with ".delay s 1") in
+  Alcotest.(check int) "same latch count"
+    (List.length plain.Net.latches)
+    (List.length delayed.Net.latches);
+  Alcotest.(check int) "same reachable"
+    (Enum.count_reachable plain)
+    (Enum.count_reachable delayed)
+
+let () =
+  Alcotest.run "timing"
+    [
+      ( "delay",
+        [
+          Alcotest.test_case "no delay baseline" `Quick test_no_delay_period_2;
+          Alcotest.test_case "fixed pipeline" `Quick test_fixed_delay_pipeline;
+          Alcotest.test_case "interval delay" `Quick test_interval_delay;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "delay 1 is identity" `Quick
+            test_delay_one_is_identity;
+        ] );
+    ]

@@ -1,0 +1,387 @@
+(* Verilog front end: parsing, elaboration to BLIF-MV, and end-to-end
+   behavior of the compiled networks. *)
+
+open Hsis_blifmv
+open Hsis_fsm
+open Hsis_check
+open Hsis_verilog
+
+let counter_v =
+  {|
+// 2-bit counter with a non-deterministic pause
+module counter(clk);
+  input clk;
+  reg [1:0] s;
+  wire go;
+  assign go = $ND(0, 1);
+  initial s = 0;
+  always @(posedge clk) begin
+    if (go)
+      s <= s + 1;
+  end
+endmodule
+|}
+
+let enum_v =
+  {|
+module handshake(clk);
+  input clk;
+  enum {IDLE, REQ, ACK} reg st;
+  wire advance;
+  assign advance = $ND(0, 1);
+  initial st = IDLE;
+  always @(posedge clk) begin
+    case (st)
+      IDLE: if (advance) st <= REQ;
+      REQ:  if (advance) st <= ACK;
+      ACK:  st <= IDLE;
+    endcase
+  end
+endmodule
+|}
+
+let hier_v =
+  {|
+module top(clk);
+  input clk;
+  wire a; wire b;
+  inv i1(.x(b), .y(a));
+  inv i2(.x(a2), .y(b));
+  reg a2;
+  initial a2 = 0;
+  always @(posedge clk) a2 <= a;
+endmodule
+
+module inv(x, y);
+  input x;
+  output y;
+  assign y = !x;
+endmodule
+|}
+
+let net_of src = Net.of_ast (Elab.compile src)
+
+let reach_count net =
+  let man = Hsis_bdd.Bdd.new_man () in
+  let sym = Sym.make man net in
+  let trans = Trans.build sym in
+  let r = Reach.compute trans (Trans.initial trans) in
+  int_of_float (Reach.count_states trans r.Reach.reachable)
+
+let test_counter () =
+  let net = net_of counter_v in
+  Alcotest.(check bool) "closed" true (Net.is_closed net);
+  Alcotest.(check int) "4 reachable states" 4 (reach_count net);
+  Alcotest.(check int) "explicit agrees" 4 (Enum.count_reachable net)
+
+let test_counter_blifmv_text () =
+  let text = Elab.to_blifmv counter_v in
+  (* round-trips through the BLIF-MV parser *)
+  let net = Net.of_ast (Parser.parse text) in
+  Alcotest.(check int) "4 states after round trip" 4 (reach_count net);
+  Alcotest.(check bool) "counts lines" true (Ast.line_count text > 5)
+
+let test_enum () =
+  let net = net_of enum_v in
+  Alcotest.(check int) "3 reachable states" 3 (reach_count net);
+  let st = Option.get (Net.find_signal net "st") in
+  Alcotest.(check int) "enum domain size 3" 3
+    (Hsis_mv.Domain.size (Net.dom net st));
+  Alcotest.(check (option int)) "symbolic value" (Some 1)
+    (Hsis_mv.Domain.index_of (Net.dom net st) "REQ")
+
+let test_enum_ctl () =
+  let net = net_of enum_v in
+  let man = Hsis_bdd.Bdd.new_man () in
+  let sym = Sym.make man net in
+  let trans = Trans.build sym in
+  let check src = (Mc.check trans (Hsis_auto.Ctl.parse src)).Mc.holds in
+  Alcotest.(check bool) "EF st=ACK" true (check "EF st=ACK");
+  Alcotest.(check bool) "AG (st=ACK -> AX st=IDLE)" true
+    (check "AG (st=ACK -> AX st=IDLE)");
+  Alcotest.(check bool) "AG st!=ACK fails" false (check "AG st!=ACK")
+
+let test_hierarchy () =
+  let net = net_of hier_v in
+  (* a2 flips each cycle through two inverters: a = !b = !!a2 = a2 --
+     wait: a = !b, b = !a2, so a = a2; a2' = a = a2: stuck at 0. *)
+  Alcotest.(check int) "1 reachable state" 1 (reach_count net);
+  Alcotest.(check bool) "flattened signals exist" true
+    (Net.find_signal net "a" <> None && Net.find_signal net "b" <> None)
+
+let test_nd_reset () =
+  let src =
+    {|
+module m(clk);
+  input clk;
+  reg [1:0] s;
+  initial s = $ND(1, 3);
+  always @(posedge clk) s <= s;
+endmodule
+|}
+  in
+  let net = net_of src in
+  Alcotest.(check int) "two frozen states" 2 (reach_count net)
+
+let test_sub_wraps () =
+  let src =
+    {|
+module m(clk);
+  input clk;
+  reg [1:0] s;
+  initial s = 0;
+  always @(posedge clk) s <= s - 1;
+endmodule
+|}
+  in
+  Alcotest.(check int) "wraparound visits all 4" 4 (reach_count (net_of src))
+
+let test_parse_errors () =
+  let cases =
+    [
+      "module m(; endmodule";
+      "module m(clk); input clk; always @(posedge clk) x <= 1 endmodule";
+      "module m(clk); wire w = 1; endmodule" (* decl-assign unsupported *);
+    ]
+  in
+  List.iter
+    (fun src ->
+      Alcotest.(check bool) ("rejects " ^ src) true
+        (try
+           ignore (Vparser.parse src);
+           false
+         with Vparser.Error _ -> true))
+    cases
+
+let test_elab_errors () =
+  let comb_latch =
+    "module m(clk); input clk; wire c; assign c = $ND(0,1); reg r; wire w; \
+     always @(*) begin if (c) w = 1; end endmodule"
+  in
+  Alcotest.(check bool) "comb latch inference rejected" true
+    (try
+       ignore (Elab.compile comb_latch);
+       false
+     with Elab.Error _ -> true);
+  let undeclared =
+    "module m(clk); input clk; assign w = 1; endmodule"
+  in
+  Alcotest.(check bool) "undeclared signal rejected" true
+    (try
+       ignore (Elab.compile undeclared);
+       false
+     with Elab.Error _ -> true)
+
+let test_operators () =
+  (* adder circuit: s' = (a + 3) with comparison outputs *)
+  let src =
+    {|
+module m(clk);
+  input clk;
+  reg [2:0] s;
+  wire big; wire eq2;
+  assign big = s >= 5;
+  assign eq2 = s == 2;
+  initial s = 0;
+  always @(posedge clk) s <= s + 3;
+endmodule
+|}
+  in
+  let net = net_of src in
+  (* s cycles 0,3,6,1,4,7,2,5 -> all 8 states *)
+  Alcotest.(check int) "8 states" 8 (reach_count net);
+  let man = Hsis_bdd.Bdd.new_man () in
+  let sym = Sym.make man net in
+  let trans = Trans.build sym in
+  let check src = (Mc.check trans (Hsis_auto.Ctl.parse src)).Mc.holds in
+  Alcotest.(check bool) "EF big" true (check "EF big=1");
+  Alcotest.(check bool) "eq2 consistent" true (check "AG (eq2=1 -> s=2)")
+
+(* ------------------------------------------------------------------ *)
+(* Property test: random combinational expressions, compiled through the
+   elaborator and cross-checked against a direct width-aware evaluator on
+   every input valuation (via the explicit engine). *)
+
+(* width-typed generator: returns an expression whose value has the target
+   width; operands may mix widths (the elaborator widens) *)
+let rec gen_expr target_w depth st =
+  let open QCheck.Gen in
+  let leaf_w1 st = if int_bound 1 st = 0 then Vast.Id "a" else Vast.Id "b" in
+  let leaf st = if target_w = 1 then leaf_w1 st else Vast.Id "c" in
+  if depth = 0 || int_bound 3 st = 0 then leaf st
+  else begin
+    match int_bound (if target_w = 1 then 5 else 2) st with
+    | 0 ->
+        (* arithmetic/bitwise of possibly-mixed widths, widened to target *)
+        let wa = 1 + int_bound (target_w - 1) st in
+        let op =
+          match int_bound 4 st with
+          | 0 -> Vast.Add
+          | 1 -> Vast.Sub
+          | 2 -> Vast.And
+          | 3 -> Vast.Or
+          | _ -> Vast.Xor
+        in
+        let a = gen_expr target_w (depth - 1) st in
+        let b = gen_expr wa (depth - 1) st in
+        Vast.Binop (op, a, b)
+    | 1 ->
+        let c = gen_expr 1 (depth - 1) st in
+        let t = gen_expr target_w (depth - 1) st in
+        let e = gen_expr target_w (depth - 1) st in
+        Vast.Cond (c, t, e)
+    | 2 -> leaf st
+    | 3 -> Vast.Unop (Vast.Lnot, gen_expr (1 + int_bound 1 st) (depth - 1) st)
+    | _ ->
+        let w = 1 + int_bound 1 st in
+        let op =
+          match int_bound 3 st with
+          | 0 -> Vast.Eq
+          | 1 -> Vast.Neq
+          | 2 -> Vast.Lt
+          | _ -> Vast.Ge
+        in
+        Vast.Binop (op, gen_expr w (depth - 1) st, gen_expr w (depth - 1) st)
+  end
+
+(* the reference semantics: values with widths, mirroring the elaborator *)
+let rec ref_eval env = function
+  | Vast.Id x -> env x
+  | Vast.Int n -> (n, max 1 (int_of_float (ceil (log (float_of_int (max n 2)) /. log 2.))))
+  | Vast.Unop (Vast.Lnot, e) ->
+      let v, _ = ref_eval env e in
+      ((if v = 0 then 1 else 0), 1)
+  | Vast.Binop (op, a, b) ->
+      let va, wa = ref_eval env a and vb, wb = ref_eval env b in
+      let w = max wa wb in
+      let mask = (1 lsl w) - 1 in
+      let out v = (v land mask, w) in
+      let bool_ b = ((if b then 1 else 0), 1) in
+      (match op with
+      | Vast.Add -> out (va + vb)
+      | Vast.Sub -> out (va - vb)
+      | Vast.And -> out (va land vb)
+      | Vast.Or -> out (va lor vb)
+      | Vast.Xor -> out (va lxor vb)
+      | Vast.Eq -> bool_ (va = vb)
+      | Vast.Neq -> bool_ (va <> vb)
+      | Vast.Lt -> bool_ (va < vb)
+      | Vast.Le -> bool_ (va <= vb)
+      | Vast.Gt -> bool_ (va > vb)
+      | Vast.Ge -> bool_ (va >= vb))
+  | Vast.Cond (c, t, e) ->
+      let vc, _ = ref_eval env c in
+      if vc <> 0 then ref_eval env t else ref_eval env e
+  | Vast.Nd _ -> invalid_arg "ref_eval: $ND"
+
+let rec pp_vexpr = function
+  | Vast.Id x -> x
+  | Vast.Int n -> string_of_int n
+  | Vast.Unop (Vast.Lnot, e) -> "!(" ^ pp_vexpr e ^ ")"
+  | Vast.Binop (op, a, b) ->
+      let s =
+        match op with
+        | Vast.Add -> "+" | Vast.Sub -> "-" | Vast.And -> "&" | Vast.Or -> "|"
+        | Vast.Xor -> "^" | Vast.Eq -> "==" | Vast.Neq -> "!=" | Vast.Lt -> "<"
+        | Vast.Le -> "<=" | Vast.Gt -> ">" | Vast.Ge -> ">="
+      in
+      "(" ^ pp_vexpr a ^ " " ^ s ^ " " ^ pp_vexpr b ^ ")"
+  | Vast.Cond (c, t, e) ->
+      "(" ^ pp_vexpr c ^ " ? " ^ pp_vexpr t ^ " : " ^ pp_vexpr e ^ ")"
+  | Vast.Nd es -> "$ND(" ^ String.concat "," (List.map pp_vexpr es) ^ ")"
+
+let expr_arb target_w =
+  QCheck.make ~print:pp_vexpr (gen_expr target_w 4)
+
+let compiled_matches_reference target_w expr =
+  let design =
+    {
+      Vast.modules =
+        [
+          {
+            Vast.m_name = "randexpr";
+            m_ports = [ "clk" ];
+            m_decls =
+              [
+                { Vast.d_kind = Vast.Input; d_name = "clk"; d_width = 1; d_enum = None };
+                { Vast.d_kind = Vast.Wire; d_name = "a"; d_width = 1; d_enum = None };
+                { Vast.d_kind = Vast.Wire; d_name = "b"; d_width = 1; d_enum = None };
+                { Vast.d_kind = Vast.Wire; d_name = "c"; d_width = 2; d_enum = None };
+                {
+                  Vast.d_kind = Vast.Wire;
+                  d_name = "out";
+                  d_width = target_w;
+                  d_enum = None;
+                };
+              ];
+            m_assigns =
+              [
+                ("a", Vast.Nd [ Vast.Int 0; Vast.Int 1 ]);
+                ("b", Vast.Nd [ Vast.Int 0; Vast.Int 1 ]);
+                ("c", Vast.Nd [ Vast.Int 0; Vast.Int 1; Vast.Int 2; Vast.Int 3 ]);
+                ("out", expr);
+              ];
+            m_always = [];
+            m_initials = [];
+            m_instances = [];
+          };
+        ];
+    }
+  in
+  let ast = Elab.elaborate design in
+  let net = Net.of_ast ast in
+  let sig_of name = Option.get (Net.find_signal net name) in
+  let a = sig_of "a" and b = sig_of "b" and c = sig_of "c" and out = sig_of "out" in
+  let vals = Enum.valuations_of_state net [||] in
+  (* every input combination appears, and out matches the reference *)
+  List.length (List.sort_uniq compare (List.map (fun v -> (v.(a), v.(b), v.(c))) vals))
+  = 16
+  && List.for_all
+       (fun v ->
+         let env = function
+           | "a" -> (v.(a), 1)
+           | "b" -> (v.(b), 1)
+           | "c" -> (v.(c), 2)
+           | x -> invalid_arg x
+         in
+         let expected, _ = ref_eval env expr in
+         let mask = (1 lsl target_w) - 1 in
+         v.(out) = expected land mask)
+       vals
+
+let prop_elab_w1 =
+  QCheck.Test.make ~count:150 ~name:"elaborated 1-bit expressions match"
+    (expr_arb 1)
+    (fun e -> compiled_matches_reference 1 e)
+
+let prop_elab_w2 =
+  QCheck.Test.make ~count:150 ~name:"elaborated 2-bit expressions match"
+    (expr_arb 2)
+    (fun e -> compiled_matches_reference 2 e)
+
+let () =
+  Alcotest.run "verilog"
+    [
+      ( "elab",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "blifmv text round trip" `Quick
+            test_counter_blifmv_text;
+          Alcotest.test_case "enum" `Quick test_enum;
+          Alcotest.test_case "enum ctl" `Quick test_enum_ctl;
+          Alcotest.test_case "hierarchy" `Quick test_hierarchy;
+          Alcotest.test_case "nd reset" `Quick test_nd_reset;
+          Alcotest.test_case "subtraction wraps" `Quick test_sub_wraps;
+          Alcotest.test_case "operators" `Quick test_operators;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "elab errors" `Quick test_elab_errors;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_elab_w1;
+          QCheck_alcotest.to_alcotest prop_elab_w2;
+        ] );
+    ]
