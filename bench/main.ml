@@ -10,19 +10,30 @@
      ablate-dc    don't-care minimization (A1)
      ablate-efd   early failure detection (A2)
      bech         Bechamel micro-benchmarks
+     json         observability smoke check: emit + re-parse a stats JSON
 
    With no argument everything runs (Table 1 at paper scale last, since
-   the 17-station scheduler dominates the runtime). *)
+   the 17-station scheduler dominates the runtime).
 
+   Timing uses the monotonic wall clock of Obs.Clock (Sys.time measures
+   CPU time and under-reports anything that blocks).  Table 1 runs also
+   write their rows and per-design observability snapshots to
+   BENCH_table1.json so the performance trajectory is trackable across
+   changes. *)
+
+open Hsis_obs
 open Hsis_core
 open Hsis_models
 
-let wall f =
-  let t0 = Sys.time () in
-  let r = f () in
-  (r, Sys.time () -. t0)
+let wall f = Obs.Clock.wall f
 
 let pr fmt = Format.printf fmt
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  output_char oc '\n';
+  close_out oc
 
 (* ------------------------------------------------------------------ *)
 (* Table 1 *)
@@ -39,7 +50,21 @@ let table1_row (m : Model.t) =
     (List.length report.Hsis.lc)
     report.Hsis.lc_time
     (List.length report.Hsis.ctl)
-    report.Hsis.mc_time
+    report.Hsis.mc_time;
+  Obs.Json.Obj
+    [
+      ("design", Obs.Json.Str m.Model.name);
+      ( "lines_verilog",
+        Obs.Json.Int (Option.value ~default:0 d.Hsis.verilog_lines) );
+      ("lines_blifmv", Obs.Json.Int d.Hsis.blifmv_lines);
+      ("read_s", Obs.Json.Float read_time);
+      ("reached_states", Obs.Json.Float states);
+      ("lc_props", Obs.Json.Int (List.length report.Hsis.lc));
+      ("lc_s", Obs.Json.Float report.Hsis.lc_time);
+      ("ctl_props", Obs.Json.Int (List.length report.Hsis.ctl));
+      ("mc_s", Obs.Json.Float report.Hsis.mc_time);
+      ("obs", Obs.to_json (Hsis.snapshot d));
+    ]
 
 let table1 ?(scale = `Paper) () =
   pr "@.== Table 1: examples ==@.";
@@ -50,7 +75,20 @@ let table1 ?(scale = `Paper) () =
     | `Paper -> Models.table1 ()
     | `Small -> Models.table1_small ()
   in
-  List.iter table1_row models
+  let rows = List.map table1_row models in
+  let j =
+    Obs.Json.Obj
+      [
+        ("bench", Obs.Json.Str "table1");
+        ( "scale",
+          Obs.Json.Str (match scale with `Paper -> "paper" | `Small -> "small")
+        );
+        ("schema", Obs.Json.Str Obs.schema_version);
+        ("rows", Obs.Json.List rows);
+      ]
+  in
+  write_file "BENCH_table1.json" (Obs.Json.to_string j);
+  pr "wrote BENCH_table1.json@."
 
 (* ------------------------------------------------------------------ *)
 (* Figure 2 *)
@@ -356,6 +394,46 @@ let run_bechamel () =
        (bechamel_tests ()))
 
 (* ------------------------------------------------------------------ *)
+(* Observability smoke check (run from the test alias): emit a snapshot
+   for a small design, re-parse it, and fail loudly if any section that
+   downstream tooling depends on is missing.  Guards against stats
+   emission silently breaking. *)
+
+let json_smoke () =
+  let d = Hsis.read_verilog (bus_model false) in
+  ignore (Hsis.reached_states d);
+  let mc =
+    Hsis.check_ctl d ~name:"AG" (Hsis_auto.Ctl.parse "AG !(out1=1 & out2=1)")
+  in
+  if not mc.Hsis.cr_holds then begin
+    prerr_endline "json smoke: sanity property unexpectedly failed";
+    exit 1
+  end;
+  let snap = Hsis.snapshot d in
+  let s = Obs.json_string snap in
+  let die msg =
+    prerr_endline ("json smoke: " ^ msg);
+    prerr_endline s;
+    exit 1
+  in
+  let round =
+    match Obs.Json.parse s with
+    | j -> Obs.of_json j
+    | exception Obs.Json.Parse_error m -> die ("emitted JSON fails to parse: " ^ m)
+  in
+  let lookups =
+    Obs.Cache.hits round.Obs.man.Obs.cache + Obs.Cache.misses round.Obs.man.Obs.cache
+  in
+  if lookups = 0 then die "no cache lookups recorded";
+  if round.Obs.man.Obs.arena.Obs.Arena.peak_live <= 0 then die "no peak live nodes";
+  List.iter
+    (fun phase ->
+      if not (List.mem_assoc phase round.Obs.phases) then
+        die ("missing phase: " ^ phase))
+    [ "parse"; "flatten"; "order"; "relation"; "reach"; "mc" ];
+  if round.Obs.reach = [] then die "empty reach profile";
+  if round.Obs.relation = None then die "missing relation profile";
+  print_endline s
 
 let () =
   let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -369,6 +447,7 @@ let () =
   | "ablate-dc" -> ablate_dc ()
   | "ablate-efd" -> ablate_efd ()
   | "bech" -> run_bechamel ()
+  | "json" -> json_smoke ()
   | "all" ->
       fig2 ();
       quant_bench ();

@@ -2,6 +2,7 @@
    PIF properties, print bug reports with error traces, simulate, and
    report statistics — the environment of the paper's Fig. 1. *)
 
+open Hsis_obs
 open Hsis_core
 
 let read_file path =
@@ -30,13 +31,30 @@ let load_design verilog blifmv builtin heuristic =
       | None -> failwith ("unknown builtin design " ^ name))
   | _ -> failwith "give exactly one of --verilog, --blifmv, --builtin"
 
-let wrap f = try f () with Failure m | Invalid_argument m ->
-  Printf.eprintf "hsis: %s\n" m;
-  1
+let wrap f =
+  try f () with Failure m | Invalid_argument m | Sys_error m ->
+    Printf.eprintf "hsis: %s\n" m;
+    1
+
+(* Render the design's observability snapshot per the --stats/--stats-json
+   flags shared by the check and reach commands. *)
+let emit_stats design show_stats stats_json =
+  if show_stats || stats_json <> None then begin
+    let snap = Hsis.snapshot design in
+    if show_stats then Format.printf "@.%a" Obs.pp snap;
+    match stats_json with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Obs.json_string snap);
+        output_char oc '\n';
+        close_out oc
+    | None -> ()
+  end
 
 (* ------------------------------------------------------------------ *)
 
-let check_cmd verilog blifmv builtin pif_path heuristic no_early witness () =
+let check_cmd verilog blifmv builtin pif_path heuristic no_early witness
+    show_stats stats_json () =
   wrap (fun () ->
       let design, builtin_pif = load_design verilog blifmv builtin heuristic in
       let pif =
@@ -69,13 +87,14 @@ let check_cmd verilog blifmv builtin pif_path heuristic no_early witness () =
             | None -> ())
           report.Hsis.ctl
       end;
+      emit_stats design show_stats stats_json;
       let failed =
         List.exists (fun (c : Hsis.ctl_result) -> not c.Hsis.cr_holds) report.Hsis.ctl
         || List.exists (fun (l : Hsis.lc_result) -> not l.Hsis.lr_holds) report.Hsis.lc
       in
       if failed then 2 else 0)
 
-let reach_cmd verilog blifmv builtin heuristic () =
+let reach_cmd verilog blifmv builtin heuristic show_stats stats_json () =
   wrap (fun () ->
       let design, _ = load_design verilog blifmv builtin heuristic in
       let r = Hsis.reachable design in
@@ -85,8 +104,9 @@ let reach_cmd verilog blifmv builtin heuristic () =
       Format.printf "reached states: %.0f@." (Hsis.reached_states design);
       Format.printf "bfs depth     : %d@." r.Hsis_check.Reach.steps;
       let st = Hsis.stats design in
-      Format.printf "bdd nodes     : %d (%d vars)@." st.Hsis_bdd.Bdd.st_nodes
-        st.Hsis_bdd.Bdd.st_vars;
+      Format.printf "bdd nodes     : %d (%d vars)@." st.Obs.arena.Obs.Arena.live
+        st.Obs.arena.Obs.Arena.vars;
+      emit_stats design show_stats stats_json;
       0)
 
 let sim_cmd verilog blifmv builtin heuristic steps seed () =
@@ -134,15 +154,12 @@ let refine_cmd impl_path spec_path obs () =
         r.Hsis_bisim.Simrel.iterations;
       if r.Hsis_bisim.Simrel.holds then 0 else 2)
 
-let stats_cmd verilog blifmv builtin heuristic () =
+let stats_cmd verilog blifmv builtin heuristic stats_json () =
   wrap (fun () ->
       let design, _ = load_design verilog blifmv builtin heuristic in
       ignore (Hsis.reachable design);
-      let st = Hsis.stats design in
-      Format.printf "nodes=%d dead=%d vars=%d gc_runs=%d reorders=%d cache=%d@."
-        st.Hsis_bdd.Bdd.st_nodes st.Hsis_bdd.Bdd.st_dead st.Hsis_bdd.Bdd.st_vars
-        st.Hsis_bdd.Bdd.st_gc_runs st.Hsis_bdd.Bdd.st_reorder_runs
-        st.Hsis_bdd.Bdd.st_cache_entries;
+      Format.printf "%a" Obs.pp (Hsis.snapshot design);
+      emit_stats design false stats_json;
       let report = Hsis.minimize design in
       Format.printf "don't-care minimization: %d -> %d part nodes@."
         report.Hsis_bisim.Dontcare.before report.Hsis_bisim.Dontcare.after;
@@ -185,20 +202,37 @@ let witness_arg =
 let steps_arg = Arg.(value & opt int 20 & info [ "n"; "steps" ])
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ])
 
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print the observability snapshot: per-operation cache hit rates, \
+           GC/reorder pauses, arena occupancy, phase timings, and the \
+           reachability fixpoint profile.")
+
+let stats_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE"
+        ~doc:"Write the observability snapshot as JSON to $(docv).")
+
 let check =
   Cmd.v
     (Cmd.info "check" ~doc:"check CTL and language-containment properties")
     Term.(
-      const (fun a b c d e f g -> check_cmd a b c d e f g ())
+      const (fun a b c d e f g h i -> check_cmd a b c d e f g h i ())
       $ verilog_arg $ blifmv_arg $ builtin_arg $ pif_arg $ heuristic_arg
-      $ no_early_arg $ witness_arg)
+      $ no_early_arg $ witness_arg $ stats_arg $ stats_json_arg)
 
 let reach =
   Cmd.v
     (Cmd.info "reach" ~doc:"compute the reachable state set")
     Term.(
-      const (fun a b c d -> reach_cmd a b c d ())
-      $ verilog_arg $ blifmv_arg $ builtin_arg $ heuristic_arg)
+      const (fun a b c d e f -> reach_cmd a b c d e f ())
+      $ verilog_arg $ blifmv_arg $ builtin_arg $ heuristic_arg $ stats_arg
+      $ stats_json_arg)
 
 let sim =
   Cmd.v
@@ -212,8 +246,9 @@ let stats =
   Cmd.v
     (Cmd.info "stats" ~doc:"BDD statistics and minimization report")
     Term.(
-      const (fun a b c d -> stats_cmd a b c d ())
-      $ verilog_arg $ blifmv_arg $ builtin_arg $ heuristic_arg)
+      const (fun a b c d e -> stats_cmd a b c d e ())
+      $ verilog_arg $ blifmv_arg $ builtin_arg $ heuristic_arg
+      $ stats_json_arg)
 
 let refine =
   let impl_arg =

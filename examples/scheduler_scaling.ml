@@ -5,24 +5,28 @@
 
    Run with: dune exec examples/scheduler_scaling.exe *)
 
+open Hsis_obs
 open Hsis_models
 
 let run n =
   let m = Scheduler.make ~n () in
-  let t0 = Sys.time () in
-  let design = Hsis_core.Hsis.read_verilog m.Model.verilog in
-  let states = Hsis_core.Hsis.reached_states design in
-  let dt = Sys.time () -. t0 in
+  let (design, states), dt =
+    Obs.Clock.wall (fun () ->
+        let design = Hsis_core.Hsis.read_verilog m.Model.verilog in
+        (design, Hsis_core.Hsis.reached_states design))
+  in
   let st = Hsis_core.Hsis.stats design in
   Format.printf "  n=%2d  %12.0f states   %7d bdd nodes   %6.2fs@." n states
-    st.Hsis_bdd.Bdd.st_nodes dt
+    st.Obs.arena.Obs.Arena.live dt
 
 let heuristic_run n h name =
   let m = Scheduler.make ~n () in
-  let t0 = Sys.time () in
-  let design = Hsis_core.Hsis.read_verilog ~heuristic:h m.Model.verilog in
-  ignore (Hsis_core.Hsis.reached_states design);
-  Format.printf "  %-14s %6.2fs@." name (Sys.time () -. t0)
+  let (), dt =
+    Obs.Clock.wall (fun () ->
+        let design = Hsis_core.Hsis.read_verilog ~heuristic:h m.Model.verilog in
+        ignore (Hsis_core.Hsis.reached_states design))
+  in
+  Format.printf "  %-14s %6.2fs@." name dt
 
 let () =
   Format.printf "=== scheduler scaling (states = n * 2^n) ===@.@.";

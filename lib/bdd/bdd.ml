@@ -131,15 +131,6 @@ let set_reorder_threshold = Man.set_reorder_threshold
 let order = Man.order
 let name_of_var = Man.name_of_var
 
-type stats = Man.stats = {
-  st_nodes : int;
-  st_dead : int;
-  st_vars : int;
-  st_gc_runs : int;
-  st_reorder_runs : int;
-  st_cache_entries : int;
-}
-
 let stats = Man.stats
 let check = Man.check
 

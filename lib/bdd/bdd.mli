@@ -125,16 +125,10 @@ val order : man -> int list
 
 val name_of_var : man -> int -> string
 
-type stats = Man.stats = {
-  st_nodes : int;
-  st_dead : int;
-  st_vars : int;
-  st_gc_runs : int;
-  st_reorder_runs : int;
-  st_cache_entries : int;
-}
-
-val stats : man -> stats
+(** Structured diagnostics: nested [cache] (per-operation hit/miss
+    counters), [gc], [reorder], and [arena] sub-records — see
+    {!Hsis_obs.Obs}. *)
+val stats : man -> Hsis_obs.Obs.man_stats
 val check : man -> string list
 (** Internal-invariant violations (empty when healthy); for tests. *)
 

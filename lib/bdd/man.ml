@@ -7,6 +7,8 @@
    reduced-ordered invariant is [lo <> hi] with both children at strictly
    greater levels than [v]'s level. *)
 
+open Hsis_obs
+
 type node_id = int
 
 let false_id = 0
@@ -24,6 +26,15 @@ let op_restrict = 7
 let op_constrain = 8
 let op_permute_base = 16
 (* permute cache tags are [op_permute_base + map_id] *)
+
+(* Counter slots, one per operation kernel; all permute maps share one. *)
+let op_slot_permute = 9
+let num_op_slots = 10
+let op_slot op = if op >= op_permute_base then op_slot_permute else op
+
+let op_names =
+  [| "and"; "or"; "xor"; "not"; "ite"; "exists"; "and_exists"; "restrict";
+     "constrain"; "permute" |]
 
 type t = {
   mutable var_arr : int array; (* node -> variable index, -1 when free *)
@@ -48,6 +59,14 @@ type t = {
   mutable reorder_runs : int;
   mutable auto_reorder : bool;
   mutable reorder_threshold : int;
+  (* observability counters (see Obs): per-op computed-cache hits/misses,
+     cumulative GC/reorder wall time, and the live-node high-water mark *)
+  cache_hits : int array;
+  cache_misses : int array;
+  mutable gc_freed : int;
+  mutable gc_time : float;
+  mutable reorder_time : float;
+  mutable peak_live : int;
 }
 
 let create ?(initial_capacity = 1 lsl 12) () =
@@ -75,6 +94,12 @@ let create ?(initial_capacity = 1 lsl 12) () =
     reorder_runs = 0;
     auto_reorder = false;
     reorder_threshold = 1 lsl 20;
+    cache_hits = Array.make num_op_slots 0;
+    cache_misses = Array.make num_op_slots 0;
+    gc_freed = 0;
+    gc_time = 0.0;
+    reorder_time = 0.0;
+    peak_live = 0;
   }
 
 let is_const u = u < 2
@@ -137,7 +162,11 @@ let new_var ?(name = "") m =
 let incr_ref m u =
   if not (is_const u) then begin
     let rc = m.rc_arr.(u) in
-    if rc = 0 then m.deadcount <- m.deadcount - 1;
+    if rc = 0 then begin
+      m.deadcount <- m.deadcount - 1;
+      let live = m.nodecount - m.deadcount in
+      if live > m.peak_live then m.peak_live <- live
+    end;
     m.rc_arr.(u) <- rc + 1
   end
 
@@ -214,6 +243,7 @@ let clear_caches m =
 (* Free a node known dead: unlink from its unique table, release children
    (cascading via the worklist), thread onto the freelist. *)
 let collect m =
+  let t0 = Obs.Clock.now () in
   clear_caches m;
   let stack = ref [] in
   for id = 2 to m.used - 1 do
@@ -248,6 +278,8 @@ let collect m =
   in
   drain ();
   m.gc_runs <- m.gc_runs + 1;
+  m.gc_freed <- m.gc_freed + !freed;
+  m.gc_time <- m.gc_time +. (Obs.Clock.now () -. t0);
   !freed
 
 let maybe_collect m =
@@ -262,6 +294,15 @@ let set_gc_threshold m n = m.gc_threshold <- max 16 n
 
 (* ------------------------------------------------------------------ *)
 (* Core operations; all recursion is over raw ids and never collects. *)
+
+(* Counted computed-cache lookup; the op tag is the key's first element. *)
+let cache_lookup m ((op, _, _, _) as key) =
+  let r = Hashtbl.find_opt m.cache key in
+  let slot = op_slot op in
+  (match r with
+  | Some _ -> m.cache_hits.(slot) <- m.cache_hits.(slot) + 1
+  | None -> m.cache_misses.(slot) <- m.cache_misses.(slot) + 1);
+  r
 
 let cofactors m u v =
   if is_const u || m.var_arr.(u) <> v then (u, u)
@@ -279,7 +320,7 @@ let rec apply_and m f g =
   else begin
     let f, g = if f < g then (f, g) else (g, f) in
     let key = (op_and, f, g, 0) in
-    match Hashtbl.find_opt m.cache key with
+    match cache_lookup m key with
     | Some r -> r
     | None ->
         let v = top_of2 m f g in
@@ -299,7 +340,7 @@ let rec apply_or m f g =
   else begin
     let f, g = if f < g then (f, g) else (g, f) in
     let key = (op_or, f, g, 0) in
-    match Hashtbl.find_opt m.cache key with
+    match cache_lookup m key with
     | Some r -> r
     | None ->
         let v = top_of2 m f g in
@@ -318,7 +359,7 @@ let rec apply_xor m f g =
   else begin
     let f, g = if f < g then (f, g) else (g, f) in
     let key = (op_xor, f, g, 0) in
-    match Hashtbl.find_opt m.cache key with
+    match cache_lookup m key with
     | Some r -> r
     | None ->
         let v = top_of2 m f g in
@@ -335,7 +376,7 @@ let rec apply_not m f =
   else if f = true_id then false_id
   else begin
     let key = (op_not, f, 0, 0) in
-    match Hashtbl.find_opt m.cache key with
+    match cache_lookup m key with
     | Some r -> r
     | None ->
         let v = m.var_arr.(f) in
@@ -352,7 +393,7 @@ let rec apply_ite m f g h =
   else if g = false_id && h = true_id then apply_not m f
   else begin
     let key = (op_ite, f, g, h) in
-    match Hashtbl.find_opt m.cache key with
+    match cache_lookup m key with
     | Some r -> r
     | None ->
         let lf = level m f and lg = level m g and lh = level m h in
@@ -383,7 +424,7 @@ let rec apply_exists m f cube =
     if cube = true_id then f
     else begin
       let key = (op_exists, f, cube, 0) in
-      match Hashtbl.find_opt m.cache key with
+      match cache_lookup m key with
       | Some r -> r
       | None ->
           let v = m.var_arr.(f) in
@@ -423,7 +464,7 @@ let rec apply_and_exists m f g cube =
     if cube = true_id then apply_and m f g
     else begin
       let key = (op_and_exists, f, g, cube) in
-      match Hashtbl.find_opt m.cache key with
+      match cache_lookup m key with
       | Some r -> r
       | None ->
           let v = m.invperm.(ltop) in
@@ -460,7 +501,7 @@ let rec apply_permute m map_id map f =
   if is_const f then f
   else begin
     let key = (op_permute_base + map_id, f, 0, 0) in
-    match Hashtbl.find_opt m.cache key with
+    match cache_lookup m key with
     | Some r -> r
     | None ->
         let v = m.var_arr.(f) in
@@ -488,7 +529,7 @@ let rec apply_restrict m f c =
   else if c = false_id then f
   else begin
     let key = (op_restrict, f, c, 0) in
-    match Hashtbl.find_opt m.cache key with
+    match cache_lookup m key with
     | Some r -> r
     | None ->
         let lf = level m f and lc = level m c in
@@ -517,7 +558,7 @@ let rec apply_constrain m f c =
   else if f = c then true_id
   else begin
     let key = (op_constrain, f, c, 0) in
-    match Hashtbl.find_opt m.cache key with
+    match cache_lookup m key with
     | Some r -> r
     | None ->
         let lf = level m f and lc = level m c in
@@ -826,6 +867,7 @@ let sift_var m v =
 
 (* Sift the [max_vars] largest variables (all by default). *)
 let sift ?max_vars m =
+  let t0 = Obs.Clock.now () in
   clear_caches m;
   ignore (collect m);
   let order =
@@ -840,7 +882,8 @@ let sift ?max_vars m =
   in
   List.iter (fun v -> sift_var m v) order;
   m.reorder_runs <- m.reorder_runs + 1;
-  clear_caches m
+  clear_caches m;
+  m.reorder_time <- m.reorder_time +. (Obs.Clock.now () -. t0)
 
 let set_auto_reorder m b = m.auto_reorder <- b
 let set_reorder_threshold m n = m.reorder_threshold <- max 16 n
@@ -853,23 +896,27 @@ let entry_hook m =
     m.reorder_threshold <- max (2 * node_count m) m.reorder_threshold
   end
 
-type stats = {
-  st_nodes : int;
-  st_dead : int;
-  st_vars : int;
-  st_gc_runs : int;
-  st_reorder_runs : int;
-  st_cache_entries : int;
-}
-
-let stats m =
+let stats m : Obs.man_stats =
+  let ops =
+    List.init num_op_slots (fun i ->
+        {
+          Obs.Cache.name = op_names.(i);
+          hits = m.cache_hits.(i);
+          misses = m.cache_misses.(i);
+        })
+  in
   {
-    st_nodes = node_count m;
-    st_dead = m.deadcount;
-    st_vars = m.nvars;
-    st_gc_runs = m.gc_runs;
-    st_reorder_runs = m.reorder_runs;
-    st_cache_entries = Hashtbl.length m.cache;
+    Obs.cache = { Obs.Cache.entries = Hashtbl.length m.cache; ops };
+    gc = { Obs.Gc.runs = m.gc_runs; freed = m.gc_freed; time = m.gc_time };
+    reorder = { Obs.Reorder.runs = m.reorder_runs; time = m.reorder_time };
+    arena =
+      {
+        Obs.Arena.live = node_count m;
+        dead = m.deadcount;
+        vars = m.nvars;
+        peak_live = m.peak_live;
+        capacity = Array.length m.var_arr;
+      };
   }
 
 let order m = Array.to_list (Array.sub m.invperm 0 m.nvars)

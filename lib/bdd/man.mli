@@ -124,15 +124,11 @@ val entry_hook : t -> unit
 
 (** {1 Diagnostics} *)
 
-type stats = {
-  st_nodes : int;
-  st_dead : int;
-  st_vars : int;
-  st_gc_runs : int;
-  st_reorder_runs : int;
-  st_cache_entries : int;
-}
+val stats : t -> Hsis_obs.Obs.man_stats
+(** Structured per-manager counters: computed-cache hit/miss rates per
+    operation kernel, GC and reorder run counts with cumulative wall-clock
+    pause time, and arena occupancy including the live-node high-water
+    mark.  See {!Hsis_obs.Obs} for the taxonomy. *)
 
-val stats : t -> stats
 val check : t -> string list
 (** Invariant violations, empty when healthy. *)

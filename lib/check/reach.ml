@@ -1,3 +1,4 @@
+open Hsis_obs
 open Hsis_bdd
 open Hsis_fsm
 
@@ -6,6 +7,7 @@ type t = {
   rings : Bdd.t array;
   steps : int;
   bad_hit : int option;
+  profile : Obs.reach_sample array;
 }
 
 let compute ?(use_mono = false) ?bad ?(stop_on_bad = false) ?max_steps trans
@@ -15,6 +17,18 @@ let compute ?(use_mono = false) ?bad ?(stop_on_bad = false) ?max_steps trans
     | None -> false
     | Some b -> not (Bdd.is_false (Bdd.dand set b))
   in
+  let samples = ref [] in
+  let sample k frontier reached dt =
+    samples :=
+      {
+        Obs.step = k;
+        frontier_nodes = Bdd.dag_size frontier;
+        reachable_nodes = Bdd.dag_size reached;
+        step_time = dt;
+      }
+      :: !samples
+  in
+  sample 0 init init 0.0;
   let rec go k reached frontier rings bad_hit =
     let bad_hit =
       match bad_hit with
@@ -26,9 +40,14 @@ let compute ?(use_mono = false) ?bad ?(stop_on_bad = false) ?max_steps trans
     if Bdd.is_false frontier || stop_bad || stop_depth then
       (reached, List.rev rings, k, bad_hit)
     else begin
-      let next = Trans.image ~use_mono trans frontier in
-      let fresh = Bdd.dand next (Bdd.dnot reached) in
-      go (k + 1) (Bdd.dor reached fresh) fresh (fresh :: rings) bad_hit
+      let (fresh, reached'), dt =
+        Obs.Clock.wall (fun () ->
+            let next = Trans.image ~use_mono trans frontier in
+            let fresh = Bdd.dand next (Bdd.dnot reached) in
+            (fresh, Bdd.dor reached fresh))
+      in
+      if not (Bdd.is_false fresh) then sample (k + 1) fresh reached' dt;
+      go (k + 1) reached' fresh (fresh :: rings) bad_hit
     end
   in
   let reachable, rings, steps, bad_hit = go 0 init init [ init ] None in
@@ -38,7 +57,13 @@ let compute ?(use_mono = false) ?bad ?(stop_on_bad = false) ?max_steps trans
     | r :: rest when Bdd.is_false r -> List.rev rest
     | _ -> rings
   in
-  { reachable; rings = Array.of_list rings; steps; bad_hit }
+  {
+    reachable;
+    rings = Array.of_list rings;
+    steps;
+    bad_hit;
+    profile = Array.of_list (List.rev !samples);
+  }
 
 let count_states trans set =
   let sym = Trans.sym trans in

@@ -12,6 +12,9 @@ type t = {
   steps : int;
   bad_hit : int option;
       (** First ring index intersecting the [bad] set, if one was given. *)
+  profile : Hsis_obs.Obs.reach_sample array;
+      (** Per-iteration fixpoint profile: frontier / reached-set BDD sizes
+          and wall-clock time per image step, aligned with [rings]. *)
 }
 
 val compute :

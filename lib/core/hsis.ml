@@ -1,3 +1,4 @@
+open Hsis_obs
 open Hsis_bdd
 open Hsis_blifmv
 open Hsis_fsm
@@ -12,43 +13,64 @@ type design = {
   verilog_lines : int option;
   blifmv_lines : int;
   read_time : float;
+  timers : Obs.Timers.t;
   mutable reach_cache : Reach.t option;
 }
 
-let timed f =
-  let t0 = Sys.time () in
-  let r = f () in
-  (r, Sys.time () -. t0)
+let timed f = Obs.Clock.wall f
 
-let read_flat ?(heuristic = Trans.Min_width) ?verilog_lines flat =
+let read_flat ?(heuristic = Trans.Min_width) ?verilog_lines ?timers flat =
+  let timers =
+    match timers with Some t -> t | None -> Obs.Timers.create ()
+  in
   let blifmv_lines = Ast.line_count (Printer.model_to_string flat) in
   let (net, trans), read_time =
     timed (fun () ->
-        let net = Net.of_model flat in
-        let man = Bdd.new_man () in
-        let sym = Sym.make man net in
-        let trans = Trans.build ~heuristic sym in
-        (* building the relation BDDs is part of "read" in Table 1 *)
-        ignore (Trans.parts trans);
+        let net, sym =
+          Obs.Timers.time timers "order" (fun () ->
+              let net = Net.of_model flat in
+              let man = Bdd.new_man () in
+              (net, Sym.make man net))
+        in
+        let trans =
+          Obs.Timers.time timers "relation" (fun () ->
+              let trans = Trans.build ~heuristic sym in
+              (* building the relation BDDs is part of "read" in Table 1 *)
+              ignore (Trans.parts trans);
+              trans)
+        in
         (net, trans))
   in
-  { flat; net; trans; verilog_lines; blifmv_lines; read_time;
+  { flat; net; trans; verilog_lines; blifmv_lines; read_time; timers;
     reach_cache = None }
 
 let read_blifmv ?heuristic src =
-  let ast = Parser.parse src in
-  read_flat ?heuristic (Flatten.flatten ast)
+  let timers = Obs.Timers.create () in
+  let ast = Obs.Timers.time timers "parse" (fun () -> Parser.parse src) in
+  let flat =
+    Obs.Timers.time timers "flatten" (fun () -> Flatten.flatten ast)
+  in
+  read_flat ?heuristic ~timers flat
 
 let read_verilog ?heuristic src =
+  let timers = Obs.Timers.create () in
   let verilog_lines = Ast.line_count src in
-  let ast = Hsis_verilog.Elab.compile src in
-  read_flat ?heuristic ~verilog_lines (Flatten.flatten ast)
+  let ast =
+    Obs.Timers.time timers "parse" (fun () -> Hsis_verilog.Elab.compile src)
+  in
+  let flat =
+    Obs.Timers.time timers "flatten" (fun () -> Flatten.flatten ast)
+  in
+  read_flat ?heuristic ~verilog_lines ~timers flat
 
 let reachable d =
   match d.reach_cache with
   | Some r -> r
   | None ->
-      let r = Reach.compute d.trans (Trans.initial d.trans) in
+      let r =
+        Obs.Timers.time d.timers "reach" (fun () ->
+            Reach.compute d.trans (Trans.initial d.trans))
+      in
       d.reach_cache <- Some r;
       r
 
@@ -81,6 +103,7 @@ let check_ctl ?(fairness = []) ?(early_failure = true) ?(explain = false) d
         (Mc.check ~fairness:compiled ~early_failure ~reach d.trans formula,
          compiled))
   in
+  Obs.Timers.add d.timers "mc" cr_time;
   let cr_explanation =
     if explain && not outcome.Mc.holds then begin
       let ctx = Mcdbg.make ~fairness:compiled d.trans ~reach in
@@ -101,6 +124,7 @@ let check_lc ?(fairness = []) ?(early_failure = true) ?(trace = true) d aut =
   let outcome, lr_time =
     timed (fun () -> Lc.check ~fairness ~early_failure d.flat aut)
   in
+  Obs.Timers.add d.timers "lc" lr_time;
   let lr_trace =
     if trace && not outcome.Lc.holds then
       try
@@ -164,6 +188,18 @@ let minimize d =
     ~reach:(reachable d).Reach.reachable
 
 let stats d = Bdd.stats (Trans.man d.trans)
+
+let snapshot d =
+  let reach =
+    match d.reach_cache with
+    | Some r -> Array.to_list r.Reach.profile
+    | None -> []
+  in
+  Obs.snapshot
+    ~phases:(Obs.Timers.to_list d.timers)
+    ~reach
+    ~relation:(Trans.rel_profile d.trans)
+    (stats d)
 
 let pp_report fmt r =
   Format.fprintf fmt "design %s:@." r.design_name;

@@ -1,4 +1,4 @@
-open Hsis_bdd
+open Hsis_obs
 open Hsis_blifmv
 open Hsis_fsm
 open Hsis_auto
@@ -16,13 +16,23 @@ type design = {
   trans : Trans.t;
   verilog_lines : int option;
   blifmv_lines : int;
-  read_time : float;  (** seconds to parse + build relation BDDs *)
+  read_time : float;
+      (** wall-clock seconds to build the symbol table + relation BDDs *)
+  timers : Obs.Timers.t;
+      (** accumulated per-phase wall-clock timings: [parse], [flatten],
+          [order], [relation], then [reach] / [mc] / [lc] as the engines
+          run.  Rendered by {!snapshot}. *)
   mutable reach_cache : Reach.t option;  (** filled by {!reachable} *)
 }
 
 val read_verilog : ?heuristic:Trans.heuristic -> string -> design
 val read_blifmv : ?heuristic:Trans.heuristic -> string -> design
-val read_flat : ?heuristic:Trans.heuristic -> ?verilog_lines:int -> Ast.model -> design
+val read_flat :
+  ?heuristic:Trans.heuristic ->
+  ?verilog_lines:int ->
+  ?timers:Obs.Timers.t ->
+  Ast.model ->
+  design
 
 val reachable : design -> Reach.t
 (** Cached after the first call. *)
@@ -82,5 +92,13 @@ val bisimulation : ?class_cap:int -> design -> Hsis_bisim.Bisim.result
 val minimize : design -> Hsis_bisim.Dontcare.report
 (** Restrict the relation parts with the reachable care set. *)
 
-val stats : design -> Bdd.stats
+val stats : design -> Obs.man_stats
+(** Structured counters of the design's BDD manager (see {!Hsis_obs.Obs}). *)
+
+val snapshot : design -> Obs.snapshot
+(** Full observability snapshot: manager counters, per-phase timings, the
+    relation-partition profile, and (once {!reachable} has run) the
+    per-iteration reachability profile.  Render with [Obs.pp] or
+    [Obs.to_json]. *)
+
 val pp_report : Format.formatter -> report -> unit

@@ -216,6 +216,14 @@ let map_parts t f =
 let parts_size t =
   Array.fold_left (fun acc p -> acc + Bdd.dag_size p) 0 t.parts
 
+let rel_profile t =
+  let sizes = Array.map Bdd.dag_size t.parts in
+  {
+    Hsis_obs.Obs.rel_parts = Array.length t.parts;
+    rel_nodes = Array.fold_left ( + ) 0 sizes;
+    rel_largest = Array.fold_left max 0 sizes;
+  }
+
 let solve_step t ~pres ~next =
   let conj = Array.fold_left Bdd.dand (Bdd.dand pres next) t.parts in
   conj

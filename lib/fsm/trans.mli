@@ -61,6 +61,10 @@ val map_parts : t -> (Bdd.t -> Bdd.t) -> t
 val parts_size : t -> int
 (** Total dag nodes across parts (metric for minimization benches). *)
 
+val rel_profile : t -> Hsis_obs.Obs.rel_profile
+(** Shape of the partitioned relation (part count, total and largest part
+    dag sizes) for observability snapshots. *)
+
 val solve_step : t -> pres:Bdd.t -> next:Bdd.t -> Bdd.t
 (** The conjunction of all parts with the given present and next state
     constraints — no quantification, so a satisfying cube fixes the

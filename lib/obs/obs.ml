@@ -1,0 +1,603 @@
+(* Pipeline-wide observability: a monotonic wall clock, the counter taxonomy
+   shared by the BDD manager and the engines above it, named phase timers,
+   a snapshot/diff model, and a hand-rolled JSON emitter/parser (no external
+   dependencies).
+
+   Everything here is plain data: the producing layers (Man, Trans, Reach,
+   Hsis) fill the records in, and the consumers (CLI, bench harness, tests)
+   render them with {!pp} or {!to_json}. *)
+
+(* ------------------------------------------------------------------ *)
+(* Clock *)
+
+module Clock = struct
+  (* [Unix.gettimeofday] is wall-clock but can step backwards under NTP
+     adjustment; clamping against the last reading makes every difference
+     of two [now] values non-negative, which is all the timers need. *)
+  let last = ref neg_infinity
+
+  let now () =
+    let t = Unix.gettimeofday () in
+    if t > !last then last := t;
+    !last
+
+  let wall f =
+    let t0 = now () in
+    let r = f () in
+    (r, now () -. t0)
+end
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string
+
+  let add_escaped b s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s
+
+  (* Shortest representation that still round-trips; non-finite floats have
+     no JSON spelling and become null. *)
+  let float_repr f =
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+    else
+      let s = Printf.sprintf "%.12g" f in
+      if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+  let rec emit b = function
+    | Null -> Buffer.add_string b "null"
+    | Bool true -> Buffer.add_string b "true"
+    | Bool false -> Buffer.add_string b "false"
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f ->
+        if Float.is_nan f || f = infinity || f = neg_infinity then
+          Buffer.add_string b "null"
+        else Buffer.add_string b (float_repr f)
+    | Str s ->
+        Buffer.add_char b '"';
+        add_escaped b s;
+        Buffer.add_char b '"'
+    | List l ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char b ',';
+            emit b x)
+          l;
+        Buffer.add_char b ']'
+    | Obj kvs ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_char b '"';
+            add_escaped b k;
+            Buffer.add_string b "\":";
+            emit b v)
+          kvs;
+        Buffer.add_char b '}'
+
+  let to_string j =
+    let b = Buffer.create 256 in
+    emit b j;
+    Buffer.contents b
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg =
+      raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos))
+    in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let skip_ws () =
+      while
+        !pos < n
+        && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then incr pos
+      else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word v =
+      let k = String.length word in
+      if !pos + k <= n && String.sub s !pos k = word then begin
+        pos := !pos + k;
+        v
+      end
+      else fail (Printf.sprintf "expected '%s'" word)
+    in
+    let utf8_of_code b cp =
+      if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+      else if cp < 0x800 then begin
+        Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+        Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+      else begin
+        Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+        Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+        Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            incr pos;
+            if !pos >= n then fail "unterminated escape";
+            (match s.[!pos] with
+            | '"' -> Buffer.add_char b '"'; incr pos
+            | '\\' -> Buffer.add_char b '\\'; incr pos
+            | '/' -> Buffer.add_char b '/'; incr pos
+            | 'b' -> Buffer.add_char b '\b'; incr pos
+            | 'f' -> Buffer.add_char b '\012'; incr pos
+            | 'n' -> Buffer.add_char b '\n'; incr pos
+            | 'r' -> Buffer.add_char b '\r'; incr pos
+            | 't' -> Buffer.add_char b '\t'; incr pos
+            | 'u' ->
+                if !pos + 4 >= n then fail "truncated \\u escape";
+                let hex = String.sub s (!pos + 1) 4 in
+                let cp =
+                  try int_of_string ("0x" ^ hex)
+                  with _ -> fail "bad \\u escape"
+                in
+                utf8_of_code b cp;
+                pos := !pos + 5
+            | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+            go ()
+        | c ->
+            Buffer.add_char b c;
+            incr pos;
+            go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num_char s.[!pos] do
+        incr pos
+      done;
+      let tok = String.sub s start (!pos - start) in
+      if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok then
+        match float_of_string_opt tok with
+        | Some f -> Float f
+        | None -> fail "bad number"
+      else
+        match int_of_string_opt tok with
+        | Some i -> Int i
+        | None -> (
+            match float_of_string_opt tok with
+            | Some f -> Float f
+            | None -> fail "bad number")
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some '}' then begin
+            incr pos;
+            Obj []
+          end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  members ((k, v) :: acc)
+              | Some '}' ->
+                  incr pos;
+                  Obj (List.rev ((k, v) :: acc))
+              | _ -> fail "expected ',' or '}'"
+            in
+            members []
+          end
+      | Some '[' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some ']' then begin
+            incr pos;
+            List []
+          end
+          else begin
+            let rec elements acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  elements (v :: acc)
+              | Some ']' ->
+                  incr pos;
+                  List (List.rev (v :: acc))
+              | _ -> fail "expected ',' or ']'"
+            in
+            elements []
+          end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some ('-' | '0' .. '9') -> parse_number ()
+      | _ -> fail "expected a JSON value"
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing input after JSON value";
+    v
+
+  let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+  let to_int = function
+    | Some (Int i) -> i
+    | Some (Float f) -> int_of_float f
+    | _ -> 0
+
+  let to_float = function
+    | Some (Float f) -> f
+    | Some (Int i) -> float_of_int i
+    | _ -> 0.0
+
+  let to_str = function Some (Str s) -> s | _ -> ""
+  let to_list = function Some (List l) -> l | _ -> []
+end
+
+(* ------------------------------------------------------------------ *)
+(* Counter taxonomy *)
+
+module Cache = struct
+  type op = { name : string; hits : int; misses : int }
+  type t = { entries : int; ops : op list }
+
+  let lookups (o : op) = o.hits + o.misses
+
+  let op_hit_rate (o : op) =
+    let l = lookups o in
+    if l = 0 then 0.0 else float_of_int o.hits /. float_of_int l
+
+  let hits t = List.fold_left (fun acc o -> acc + o.hits) 0 t.ops
+  let misses t = List.fold_left (fun acc o -> acc + o.misses) 0 t.ops
+
+  let hit_rate t =
+    let h = hits t and m = misses t in
+    if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)
+end
+
+module Gc = struct
+  type t = { runs : int; freed : int; time : float }
+end
+
+module Reorder = struct
+  type t = { runs : int; time : float }
+end
+
+module Arena = struct
+  type t = {
+    live : int;
+    dead : int;
+    vars : int;
+    peak_live : int;
+    capacity : int;
+  }
+end
+
+type man_stats = {
+  cache : Cache.t;
+  gc : Gc.t;
+  reorder : Reorder.t;
+  arena : Arena.t;
+}
+
+type reach_sample = {
+  step : int;
+  frontier_nodes : int;
+  reachable_nodes : int;
+  step_time : float;
+}
+
+type rel_profile = { rel_parts : int; rel_nodes : int; rel_largest : int }
+
+(* ------------------------------------------------------------------ *)
+(* Phase timers *)
+
+module Timers = struct
+  (* Insertion-ordered accumulating name -> seconds map.  Phase counts are
+     tiny (single digits), so an assoc list beats a hashtable on clarity. *)
+  type t = { mutable entries : (string * float) list }
+
+  let create () = { entries = [] }
+
+  let add t name dt =
+    let rec go = function
+      | [] -> [ (name, dt) ]
+      | (n, v) :: rest when String.equal n name -> (n, v +. dt) :: rest
+      | e :: rest -> e :: go rest
+    in
+    t.entries <- go t.entries
+
+  let time t name f =
+    let r, dt = Clock.wall f in
+    add t name dt;
+    r
+
+  let find t name = List.assoc_opt name t.entries
+  let to_list t = t.entries
+  let total t = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 t.entries
+end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots *)
+
+type snapshot = {
+  man : man_stats;
+  phases : (string * float) list;
+  reach : reach_sample list;
+  relation : rel_profile option;
+}
+
+let snapshot ?(phases = []) ?(reach = []) ?relation man =
+  { man; phases; reach; relation }
+
+(* [diff before after]: monotone counters are subtracted (clamped at zero so
+   the result is always non-negative), gauges — live/dead/peak nodes, cache
+   entries, capacity, the reach profile, the relation profile — are taken
+   from [after]. *)
+let diff before after =
+  let sub a b = max 0 (a - b) in
+  let subf a b = Float.max 0.0 (a -. b) in
+  let op_diff (o : Cache.op) =
+    let prev =
+      List.find_opt (fun (p : Cache.op) -> String.equal p.name o.name)
+        before.man.cache.Cache.ops
+    in
+    match prev with
+    | None -> o
+    | Some p ->
+        { o with Cache.hits = sub o.hits p.hits; misses = sub o.misses p.misses }
+  in
+  let phase_diff (name, v) =
+    match List.assoc_opt name before.phases with
+    | None -> (name, v)
+    | Some p -> (name, subf v p)
+  in
+  {
+    man =
+      {
+        cache =
+          {
+            Cache.entries = after.man.cache.Cache.entries;
+            ops = List.map op_diff after.man.cache.Cache.ops;
+          };
+        gc =
+          {
+            Gc.runs = sub after.man.gc.Gc.runs before.man.gc.Gc.runs;
+            freed = sub after.man.gc.Gc.freed before.man.gc.Gc.freed;
+            time = subf after.man.gc.Gc.time before.man.gc.Gc.time;
+          };
+        reorder =
+          {
+            Reorder.runs =
+              sub after.man.reorder.Reorder.runs before.man.reorder.Reorder.runs;
+            time =
+              subf after.man.reorder.Reorder.time
+                before.man.reorder.Reorder.time;
+          };
+        arena = after.man.arena;
+      };
+    phases = List.map phase_diff after.phases;
+    reach = after.reach;
+    relation = after.relation;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let pp fmt s =
+  let a = s.man.arena in
+  Format.fprintf fmt "bdd arena   : %d live (peak %d), %d dead, %d vars, capacity %d@."
+    a.Arena.live a.Arena.peak_live a.Arena.dead a.Arena.vars a.Arena.capacity;
+  let c = s.man.cache in
+  Format.fprintf fmt "cache       : %d entries, %.1f%% hit rate (%d hits / %d misses)@."
+    c.Cache.entries
+    (100.0 *. Cache.hit_rate c)
+    (Cache.hits c) (Cache.misses c);
+  List.iter
+    (fun (o : Cache.op) ->
+      if Cache.lookups o > 0 then
+        Format.fprintf fmt "  %-10s %9d hits %9d misses  (%.1f%%)@." o.Cache.name
+          o.Cache.hits o.Cache.misses
+          (100.0 *. Cache.op_hit_rate o))
+    c.Cache.ops;
+  Format.fprintf fmt "gc          : %d runs, %d nodes freed, %.3fs@."
+    s.man.gc.Gc.runs s.man.gc.Gc.freed s.man.gc.Gc.time;
+  Format.fprintf fmt "reorder     : %d runs, %.3fs@." s.man.reorder.Reorder.runs
+    s.man.reorder.Reorder.time;
+  (match s.relation with
+  | Some r ->
+      Format.fprintf fmt "relation    : %d parts, %d nodes (largest %d)@."
+        r.rel_parts r.rel_nodes r.rel_largest
+  | None -> ());
+  if s.phases <> [] then begin
+    Format.fprintf fmt "phases      :@.";
+    List.iter
+      (fun (name, t) -> Format.fprintf fmt "  %-10s %8.3fs@." name t)
+      s.phases
+  end;
+  match s.reach with
+  | [] -> ()
+  | samples ->
+      let peak =
+        List.fold_left (fun acc r -> max acc r.frontier_nodes) 0 samples
+      in
+      Format.fprintf fmt
+        "reach       : %d frontiers, peak frontier %d nodes@." (List.length samples)
+        peak;
+      List.iter
+        (fun r ->
+          Format.fprintf fmt
+            "  step %3d: frontier %7d nodes, reached %7d nodes, %.3fs@."
+            r.step r.frontier_nodes r.reachable_nodes r.step_time)
+        samples
+
+let schema_version = "hsis-obs/1"
+
+let to_json s =
+  let open Json in
+  let op (o : Cache.op) =
+    Obj
+      [ ("op", Str o.Cache.name); ("hits", Int o.Cache.hits);
+        ("misses", Int o.Cache.misses) ]
+  in
+  let phase (name, t) = Obj [ ("phase", Str name); ("time_s", Float t) ] in
+  let sample r =
+    Obj
+      [ ("step", Int r.step); ("frontier_nodes", Int r.frontier_nodes);
+        ("reachable_nodes", Int r.reachable_nodes);
+        ("time_s", Float r.step_time) ]
+  in
+  Obj
+    ([
+       ("schema", Str schema_version);
+       ( "cache",
+         Obj
+           [ ("entries", Int s.man.cache.Cache.entries);
+             ("ops", List (List.map op s.man.cache.Cache.ops)) ] );
+       ( "gc",
+         Obj
+           [ ("runs", Int s.man.gc.Gc.runs); ("freed", Int s.man.gc.Gc.freed);
+             ("time_s", Float s.man.gc.Gc.time) ] );
+       ( "reorder",
+         Obj
+           [ ("runs", Int s.man.reorder.Reorder.runs);
+             ("time_s", Float s.man.reorder.Reorder.time) ] );
+       ( "arena",
+         Obj
+           [ ("live", Int s.man.arena.Arena.live);
+             ("dead", Int s.man.arena.Arena.dead);
+             ("vars", Int s.man.arena.Arena.vars);
+             ("peak_live", Int s.man.arena.Arena.peak_live);
+             ("capacity", Int s.man.arena.Arena.capacity) ] );
+       ("phases", List (List.map phase s.phases));
+       ("reach_profile", List (List.map sample s.reach));
+     ]
+    @
+    match s.relation with
+    | None -> []
+    | Some r ->
+        [
+          ( "relation",
+            Obj
+              [ ("parts", Int r.rel_parts); ("nodes", Int r.rel_nodes);
+                ("largest", Int r.rel_largest) ] );
+        ])
+
+let of_json j =
+  let open Json in
+  let op jo =
+    {
+      Cache.name = to_str (member "op" jo);
+      hits = to_int (member "hits" jo);
+      misses = to_int (member "misses" jo);
+    }
+  in
+  let cache =
+    let jc = Option.value ~default:(Obj []) (member "cache" j) in
+    {
+      Cache.entries = to_int (member "entries" jc);
+      ops = List.map op (to_list (member "ops" jc));
+    }
+  in
+  let gc =
+    let jg = Option.value ~default:(Obj []) (member "gc" j) in
+    {
+      Gc.runs = to_int (member "runs" jg);
+      freed = to_int (member "freed" jg);
+      time = to_float (member "time_s" jg);
+    }
+  in
+  let reorder =
+    let jr = Option.value ~default:(Obj []) (member "reorder" j) in
+    {
+      Reorder.runs = to_int (member "runs" jr);
+      time = to_float (member "time_s" jr);
+    }
+  in
+  let arena =
+    let ja = Option.value ~default:(Obj []) (member "arena" j) in
+    {
+      Arena.live = to_int (member "live" ja);
+      dead = to_int (member "dead" ja);
+      vars = to_int (member "vars" ja);
+      peak_live = to_int (member "peak_live" ja);
+      capacity = to_int (member "capacity" ja);
+    }
+  in
+  let phases =
+    List.map
+      (fun jp -> (to_str (member "phase" jp), to_float (member "time_s" jp)))
+      (to_list (member "phases" j))
+  in
+  let reach =
+    List.map
+      (fun jr ->
+        {
+          step = to_int (member "step" jr);
+          frontier_nodes = to_int (member "frontier_nodes" jr);
+          reachable_nodes = to_int (member "reachable_nodes" jr);
+          step_time = to_float (member "time_s" jr);
+        })
+      (to_list (member "reach_profile" j))
+  in
+  let relation =
+    match member "relation" j with
+    | None -> None
+    | Some jr ->
+        Some
+          {
+            rel_parts = to_int (member "parts" jr);
+            rel_nodes = to_int (member "nodes" jr);
+            rel_largest = to_int (member "largest" jr);
+          }
+  in
+  { man = { cache; gc; reorder; arena }; phases; reach; relation }
+
+let json_string s = Json.to_string (to_json s)

@@ -1,0 +1,175 @@
+(** Pipeline-wide observability for the HSIS environment.
+
+    This module is the single diagnostics surface of the system: the BDD
+    manager, the transition-relation builder, the reachability engine and
+    the {!Hsis} facade all report into the record types below, and every
+    consumer (CLI [--stats] / [--stats-json], the bench harness, the tests)
+    reads them back through {!snapshot} values.
+
+    The design is deliberately plain data + pure functions: producers fill
+    records in, {!diff} subtracts two snapshots counter-wise, and
+    {!pp} / {!to_json} render them.  JSON emission and parsing are
+    hand-rolled (no external dependencies). *)
+
+(** {1 Clock} *)
+
+module Clock : sig
+  val now : unit -> float
+  (** Monotonicized wall-clock seconds: based on the system wall clock but
+      clamped to never run backwards, so differences are non-negative.
+      Unlike [Sys.time] this measures elapsed real time, not CPU time. *)
+
+  val wall : (unit -> 'a) -> 'a * float
+  (** [wall f] runs [f] and returns its result with the elapsed wall-clock
+      seconds. *)
+end
+
+(** {1 JSON} *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string
+
+  val to_string : t -> string
+  (** Compact one-line rendering.  Non-finite floats become [null]. *)
+
+  val parse : string -> t
+  (** Strict parser for the subset emitted by {!to_string} (full JSON minus
+      surrogate-pair [\u] escapes).  Raises {!Parse_error}. *)
+
+  (** Accessors for digging into parsed values; missing members yield the
+      neutral element ([0], [""], [[]]). *)
+
+  val member : string -> t -> t option
+  val to_int : t option -> int
+  val to_float : t option -> float
+  val to_str : t option -> string
+  val to_list : t option -> t list
+end
+
+(** {1 Counter taxonomy}
+
+    The structured replacement for the old flat [Man.stats] record. *)
+
+module Cache : sig
+  type op = { name : string; hits : int; misses : int }
+  (** Computed-cache behaviour of one operation kernel ([and], [or], [xor],
+      [not], [ite], [exists], [and_exists], [restrict], [constrain],
+      [permute]).  [hits + misses] is the number of cache lookups; terminal
+      cases short-circuit before the cache and are not counted. *)
+
+  type t = { entries : int; ops : op list }
+  (** [entries] is the current cache population (a gauge); [ops] the
+      per-operation counters (monotone). *)
+
+  val lookups : op -> int
+  val op_hit_rate : op -> float
+  val hits : t -> int
+  val misses : t -> int
+  val hit_rate : t -> float
+end
+
+module Gc : sig
+  type t = { runs : int; freed : int; time : float }
+  (** Collections run, total nodes freed, and total wall-clock seconds
+      spent collecting (including collections triggered inside
+      reordering). *)
+end
+
+module Reorder : sig
+  type t = { runs : int; time : float }
+  (** Sifting runs and their total wall-clock seconds (inclusive of the
+      cache-clearing collections sifting performs). *)
+end
+
+module Arena : sig
+  type t = {
+    live : int;  (** referenced nodes *)
+    dead : int;  (** allocated nodes whose refcount dropped to 0 *)
+    vars : int;
+    peak_live : int;  (** high-water mark of [live] over the manager's life *)
+    capacity : int;  (** allocated arena slots *)
+  }
+end
+
+type man_stats = {
+  cache : Cache.t;
+  gc : Gc.t;
+  reorder : Reorder.t;
+  arena : Arena.t;
+}
+(** One BDD manager's counters, as returned by [Bdd.stats]. *)
+
+type reach_sample = {
+  step : int;  (** BFS depth; step 0 is the initial states *)
+  frontier_nodes : int;  (** dag size of the new-states frontier *)
+  reachable_nodes : int;  (** dag size of the reached-set BDD so far *)
+  step_time : float;  (** seconds to compute this frontier (0 at step 0) *)
+}
+(** One point of the per-iteration fixpoint profile recorded by [Reach]. *)
+
+type rel_profile = { rel_parts : int; rel_nodes : int; rel_largest : int }
+(** Shape of the conjunctively partitioned transition relation. *)
+
+(** {1 Phase timers} *)
+
+module Timers : sig
+  type t
+  (** A mutable, insertion-ordered [phase name -> accumulated seconds]
+      map. *)
+
+  val create : unit -> t
+
+  val add : t -> string -> float -> unit
+  (** Accumulate seconds onto a phase (created on first use). *)
+
+  val time : t -> string -> (unit -> 'a) -> 'a
+  (** Run a thunk, accumulating its wall-clock time onto the phase. *)
+
+  val find : t -> string -> float option
+  val to_list : t -> (string * float) list
+  val total : t -> float
+end
+
+(** {1 Snapshots} *)
+
+type snapshot = {
+  man : man_stats;
+  phases : (string * float) list;  (** phase name -> seconds, in order *)
+  reach : reach_sample list;
+  relation : rel_profile option;
+}
+
+val snapshot :
+  ?phases:(string * float) list ->
+  ?reach:reach_sample list ->
+  ?relation:rel_profile ->
+  man_stats ->
+  snapshot
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff before after]: monotone counters (cache hits/misses, gc, reorder,
+    phase times) subtracted and clamped at zero; gauges (arena, cache
+    entries, reach profile, relation profile) taken from [after]. *)
+
+val schema_version : string
+(** Value of the ["schema"] member of emitted JSON ("hsis-obs/1"). *)
+
+val pp : Format.formatter -> snapshot -> unit
+(** Human-readable multi-line report. *)
+
+val to_json : snapshot -> Json.t
+(** See the "Observability" section of DESIGN.md for the schema. *)
+
+val of_json : Json.t -> snapshot
+(** Inverse of {!to_json} (missing members default to zero/empty). *)
+
+val json_string : snapshot -> string

@@ -214,7 +214,7 @@ let test_auto_reorder () =
   Alcotest.(check (list string)) "invariants after auto-reorder" []
     (Bdd.check man);
   Alcotest.(check bool) "auto reorder fired" true
-    ((Bdd.stats man).Bdd.st_reorder_runs >= 1);
+    ((Bdd.stats man).Hsis_obs.Obs.reorder.Hsis_obs.Obs.Reorder.runs >= 1);
   (* with intermediate garbage collected, sifting reaches the linear
      interleaved order *)
   Gc.full_major ();

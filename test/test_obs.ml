@@ -1,0 +1,231 @@
+(* Observability subsystem: clock monotonicity, counter monotonicity,
+   snapshot diffs, the hand-rolled JSON printer/parser, and end-to-end
+   JSON round-trips of a real design snapshot. *)
+
+open Hsis_obs
+open Hsis_bdd
+
+let test_clock_monotonic () =
+  let a = Obs.Clock.now () in
+  let b = Obs.Clock.now () in
+  let c = Obs.Clock.now () in
+  Alcotest.(check bool) "non-decreasing" true (a <= b && b <= c);
+  let x, dt = Obs.Clock.wall (fun () -> Sys.opaque_identity 42) in
+  Alcotest.(check int) "wall returns result" 42 x;
+  Alcotest.(check bool) "wall time non-negative" true (dt >= 0.0)
+
+let test_timers () =
+  let t = Obs.Timers.create () in
+  Obs.Timers.add t "parse" 0.5;
+  Obs.Timers.add t "order" 0.25;
+  Obs.Timers.add t "parse" 0.5;
+  Alcotest.(check (option (float 1e-9))) "accumulates" (Some 1.0)
+    (Obs.Timers.find t "parse");
+  Alcotest.(check (list (pair string (float 1e-9)))) "insertion order"
+    [ ("parse", 1.0); ("order", 0.25) ]
+    (Obs.Timers.to_list t);
+  Alcotest.(check (float 1e-9)) "total" 1.25 (Obs.Timers.total t);
+  let v = Obs.Timers.time t "work" (fun () -> 7) in
+  Alcotest.(check int) "time passes result through" 7 v;
+  Alcotest.(check bool) "timed phase recorded" true
+    (Obs.Timers.find t "work" <> None)
+
+let test_json_roundtrip () =
+  let open Obs.Json in
+  let v =
+    Obj
+      [
+        ("a", Int 3);
+        ("b", Float 1.5);
+        ("c", Str "hi \"there\"\nline\t\\end");
+        ("d", List [ Bool true; Bool false; Null ]);
+        ("e", Obj [ ("nested", List [ Int (-7); Float (-0.125) ]) ]);
+        ("empty_list", List []);
+        ("empty_obj", Obj []);
+      ]
+  in
+  let s = to_string v in
+  Alcotest.(check bool) "parses back equal" true (parse s = v);
+  (* non-finite floats degrade to null rather than emitting invalid JSON *)
+  let s2 = to_string (List [ Float nan; Float infinity ]) in
+  Alcotest.(check bool) "nan/inf become null" true (parse s2 = List [ Null; Null ])
+
+let test_json_parser_strict () =
+  let open Obs.Json in
+  let ok s v = Alcotest.(check bool) ("parse " ^ s) true (parse s = v) in
+  ok "  null " Null;
+  ok "[1,2,3]" (List [ Int 1; Int 2; Int 3 ]);
+  ok "\"\\u0041\\u00e9\"" (Str "A\xc3\xa9");
+  ok "-2.5e2" (Float (-250.0));
+  let fails s =
+    Alcotest.(check bool) ("reject " ^ s) true
+      (match parse s with exception Parse_error _ -> true | _ -> false)
+  in
+  fails "";
+  fails "{";
+  fails "[1,]";
+  fails "{\"a\":1} trailing";
+  fails "'single'";
+  (* accessors: missing members yield neutral elements *)
+  let v = parse "{\"x\":4,\"y\":\"s\",\"z\":[1]}" in
+  Alcotest.(check int) "member int" 4 (to_int (member "x" v));
+  Alcotest.(check string) "member str" "s" (to_str (member "y" v));
+  Alcotest.(check int) "member list" 1 (List.length (to_list (member "z" v)));
+  Alcotest.(check int) "missing int is 0" 0 (to_int (member "nope" v))
+
+(* Build a little BDD workload with the given amount of churn and return
+   the manager's structured stats. *)
+let workload man rounds =
+  let vars = Array.init 8 (fun i -> Bdd.new_var ~name:(Printf.sprintf "w%d" i) man) in
+  let acc = ref (Bdd.dtrue man) in
+  for r = 0 to rounds - 1 do
+    let f = Bdd.dand vars.(r mod 8) vars.((r + 3) mod 8) in
+    let g = Bdd.xor f vars.((r + 5) mod 8) in
+    acc := Bdd.dor !acc (Bdd.ite g f (Bdd.dnot f))
+  done;
+  !acc
+
+let test_counters_monotonic () =
+  let man = Bdd.new_man () in
+  ignore (workload man 6);
+  let st1 = Bdd.stats man in
+  ignore (workload man 18);
+  let st2 = Bdd.stats man in
+  let by_name (st : Obs.man_stats) =
+    List.map (fun (o : Obs.Cache.op) -> (o.Obs.Cache.name, o)) st.Obs.cache.Obs.Cache.ops
+  in
+  let m1 = by_name st1 and m2 = by_name st2 in
+  Alcotest.(check int) "same op set" (List.length m1) (List.length m2);
+  List.iter
+    (fun (name, (o2 : Obs.Cache.op)) ->
+      let o1 = List.assoc name m1 in
+      Alcotest.(check bool) (name ^ " hits monotone") true
+        (o2.Obs.Cache.hits >= o1.Obs.Cache.hits);
+      Alcotest.(check bool) (name ^ " misses monotone") true
+        (o2.Obs.Cache.misses >= o1.Obs.Cache.misses))
+    m2;
+  Alcotest.(check bool) "workload hit the cache" true
+    (Obs.Cache.lookups { Obs.Cache.name = "all";
+                         hits = Obs.Cache.hits st2.Obs.cache;
+                         misses = Obs.Cache.misses st2.Obs.cache } > 0);
+  Alcotest.(check bool) "peak live positive" true
+    (st2.Obs.arena.Obs.Arena.peak_live > 0);
+  Alcotest.(check bool) "peak live >= live" true
+    (st2.Obs.arena.Obs.Arena.peak_live >= st2.Obs.arena.Obs.Arena.live)
+
+let test_diff_non_negative () =
+  let man = Bdd.new_man () in
+  ignore (workload man 5);
+  let s1 = Obs.snapshot ~phases:[ ("reach", 1.0) ] (Bdd.stats man) in
+  ignore (workload man 15);
+  Bdd.sift man;
+  let s2 = Obs.snapshot ~phases:[ ("reach", 3.5); ("mc", 0.5) ] (Bdd.stats man) in
+  let d = Obs.diff s1 s2 in
+  List.iter2
+    (fun (o2 : Obs.Cache.op) (od : Obs.Cache.op) ->
+      Alcotest.(check bool) (od.Obs.Cache.name ^ " diff hits >= 0") true
+        (od.Obs.Cache.hits >= 0);
+      Alcotest.(check bool) (od.Obs.Cache.name ^ " diff misses >= 0") true
+        (od.Obs.Cache.misses >= 0);
+      Alcotest.(check bool) (od.Obs.Cache.name ^ " diff <= after") true
+        (od.Obs.Cache.hits <= o2.Obs.Cache.hits))
+    s2.Obs.man.Obs.cache.Obs.Cache.ops d.Obs.man.Obs.cache.Obs.Cache.ops;
+  Alcotest.(check bool) "gc diff non-negative" true
+    (d.Obs.man.Obs.gc.Obs.Gc.runs >= 0 && d.Obs.man.Obs.gc.Obs.Gc.time >= 0.0);
+  Alcotest.(check bool) "reorder diff non-negative" true
+    (d.Obs.man.Obs.reorder.Obs.Reorder.runs >= 0
+    && d.Obs.man.Obs.reorder.Obs.Reorder.time >= 0.0);
+  Alcotest.(check (option (float 1e-9))) "phase diff subtracts" (Some 2.5)
+    (List.assoc_opt "reach" d.Obs.phases
+     |> Option.map (fun x -> Some x) |> Option.value ~default:None);
+  Alcotest.(check (option (float 1e-9))) "new phase kept whole" (Some 0.5)
+    (List.assoc_opt "mc" d.Obs.phases
+     |> Option.map (fun x -> Some x) |> Option.value ~default:None);
+  (* gauges come from [after] *)
+  Alcotest.(check int) "arena is after's gauge"
+    s2.Obs.man.Obs.arena.Obs.Arena.live d.Obs.man.Obs.arena.Obs.Arena.live
+
+let counter_src =
+  {|
+.model obscount
+.mv s,ns 4
+.table s -> ns
+0 1
+1 2
+2 3
+3 0
+.latch ns s
+.reset s 0
+.end
+|}
+
+let test_design_snapshot_roundtrip () =
+  let design = Hsis_core.Hsis.read_blifmv counter_src in
+  ignore (Hsis_core.Hsis.reachable design);
+  let snap = Hsis_core.Hsis.snapshot design in
+  (* sanity on the live snapshot *)
+  Alcotest.(check bool) "has parse phase" true
+    (List.mem_assoc "parse" snap.Obs.phases);
+  Alcotest.(check bool) "has reach phase" true
+    (List.mem_assoc "reach" snap.Obs.phases);
+  Alcotest.(check bool) "reach profile non-empty" true (snap.Obs.reach <> []);
+  let steps = List.map (fun (s : Obs.reach_sample) -> s.Obs.step) snap.Obs.reach in
+  Alcotest.(check bool) "profile steps strictly increasing from 0" true
+    (steps = List.init (List.length steps) Fun.id);
+  List.iter
+    (fun (s : Obs.reach_sample) ->
+      Alcotest.(check bool) "frontier nodes positive" true (s.Obs.frontier_nodes > 0);
+      Alcotest.(check bool) "step time non-negative" true (s.Obs.step_time >= 0.0))
+    snap.Obs.reach;
+  (match snap.Obs.relation with
+  | None -> Alcotest.fail "relation profile missing"
+  | Some r ->
+      Alcotest.(check bool) "relation parts positive" true (r.Obs.rel_parts > 0);
+      Alcotest.(check bool) "largest <= total" true (r.Obs.rel_largest <= r.Obs.rel_nodes));
+  (* JSON round-trip preserves the key fields *)
+  let snap' = Obs.of_json (Obs.Json.parse (Obs.json_string snap)) in
+  Alcotest.(check bool) "cache ops survive" true
+    (List.map (fun (o : Obs.Cache.op) -> (o.Obs.Cache.name, o.Obs.Cache.hits, o.Obs.Cache.misses))
+       snap.Obs.man.Obs.cache.Obs.Cache.ops
+    = List.map (fun (o : Obs.Cache.op) -> (o.Obs.Cache.name, o.Obs.Cache.hits, o.Obs.Cache.misses))
+        snap'.Obs.man.Obs.cache.Obs.Cache.ops);
+  Alcotest.(check int) "peak live survives"
+    snap.Obs.man.Obs.arena.Obs.Arena.peak_live
+    snap'.Obs.man.Obs.arena.Obs.Arena.peak_live;
+  Alcotest.(check int) "gc runs survive" snap.Obs.man.Obs.gc.Obs.Gc.runs
+    snap'.Obs.man.Obs.gc.Obs.Gc.runs;
+  Alcotest.(check (list (pair string (float 1e-9)))) "phases survive"
+    snap.Obs.phases snap'.Obs.phases;
+  Alcotest.(check int) "reach profile length survives"
+    (List.length snap.Obs.reach) (List.length snap'.Obs.reach);
+  Alcotest.(check bool) "relation survives" true
+    (snap.Obs.relation = snap'.Obs.relation);
+  (* schema tag present in the emitted JSON *)
+  let j = Obs.Json.parse (Obs.json_string snap) in
+  Alcotest.(check string) "schema version" Obs.schema_version
+    (Obs.Json.to_str (Obs.Json.member "schema" j))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "clock",
+        [
+          Alcotest.test_case "monotonic" `Quick test_clock_monotonic;
+          Alcotest.test_case "timers" `Quick test_timers;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "strict parser" `Quick test_json_parser_strict;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "monotonic" `Quick test_counters_monotonic;
+          Alcotest.test_case "diff non-negative" `Quick test_diff_non_negative;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "design roundtrip" `Quick
+            test_design_snapshot_roundtrip;
+        ] );
+    ]
