@@ -10,6 +10,7 @@
      ablate-dc    don't-care minimization (A1)
      ablate-efd   early failure detection (A2)
      bech         Bechamel micro-benchmarks
+     bdd          BDD kernel ops/s (and/ite/exists/and_exists) -> BENCH_bdd.json
      json         observability smoke check: emit + re-parse a stats JSON
 
    With no argument everything runs (Table 1 at paper scale last, since
@@ -40,6 +41,7 @@ let write_file path contents =
 
 let table1_row (m : Model.t) =
   let d, read_time = wall (fun () -> Hsis.read_verilog m.Model.verilog) in
+  Hsis.set_reach_profile d false;
   let states, _reach_time = wall (fun () -> Hsis.reached_states d) in
   let pif = Model.parse_pif m in
   let report = Hsis.run_pif ~witnesses:false d pif in
@@ -263,14 +265,15 @@ let ablate_tr () =
       let d = Hsis.read_verilog m.Model.verilog in
       let init = Hsis_fsm.Trans.initial d.Hsis.trans in
       let r_part, t_part =
-        wall (fun () -> Hsis_check.Reach.compute d.Hsis.trans init)
+        wall (fun () -> Hsis_check.Reach.compute ~profile:false d.Hsis.trans init)
       in
       let _, t_mono_build =
         wall (fun () -> Hsis_fsm.Trans.monolithic d.Hsis.trans)
       in
       let r_mono, t_mono =
         wall (fun () ->
-            Hsis_check.Reach.compute ~use_mono:true d.Hsis.trans init)
+            Hsis_check.Reach.compute ~use_mono:true ~profile:false
+              d.Hsis.trans init)
       in
       let agree =
         Hsis_bdd.Bdd.equal r_part.Hsis_check.Reach.reachable
@@ -394,6 +397,190 @@ let run_bechamel () =
        (bechamel_tests ()))
 
 (* ------------------------------------------------------------------ *)
+(* BDD manager micro-benchmarks: raw ops-per-second of the four hot
+   kernels (and / ite / exists / and_exists) on scalable synthetic
+   circuits, written to BENCH_bdd.json so the unique-table / computed-
+   cache hot path can be compared across changes.  Caches are flushed
+   (via a forced collection) between rounds so each round re-does real
+   work instead of replaying the computed cache. *)
+
+let bdd_bench () =
+  pr "@.== BDD kernel micro-benchmarks ==@.";
+  let open Hsis_bdd in
+  let seed = ref 0x2545F49 in
+  let rand n =
+    seed := ((!seed * 1103515245) + 12345) land 0x3FFFFFFF;
+    (!seed lsr 7) mod n
+  in
+  let rounds = 3 in
+  (* Pool of mid-size random functions over [n] variables for the
+     combinational kernels. *)
+  let man = Bdd.new_man () in
+  let nvars = 24 in
+  let vars = Array.init nvars (fun _ -> Bdd.new_var man) in
+  let rec rand_fun depth =
+    if depth = 0 then begin
+      let v = vars.(rand nvars) in
+      if rand 2 = 0 then v else Bdd.dnot v
+    end
+    else begin
+      let a = rand_fun (depth - 1) in
+      let b = rand_fun (depth - 1) in
+      match rand 3 with
+      | 0 -> Bdd.dand a b
+      | 1 -> Bdd.dor a b
+      | _ -> Bdd.xor a b
+    end
+  in
+  let pool = Array.init 32 (fun _ -> rand_fun 4) in
+  let np = Array.length pool in
+  let kernel name f =
+    ignore (Bdd.gc man);
+    let ops = ref 0 in
+    let t0 = Obs.Clock.now () in
+    for _ = 1 to rounds do
+      ops := !ops + f ();
+      (* flush the computed cache so the next round is not a pure replay *)
+      ignore (Bdd.gc man)
+    done;
+    let dt = Obs.Clock.now () -. t0 in
+    let rate = if dt > 0.0 then Float.of_int !ops /. dt else 0.0 in
+    pr "  %-12s %8d ops in %7.3fs  = %12.0f ops/s@." name !ops dt rate;
+    Obs.Json.Obj
+      [
+        ("kernel", Obs.Json.Str name);
+        ("ops", Obs.Json.Int !ops);
+        ("time_s", Obs.Json.Float dt);
+        ("ops_per_s", Obs.Json.Float rate);
+      ]
+  in
+  let and_kernel () =
+    let ops = ref 0 in
+    for i = 0 to np - 1 do
+      for j = i + 1 to np - 1 do
+        ignore (Bdd.dand pool.(i) pool.(j));
+        incr ops
+      done
+    done;
+    !ops
+  in
+  let ite_kernel () =
+    let ops = ref 0 in
+    for i = 0 to np - 1 do
+      for j = 0 to (np / 4) - 1 do
+        ignore (Bdd.ite pool.(i) pool.(j) pool.(np - 1 - j));
+        incr ops
+      done
+    done;
+    !ops
+  in
+  let even_cube =
+    Bdd.cube man (List.init (nvars / 2) (fun i -> vars.(2 * i)))
+  in
+  let exists_kernel () =
+    let ops = ref 0 in
+    for i = 0 to np - 1 do
+      for j = i + 1 to np - 1 do
+        ignore (Bdd.exists ~cube:even_cube (Bdd.dand pool.(i) pool.(j)));
+        incr ops
+      done
+    done;
+    !ops
+  in
+  (* Image kernel: BFS over an elementary-cellular-automaton transition
+     relation with interleaved present/next variables — the and_exists +
+     permute inner loop of symbolic reachability, at parametric width.
+     Two next-state bits are left unconstrained (nondeterministic), so
+     frontiers branch and the reached set covers a large state space. *)
+  let bits = 16 in
+  let man2 = Bdd.new_man () in
+  let x = Array.make bits (Bdd.dtrue man2) in
+  let y = Array.make bits (Bdd.dtrue man2) in
+  for i = 0 to bits - 1 do
+    x.(i) <- Bdd.new_var ~name:(Printf.sprintf "x%d" i) man2;
+    y.(i) <- Bdd.new_var ~name:(Printf.sprintf "y%d" i) man2
+  done;
+  let next_fn i =
+    (* rule-30-flavoured neighbourhood update: chaotic dynamics, so the
+       reachable set is rich *)
+    let l = x.((i + bits - 1) mod bits)
+    and c = x.(i)
+    and r = x.((i + 1) mod bits) in
+    Bdd.xor l (Bdd.dor c r)
+  in
+  let rel =
+    Bdd.conj man2
+      (List.concat
+         (List.init bits (fun i ->
+              if i mod 8 = 3 then [] (* nondeterministic bit *)
+              else [ Bdd.eqv y.(i) (next_fn i) ])))
+  in
+  let xcube = Bdd.cube man2 (Array.to_list x) in
+  let unprime =
+    Bdd.make_varmap man2
+      (List.init bits (fun i ->
+           (Bdd.var_index y.(i), Bdd.var_index x.(i))))
+  in
+  let init =
+    Bdd.conj man2
+      (List.init bits (fun i -> if i = 0 then x.(i) else Bdd.dnot x.(i)))
+  in
+  let image_kernel () =
+    let ops = ref 0 in
+    let reached = ref init in
+    let frontier = ref init in
+    let steps = ref 0 in
+    while (not (Bdd.is_false !frontier)) && !steps < 100 do
+      let nxt = Bdd.permute unprime (Bdd.and_exists ~cube:xcube rel !frontier) in
+      incr ops;
+      incr steps;
+      let fresh = Bdd.dand nxt (Bdd.dnot !reached) in
+      reached := Bdd.dor !reached fresh;
+      frontier := fresh
+    done;
+    !ops
+  in
+  let image_rounds name f =
+    ignore (Bdd.gc man2);
+    let ops = ref 0 in
+    let t0 = Obs.Clock.now () in
+    for _ = 1 to rounds * 4 do
+      ops := !ops + f ();
+      ignore (Bdd.gc man2)
+    done;
+    let dt = Obs.Clock.now () -. t0 in
+    let rate = if dt > 0.0 then Float.of_int !ops /. dt else 0.0 in
+    pr "  %-12s %8d ops in %7.3fs  = %12.0f ops/s@." name !ops dt rate;
+    Obs.Json.Obj
+      [
+        ("kernel", Obs.Json.Str name);
+        ("ops", Obs.Json.Int !ops);
+        ("time_s", Obs.Json.Float dt);
+        ("ops_per_s", Obs.Json.Float rate);
+      ]
+  in
+  let k_and = kernel "and" and_kernel in
+  let k_ite = kernel "ite" ite_kernel in
+  let k_exists = kernel "exists" exists_kernel in
+  let k_image = image_rounds "and_exists" image_kernel in
+  let kernels = [ k_and; k_ite; k_exists; k_image ] in
+  let j =
+    Obs.Json.Obj
+      [
+        ("bench", Obs.Json.Str "bdd");
+        ("schema", Obs.Json.Str Obs.schema_version);
+        ("pool_vars", Obs.Json.Int nvars);
+        ("image_bits", Obs.Json.Int bits);
+        ("rounds", Obs.Json.Int rounds);
+        ("kernels", Obs.Json.List kernels);
+        ("obs", Obs.to_json (Obs.snapshot (Bdd.stats man)));
+        ("obs_image", Obs.to_json (Obs.snapshot (Bdd.stats man2)));
+      ]
+  in
+  write_file "BENCH_bdd.json" (Obs.Json.to_string j);
+  pr "wrote BENCH_bdd.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Observability smoke check (run from the test alias): emit a snapshot
    for a small design, re-parse it, and fail loudly if any section that
    downstream tooling depends on is missing.  Guards against stats
@@ -447,6 +634,7 @@ let () =
   | "ablate-dc" -> ablate_dc ()
   | "ablate-efd" -> ablate_efd ()
   | "bech" -> run_bechamel ()
+  | "bdd" -> bdd_bench ()
   | "json" -> json_smoke ()
   | "all" ->
       fig2 ();
@@ -456,6 +644,7 @@ let () =
       ablate_dc ();
       ablate_efd ();
       run_bechamel ();
+      bdd_bench ();
       table1 ()
   | other ->
       prerr_endline ("unknown bench: " ^ other);

@@ -57,6 +57,7 @@ let check_cmd verilog blifmv builtin pif_path heuristic no_early witness
     show_stats stats_json () =
   wrap (fun () ->
       let design, builtin_pif = load_design verilog blifmv builtin heuristic in
+      Hsis.set_reach_profile design (show_stats || stats_json <> None);
       let pif =
         match (pif_path, builtin_pif) with
         | Some p, _ -> Hsis_auto.Pif.parse_file p
@@ -97,6 +98,7 @@ let check_cmd verilog blifmv builtin pif_path heuristic no_early witness
 let reach_cmd verilog blifmv builtin heuristic show_stats stats_json () =
   wrap (fun () ->
       let design, _ = load_design verilog blifmv builtin heuristic in
+      Hsis.set_reach_profile design (show_stats || stats_json <> None);
       let r = Hsis.reachable design in
       Format.printf "design        : %s@." design.Hsis.flat.Hsis_blifmv.Ast.m_name;
       Format.printf "read time     : %.3fs@." design.Hsis.read_time;

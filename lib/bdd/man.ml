@@ -5,7 +5,23 @@
    Node ids: 0 = logical false, 1 = logical true; real nodes start at 2.
    Convention: a node [(v, lo, hi)] denotes [if v then hi else lo], and the
    reduced-ordered invariant is [lo <> hi] with both children at strictly
-   greater levels than [v]'s level. *)
+   greater levels than [v]'s level.
+
+   The two hot data structures are allocation-free flat arrays (see the
+   "BDD manager memory layout" section of DESIGN.md):
+
+   - Unique tables are CUDD-style chained subtables: one power-of-two
+     [buckets : int array] of chain heads per variable, with collision
+     chains threaded through node ids by the global [next_arr]. A [mk]
+     probe is a few int-array reads — no tuple key, no polymorphic hash,
+     no allocation.
+
+   - The computed cache is a single direct-mapped lossy [int array] with
+     four slots per entry (tag, f, g, result). The tag packs the operation
+     code (5 bits) with the third operand (ite's else-branch, and_exists'
+     cube, permute's map id), so ternary ops fit the same entry shape.
+     Collisions overwrite (counted as evictions); GC and reordering wipe
+     the cache by index range instead of rebuilding a hashtable. *)
 
 open Hsis_obs
 
@@ -14,7 +30,8 @@ type node_id = int
 let false_id = 0
 let true_id = 1
 
-(* Computed-cache operation tags. *)
+(* Computed-cache operation tags; all fit in the 5 low bits of a cache tag
+   word, the extra operand (if any) is packed above them. *)
 let op_and = 0
 let op_or = 1
 let op_xor = 2
@@ -24,33 +41,43 @@ let op_exists = 5
 let op_and_exists = 6
 let op_restrict = 7
 let op_constrain = 8
-let op_permute_base = 16
-(* permute cache tags are [op_permute_base + map_id] *)
+let op_permute = 9
+(* permute cache tags pack the registered map id as the extra operand *)
 
-(* Counter slots, one per operation kernel; all permute maps share one. *)
-let op_slot_permute = 9
 let num_op_slots = 10
-let op_slot op = if op >= op_permute_base then op_slot_permute else op
 
 let op_names =
   [| "and"; "or"; "xor"; "not"; "ite"; "exists"; "and_exists"; "restrict";
      "constrain"; "permute" |]
+
+(* One variable's unique table: power-of-two bucket heads; collision chains
+   live in the manager-wide [next_arr]. *)
+type subtable = {
+  mutable buckets : int array; (* chain head per hash of (lo, hi); -1 empty *)
+  mutable st_count : int; (* nodes currently chained in this subtable *)
+}
 
 type t = {
   mutable var_arr : int array; (* node -> variable index, -1 when free *)
   mutable lo_arr : int array; (* node -> else-child; freelist thread when free *)
   mutable hi_arr : int array; (* node -> then-child *)
   mutable rc_arr : int array; (* node -> internal parents + external refs *)
+  mutable next_arr : int array; (* node -> next in its unique-table chain *)
   mutable used : int; (* high-water mark of allocated ids *)
   mutable free_list : int; (* head of freed ids, -1 when empty *)
   mutable nodecount : int; (* allocated, not yet freed (live + dead) *)
   mutable deadcount : int; (* allocated nodes whose rc dropped to 0 *)
-  mutable tables : (int * int, int) Hashtbl.t array; (* unique table per var *)
+  mutable subtables : subtable array; (* unique table per var *)
   mutable perm : int array; (* var -> level *)
   mutable invperm : int array; (* level -> var *)
   mutable nvars : int;
   mutable names : string array;
-  cache : (int * int * int * int, int) Hashtbl.t;
+  (* direct-mapped computed cache: 4 ints per entry (tag, f, g, result);
+     tag -1 marks an empty entry *)
+  mutable cache : int array;
+  mutable cache_mask : int; (* entry count - 1 (power of two) *)
+  mutable cache_used : int; (* occupied entries (gauge) *)
+  mutable cache_evictions : int; (* overwrites of live entries (counter) *)
   satcache : (int, float) Hashtbl.t;
   mutable maps : int array array; (* registered permutation maps *)
   mutable gc_enabled : bool;
@@ -69,6 +96,10 @@ type t = {
   mutable peak_live : int;
 }
 
+let initial_cache_slots = 1 lsl 12
+let max_cache_slots = 1 lsl 21
+let initial_bucket_count = 16
+
 let create ?(initial_capacity = 1 lsl 12) () =
   let cap = max 16 initial_capacity in
   {
@@ -76,16 +107,20 @@ let create ?(initial_capacity = 1 lsl 12) () =
     lo_arr = Array.make cap (-1);
     hi_arr = Array.make cap (-1);
     rc_arr = Array.make cap 0;
+    next_arr = Array.make cap (-1);
     used = 2;
     free_list = -1;
     nodecount = 0;
     deadcount = 0;
-    tables = [||];
+    subtables = [||];
     perm = [||];
     invperm = [||];
     nvars = 0;
     names = [||];
-    cache = Hashtbl.create 4096;
+    cache = Array.make (4 * initial_cache_slots) (-1);
+    cache_mask = initial_cache_slots - 1;
+    cache_used = 0;
+    cache_evictions = 0;
     satcache = Hashtbl.create 64;
     maps = [||];
     gc_enabled = true;
@@ -117,6 +152,53 @@ let name_of_var m v =
   else "v" ^ string_of_int v
 
 (* ------------------------------------------------------------------ *)
+(* Unique-table hashing *)
+
+(* Cheap multiplicative mix of a child pair onto a power-of-two range.
+   Multiplication wraps silently in OCaml's native ints; [land mask]
+   discards the sign, so negative intermediates are harmless. *)
+let[@inline] utbl_hash lo_child hi_child mask =
+  let h = (lo_child * 0x9e3779b1) lxor (hi_child * 0x7feb352d) in
+  (h lxor (h lsr 16)) land mask
+
+let fresh_subtable () =
+  { buckets = Array.make initial_bucket_count (-1); st_count = 0 }
+
+(* Double a subtable and re-thread every chained node; no allocation per
+   node — the chains are relinked in place through [next_arr]. *)
+let grow_subtable m st =
+  let old = st.buckets in
+  let nmask = (2 * Array.length old) - 1 in
+  let nb = Array.make (nmask + 1) (-1) in
+  Array.iter
+    (fun head ->
+      let id = ref head in
+      while !id >= 0 do
+        let nxt = m.next_arr.(!id) in
+        let h = utbl_hash m.lo_arr.(!id) m.hi_arr.(!id) nmask in
+        m.next_arr.(!id) <- nb.(h);
+        nb.(h) <- !id;
+        id := nxt
+      done)
+    old;
+  st.buckets <- nb
+
+(* Unlink a node from its variable's unique table. Must be called while
+   the node's [lo]/[hi] (and hence its hash) are still intact. *)
+let unlink_node m v id =
+  let st = m.subtables.(v) in
+  let h = utbl_hash m.lo_arr.(id) m.hi_arr.(id) (Array.length st.buckets - 1) in
+  if st.buckets.(h) = id then st.buckets.(h) <- m.next_arr.(id)
+  else begin
+    let p = ref st.buckets.(h) in
+    while m.next_arr.(!p) <> id do
+      p := m.next_arr.(!p)
+    done;
+    m.next_arr.(!p) <- m.next_arr.(id)
+  end;
+  st.st_count <- st.st_count - 1
+
+(* ------------------------------------------------------------------ *)
 (* Variables *)
 
 let new_var ?(name = "") m =
@@ -141,16 +223,12 @@ let new_var ?(name = "") m =
        b
      end
      else m.names);
-  m.tables <-
-    (let old = Array.length m.tables in
-     if v >= old then begin
-       let b =
-         Array.init (max 8 (2 * (v + 1))) (fun i ->
-             if i < old then m.tables.(i) else Hashtbl.create 64)
-       in
-       b
-     end
-     else m.tables);
+  m.subtables <-
+    (let old = Array.length m.subtables in
+     if v >= old then
+       Array.init (max 8 (2 * (v + 1))) (fun i ->
+           if i < old then m.subtables.(i) else fresh_subtable ())
+     else m.subtables);
   m.perm.(v) <- v;
   m.invperm.(v) <- v;
   m.names.(v) <- name;
@@ -190,7 +268,8 @@ let grow_arenas m needed =
     m.var_arr <- g m.var_arr (-1);
     m.lo_arr <- g m.lo_arr (-1);
     m.hi_arr <- g m.hi_arr (-1);
-    m.rc_arr <- g m.rc_arr 0
+    m.rc_arr <- g m.rc_arr 0;
+    m.next_arr <- g m.next_arr (-1)
   end
 
 let alloc_id m =
@@ -208,37 +287,105 @@ let alloc_id m =
 
 (* [mk v lo hi] returns the canonical node for [if v then hi else lo].
    Children reference counts are incremented only when a fresh node is
-   created (they gain one new internal parent). *)
+   created (they gain one new internal parent). The probe walks the
+   variable's bucket chain by raw int reads — no allocation on hit or
+   miss. *)
 let mk m v lo_child hi_child =
   if lo_child = hi_child then lo_child
   else begin
-    let tbl = m.tables.(v) in
-    let key = (lo_child, hi_child) in
-    match Hashtbl.find_opt tbl key with
-    | Some id -> id
-    | None ->
-        let id = alloc_id m in
-        m.var_arr.(id) <- v;
-        m.lo_arr.(id) <- lo_child;
-        m.hi_arr.(id) <- hi_child;
-        m.rc_arr.(id) <- 0;
-        m.nodecount <- m.nodecount + 1;
-        m.deadcount <- m.deadcount + 1;
-        incr_ref m lo_child;
-        incr_ref m hi_child;
-        Hashtbl.replace tbl key id;
-        id
+    let st = m.subtables.(v) in
+    let mask = Array.length st.buckets - 1 in
+    let h = utbl_hash lo_child hi_child mask in
+    let rec find id =
+      if id < 0 then -1
+      else if m.lo_arr.(id) = lo_child && m.hi_arr.(id) = hi_child then id
+      else find m.next_arr.(id)
+    in
+    let found = find st.buckets.(h) in
+    if found >= 0 then found
+    else begin
+      let id = alloc_id m in
+      m.var_arr.(id) <- v;
+      m.lo_arr.(id) <- lo_child;
+      m.hi_arr.(id) <- hi_child;
+      m.rc_arr.(id) <- 0;
+      m.nodecount <- m.nodecount + 1;
+      m.deadcount <- m.deadcount + 1;
+      incr_ref m lo_child;
+      incr_ref m hi_child;
+      m.next_arr.(id) <- st.buckets.(h);
+      st.buckets.(h) <- id;
+      st.st_count <- st.st_count + 1;
+      (* Keep chains short: grow once the load factor reaches 4. *)
+      if st.st_count > 4 * (mask + 1) then grow_subtable m st;
+      id
+    end
   end
 
 let ithvar m v = mk m v false_id true_id
 let nithvar m v = mk m v true_id false_id
 
 (* ------------------------------------------------------------------ *)
-(* Collection of dead nodes *)
+(* Computed cache: direct-mapped, lossy, one flat int array *)
+
+(* tag = op lor (extra lsl 5): [extra] is ite's else-branch, and_exists'
+   cube, or permute's map id; 0 for binary/unary ops. *)
+let[@inline] cache_hash tag f g mask =
+  let h = (tag * 0x9e3779b1) + (f * 0x85ebca77) + (g * 0x27d4eb2f) in
+  (h lxor (h lsr 21)) land mask
+
+(* Probe; returns the cached node id or -1 on miss (node ids are always
+   non-negative). The op's hit/miss counters are bumped as a side effect. *)
+let[@inline] cache_lookup m slot tag f g =
+  let i = 4 * cache_hash tag f g m.cache_mask in
+  let c = m.cache in
+  if c.(i) = tag && c.(i + 1) = f && c.(i + 2) = g then begin
+    m.cache_hits.(slot) <- m.cache_hits.(slot) + 1;
+    c.(i + 3)
+  end
+  else begin
+    m.cache_misses.(slot) <- m.cache_misses.(slot) + 1;
+    -1
+  end
+
+let[@inline] cache_store m tag f g r =
+  let i = 4 * cache_hash tag f g m.cache_mask in
+  let c = m.cache in
+  let t0 = c.(i) in
+  if t0 < 0 then m.cache_used <- m.cache_used + 1
+  else if not (t0 = tag && c.(i + 1) = f && c.(i + 2) = g) then
+    m.cache_evictions <- m.cache_evictions + 1;
+  c.(i) <- tag;
+  c.(i + 1) <- f;
+  c.(i + 2) <- g;
+  c.(i + 3) <- r
+
+let cache_wipe m =
+  Array.fill m.cache 0 (Array.length m.cache) (-1);
+  m.cache_used <- 0
+
+(* Size the cache against the live-node count: grow (wiping — the cache is
+   lossy anyway) whenever live nodes outnumber entries 2:1, up to a cap.
+   Called only at operation-entry boundaries, never mid-recursion. *)
+let maybe_resize_cache m =
+  let live = m.nodecount - m.deadcount in
+  let slots = m.cache_mask + 1 in
+  if slots < max_cache_slots && live > 2 * slots then begin
+    let nslots = ref slots in
+    while !nslots < max_cache_slots && live > 2 * !nslots do
+      nslots := 2 * !nslots
+    done;
+    m.cache <- Array.make (4 * !nslots) (-1);
+    m.cache_mask <- !nslots - 1;
+    m.cache_used <- 0
+  end
 
 let clear_caches m =
-  Hashtbl.reset m.cache;
+  cache_wipe m;
   Hashtbl.reset m.satcache
+
+(* ------------------------------------------------------------------ *)
+(* Collection of dead nodes *)
 
 (* Free a node known dead: unlink from its unique table, release children
    (cascading via the worklist), thread onto the freelist. *)
@@ -258,7 +405,7 @@ let collect m =
         (* A node on the stack may have been resurrected or already freed. *)
         if m.var_arr.(id) >= 0 && m.rc_arr.(id) = 0 then begin
           let v = m.var_arr.(id) and l = m.lo_arr.(id) and h = m.hi_arr.(id) in
-          Hashtbl.remove m.tables.(v) (l, h);
+          unlink_node m v id;
           m.var_arr.(id) <- -1;
           m.lo_arr.(id) <- m.free_list;
           m.free_list <- id;
@@ -295,15 +442,6 @@ let set_gc_threshold m n = m.gc_threshold <- max 16 n
 (* ------------------------------------------------------------------ *)
 (* Core operations; all recursion is over raw ids and never collects. *)
 
-(* Counted computed-cache lookup; the op tag is the key's first element. *)
-let cache_lookup m ((op, _, _, _) as key) =
-  let r = Hashtbl.find_opt m.cache key in
-  let slot = op_slot op in
-  (match r with
-  | Some _ -> m.cache_hits.(slot) <- m.cache_hits.(slot) + 1
-  | None -> m.cache_misses.(slot) <- m.cache_misses.(slot) + 1);
-  r
-
 let cofactors m u v =
   if is_const u || m.var_arr.(u) <> v then (u, u)
   else (m.lo_arr.(u), m.hi_arr.(u))
@@ -319,17 +457,17 @@ let rec apply_and m f g =
   else if g = true_id then f
   else begin
     let f, g = if f < g then (f, g) else (g, f) in
-    let key = (op_and, f, g, 0) in
-    match cache_lookup m key with
-    | Some r -> r
-    | None ->
-        let v = top_of2 m f g in
-        let f0, f1 = cofactors m f v and g0, g1 = cofactors m g v in
-        let r0 = apply_and m f0 g0 in
-        let r1 = apply_and m f1 g1 in
-        let r = mk m v r0 r1 in
-        Hashtbl.replace m.cache key r;
-        r
+    let r = cache_lookup m op_and op_and f g in
+    if r >= 0 then r
+    else begin
+      let v = top_of2 m f g in
+      let f0, f1 = cofactors m f v and g0, g1 = cofactors m g v in
+      let r0 = apply_and m f0 g0 in
+      let r1 = apply_and m f1 g1 in
+      let r = mk m v r0 r1 in
+      cache_store m op_and f g r;
+      r
+    end
   end
 
 let rec apply_or m f g =
@@ -339,17 +477,17 @@ let rec apply_or m f g =
   else if g = false_id then f
   else begin
     let f, g = if f < g then (f, g) else (g, f) in
-    let key = (op_or, f, g, 0) in
-    match cache_lookup m key with
-    | Some r -> r
-    | None ->
-        let v = top_of2 m f g in
-        let f0, f1 = cofactors m f v and g0, g1 = cofactors m g v in
-        let r0 = apply_or m f0 g0 in
-        let r1 = apply_or m f1 g1 in
-        let r = mk m v r0 r1 in
-        Hashtbl.replace m.cache key r;
-        r
+    let r = cache_lookup m op_or op_or f g in
+    if r >= 0 then r
+    else begin
+      let v = top_of2 m f g in
+      let f0, f1 = cofactors m f v and g0, g1 = cofactors m g v in
+      let r0 = apply_or m f0 g0 in
+      let r1 = apply_or m f1 g1 in
+      let r = mk m v r0 r1 in
+      cache_store m op_or f g r;
+      r
+    end
   end
 
 let rec apply_xor m f g =
@@ -358,31 +496,31 @@ let rec apply_xor m f g =
   else if g = false_id then f
   else begin
     let f, g = if f < g then (f, g) else (g, f) in
-    let key = (op_xor, f, g, 0) in
-    match cache_lookup m key with
-    | Some r -> r
-    | None ->
-        let v = top_of2 m f g in
-        let f0, f1 = cofactors m f v and g0, g1 = cofactors m g v in
-        let r0 = apply_xor m f0 g0 in
-        let r1 = apply_xor m f1 g1 in
-        let r = mk m v r0 r1 in
-        Hashtbl.replace m.cache key r;
-        r
+    let r = cache_lookup m op_xor op_xor f g in
+    if r >= 0 then r
+    else begin
+      let v = top_of2 m f g in
+      let f0, f1 = cofactors m f v and g0, g1 = cofactors m g v in
+      let r0 = apply_xor m f0 g0 in
+      let r1 = apply_xor m f1 g1 in
+      let r = mk m v r0 r1 in
+      cache_store m op_xor f g r;
+      r
+    end
   end
 
 let rec apply_not m f =
   if f = false_id then true_id
   else if f = true_id then false_id
   else begin
-    let key = (op_not, f, 0, 0) in
-    match cache_lookup m key with
-    | Some r -> r
-    | None ->
-        let v = m.var_arr.(f) in
-        let r = mk m v (apply_not m m.lo_arr.(f)) (apply_not m m.hi_arr.(f)) in
-        Hashtbl.replace m.cache key r;
-        r
+    let r = cache_lookup m op_not op_not f 0 in
+    if r >= 0 then r
+    else begin
+      let v = m.var_arr.(f) in
+      let r = mk m v (apply_not m m.lo_arr.(f)) (apply_not m m.hi_arr.(f)) in
+      cache_store m op_not f 0 r;
+      r
+    end
   end
 
 let rec apply_ite m f g h =
@@ -392,21 +530,22 @@ let rec apply_ite m f g h =
   else if g = true_id && h = false_id then f
   else if g = false_id && h = true_id then apply_not m f
   else begin
-    let key = (op_ite, f, g, h) in
-    match cache_lookup m key with
-    | Some r -> r
-    | None ->
-        let lf = level m f and lg = level m g and lh = level m h in
-        let lmin = min lf (min lg lh) in
-        let v = m.invperm.(lmin) in
-        let f0, f1 = cofactors m f v in
-        let g0, g1 = cofactors m g v in
-        let h0, h1 = cofactors m h v in
-        let r0 = apply_ite m f0 g0 h0 in
-        let r1 = apply_ite m f1 g1 h1 in
-        let r = mk m v r0 r1 in
-        Hashtbl.replace m.cache key r;
-        r
+    let tag = op_ite lor (h lsl 5) in
+    let r = cache_lookup m op_ite tag f g in
+    if r >= 0 then r
+    else begin
+      let lf = level m f and lg = level m g and lh = level m h in
+      let lmin = min lf (min lg lh) in
+      let v = m.invperm.(lmin) in
+      let f0, f1 = cofactors m f v in
+      let g0, g1 = cofactors m g v in
+      let h0, h1 = cofactors m h v in
+      let r0 = apply_ite m f0 g0 h0 in
+      let r1 = apply_ite m f1 g1 h1 in
+      let r = mk m v r0 r1 in
+      cache_store m tag f g r;
+      r
+    end
   end
 
 (* Existential quantification of the positive cube [cube] from [f]. *)
@@ -423,25 +562,25 @@ let rec apply_exists m f cube =
     let cube = advance cube in
     if cube = true_id then f
     else begin
-      let key = (op_exists, f, cube, 0) in
-      match cache_lookup m key with
-      | Some r -> r
-      | None ->
-          let v = m.var_arr.(f) in
-          let r =
-            if level m cube = lf then begin
-              let r0 = apply_exists m m.lo_arr.(f) m.hi_arr.(cube) in
-              let r1 = apply_exists m m.hi_arr.(f) m.hi_arr.(cube) in
-              apply_or m r0 r1
-            end
-            else begin
-              let r0 = apply_exists m m.lo_arr.(f) cube in
-              let r1 = apply_exists m m.hi_arr.(f) cube in
-              mk m v r0 r1
-            end
-          in
-          Hashtbl.replace m.cache key r;
-          r
+      let r = cache_lookup m op_exists op_exists f cube in
+      if r >= 0 then r
+      else begin
+        let v = m.var_arr.(f) in
+        let r =
+          if level m cube = lf then begin
+            let r0 = apply_exists m m.lo_arr.(f) m.hi_arr.(cube) in
+            let r1 = apply_exists m m.hi_arr.(f) m.hi_arr.(cube) in
+            apply_or m r0 r1
+          end
+          else begin
+            let r0 = apply_exists m m.lo_arr.(f) cube in
+            let r1 = apply_exists m m.hi_arr.(f) cube in
+            mk m v r0 r1
+          end
+        in
+        cache_store m op_exists f cube r;
+        r
+      end
     end
   end
 
@@ -463,29 +602,30 @@ let rec apply_and_exists m f g cube =
     let cube = advance cube in
     if cube = true_id then apply_and m f g
     else begin
-      let key = (op_and_exists, f, g, cube) in
-      match cache_lookup m key with
-      | Some r -> r
-      | None ->
-          let v = m.invperm.(ltop) in
-          let f0, f1 = cofactors m f v and g0, g1 = cofactors m g v in
-          let r =
-            if level m cube = ltop then begin
-              let r0 = apply_and_exists m f0 g0 m.hi_arr.(cube) in
-              if r0 = true_id then true_id
-              else begin
-                let r1 = apply_and_exists m f1 g1 m.hi_arr.(cube) in
-                apply_or m r0 r1
-              end
-            end
+      let tag = op_and_exists lor (cube lsl 5) in
+      let r = cache_lookup m op_and_exists tag f g in
+      if r >= 0 then r
+      else begin
+        let v = m.invperm.(ltop) in
+        let f0, f1 = cofactors m f v and g0, g1 = cofactors m g v in
+        let r =
+          if level m cube = ltop then begin
+            let r0 = apply_and_exists m f0 g0 m.hi_arr.(cube) in
+            if r0 = true_id then true_id
             else begin
-              let r0 = apply_and_exists m f0 g0 cube in
-              let r1 = apply_and_exists m f1 g1 cube in
-              mk m v r0 r1
+              let r1 = apply_and_exists m f1 g1 m.hi_arr.(cube) in
+              apply_or m r0 r1
             end
-          in
-          Hashtbl.replace m.cache key r;
-          r
+          end
+          else begin
+            let r0 = apply_and_exists m f0 g0 cube in
+            let r1 = apply_and_exists m f1 g1 cube in
+            mk m v r0 r1
+          end
+        in
+        cache_store m tag f g r;
+        r
+      end
     end
   end
 
@@ -500,25 +640,26 @@ let register_map m map =
 let rec apply_permute m map_id map f =
   if is_const f then f
   else begin
-    let key = (op_permute_base + map_id, f, 0, 0) in
-    match cache_lookup m key with
-    | Some r -> r
-    | None ->
-        let v = m.var_arr.(f) in
-        let nv = if v < Array.length map then map.(v) else v in
-        let r0 = apply_permute m map_id map m.lo_arr.(f) in
-        let r1 = apply_permute m map_id map m.hi_arr.(f) in
-        (* The image variable must still sit above both rewritten children;
-           relabelings used here (present<->next swaps) preserve levels
-           pairwise, so [mk] keeps canonicity. Build via ite to stay safe
-           even if the permutation is not level-monotonic. *)
-        let r =
-          let lv = m.perm.(nv) in
-          if level m r0 > lv && level m r1 > lv then mk m nv r0 r1
-          else apply_ite m (ithvar m nv) r1 r0
-        in
-        Hashtbl.replace m.cache key r;
-        r
+    let tag = op_permute lor (map_id lsl 5) in
+    let r = cache_lookup m op_permute tag f 0 in
+    if r >= 0 then r
+    else begin
+      let v = m.var_arr.(f) in
+      let nv = if v < Array.length map then map.(v) else v in
+      let r0 = apply_permute m map_id map m.lo_arr.(f) in
+      let r1 = apply_permute m map_id map m.hi_arr.(f) in
+      (* The image variable must still sit above both rewritten children;
+         relabelings used here (present<->next swaps) preserve levels
+         pairwise, so [mk] keeps canonicity. Build via ite to stay safe
+         even if the permutation is not level-monotonic. *)
+      let r =
+        let lv = m.perm.(nv) in
+        if level m r0 > lv && level m r1 > lv then mk m nv r0 r1
+        else apply_ite m (ithvar m nv) r1 r0
+      in
+      cache_store m tag f 0 r;
+      r
+    end
   end
 
 (* ------------------------------------------------------------------ *)
@@ -528,28 +669,28 @@ let rec apply_restrict m f c =
   if c = true_id || is_const f then f
   else if c = false_id then f
   else begin
-    let key = (op_restrict, f, c, 0) in
-    match cache_lookup m key with
-    | Some r -> r
-    | None ->
-        let lf = level m f and lc = level m c in
-        let r =
-          if lc < lf then
-            (* variable absent from f: merge the two care branches *)
-            apply_restrict m f (apply_or m m.lo_arr.(c) m.hi_arr.(c))
-          else begin
-            let v = m.var_arr.(f) in
-            let c0, c1 = cofactors m c v in
-            if c0 = false_id then apply_restrict m m.hi_arr.(f) c1
-            else if c1 = false_id then apply_restrict m m.lo_arr.(f) c0
-            else
-              mk m v
-                (apply_restrict m m.lo_arr.(f) c0)
-                (apply_restrict m m.hi_arr.(f) c1)
-          end
-        in
-        Hashtbl.replace m.cache key r;
-        r
+    let r = cache_lookup m op_restrict op_restrict f c in
+    if r >= 0 then r
+    else begin
+      let lf = level m f and lc = level m c in
+      let r =
+        if lc < lf then
+          (* variable absent from f: merge the two care branches *)
+          apply_restrict m f (apply_or m m.lo_arr.(c) m.hi_arr.(c))
+        else begin
+          let v = m.var_arr.(f) in
+          let c0, c1 = cofactors m c v in
+          if c0 = false_id then apply_restrict m m.hi_arr.(f) c1
+          else if c1 = false_id then apply_restrict m m.lo_arr.(f) c0
+          else
+            mk m v
+              (apply_restrict m m.lo_arr.(f) c0)
+              (apply_restrict m m.hi_arr.(f) c1)
+        end
+      in
+      cache_store m op_restrict f c r;
+      r
+    end
   end
 
 let rec apply_constrain m f c =
@@ -557,21 +698,21 @@ let rec apply_constrain m f c =
   else if c = false_id then false_id
   else if f = c then true_id
   else begin
-    let key = (op_constrain, f, c, 0) in
-    match cache_lookup m key with
-    | Some r -> r
-    | None ->
-        let lf = level m f and lc = level m c in
-        let lmin = min lf lc in
-        let v = m.invperm.(lmin) in
-        let f0, f1 = cofactors m f v and c0, c1 = cofactors m c v in
-        let r =
-          if c0 = false_id then apply_constrain m f1 c1
-          else if c1 = false_id then apply_constrain m f0 c0
-          else mk m v (apply_constrain m f0 c0) (apply_constrain m f1 c1)
-        in
-        Hashtbl.replace m.cache key r;
-        r
+    let r = cache_lookup m op_constrain op_constrain f c in
+    if r >= 0 then r
+    else begin
+      let lf = level m f and lc = level m c in
+      let lmin = min lf lc in
+      let v = m.invperm.(lmin) in
+      let f0, f1 = cofactors m f v and c0, c1 = cofactors m c v in
+      let r =
+        if c0 = false_id then apply_constrain m f1 c1
+        else if c1 = false_id then apply_constrain m f0 c0
+        else mk m v (apply_constrain m f0 c0) (apply_constrain m f1 c1)
+      in
+      cache_store m op_constrain f c r;
+      r
+    end
   end
 
 (* ------------------------------------------------------------------ *)
@@ -714,6 +855,7 @@ let rec eval m f env =
 let check m =
   let errors = ref [] in
   let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  (* Per-node structural invariants + unique-table membership. *)
   for id = 2 to m.used - 1 do
     let v = m.var_arr.(id) in
     if v >= 0 then begin
@@ -721,12 +863,70 @@ let check m =
       if l = h then err "node %d: lo = hi" id;
       if level m id >= level m l then err "node %d: lo level order" id;
       if level m id >= level m h then err "node %d: hi level order" id;
-      (match Hashtbl.find_opt m.tables.(v) (l, h) with
-      | Some id' when id' = id -> ()
-      | Some id' -> err "node %d: duplicate of %d in unique table" id id'
-      | None -> err "node %d: missing from unique table" id)
+      let st = m.subtables.(v) in
+      let mask = Array.length st.buckets - 1 in
+      let rec find id' =
+        if id' < 0 then -1
+        else if m.lo_arr.(id') = l && m.hi_arr.(id') = h then id'
+        else find m.next_arr.(id')
+      in
+      match find st.buckets.(utbl_hash l h mask) with
+      | id' when id' = id -> ()
+      | -1 -> err "node %d: missing from unique table" id
+      | id' -> err "node %d: duplicate of %d in unique table" id id'
     end
   done;
+  (* Arena-wide canonicity: no two live nodes share a (var, lo, hi)
+     triple, even across different hash buckets. *)
+  let triples = Hashtbl.create 256 in
+  for id = 2 to m.used - 1 do
+    if m.var_arr.(id) >= 0 then begin
+      let key = (m.var_arr.(id), m.lo_arr.(id), m.hi_arr.(id)) in
+      (match Hashtbl.find_opt triples key with
+      | Some other -> err "node %d: same (var,lo,hi) as node %d" id other
+      | None -> ());
+      Hashtbl.replace triples key id
+    end
+  done;
+  (* Subtable bookkeeping: every chained id belongs to the variable, and
+     the per-subtable counts match the chains. *)
+  let chained = ref 0 in
+  for v = 0 to m.nvars - 1 do
+    let st = m.subtables.(v) in
+    let cnt = ref 0 in
+    Array.iter
+      (fun head ->
+        let id = ref head in
+        let steps = ref 0 in
+        while !id >= 0 && !steps <= m.used do
+          if m.var_arr.(!id) <> v then
+            err "node %d: chained under var %d but labeled %d" !id v
+              m.var_arr.(!id);
+          incr cnt;
+          incr steps;
+          id := m.next_arr.(!id)
+        done;
+        if !steps > m.used then err "var %d: unique-table chain cycle" v)
+      st.buckets;
+    if !cnt <> st.st_count then
+      err "var %d: subtable count %d but %d chained" v st.st_count !cnt;
+    chained := !chained + !cnt
+  done;
+  if !chained <> m.nodecount then
+    err "unique tables hold %d nodes but arena has %d allocated" !chained
+      m.nodecount;
+  (* Freelist: freed slots are unlabeled, and freed + allocated covers the
+     arena's used range. *)
+  let free = ref 0 in
+  let fl = ref m.free_list in
+  while !fl >= 0 && !free <= m.used do
+    if m.var_arr.(!fl) <> -1 then err "freelist node %d still labeled" !fl;
+    incr free;
+    fl := m.lo_arr.(!fl)
+  done;
+  if !free > m.used then err "freelist cycle"
+  else if !free + m.nodecount <> m.used - 2 then
+    err "freelist %d + allocated %d <> used %d" !free m.nodecount (m.used - 2);
   (* Internal-parent counts must never exceed stored reference counts. *)
   let parents = Hashtbl.create 256 in
   let bump u =
@@ -752,7 +952,7 @@ let check m =
 let rec purge m id =
   if m.var_arr.(id) >= 0 && m.rc_arr.(id) = 0 then begin
     let v = m.var_arr.(id) and l = m.lo_arr.(id) and h = m.hi_arr.(id) in
-    Hashtbl.remove m.tables.(v) (l, h);
+    unlink_node m v id;
     m.var_arr.(id) <- -1;
     m.lo_arr.(id) <- m.free_list;
     m.free_list <- id;
@@ -768,10 +968,31 @@ let rec purge m id =
     release h
   end
 
-(* Swap the variables at levels [l] and [l+1]. Caches must be clear. *)
+(* All node ids currently chained in a variable's unique table. *)
+let subtable_nodes m v =
+  let acc = ref [] in
+  Array.iter
+    (fun head ->
+      let id = ref head in
+      while !id >= 0 do
+        acc := !id :: !acc;
+        id := m.next_arr.(!id)
+      done)
+    m.subtables.(v).buckets;
+  !acc
+
+(* Swap the variables at levels [l] and [l+1]. Caches must be clear.
+
+   Unique-table protocol: a rewritten node keeps its id but changes both
+   its variable (x -> y) and its children, so it is unlinked from x's
+   subtable while its old (lo, hi) key is still intact, then re-chained
+   into y's subtable under the new key. The two [mk] calls that build the
+   new children go through x's subtable as usual and can never collide
+   with the stale entry (the keys differ because children sit at strictly
+   greater levels). *)
 let swap_levels m l =
   let x = m.invperm.(l) and y = m.invperm.(l + 1) in
-  let xs = Hashtbl.fold (fun _ id acc -> id :: acc) m.tables.(x) [] in
+  let xs = subtable_nodes m x in
   let rewrite id =
     if m.var_arr.(id) = x then begin
       if m.rc_arr.(id) = 0 then purge m id
@@ -789,7 +1010,8 @@ let swap_levels m l =
           incr_ref m c0;
           let c1 = mk m x f01 f11 in
           incr_ref m c1;
-          Hashtbl.remove m.tables.(x) (f0, f1);
+          (* Unlink before rewriting lo/hi: the hash still needs (f0, f1). *)
+          unlink_node m x id;
           decr_ref m f0;
           if m.rc_arr.(f0) = 0 then purge m f0;
           decr_ref m f1;
@@ -800,13 +1022,25 @@ let swap_levels m l =
           m.hi_arr.(id) <- c1;
           (* rc transfer: the two incr_ref above are now the node's own
              references to its children; drop the temporary protection. *)
-          (match Hashtbl.find_opt m.tables.(y) (c0, c1) with
-          | Some other when other <> id ->
+          let st = m.subtables.(y) in
+          let mask = Array.length st.buckets - 1 in
+          let h = utbl_hash c0 c1 mask in
+          let rec find id' =
+            if id' < 0 then -1
+            else if m.lo_arr.(id') = c0 && m.hi_arr.(id') = c1 then id'
+            else find m.next_arr.(id')
+          in
+          (match find st.buckets.(h) with
+          | other when other >= 0 && other <> id ->
               (* Cannot happen for reduced diagrams: two distinct nodes
                  would denote the same function. *)
               invalid_arg
                 (Printf.sprintf "swap_levels: collision %d/%d" id other)
-          | _ -> Hashtbl.replace m.tables.(y) (c0, c1) id)
+          | _ ->
+              m.next_arr.(id) <- st.buckets.(h);
+              st.buckets.(h) <- id;
+              st.st_count <- st.st_count + 1;
+              if st.st_count > 4 * (mask + 1) then grow_subtable m st)
         end
       end
     end
@@ -871,7 +1105,7 @@ let sift ?max_vars m =
   clear_caches m;
   ignore (collect m);
   let order =
-    List.init m.nvars (fun v -> (Hashtbl.length m.tables.(v), v))
+    List.init m.nvars (fun v -> (m.subtables.(v).st_count, v))
     |> List.sort (fun (a, _) (b, _) -> compare b a)
     |> List.map snd
   in
@@ -891,6 +1125,7 @@ let set_reorder_threshold m n = m.reorder_threshold <- max 16 n
 (* Hook called by the handle layer at operation entry. *)
 let entry_hook m =
   maybe_collect m;
+  maybe_resize_cache m;
   if m.auto_reorder && node_count m > m.reorder_threshold then begin
     sift m;
     m.reorder_threshold <- max (2 * node_count m) m.reorder_threshold
@@ -906,7 +1141,13 @@ let stats m : Obs.man_stats =
         })
   in
   {
-    Obs.cache = { Obs.Cache.entries = Hashtbl.length m.cache; ops };
+    Obs.cache =
+      {
+        Obs.Cache.entries = m.cache_used;
+        slots = m.cache_mask + 1;
+        evictions = m.cache_evictions;
+        ops;
+      };
     gc = { Obs.Gc.runs = m.gc_runs; freed = m.gc_freed; time = m.gc_time };
     reorder = { Obs.Reorder.runs = m.reorder_runs; time = m.reorder_time };
     arena =

@@ -10,23 +10,26 @@ type t = {
   profile : Obs.reach_sample array;
 }
 
-let compute ?(use_mono = false) ?bad ?(stop_on_bad = false) ?max_steps trans
-    init =
+let compute ?(use_mono = false) ?bad ?(stop_on_bad = false) ?max_steps
+    ?(profile = true) trans init =
   let hits set =
     match bad with
     | None -> false
     | Some b -> not (Bdd.is_false (Bdd.dand set b))
   in
   let samples = ref [] in
+  (* dag_size walks the whole reached set each step, which is pure
+     profiling overhead on large runs — skip it unless asked. *)
   let sample k frontier reached dt =
-    samples :=
-      {
-        Obs.step = k;
-        frontier_nodes = Bdd.dag_size frontier;
-        reachable_nodes = Bdd.dag_size reached;
-        step_time = dt;
-      }
-      :: !samples
+    if profile then
+      samples :=
+        {
+          Obs.step = k;
+          frontier_nodes = Bdd.dag_size frontier;
+          reachable_nodes = Bdd.dag_size reached;
+          step_time = dt;
+        }
+        :: !samples
   in
   sample 0 init init 0.0;
   let rec go k reached frontier rings bad_hit =

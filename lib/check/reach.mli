@@ -19,10 +19,13 @@ type t = {
 
 val compute :
   ?use_mono:bool -> ?bad:Bdd.t -> ?stop_on_bad:bool -> ?max_steps:int ->
-  Trans.t -> Bdd.t -> t
+  ?profile:bool -> Trans.t -> Bdd.t -> t
 (** [compute trans init].  With [stop_on_bad] (early failure detection) the
     exploration stops at the first ring intersecting [bad]; [reachable] is
-    then a subset of the true reachable set. *)
+    then a subset of the true reachable set.  [profile] (default [true])
+    records the per-step fixpoint profile; it costs a [Bdd.dag_size]
+    traversal of the frontier and the full reached set per image step, so
+    benchmarks turn it off. *)
 
 val count_states : Trans.t -> Bdd.t -> float
 (** Number of states in a set (satisfying assignments over state bits). *)

@@ -15,7 +15,10 @@ type design = {
   read_time : float;
   timers : Obs.Timers.t;
   mutable reach_cache : Reach.t option;
+  mutable profile_reach : bool;
 }
+
+let set_reach_profile d b = d.profile_reach <- b
 
 let timed f = Obs.Clock.wall f
 
@@ -42,7 +45,7 @@ let read_flat ?(heuristic = Trans.Min_width) ?verilog_lines ?timers flat =
         (net, trans))
   in
   { flat; net; trans; verilog_lines; blifmv_lines; read_time; timers;
-    reach_cache = None }
+    reach_cache = None; profile_reach = true }
 
 let read_blifmv ?heuristic src =
   let timers = Obs.Timers.create () in
@@ -69,7 +72,8 @@ let reachable d =
   | None ->
       let r =
         Obs.Timers.time d.timers "reach" (fun () ->
-            Reach.compute d.trans (Trans.initial d.trans))
+            Reach.compute ~profile:d.profile_reach d.trans
+              (Trans.initial d.trans))
       in
       d.reach_cache <- Some r;
       r

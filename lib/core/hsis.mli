@@ -23,7 +23,16 @@ type design = {
           [order], [relation], then [reach] / [mc] / [lc] as the engines
           run.  Rendered by {!snapshot}. *)
   mutable reach_cache : Reach.t option;  (** filled by {!reachable} *)
+  mutable profile_reach : bool;
+      (** record the per-step fixpoint profile during {!reachable}
+          (default [true]; see {!set_reach_profile}) *)
 }
+
+val set_reach_profile : design -> bool -> unit
+(** Enable or disable per-step reachability profiling before the first
+    {!reachable} call.  Profiling walks the frontier and the full reached
+    set with [Bdd.dag_size] each image step; the CLI enables it only when
+    [--stats] / [--stats-json] is passed, and benchmarks disable it. *)
 
 val read_verilog : ?heuristic:Trans.heuristic -> string -> design
 val read_blifmv : ?heuristic:Trans.heuristic -> string -> design

@@ -286,9 +286,13 @@ end
 
 module Cache = struct
   type op = { name : string; hits : int; misses : int }
-  type t = { entries : int; ops : op list }
+  type t = { entries : int; slots : int; evictions : int; ops : op list }
 
   let lookups (o : op) = o.hits + o.misses
+
+  let occupancy t =
+    if t.slots = 0 then 0.0
+    else float_of_int t.entries /. float_of_int t.slots
 
   let op_hit_rate (o : op) =
     let l = lookups o in
@@ -405,6 +409,10 @@ let diff before after =
         cache =
           {
             Cache.entries = after.man.cache.Cache.entries;
+            slots = after.man.cache.Cache.slots;
+            evictions =
+              sub after.man.cache.Cache.evictions
+                before.man.cache.Cache.evictions;
             ops = List.map op_diff after.man.cache.Cache.ops;
           };
         gc =
@@ -436,8 +444,12 @@ let pp fmt s =
   Format.fprintf fmt "bdd arena   : %d live (peak %d), %d dead, %d vars, capacity %d@."
     a.Arena.live a.Arena.peak_live a.Arena.dead a.Arena.vars a.Arena.capacity;
   let c = s.man.cache in
-  Format.fprintf fmt "cache       : %d entries, %.1f%% hit rate (%d hits / %d misses)@."
-    c.Cache.entries
+  Format.fprintf fmt
+    "cache       : %d/%d entries (%.1f%% full), %d evictions, %.1f%% hit rate \
+     (%d hits / %d misses)@."
+    c.Cache.entries c.Cache.slots
+    (100.0 *. Cache.occupancy c)
+    c.Cache.evictions
     (100.0 *. Cache.hit_rate c)
     (Cache.hits c) (Cache.misses c);
   List.iter
@@ -478,7 +490,10 @@ let pp fmt s =
             r.step r.frontier_nodes r.reachable_nodes r.step_time)
         samples
 
-let schema_version = "hsis-obs/1"
+(* /2 adds the cache "slots" and "evictions" members (additive: /1 readers
+   that ignore unknown members keep working, and of_json defaults them to
+   zero when reading /1 documents). *)
+let schema_version = "hsis-obs/2"
 
 let to_json s =
   let open Json in
@@ -500,6 +515,8 @@ let to_json s =
        ( "cache",
          Obj
            [ ("entries", Int s.man.cache.Cache.entries);
+             ("slots", Int s.man.cache.Cache.slots);
+             ("evictions", Int s.man.cache.Cache.evictions);
              ("ops", List (List.map op s.man.cache.Cache.ops)) ] );
        ( "gc",
          Obj
@@ -543,6 +560,8 @@ let of_json j =
     let jc = Option.value ~default:(Obj []) (member "cache" j) in
     {
       Cache.entries = to_int (member "entries" jc);
+      slots = to_int (member "slots" jc);
+      evictions = to_int (member "evictions" jc);
       ops = List.map op (to_list (member "ops" jc));
     }
   in

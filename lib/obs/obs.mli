@@ -66,11 +66,17 @@ module Cache : sig
       [permute]).  [hits + misses] is the number of cache lookups; terminal
       cases short-circuit before the cache and are not counted. *)
 
-  type t = { entries : int; ops : op list }
-  (** [entries] is the current cache population (a gauge); [ops] the
-      per-operation counters (monotone). *)
+  type t = { entries : int; slots : int; evictions : int; ops : op list }
+  (** [entries] is the current cache population and [slots] its capacity
+      (both gauges of the direct-mapped computed cache); [evictions] counts
+      entries overwritten by colliding stores (monotone); [ops] holds the
+      per-operation hit/miss counters (monotone). *)
 
   val lookups : op -> int
+
+  (** [occupancy t] is [entries / slots], the fraction of the cache in
+      use; 0 when the cache has no slots. *)
+  val occupancy : t -> float
   val op_hit_rate : op -> float
   val hits : t -> int
   val misses : t -> int
@@ -161,7 +167,8 @@ val diff : snapshot -> snapshot -> snapshot
     entries, reach profile, relation profile) taken from [after]. *)
 
 val schema_version : string
-(** Value of the ["schema"] member of emitted JSON ("hsis-obs/1"). *)
+(** Value of the ["schema"] member of emitted JSON ("hsis-obs/2"; /2 added
+    the additive cache ["slots"] and ["evictions"] members). *)
 
 val pp : Format.formatter -> snapshot -> unit
 (** Human-readable multi-line report. *)

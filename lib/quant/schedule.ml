@@ -10,12 +10,15 @@ type problem = { supports : int list array; quantify : int list }
    (support minus everything already quantified inside it). *)
 type item = { tree : t; supp : IS.t }
 
+(* Prepend the (small) new batch rather than appending to the accumulated
+   list: consumers treat [q] as a set (it is sorted or turned into a cube),
+   and appending made repeated add_q calls quadratic in the total count. *)
 let add_q tree q =
   if q = [] then tree
   else
     match tree with
-    | Leaf l -> Leaf { l with q = l.q @ q }
-    | Join j -> Join { j with q = j.q @ q }
+    | Leaf l -> Leaf { l with q = q @ l.q }
+    | Join j -> Join { j with q = q @ j.q }
 
 let leaf_items problem =
   Array.to_list

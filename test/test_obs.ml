@@ -111,7 +111,18 @@ let test_counters_monotonic () =
   Alcotest.(check bool) "peak live positive" true
     (st2.Obs.arena.Obs.Arena.peak_live > 0);
   Alcotest.(check bool) "peak live >= live" true
-    (st2.Obs.arena.Obs.Arena.peak_live >= st2.Obs.arena.Obs.Arena.live)
+    (st2.Obs.arena.Obs.Arena.peak_live >= st2.Obs.arena.Obs.Arena.live);
+  (* direct-mapped cache gauges *)
+  Alcotest.(check bool) "cache has slots" true
+    (st2.Obs.cache.Obs.Cache.slots > 0);
+  Alcotest.(check bool) "entries within slots" true
+    (st2.Obs.cache.Obs.Cache.entries >= 0
+    && st2.Obs.cache.Obs.Cache.entries <= st2.Obs.cache.Obs.Cache.slots);
+  Alcotest.(check bool) "occupancy in [0,1]" true
+    (let o = Obs.Cache.occupancy st2.Obs.cache in
+     o >= 0.0 && o <= 1.0);
+  Alcotest.(check bool) "evictions monotone" true
+    (st2.Obs.cache.Obs.Cache.evictions >= st1.Obs.cache.Obs.Cache.evictions)
 
 let test_diff_non_negative () =
   let man = Bdd.new_man () in
@@ -192,6 +203,28 @@ let test_design_snapshot_roundtrip () =
   Alcotest.(check int) "peak live survives"
     snap.Obs.man.Obs.arena.Obs.Arena.peak_live
     snap'.Obs.man.Obs.arena.Obs.Arena.peak_live;
+  Alcotest.(check int) "cache slots survive"
+    snap.Obs.man.Obs.cache.Obs.Cache.slots
+    snap'.Obs.man.Obs.cache.Obs.Cache.slots;
+  Alcotest.(check int) "cache evictions survive"
+    snap.Obs.man.Obs.cache.Obs.Cache.evictions
+    snap'.Obs.man.Obs.cache.Obs.Cache.evictions;
+  Alcotest.(check int) "cache entries survive"
+    snap.Obs.man.Obs.cache.Obs.Cache.entries
+    snap'.Obs.man.Obs.cache.Obs.Cache.entries;
+  (* a /1 document (no slots/evictions members) still parses: the new
+     members default to zero, keeping the schema bump additive *)
+  let old_doc =
+    Obs.Json.parse
+      {|{"schema":"hsis-obs/1","cache":{"entries":7,"ops":[{"op":"and","hits":3,"misses":2}]}}|}
+  in
+  let old_snap = Obs.of_json old_doc in
+  Alcotest.(check int) "v1 entries read" 7
+    old_snap.Obs.man.Obs.cache.Obs.Cache.entries;
+  Alcotest.(check int) "v1 slots default 0" 0
+    old_snap.Obs.man.Obs.cache.Obs.Cache.slots;
+  Alcotest.(check int) "v1 evictions default 0" 0
+    old_snap.Obs.man.Obs.cache.Obs.Cache.evictions;
   Alcotest.(check int) "gc runs survive" snap.Obs.man.Obs.gc.Obs.Gc.runs
     snap'.Obs.man.Obs.gc.Obs.Gc.runs;
   Alcotest.(check (list (pair string (float 1e-9)))) "phases survive"
