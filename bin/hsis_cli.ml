@@ -156,6 +156,35 @@ let refine_cmd impl_path spec_path obs () =
         r.Hsis_bisim.Simrel.iterations;
       if r.Hsis_bisim.Simrel.holds then 0 else 2)
 
+let fuzz_cmd iters seed limit ctl_per_iter no_lc no_shrink out json quiet () =
+  wrap (fun () ->
+      let open Hsis_gen in
+      let cfg =
+        {
+          Diff.default_config with
+          Diff.iters;
+          seed;
+          state_limit = limit;
+          ctl_per_iter;
+          lc = not no_lc;
+          shrink = not no_shrink;
+          out_dir = out;
+          log =
+            (if quiet then None
+             else Some (fun s -> Printf.eprintf "hsis fuzz: %s\n%!" s));
+        }
+      in
+      let report = Diff.run cfg in
+      Format.printf "%a" Diff.pp_report report;
+      (match json with
+      | Some path ->
+          let oc = open_out path in
+          output_string oc (Obs.Json.to_string (Diff.report_to_json report));
+          output_char oc '\n';
+          close_out oc
+      | None -> ());
+      if report.Diff.discrepancies = [] then 0 else 3)
+
 let stats_cmd verilog blifmv builtin heuristic stats_json () =
   wrap (fun () ->
       let design, _ = load_design verilog blifmv builtin heuristic in
@@ -268,8 +297,73 @@ let refine =
     Term.(
       const (fun a b c -> refine_cmd a b c ()) $ impl_arg $ spec_arg $ obs_arg)
 
+let fuzz =
+  let iters_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "n"; "iters" ] ~docv:"N" ~doc:"Differential iterations to run.")
+  in
+  let fseed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Master seed; every run is reproducible from it.")
+  in
+  let limit_arg =
+    Arg.(
+      value & opt int 20_000
+      & info [ "limit" ] ~docv:"STATES"
+          ~doc:
+            "Explicit-engine state budget; larger systems are skipped, not \
+             failed.")
+  in
+  let ctl_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "ctl-per-iter" ] ~docv:"K"
+          ~doc:"CTL formulas cross-checked per generated network.")
+  in
+  let no_lc_arg =
+    Arg.(
+      value & flag
+      & info [ "no-lc" ] ~doc:"Skip the language-containment cross-check.")
+  in
+  let no_shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ] ~doc:"Report failing inputs without minimizing.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"DIR"
+          ~doc:"Write shrunk $(b,.mv) repro files (plus detail sidecars) here.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the hsis-fuzz/1 report as JSON to $(docv).")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No progress on stderr.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "differential fuzzing: random BLIF-MV designs checked by the \
+          symbolic engines against the explicit-state oracle")
+    Term.(
+      const (fun a b c d e f g h i -> fuzz_cmd a b c d e f g h i ())
+      $ iters_arg $ fseed_arg $ limit_arg $ ctl_arg $ no_lc_arg
+      $ no_shrink_arg $ out_arg $ json_arg $ quiet_arg)
+
 let () =
   let doc = "HSIS: a BDD-based environment for formal verification" in
   exit
     (Cmd.eval'
-       (Cmd.group (Cmd.info "hsis" ~doc) [ check; reach; sim; stats; refine ]))
+       (Cmd.group
+          (Cmd.info "hsis" ~doc)
+          [ check; reach; sim; stats; refine; fuzz ]))

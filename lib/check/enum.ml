@@ -432,15 +432,23 @@ let check_ctl (net : Net.t) g cs f =
   let s = go f in
   (s, List.for_all (fun i -> s.(i)) g.init)
 
-let check_lc ?(fairness = []) flat aut =
+let check_lc_opt ?(fairness = []) ?limit flat aut =
   let composed = Autom.compose flat aut in
   let net = Net.of_model composed in
-  let g = build net in
-  let cs =
-    compile_fairness net g (fairness @ Autom.complement_constraints aut)
-  in
-  let fair = fair_states g cs in
-  not (Array.exists Fun.id fair)
+  let g = build ?limit net in
+  if not g.complete then None
+  else begin
+    let cs =
+      compile_fairness net g (fairness @ Autom.complement_constraints aut)
+    in
+    let fair = fair_states g cs in
+    Some (not (Array.exists Fun.id fair))
+  end
+
+let check_lc ?fairness ?limit flat aut =
+  match check_lc_opt ?fairness ?limit flat aut with
+  | Some holds -> holds
+  | None -> invalid_arg "Enum.check_lc: state limit hit on the product"
 
 let count_reachable ?limit (net : Net.t) =
   let g = build ?limit net in

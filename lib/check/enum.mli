@@ -55,7 +55,18 @@ val check_ctl :
     it. *)
 
 val check_lc :
-  ?fairness:Fair.syntactic list -> Ast.model -> Autom.t -> bool
-(** Explicit language containment on the composed product. *)
+  ?fairness:Fair.syntactic list -> ?limit:int -> Ast.model -> Autom.t -> bool
+(** Explicit language containment on the composed product.  Raises
+    [Invalid_argument] when the product enumeration hits the state
+    [limit] — a truncated graph cannot certify emptiness either way. *)
+
+val check_lc_opt :
+  ?fairness:Fair.syntactic list ->
+  ?limit:int ->
+  Ast.model ->
+  Autom.t ->
+  bool option
+(** As {!check_lc} but [None] on truncation, for callers (the fuzz
+    harness) that want to count the skip rather than fail. *)
 
 val count_reachable : ?limit:int -> Net.t -> int

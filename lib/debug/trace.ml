@@ -243,6 +243,70 @@ let locate_cycle env trans ~fair start =
   in
   go start 0
 
+(* Shrink a candidate cycle region until every Streett constraint is
+   locally satisfiable.  A state can be fair (a fair path leaves from it)
+   without lying on any fair cycle: when (p, q) has no q-witness inside the
+   region, a cycle there must avoid p entirely — so remove the p-states,
+   and for edge conditions restrict the transition structure to the non-p
+   edges — then recompute the fair hull of what is left.  Returns the
+   environment to build the cycle in (its structure carries the edge
+   restrictions) along with the refined region.  Iterates because removals
+   can starve another constraint's witnesses. *)
+let refine_streett env ~fair =
+  let rec go env_cur region iter =
+    if Bdd.is_false region || iter >= 8 then (env_cur, region)
+    else begin
+      let trans = El.trans_of env_cur in
+      let q_ok = function
+        | Fair.CState qs -> not (Bdd.is_false (Bdd.dand region qs))
+        | Fair.CEdge qe ->
+            not
+              (Bdd.is_false
+                 (Bdd.dand region (El.pre_edge env_cur ~edge:qe region)))
+      in
+      let removed, avoided =
+        List.fold_left
+          (fun ((rs, es) as acc) c ->
+            match c with
+            | Fair.CStreett (p, q) when not (q_ok q) -> begin
+                match p with
+                | Fair.CState ps ->
+                    let hit = Bdd.dand region ps in
+                    if Bdd.is_false hit then acc else (Bdd.dor rs hit, es)
+                | Fair.CEdge pe ->
+                    (* restrict only when a p-edge is live in the region *)
+                    if
+                      Bdd.is_false
+                        (Bdd.dand region (El.pre_edge env_cur ~edge:pe region))
+                    then acc
+                    else (rs, pe :: es)
+              end
+            | Fair.CStreett _ | Fair.CInf_state _ | Fair.CInf_edge _ -> acc)
+          (Bdd.dfalse (Trans.man trans), [])
+          (El.constraints env_cur)
+      in
+      if Bdd.is_false removed && avoided = [] then (env_cur, region)
+      else begin
+        let env' =
+          if avoided = [] then env_cur
+          else
+            El.prepare
+              (List.fold_left
+                 (fun t pe -> Trans.transition_constraint t (Bdd.dnot pe))
+                 trans avoided)
+              (El.constraints env_cur)
+        in
+        go env'
+          (El.fair_states env' ~within:(Bdd.dand region (Bdd.dnot removed)))
+          (iter + 1)
+      end
+    end
+  in
+  let env', region = go env fair 0 in
+  (* An empty refinement would contradict a non-empty exact hull; fall back
+     to the unrefined one rather than fail. *)
+  if Bdd.is_false region then (env, fair) else (env', region)
+
 let edge_step env trans ~fair ~edge cur =
   let sym = Trans.sym trans in
   ignore env;
@@ -319,6 +383,11 @@ let build_cycle env trans ~fair start =
       let rest = List.filteri (fun i _ -> i < List.length rest - 1) rest in
       path := List.rev_append rest !path
   | _ -> ());
+  (* the witness walk may itself have returned to the start: the wrap to
+     the head is implicit, so a trailing copy would fake a self-loop *)
+  (match !path with
+  | last :: (_ :: _ as rest) when Bdd.equal last start -> path := rest
+  | _ -> ());
   List.rev !path
 
 (* ------------------------------------------------------------------ *)
@@ -359,13 +428,21 @@ let verify_cycle env trans cycle =
          | Fair.CInf_state p -> state_hit p
          | Fair.CInf_edge e -> edge_hit e
          | Fair.CStreett (p, q) ->
-             let p_hit =
-               match p with Fair.CState ps -> state_hit ps | Fair.CEdge pe -> edge_hit pe
-             in
              let q_hit =
                match q with Fair.CState qs -> state_hit qs | Fair.CEdge qe -> edge_hit qe
              in
-             (not p_hit) || q_hit)
+             let p_avoided =
+               match p with
+               | Fair.CState ps -> not (state_hit ps)
+               | Fair.CEdge pe ->
+                   (* each step must be realizable off the p-edges — an
+                      edge intersecting pe may still have a non-p labeling *)
+                   let t_notp =
+                     Trans.transition_constraint trans (Bdd.dnot pe)
+                   in
+                   List.for_all (fun (a, b) -> has_transition t_notp a b) pairs
+             in
+             q_hit || p_avoided)
        (El.constraints env)
 
 (* One shortcut pass: splice out segments when a direct transition skips
@@ -429,14 +506,17 @@ let steps_of trans states ~closing =
   in
   go states
 
-let assemble env trans prefix_states cycle_states =
-  let cycle_states = minimize_cycle env trans cycle_states in
-  let verified = verify_cycle env trans cycle_states in
+(* [ptrans] is the full structure the prefix was found in; [ctrans] is the
+   (possibly Streett-restricted) structure the cycle lives in, so cycle
+   labels are solved off the avoided edges. *)
+let assemble env ~ptrans ~ctrans prefix_states cycle_states =
+  let cycle_states = minimize_cycle env ctrans cycle_states in
+  let verified = verify_cycle env ctrans cycle_states in
   (* the prefix's last step transitions into the cycle head *)
   let prefix_states, cycle_head =
     match cycle_states with
     | head :: _ -> (prefix_states, head)
-    | [] -> (prefix_states, Bdd.dfalse (Trans.man trans))
+    | [] -> (prefix_states, Bdd.dfalse (Trans.man ptrans))
   in
   let prefix =
     match List.rev prefix_states with
@@ -447,14 +527,14 @@ let assemble env trans prefix_states cycle_states =
           | [ last ] ->
               [
                 {
-                  state = decode_state trans last;
-                  others = solve_others trans ~pres:last ~next:cycle_head;
+                  state = decode_state ptrans last;
+                  others = solve_others ptrans ~pres:last ~next:cycle_head;
                 };
               ]
           | a :: (b :: _ as rest) ->
               {
-                state = decode_state trans a;
-                others = solve_others trans ~pres:a ~next:b;
+                state = decode_state ptrans a;
+                others = solve_others ptrans ~pres:a ~next:b;
               }
               :: go rest
         in
@@ -463,12 +543,14 @@ let assemble env trans prefix_states cycle_states =
   let cycle =
     match cycle_states with
     | [] -> []
-    | first :: _ -> steps_of trans cycle_states ~closing:(Some first)
+    | first :: _ -> steps_of ctrans cycle_states ~closing:(Some first)
   in
   { prefix; cycle; verified }
 
 let fair_lasso env ~reach ~fair =
   if Bdd.is_false fair then raise Not_found;
+  let ptrans = El.trans_of env in
+  let env, fair = refine_streett env ~fair in
   let trans = El.trans_of env in
   let rings = reach.Reach.rings in
   (* shortest prefix candidate: first ring intersecting the fair hull *)
@@ -500,20 +582,22 @@ let fair_lasso env ~reach ~fair =
     if j < 0 then acc
     else begin
       let prev =
-        pick_state trans (Bdd.dand rings.(j) (Trans.preimage trans current))
+        pick_state ptrans (Bdd.dand rings.(j) (Trans.preimage ptrans current))
       in
       backward (j - 1) (prev :: acc) prev
     end
   in
   let prefix_states = backward (k - 1) [] anchor in
   let cycle_states = build_cycle env trans ~fair:region anchor in
-  assemble env trans prefix_states cycle_states
+  assemble env ~ptrans ~ctrans:trans prefix_states cycle_states
 
 let lasso_from env ~within start =
-  let trans = El.trans_of env in
+  let ptrans = El.trans_of env in
   let fair = El.fair_states env ~within in
   if Bdd.is_false fair then raise Not_found;
-  let path = bfs_path trans ~within ~src:start ~dst:fair in
+  let env, fair = refine_streett env ~fair in
+  let trans = El.trans_of env in
+  let path = bfs_path ptrans ~within ~src:start ~dst:fair in
   let entry = List.nth path (List.length path - 1) in
   let head =
     List.filteri (fun i _ -> i < List.length path - 1) path
@@ -525,9 +609,68 @@ let lasso_from env ~within start =
   in
   let prefix_states = head @ walk_head in
   let cycle_states = build_cycle env trans ~fair:region anchor in
-  assemble env trans prefix_states cycle_states
+  assemble env ~ptrans ~ctrans:trans prefix_states cycle_states
 
 let total_length t = List.length t.prefix + List.length t.cycle
+
+(* ------------------------------------------------------------------ *)
+(* Concrete replay *)
+
+(* Re-execute the lasso on the explicit-state simulator: every step must be
+   realizable as one of the enabled non-deterministic options of the
+   concrete network, and the last cycle step must close back on the cycle
+   head.  This validates the whole symbolic pipeline the trace came from
+   (relation construction, image, solve_step, decoding) against the
+   independent row-enumeration semantics of [Enum]. *)
+let replay trans t =
+  let sym = Trans.sym trans in
+  let net = Sym.net sym in
+  let latches = net.Net.latches in
+  let exception Bad_trace in
+  let state_arr pairs =
+    Array.of_list
+      (List.map
+         (fun (l : Net.flatch) ->
+           match List.assoc_opt l.Net.fl_output pairs with
+           | Some v -> v
+           | None -> raise Bad_trace)
+         latches)
+  in
+  match t.cycle with
+  | [] -> false
+  | head :: _ -> (
+      try
+        let steps = t.prefix @ t.cycle in
+        let states = List.map (fun s -> state_arr s.state) steps in
+        let head_state = state_arr head.state in
+        (* Each step's target is the next state in the walk; the final
+           cycle step wraps back to the cycle head. *)
+        let rec targets = function
+          | [] -> []
+          | [ _ ] -> [ head_state ]
+          | _ :: (s' :: _ as rest) -> s' :: targets rest
+        in
+        let tgts = targets states in
+        let first = List.hd states in
+        let init_idx =
+          let rec find i = function
+            | [] -> raise Bad_trace
+            | st :: rest -> if st = first then i else find (i + 1) rest
+          in
+          find 0 (Enum.initial_states net)
+        in
+        let sim = Hsis_sim.Simulator.create ~init_choice:init_idx net in
+        List.for_all2
+          (fun (step : step) target ->
+            (* Prefer an option consistent with the decoded transition
+               labels; fall back to any option reaching the target state
+               (labels can be under-determined by the picked cube). *)
+            Hsis_sim.Simulator.step_matching sim (fun v next ->
+                next = target
+                && List.for_all (fun (s, value) -> v.(s) = value) step.others)
+            || Hsis_sim.Simulator.step_matching sim (fun _ next -> next = target))
+          steps tgts
+      with Bad_trace -> false)
 
 (* ------------------------------------------------------------------ *)
 (* Printing *)

@@ -43,5 +43,12 @@ val lasso_from : El.env -> within:Bdd.t -> Bdd.t -> t
 
 val total_length : t -> int
 
+val replay : Trans.t -> t -> bool
+(** Re-execute the lasso on the explicit-state {!Hsis_sim.Simulator}: true
+    when every prefix and cycle step is realizable as an enabled option of
+    the concrete network (matching the decoded transition labels where
+    possible) and the cycle closes.  The differential fuzz harness asserts
+    this on every generated counterexample. *)
+
 val pp : Trans.t -> Format.formatter -> t -> unit
 (** Human-readable trace using signal and value names. *)

@@ -1,0 +1,555 @@
+open Hsis_obs
+open Hsis_bdd
+open Hsis_blifmv
+open Hsis_fsm
+open Hsis_auto
+open Hsis_check
+open Hsis_debug
+
+type kind = Reach_count | Ctl_verdict | Lc_verdict | Trace_replay | Crash
+
+let kind_name = function
+  | Reach_count -> "reach-count"
+  | Ctl_verdict -> "ctl-verdict"
+  | Lc_verdict -> "lc-verdict"
+  | Trace_replay -> "trace-replay"
+  | Crash -> "crash"
+
+type discrepancy = {
+  d_iter : int;
+  d_kind : kind;
+  d_detail : string;
+  d_model : Ast.model;
+  d_ctl : Ctl.t option;
+  d_automaton : Autom.t option;
+  d_fairness : Fair.syntactic list;
+  d_repro : string option;
+}
+
+type config = {
+  iters : int;
+  seed : int;
+  state_limit : int;
+  ctl_per_iter : int;
+  lc : bool;
+  shrink : bool;
+  out_dir : string option;
+  gen_config : Gen.config;
+  log : (string -> unit) option;
+}
+
+let default_config =
+  {
+    iters = 100;
+    seed = 0;
+    state_limit = 20_000;
+    ctl_per_iter = 3;
+    lc = true;
+    shrink = true;
+    out_dir = None;
+    gen_config = Gen.default;
+    log = None;
+  }
+
+type report = {
+  config : config;
+  iterations : int;
+  states_explored : int;
+  ctl_checked : int;
+  lc_checked : int;
+  traces_replayed : int;
+  skips : Obs.Tally.t;
+  discrepancies : discrepancy list;
+  elapsed : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* One verification problem and its cross-checks *)
+
+type problem = {
+  p_fairness : Fair.syntactic list;
+  p_ctls : Ctl.t list;
+  p_aut : Autom.t option;
+  p_heuristic : Trans.heuristic;
+  p_early : bool;
+}
+
+type failure =
+  | Fail_reach of int * int  (** symbolic count, explicit count *)
+  | Fail_ctl of Ctl.t * bool * bool  (** formula, symbolic, explicit *)
+  | Fail_lc of bool * bool
+  | Fail_replay of string
+  | Fail_crash of string
+
+let kind_of = function
+  | Fail_reach _ -> Reach_count
+  | Fail_ctl _ -> Ctl_verdict
+  | Fail_lc _ -> Lc_verdict
+  | Fail_replay _ -> Trace_replay
+  | Fail_crash _ -> Crash
+
+let describe = function
+  | Fail_reach (s, e) ->
+      Printf.sprintf "reachable-state count: symbolic %d vs explicit %d" s e
+  | Fail_ctl (f, s, e) ->
+      Printf.sprintf "CTL %s: symbolic %b vs explicit %b" (Ctl.to_string f) s
+        e
+  | Fail_lc (s, e) ->
+      Printf.sprintf "language containment: symbolic %b vs explicit %b" s e
+  | Fail_replay r -> "counterexample replay: " ^ r
+  | Fail_crash e -> "engine exception: " ^ e
+
+type outcome = {
+  o_states : int;
+  o_ctl_checked : int;
+  o_lc_checked : int;
+  o_traces : int;
+  o_skips : string list;
+  o_failure : failure option;
+}
+
+let base_outcome =
+  {
+    o_states = 0;
+    o_ctl_checked = 0;
+    o_lc_checked = 0;
+    o_traces = 0;
+    o_skips = [];
+    o_failure = None;
+  }
+
+(* Run every cross-check on one problem.  Never raises: engine exceptions
+   become [Fail_crash], which makes the function directly usable as a
+   shrinking predicate. *)
+let run_checks ~limit (p : problem) (m : Ast.model) : outcome =
+  try
+    let net = Net.of_model m in
+    let g = Enum.build ~limit net in
+    if not g.Enum.complete then
+      { base_outcome with o_skips = [ "system-state-limit" ] }
+    else begin
+      let nstates = Array.length g.Enum.states in
+      let got = { base_outcome with o_states = nstates } in
+      let man = Bdd.new_man () in
+      let trans = Trans.build ~heuristic:p.p_heuristic (Sym.make man net) in
+      let r = Reach.compute ~profile:false trans (Trans.initial trans) in
+      let sym_count =
+        int_of_float (Reach.count_states trans r.Reach.reachable)
+      in
+      if sym_count <> nstates then
+        { got with o_failure = Some (Fail_reach (sym_count, nstates)) }
+      else begin
+        let compiled = Fair.compile_all trans p.p_fairness in
+        let econstrs = Enum.compile_fairness net g p.p_fairness in
+        let checked = ref 0 in
+        let ctl_failure =
+          List.find_map
+            (fun f ->
+              incr checked;
+              let sym =
+                (Mc.check ~fairness:compiled ~early_failure:p.p_early
+                   ~reach:r trans f)
+                  .Mc.holds
+              in
+              let exp = snd (Enum.check_ctl net g econstrs f) in
+              if sym <> exp then Some (Fail_ctl (f, sym, exp)) else None)
+            p.p_ctls
+        in
+        let got = { got with o_ctl_checked = !checked } in
+        match ctl_failure with
+        | Some f -> { got with o_failure = Some f }
+        | None -> (
+            match p.p_aut with
+            | None -> got
+            | Some aut -> (
+                let sym =
+                  try
+                    `Outcome
+                      (Lc.check ~fairness:p.p_fairness
+                         ~early_failure:p.p_early ~heuristic:p.p_heuristic m
+                         aut)
+                  with Lc.Not_deterministic _ -> `Nondet
+                in
+                match sym with
+                | `Nondet ->
+                    { got with o_skips = [ "lc-nondeterministic" ] }
+                | `Outcome o -> (
+                    match
+                      Enum.check_lc_opt ~fairness:p.p_fairness ~limit m aut
+                    with
+                    | None ->
+                        { got with o_skips = [ "product-state-limit" ] }
+                    | Some exp ->
+                        let got = { got with o_lc_checked = 1 } in
+                        if o.Lc.holds <> exp then
+                          {
+                            got with
+                            o_failure = Some (Fail_lc (o.Lc.holds, exp));
+                          }
+                        else if o.Lc.holds then got
+                        else begin
+                          (* containment fails on both sides: the symbolic
+                             counterexample must verify and replay *)
+                          match
+                            Trace.fair_lasso o.Lc.env ~reach:o.Lc.reach
+                              ~fair:o.Lc.fair
+                          with
+                          | exception Not_found ->
+                              {
+                                got with
+                                o_failure =
+                                  Some
+                                    (Fail_replay
+                                       "no lasso in a non-empty fair set");
+                              }
+                          | t ->
+                              if not t.Trace.verified then
+                                {
+                                  got with
+                                  o_failure =
+                                    Some
+                                      (Fail_replay
+                                         "lasso failed fairness verification");
+                                }
+                              else if not (Trace.replay o.Lc.trans t) then
+                                {
+                                  got with
+                                  o_failure =
+                                    Some
+                                      (Fail_replay
+                                         "lasso not realizable on the \
+                                          concrete simulator");
+                                }
+                              else { got with o_traces = 1 }
+                        end)))
+      end
+    end
+  with e ->
+    { base_outcome with o_failure = Some (Fail_crash (Printexc.to_string e)) }
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking *)
+
+let still_fails ~limit p k m =
+  match (run_checks ~limit p m).o_failure with
+  | Some f -> kind_of f = k
+  | None -> false
+
+(* Minimize the ingredients in dependency order: fairness first (freeing
+   signals the model shrinker may then drop), then the offending formula or
+   automaton, then the network itself. *)
+let shrink_problem ~limit (p : problem) failure m =
+  let k = kind_of failure in
+  let check p m = still_fails ~limit p k m in
+  let p =
+    match failure with
+    | Fail_reach _ -> { p with p_ctls = []; p_aut = None }
+    | Fail_ctl (f, _, _) -> { p with p_ctls = [ f ]; p_aut = None }
+    | Fail_lc _ | Fail_replay _ -> { p with p_ctls = [] }
+    | Fail_crash _ ->
+        (* try discarding whole ingredients before structural shrinking *)
+        let p' = { p with p_ctls = [] } in
+        let p = if check p' m then p' else p in
+        let p' = { p with p_aut = None } in
+        if check p' m then p' else p
+  in
+  let p =
+    {
+      p with
+      p_fairness =
+        Shrink.minimize_fairness
+          ~still_fails:(fun fs -> check { p with p_fairness = fs } m)
+          p.p_fairness;
+    }
+  in
+  let p =
+    match p.p_ctls with
+    | [ f ] ->
+        {
+          p with
+          p_ctls =
+            [
+              Shrink.minimize_ctl
+                ~still_fails:(fun f' -> check { p with p_ctls = [ f' ] } m)
+                f;
+            ];
+        }
+    | _ -> p
+  in
+  let p =
+    match p.p_aut with
+    | Some a ->
+        {
+          p with
+          p_aut =
+            Some
+              (Shrink.minimize_automaton
+                 ~still_fails:(fun a' -> check { p with p_aut = Some a' } m)
+                 a);
+        }
+    | None -> p
+  in
+  let m = Shrink.minimize_model ~still_fails:(fun m' -> check p m') m in
+  (p, m)
+
+(* ------------------------------------------------------------------ *)
+(* Repro files *)
+
+let autom_lines (a : Autom.t) =
+  let pair i (p : Autom.accept_pair) =
+    let part name s = if s = "" then [] else [ name ^ " " ^ s ] in
+    let states = String.concat " " in
+    let edges es =
+      String.concat " " (List.map (fun (x, y) -> x ^ "->" ^ y) es)
+    in
+    (Printf.sprintf "pair %d:" i
+    :: part "  inf-states" (states p.inf_states))
+    @ part "  inf-edges" (edges p.inf_edges)
+    @ part "  fin-states" (states p.fin_states)
+    @ part "  fin-edges" (edges p.fin_edges)
+  in
+  [
+    "automaton " ^ a.a_name;
+    "states: " ^ String.concat " " a.a_states;
+    "init: " ^ String.concat " " a.a_init;
+  ]
+  @ List.map
+      (fun (e : Autom.edge) ->
+        Printf.sprintf "edge %s -> %s when %s" e.e_src e.e_dst
+          (Expr.to_string e.e_guard))
+      a.a_edges
+  @ List.concat (List.mapi pair a.a_pairs)
+
+let fairness_lines fs =
+  List.map (fun c -> Format.asprintf "%a" Fair.pp_syntactic c) fs
+
+let write_file path lines =
+  let oc = open_out path in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  close_out oc
+
+let write_repro cfg ~iter failure (p : problem) m =
+  match cfg.out_dir with
+  | None -> None
+  | Some dir ->
+      (try if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+       with Sys_error _ -> ());
+      let base = Printf.sprintf "repro-seed%d-iter%d" cfg.seed iter in
+      let mv = Filename.concat dir (base ^ ".mv") in
+      let header =
+        [
+          "# hsis fuzz repro";
+          Printf.sprintf "# seed %d iteration %d kind %s" cfg.seed iter
+            (kind_name (kind_of failure));
+          "# " ^ describe failure;
+          Printf.sprintf "# details in %s.txt" base;
+        ]
+      in
+      write_file mv (header @ [ Printer.model_to_string m ]);
+      let detail =
+        [ describe failure; "" ]
+        @ (match p.p_ctls with
+          | [ f ] -> [ "formula: " ^ Ctl.to_string f ]
+          | _ -> [])
+        @ (if p.p_fairness = [] then []
+           else "fairness:" :: List.map (fun l -> "  " ^ l)
+                                 (fairness_lines p.p_fairness))
+        @
+        match p.p_aut with
+        | Some a -> "" :: autom_lines a
+        | None -> []
+      in
+      write_file (Filename.concat dir (base ^ ".txt")) detail;
+      Some mv
+
+(* ------------------------------------------------------------------ *)
+(* The driver *)
+
+let empty_model name =
+  {
+    Ast.m_name = name;
+    m_inputs = [];
+    m_outputs = [];
+    m_mvs = [];
+    m_tables = [];
+    m_latches = [];
+    m_subckts = [];
+    m_delays = [];
+  }
+
+let gen_problem cfg rng =
+  let config = cfg.gen_config in
+  let m = Gen.flat ~config rng in
+  let net = Net.of_model m in
+  let p_fairness = Gen.fairness ~config rng net in
+  let p_ctls =
+    List.init cfg.ctl_per_iter (fun _ -> Gen.ctl ~config rng net)
+  in
+  let p_aut = if cfg.lc then Some (Gen.automaton ~config rng net) else None in
+  let p_heuristic =
+    Rng.pick rng [ Trans.Min_width; Trans.Pair_clustering; Trans.Naive ]
+  in
+  let p_early = Rng.bool rng in
+  (m, { p_fairness; p_ctls; p_aut; p_heuristic; p_early })
+
+let run cfg =
+  let t0 = Obs.Clock.now () in
+  let master = Rng.make cfg.seed in
+  let skips = Obs.Tally.create () in
+  let discrepancies = ref [] in
+  let states = ref 0 in
+  let ctl_n = ref 0 in
+  let lc_n = ref 0 in
+  let traces = ref 0 in
+  let log s = match cfg.log with Some f -> f s | None -> () in
+  let record ~iter failure p m =
+    log
+      (Printf.sprintf "iteration %d: DISCREPANCY %s" iter (describe failure));
+    let p, m =
+      if cfg.shrink then shrink_problem ~limit:cfg.state_limit p failure m
+      else (p, m)
+    in
+    (* re-derive the failure detail from the shrunk problem when possible,
+       so the repro describes what the shrunk file actually does *)
+    let failure =
+      if not cfg.shrink then failure
+      else
+        match (run_checks ~limit:cfg.state_limit p m).o_failure with
+        | Some f when kind_of f = kind_of failure -> f
+        | _ -> failure
+    in
+    let repro = write_repro cfg ~iter failure p m in
+    discrepancies :=
+      {
+        d_iter = iter;
+        d_kind = kind_of failure;
+        d_detail = describe failure;
+        d_model = m;
+        d_ctl = (match p.p_ctls with [ f ] -> Some f | _ -> None);
+        d_automaton = p.p_aut;
+        d_fairness = p.p_fairness;
+        d_repro = repro;
+      }
+      :: !discrepancies
+  in
+  for iter = 0 to cfg.iters - 1 do
+    let rng = Rng.split master in
+    match gen_problem cfg rng with
+    | exception e ->
+        record ~iter
+          (Fail_crash ("generator: " ^ Printexc.to_string e))
+          {
+            p_fairness = [];
+            p_ctls = [];
+            p_aut = None;
+            p_heuristic = Trans.Min_width;
+            p_early = false;
+          }
+          (empty_model "generator-crash")
+    | m, p ->
+        let o = run_checks ~limit:cfg.state_limit p m in
+        states := !states + o.o_states;
+        ctl_n := !ctl_n + o.o_ctl_checked;
+        lc_n := !lc_n + o.o_lc_checked;
+        traces := !traces + o.o_traces;
+        List.iter (fun s -> Obs.Tally.incr skips s) o.o_skips;
+        (match o.o_failure with
+        | None -> ()
+        | Some f -> record ~iter f p m);
+        if (iter + 1) mod 50 = 0 then
+          log
+            (Printf.sprintf "%d/%d iterations, %d states, %d discrepancies"
+               (iter + 1) cfg.iters !states
+               (List.length !discrepancies))
+  done;
+  {
+    config = cfg;
+    iterations = cfg.iters;
+    states_explored = !states;
+    ctl_checked = !ctl_n;
+    lc_checked = !lc_n;
+    traces_replayed = !traces;
+    skips;
+    discrepancies = List.rev !discrepancies;
+    elapsed = Obs.Clock.now () -. t0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting *)
+
+let kinds_tally ds =
+  let t = Obs.Tally.create () in
+  List.iter (fun d -> Obs.Tally.incr t (kind_name d.d_kind)) ds;
+  t
+
+let disc_to_json d =
+  let open Obs.Json in
+  Obj
+    [
+      ("iteration", Int d.d_iter);
+      ("kind", Str (kind_name d.d_kind));
+      ("detail", Str d.d_detail);
+      ("model", Str (Printer.model_to_string d.d_model));
+      ( "formula",
+        match d.d_ctl with Some f -> Str (Ctl.to_string f) | None -> Null );
+      ( "fairness",
+        List (List.map (fun l -> Str l) (fairness_lines d.d_fairness)) );
+      ( "automaton",
+        match d.d_automaton with
+        | Some a -> Str (String.concat "\n" (autom_lines a))
+        | None -> Null );
+      ("repro", match d.d_repro with Some p -> Str p | None -> Null);
+    ]
+
+let report_to_json r =
+  let open Obs.Json in
+  Obj
+    [
+      ("schema", Str "hsis-fuzz/1");
+      ("seed", Int r.config.seed);
+      ("iters", Int r.config.iters);
+      ("state_limit", Int r.config.state_limit);
+      ("ctl_per_iter", Int r.config.ctl_per_iter);
+      ("lc", Bool r.config.lc);
+      ("shrink", Bool r.config.shrink);
+      ("iterations", Int r.iterations);
+      ("states_explored", Int r.states_explored);
+      ("ctl_checked", Int r.ctl_checked);
+      ("lc_checked", Int r.lc_checked);
+      ("traces_replayed", Int r.traces_replayed);
+      ("skips", Obs.Tally.to_json r.skips);
+      ("discrepancy_count", Int (List.length r.discrepancies));
+      ("discrepancies_by_kind", Obs.Tally.to_json (kinds_tally r.discrepancies));
+      ("discrepancies", List (List.map disc_to_json r.discrepancies));
+      ("elapsed_s", Float r.elapsed);
+    ]
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "fuzz: seed %d, %d iterations in %.1fs@\n\
+     explicit states explored: %d@\n\
+     checks: %d CTL, %d LC, %d counterexamples replayed@\n"
+    r.config.seed r.iterations r.elapsed r.states_explored r.ctl_checked
+    r.lc_checked r.traces_replayed;
+  (match Obs.Tally.to_list r.skips with
+  | [] -> ()
+  | sk ->
+      Format.fprintf fmt "skips:";
+      List.iter (fun (k, n) -> Format.fprintf fmt " %s=%d" k n) sk;
+      Format.fprintf fmt "@\n");
+  match r.discrepancies with
+  | [] -> Format.fprintf fmt "discrepancies: none@\n"
+  | ds ->
+      Format.fprintf fmt "discrepancies: %d@\n" (List.length ds);
+      List.iter
+        (fun d ->
+          Format.fprintf fmt "  iteration %d [%s]: %s%s@\n" d.d_iter
+            (kind_name d.d_kind) d.d_detail
+            (match d.d_repro with
+            | Some p -> " (repro: " ^ p ^ ")"
+            | None -> ""))
+        ds

@@ -1,0 +1,79 @@
+open Hsis_obs
+open Hsis_blifmv
+open Hsis_auto
+
+(** The differential fuzz driver: generate a random verification problem,
+    run the symbolic engines and the explicit-state reference engine on it,
+    and compare every answer.
+
+    Per iteration it cross-checks the reachable-state count ({!Hsis_check.Reach}
+    vs {!Hsis_check.Enum.build}), a handful of CTL verdicts
+    ({!Hsis_check.Mc} vs {!Hsis_check.Enum.check_ctl}, under the same
+    random fairness constraints), language emptiness ({!Hsis_check.Lc} vs
+    the explicit SCC fair-cycle check), and replays every symbolic
+    counterexample lasso through the concrete
+    {!Hsis_sim.Simulator}.  Any disagreement — or an engine exception — is
+    recorded, greedily shrunk, and optionally written out as a standalone
+    repro file. *)
+
+type kind =
+  | Reach_count  (** symbolic and explicit reachable-state counts differ *)
+  | Ctl_verdict  (** [Mc] and [Enum.check_ctl] disagree on a formula *)
+  | Lc_verdict  (** [Lc] and the explicit emptiness check disagree *)
+  | Trace_replay
+      (** a counterexample lasso was unverified or failed concrete replay *)
+  | Crash  (** an engine raised *)
+
+val kind_name : kind -> string
+
+type discrepancy = {
+  d_iter : int;  (** iteration (0-based) within the run *)
+  d_kind : kind;
+  d_detail : string;  (** human-readable mismatch description *)
+  d_model : Ast.model;  (** shrunk (when shrinking is on) failing model *)
+  d_ctl : Ctl.t option;
+  d_automaton : Autom.t option;
+  d_fairness : Fair.syntactic list;
+  d_repro : string option;  (** path of the written [.mv] repro file *)
+}
+
+type config = {
+  iters : int;
+  seed : int;
+  state_limit : int;
+      (** explicit-engine budget; iterations whose system (or product)
+          exceeds it are counted as skips, not failures (default 20_000) *)
+  ctl_per_iter : int;  (** formulas checked per network (default 3) *)
+  lc : bool;  (** also cross-check language containment (default true) *)
+  shrink : bool;  (** minimize failing inputs (default true) *)
+  out_dir : string option;  (** where to write repro files (default none) *)
+  gen_config : Gen.config;
+  log : (string -> unit) option;  (** progress callback *)
+}
+
+val default_config : config
+(** 100 iterations of seed 0, no output directory. *)
+
+type report = {
+  config : config;
+  iterations : int;  (** iterations actually run *)
+  states_explored : int;  (** total explicit states enumerated *)
+  ctl_checked : int;
+  lc_checked : int;
+  traces_replayed : int;  (** counterexample lassos replayed successfully *)
+  skips : Obs.Tally.t;  (** skip reasons, e.g. ["system-state-limit"] *)
+  discrepancies : discrepancy list;  (** oldest first *)
+  elapsed : float;  (** wall-clock seconds *)
+}
+
+val run : config -> report
+(** Deterministic given [config.seed]: each iteration draws from its own
+    split of the master stream, so runs are reproducible and iteration [k]
+    generates the same problem regardless of what earlier iterations did
+    with their generators. *)
+
+val report_to_json : report -> Obs.Json.t
+(** Schema ["hsis-fuzz/1"]: run parameters, totals, per-kind discrepancy
+    tallies and per-discrepancy records (with repro paths). *)
+
+val pp_report : Format.formatter -> report -> unit

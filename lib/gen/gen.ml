@@ -1,0 +1,523 @@
+open Hsis_blifmv
+open Hsis_auto
+open Hsis_mv
+
+type config = {
+  max_latches : int;
+  max_dom : int;
+  max_aux_tables : int;
+  max_inputs : int;
+  hierarchy : bool;
+  max_formula_depth : int;
+}
+
+let default =
+  {
+    max_latches = 3;
+    max_dom = 4;
+    max_aux_tables = 2;
+    max_inputs = 1;
+    hierarchy = true;
+    max_formula_depth = 3;
+  }
+
+(* A signal visible while wiring the root model, with its domain size. *)
+type sig_info = { sname : string; ssize : int }
+
+
+let val_of v = Ast.Val (string_of_int v)
+
+(* ------------------------------------------------------------------ *)
+(* Table entries *)
+
+(* Input-column entry over a domain of [size] values. *)
+let gen_in_entry rng size =
+  Rng.weighted rng
+    ([ (3, `Any); (4, `Val) ]
+    @ (if size > 2 then [ (2, `Set) ] else [])
+    @ if size > 1 then [ (1, `Not) ] else [])
+  |> function
+  | `Any -> Ast.Any
+  | `Val -> val_of (Rng.int rng size)
+  | `Not -> Ast.Not (string_of_int (Rng.int rng size))
+  | `Set ->
+      let a = Rng.int rng size in
+      let b = (a + 1 + Rng.int rng (size - 1)) mod size in
+      Ast.Set [ string_of_int a; string_of_int b ]
+
+(* Output-column entry: [Set]/[Any] introduce non-determinism; [Eq] copies
+   a same-domain table input when one exists. *)
+let gen_out_entry rng ~inputs ~size =
+  let eq_candidates =
+    List.filter (fun s -> s.ssize = size) inputs
+  in
+  Rng.weighted rng
+    ([ (6, `Val); (1, `Any) ]
+    @ (if size > 2 then [ (2, `Set) ] else [ (1, `Set) ])
+    @ if eq_candidates <> [] then [ (1, `Eq) ] else [])
+  |> function
+  | `Val -> val_of (Rng.int rng size)
+  | `Any -> Ast.Any
+  | `Eq -> Ast.Eq (Rng.pick rng eq_candidates).sname
+  | `Set ->
+      if size < 2 then val_of 0
+      else begin
+        let a = Rng.int rng size in
+        let b = (a + 1 + Rng.int rng (size - 1)) mod size in
+        Ast.Set [ string_of_int a; string_of_int b ]
+      end
+
+(* A complete table [inputs -> outputs]: random rows plus either a
+   [.default] or a catch-all row, so every input pattern admits at least
+   one output tuple. *)
+let gen_table rng ~(inputs : sig_info list) ~(outputs : sig_info list) =
+  let input_space =
+    List.fold_left (fun acc s -> acc * s.ssize) 1 inputs
+  in
+  let nrows = 1 + Rng.int rng (min 6 (max 1 input_space)) in
+  let row () =
+    {
+      Ast.r_inputs = List.map (fun s -> gen_in_entry rng s.ssize) inputs;
+      r_outputs =
+        List.map (fun s -> gen_out_entry rng ~inputs ~size:s.ssize) outputs;
+    }
+  in
+  let rows = List.init nrows (fun _ -> row ()) in
+  let default_out () =
+    List.map (fun s -> gen_out_entry rng ~inputs ~size:s.ssize) outputs
+  in
+  if Rng.bool rng then
+    {
+      Ast.t_inputs = List.map (fun s -> s.sname) inputs;
+      t_outputs = List.map (fun s -> s.sname) outputs;
+      t_rows = rows;
+      t_default = Some (default_out ());
+    }
+  else begin
+    let catch_all =
+      {
+        Ast.r_inputs = List.map (fun _ -> Ast.Any) inputs;
+        r_outputs = default_out ();
+      }
+    in
+    {
+      Ast.t_inputs = List.map (fun s -> s.sname) inputs;
+      t_outputs = List.map (fun s -> s.sname) outputs;
+      t_rows = rows @ [ catch_all ];
+      t_default = None;
+    }
+  end
+
+(* Free (input-like) table: no inputs, a non-empty set of allowed values. *)
+let gen_free_table rng ~(out : sig_info) =
+  let k = 1 + Rng.int rng out.ssize in
+  let values = Rng.sample rng k (List.init out.ssize Fun.id) in
+  {
+    Ast.t_inputs = [];
+    t_outputs = [ out.sname ];
+    t_rows =
+      List.map
+        (fun v -> { Ast.r_inputs = []; r_outputs = [ val_of v ] })
+        values;
+    t_default = None;
+  }
+
+let mv_decls signals =
+  List.map
+    (fun (names, size) -> { Ast.v_names = names; v_size = size; v_values = [] })
+    signals
+
+(* ------------------------------------------------------------------ *)
+(* Cells (hierarchy) *)
+
+(* A leaf cell: [in_doms] formal inputs, one output, one complete table. *)
+let gen_leaf_cell rng ~name ~in_sizes ~out_size =
+  let formals =
+    List.mapi (fun i sz -> { sname = Printf.sprintf "a%d" i; ssize = sz }) in_sizes
+  in
+  let z = { sname = "z"; ssize = out_size } in
+  {
+    Ast.m_name = name;
+    m_inputs = List.map (fun s -> s.sname) formals;
+    m_outputs = [ z.sname ];
+    m_mvs =
+      mv_decls
+        (List.map (fun s -> ([ s.sname ], s.ssize)) (formals @ [ z ]));
+    m_tables = [ gen_table rng ~inputs:formals ~outputs:[ z ] ];
+    m_latches = [];
+    m_subckts = [];
+    m_delays = [];
+  }
+
+(* An outer cell wrapping a leaf: its single input feeds the leaf instance,
+   and a table over (input, leaf output) drives its own output. *)
+let gen_outer_cell rng ~name ~leaf ~in_size ~out_size =
+  let a = { sname = "a0"; ssize = in_size } in
+  let leaf_in_sizes =
+    List.map
+      (fun n ->
+        match
+          List.find_opt (fun (d : Ast.var_decl) -> List.mem n d.Ast.v_names)
+            leaf.Ast.m_mvs
+        with
+        | Some d -> d.Ast.v_size
+        | None -> 2)
+      leaf.Ast.m_inputs
+  in
+  (* The outer input must match the leaf's first formal domain; remaining
+     leaf formals are fed from it too when sizes agree, else from a local
+     free signal. *)
+  let conns, extra_frees =
+    List.fold_left
+      (fun (conns, frees) (formal, sz) ->
+        if sz = a.ssize then ((formal, a.sname) :: conns, frees)
+        else begin
+          let f = { sname = Printf.sprintf "f%d" (List.length frees); ssize = sz } in
+          ((formal, f.sname) :: conns, f :: frees)
+        end)
+      ([], [])
+      (List.combine leaf.Ast.m_inputs leaf_in_sizes)
+  in
+  let w =
+    {
+      sname = "w";
+      ssize =
+        (match
+           List.find_opt
+             (fun (d : Ast.var_decl) -> List.mem "z" d.Ast.v_names)
+             leaf.Ast.m_mvs
+         with
+        | Some d -> d.Ast.v_size
+        | None -> 2);
+    }
+  in
+  let z = { sname = "z"; ssize = out_size } in
+  let locals = extra_frees @ [ w; z ] in
+  {
+    Ast.m_name = name;
+    m_inputs = [ a.sname ];
+    m_outputs = [ z.sname ];
+    m_mvs =
+      mv_decls
+        (List.map (fun s -> ([ s.sname ], s.ssize)) (a :: locals));
+    m_tables =
+      List.map (fun f -> gen_free_table rng ~out:f) extra_frees
+      @ [ gen_table rng ~inputs:[ a; w ] ~outputs:[ z ] ];
+    m_latches = [];
+    m_subckts =
+      [
+        {
+          Ast.s_model = leaf.Ast.m_name;
+          s_inst = "inner";
+          s_conns = List.rev (("z", w.sname) :: conns);
+        };
+      ];
+    m_delays = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The root model *)
+
+let hierarchical ?(config = default) rng =
+  let dom () = Rng.range rng 2 config.max_dom in
+  let nl = Rng.range rng 1 config.max_latches in
+  let latch_sigs =
+    List.init nl (fun i -> { sname = Printf.sprintf "s%d" i; ssize = dom () })
+  in
+  let next_sigs =
+    List.mapi
+      (fun i s -> { sname = Printf.sprintf "n%d" i; ssize = s.ssize })
+      latch_sigs
+  in
+  let ninputs = Rng.int rng (config.max_inputs + 1) in
+  let input_sigs =
+    List.init ninputs (fun i ->
+        { sname = Printf.sprintf "in%d" i; ssize = Rng.range rng 2 3 })
+  in
+  let nfree = Rng.range rng 1 2 in
+  let free_sigs =
+    List.init nfree (fun i ->
+        { sname = Printf.sprintf "u%d" i; ssize = Rng.range rng 2 3 })
+  in
+  let available = ref (latch_sigs @ input_sigs @ free_sigs) in
+  let tables = ref (List.map (fun f -> gen_free_table rng ~out:f) free_sigs) in
+  let subckts = ref [] in
+  let cells = ref [] in
+  (* Hierarchy: a leaf cell, maybe wrapped in an outer cell, instantiated
+     once or twice with domain-matching actuals. *)
+  if config.hierarchy && Rng.chance rng 1 2 then begin
+    let n_formals = Rng.range rng 1 2 in
+    let actuals = Rng.sample rng n_formals !available in
+    if actuals <> [] then begin
+      let leaf =
+        gen_leaf_cell rng ~name:"cell_leaf"
+          ~in_sizes:(List.map (fun s -> s.ssize) actuals)
+          ~out_size:(dom ())
+      in
+      cells := [ leaf ];
+      let use_outer = Rng.chance rng 1 2 in
+      let cell =
+        if use_outer then begin
+          let outer =
+            gen_outer_cell rng ~name:"cell_outer" ~leaf
+              ~in_size:(List.hd actuals).ssize ~out_size:(dom ())
+          in
+          cells := [ leaf; outer ];
+          outer
+        end
+        else leaf
+      in
+      let out_size =
+        match
+          List.find_opt
+            (fun (d : Ast.var_decl) -> List.mem "z" d.Ast.v_names)
+            cell.Ast.m_mvs
+        with
+        | Some d -> d.Ast.v_size
+        | None -> 2
+      in
+      let n_inst = Rng.range rng 1 2 in
+      for k = 0 to n_inst - 1 do
+        (* re-pick domain-matching actuals per instance *)
+        let formal_sizes =
+          List.map
+            (fun n ->
+              match
+                List.find_opt
+                  (fun (d : Ast.var_decl) -> List.mem n d.Ast.v_names)
+                  cell.Ast.m_mvs
+              with
+              | Some d -> d.Ast.v_size
+              | None -> 2)
+            cell.Ast.m_inputs
+        in
+        let chosen =
+          List.map
+            (fun sz ->
+              match List.filter (fun s -> s.ssize = sz) !available with
+              | [] -> None
+              | cands -> Some (Rng.pick rng cands))
+            formal_sizes
+        in
+        if List.for_all Option.is_some chosen then begin
+          let h = { sname = Printf.sprintf "h%d" k; ssize = out_size } in
+          subckts :=
+            {
+              Ast.s_model = cell.Ast.m_name;
+              s_inst = Printf.sprintf "c%d" k;
+              s_conns =
+                List.map2
+                  (fun formal actual -> (formal, (Option.get actual).sname))
+                  cell.Ast.m_inputs chosen
+                @ [ ("z", h.sname) ];
+            }
+            :: !subckts;
+          available := !available @ [ h ]
+        end
+      done
+    end
+  end;
+  (* Intermediate combinational tables over whatever is available so far:
+     acyclic by construction (each reads only earlier signals). *)
+  let naux = Rng.int rng (config.max_aux_tables + 1) in
+  for i = 0 to naux - 1 do
+    let n_in = Rng.range rng 1 (min 2 (List.length !available)) in
+    let ins = Rng.sample rng n_in !available in
+    let out = { sname = Printf.sprintf "t%d" i; ssize = dom () } in
+    tables := gen_table rng ~inputs:ins ~outputs:[ out ] :: !tables;
+    available := !available @ [ out ]
+  done;
+  (* Next-state logic: one table per latch (occasionally one table driving
+     two next-state signals of equal-sized latches). *)
+  let rec gen_next = function
+    | [] -> ()
+    | n :: rest ->
+        let pair =
+          match rest with
+          | n2 :: _ when n2.ssize = n.ssize && Rng.chance rng 1 4 ->
+              Some n2
+          | _ -> None
+        in
+        let outs = match pair with Some n2 -> [ n; n2 ] | None -> [ n ] in
+        let n_in = Rng.range rng 1 (min 3 (List.length !available)) in
+        let ins = Rng.sample rng n_in !available in
+        tables := gen_table rng ~inputs:ins ~outputs:outs :: !tables;
+        gen_next (match pair with Some _ -> List.tl rest | None -> rest)
+  in
+  gen_next next_sigs;
+  let latches =
+    List.map2
+      (fun s n ->
+        let nresets = if Rng.chance rng 1 3 then 2 else 1 in
+        let resets =
+          Rng.sample rng nresets (List.init s.ssize Fun.id)
+          |> List.map string_of_int
+        in
+        { Ast.l_input = n.sname; l_output = s.sname; l_reset = resets })
+      latch_sigs next_sigs
+  in
+  let all_sigs =
+    latch_sigs @ next_sigs @ input_sigs @ free_sigs
+    @ List.filter
+        (fun s ->
+          not
+            (List.exists (fun x -> x.sname = s.sname)
+               (latch_sigs @ next_sigs @ input_sigs @ free_sigs)))
+        !available
+  in
+  let root =
+    {
+      Ast.m_name = "fuzz";
+      m_inputs = List.map (fun s -> s.sname) input_sigs;
+      m_outputs = List.map (fun s -> s.sname) latch_sigs;
+      m_mvs = mv_decls (List.map (fun s -> ([ s.sname ], s.ssize)) all_sigs);
+      m_tables = List.rev !tables;
+      m_latches = latches;
+      m_subckts = List.rev !subckts;
+      m_delays = [];
+    }
+  in
+  { Ast.models = root :: !cells; root = "fuzz" }
+
+let flat ?config rng =
+  let ast = hierarchical ?config rng in
+  let m = Flatten.flatten ast in
+  (* Fail fast on generator bugs: a generated model must always resolve. *)
+  ignore (Net.of_model m);
+  m
+
+(* ------------------------------------------------------------------ *)
+(* Formulas *)
+
+(* Atom signals: latch outputs weighted up, everything else available. *)
+let atom_pool (net : Net.t) =
+  let state = Net.state_signals net in
+  let all = List.init (Net.num_signals net) Fun.id in
+  List.map (fun s -> (3, s)) state @ List.map (fun s -> (1, s)) all
+
+let gen_atom rng net =
+  let pool = atom_pool net in
+  let s = Rng.weighted rng pool in
+  let d = Net.dom net s in
+  let name = (Net.signal net s).Net.s_name in
+  let v = Domain.value d (Rng.int rng (Domain.size d)) in
+  if Rng.chance rng 1 4 then Expr.Neq (name, v) else Expr.Eq (name, v)
+
+let rec gen_expr rng net depth =
+  if depth = 0 || Rng.chance rng 1 3 then gen_atom rng net
+  else
+    match Rng.int rng 4 with
+    | 0 -> Expr.Not (gen_expr rng net (depth - 1))
+    | 1 -> Expr.And (gen_expr rng net (depth - 1), gen_expr rng net (depth - 1))
+    | 2 -> Expr.Or (gen_expr rng net (depth - 1), gen_expr rng net (depth - 1))
+    | _ -> Expr.Imp (gen_expr rng net (depth - 1), gen_expr rng net (depth - 1))
+
+let ctl ?(config = default) rng net =
+  let rec go depth =
+    if depth = 0 || Rng.chance rng 1 4 then Ctl.Prop (gen_expr rng net 1)
+    else
+      let sub () = go (depth - 1) in
+      match Rng.int rng 12 with
+      | 0 -> Ctl.Not (sub ())
+      | 1 -> Ctl.And (sub (), sub ())
+      | 2 -> Ctl.Or (sub (), sub ())
+      | 3 -> Ctl.Imp (sub (), sub ())
+      | 4 -> Ctl.EX (sub ())
+      | 5 -> Ctl.EF (sub ())
+      | 6 -> Ctl.EG (sub ())
+      | 7 -> Ctl.EU (sub (), sub ())
+      | 8 -> Ctl.AX (sub ())
+      | 9 -> Ctl.AF (sub ())
+      | 10 -> Ctl.AG (sub ())
+      | _ -> Ctl.AU (sub (), sub ())
+  in
+  go config.max_formula_depth
+
+(* ------------------------------------------------------------------ *)
+(* Fairness *)
+
+(* An expression over latch outputs only (edge to-conditions and
+   [Enum]-side edge compilation require state signals). *)
+let gen_state_expr rng (net : Net.t) =
+  let state = Net.state_signals net in
+  let s = Rng.pick rng state in
+  let d = Net.dom net s in
+  let name = (Net.signal net s).Net.s_name in
+  Expr.Eq (name, Domain.value d (Rng.int rng (Domain.size d)))
+
+let fairness ?(config = default) rng net =
+  ignore config;
+  let n = Rng.weighted rng [ (2, 0); (3, 1); (2, 2) ] in
+  List.init n (fun _ ->
+      match Rng.weighted rng [ (5, `Inf); (2, `Nf); (2, `Streett); (1, `Edge) ] with
+      | `Inf -> Fair.Inf (Fair.State (gen_expr rng net 1))
+      | `Nf -> Fair.Not_forever (gen_expr rng net 1)
+      | `Streett ->
+          Fair.Streett
+            (Fair.State (gen_expr rng net 1), Fair.State (gen_expr rng net 1))
+      | `Edge ->
+          Fair.Inf
+            (Fair.Edges [ (gen_expr rng net 1, gen_state_expr rng net) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Property automata *)
+
+let automaton ?(config = default) rng (net : Net.t) =
+  ignore config;
+  (* Watch one signal; guards of the form watch=v partition its domain per
+     source state, keeping the automaton deterministic by construction. *)
+  let pool = atom_pool net in
+  let w = Rng.weighted rng pool in
+  let wname = (Net.signal net w).Net.s_name in
+  let wdom = Net.dom net w in
+  let ns = Rng.range rng 1 3 in
+  let states = List.init ns (fun i -> Printf.sprintf "q%d" i) in
+  let edges = ref [] in
+  List.iter
+    (fun src ->
+      for v = 0 to Domain.size wdom - 1 do
+        if Rng.chance rng 3 4 then
+          edges :=
+            {
+              Autom.e_src = src;
+              e_dst = Rng.pick rng states;
+              e_guard = Expr.Eq (wname, Domain.value wdom v);
+            }
+            :: !edges
+      done)
+    states;
+  (* Guarantee at least one edge so the automaton is not trivially dead. *)
+  if !edges = [] then
+    edges :=
+      [
+        {
+          Autom.e_src = List.hd states;
+          e_dst = List.hd states;
+          e_guard = Expr.Eq (wname, Domain.value wdom 0);
+        };
+      ];
+  let edge_pairs =
+    List.sort_uniq compare
+      (List.map (fun e -> (e.Autom.e_src, e.Autom.e_dst)) !edges)
+  in
+  let subset xs = List.filter (fun _ -> Rng.bool rng) xs in
+  let npairs = Rng.range rng 1 2 in
+  let pairs =
+    List.init npairs (fun _ ->
+        let inf_states = subset states in
+        let use_edges = Rng.chance rng 1 4 in
+        {
+          Autom.inf_states;
+          inf_edges = (if use_edges then Rng.sample rng 1 edge_pairs else []);
+          fin_states = subset states;
+          fin_edges =
+            (if Rng.chance rng 1 6 then Rng.sample rng 1 edge_pairs else []);
+        })
+  in
+  {
+    Autom.a_name = "prop";
+    a_states = states;
+    a_init = [ List.hd states ];
+    a_edges = List.rev !edges;
+    a_pairs = pairs;
+  }

@@ -1,0 +1,54 @@
+open Hsis_blifmv
+open Hsis_auto
+
+(** Random well-formed verification problems: BLIF-MV networks, CTL
+    formulas, fairness constraints and deterministic property automata.
+
+    Everything is generated from an explicit {!Rng.t}, so a run is fully
+    reproducible from one seed.  Networks are valid by construction —
+    every non-input signal has exactly one driver, table dependencies are
+    acyclic, every table is complete (no input pattern without an allowed
+    output, so generated machines never deadlock), and latch input/output
+    domains agree — but they exercise the full BLIF-MV feature set: random
+    multi-valued domains, non-deterministic rows ([Set]/[Any] outputs and
+    overlapping rows), [=input] output entries, [.default] rows, latches
+    with multiple reset values, primary inputs, free (input-like) tables
+    and bounded [.subckt] hierarchy resolved through {!Flatten}. *)
+
+type config = {
+  max_latches : int;  (** 1 .. this many latches (default 3) *)
+  max_dom : int;  (** domain sizes range over 2 .. this (default 4) *)
+  max_aux_tables : int;  (** intermediate combinational tables (default 2) *)
+  max_inputs : int;  (** primary inputs (default 1; 0 keeps nets closed) *)
+  hierarchy : bool;  (** allow [.subckt] cells, up to two levels deep *)
+  max_formula_depth : int;  (** CTL operator nesting (default 3) *)
+}
+
+val default : config
+(** Small state spaces (tens to a few thousand states) suited to
+    cross-checking against the explicit-state engine. *)
+
+val hierarchical : ?config:config -> Rng.t -> Ast.t
+(** A BLIF-MV design with a root model and zero to two cell models
+    instantiated through [.subckt] (nested one deep at most). *)
+
+val flat : ?config:config -> Rng.t -> Ast.model
+(** {!hierarchical} followed by {!Flatten.flatten}; also validates the
+    result through {!Net.of_model} so a generator bug surfaces here, not
+    in an engine. *)
+
+val ctl : ?config:config -> Rng.t -> Net.t -> Ctl.t
+(** A random CTL formula whose atoms test signals of the given network
+    (biased toward latch outputs). *)
+
+val fairness : ?config:config -> Rng.t -> Net.t -> Fair.syntactic list
+(** Zero to two random fairness constraints: Büchi ([Inf]) state and edge
+    conditions, [Not_forever] subsets, and Streett pairs.  Edge
+    to-conditions only mention latch outputs, as both engines require. *)
+
+val automaton : ?config:config -> Rng.t -> Net.t -> Autom.t
+(** A random {e deterministic} property automaton: each state's outgoing
+    guards partition the values of one watched signal, so language
+    containment never rejects it; uncovered values fall to the implicit
+    dead state.  Acceptance is one or two Rabin pairs over random state
+    and edge subsets. *)

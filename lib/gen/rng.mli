@@ -1,0 +1,50 @@
+(** Splittable, seeded pseudo-random number generator (SplitMix64).
+
+    The single randomness source of the fuzzing subsystem and of every
+    randomized test in the repo: deterministic across platforms and OCaml
+    versions (unlike [Random], whose algorithm changed in 5.0), cheap to
+    split into independent streams, and reproducible from one integer
+    seed.  [split] derives a statistically independent child generator, so
+    one master seed can fan out to per-iteration / per-component streams
+    whose draws do not perturb each other — adding a draw in one component
+    never shifts the sequence seen by another. *)
+
+type t
+
+val make : int -> t
+(** A fresh generator from an integer seed (any value, including 0). *)
+
+val split : t -> t
+(** An independent child stream; advances the parent by one draw. *)
+
+val copy : t -> t
+(** A generator that will replay the same sequence as [t] from here. *)
+
+val int : t -> int -> int
+(** [int t n] draws uniformly from [\[0, n)].  [n] must be positive. *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] draws uniformly from [\[lo, hi\]] inclusive. *)
+
+val bool : t -> bool
+
+val chance : t -> int -> int -> bool
+(** [chance t k n]: true with probability [k/n]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val pick_arr : t -> 'a array -> 'a
+
+val weighted : t -> (int * 'a) list -> 'a
+(** Draw from a non-empty list of [(weight, value)] pairs with probability
+    proportional to weight (weights must be non-negative, sum positive). *)
+
+val sample : t -> int -> 'a list -> 'a list
+(** [sample t k xs]: up to [k] distinct elements of [xs], in stable order. *)
+
+val seed_from_env : ?var:string -> default:int -> unit -> int
+(** The seed to use for a randomized test: the value of the [HSIS_TEST_SEED]
+    environment variable (or [var] if given) when set and numeric, else
+    [default].  Tests print the seed they used in every failure message so
+    any run can be reproduced with [HSIS_TEST_SEED=<seed>]. *)

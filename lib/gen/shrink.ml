@@ -1,0 +1,308 @@
+open Hsis_blifmv
+open Hsis_auto
+
+(* Generic greedy descent: take the first candidate the predicate accepts,
+   restart from it, stop at a local minimum or when the budget runs out. *)
+let greedy ?(max_evals = 400) ~still_fails ~candidates subject =
+  let evals = ref 0 in
+  let accepts c =
+    !evals < max_evals
+    && begin
+         incr evals;
+         still_fails c
+       end
+  in
+  let rec loop cur =
+    match List.find_opt accepts (candidates cur) with
+    | Some smaller -> loop smaller
+    | None -> cur
+  in
+  loop subject
+
+let drop_nth i xs = List.filteri (fun j _ -> j <> i) xs
+
+(* ------------------------------------------------------------------ *)
+(* Models *)
+
+(* Remove a set of signals from a flat model, cascading: a latch reading or
+   producing a dead signal dies (and kills its own output), tables lose the
+   dead input/output columns, [=x] copies of a dead input become don't-care,
+   and declarations and interface lists are pruned.  A table left with no
+   outputs disappears. *)
+let remove_signals (m : Ast.model) sigs0 =
+  let sigs = ref (List.sort_uniq compare sigs0) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (l : Ast.latch) ->
+        if
+          (List.mem l.l_input !sigs || List.mem l.l_output !sigs)
+          && not (List.mem l.l_output !sigs)
+        then begin
+          sigs := l.l_output :: !sigs;
+          changed := true
+        end)
+      m.Ast.m_latches
+  done;
+  let dead s = List.mem s !sigs in
+  let filter_by keeps xs =
+    List.concat (List.map2 (fun k x -> if k then [ x ] else []) keeps xs)
+  in
+  let fix_entry = function
+    | Ast.Eq x when dead x -> Ast.Any
+    | e -> e
+  in
+  let prune_table (t : Ast.table) =
+    let keep_out = List.map (fun s -> not (dead s)) t.t_outputs in
+    if not (List.exists Fun.id keep_out) then None
+    else
+      let keep_in = List.map (fun s -> not (dead s)) t.t_inputs in
+      let row (r : Ast.row) =
+        {
+          Ast.r_inputs = filter_by keep_in r.r_inputs;
+          r_outputs = List.map fix_entry (filter_by keep_out r.r_outputs);
+        }
+      in
+      Some
+        {
+          Ast.t_inputs = filter_by keep_in t.t_inputs;
+          t_outputs = filter_by keep_out t.t_outputs;
+          t_rows = List.map row t.t_rows;
+          t_default =
+            Option.map
+              (fun d -> List.map fix_entry (filter_by keep_out d))
+              t.t_default;
+        }
+  in
+  let prune_mv (d : Ast.var_decl) =
+    match List.filter (fun s -> not (dead s)) d.v_names with
+    | [] -> None
+    | names -> Some { d with Ast.v_names = names }
+  in
+  {
+    m with
+    Ast.m_inputs = List.filter (fun s -> not (dead s)) m.m_inputs;
+    m_outputs = List.filter (fun s -> not (dead s)) m.m_outputs;
+    m_mvs = List.filter_map prune_mv m.m_mvs;
+    m_tables = List.filter_map prune_table m.m_tables;
+    m_latches =
+      List.filter (fun (l : Ast.latch) -> not (dead l.l_output)) m.m_latches;
+    m_delays = List.filter (fun (s, _, _) -> not (dead s)) m.m_delays;
+  }
+
+let latch_drops (m : Ast.model) =
+  List.mapi
+    (fun i (l : Ast.latch) ->
+      remove_signals { m with Ast.m_latches = drop_nth i m.m_latches }
+        [ l.l_output ])
+    m.m_latches
+
+let table_drops (m : Ast.model) =
+  List.mapi
+    (fun i (t : Ast.table) ->
+      remove_signals { m with Ast.m_tables = drop_nth i m.m_tables } t.t_outputs)
+    m.m_tables
+
+let input_drops (m : Ast.model) =
+  List.map (fun s -> remove_signals m [ s ]) m.m_inputs
+
+(* Shrink an anonymous (numeric) domain by one value, remapping the removed
+   top value onto its neighbor everywhere the declared signals appear. *)
+let domain_shrinks (m : Ast.model) =
+  List.concat
+    (List.mapi
+       (fun di (d : Ast.var_decl) ->
+         if d.v_values <> [] || d.v_size <= 2 then []
+         else
+           let old_v = string_of_int (d.v_size - 1) in
+           let new_v = string_of_int (d.v_size - 2) in
+           let in_decl s = List.mem s d.v_names in
+           let remap_val v = if v = old_v then new_v else v in
+           let remap_entry = function
+             | Ast.Val v -> Ast.Val (remap_val v)
+             | Ast.Set vs ->
+                 Ast.Set (List.sort_uniq compare (List.map remap_val vs))
+             | Ast.Not v -> if v = old_v then Ast.Any else Ast.Not v
+             | (Ast.Any | Ast.Eq _) as e -> e
+           in
+           let remap_cols names entries =
+             List.map2
+               (fun s e -> if in_decl s then remap_entry e else e)
+               names entries
+           in
+           let table (t : Ast.table) =
+             {
+               t with
+               Ast.t_rows =
+                 List.map
+                   (fun (r : Ast.row) ->
+                     {
+                       Ast.r_inputs = remap_cols t.t_inputs r.r_inputs;
+                       r_outputs = remap_cols t.t_outputs r.r_outputs;
+                     })
+                   t.t_rows;
+               t_default = Option.map (remap_cols t.t_outputs) t.t_default;
+             }
+           in
+           let latch (l : Ast.latch) =
+             if in_decl l.l_output then
+               {
+                 l with
+                 Ast.l_reset =
+                   List.sort_uniq compare (List.map remap_val l.l_reset);
+               }
+             else l
+           in
+           [
+             {
+               m with
+               Ast.m_mvs =
+                 List.mapi
+                   (fun i (d' : Ast.var_decl) ->
+                     if i = di then { d' with Ast.v_size = d'.v_size - 1 }
+                     else d')
+                   m.m_mvs;
+               m_tables = List.map table m.m_tables;
+               m_latches = List.map latch m.m_latches;
+             };
+           ])
+       m.Ast.m_mvs)
+
+let reset_collapses (m : Ast.model) =
+  List.concat
+    (List.mapi
+       (fun i (l : Ast.latch) ->
+         match l.l_reset with
+         | v :: _ :: _ ->
+             [
+               {
+                 m with
+                 Ast.m_latches =
+                   List.mapi
+                     (fun j (l' : Ast.latch) ->
+                       if j = i then { l' with Ast.l_reset = [ v ] } else l')
+                     m.m_latches;
+               };
+             ]
+         | _ -> [])
+       m.m_latches)
+
+let row_drops (m : Ast.model) =
+  List.concat
+    (List.mapi
+       (fun ti (t : Ast.table) ->
+         let n = List.length t.t_rows in
+         if n = 0 || (t.t_default = None && n <= 1) then []
+         else
+           List.init n (fun ri ->
+               {
+                 m with
+                 Ast.m_tables =
+                   List.mapi
+                     (fun j (t' : Ast.table) ->
+                       if j = ti then
+                         { t' with Ast.t_rows = drop_nth ri t'.t_rows }
+                       else t')
+                     m.m_tables;
+               }))
+       m.m_tables)
+
+let default_drops (m : Ast.model) =
+  List.concat
+    (List.mapi
+       (fun ti (t : Ast.table) ->
+         if t.t_default = None || t.t_rows = [] then []
+         else
+           [
+             {
+               m with
+               Ast.m_tables =
+                 List.mapi
+                   (fun j (t' : Ast.table) ->
+                     if j = ti then { t' with Ast.t_default = None } else t')
+                   m.m_tables;
+             };
+           ])
+       m.m_tables)
+
+let minimize_model ?max_evals ~still_fails m =
+  let candidates m =
+    List.concat
+      [
+        latch_drops m;
+        table_drops m;
+        input_drops m;
+        domain_shrinks m;
+        reset_collapses m;
+        row_drops m;
+        default_drops m;
+      ]
+  in
+  greedy ?max_evals ~still_fails ~candidates m
+
+(* ------------------------------------------------------------------ *)
+(* CTL formulas: replace by immediate subformulas. *)
+
+let ctl_subs = function
+  | Ctl.Prop _ -> []
+  | Ctl.Not f | Ctl.EX f | Ctl.EF f | Ctl.EG f | Ctl.AX f | Ctl.AF f
+  | Ctl.AG f ->
+      [ f ]
+  | Ctl.And (a, b) | Ctl.Or (a, b) | Ctl.Imp (a, b) | Ctl.EU (a, b)
+  | Ctl.AU (a, b) ->
+      [ a; b ]
+
+let minimize_ctl ?max_evals ~still_fails f =
+  greedy ?max_evals ~still_fails ~candidates:ctl_subs f
+
+(* ------------------------------------------------------------------ *)
+(* Automata: drop states (with incident edges and acceptance mentions),
+   edges, and acceptance pairs. *)
+
+let drop_state (a : Autom.t) s =
+  let keep x = x <> s in
+  let pair (p : Autom.accept_pair) =
+    {
+      Autom.inf_states = List.filter keep p.inf_states;
+      inf_edges = List.filter (fun (x, y) -> keep x && keep y) p.inf_edges;
+      fin_states = List.filter keep p.fin_states;
+      fin_edges = List.filter (fun (x, y) -> keep x && keep y) p.fin_edges;
+    }
+  in
+  {
+    a with
+    Autom.a_states = List.filter keep a.a_states;
+    a_init = List.filter keep a.a_init;
+    a_edges =
+      List.filter
+        (fun (e : Autom.edge) -> keep e.e_src && keep e.e_dst)
+        a.a_edges;
+    a_pairs = List.map pair a.a_pairs;
+  }
+
+let autom_candidates (a : Autom.t) =
+  let states = List.map (drop_state a) a.a_states in
+  let edges =
+    List.mapi
+      (fun i _ -> { a with Autom.a_edges = drop_nth i a.a_edges })
+      a.a_edges
+  in
+  let pairs =
+    if List.length a.a_pairs <= 1 then []
+    else
+      List.mapi
+        (fun i _ -> { a with Autom.a_pairs = drop_nth i a.a_pairs })
+        a.a_pairs
+  in
+  states @ edges @ pairs
+
+let minimize_automaton ?max_evals ~still_fails a =
+  greedy ?max_evals ~still_fails ~candidates:autom_candidates a
+
+(* ------------------------------------------------------------------ *)
+(* Fairness: drop one constraint at a time. *)
+
+let minimize_fairness ~still_fails cs =
+  let candidates cs = List.mapi (fun i _ -> drop_nth i cs) cs in
+  greedy ~max_evals:100 ~still_fails ~candidates cs

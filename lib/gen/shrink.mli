@@ -1,0 +1,37 @@
+open Hsis_blifmv
+open Hsis_auto
+
+(** Greedy repro minimization.
+
+    Each minimizer repeatedly tries structural simplifications of its
+    subject and keeps any candidate for which [still_fails] returns true,
+    restarting until no candidate is accepted (a greedy local minimum).
+    [still_fails] must be total: it is expected to catch engine exceptions
+    and return false for candidates that no longer build — the shrinkers
+    themselves propose edits that may leave dangling signal reads (those
+    simply get rejected by the predicate). *)
+
+val minimize_model :
+  ?max_evals:int -> still_fails:(Ast.model -> bool) -> Ast.model -> Ast.model
+(** Tries, from most to least aggressive: dropping a latch (cascading the
+    removal of its signals through table columns), dropping a table
+    (cascading its outputs), dropping a primary input, shrinking an
+    anonymous domain by one value (remapping references), collapsing a
+    multi-valued reset to one value, dropping a table row, and dropping a
+    [.default].  At most [max_evals] predicate evaluations (default
+    400). *)
+
+val minimize_ctl :
+  ?max_evals:int -> still_fails:(Ctl.t -> bool) -> Ctl.t -> Ctl.t
+(** Replaces the formula by ever-smaller subformulas. *)
+
+val minimize_automaton :
+  ?max_evals:int -> still_fails:(Autom.t -> bool) -> Autom.t -> Autom.t
+(** Drops states (with their edges and acceptance references), edges and
+    acceptance pairs. *)
+
+val minimize_fairness :
+  still_fails:(Fair.syntactic list -> bool) ->
+  Fair.syntactic list ->
+  Fair.syntactic list
+(** Drops constraints one at a time. *)

@@ -369,6 +369,47 @@ module Timers = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Tallies *)
+
+module Tally = struct
+  (* Insertion-ordered accumulating name -> count map, for labelled event
+     counters whose label set is open-ended (fuzz skip reasons,
+     discrepancy kinds).  Same shape and rationale as Timers. *)
+  type t = { mutable entries : (string * int) list }
+
+  let create () = { entries = [] }
+
+  let incr ?(by = 1) t name =
+    let rec go = function
+      | [] -> [ (name, by) ]
+      | (n, v) :: rest when String.equal n name -> (n, v + by) :: rest
+      | e :: rest -> e :: go rest
+    in
+    t.entries <- go t.entries
+
+  let get t name =
+    match List.assoc_opt name t.entries with Some v -> v | None -> 0
+
+  let to_list t = t.entries
+  let total t = List.fold_left (fun acc (_, v) -> acc + v) 0 t.entries
+
+  let to_json t =
+    Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) t.entries)
+
+  let of_json j =
+    {
+      entries =
+        (match j with
+        | Json.Obj members ->
+            List.filter_map
+              (fun (n, v) ->
+                match v with Json.Int i -> Some (n, i) | _ -> None)
+              members
+        | _ -> []);
+    }
+end
+
+(* ------------------------------------------------------------------ *)
 (* Snapshots *)
 
 type snapshot = {

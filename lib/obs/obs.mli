@@ -145,6 +145,28 @@ module Timers : sig
   val total : t -> float
 end
 
+(** {1 Tallies} *)
+
+module Tally : sig
+  type t
+  (** A mutable, insertion-ordered [label -> count] map for event counters
+      whose label set is open-ended — e.g. the fuzz harness's per-reason
+      skip and per-kind discrepancy counts. *)
+
+  val create : unit -> t
+
+  val incr : ?by:int -> t -> string -> unit
+  (** Add [by] (default 1) to a label's count (created at 0 on first use). *)
+
+  val get : t -> string -> int
+  (** 0 for labels never incremented. *)
+
+  val to_list : t -> (string * int) list
+  val total : t -> int
+  val to_json : t -> Json.t
+  val of_json : Json.t -> t
+end
+
 (** {1 Snapshots} *)
 
 type snapshot = {

@@ -46,6 +46,14 @@ let step_where t pred =
       true
   | None -> false
 
+let step_matching t pred =
+  let opts = options t in
+  match List.find_opt (fun (v, next) -> pred v next) opts with
+  | Some (_, next) ->
+      t.trail <- next :: t.trail;
+      true
+  | None -> false
+
 let backtrack t =
   match t.trail with
   | _ :: (_ :: _ as rest) ->

@@ -27,6 +27,11 @@ val step_where : t -> (Enum.valuation -> bool) -> bool
 (** Take the first option whose valuation satisfies the predicate; returns
     false (and stays put) when none does. *)
 
+val step_matching : t -> (Enum.valuation -> Enum.state -> bool) -> bool
+(** Like {!step_where} but the predicate also sees the successor state the
+    option leads to — used to replay symbolic counterexample traces, where
+    each step pins both the transition labels and the next state. *)
+
 val backtrack : t -> bool
 (** Undo the last step; false at the start. *)
 

@@ -1,0 +1,168 @@
+(* Unit tests for the explicit-state reference engine: valuation
+   enumeration under nondeterministic tables and free inputs, successor
+   fan-out, the state-limit truncation path, and the optional
+   language-containment wrapper the fuzz harness relies on. *)
+
+open Hsis_blifmv
+open Hsis_auto
+open Hsis_check
+
+let net_of src = Net.of_ast (Parser.parse src)
+let model_of src = Flatten.flatten (Parser.parse src)
+
+let signal_id net name =
+  match Net.find_signal net name with
+  | Some i -> i
+  | None -> Alcotest.failf "no signal named %s" name
+
+(* One latch [s], a primary input [i], a nondeterministic observer [o]
+   ({0,1} at s=0, forced to 2 at s=1) and a next-state table whose rows
+   overlap (union semantics): at i=1 both the explicit row and the =s
+   fallthrough match. *)
+let vals_src =
+  {|
+.model vals
+.inputs i
+.mv i 2
+.mv s,ns 2
+.mv o 3
+.table s -> o
+0 {0,1}
+1 2
+.table i s -> ns
+1 0 1
+1 1 0
+- - =s
+.latch ns s
+.reset s 0
+.end
+|}
+
+let test_valuations () =
+  let net = net_of vals_src in
+  let s = signal_id net "s"
+  and i = signal_id net "i"
+  and o = signal_id net "o"
+  and ns = signal_id net "ns" in
+  (* s=0: i free (2) x o in {0,1} (2) x ns (1 option at i=0, 2 at i=1)
+     = 2 + 4 = 6 consistent valuations. *)
+  let vs0 = Enum.valuations_of_state net [| 0 |] in
+  Alcotest.(check int) "valuation count at s=0" 6 (List.length vs0);
+  List.iter
+    (fun v ->
+      Alcotest.(check int) "latch value pinned" 0 v.(s);
+      Alcotest.(check bool) "o drawn from its rows" true (v.(o) = 0 || v.(o) = 1);
+      let ns_ok =
+        if v.(i) = 0 then v.(ns) = 0 (* only the =s row matches *)
+        else v.(ns) = 0 || v.(ns) = 1 (* explicit row and =s row overlap *)
+      in
+      Alcotest.(check bool) "ns allowed by the table" true ns_ok)
+    vs0;
+  (* s=1: o forced to 2; ns has 1 option at i=0 and 2 at i=1 = 3 total. *)
+  let vs1 = Enum.valuations_of_state net [| 1 |] in
+  Alcotest.(check int) "valuation count at s=1" 3 (List.length vs1);
+  List.iter
+    (fun v -> Alcotest.(check int) "o forced at s=1" 2 v.(o))
+    vs1;
+  (* state_sat is existential over valuations, like the symbolic
+     abstraction. *)
+  Alcotest.(check bool) "o=2 unreachable at s=0" false
+    (Enum.state_sat net [| 0 |] (Expr.parse "o=2"));
+  Alcotest.(check bool) "o=2 forced at s=1" true
+    (Enum.state_sat net [| 1 |] (Expr.parse "o=2"));
+  Alcotest.(check bool) "o=1 possible at s=0" true
+    (Enum.state_sat net [| 0 |] (Expr.parse "o=1"))
+
+(* Closed system with a set-valued next state and two reset values. *)
+let fan_src =
+  {|
+.model fan
+.mv s,ns 3
+.table s -> ns
+0 {1,2}
+1 0
+2 2
+.latch ns s
+.reset s 0 1
+.end
+|}
+
+let sorted_states sts = List.sort compare (List.map (fun a -> a.(0)) sts)
+
+let test_fanout () =
+  let net = net_of fan_src in
+  Alcotest.(check (list int)) "two initial states" [ 0; 1 ]
+    (sorted_states (Enum.initial_states net));
+  Alcotest.(check (list int)) "nondet row fans out" [ 1; 2 ]
+    (sorted_states (Enum.successors net [| 0 |]));
+  Alcotest.(check (list int)) "deterministic row" [ 0 ]
+    (sorted_states (Enum.successors net [| 1 |]));
+  Alcotest.(check (list int)) "self loop" [ 2 ]
+    (sorted_states (Enum.successors net [| 2 |]));
+  let g = Enum.build net in
+  Alcotest.(check bool) "graph complete" true g.Enum.complete;
+  Alcotest.(check int) "all three states reached" 3 (Array.length g.Enum.states);
+  Alcotest.(check int) "both inits interned" 2 (List.length g.Enum.init)
+
+let counter_src =
+  {|
+.model counter
+.mv s,ns 4
+.table s -> ns
+0 1
+1 2
+2 3
+3 0
+.latch ns s
+.reset s 0
+.end
+|}
+
+let test_limit () =
+  let net = net_of counter_src in
+  Alcotest.(check int) "full count" 4 (Enum.count_reachable net);
+  let g = Enum.build net in
+  Alcotest.(check bool) "unbounded build completes" true g.Enum.complete;
+  Alcotest.(check int) "four states" 4 (Array.length g.Enum.states);
+  let t = Enum.build ~limit:2 net in
+  Alcotest.(check bool) "limit marks incomplete" false t.Enum.complete;
+  Alcotest.(check bool) "truncated below the full graph" true
+    (Array.length t.Enum.states < 4)
+
+(* A one-state automaton accepting every word: language containment must
+   hold, and a tiny product limit must surface as None, not a verdict. *)
+let accept_all =
+  {
+    Autom.a_name = "all";
+    a_states = [ "q0" ];
+    a_init = [ "q0" ];
+    a_edges = [ { Autom.e_src = "q0"; e_dst = "q0"; e_guard = Expr.True } ];
+    a_pairs =
+      [
+        {
+          Autom.inf_states = [ "q0" ];
+          inf_edges = [];
+          fin_states = [];
+          fin_edges = [];
+        };
+      ];
+  }
+
+let test_lc_opt () =
+  let m = model_of counter_src in
+  Alcotest.(check (option bool)) "containment holds" (Some true)
+    (Enum.check_lc_opt m accept_all);
+  Alcotest.(check (option bool)) "tiny limit yields None" None
+    (Enum.check_lc_opt ~limit:1 m accept_all)
+
+let () =
+  Alcotest.run "enum"
+    [
+      ( "explicit",
+        [
+          Alcotest.test_case "valuations of a state" `Quick test_valuations;
+          Alcotest.test_case "successor fan-out" `Quick test_fanout;
+          Alcotest.test_case "state limit" `Quick test_limit;
+          Alcotest.test_case "check_lc_opt" `Quick test_lc_opt;
+        ] );
+    ]

@@ -1,0 +1,188 @@
+(* The fuzz harness's own tests: a fixed-seed differential smoke run (the
+   symbolic engines vs the explicit oracle must agree on every iteration)
+   and unit tests for the greedy shrinkers driven by synthetic predicates,
+   so minimization is pinned down without involving any engine. *)
+
+open Hsis_blifmv
+open Hsis_auto
+module Rng = Hsis_gen.Rng
+module Gen = Hsis_gen.Gen
+module Diff = Hsis_gen.Diff
+module Shrink = Hsis_gen.Shrink
+
+let seed = Rng.seed_from_env ~default:42 ()
+
+(* ------------------------------------------------------------------ *)
+(* Differential smoke run *)
+
+let test_smoke () =
+  let report =
+    Diff.run { Diff.default_config with iters = 30; seed; shrink = true }
+  in
+  Alcotest.(check int)
+    (Printf.sprintf "all iterations ran (HSIS_TEST_SEED=%d)" seed)
+    30 report.Diff.iterations;
+  (match report.Diff.discrepancies with
+  | [] -> ()
+  | d :: _ ->
+      Alcotest.failf
+        "%d discrepancies (HSIS_TEST_SEED=%d), first: [%s] %s"
+        (List.length report.Diff.discrepancies)
+        seed
+        (Diff.kind_name d.Diff.d_kind)
+        d.Diff.d_detail);
+  Alcotest.(check bool) "explored some states" true
+    (report.Diff.states_explored > 0);
+  Alcotest.(check bool) "checked some formulas" true
+    (report.Diff.ctl_checked > 0)
+
+(* Determinism: the same seed must generate the same problems, so a rerun
+   produces an identical report modulo wall-clock time. *)
+let test_deterministic () =
+  let cfg = { Diff.default_config with iters = 5; seed = 7; log = None } in
+  let r1 = Diff.run cfg and r2 = Diff.run cfg in
+  Alcotest.(check int) "same states explored" r1.Diff.states_explored
+    r2.Diff.states_explored;
+  Alcotest.(check int) "same ctl count" r1.Diff.ctl_checked r2.Diff.ctl_checked;
+  Alcotest.(check int) "same lc count" r1.Diff.lc_checked r2.Diff.lc_checked
+
+(* ------------------------------------------------------------------ *)
+(* Shrinker units (no engine involved) *)
+
+(* A model is regenerated from a fixed seed so the shrinkers face the real
+   generator distribution, not a toy. *)
+let some_model k =
+  let rng = Rng.make (0x5eed + k) in
+  Gen.flat rng
+
+let builds m =
+  match Net.of_model m with _ -> true | exception _ -> false
+
+let test_shrink_model_to_empty () =
+  (* A predicate satisfied by any well-formed model: the minimizer should
+     strip everything optional and still produce a buildable model. *)
+  let m = some_model 1 in
+  let shrunk = Shrink.minimize_model ~still_fails:builds m in
+  Alcotest.(check bool) "result still builds" true (builds shrunk);
+  Alcotest.(check bool) "did not grow" true
+    (List.length shrunk.Ast.m_latches <= List.length m.Ast.m_latches
+    && List.length shrunk.Ast.m_tables <= List.length m.Ast.m_tables);
+  Alcotest.(check bool) "at most one latch left" true
+    (List.length shrunk.Ast.m_latches <= 1)
+
+let test_shrink_model_preserves_predicate () =
+  (* Keep a specific latch: the shrinker must never discard it. *)
+  let m = some_model 2 in
+  match m.Ast.m_latches with
+  | [] -> ()
+  | keep :: _ ->
+      let name = keep.Ast.l_output in
+      let has m =
+        builds m
+        && List.exists (fun (l : Ast.latch) -> l.Ast.l_output = name)
+             m.Ast.m_latches
+      in
+      let shrunk = Shrink.minimize_model ~still_fails:has m in
+      Alcotest.(check bool) "kept the pinned latch" true (has shrunk)
+
+let rec ctl_mentions name = function
+  | Ctl.Prop e -> List.mem name (Expr.signals e)
+  | Ctl.Not f | Ctl.EX f | Ctl.EF f | Ctl.EG f | Ctl.AX f | Ctl.AF f
+  | Ctl.AG f ->
+      ctl_mentions name f
+  | Ctl.And (a, b) | Ctl.Or (a, b) | Ctl.Imp (a, b) | Ctl.EU (a, b)
+  | Ctl.AU (a, b) ->
+      ctl_mentions name a || ctl_mentions name b
+
+let test_shrink_ctl () =
+  let f =
+    Ctl.And
+      ( Ctl.EX (Ctl.Prop (Expr.parse "x=1")),
+        Ctl.AG (Ctl.Prop (Expr.parse "y=0")) )
+  in
+  (* Predicate: mentions signal x — minimal failing subformula is the
+     bare atom. *)
+  let mentions_x g = ctl_mentions "x" g in
+  let shrunk = Shrink.minimize_ctl ~still_fails:mentions_x f in
+  Alcotest.(check bool) "reduced to the atom" true
+    (match shrunk with Ctl.Prop _ -> true | _ -> false);
+  Alcotest.(check bool) "still mentions x" true (mentions_x shrunk)
+
+let test_shrink_automaton () =
+  let aut =
+    {
+      Autom.a_name = "a";
+      a_states = [ "q0"; "q1"; "q2" ];
+      a_init = [ "q0" ];
+      a_edges =
+        [
+          { Autom.e_src = "q0"; e_dst = "q1"; e_guard = Expr.True };
+          { Autom.e_src = "q1"; e_dst = "q2"; e_guard = Expr.True };
+          { Autom.e_src = "q2"; e_dst = "q0"; e_guard = Expr.True };
+        ];
+      a_pairs =
+        [
+          {
+            Autom.inf_states = [ "q1" ];
+            inf_edges = [];
+            fin_states = [];
+            fin_edges = [];
+          };
+          {
+            Autom.inf_states = [ "q2" ];
+            inf_edges = [];
+            fin_states = [];
+            fin_edges = [];
+          };
+        ];
+    }
+  in
+  (* Predicate: q1 is still a state. Everything hanging only off q2 can
+     go. *)
+  let has_q1 (a : Autom.t) = List.mem "q1" a.Autom.a_states in
+  let shrunk = Shrink.minimize_automaton ~still_fails:has_q1 aut in
+  Alcotest.(check bool) "kept q1" true (has_q1 shrunk);
+  Alcotest.(check bool) "dropped a state" true
+    (List.length shrunk.Autom.a_states < 3);
+  Alcotest.(check bool) "at most one pair left" true
+    (List.length shrunk.Autom.a_pairs <= 1)
+
+let test_shrink_fairness () =
+  let cs =
+    [
+      Fair.Inf (Fair.State (Expr.parse "x=1"));
+      Fair.Inf (Fair.State (Expr.parse "y=1"));
+      Fair.Inf (Fair.State (Expr.parse "z=1"));
+    ]
+  in
+  let mentions_y l =
+    List.exists
+      (fun c ->
+        match c with
+        | Fair.Inf (Fair.State e) -> List.mem "y" (Expr.signals e)
+        | _ -> false)
+      l
+  in
+  let shrunk = Shrink.minimize_fairness ~still_fails:mentions_y cs in
+  Alcotest.(check int) "only the y constraint survives" 1 (List.length shrunk);
+  Alcotest.(check bool) "it mentions y" true (mentions_y shrunk)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "fixed-seed smoke" `Quick test_smoke;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "model to minimum" `Quick
+            test_shrink_model_to_empty;
+          Alcotest.test_case "model keeps pinned latch" `Quick
+            test_shrink_model_preserves_predicate;
+          Alcotest.test_case "ctl to atom" `Quick test_shrink_ctl;
+          Alcotest.test_case "automaton" `Quick test_shrink_automaton;
+          Alcotest.test_case "fairness" `Quick test_shrink_fairness;
+        ] );
+    ]
