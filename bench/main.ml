@@ -133,16 +133,18 @@ let fig2 () =
       in
       pr "  %-7s  lc %-6s %.4fs   mc %-6s %.4fs   trace %s@."
         (if buggy then "buggy" else "correct")
-        (if lc.Hsis.lr_holds then "passed" else "FAILED")
-        lc.Hsis.lr_time
-        (if mc.Hsis.cr_holds then "passed" else "FAILED")
-        mc.Hsis.cr_time
-        (match lc.Hsis.lr_trace with
-        | Some t ->
+        (if Hsis_limits.Verdict.holds lc.Hsis.pr_verdict then "passed"
+         else "FAILED")
+        lc.Hsis.pr_time
+        (if Hsis_limits.Verdict.holds mc.Hsis.pr_verdict then "passed"
+         else "FAILED")
+        mc.Hsis.pr_time
+        (match lc.Hsis.pr_verdict with
+        | Hsis_limits.Verdict.Fail { Hsis.le_trace = Some t; _ } ->
             Printf.sprintf "%d states (verified %b)"
               (Hsis_debug.Trace.total_length t)
               t.Hsis_debug.Trace.verified
-        | None -> "-"))
+        | _ -> "-"))
     [ false; true ]
 
 (* ------------------------------------------------------------------ *)
@@ -320,11 +322,11 @@ let ablate_efd () =
   let with_efd = Hsis.check_ctl ~early_failure:true d ~name:"bad" bad in
   let without_efd = Hsis.check_ctl ~early_failure:false d ~name:"bad" bad in
   pr "  failing invariant: with EFD %.3fs (caught at step %s), without %.3fs@."
-    with_efd.Hsis.cr_time
-    (match with_efd.Hsis.cr_early_step with
+    with_efd.Hsis.pr_time
+    (match with_efd.Hsis.pr_early_step with
     | Some k -> string_of_int k
     | None -> "-")
-    without_efd.Hsis.cr_time;
+    without_efd.Hsis.pr_time;
   let lc_bad =
     Hsis_auto.Autom.invariance ~name:"no-setup"
       ~ok:(Hsis_auto.Expr.parse "st!=SETUP")
@@ -332,11 +334,11 @@ let ablate_efd () =
   let lc_with = Hsis.check_lc ~early_failure:true ~trace:false d lc_bad in
   let lc_without = Hsis.check_lc ~early_failure:false ~trace:false d lc_bad in
   pr "  failing containment: with EFD %.3fs (step %s), without %.3fs@."
-    lc_with.Hsis.lr_time
-    (match lc_with.Hsis.lr_early_step with
+    lc_with.Hsis.pr_time
+    (match lc_with.Hsis.pr_early_step with
     | Some k -> string_of_int k
     | None -> "-")
-    lc_without.Hsis.lr_time
+    lc_without.Hsis.pr_time
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test per experiment family *)
@@ -592,7 +594,7 @@ let json_smoke () =
   let mc =
     Hsis.check_ctl d ~name:"AG" (Hsis_auto.Ctl.parse "AG !(out1=1 & out2=1)")
   in
-  if not mc.Hsis.cr_holds then begin
+  if not (Hsis_limits.Verdict.holds mc.Hsis.pr_verdict) then begin
     prerr_endline "json smoke: sanity property unexpectedly failed";
     exit 1
   end;

@@ -3,6 +3,7 @@
    report statistics — the environment of the paper's Fig. 1. *)
 
 open Hsis_obs
+open Hsis_limits
 open Hsis_core
 
 let read_file path =
@@ -36,6 +37,13 @@ let wrap f =
     Printf.eprintf "hsis: %s\n" m;
     1
 
+(* Shared --timeout/--max-nodes/--max-steps resource budget.  The deadline
+   is absolute from this call, covering every engine run of the command. *)
+let limits_of timeout max_nodes max_steps =
+  match (timeout, max_nodes, max_steps) with
+  | None, None, None -> Limits.none
+  | _ -> Limits.make ?timeout ?max_nodes ?max_steps ()
+
 (* Render the design's observability snapshot per the --stats/--stats-json
    flags shared by the check and reach commands. *)
 let emit_stats design show_stats stats_json =
@@ -54,10 +62,11 @@ let emit_stats design show_stats stats_json =
 (* ------------------------------------------------------------------ *)
 
 let check_cmd verilog blifmv builtin pif_path heuristic no_early witness
-    show_stats stats_json () =
+    timeout max_nodes max_steps show_stats stats_json () =
   wrap (fun () ->
       let design, builtin_pif = load_design verilog blifmv builtin heuristic in
       Hsis.set_reach_profile design (show_stats || stats_json <> None);
+      Hsis.set_limits design (limits_of timeout max_nodes max_steps);
       let pif =
         match (pif_path, builtin_pif) with
         | Some p, _ -> Hsis_auto.Pif.parse_file p
@@ -70,46 +79,50 @@ let check_cmd verilog blifmv builtin pif_path heuristic no_early witness
       Format.printf "%a" Hsis.pp_report report;
       if witness then begin
         List.iter
-          (fun (l : Hsis.lc_result) ->
-            match l.Hsis.lr_trace with
-            | Some t ->
-                Format.printf "@.error trace for %s:@.%a" l.Hsis.lr_name
-                  (Hsis_debug.Trace.pp l.Hsis.lr_trans)
-                  t
-            | None -> ())
+          (fun (l : Hsis.lc_evidence Hsis.property_result) ->
+            match l.Hsis.pr_verdict with
+            | Verdict.Fail { Hsis.le_trace = Some t; le_trans } ->
+                Format.printf "@.error trace for %s:@.%a" l.Hsis.pr_name
+                  (Hsis_debug.Trace.pp le_trans) t
+            | _ -> ())
           report.Hsis.lc;
         List.iter
-          (fun (c : Hsis.ctl_result) ->
-            match c.Hsis.cr_explanation with
-            | Some e ->
-                Format.printf "@.debug tree for %s:@.%a" c.Hsis.cr_name
+          (fun (c : Hsis.ctl_evidence Hsis.property_result) ->
+            match c.Hsis.pr_verdict with
+            | Verdict.Fail { Hsis.ce_explanation = Some e } ->
+                Format.printf "@.debug tree for %s:@.%a" c.Hsis.pr_name
                   (Hsis_debug.Mcdbg.pp design.Hsis.trans)
                   e
-            | None -> ())
+            | _ -> ())
           report.Hsis.ctl
       end;
       emit_stats design show_stats stats_json;
-      let failed =
-        List.exists (fun (c : Hsis.ctl_result) -> not c.Hsis.cr_holds) report.Hsis.ctl
-        || List.exists (fun (l : Hsis.lc_result) -> not l.Hsis.lr_holds) report.Hsis.lc
-      in
-      if failed then 2 else 0)
+      Hsis.report_exit_code report)
 
-let reach_cmd verilog blifmv builtin heuristic show_stats stats_json () =
+let reach_cmd verilog blifmv builtin heuristic timeout max_nodes max_steps
+    show_stats stats_json () =
   wrap (fun () ->
       let design, _ = load_design verilog blifmv builtin heuristic in
       Hsis.set_reach_profile design (show_stats || stats_json <> None);
+      Hsis.set_limits design (limits_of timeout max_nodes max_steps);
       let r = Hsis.reachable design in
       Format.printf "design        : %s@." design.Hsis.flat.Hsis_blifmv.Ast.m_name;
       Format.printf "read time     : %.3fs@." design.Hsis.read_time;
       Format.printf "blif-mv lines : %d@." design.Hsis.blifmv_lines;
-      Format.printf "reached states: %.0f@." (Hsis.reached_states design);
+      (match r.Hsis_check.Reach.verdict with
+      | Verdict.Inconclusive { Verdict.reason; _ } ->
+          Format.printf "exploration   : interrupted (%s) after %d steps@."
+            (Limits.reason_name reason) r.Hsis_check.Reach.steps
+      | _ -> ());
+      Format.printf "reached states: %.0f@."
+        (Hsis_check.Reach.count_states design.Hsis.trans
+           r.Hsis_check.Reach.reachable);
       Format.printf "bfs depth     : %d@." r.Hsis_check.Reach.steps;
       let st = Hsis.stats design in
       Format.printf "bdd nodes     : %d (%d vars)@." st.Obs.arena.Obs.Arena.live
         st.Obs.arena.Obs.Arena.vars;
       emit_stats design show_stats stats_json;
-      0)
+      Verdict.exit_code r.Hsis_check.Reach.verdict)
 
 let sim_cmd verilog blifmv builtin heuristic steps seed () =
   wrap (fun () ->
@@ -137,7 +150,7 @@ let sim_cmd verilog blifmv builtin heuristic steps seed () =
        with Exit -> ());
       0)
 
-let refine_cmd impl_path spec_path obs () =
+let refine_cmd impl_path spec_path obs timeout max_nodes max_steps () =
   wrap (fun () ->
       let net_of path =
         let src = read_file path in
@@ -150,13 +163,22 @@ let refine_cmd impl_path spec_path obs () =
       let impl = net_of impl_path in
       let spec = net_of spec_path in
       let obs = match obs with [] -> None | o -> Some o in
-      let r = Hsis_bisim.Simrel.refines ?obs ~impl ~spec () in
-      Format.printf "refinement %s (%d iterations)@."
-        (if r.Hsis_bisim.Simrel.holds then "holds" else "FAILS")
-        r.Hsis_bisim.Simrel.iterations;
-      if r.Hsis_bisim.Simrel.holds then 0 else 2)
+      let limits = limits_of timeout max_nodes max_steps in
+      let r = Hsis_bisim.Simrel.refines ?obs ~limits ~impl ~spec () in
+      (match r.Hsis_bisim.Simrel.verdict with
+      | Verdict.Pass ->
+          Format.printf "refinement holds (%d iterations)@."
+            r.Hsis_bisim.Simrel.iterations
+      | Verdict.Fail _ ->
+          Format.printf "refinement FAILS (%d iterations)@."
+            r.Hsis_bisim.Simrel.iterations
+      | Verdict.Inconclusive { Verdict.reason; _ } ->
+          Format.printf "refinement inconclusive (%s) after %d iterations@."
+            (Limits.reason_name reason) r.Hsis_bisim.Simrel.iterations);
+      Verdict.exit_code r.Hsis_bisim.Simrel.verdict)
 
-let fuzz_cmd iters seed limit ctl_per_iter no_lc no_shrink out json quiet () =
+let fuzz_cmd iters seed limit ctl_per_iter no_lc no_shrink budget out json
+    quiet () =
   wrap (fun () ->
       let open Hsis_gen in
       let cfg =
@@ -168,6 +190,11 @@ let fuzz_cmd iters seed limit ctl_per_iter no_lc no_shrink out json quiet () =
           ctl_per_iter;
           lc = not no_lc;
           shrink = not no_shrink;
+          budget =
+            (* deterministic (no deadline): wall-clock budgets make fuzz
+               runs irreproducible *)
+            (if budget then Some (Limits.make ~max_steps:2 ~max_nodes:2000 ())
+             else None);
           out_dir = out;
           log =
             (if quiet then None
@@ -249,21 +276,53 @@ let stats_json_arg =
     & info [ "stats-json" ] ~docv:"FILE"
         ~doc:"Write the observability snapshot as JSON to $(docv).")
 
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget for all engine work.  An interrupted run \
+           reports inconclusive verdicts and exits 4.")
+
+let max_nodes_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-nodes" ] ~docv:"N"
+        ~doc:"Live BDD node budget (inconclusive + exit 4 when exceeded).")
+
+let max_steps_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-steps" ] ~docv:"N"
+        ~doc:
+          "Fixpoint iteration budget (inconclusive + exit 4 when \
+           exceeded).")
+
 let check =
   Cmd.v
-    (Cmd.info "check" ~doc:"check CTL and language-containment properties")
+    (Cmd.info "check" ~doc:"check CTL and language-containment properties"
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P "0 if every property passes, 3 on a definitive failure, 4 \
+               when a resource budget left some verdict inconclusive.";
+         ])
     Term.(
-      const (fun a b c d e f g h i -> check_cmd a b c d e f g h i ())
+      const (fun a b c d e f g h i j k l -> check_cmd a b c d e f g h i j k l ())
       $ verilog_arg $ blifmv_arg $ builtin_arg $ pif_arg $ heuristic_arg
-      $ no_early_arg $ witness_arg $ stats_arg $ stats_json_arg)
+      $ no_early_arg $ witness_arg $ timeout_arg $ max_nodes_arg
+      $ max_steps_arg $ stats_arg $ stats_json_arg)
 
 let reach =
   Cmd.v
     (Cmd.info "reach" ~doc:"compute the reachable state set")
     Term.(
-      const (fun a b c d e f -> reach_cmd a b c d e f ())
-      $ verilog_arg $ blifmv_arg $ builtin_arg $ heuristic_arg $ stats_arg
-      $ stats_json_arg)
+      const (fun a b c d e f g h i -> reach_cmd a b c d e f g h i ())
+      $ verilog_arg $ blifmv_arg $ builtin_arg $ heuristic_arg $ timeout_arg
+      $ max_nodes_arg $ max_steps_arg $ stats_arg $ stats_json_arg)
 
 let sim =
   Cmd.v
@@ -295,7 +354,9 @@ let refine =
     (Cmd.info "refine"
        ~doc:"check that IMPL refines SPEC over the observed signals")
     Term.(
-      const (fun a b c -> refine_cmd a b c ()) $ impl_arg $ spec_arg $ obs_arg)
+      const (fun a b c d e f -> refine_cmd a b c d e f ())
+      $ impl_arg $ spec_arg $ obs_arg $ timeout_arg $ max_nodes_arg
+      $ max_steps_arg)
 
 let fuzz =
   let iters_arg =
@@ -347,6 +408,15 @@ let fuzz =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Write the hsis-fuzz/1 report as JSON to $(docv).")
   in
+  let budget_arg =
+    Arg.(
+      value & flag
+      & info [ "budget" ]
+          ~doc:
+            "Also rerun every check under a tiny deterministic resource \
+             budget and fail if a budgeted conclusive verdict contradicts \
+             the unbounded one.")
+  in
   let quiet_arg =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No progress on stderr.")
   in
@@ -356,9 +426,9 @@ let fuzz =
          "differential fuzzing: random BLIF-MV designs checked by the \
           symbolic engines against the explicit-state oracle")
     Term.(
-      const (fun a b c d e f g h i -> fuzz_cmd a b c d e f g h i ())
+      const (fun a b c d e f g h i j -> fuzz_cmd a b c d e f g h i j ())
       $ iters_arg $ fseed_arg $ limit_arg $ ctl_arg $ no_lc_arg
-      $ no_shrink_arg $ out_arg $ json_arg $ quiet_arg)
+      $ no_shrink_arg $ budget_arg $ out_arg $ json_arg $ quiet_arg)
 
 let () =
   let doc = "HSIS: a BDD-based environment for formal verification" in

@@ -58,24 +58,27 @@ let run ~buggy =
   let result = Hsis_core.Hsis.check_lc design figure2 in
   Format.printf "%s arbiter: containment %s (%.3fs)%s@."
     (if buggy then "buggy  " else "correct")
-    (if result.Hsis_core.Hsis.lr_holds then "holds" else "FAILS")
-    result.Hsis_core.Hsis.lr_time
-    (match result.Hsis_core.Hsis.lr_early_step with
+    (if Hsis_limits.Verdict.holds result.Hsis_core.Hsis.pr_verdict then
+       "holds"
+     else "FAILS")
+    result.Hsis_core.Hsis.pr_time
+    (match result.Hsis_core.Hsis.pr_early_step with
     | Some k -> Printf.sprintf " — caught by early failure detection at step %d" k
     | None -> "");
-  (match result.Hsis_core.Hsis.lr_trace with
-  | Some t ->
+  (match result.Hsis_core.Hsis.pr_verdict with
+  | Hsis_limits.Verdict.Fail { Hsis_core.Hsis.le_trace = Some t; le_trans } ->
       Format.printf "counterexample (the \"intelligent simulator\" output):@.%a@."
-        (Hsis_debug.Trace.pp result.Hsis_core.Hsis.lr_trans)
+        (Hsis_debug.Trace.pp le_trans)
         t
-  | None -> ());
+  | _ -> ());
   (* cross-check with the CTL formulation of the same property, as the
      paper compares both formalisms on one example *)
   let ctl = Ctl.parse "AG !(out1=1 & out2=1)" in
   let mc = Hsis_core.Hsis.check_ctl design ~name:"AG-form" ctl in
   Format.printf "CTL AG !(out1 & out2): %s (%.3fs)@.@."
-    (if mc.Hsis_core.Hsis.cr_holds then "holds" else "FAILS")
-    mc.Hsis_core.Hsis.cr_time
+    (if Hsis_limits.Verdict.holds mc.Hsis_core.Hsis.pr_verdict then "holds"
+     else "FAILS")
+    mc.Hsis_core.Hsis.pr_time
 
 let () =
   Format.printf "=== Figure 2: invariance by language containment ===@.@.";

@@ -18,15 +18,16 @@ let () =
   let report = Hsis_core.Hsis.run_pif ~witnesses:true design pif in
   Format.printf "%a@." Hsis_core.Hsis.pp_report report;
   List.iter
-    (fun (l : Hsis_core.Hsis.lc_result) ->
-      match l.Hsis_core.Hsis.lr_trace with
-      | Some t ->
+    (fun (l : Hsis_core.Hsis.lc_evidence Hsis_core.Hsis.property_result) ->
+      match l.Hsis_core.Hsis.pr_verdict with
+      | Hsis_limits.Verdict.Fail
+          { Hsis_core.Hsis.le_trace = Some t; le_trans } ->
           Format.printf
             "how philosopher 0 starves (prefix to the deadlock, then the \
              stuttering cycle):@.%a@."
-            (Hsis_debug.Trace.pp l.Hsis_core.Hsis.lr_trans)
+            (Hsis_debug.Trace.pp le_trans)
             t
-      | None -> ())
+      | _ -> ())
     report.Hsis_core.Hsis.lc;
   (* also drive the state-based simulator along the first few states *)
   Format.printf "simulator walk:@.";

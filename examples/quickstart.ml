@@ -64,21 +64,23 @@ let () =
   Format.printf "%a@." Hsis_core.Hsis.pp_report report;
   (* 4. the bug report: error trace for the failing containment check *)
   List.iter
-    (fun (l : Hsis_core.Hsis.lc_result) ->
-      match l.Hsis_core.Hsis.lr_trace with
-      | Some t ->
-          Format.printf "error trace for %s:@.%a@." l.Hsis_core.Hsis.lr_name
-            (Hsis_debug.Trace.pp l.Hsis_core.Hsis.lr_trans)
+    (fun (l : Hsis_core.Hsis.lc_evidence Hsis_core.Hsis.property_result) ->
+      match l.Hsis_core.Hsis.pr_verdict with
+      | Hsis_limits.Verdict.Fail
+          { Hsis_core.Hsis.le_trace = Some t; le_trans } ->
+          Format.printf "error trace for %s:@.%a@." l.Hsis_core.Hsis.pr_name
+            (Hsis_debug.Trace.pp le_trans)
             t
-      | None -> ())
+      | _ -> ())
     report.Hsis_core.Hsis.lc;
   (* ... and the interactive-style debug tree for the failing CTL check *)
   List.iter
-    (fun (c : Hsis_core.Hsis.ctl_result) ->
-      match c.Hsis_core.Hsis.cr_explanation with
-      | Some e ->
-          Format.printf "debug tree for %s:@.%a@." c.Hsis_core.Hsis.cr_name
+    (fun (c : Hsis_core.Hsis.ctl_evidence Hsis_core.Hsis.property_result) ->
+      match c.Hsis_core.Hsis.pr_verdict with
+      | Hsis_limits.Verdict.Fail
+          { Hsis_core.Hsis.ce_explanation = Some e } ->
+          Format.printf "debug tree for %s:@.%a@." c.Hsis_core.Hsis.pr_name
             (Hsis_debug.Mcdbg.pp design.Hsis_core.Hsis.trans)
             e
-      | None -> ())
+      | _ -> ())
     report.Hsis_core.Hsis.ctl

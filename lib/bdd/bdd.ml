@@ -131,6 +131,19 @@ let set_reorder_threshold = Man.set_reorder_threshold
 let order = Man.order
 let name_of_var = Man.name_of_var
 
+exception Interrupted = Man.Interrupted
+
+let set_limits = Man.set_limits
+let limits = Man.limits
+let note_interrupt = Man.note_interrupt
+
+(* Install a budget for the duration of [f] only, restoring the previous
+   one on any exit (including an interrupt escaping [f]). *)
+let with_limits m l f =
+  let saved = Man.limits m in
+  Man.set_limits m l;
+  Fun.protect ~finally:(fun () -> Man.set_limits m saved) f
+
 let stats = Man.stats
 let check = Man.check
 

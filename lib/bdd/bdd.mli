@@ -125,8 +125,32 @@ val order : man -> int list
 
 val name_of_var : man -> int -> string
 
+(** {1 Resource governor}
+
+    See {!Hsis_limits.Limits}: a budget installed on a manager is polled
+    from inside the operation kernels (amortized over computed-cache
+    misses); a breach raises {!Interrupted} with the manager left
+    consistent (caches wiped, invariant audit clean). *)
+
+exception Interrupted of Hsis_limits.Limits.reason
+(** Alias of [Hsis_limits.Limits.Interrupted]; catching either catches
+    both. *)
+
+val set_limits : man -> Hsis_limits.Limits.t -> unit
+(** Install a budget; [Limits.none] disarms. *)
+
+val limits : man -> Hsis_limits.Limits.t
+
+val with_limits : man -> Hsis_limits.Limits.t -> (unit -> 'a) -> 'a
+(** Install a budget for the duration of the thunk only; the previous
+    budget is restored on any exit, including an escaping interrupt. *)
+
+val note_interrupt : man -> Hsis_limits.Limits.reason -> unit
+(** Record an engine-originated interrupt (e.g. a step-quota breach) in
+    this manager's obs counters. *)
+
 (** Structured diagnostics: nested [cache] (per-operation hit/miss
-    counters), [gc], [reorder], and [arena] sub-records — see
+    counters), [gc], [reorder], [arena], and [limits] sub-records — see
     {!Hsis_obs.Obs}. *)
 val stats : man -> Hsis_obs.Obs.man_stats
 val check : man -> string list

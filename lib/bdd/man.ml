@@ -24,6 +24,7 @@
      the cache by index range instead of rebuilding a hashtable. *)
 
 open Hsis_obs
+open Hsis_limits
 
 type node_id = int
 
@@ -94,6 +95,14 @@ type t = {
   mutable gc_time : float;
   mutable reorder_time : float;
   mutable peak_live : int;
+  (* resource governor *)
+  mutable limits : Limits.t;
+  mutable limit_countdown : int; (* cache misses until the next budget poll *)
+  mutable limit_checks : int; (* budget polls performed (counter) *)
+  mutable intr_deadline : int; (* interrupts raised, per reason (counters) *)
+  mutable intr_nodes : int;
+  mutable intr_steps : int;
+  mutable intr_cancelled : int;
 }
 
 let initial_cache_slots = 1 lsl 12
@@ -135,6 +144,13 @@ let create ?(initial_capacity = 1 lsl 12) () =
     gc_time = 0.0;
     reorder_time = 0.0;
     peak_live = 0;
+    limits = Limits.none;
+    limit_countdown = max_int;
+    limit_checks = 0;
+    intr_deadline = 0;
+    intr_nodes = 0;
+    intr_steps = 0;
+    intr_cancelled = 0;
   }
 
 let is_const u = u < 2
@@ -334,8 +350,63 @@ let[@inline] cache_hash tag f g mask =
   let h = (tag * 0x9e3779b1) + (f * 0x85ebca77) + (g * 0x27d4eb2f) in
   (h lxor (h lsr 21)) land mask
 
+let cache_wipe m =
+  Array.fill m.cache 0 (Array.length m.cache) (-1);
+  m.cache_used <- 0
+
+let clear_caches m =
+  cache_wipe m;
+  Hashtbl.reset m.satcache
+
+(* ------------------------------------------------------------------ *)
+(* Resource governor *)
+
+exception Interrupted = Limits.Interrupted
+
+(* The budget is polled every [limit_poll_interval] computed-cache misses:
+   each miss is one real recursive apply step, so the poll cost is
+   amortized over actual work, and a run that keeps hitting the cache (no
+   new nodes, no new work) still gets polled from [entry_hook]. *)
+let limit_poll_interval = 256
+
+let note_interrupt m (r : Limits.reason) =
+  match r with
+  | Limits.Limit_deadline -> m.intr_deadline <- m.intr_deadline + 1
+  | Limits.Limit_nodes -> m.intr_nodes <- m.intr_nodes + 1
+  | Limits.Limit_steps -> m.intr_steps <- m.intr_steps + 1
+  | Limits.Cancelled -> m.intr_cancelled <- m.intr_cancelled + 1
+
+(* Consistency protocol on a breach: wipe the computed caches *before*
+   raising, so no entry built by the aborted recursion survives (its
+   result nodes may become dead and be reclaimed).  Intermediate nodes
+   themselves are ordinary rc-0 arena entries picked up by the next
+   collection — the unique tables and refcounts stay audit-clean
+   ([check m] passes right after an interrupt). *)
+let[@inline never] do_limit_check m =
+  if Limits.is_none m.limits then m.limit_countdown <- max_int
+  else begin
+    m.limit_countdown <- limit_poll_interval;
+    m.limit_checks <- m.limit_checks + 1;
+    match Limits.breach m.limits ~live:(m.nodecount - m.deadcount) with
+    | None -> ()
+    | Some r ->
+        note_interrupt m r;
+        clear_caches m;
+        raise (Interrupted r)
+  end
+
+let set_limits m l =
+  m.limits <- l;
+  (* Poll at the next opportunity so a freshly armed (or disarmed) budget
+     takes effect immediately. *)
+  m.limit_countdown <- 0
+
+let limits m = m.limits
+
 (* Probe; returns the cached node id or -1 on miss (node ids are always
-   non-negative). The op's hit/miss counters are bumped as a side effect. *)
+   non-negative). The op's hit/miss counters are bumped as a side effect,
+   and the miss path — one per recursive apply step — drives the
+   amortized budget poll. *)
 let[@inline] cache_lookup m slot tag f g =
   let i = 4 * cache_hash tag f g m.cache_mask in
   let c = m.cache in
@@ -345,6 +416,8 @@ let[@inline] cache_lookup m slot tag f g =
   end
   else begin
     m.cache_misses.(slot) <- m.cache_misses.(slot) + 1;
+    m.limit_countdown <- m.limit_countdown - 1;
+    if m.limit_countdown <= 0 then do_limit_check m;
     -1
   end
 
@@ -359,10 +432,6 @@ let[@inline] cache_store m tag f g r =
   c.(i + 1) <- f;
   c.(i + 2) <- g;
   c.(i + 3) <- r
-
-let cache_wipe m =
-  Array.fill m.cache 0 (Array.length m.cache) (-1);
-  m.cache_used <- 0
 
 (* Size the cache against the live-node count: grow (wiping — the cache is
    lossy anyway) whenever live nodes outnumber entries 2:1, up to a cap.
@@ -379,10 +448,6 @@ let maybe_resize_cache m =
     m.cache_mask <- !nslots - 1;
     m.cache_used <- 0
   end
-
-let clear_caches m =
-  cache_wipe m;
-  Hashtbl.reset m.satcache
 
 (* ------------------------------------------------------------------ *)
 (* Collection of dead nodes *)
@@ -1122,8 +1187,11 @@ let sift ?max_vars m =
 let set_auto_reorder m b = m.auto_reorder <- b
 let set_reorder_threshold m n = m.reorder_threshold <- max 16 n
 
-(* Hook called by the handle layer at operation entry. *)
+(* Hook called by the handle layer at operation entry.  Also polls the
+   budget unconditionally: a workload that never misses the cache makes no
+   progress through the amortized in-kernel poll, but still enters ops. *)
 let entry_hook m =
+  if not (Limits.is_none m.limits) then do_limit_check m;
   maybe_collect m;
   maybe_resize_cache m;
   if m.auto_reorder && node_count m > m.reorder_threshold then begin
@@ -1157,6 +1225,15 @@ let stats m : Obs.man_stats =
         vars = m.nvars;
         peak_live = m.peak_live;
         capacity = Array.length m.var_arr;
+      };
+    limits =
+      {
+        Obs.Limit.checks = m.limit_checks;
+        interrupts =
+          List.filter
+            (fun (_, n) -> n > 0)
+            [ ("deadline", m.intr_deadline); ("nodes", m.intr_nodes);
+              ("steps", m.intr_steps); ("cancelled", m.intr_cancelled) ];
       };
   }
 

@@ -119,8 +119,30 @@ val set_auto_reorder : t -> bool -> unit
 val set_reorder_threshold : t -> int -> unit
 
 val entry_hook : t -> unit
-(** Called by the handle layer at operation entry: runs collection and
-    automatic reordering when thresholds are crossed. *)
+(** Called by the handle layer at operation entry: polls the resource
+    budget, then runs collection and automatic reordering when thresholds
+    are crossed. *)
+
+(** {1 Resource governor} *)
+
+exception Interrupted of Hsis_limits.Limits.reason
+(** Alias of [Hsis_limits.Limits.Interrupted] (same runtime constructor:
+    catching either catches both).  Raised from inside the apply kernels
+    when the installed budget is breached.  The manager is left
+    consistent: computed caches are wiped before raising, intermediate
+    nodes are ordinary dead arena entries reclaimed by the next
+    collection, and {!check} passes. *)
+
+val set_limits : t -> Hsis_limits.Limits.t -> unit
+(** Install a budget.  The apply kernels poll it amortized (every few
+    hundred computed-cache misses) and every {!entry_hook} call; a breach
+    raises {!Interrupted}.  Install [Limits.none] to disarm. *)
+
+val limits : t -> Hsis_limits.Limits.t
+
+val note_interrupt : t -> Hsis_limits.Limits.reason -> unit
+(** Record an engine-originated interrupt (e.g. a step-quota breach the
+    manager cannot see) in this manager's obs counters. *)
 
 (** {1 Diagnostics} *)
 

@@ -2,6 +2,7 @@ open Hsis_bdd
 open Hsis_mv
 open Hsis_blifmv
 open Hsis_fsm
+open Hsis_limits
 
 type result = {
   relation : Bdd.t;
@@ -10,9 +11,12 @@ type result = {
   iterations : int;
   to_shadow : Bdd.varmap;
   x2_cube : Bdd.t;
+  verdict : unit Verdict.t;
 }
 
-let compute ?obs ?(class_cap = 4096) trans ~reach =
+let holds r = Verdict.holds r.verdict
+
+let compute ?obs ?(class_cap = 4096) ?(limits = Limits.none) trans ~reach =
   let sym = Trans.sym trans in
   let man = Trans.man trans in
   let net = Sym.net sym in
@@ -41,71 +45,106 @@ let compute ?obs ?(class_cap = 4096) trans ~reach =
   let y2_cube = cube_of y2_bits in
   let x1_cube = cube_of pres_bits in
   let x2_cube = cube_of x2_bits in
-  let t = Trans.monolithic trans in
-  let t2 = Bdd.permute map_t2 t in
-  let reach2 = Bdd.permute map_x_to_x2 reach in
-  (* observation equivalence *)
-  let observed =
-    match obs with
-    | Some o -> o
-    | None -> if net.Net.outputs <> [] then net.Net.outputs else state_sigs
-  in
-  let e0 =
-    List.fold_left
-      (fun acc o ->
-        let dom = Net.dom net o in
-        let per_value acc v =
-          let s =
-            Bdd.dand reach
-              (Trans.abstract_to_states trans
-                 (Enc.value_bdd (Sym.pres sym o) v))
-          in
-          let s2 = Bdd.permute map_x_to_x2 s in
-          Bdd.dand acc (Bdd.eqv s s2)
-        in
-        List.fold_left per_value acc (List.init (Domain.size dom) Fun.id))
-      (Bdd.dand reach reach2)
-      observed
-  in
-  (* greatest fixpoint of mutual simulation *)
-  let rec fix e k =
-    let e_next = Bdd.permute map_e_next e in
-    let inner1 = Bdd.and_exists ~cube:y2_cube t2 e_next in
-    let match1 =
-      Bdd.dnot (Bdd.exists ~cube:y_cube (Bdd.dand t (Bdd.dnot inner1)))
-    in
-    let inner2 = Bdd.and_exists ~cube:y_cube t e_next in
-    let match2 =
-      Bdd.dnot (Bdd.exists ~cube:y2_cube (Bdd.dand t2 (Bdd.dnot inner2)))
-    in
-    let e' = Bdd.dand e (Bdd.dand match1 match2) in
-    if Bdd.equal e e' then (e, k) else fix e' (k + 1)
-  in
-  let relation, iterations = fix e0 1 in
-  (* count classes by peeling representatives *)
-  let classes =
-    let rec count rem n =
-      if Bdd.is_false rem then n
-      else if n >= class_cap then -1
-      else begin
-        let assignment = Bdd.pick_state rem ~over:pres_bits in
-        let x0 =
-          Bdd.conj man
-            (List.map
-               (fun (v, b) ->
-                 let lit = Bdd.ithvar man v in
-                 if b then lit else Bdd.dnot lit)
-               assignment)
-        in
-        let cls_x2 = Bdd.and_exists ~cube:x1_cube relation x0 in
-        let cls = Bdd.permute map_x2_to_x cls_x2 in
-        count (Bdd.dand rem (Bdd.dnot cls)) (n + 1)
-      end
-    in
-    count reach 0
-  in
   let states = Bdd.satcount_vars reach ~vars:pres_bits in
-  { relation; classes; states; iterations; to_shadow = map_x_to_x2; x2_cube }
+  (* Refinement progress survives an interrupt: [best] always holds the
+     coarsest relation established so far (an over-approximation of the
+     true bisimulation), so a budgeted run still returns usable partial
+     state next to its Inconclusive verdict. *)
+  let best = ref (Bdd.dtrue man) in
+  let iterations = ref 0 in
+  let finish verdict relation classes =
+    {
+      relation;
+      classes;
+      states;
+      iterations = !iterations;
+      to_shadow = map_x_to_x2;
+      x2_cube;
+      verdict;
+    }
+  in
+  Bdd.with_limits man limits @@ fun () ->
+  match
+    let t = Trans.monolithic trans in
+    let t2 = Bdd.permute map_t2 t in
+    let reach2 = Bdd.permute map_x_to_x2 reach in
+    (* observation equivalence *)
+    let observed =
+      match obs with
+      | Some o -> o
+      | None -> if net.Net.outputs <> [] then net.Net.outputs else state_sigs
+    in
+    let e0 =
+      List.fold_left
+        (fun acc o ->
+          let dom = Net.dom net o in
+          let per_value acc v =
+            let s =
+              Bdd.dand reach
+                (Trans.abstract_to_states trans
+                   (Enc.value_bdd (Sym.pres sym o) v))
+            in
+            let s2 = Bdd.permute map_x_to_x2 s in
+            Bdd.dand acc (Bdd.eqv s s2)
+          in
+          List.fold_left per_value acc (List.init (Domain.size dom) Fun.id))
+        (Bdd.dand reach reach2)
+        observed
+    in
+    best := e0;
+    iterations := 1;
+    (* greatest fixpoint of mutual simulation *)
+    let rec fix e k =
+      if not (Limits.step_allowed limits ~step:k) then begin
+        Bdd.note_interrupt man Limits.Limit_steps;
+        raise (Limits.Interrupted Limits.Limit_steps)
+      end;
+      let e_next = Bdd.permute map_e_next e in
+      let inner1 = Bdd.and_exists ~cube:y2_cube t2 e_next in
+      let match1 =
+        Bdd.dnot (Bdd.exists ~cube:y_cube (Bdd.dand t (Bdd.dnot inner1)))
+      in
+      let inner2 = Bdd.and_exists ~cube:y_cube t e_next in
+      let match2 =
+        Bdd.dnot (Bdd.exists ~cube:y2_cube (Bdd.dand t2 (Bdd.dnot inner2)))
+      in
+      let e' = Bdd.dand e (Bdd.dand match1 match2) in
+      best := e';
+      iterations := k;
+      if Bdd.equal e e' then e else fix e' (k + 1)
+    in
+    fix e0 1
+  with
+  | exception Limits.Interrupted r ->
+      finish (Verdict.inconclusive ~at_step:!iterations r) !best (-1)
+  | relation -> (
+      (* count classes by peeling representatives *)
+      match
+        let rec count rem n =
+          if Bdd.is_false rem then n
+          else if n >= class_cap then -1
+          else begin
+            let assignment = Bdd.pick_state rem ~over:pres_bits in
+            let x0 =
+              Bdd.conj man
+                (List.map
+                   (fun (v, b) ->
+                     let lit = Bdd.ithvar man v in
+                     if b then lit else Bdd.dnot lit)
+                   assignment)
+            in
+            let cls_x2 = Bdd.and_exists ~cube:x1_cube relation x0 in
+            let cls = Bdd.permute map_x2_to_x cls_x2 in
+            count (Bdd.dand rem (Bdd.dnot cls)) (n + 1)
+          end
+        in
+        count reach 0
+      with
+      | exception Limits.Interrupted r ->
+          (* The relation itself is exact; only the class count was cut
+             short. *)
+          finish (Verdict.inconclusive ~at_step:!iterations r) relation (-1)
+      | classes -> finish Verdict.Pass relation classes)
 
 let equivalent_to _trans result set =
   let set2 = Bdd.permute result.to_shadow set in

@@ -1,5 +1,6 @@
 open Hsis_bdd
 open Hsis_fsm
+open Hsis_limits
 
 (** Symbolic bisimulation for state minimization (paper Sec. 2 item 3):
     the greatest relation E(x1, x2) over reachable states such that related
@@ -7,20 +8,33 @@ open Hsis_fsm
     matched by the other into related states. *)
 
 type result = {
-  relation : Bdd.t;  (** E over present vars (x1) and the shadow copy (x2) *)
-  classes : int;  (** number of equivalence classes (-1 if above the cap) *)
+  relation : Bdd.t;
+      (** E over present vars (x1) and the shadow copy (x2); when the
+          verdict is [Inconclusive] this is the coarsest refinement
+          reached so far — an over-approximation of the true
+          bisimulation *)
+  classes : int;  (** number of equivalence classes (-1 if above the cap
+                      or when counting was interrupted) *)
   states : float;  (** reachable states, for the reduction ratio *)
   iterations : int;
   to_shadow : Bdd.varmap;  (** present vars -> shadow copy *)
   x2_cube : Bdd.t;  (** quantification cube of the shadow variables *)
+  verdict : unit Verdict.t;
+      (** [Pass] when the fixpoint (and class counting) ran to completion;
+          [Inconclusive] when a resource budget fired.  Never [Fail]. *)
 }
 
+val holds : result -> bool
+
 val compute :
-  ?obs:int list -> ?class_cap:int -> Trans.t -> reach:Bdd.t -> result
+  ?obs:int list -> ?class_cap:int -> ?limits:Limits.t -> Trans.t ->
+  reach:Bdd.t -> result
 (** [obs] defaults to the network's outputs (falling back to all latch
     outputs when the network declares none).  Shadow variables for the
     second state copy are allocated in the transition structure's manager
-    on first use. *)
+    on first use.  [limits] governs the fixpoint (its step quota caps
+    refinement iterations); on a breach the partial relation is returned
+    with an [Inconclusive] verdict. *)
 
 val equivalent_to : Trans.t -> result -> Bdd.t -> Bdd.t
 (** All reachable states bisimilar to some state of the given set. *)

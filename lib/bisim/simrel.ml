@@ -2,16 +2,26 @@ open Hsis_bdd
 open Hsis_mv
 open Hsis_blifmv
 open Hsis_fsm
+open Hsis_limits
 
 type result = {
-  holds : bool;
+  verdict : Bdd.t Verdict.t;
   relation : Bdd.t;
   iterations : int;
   uncovered_init : Bdd.t;
 }
 
-let refines ?obs ~impl ~spec () =
+let holds r = Verdict.holds r.verdict
+
+let refines ?obs ?(limits = Limits.none) ~impl ~spec () =
   let man = Bdd.new_man () in
+  Bdd.set_limits man limits;
+  (* Both networks live in this fresh manager; disarm it on the way out so
+     post-processing on the result is not interrupted. *)
+  Fun.protect ~finally:(fun () -> Bdd.set_limits man Limits.none)
+  @@ fun () ->
+  let iterations = ref 0 in
+  try
   let sym_i = Sym.make man impl in
   let sym_s = Sym.make man spec in
   let trans_i = Trans.build sym_i in
@@ -75,6 +85,11 @@ let refines ?obs ~impl ~spec () =
   let t_i = Trans.monolithic trans_i in
   let t_s = Trans.monolithic trans_s in
   let rec gfp s k =
+    iterations := k;
+    if not (Limits.step_allowed limits ~step:k) then begin
+      Bdd.note_interrupt man Limits.Limit_steps;
+      raise (Limits.Interrupted Limits.Limit_steps)
+    end;
     let s_next = Bdd.permute to_next s in
     (* spec can match: exists y_s with a spec transition into relation *)
     let inner = Bdd.and_exists ~cube:y_s_cube t_s s_next in
@@ -83,12 +98,23 @@ let refines ?obs ~impl ~spec () =
       Bdd.dnot (Bdd.exists ~cube:y_i_cube (Bdd.dand t_i (Bdd.dnot inner)))
     in
     let s' = Bdd.dand s matched in
-    if Bdd.equal s s' then (s, k) else gfp s' (k + 1)
+    if Bdd.equal s s' then s else gfp s' (k + 1)
   in
-  let relation, iterations = gfp s0 1 in
+  let relation = gfp s0 1 in
   let x_s_cube = Sym.state_cube sym_s in
   let covered =
     Bdd.exists ~cube:x_s_cube (Bdd.dand (Trans.initial trans_s) relation)
   in
   let uncovered_init = Bdd.dand (Trans.initial trans_i) (Bdd.dnot covered) in
-  { holds = Bdd.is_false uncovered_init; relation; iterations; uncovered_init }
+  let verdict =
+    if Bdd.is_false uncovered_init then Verdict.Pass
+    else Verdict.Fail uncovered_init
+  in
+  { verdict; relation; iterations = !iterations; uncovered_init }
+  with Limits.Interrupted r ->
+    {
+      verdict = Verdict.inconclusive ~at_step:!iterations r;
+      relation = Bdd.dtrue man;
+      iterations = !iterations;
+      uncovered_init = Bdd.dfalse man;
+    }

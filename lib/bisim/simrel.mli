@@ -1,5 +1,6 @@
 open Hsis_bdd
 open Hsis_blifmv
+open Hsis_limits
 
 (** Hierarchical verification support (paper Sec. 8 item 3): check that a
     lower-level design refines a higher-level one, so properties proved on
@@ -13,16 +14,22 @@ open Hsis_blifmv
     state. *)
 
 type result = {
-  holds : bool;
+  verdict : Bdd.t Verdict.t;
+      (** [Fail] carries [uncovered_init]; [Inconclusive] means a resource
+          budget fired before the simulation fixpoint converged *)
   relation : Bdd.t;
       (** the greatest simulation (over the combined variable spaces) *)
   iterations : int;
   uncovered_init : Bdd.t;
       (** implementation initial states no spec initial state simulates
-          (empty when [holds]) *)
+          (empty when the verdict is [Pass]) *)
 }
 
-val refines : ?obs:string list -> impl:Net.t -> spec:Net.t -> unit -> result
+val holds : result -> bool
+
+val refines :
+  ?obs:string list -> ?limits:Limits.t -> impl:Net.t -> spec:Net.t -> unit ->
+  result
 (** [obs] defaults to the specification's declared outputs; each observed
     name must exist in both networks with equal-size domains.  Both
     networks are built into one fresh BDD manager.  Observation matching

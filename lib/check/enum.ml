@@ -1,6 +1,7 @@
 open Hsis_mv
 open Hsis_blifmv
 open Hsis_auto
+open Hsis_limits
 
 type state = int array
 type valuation = int array
@@ -9,8 +10,10 @@ type graph = {
   states : state array;
   succ : int list array;
   init : int list;
-  complete : bool;
+  stopped : Limits.reason option;
 }
+
+let complete g = g.stopped = None
 
 (* ------------------------------------------------------------------ *)
 (* Combinational evaluation *)
@@ -96,7 +99,7 @@ module Store = struct
         (i, true)
 end
 
-let build ?(limit = 1_000_000) (net : Net.t) =
+let build ?(limit = 1_000_000) ?(limits = Limits.none) (net : Net.t) =
   let store = Store.create () in
   let queue = Queue.create () in
   let inits =
@@ -108,12 +111,25 @@ let build ?(limit = 1_000_000) (net : Net.t) =
       (initial_states net)
   in
   let succ_acc = ref [] in
-  let complete = ref true in
+  let stopped = ref None in
+  (* The budget is polled every few expansions; the interned-state count
+     stands in for the live-node count, so a node quota caps explicit
+     states the same way it caps BDD nodes.  The legacy [limit] cap reports
+     as a node-quota stop too. *)
+  let countdown = ref 0 in
+  let poll () =
+    if !countdown <= 0 then begin
+      countdown := 64;
+      stopped := Limits.breach limits ~live:store.Store.n
+    end
+    else decr countdown
+  in
   let rec loop () =
-    if not (Queue.is_empty queue) then begin
+    if not (Queue.is_empty queue) && !stopped = None then begin
       let i = Queue.pop queue in
-      if store.Store.n > limit then complete := false
-      else begin
+      poll ();
+      if store.Store.n > limit then stopped := Some Limits.Limit_nodes
+      else if !stopped = None then begin
         let st = store.Store.arr.(i) in
         let js =
           List.map
@@ -136,7 +152,7 @@ let build ?(limit = 1_000_000) (net : Net.t) =
     states = Array.sub store.Store.arr 0 n;
     succ;
     init = List.sort_uniq compare inits;
-    complete = !complete;
+    stopped = !stopped;
   }
 
 let state_sat (net : Net.t) (st : state) e =
@@ -430,25 +446,31 @@ let check_ctl (net : Net.t) g cs f =
               fun i -> viaeu.(i) || viaeg.(i)))
   in
   let s = go f in
-  (s, List.for_all (fun i -> s.(i)) g.init)
+  let verdict =
+    match g.stopped with
+    | Some r ->
+        (* A truncated graph proves nothing either way: successors of the
+           frontier are missing, so both sat and unsat answers are
+           unreliable. *)
+        Verdict.inconclusive r
+    | None ->
+        if List.for_all (fun i -> s.(i)) g.init then Verdict.Pass
+        else Verdict.Fail ()
+  in
+  (s, verdict)
 
-let check_lc_opt ?(fairness = []) ?limit flat aut =
+let check_lc ?(fairness = []) ?limit ?limits flat aut =
   let composed = Autom.compose flat aut in
   let net = Net.of_model composed in
-  let g = build ?limit net in
-  if not g.complete then None
-  else begin
-    let cs =
-      compile_fairness net g (fairness @ Autom.complement_constraints aut)
-    in
-    let fair = fair_states g cs in
-    Some (not (Array.exists Fun.id fair))
-  end
-
-let check_lc ?fairness ?limit flat aut =
-  match check_lc_opt ?fairness ?limit flat aut with
-  | Some holds -> holds
-  | None -> invalid_arg "Enum.check_lc: state limit hit on the product"
+  let g = build ?limit ?limits net in
+  match g.stopped with
+  | Some r -> Verdict.inconclusive r
+  | None ->
+      let cs =
+        compile_fairness net g (fairness @ Autom.complement_constraints aut)
+      in
+      let fair = fair_states g cs in
+      if Array.exists Fun.id fair then Verdict.Fail () else Verdict.Pass
 
 let count_reachable ?limit (net : Net.t) =
   let g = build ?limit net in

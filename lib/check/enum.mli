@@ -1,5 +1,6 @@
 open Hsis_blifmv
 open Hsis_auto
+open Hsis_limits
 
 (** Explicit-state reference engine.
 
@@ -18,8 +19,14 @@ type graph = {
   states : state array;
   succ : int list array;
   init : int list;
-  complete : bool;  (** false when the state [limit] was hit *)
+  stopped : Limits.reason option;
+      (** [Some r] when enumeration stopped before exhausting the state
+          space: the state [limit] / node quota ([Limit_nodes]), a
+          deadline, or cancellation *)
 }
+
+val complete : graph -> bool
+(** [stopped = None]: the graph is the whole reachable state space. *)
 
 val valuations_of_state : Net.t -> state -> valuation list
 (** All consistent assignments of every signal given latch values: primary
@@ -28,9 +35,12 @@ val valuations_of_state : Net.t -> state -> valuation list
 
 val initial_states : Net.t -> state list
 val successors : Net.t -> state -> state list
-val build : ?limit:int -> Net.t -> graph
+val build : ?limit:int -> ?limits:Limits.t -> Net.t -> graph
 (** Breadth-first enumeration from the initial states (default limit
-    1_000_000 states). *)
+    1_000_000 states).  [limits] is polled during enumeration with the
+    interned-state count standing in for the live-node count; a breach
+    stops the build with the corresponding [stopped] reason instead of
+    raising. *)
 
 val state_sat : Net.t -> state -> Expr.t -> bool
 (** Some consistent valuation satisfies the expression (matches the
@@ -50,23 +60,22 @@ val fair_states : graph -> econstr list -> bool array
     via SCC decomposition with recursive Streett analysis. *)
 
 val check_ctl :
-  Net.t -> graph -> econstr list -> Ctl.t -> bool array * bool
-(** Satisfying set over graph states, and whether all initial states are in
-    it. *)
+  Net.t -> graph -> econstr list -> Ctl.t -> bool array * unit Verdict.t
+(** Satisfying set over graph states, and the verdict over the initial
+    states.  On a truncated graph ([stopped <> None]) the verdict is
+    [Inconclusive] — missing successors make both answers unreliable —
+    while the satisfying set is still returned for inspection. *)
 
 val check_lc :
-  ?fairness:Fair.syntactic list -> ?limit:int -> Ast.model -> Autom.t -> bool
-(** Explicit language containment on the composed product.  Raises
-    [Invalid_argument] when the product enumeration hits the state
-    [limit] — a truncated graph cannot certify emptiness either way. *)
-
-val check_lc_opt :
   ?fairness:Fair.syntactic list ->
   ?limit:int ->
+  ?limits:Limits.t ->
   Ast.model ->
   Autom.t ->
-  bool option
-(** As {!check_lc} but [None] on truncation, for callers (the fuzz
-    harness) that want to count the skip rather than fail. *)
+  unit Verdict.t
+(** Explicit language containment on the composed product.  [Inconclusive]
+    when the product enumeration was truncated (state [limit], node quota,
+    deadline or cancellation) — a truncated graph cannot certify emptiness
+    either way. *)
 
 val count_reachable : ?limit:int -> Net.t -> int

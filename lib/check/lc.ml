@@ -2,20 +2,28 @@ open Hsis_bdd
 open Hsis_fsm
 open Hsis_auto
 open Hsis_blifmv
+open Hsis_limits
 
-type outcome = {
-  holds : bool;
+type product = {
   trans : Trans.t;
   reach : Reach.t;
   fair : Bdd.t;
   env : El.env;
+}
+
+type outcome = {
+  verdict : Bdd.t Verdict.t;
+  product : product option;
   early_failure_step : int option;
   monitor : string;
 }
 
+let holds o = Verdict.holds o.verdict
+
 exception Not_deterministic of string
 
-let build_product ?(heuristic = Trans.Min_width) flat aut =
+let build_product ?(heuristic = Trans.Min_width) ?(limits = Limits.none) flat
+    aut =
   let composed = Autom.compose flat aut in
   let net = Net.of_model composed in
   (* The property automaton must be deterministic: its compiled table must
@@ -33,55 +41,106 @@ let build_product ?(heuristic = Trans.Min_width) flat aut =
           raise (Not_deterministic aut.Autom.a_name))
     net.Net.tables;
   let man = Bdd.new_man () in
+  (* The product lives in its own fresh manager; the budget governs its
+     construction and stays armed for the caller's fixpoints. *)
+  Bdd.set_limits man limits;
   let sym = Sym.make man net in
   Trans.build ~heuristic sym
 
-let product ?heuristic flat aut = build_product ?heuristic flat aut
+let product ?heuristic ?limits flat aut =
+  build_product ?heuristic ?limits flat aut
 
-let check ?(fairness = []) ?(early_failure = false) ?heuristic flat aut =
+let check ?(fairness = []) ?(early_failure = false) ?heuristic
+    ?(limits = Limits.none) flat aut =
   (match Autom.validate aut with
   | Ok () -> ()
   | Error m -> invalid_arg ("Lc.check: " ^ m));
-  let trans = build_product ?heuristic flat aut in
   let mon = Autom.monitor_signal aut in
-  let constraints =
-    Fair.compile_all trans (fairness @ Autom.complement_constraints aut)
+  let inconclusive ?product ?at_step r =
+    {
+      verdict = Verdict.inconclusive ?at_step r;
+      product;
+      early_failure_step = None;
+      monitor = mon;
+    }
   in
-  let env = El.prepare trans constraints in
-  let init = Trans.initial trans in
-  (* Early failure detection, second technique (Sec. 5.4): while exploring,
-     probe growing prefixes of the reachable set for a fair cycle — a fair
-     cycle of a substructure is a fair cycle of the full structure. *)
-  let full = Reach.compute trans init in
-  let probe upto =
-    let partial = Reach.partial full ~upto in
-    El.fair_states env ~within:partial
-  in
-  let early =
-    (* One probe on a short prefix: a fair cycle of a substructure is
-       real, and most errors are shallow (Sec. 5.4). *)
-    if early_failure then begin
-      let n = Array.length full.Reach.rings in
-      let k = min 4 (n - 2) in
-      if k < 1 then None
-      else begin
-        let fair = probe k in
-        if not (Bdd.is_false fair) then Some (k, fair) else None
-      end
-    end
-    else None
-  in
-  let fair, early_step =
-    match early with
-    | Some (k, fair) -> (fair, Some k)
-    | None -> (El.fair_states env ~within:full.Reach.reachable, None)
-  in
-  {
-    holds = Bdd.is_false fair;
-    trans;
-    reach = full;
-    fair;
-    env;
-    early_failure_step = early_step;
-    monitor = mon;
-  }
+  match build_product ?heuristic ~limits flat aut with
+  | exception Limits.Interrupted r ->
+      (* Interrupted while compiling the product itself: no partial
+         transition structure survives (its manager is unreachable). *)
+      inconclusive r
+  | trans -> (
+      let man = Trans.man trans in
+      (* Disarm the product manager on the way out so trace extraction and
+         other post-processing on the outcome are not interrupted by an
+         already-expired deadline. *)
+      Fun.protect ~finally:(fun () -> Bdd.set_limits man Limits.none)
+      @@ fun () ->
+      match
+        let constraints =
+          Fair.compile_all trans (fairness @ Autom.complement_constraints aut)
+        in
+        let env = El.prepare trans constraints in
+        (env, Reach.compute ~limits trans (Trans.initial trans))
+      with
+      | exception Limits.Interrupted r ->
+          (* During fairness compilation / EL preparation: the transition
+             structure exists but no exploration happened. *)
+          inconclusive r
+      | env, full -> (
+          let dfalse = Bdd.dfalse man in
+          let made ?(fair = dfalse) verdict early_failure_step =
+            {
+              verdict;
+              product = Some { trans; reach = full; fair; env };
+              early_failure_step;
+              monitor = mon;
+            }
+          in
+          match full.Reach.verdict with
+          | Verdict.Inconclusive inc -> (
+              (* Partial reachable set: a fair cycle of a substructure is a
+                 fair cycle of the full structure (Sec. 5.4), so probe it —
+                 a hit is a definitive failure. *)
+              match El.fair_states env ~within:full.Reach.reachable with
+              | exception Limits.Interrupted _ ->
+                  made (Verdict.Inconclusive inc) None
+              | fair ->
+                  if Bdd.is_false fair then made (Verdict.Inconclusive inc) None
+                  else
+                    made ~fair (Verdict.Fail fair) (Some full.Reach.steps))
+          | Verdict.Pass | Verdict.Fail _ -> (
+              (* Early failure detection, second technique (Sec. 5.4):
+                 probe a short prefix of the reachable set for a fair
+                 cycle. *)
+              let probe upto =
+                let partial = Reach.partial full ~upto in
+                El.fair_states env ~within:partial
+              in
+              let early =
+                if early_failure then begin
+                  let n = Array.length full.Reach.rings in
+                  let k = min 4 (n - 2) in
+                  if k < 1 then None
+                  else
+                    match probe k with
+                    | exception Limits.Interrupted _ -> None
+                    | fair ->
+                        if Bdd.is_false fair then None else Some (k, fair)
+                end
+                else None
+              in
+              match early with
+              | Some (k, fair) -> made ~fair (Verdict.Fail fair) (Some k)
+              | None -> (
+                  match
+                    El.fair_states env ~within:full.Reach.reachable
+                  with
+                  | exception Limits.Interrupted r ->
+                      made (Verdict.inconclusive r) None
+                  | fair ->
+                      let verdict =
+                        if Bdd.is_false fair then Verdict.Pass
+                        else Verdict.Fail fair
+                      in
+                      made ~fair verdict None))))

@@ -2,6 +2,7 @@ open Hsis_bdd
 open Hsis_fsm
 open Hsis_auto
 open Hsis_blifmv
+open Hsis_limits
 
 (** Language containment checking (paper Sec. 5.2): is every fair behavior
     of the system accepted by the property automaton?
@@ -12,15 +13,31 @@ open Hsis_blifmv
     and the complemented (Streett) acceptance — a language-emptiness check
     carried out with the Emerson-Lei engine. *)
 
-type outcome = {
-  holds : bool;
+type product = {
   trans : Trans.t;  (** transition structure of the composed product *)
   reach : Reach.t;
-  fair : Bdd.t;  (** reachable fair states of the product (empty iff holds) *)
+  fair : Bdd.t;
+      (** reachable fair states of the product (empty iff containment
+          holds; the trace extractor's starting point) *)
   env : El.env;
+}
+(** The composed product and everything needed to extract a witness lasso
+    from it.  The product lives in its own fresh BDD manager. *)
+
+type outcome = {
+  verdict : Bdd.t Verdict.t;
+      (** [Fail] carries the reachable fair states; [Inconclusive] means a
+          resource budget fired — during product construction, exploration
+          or the emptiness fixpoint. *)
+  product : product option;
+      (** [None] only when the interrupt fired before the product's
+          transition structure finished building. *)
   early_failure_step : int option;
   monitor : string;  (** name of the monitor state signal *)
 }
+
+val holds : outcome -> bool
+(** [Verdict.holds] on the outcome's verdict. *)
 
 exception Not_deterministic of string
 (** Raised when the property automaton is non-deterministic (the paper
@@ -30,10 +47,20 @@ val check :
   ?fairness:Fair.syntactic list ->
   ?early_failure:bool ->
   ?heuristic:Trans.heuristic ->
+  ?limits:Limits.t ->
   Ast.model ->
   Autom.t ->
   outcome
-(** [check flat_model automaton].  [fairness] constrains the system. *)
+(** [check flat_model automaton].  [fairness] constrains the system.
+    [limits] governs the whole pipeline (product construction, fairness
+    compilation, exploration, emptiness); the product manager is disarmed
+    again before returning, so trace extraction on the outcome is never
+    interrupted by an expired budget.  When exploration is truncated, the
+    explored prefix is still probed for a fair cycle — a hit is a
+    definitive [Fail]. *)
 
-val product : ?heuristic:Trans.heuristic -> Ast.model -> Autom.t -> Trans.t
-(** Just the composed transition structure (for debugging/benches). *)
+val product :
+  ?heuristic:Trans.heuristic -> ?limits:Limits.t -> Ast.model -> Autom.t ->
+  Trans.t
+(** Just the composed transition structure (for debugging/benches).  When
+    [limits] is given it stays armed on the fresh manager. *)

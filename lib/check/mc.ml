@@ -1,14 +1,17 @@
 open Hsis_bdd
 open Hsis_fsm
 open Hsis_auto
+open Hsis_limits
 
 type outcome = {
-  holds : bool;
+  verdict : Bdd.t Verdict.t;
   sat : Bdd.t;
   fail_init : Bdd.t;
   early_failure_step : int option;
   explored : Reach.t;
 }
+
+let holds o = Verdict.holds o.verdict
 
 (* Satisfaction sets are always kept within the explored state set [reach];
    negation is relative to it. *)
@@ -72,45 +75,72 @@ let evaluate ?(fairness = []) trans reach_set init f =
   let fail_init = Bdd.dand init (Bdd.dand reach_set (Bdd.dnot s)) in
   (s, fail_init)
 
-let check ?(fairness = []) ?(early_failure = false) ?reach trans f =
+let check ?(fairness = []) ?(early_failure = false) ?reach
+    ?(limits = Limits.none) trans f =
+  let man = Trans.man trans in
   let init = Trans.initial trans in
   let full =
-    match reach with Some r -> r | None -> Reach.compute trans init
+    match reach with Some r -> r | None -> Reach.compute ~limits trans init
   in
-  (* Early failure detection on growing prefixes: sound for refutation of
-     universal formulas because a counterexample inside a substructure is a
-     counterexample of the full structure. *)
-  let early =
-    (* One cheap probe on a short prefix: most errors show up within a few
-       reachability steps (Sec. 5.4), while passing properties should not
-       pay for repeated re-evaluation. *)
-    if early_failure && Ctl.universal_only f then begin
-      let n = Array.length full.Reach.rings in
-      let k = min 4 (n - 2) in
-      if k < 1 then None
-      else begin
-        let partial = Reach.partial full ~upto:k in
-        let _, fail_init = evaluate ~fairness trans partial init f in
-        if not (Bdd.is_false fail_init) then Some (k, fail_init) else None
-      end
-    end
-    else None
+  let dfalse = Bdd.dfalse man in
+  let outcome verdict sat fail_init early_failure_step =
+    { verdict; sat; fail_init; early_failure_step; explored = full }
   in
-  match early with
-  | Some (k, fail_init) ->
-      {
-        holds = false;
-        sat = Bdd.dfalse (Trans.man trans);
-        fail_init;
-        early_failure_step = Some k;
-        explored = full;
-      }
-  | None ->
-      let s, fail_init = evaluate ~fairness trans full.Reach.reachable init f in
-      {
-        holds = Bdd.is_false fail_init;
-        sat = s;
-        fail_init;
-        early_failure_step = None;
-        explored = full;
-      }
+  (* Fixpoint evaluation under the same budget as exploration; the apply
+     kernels raise [Limits.Interrupted] on a breach. *)
+  let evaluate_within set = Bdd.with_limits man limits (fun () ->
+      evaluate ~fairness trans set init f)
+  in
+  match full.Reach.verdict with
+  | Verdict.Inconclusive inc ->
+      (* The reachable set is only a prefix.  Refutation of a universal
+         formula on a substructure is still sound (Sec. 5.4) — try it
+         before giving up; any further interrupt just confirms
+         inconclusiveness. *)
+      let refuted =
+        if Ctl.universal_only f then
+          match evaluate_within full.Reach.reachable with
+          | _, fail_init when not (Bdd.is_false fail_init) -> Some fail_init
+          | _ -> None
+          | exception Limits.Interrupted _ -> None
+        else None
+      in
+      (match refuted with
+      | Some fail_init ->
+          outcome (Verdict.Fail fail_init) dfalse fail_init
+            (Some full.Reach.steps)
+      | None -> outcome (Verdict.Inconclusive inc) dfalse dfalse None)
+  | Verdict.Pass | Verdict.Fail _ -> (
+      (* Early failure detection on growing prefixes: sound for refutation
+         of universal formulas because a counterexample inside a
+         substructure is a counterexample of the full structure.  One cheap
+         probe on a short prefix: most errors show up within a few
+         reachability steps (Sec. 5.4), while passing properties should not
+         pay for repeated re-evaluation. *)
+      let early =
+        if early_failure && Ctl.universal_only f then begin
+          let n = Array.length full.Reach.rings in
+          let k = min 4 (n - 2) in
+          if k < 1 then None
+          else
+            match evaluate_within (Reach.partial full ~upto:k) with
+            | _, fail_init when not (Bdd.is_false fail_init) ->
+                Some (k, fail_init)
+            | _ -> None
+            | exception Limits.Interrupted _ -> None
+        end
+        else None
+      in
+      match early with
+      | Some (k, fail_init) ->
+          outcome (Verdict.Fail fail_init) dfalse fail_init (Some k)
+      | None -> (
+          match evaluate_within full.Reach.reachable with
+          | s, fail_init ->
+              let verdict =
+                if Bdd.is_false fail_init then Verdict.Pass
+                else Verdict.Fail fail_init
+              in
+              outcome verdict s fail_init None
+          | exception Limits.Interrupted r ->
+              outcome (Verdict.inconclusive r) dfalse dfalse None))

@@ -1,12 +1,16 @@
 open Hsis_bdd
 open Hsis_fsm
 open Hsis_auto
+open Hsis_limits
 
 (** Fair CTL model checking (paper Sec. 5.2), with the invariance fast path
     and early failure detection (Sec. 5.4). *)
 
 type outcome = {
-  holds : bool;
+  verdict : Bdd.t Verdict.t;
+      (** [Fail] carries the violating initial states ([fail_init]);
+          [Inconclusive] means a resource budget fired during exploration
+          or fixpoint evaluation. *)
   sat : Bdd.t;  (** states (within the explored set) satisfying the formula *)
   fail_init : Bdd.t;  (** initial states violating the formula *)
   early_failure_step : int option;
@@ -14,10 +18,14 @@ type outcome = {
   explored : Reach.t;
 }
 
+val holds : outcome -> bool
+(** [Verdict.holds] on the outcome's verdict. *)
+
 val check :
   ?fairness:Fair.compiled list ->
   ?early_failure:bool ->
   ?reach:Reach.t ->
+  ?limits:Limits.t ->
   Trans.t ->
   Ctl.t ->
   outcome
@@ -26,7 +34,10 @@ val check :
     quantifiers range over fair paths.  When [early_failure] is set and the
     formula is universal (Sec. 5.4), the property is first evaluated on
     growing prefixes of the reachable set — any violation found there is
-    definitive. *)
+    definitive.  [limits] governs both exploration and evaluation; if it
+    truncates exploration, a universal formula is still probed on the
+    partial set (a violation there is a definitive [Fail]), otherwise the
+    outcome is [Inconclusive] with [explored] holding the partial onion. *)
 
 val sat_states :
   ?fairness:Fair.compiled list -> Trans.t -> within:Bdd.t -> Ctl.t -> Bdd.t

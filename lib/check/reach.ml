@@ -1,17 +1,22 @@
 open Hsis_obs
 open Hsis_bdd
 open Hsis_fsm
+open Hsis_limits
 
 type t = {
   reachable : Bdd.t;
   rings : Bdd.t array;
   steps : int;
-  bad_hit : int option;
+  verdict : int Verdict.t;
   profile : Obs.reach_sample array;
 }
 
-let compute ?(use_mono = false) ?bad ?(stop_on_bad = false) ?max_steps
-    ?(profile = true) trans init =
+let bad_hit t = match t.verdict with Verdict.Fail k -> Some k | _ -> None
+let complete t = Verdict.conclusive t.verdict
+
+let compute ?(use_mono = false) ?bad ?(stop_on_bad = false)
+    ?(limits = Limits.none) ?(profile = true) trans init =
+  let man = Trans.man trans in
   let hits set =
     match bad with
     | None -> false
@@ -32,41 +37,64 @@ let compute ?(use_mono = false) ?bad ?(stop_on_bad = false) ?max_steps
         :: !samples
   in
   sample 0 init init 0.0;
-  let rec go k reached frontier rings bad_hit =
-    let bad_hit =
-      match bad_hit with
-      | Some _ -> bad_hit
-      | None -> if hits frontier then Some k else None
+  (* Loop state lives in refs so that an interrupt escaping an image
+     computation still leaves the rings built so far in reach: the partial
+     onion is returned alongside the Inconclusive verdict. *)
+  let reached = ref init in
+  let frontier = ref init in
+  let rings = ref [ init ] in
+  let step = ref 0 in
+  let first_bad = ref None in
+  let finish verdict =
+    (* The last ring may be empty (fixpoint detection step); drop it. *)
+    let rs =
+      match List.rev !rings with
+      | r :: rest when Bdd.is_false r -> List.rev rest
+      | _ -> !rings
     in
-    let stop_bad = stop_on_bad && bad_hit <> None in
-    let stop_depth = match max_steps with Some m -> k >= m | None -> false in
-    if Bdd.is_false frontier || stop_bad || stop_depth then
-      (reached, List.rev rings, k, bad_hit)
-    else begin
-      let (fresh, reached'), dt =
-        Obs.Clock.wall (fun () ->
-            let next = Trans.image ~use_mono trans frontier in
-            let fresh = Bdd.dand next (Bdd.dnot reached) in
-            (fresh, Bdd.dor reached fresh))
-      in
-      if not (Bdd.is_false fresh) then sample (k + 1) fresh reached' dt;
-      go (k + 1) reached' fresh (fresh :: rings) bad_hit
-    end
+    {
+      reachable = !reached;
+      rings = Array.of_list (List.rev rs);
+      steps = !step;
+      verdict;
+      profile = Array.of_list (List.rev !samples);
+    }
   in
-  let reachable, rings, steps, bad_hit = go 0 init init [ init ] None in
-  (* The last ring may be empty (fixpoint detection step); drop it. *)
-  let rings =
-    match List.rev rings with
-    | r :: rest when Bdd.is_false r -> List.rev rest
-    | _ -> rings
-  in
-  {
-    reachable;
-    rings = Array.of_list rings;
-    steps;
-    bad_hit;
-    profile = Array.of_list (List.rev !samples);
-  }
+  Bdd.with_limits man limits @@ fun () ->
+  try
+    let rec go () =
+      if !first_bad = None && hits !frontier then first_bad := Some !step;
+      if Bdd.is_false !frontier then
+        finish
+          (match !first_bad with
+          | Some k -> Verdict.Fail k
+          | None -> Verdict.Pass)
+      else if stop_on_bad && !first_bad <> None then
+        (* Early failure detection: a bad state inside a reachable prefix
+           is definitive even though the fixpoint was not completed. *)
+        finish (Verdict.Fail (Option.get !first_bad))
+      else if not (Limits.step_allowed limits ~step:!step) then begin
+        Bdd.note_interrupt man Limits.Limit_steps;
+        finish (Verdict.inconclusive ~at_step:!step Limits.Limit_steps)
+      end
+      else begin
+        let (fresh, reached'), dt =
+          Obs.Clock.wall (fun () ->
+              let next = Trans.image ~use_mono trans !frontier in
+              let fresh = Bdd.dand next (Bdd.dnot !reached) in
+              (fresh, Bdd.dor !reached fresh))
+        in
+        if not (Bdd.is_false fresh) then sample (!step + 1) fresh reached' dt;
+        step := !step + 1;
+        reached := reached';
+        frontier := fresh;
+        rings := fresh :: !rings;
+        go ()
+      end
+    in
+    go ()
+  with Limits.Interrupted r ->
+    finish (Verdict.inconclusive ~at_step:!step r)
 
 let count_states trans set =
   let sym = Trans.sym trans in

@@ -1,31 +1,49 @@
 open Hsis_bdd
 open Hsis_fsm
+open Hsis_limits
 
 (** Breadth-first symbolic reachability with onion rings and early failure
     detection (paper Secs. 2 and 5.4). *)
 
 type t = {
   reachable : Bdd.t;
+      (** Union of [rings] — the true reachable set when the verdict is
+          conclusive, the explored prefix when it is [Inconclusive]. *)
   rings : Bdd.t array;
       (** [rings.(k)] = states first reached in exactly [k] steps; their
           union is [reachable].  Kept for shortest-prefix debug traces. *)
   steps : int;
-  bad_hit : int option;
-      (** First ring index intersecting the [bad] set, if one was given. *)
+  verdict : int Verdict.t;
+      (** [Pass]: fixpoint reached, no [bad] state reachable.  [Fail k]:
+          the [bad] set was first hit at ring [k] (definitive even under
+          [stop_on_bad]: a bad state in a reachable prefix is a real
+          violation).  [Inconclusive]: a resource budget fired first;
+          [reachable]/[rings] hold the partial onion. *)
   profile : Hsis_obs.Obs.reach_sample array;
       (** Per-iteration fixpoint profile: frontier / reached-set BDD sizes
           and wall-clock time per image step, aligned with [rings]. *)
 }
 
+val bad_hit : t -> int option
+(** First ring index intersecting the [bad] set ([Some k] iff the verdict
+    is [Fail k]). *)
+
+val complete : t -> bool
+(** Whether exploration ran to a conclusive verdict. *)
+
 val compute :
-  ?use_mono:bool -> ?bad:Bdd.t -> ?stop_on_bad:bool -> ?max_steps:int ->
+  ?use_mono:bool -> ?bad:Bdd.t -> ?stop_on_bad:bool -> ?limits:Limits.t ->
   ?profile:bool -> Trans.t -> Bdd.t -> t
 (** [compute trans init].  With [stop_on_bad] (early failure detection) the
     exploration stops at the first ring intersecting [bad]; [reachable] is
-    then a subset of the true reachable set.  [profile] (default [true])
-    records the per-step fixpoint profile; it costs a [Bdd.dag_size]
-    traversal of the frontier and the full reached set per image step, so
-    benchmarks turn it off. *)
+    then a subset of the true reachable set.  [limits] is installed on the
+    transition system's manager for the duration of the call: its step
+    quota bounds the number of image steps, and a deadline / node-quota /
+    cancellation breach interrupts mid-image — both yield an
+    [Inconclusive] verdict with the rings built so far.  [profile]
+    (default [true]) records the per-step fixpoint profile; it costs a
+    [Bdd.dag_size] traversal of the frontier and the full reached set per
+    image step, so benchmarks turn it off. *)
 
 val count_states : Trans.t -> Bdd.t -> float
 (** Number of states in a set (satisfying assignments over state bits). *)

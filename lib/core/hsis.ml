@@ -5,6 +5,7 @@ open Hsis_fsm
 open Hsis_auto
 open Hsis_check
 open Hsis_debug
+open Hsis_limits
 
 type design = {
   flat : Ast.model;
@@ -14,11 +15,15 @@ type design = {
   blifmv_lines : int;
   read_time : float;
   timers : Obs.Timers.t;
+  verdicts : Obs.Tally.t;
+  mutable limits : Limits.t;
   mutable reach_cache : Reach.t option;
   mutable profile_reach : bool;
 }
 
 let set_reach_profile d b = d.profile_reach <- b
+let set_limits d l = d.limits <- l
+let limits d = d.limits
 
 let timed f = Obs.Clock.wall f
 
@@ -45,6 +50,7 @@ let read_flat ?(heuristic = Trans.Min_width) ?verilog_lines ?timers flat =
         (net, trans))
   in
   { flat; net; trans; verilog_lines; blifmv_lines; read_time; timers;
+    verdicts = Obs.Tally.create (); limits = Limits.none;
     reach_cache = None; profile_reach = true }
 
 let read_blifmv ?heuristic src =
@@ -66,91 +72,110 @@ let read_verilog ?heuristic src =
   in
   read_flat ?heuristic ~verilog_lines ~timers flat
 
+(* Only conclusive explorations are cached: a run truncated by a budget is
+   returned to the caller but recomputed on the next call (the absolute
+   deadline makes retries after expiry fail fast rather than loop). *)
 let reachable d =
   match d.reach_cache with
   | Some r -> r
   | None ->
       let r =
         Obs.Timers.time d.timers "reach" (fun () ->
-            Reach.compute ~profile:d.profile_reach d.trans
+            Reach.compute ~limits:d.limits ~profile:d.profile_reach d.trans
               (Trans.initial d.trans))
       in
-      d.reach_cache <- Some r;
+      if Verdict.conclusive r.Reach.verdict then d.reach_cache <- Some r;
       r
 
 let reached_states d = Reach.count_states d.trans (reachable d).Reach.reachable
 
-type ctl_result = {
-  cr_name : string;
-  cr_formula : Ctl.t;
-  cr_holds : bool;
-  cr_time : float;
-  cr_early_step : int option;
-  cr_explanation : Mcdbg.explanation option;
+type ctl_evidence = {
+  ce_explanation : Mcdbg.explanation option;
 }
 
-type lc_result = {
-  lr_name : string;
-  lr_holds : bool;
-  lr_time : float;
-  lr_early_step : int option;
-  lr_trace : Trace.t option;
-  lr_trans : Trans.t;
+type lc_evidence = {
+  le_trace : Trace.t option;
+  le_trans : Trans.t;
 }
+
+type 'ev property_result = {
+  pr_name : string;
+  pr_verdict : 'ev Verdict.t;
+  pr_time : float;
+  pr_early_step : int option;
+}
+
+let tally d v = Obs.Tally.incr d.verdicts (Verdict.name v)
 
 let check_ctl ?(fairness = []) ?(early_failure = true) ?(explain = false) d
     ~name formula =
   let reach = reachable d in
-  let (outcome, compiled), cr_time =
+  let engine, pr_time =
     timed (fun () ->
-        let compiled = Fair.compile_all d.trans fairness in
-        (Mc.check ~fairness:compiled ~early_failure ~reach d.trans formula,
-         compiled))
+        match
+          Bdd.with_limits (Trans.man d.trans) d.limits (fun () ->
+              Fair.compile_all d.trans fairness)
+        with
+        | exception Limits.Interrupted r -> Error r
+        | compiled ->
+            Ok
+              ( compiled,
+                Mc.check ~fairness:compiled ~early_failure ~reach
+                  ~limits:d.limits d.trans formula ))
   in
-  Obs.Timers.add d.timers "mc" cr_time;
-  let cr_explanation =
-    if explain && not outcome.Mc.holds then begin
-      let ctx = Mcdbg.make ~fairness:compiled d.trans ~reach in
-      Mcdbg.explain_failure ctx formula outcome
-    end
-    else None
+  Obs.Timers.add d.timers "mc" pr_time;
+  let pr_verdict, pr_early_step =
+    match engine with
+    | Error r -> (Verdict.inconclusive r, None)
+    | Ok (compiled, outcome) ->
+        let evidence _fail_init =
+          {
+            ce_explanation =
+              (if explain then begin
+                 let ctx = Mcdbg.make ~fairness:compiled d.trans ~reach in
+                 Mcdbg.explain_failure ctx formula outcome
+               end
+               else None);
+          }
+        in
+        ( Verdict.map evidence outcome.Mc.verdict,
+          outcome.Mc.early_failure_step )
   in
-  {
-    cr_name = name;
-    cr_formula = formula;
-    cr_holds = outcome.Mc.holds;
-    cr_time;
-    cr_early_step = outcome.Mc.early_failure_step;
-    cr_explanation;
-  }
+  tally d pr_verdict;
+  { pr_name = name; pr_verdict; pr_time; pr_early_step }
 
 let check_lc ?(fairness = []) ?(early_failure = true) ?(trace = true) d aut =
-  let outcome, lr_time =
-    timed (fun () -> Lc.check ~fairness ~early_failure d.flat aut)
+  let outcome, pr_time =
+    timed (fun () ->
+        Lc.check ~fairness ~early_failure ~limits:d.limits d.flat aut)
   in
-  Obs.Timers.add d.timers "lc" lr_time;
-  let lr_trace =
-    if trace && not outcome.Lc.holds then
-      try
-        Some
-          (Trace.fair_lasso outcome.Lc.env ~reach:outcome.Lc.reach
-             ~fair:outcome.Lc.fair)
-      with Not_found -> None
-    else None
+  Obs.Timers.add d.timers "lc" pr_time;
+  let evidence _fair =
+    (* A [Fail] verdict implies the product was built. *)
+    let p = Option.get outcome.Lc.product in
+    let le_trace =
+      if trace then
+        try
+          Some
+            (Trace.fair_lasso p.Lc.env ~reach:p.Lc.reach ~fair:p.Lc.fair)
+        with Not_found -> None
+      else None
+    in
+    { le_trace; le_trans = p.Lc.trans }
   in
+  let pr_verdict = Verdict.map evidence outcome.Lc.verdict in
+  tally d pr_verdict;
   {
-    lr_name = aut.Autom.a_name;
-    lr_holds = outcome.Lc.holds;
-    lr_time;
-    lr_early_step = outcome.Lc.early_failure_step;
-    lr_trace;
-    lr_trans = outcome.Lc.trans;
+    pr_name = aut.Autom.a_name;
+    pr_verdict;
+    pr_time;
+    pr_early_step = outcome.Lc.early_failure_step;
   }
 
 type report = {
   design_name : string;
-  ctl : ctl_result list;
-  lc : lc_result list;
+  ctl : ctl_evidence property_result list;
+  lc : lc_evidence property_result list;
   mc_time : float;
   lc_time : float;
 }
@@ -177,14 +202,28 @@ let run_pif ?(early_failure = true) ?(witnesses = false) d (pif : Pif.t) =
     design_name = d.flat.Ast.m_name;
     ctl;
     lc;
-    mc_time = List.fold_left (fun acc r -> acc +. r.cr_time) 0.0 ctl;
-    lc_time = List.fold_left (fun acc r -> acc +. r.lr_time) 0.0 lc;
+    mc_time = List.fold_left (fun acc r -> acc +. r.pr_time) 0.0 ctl;
+    lc_time = List.fold_left (fun acc r -> acc +. r.pr_time) 0.0 lc;
   }
+
+(* CLI protocol over a whole report: any definitive failure wins (3), else
+   any inconclusive result (4), else pass (0). *)
+let report_exit_code r =
+  let fold worst results =
+    List.fold_left
+      (fun acc p ->
+        match p.pr_verdict with
+        | Verdict.Fail _ -> 3
+        | Verdict.Inconclusive _ -> if acc = 3 then acc else 4
+        | Verdict.Pass -> acc)
+      worst results
+  in
+  fold (fold 0 r.ctl) r.lc
 
 let simulator d = Hsis_sim.Simulator.create d.net
 
 let bisimulation ?class_cap d =
-  Hsis_bisim.Bisim.compute ?class_cap d.trans
+  Hsis_bisim.Bisim.compute ?class_cap ~limits:d.limits d.trans
     ~reach:(reachable d).Reach.reachable
 
 let minimize d =
@@ -203,25 +242,24 @@ let snapshot d =
     ~phases:(Obs.Timers.to_list d.timers)
     ~reach
     ~relation:(Trans.rel_profile d.trans)
+    ~verdicts:(Obs.Tally.to_list d.verdicts)
     (stats d)
+
+let verdict_cell v =
+  match v with
+  | Verdict.Pass -> "passed"
+  | Verdict.Fail _ -> "FAILED"
+  | Verdict.Inconclusive { Verdict.reason; _ } ->
+      Printf.sprintf "inconclusive(%s)" (Limits.reason_name reason)
 
 let pp_report fmt r =
   Format.fprintf fmt "design %s:@." r.design_name;
-  List.iter
-    (fun c ->
-      Format.fprintf fmt "  ctl %-24s %-6s %6.3fs%s@." c.cr_name
-        (if c.cr_holds then "passed" else "FAILED")
-        c.cr_time
-        (match c.cr_early_step with
-        | Some k -> Printf.sprintf " (early failure at step %d)" k
-        | None -> ""))
-    r.ctl;
-  List.iter
-    (fun l ->
-      Format.fprintf fmt "  lc  %-24s %-6s %6.3fs%s@." l.lr_name
-        (if l.lr_holds then "passed" else "FAILED")
-        l.lr_time
-        (match l.lr_early_step with
-        | Some k -> Printf.sprintf " (early failure at step %d)" k
-        | None -> ""))
-    r.lc
+  let line kind p =
+    Format.fprintf fmt "  %s %-24s %-22s %6.3fs%s@." kind p.pr_name
+      (verdict_cell p.pr_verdict) p.pr_time
+      (match p.pr_early_step with
+      | Some k -> Printf.sprintf " (early failure at step %d)" k
+      | None -> "")
+  in
+  List.iter (line "ctl") r.ctl;
+  List.iter (line "lc ") r.lc

@@ -4,11 +4,12 @@ open Hsis_fsm
 open Hsis_auto
 open Hsis_check
 open Hsis_debug
+open Hsis_limits
 
 (** The unified HSIS environment (paper Fig. 1): read a design from Verilog
     or BLIF-MV, build its symbolic transition structure, check CTL and
-    containment properties from a PIF file, and produce bug reports with
-    error traces. *)
+    containment properties from a PIF file under an optional resource
+    budget, and produce bug reports with error traces. *)
 
 type design = {
   flat : Ast.model;  (** flattened BLIF-MV *)
@@ -22,6 +23,10 @@ type design = {
       (** accumulated per-phase wall-clock timings: [parse], [flatten],
           [order], [relation], then [reach] / [mc] / [lc] as the engines
           run.  Rendered by {!snapshot}. *)
+  verdicts : Obs.Tally.t;
+      (** per-verdict counts ([pass] / [fail] / [inconclusive]) across every
+          property checked on this design; rendered by {!snapshot} *)
+  mutable limits : Limits.t;  (** see {!set_limits} *)
   mutable reach_cache : Reach.t option;  (** filled by {!reachable} *)
   mutable profile_reach : bool;
       (** record the per-step fixpoint profile during {!reachable}
@@ -34,6 +39,16 @@ val set_reach_profile : design -> bool -> unit
     set with [Bdd.dag_size] each image step; the CLI enables it only when
     [--stats] / [--stats-json] is passed, and benchmarks disable it. *)
 
+val set_limits : design -> Limits.t -> unit
+(** Install a resource budget governing every subsequent engine call on
+    this design ({!reachable}, {!check_ctl}, {!check_lc},
+    {!bisimulation}).  Engines interrupted by the budget return
+    [Verdict.Inconclusive] results instead of raising.  Deadlines are
+    absolute: a [Limits.make ~timeout] value expires once and every later
+    call under it fails fast.  Default [Limits.none]. *)
+
+val limits : design -> Limits.t
+
 val read_verilog : ?heuristic:Trans.heuristic -> string -> design
 val read_blifmv : ?heuristic:Trans.heuristic -> string -> design
 val read_flat :
@@ -44,27 +59,34 @@ val read_flat :
   design
 
 val reachable : design -> Reach.t
-(** Cached after the first call. *)
+(** Runs under {!val-limits}.  Conclusive results are cached; a truncated
+    exploration (verdict [Inconclusive]) is returned but recomputed on the
+    next call. *)
 
 val reached_states : design -> float
 
-type ctl_result = {
-  cr_name : string;
-  cr_formula : Ctl.t;
-  cr_holds : bool;
-  cr_time : float;
-  cr_early_step : int option;
-  cr_explanation : Mcdbg.explanation option;  (** bug report when failing *)
+type ctl_evidence = {
+  ce_explanation : Mcdbg.explanation option;
+      (** bug report, when requested with [~explain:true] *)
 }
 
-type lc_result = {
-  lr_name : string;
-  lr_holds : bool;
-  lr_time : float;
-  lr_early_step : int option;
-  lr_trace : Trace.t option;  (** error trace when containment fails *)
-  lr_trans : Trans.t;  (** product structure, for printing the trace *)
+type lc_evidence = {
+  le_trace : Trace.t option;  (** error trace when containment fails *)
+  le_trans : Trans.t;  (** product structure, for printing the trace *)
 }
+
+type 'ev property_result = {
+  pr_name : string;
+  pr_verdict : 'ev Verdict.t;
+      (** [Fail] carries the engine-specific evidence *)
+  pr_time : float;
+  pr_early_step : int option;
+      (** reachability step at which the failure was detected, when the
+          early-failure scan caught it before the fixpoint converged *)
+}
+(** One checked property, CTL or language containment: the two legacy
+    result records ([ctl_result] / [lc_result]) unified over the verdict
+    API. *)
 
 val check_ctl :
   ?fairness:Fair.syntactic list ->
@@ -73,7 +95,7 @@ val check_ctl :
   design ->
   name:string ->
   Ctl.t ->
-  ctl_result
+  ctl_evidence property_result
 
 val check_lc :
   ?fairness:Fair.syntactic list ->
@@ -81,12 +103,12 @@ val check_lc :
   ?trace:bool ->
   design ->
   Autom.t ->
-  lc_result
+  lc_evidence property_result
 
 type report = {
   design_name : string;
-  ctl : ctl_result list;
-  lc : lc_result list;
+  ctl : ctl_evidence property_result list;
+  lc : lc_evidence property_result list;
   mc_time : float;
   lc_time : float;
 }
@@ -94,10 +116,17 @@ type report = {
 val run_pif :
   ?early_failure:bool -> ?witnesses:bool -> design -> Pif.t -> report
 (** Check every [ctl] and [lc] property of the PIF file under its fairness
-    constraints. *)
+    constraints (and the design's installed {!val-limits}). *)
+
+val report_exit_code : report -> int
+(** CLI protocol: [3] if any property has a definitive [Fail] verdict,
+    else [4] if any is [Inconclusive], else [0]. *)
 
 val simulator : design -> Hsis_sim.Simulator.t
+
 val bisimulation : ?class_cap:int -> design -> Hsis_bisim.Bisim.result
+(** Runs under {!val-limits}. *)
+
 val minimize : design -> Hsis_bisim.Dontcare.report
 (** Restrict the relation parts with the reachable care set. *)
 
@@ -106,8 +135,8 @@ val stats : design -> Obs.man_stats
 
 val snapshot : design -> Obs.snapshot
 (** Full observability snapshot: manager counters, per-phase timings, the
-    relation-partition profile, and (once {!reachable} has run) the
-    per-iteration reachability profile.  Render with [Obs.pp] or
-    [Obs.to_json]. *)
+    relation-partition profile, the verdict tally, and (once {!reachable}
+    has run) the per-iteration reachability profile.  Render with [Obs.pp]
+    or [Obs.to_json]. *)
 
 val pp_report : Format.formatter -> report -> unit

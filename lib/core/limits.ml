@@ -1,0 +1,79 @@
+(* Resource budgets for verification runs.
+
+   A [t] is an immutable description of how much work a caller is willing
+   to pay for: a wall-clock deadline, a cap on live BDD nodes, a cap on
+   fixpoint steps, and/or an arbitrary cancellation callback.  The BDD
+   manager polls [check] from its apply kernels (amortized over cache
+   misses) and the engines poll it once per fixpoint step; a breach raises
+   [Interrupted], which every engine converts into an [Inconclusive]
+   verdict carrying whatever partial state it had built. *)
+
+type reason =
+  | Limit_deadline
+  | Limit_nodes
+  | Limit_steps
+  | Cancelled
+
+exception Interrupted of reason
+
+type t = {
+  deadline : float option;  (* absolute, in Obs.Clock.now coordinates *)
+  max_nodes : int option;   (* live (referenced) nodes in the manager *)
+  max_steps : int option;   (* engine fixpoint iterations *)
+  cancelled : (unit -> bool) option;
+}
+
+let none = { deadline = None; max_nodes = None; max_steps = None; cancelled = None }
+
+let make ?timeout ?max_nodes ?max_steps ?cancelled () =
+  (* The deadline is absolute: computed once here, so a limits value handed
+     to several engine calls in sequence keeps ticking across them and
+     fails fast once expired. *)
+  let deadline =
+    match timeout with
+    | None -> None
+    | Some s -> Some (Hsis_obs.Obs.Clock.now () +. s)
+  in
+  { deadline; max_nodes; max_steps; cancelled }
+
+let is_none l =
+  l.deadline = None && l.max_nodes = None && l.max_steps = None
+  && (match l.cancelled with None -> true | Some _ -> false)
+
+let reason_name = function
+  | Limit_deadline -> "deadline"
+  | Limit_nodes -> "nodes"
+  | Limit_steps -> "steps"
+  | Cancelled -> "cancelled"
+
+(* Cheapest checks first: the cancellation flag and node count are loads,
+   the deadline needs a clock read. *)
+let breach l ~live =
+  let cancelled =
+    match l.cancelled with Some f -> f () | None -> false
+  in
+  if cancelled then Some Cancelled
+  else begin
+    let over_nodes =
+      match l.max_nodes with Some n -> live > n | None -> false
+    in
+    if over_nodes then Some Limit_nodes
+    else begin
+      let over_deadline =
+        match l.deadline with
+        | Some d -> Hsis_obs.Obs.Clock.now () > d
+        | None -> false
+      in
+      if over_deadline then Some Limit_deadline else None
+    end
+  end
+
+let check l ~live =
+  match breach l ~live with
+  | Some r -> raise (Interrupted r)
+  | None -> ()
+
+(* Step budgets are enforced by the engines themselves (the manager has no
+   notion of a step); [step_allowed] is the one-line guard they use. *)
+let step_allowed l ~step =
+  match l.max_steps with Some n -> step < n | None -> true

@@ -1,0 +1,56 @@
+(** Resource budgets for verification runs.
+
+    A {!t} bundles a wall-clock deadline, a live-node quota, a fixpoint-step
+    quota and a cancellation callback.  The BDD manager polls {!check} from
+    inside its apply kernels (amortized over computed-cache misses); engines
+    additionally poll it once per fixpoint step and guard their iteration
+    counts with {!step_allowed}.  A breach raises {!Interrupted}, which the
+    engines catch at step granularity and turn into an
+    [Verdict.Inconclusive] result carrying partial state. *)
+
+type reason =
+  | Limit_deadline  (** wall-clock deadline passed *)
+  | Limit_nodes     (** live BDD nodes exceeded the quota *)
+  | Limit_steps     (** fixpoint-step quota exhausted *)
+  | Cancelled       (** the user cancellation callback returned [true] *)
+
+exception Interrupted of reason
+
+type t = {
+  deadline : float option;
+      (** absolute time (in [Obs.Clock.now] coordinates), not a duration *)
+  max_nodes : int option;
+  max_steps : int option;
+  cancelled : (unit -> bool) option;
+}
+
+val none : t
+(** No limits; [is_none none = true]. The manager skips all polling. *)
+
+val make :
+  ?timeout:float ->
+  ?max_nodes:int ->
+  ?max_steps:int ->
+  ?cancelled:(unit -> bool) ->
+  unit ->
+  t
+(** [make ~timeout:s] fixes the absolute deadline [now () +. s] at call
+    time, so one limits value shared by several engine calls keeps ticking
+    across them. *)
+
+val is_none : t -> bool
+
+val breach : t -> live:int -> reason option
+(** First breached limit, checked cheapest-first (cancellation, nodes,
+    deadline). [live] is the current live-node count. Step quotas are not
+    checked here — see {!step_allowed}. *)
+
+val check : t -> live:int -> unit
+(** Raise [Interrupted r] if [breach] reports [Some r]. *)
+
+val step_allowed : t -> step:int -> bool
+(** Whether fixpoint step number [step] (0-based) may still run. *)
+
+val reason_name : reason -> string
+(** Stable lowercase label: ["deadline"], ["nodes"], ["steps"],
+    ["cancelled"]. Used in JSON, obs tallies and CLI output. *)

@@ -1,0 +1,75 @@
+(* The single answer type spoken by every checking engine.
+
+   [Pass] and [Fail] are definitive; [Fail] carries engine-specific
+   evidence (a BDD of failing initial states, a lasso trace, ...).
+   [Inconclusive] means a resource budget interrupted the run: the record
+   says which limit fired and, when known, at which fixpoint step.  Partial
+   state (explored rings, partial satisfaction sets) lives in the engine's
+   own result record next to the verdict, not inside the variant, so that
+   verdicts from different engines stay directly comparable. *)
+
+type inconclusive = {
+  reason : Limits.reason;
+  at_step : int option;
+}
+
+type 'ev t =
+  | Pass
+  | Fail of 'ev
+  | Inconclusive of inconclusive
+
+let inconclusive ?at_step reason = Inconclusive { reason; at_step }
+
+let holds = function Pass -> true | Fail _ | Inconclusive _ -> false
+
+let conclusive = function Pass | Fail _ -> true | Inconclusive _ -> false
+
+let map f = function
+  | Pass -> Pass
+  | Fail e -> Fail (f e)
+  | Inconclusive i -> Inconclusive i
+
+let name = function
+  | Pass -> "pass"
+  | Fail _ -> "fail"
+  | Inconclusive _ -> "inconclusive"
+
+(* Differential-checking compatibility: two verdicts disagree only when
+   both are conclusive and differ.  An Inconclusive on either side is
+   compatible with anything — a budgeted run may degrade to Inconclusive
+   but may never flip a conclusive answer. *)
+let agree a b =
+  match (a, b) with
+  | Pass, Pass -> true
+  | Fail _, Fail _ -> true
+  | Inconclusive _, _ | _, Inconclusive _ -> true
+  | Pass, Fail _ | Fail _, Pass -> false
+
+(* CLI protocol: 0 pass / 3 fail / 4 inconclusive.  2 stays reserved for
+   usage/containment errors (cmdliner, `hsis refine`), 1 for crashes. *)
+let exit_code = function Pass -> 0 | Fail _ -> 3 | Inconclusive _ -> 4
+
+let to_json v =
+  let open Hsis_obs.Obs.Json in
+  let base = [ ("verdict", Str (name v)) ] in
+  match v with
+  | Pass | Fail _ -> Obj base
+  | Inconclusive { reason; at_step } ->
+      let fields =
+        base
+        @ [ ("reason", Str (Limits.reason_name reason)) ]
+        @ (match at_step with
+          | Some s -> [ ("at_step", Int s) ]
+          | None -> [])
+      in
+      Obj fields
+
+let pp ppf v =
+  match v with
+  | Pass -> Format.pp_print_string ppf "pass"
+  | Fail _ -> Format.pp_print_string ppf "FAIL"
+  | Inconclusive { reason; at_step } -> (
+      Format.fprintf ppf "inconclusive (%s" (Limits.reason_name reason);
+      match at_step with
+      | Some s -> Format.fprintf ppf " at step %d)" s
+      | None -> Format.pp_print_string ppf ")")

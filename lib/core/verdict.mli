@@ -1,0 +1,45 @@
+(** The single answer type spoken by every checking engine.
+
+    Engines return a ['ev t] embedded in their own result record; partial
+    state built before an interrupt (explored rings, satisfaction sets)
+    lives alongside the verdict in that record, keeping verdicts from
+    different engines directly comparable. *)
+
+type inconclusive = {
+  reason : Limits.reason;
+  at_step : int option;
+      (** fixpoint step at which the limit fired, when the engine knows *)
+}
+
+type 'ev t =
+  | Pass
+  | Fail of 'ev  (** definitive violation with engine-specific evidence *)
+  | Inconclusive of inconclusive
+      (** a resource budget interrupted the run before an answer *)
+
+val inconclusive : ?at_step:int -> Limits.reason -> 'ev t
+
+val holds : 'ev t -> bool
+(** [true] only for [Pass]. *)
+
+val conclusive : 'ev t -> bool
+(** [true] for [Pass] and [Fail _]. *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val name : 'ev t -> string
+(** ["pass"], ["fail"] or ["inconclusive"]. *)
+
+val agree : 'a t -> 'b t -> bool
+(** Differential-checking compatibility: [false] only when both verdicts
+    are conclusive and differ. An [Inconclusive] on either side is never a
+    discrepancy. *)
+
+val exit_code : 'ev t -> int
+(** CLI protocol: 0 pass / 3 fail / 4 inconclusive. *)
+
+val to_json : 'ev t -> Hsis_obs.Obs.Json.t
+(** [{"verdict": ...}] plus ["reason"]/["at_step"] when inconclusive.
+    Evidence is not serialized here — callers attach their own. *)
+
+val pp : Format.formatter -> 'ev t -> unit

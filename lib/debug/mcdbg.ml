@@ -163,12 +163,14 @@ and explain_true ctx f state =
 
 let explain ctx f ~state = explain_false ctx f state
 
+(* Only a definitive [Fail] has a violating state to explain; [Pass] and
+   [Inconclusive] both yield no explanation. *)
 let explain_failure ctx f (outcome : Mc.outcome) =
-  if outcome.Mc.holds then None
-  else begin
-    let state = Trace.pick_state ctx.trans outcome.Mc.fail_init in
-    Some (explain_false ctx f state)
-  end
+  match outcome.Mc.verdict with
+  | Hsis_limits.Verdict.Fail fail_init ->
+      let state = Trace.pick_state ctx.trans fail_init in
+      Some (explain_false ctx f state)
+  | Hsis_limits.Verdict.Pass | Hsis_limits.Verdict.Inconclusive _ -> None
 
 let rec depth = function
   | Prop_value _ | Holds | Unreachable _ -> 1

@@ -5,13 +5,21 @@ open Hsis_fsm
 open Hsis_auto
 open Hsis_check
 open Hsis_debug
+open Hsis_limits
 
-type kind = Reach_count | Ctl_verdict | Lc_verdict | Trace_replay | Crash
+type kind =
+  | Reach_count
+  | Ctl_verdict
+  | Lc_verdict
+  | Budget_verdict
+  | Trace_replay
+  | Crash
 
 let kind_name = function
   | Reach_count -> "reach-count"
   | Ctl_verdict -> "ctl-verdict"
   | Lc_verdict -> "lc-verdict"
+  | Budget_verdict -> "budget-verdict"
   | Trace_replay -> "trace-replay"
   | Crash -> "crash"
 
@@ -33,6 +41,7 @@ type config = {
   ctl_per_iter : int;
   lc : bool;
   shrink : bool;
+  budget : Limits.t option;
   out_dir : string option;
   gen_config : Gen.config;
   log : (string -> unit) option;
@@ -46,6 +55,7 @@ let default_config =
     ctl_per_iter = 3;
     lc = true;
     shrink = true;
+    budget = None;
     out_dir = None;
     gen_config = Gen.default;
     log = None;
@@ -57,6 +67,7 @@ type report = {
   states_explored : int;
   ctl_checked : int;
   lc_checked : int;
+  budget_checked : int;
   traces_replayed : int;
   skips : Obs.Tally.t;
   discrepancies : discrepancy list;
@@ -76,8 +87,11 @@ type problem = {
 
 type failure =
   | Fail_reach of int * int  (** symbolic count, explicit count *)
-  | Fail_ctl of Ctl.t * bool * bool  (** formula, symbolic, explicit *)
-  | Fail_lc of bool * bool
+  | Fail_ctl of Ctl.t * string * string
+      (** formula, symbolic verdict, explicit verdict *)
+  | Fail_lc of string * string
+  | Fail_budget of string
+      (** a conclusive budgeted verdict contradicts the unbounded one *)
   | Fail_replay of string
   | Fail_crash of string
 
@@ -85,6 +99,7 @@ let kind_of = function
   | Fail_reach _ -> Reach_count
   | Fail_ctl _ -> Ctl_verdict
   | Fail_lc _ -> Lc_verdict
+  | Fail_budget _ -> Budget_verdict
   | Fail_replay _ -> Trace_replay
   | Fail_crash _ -> Crash
 
@@ -92,10 +107,11 @@ let describe = function
   | Fail_reach (s, e) ->
       Printf.sprintf "reachable-state count: symbolic %d vs explicit %d" s e
   | Fail_ctl (f, s, e) ->
-      Printf.sprintf "CTL %s: symbolic %b vs explicit %b" (Ctl.to_string f) s
+      Printf.sprintf "CTL %s: symbolic %s vs explicit %s" (Ctl.to_string f) s
         e
   | Fail_lc (s, e) ->
-      Printf.sprintf "language containment: symbolic %b vs explicit %b" s e
+      Printf.sprintf "language containment: symbolic %s vs explicit %s" s e
+  | Fail_budget d -> "budget cross-check: " ^ d
   | Fail_replay r -> "counterexample replay: " ^ r
   | Fail_crash e -> "engine exception: " ^ e
 
@@ -103,6 +119,7 @@ type outcome = {
   o_states : int;
   o_ctl_checked : int;
   o_lc_checked : int;
+  o_budget_checked : int;
   o_traces : int;
   o_skips : string list;
   o_failure : failure option;
@@ -113,6 +130,7 @@ let base_outcome =
     o_states = 0;
     o_ctl_checked = 0;
     o_lc_checked = 0;
+    o_budget_checked = 0;
     o_traces = 0;
     o_skips = [];
     o_failure = None;
@@ -120,12 +138,14 @@ let base_outcome =
 
 (* Run every cross-check on one problem.  Never raises: engine exceptions
    become [Fail_crash], which makes the function directly usable as a
-   shrinking predicate. *)
-let run_checks ~limit (p : problem) (m : Ast.model) : outcome =
+   shrinking predicate.  When [budget] is given, every Mc/Lc check also
+   reruns under it and the budgeted verdict must not contradict the
+   unbounded one ([Verdict.agree]: Inconclusive is always compatible). *)
+let run_checks ~limit ?budget (p : problem) (m : Ast.model) : outcome =
   try
     let net = Net.of_model m in
     let g = Enum.build ~limit net in
-    if not g.Enum.complete then
+    if not (Enum.complete g) then
       { base_outcome with o_skips = [ "system-state-limit" ] }
     else begin
       let nstates = Array.length g.Enum.states in
@@ -142,6 +162,7 @@ let run_checks ~limit (p : problem) (m : Ast.model) : outcome =
         let compiled = Fair.compile_all trans p.p_fairness in
         let econstrs = Enum.compile_fairness net g p.p_fairness in
         let checked = ref 0 in
+        let budget_n = ref 0 in
         let ctl_failure =
           List.find_map
             (fun f ->
@@ -149,13 +170,36 @@ let run_checks ~limit (p : problem) (m : Ast.model) : outcome =
               let sym =
                 (Mc.check ~fairness:compiled ~early_failure:p.p_early
                    ~reach:r trans f)
-                  .Mc.holds
+                  .Mc.verdict
               in
               let exp = snd (Enum.check_ctl net g econstrs f) in
-              if sym <> exp then Some (Fail_ctl (f, sym, exp)) else None)
+              if not (Verdict.agree sym exp) then
+                Some (Fail_ctl (f, Verdict.name sym, Verdict.name exp))
+              else
+                match budget with
+                | None -> None
+                | Some b -> (
+                    incr budget_n;
+                    (* no ~reach: exploration itself must run under the
+                       budget for the interrupt paths to be exercised *)
+                    let bud =
+                      (Mc.check ~fairness:compiled
+                         ~early_failure:p.p_early ~limits:b trans f)
+                        .Mc.verdict
+                    in
+                    if Verdict.agree bud sym then None
+                    else
+                      Some
+                        (Fail_budget
+                           (Printf.sprintf
+                              "CTL %s: budgeted %s vs unbounded %s"
+                              (Ctl.to_string f) (Verdict.name bud)
+                              (Verdict.name sym)))))
             p.p_ctls
         in
-        let got = { got with o_ctl_checked = !checked } in
+        let got =
+          { got with o_ctl_checked = !checked; o_budget_checked = !budget_n }
+        in
         match ctl_failure with
         | Some f -> { got with o_failure = Some f }
         | None -> (
@@ -175,53 +219,96 @@ let run_checks ~limit (p : problem) (m : Ast.model) : outcome =
                     { got with o_skips = [ "lc-nondeterministic" ] }
                 | `Outcome o -> (
                     match
-                      Enum.check_lc_opt ~fairness:p.p_fairness ~limit m aut
+                      Enum.check_lc ~fairness:p.p_fairness ~limit m aut
                     with
-                    | None ->
+                    | Verdict.Inconclusive _ ->
                         { got with o_skips = [ "product-state-limit" ] }
-                    | Some exp ->
+                    | exp -> (
                         let got = { got with o_lc_checked = 1 } in
-                        if o.Lc.holds <> exp then
+                        if not (Verdict.agree o.Lc.verdict exp) then
                           {
                             got with
-                            o_failure = Some (Fail_lc (o.Lc.holds, exp));
+                            o_failure =
+                              Some
+                                (Fail_lc
+                                   ( Verdict.name o.Lc.verdict,
+                                     Verdict.name exp ));
                           }
-                        else if o.Lc.holds then got
-                        else begin
-                          (* containment fails on both sides: the symbolic
-                             counterexample must verify and replay *)
-                          match
-                            Trace.fair_lasso o.Lc.env ~reach:o.Lc.reach
-                              ~fair:o.Lc.fair
-                          with
-                          | exception Not_found ->
-                              {
-                                got with
-                                o_failure =
-                                  Some
-                                    (Fail_replay
-                                       "no lasso in a non-empty fair set");
-                              }
-                          | t ->
-                              if not t.Trace.verified then
-                                {
-                                  got with
-                                  o_failure =
-                                    Some
-                                      (Fail_replay
-                                         "lasso failed fairness verification");
-                                }
-                              else if not (Trace.replay o.Lc.trans t) then
-                                {
-                                  got with
-                                  o_failure =
-                                    Some
-                                      (Fail_replay
-                                         "lasso not realizable on the \
-                                          concrete simulator");
-                                }
-                              else { got with o_traces = 1 }
-                        end)))
+                        else
+                          let budget_failure =
+                            match budget with
+                            | None -> None
+                            | Some b -> (
+                                incr budget_n;
+                                match
+                                  Lc.check ~fairness:p.p_fairness
+                                    ~early_failure:p.p_early
+                                    ~heuristic:p.p_heuristic ~limits:b m aut
+                                with
+                                | exception Lc.Not_deterministic _ -> None
+                                | bud ->
+                                    if
+                                      Verdict.agree bud.Lc.verdict
+                                        o.Lc.verdict
+                                    then None
+                                    else
+                                      Some
+                                        (Fail_budget
+                                           (Printf.sprintf
+                                              "LC: budgeted %s vs unbounded \
+                                               %s"
+                                              (Verdict.name bud.Lc.verdict)
+                                              (Verdict.name o.Lc.verdict))))
+                          in
+                          let got =
+                            { got with o_budget_checked = !budget_n }
+                          in
+                          match budget_failure with
+                          | Some f -> { got with o_failure = Some f }
+                          | None -> (
+                              match o.Lc.verdict with
+                              | Verdict.Pass | Verdict.Inconclusive _ -> got
+                              | Verdict.Fail _ -> (
+                                  (* containment fails on both sides: the
+                                     symbolic counterexample must verify and
+                                     replay *)
+                                  let prod = Option.get o.Lc.product in
+                                  match
+                                    Trace.fair_lasso prod.Lc.env
+                                      ~reach:prod.Lc.reach
+                                      ~fair:prod.Lc.fair
+                                  with
+                                  | exception Not_found ->
+                                      {
+                                        got with
+                                        o_failure =
+                                          Some
+                                            (Fail_replay
+                                               "no lasso in a non-empty \
+                                                fair set");
+                                      }
+                                  | t ->
+                                      if not t.Trace.verified then
+                                        {
+                                          got with
+                                          o_failure =
+                                            Some
+                                              (Fail_replay
+                                                 "lasso failed fairness \
+                                                  verification");
+                                        }
+                                      else if
+                                        not (Trace.replay prod.Lc.trans t)
+                                      then
+                                        {
+                                          got with
+                                          o_failure =
+                                            Some
+                                              (Fail_replay
+                                                 "lasso not realizable on \
+                                                  the concrete simulator");
+                                        }
+                                      else { got with o_traces = 1 }))))))
       end
     end
   with e ->
@@ -230,23 +317,23 @@ let run_checks ~limit (p : problem) (m : Ast.model) : outcome =
 (* ------------------------------------------------------------------ *)
 (* Shrinking *)
 
-let still_fails ~limit p k m =
-  match (run_checks ~limit p m).o_failure with
+let still_fails ~limit ?budget p k m =
+  match (run_checks ~limit ?budget p m).o_failure with
   | Some f -> kind_of f = k
   | None -> false
 
 (* Minimize the ingredients in dependency order: fairness first (freeing
    signals the model shrinker may then drop), then the offending formula or
    automaton, then the network itself. *)
-let shrink_problem ~limit (p : problem) failure m =
+let shrink_problem ~limit ?budget (p : problem) failure m =
   let k = kind_of failure in
-  let check p m = still_fails ~limit p k m in
+  let check p m = still_fails ~limit ?budget p k m in
   let p =
     match failure with
     | Fail_reach _ -> { p with p_ctls = []; p_aut = None }
     | Fail_ctl (f, _, _) -> { p with p_ctls = [ f ]; p_aut = None }
     | Fail_lc _ | Fail_replay _ -> { p with p_ctls = [] }
-    | Fail_crash _ ->
+    | Fail_budget _ | Fail_crash _ ->
         (* try discarding whole ingredients before structural shrinking *)
         let p' = { p with p_ctls = [] } in
         let p = if check p' m then p' else p in
@@ -404,13 +491,15 @@ let run cfg =
   let states = ref 0 in
   let ctl_n = ref 0 in
   let lc_n = ref 0 in
+  let budget_n = ref 0 in
   let traces = ref 0 in
   let log s = match cfg.log with Some f -> f s | None -> () in
   let record ~iter failure p m =
     log
       (Printf.sprintf "iteration %d: DISCREPANCY %s" iter (describe failure));
     let p, m =
-      if cfg.shrink then shrink_problem ~limit:cfg.state_limit p failure m
+      if cfg.shrink then
+        shrink_problem ~limit:cfg.state_limit ?budget:cfg.budget p failure m
       else (p, m)
     in
     (* re-derive the failure detail from the shrunk problem when possible,
@@ -418,7 +507,10 @@ let run cfg =
     let failure =
       if not cfg.shrink then failure
       else
-        match (run_checks ~limit:cfg.state_limit p m).o_failure with
+        match
+          (run_checks ~limit:cfg.state_limit ?budget:cfg.budget p m)
+            .o_failure
+        with
         | Some f when kind_of f = kind_of failure -> f
         | _ -> failure
     in
@@ -451,10 +543,11 @@ let run cfg =
           }
           (empty_model "generator-crash")
     | m, p ->
-        let o = run_checks ~limit:cfg.state_limit p m in
+        let o = run_checks ~limit:cfg.state_limit ?budget:cfg.budget p m in
         states := !states + o.o_states;
         ctl_n := !ctl_n + o.o_ctl_checked;
         lc_n := !lc_n + o.o_lc_checked;
+        budget_n := !budget_n + o.o_budget_checked;
         traces := !traces + o.o_traces;
         List.iter (fun s -> Obs.Tally.incr skips s) o.o_skips;
         (match o.o_failure with
@@ -472,6 +565,7 @@ let run cfg =
     states_explored = !states;
     ctl_checked = !ctl_n;
     lc_checked = !lc_n;
+    budget_checked = !budget_n;
     traces_replayed = !traces;
     skips;
     discrepancies = List.rev !discrepancies;
@@ -516,10 +610,12 @@ let report_to_json r =
       ("ctl_per_iter", Int r.config.ctl_per_iter);
       ("lc", Bool r.config.lc);
       ("shrink", Bool r.config.shrink);
+      ("budget", Bool (r.config.budget <> None));
       ("iterations", Int r.iterations);
       ("states_explored", Int r.states_explored);
       ("ctl_checked", Int r.ctl_checked);
       ("lc_checked", Int r.lc_checked);
+      ("budget_checked", Int r.budget_checked);
       ("traces_replayed", Int r.traces_replayed);
       ("skips", Obs.Tally.to_json r.skips);
       ("discrepancy_count", Int (List.length r.discrepancies));
@@ -532,9 +628,9 @@ let pp_report fmt r =
   Format.fprintf fmt
     "fuzz: seed %d, %d iterations in %.1fs@\n\
      explicit states explored: %d@\n\
-     checks: %d CTL, %d LC, %d counterexamples replayed@\n"
+     checks: %d CTL, %d LC, %d budget reruns, %d counterexamples replayed@\n"
     r.config.seed r.iterations r.elapsed r.states_explored r.ctl_checked
-    r.lc_checked r.traces_replayed;
+    r.lc_checked r.budget_checked r.traces_replayed;
   (match Obs.Tally.to_list r.skips with
   | [] -> ()
   | sk ->

@@ -1,6 +1,7 @@
 open Hsis_obs
 open Hsis_blifmv
 open Hsis_auto
+open Hsis_limits
 
 (** The differential fuzz driver: generate a random verification problem,
     run the symbolic engines and the explicit-state reference engine on it,
@@ -20,6 +21,10 @@ type kind =
   | Reach_count  (** symbolic and explicit reachable-state counts differ *)
   | Ctl_verdict  (** [Mc] and [Enum.check_ctl] disagree on a formula *)
   | Lc_verdict  (** [Lc] and the explicit emptiness check disagree *)
+  | Budget_verdict
+      (** a conclusive verdict obtained under a resource budget contradicts
+          the unbounded run ([Verdict.agree] violation — [Inconclusive] on
+          either side is never a discrepancy) *)
   | Trace_replay
       (** a counterexample lasso was unverified or failed concrete replay *)
   | Crash  (** an engine raised *)
@@ -46,6 +51,12 @@ type config = {
   ctl_per_iter : int;  (** formulas checked per network (default 3) *)
   lc : bool;  (** also cross-check language containment (default true) *)
   shrink : bool;  (** minimize failing inputs (default true) *)
+  budget : Limits.t option;
+      (** when set, every Mc/Lc check is rerun under this budget and the
+          budgeted verdict must agree with the unbounded one (default
+          [None]).  Use deterministic budgets ([max_steps] / [max_nodes]):
+          a deadline budget is wall-clock dependent and expires for the
+          whole run once hit. *)
   out_dir : string option;  (** where to write repro files (default none) *)
   gen_config : Gen.config;
   log : (string -> unit) option;  (** progress callback *)
@@ -60,6 +71,7 @@ type report = {
   states_explored : int;  (** total explicit states enumerated *)
   ctl_checked : int;
   lc_checked : int;
+  budget_checked : int;  (** budgeted reruns compared against unbounded *)
   traces_replayed : int;  (** counterexample lassos replayed successfully *)
   skips : Obs.Tally.t;  (** skip reasons, e.g. ["system-state-limit"] *)
   discrepancies : discrepancy list;  (** oldest first *)

@@ -324,11 +324,21 @@ module Arena = struct
   }
 end
 
+module Limit = struct
+  (* Resource-governor activity: how many times the manager polled its
+     budget, and how many interrupts fired per reason label ("deadline",
+     "nodes", "cancelled").  Both monotone. *)
+  type t = { checks : int; interrupts : (string * int) list }
+
+  let zero = { checks = 0; interrupts = [] }
+end
+
 type man_stats = {
   cache : Cache.t;
   gc : Gc.t;
   reorder : Reorder.t;
   arena : Arena.t;
+  limits : Limit.t;
 }
 
 type reach_sample = {
@@ -417,10 +427,11 @@ type snapshot = {
   phases : (string * float) list;
   reach : reach_sample list;
   relation : rel_profile option;
+  verdicts : (string * int) list;
 }
 
-let snapshot ?(phases = []) ?(reach = []) ?relation man =
-  { man; phases; reach; relation }
+let snapshot ?(phases = []) ?(reach = []) ?relation ?(verdicts = []) man =
+  { man; phases; reach; relation; verdicts }
 
 (* [diff before after]: monotone counters are subtracted (clamped at zero so
    the result is always non-negative), gauges — live/dead/peak nodes, cache
@@ -443,6 +454,11 @@ let diff before after =
     match List.assoc_opt name before.phases with
     | None -> (name, v)
     | Some p -> (name, subf v p)
+  in
+  let tally_diff prev (name, v) =
+    match List.assoc_opt name prev with
+    | None -> (name, v)
+    | Some p -> (name, sub v p)
   in
   {
     man =
@@ -471,10 +487,20 @@ let diff before after =
                 before.man.reorder.Reorder.time;
           };
         arena = after.man.arena;
+        limits =
+          {
+            Limit.checks =
+              sub after.man.limits.Limit.checks before.man.limits.Limit.checks;
+            interrupts =
+              List.map
+                (tally_diff before.man.limits.Limit.interrupts)
+                after.man.limits.Limit.interrupts;
+          };
       };
     phases = List.map phase_diff after.phases;
     reach = after.reach;
     relation = after.relation;
+    verdicts = List.map (tally_diff before.verdicts) after.verdicts;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -504,6 +530,21 @@ let pp fmt s =
     s.man.gc.Gc.runs s.man.gc.Gc.freed s.man.gc.Gc.time;
   Format.fprintf fmt "reorder     : %d runs, %.3fs@." s.man.reorder.Reorder.runs
     s.man.reorder.Reorder.time;
+  let l = s.man.limits in
+  if l.Limit.checks > 0 || l.Limit.interrupts <> [] then begin
+    Format.fprintf fmt "limits      : %d checks" l.Limit.checks;
+    List.iter
+      (fun (name, n) -> Format.fprintf fmt ", %d %s interrupts" n name)
+      l.Limit.interrupts;
+    Format.fprintf fmt "@."
+  end;
+  if s.verdicts <> [] then begin
+    Format.fprintf fmt "verdicts    :";
+    List.iter
+      (fun (name, n) -> Format.fprintf fmt " %d %s" n name)
+      s.verdicts;
+    Format.fprintf fmt "@."
+  end;
   (match s.relation with
   | Some r ->
       Format.fprintf fmt "relation    : %d parts, %d nodes (largest %d)@."
@@ -531,10 +572,12 @@ let pp fmt s =
             r.step r.frontier_nodes r.reachable_nodes r.step_time)
         samples
 
-(* /2 adds the cache "slots" and "evictions" members (additive: /1 readers
-   that ignore unknown members keep working, and of_json defaults them to
-   zero when reading /1 documents). *)
-let schema_version = "hsis-obs/2"
+(* /2 added the cache "slots" and "evictions" members; /3 adds the "limits"
+   object (budget checks and per-reason interrupt counts) and the top-level
+   "verdicts" tally.  Each bump is additive: older readers ignore the new
+   members, and of_json defaults them to zero/empty when reading /1 or /2
+   documents. *)
+let schema_version = "hsis-obs/3"
 
 let to_json s =
   let open Json in
@@ -574,6 +617,16 @@ let to_json s =
              ("vars", Int s.man.arena.Arena.vars);
              ("peak_live", Int s.man.arena.Arena.peak_live);
              ("capacity", Int s.man.arena.Arena.capacity) ] );
+       ( "limits",
+         Obj
+           [ ("checks", Int s.man.limits.Limit.checks);
+             ( "interrupts",
+               Obj
+                 (List.map
+                    (fun (n, v) -> (n, Int v))
+                    s.man.limits.Limit.interrupts) ) ] );
+       ( "verdicts",
+         Obj (List.map (fun (n, v) -> (n, Int v)) s.verdicts) );
        ("phases", List (List.map phase s.phases));
        ("reach_profile", List (List.map sample s.reach));
      ]
@@ -631,6 +684,22 @@ let of_json j =
       capacity = to_int (member "capacity" ja);
     }
   in
+  let int_tally = function
+    | Some (Obj members) ->
+        List.filter_map
+          (fun (n, v) -> match v with Int i -> Some (n, i) | _ -> None)
+          members
+    | _ -> []
+  in
+  (* Absent on /1 and /2 documents; default to zero activity. *)
+  let limits =
+    let jl = Option.value ~default:(Obj []) (member "limits" j) in
+    {
+      Limit.checks = to_int (member "checks" jl);
+      interrupts = int_tally (member "interrupts" jl);
+    }
+  in
+  let verdicts = int_tally (member "verdicts" j) in
   let phases =
     List.map
       (fun jp -> (to_str (member "phase" jp), to_float (member "time_s" jp)))
@@ -658,6 +727,6 @@ let of_json j =
             rel_largest = to_int (member "largest" jr);
           }
   in
-  { man = { cache; gc; reorder; arena }; phases; reach; relation }
+  { man = { cache; gc; reorder; arena; limits }; phases; reach; relation; verdicts }
 
 let json_string s = Json.to_string (to_json s)

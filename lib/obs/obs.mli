@@ -106,11 +106,22 @@ module Arena : sig
   }
 end
 
+module Limit : sig
+  type t = { checks : int; interrupts : (string * int) list }
+  (** Resource-governor activity: [checks] counts budget polls performed by
+      the manager's apply kernels, [interrupts] counts interrupts fired per
+      reason label (["deadline"], ["nodes"], ["cancelled"]).  Both
+      monotone. *)
+
+  val zero : t
+end
+
 type man_stats = {
   cache : Cache.t;
   gc : Gc.t;
   reorder : Reorder.t;
   arena : Arena.t;
+  limits : Limit.t;
 }
 (** One BDD manager's counters, as returned by [Bdd.stats]. *)
 
@@ -174,23 +185,29 @@ type snapshot = {
   phases : (string * float) list;  (** phase name -> seconds, in order *)
   reach : reach_sample list;
   relation : rel_profile option;
+  verdicts : (string * int) list;
+      (** verdict name (["pass"], ["fail"], ["inconclusive"]) -> count of
+          property results produced, in first-seen order (monotone) *)
 }
 
 val snapshot :
   ?phases:(string * float) list ->
   ?reach:reach_sample list ->
   ?relation:rel_profile ->
+  ?verdicts:(string * int) list ->
   man_stats ->
   snapshot
 
 val diff : snapshot -> snapshot -> snapshot
 (** [diff before after]: monotone counters (cache hits/misses, gc, reorder,
-    phase times) subtracted and clamped at zero; gauges (arena, cache
-    entries, reach profile, relation profile) taken from [after]. *)
+    limit checks/interrupts, verdict tallies, phase times) subtracted and
+    clamped at zero; gauges (arena, cache entries, reach profile, relation
+    profile) taken from [after]. *)
 
 val schema_version : string
-(** Value of the ["schema"] member of emitted JSON ("hsis-obs/2"; /2 added
-    the additive cache ["slots"] and ["evictions"] members). *)
+(** Value of the ["schema"] member of emitted JSON ("hsis-obs/3"; /2 added
+    the additive cache ["slots"]/["evictions"] members, /3 the ["limits"]
+    object and ["verdicts"] tally). *)
 
 val pp : Format.formatter -> snapshot -> unit
 (** Human-readable multi-line report. *)

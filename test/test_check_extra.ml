@@ -74,7 +74,7 @@ let test_bad_hit () =
       (Expr.to_bdd sym (Expr.parse "s=3"))
   in
   let r = Reach.compute ~bad trans (Trans.initial trans) in
-  Alcotest.(check (option int)) "s=3 first hit at step 3" (Some 3) r.Reach.bad_hit;
+  Alcotest.(check (option int)) "s=3 first hit at step 3" (Some 3) (Reach.bad_hit r);
   let r2 = Reach.compute ~bad ~stop_on_bad:true trans (Trans.initial trans) in
   Alcotest.(check int) "stopped early" 3 r2.Reach.steps
 
@@ -89,10 +89,11 @@ let test_deadlock_eg () =
   Alcotest.(check bool) "no infinite path" true (Bdd.is_false eg);
   (* explicit engine agrees: EG true holds nowhere *)
   let g = Enum.build net in
-  let sat, holds = Enum.check_ctl net g [] (Ctl.parse "EG true") in
+  let sat, verdict = Enum.check_ctl net g [] (Ctl.parse "EG true") in
   Alcotest.(check bool) "explicit EG true empty" false
     (Array.exists Fun.id sat);
-  Alcotest.(check bool) "formula fails" false holds
+  Alcotest.(check bool) "formula fails" false
+    (Hsis_limits.Verdict.holds verdict)
 
 let test_multiple_init () =
   let src =
@@ -167,7 +168,7 @@ let test_invariance_fast_path () =
   let _, trans = build counter_src in
   let f = Ctl.parse "AG s!=2" in
   let with_efd = Mc.check ~early_failure:true trans f in
-  Alcotest.(check bool) "fails" false with_efd.Mc.holds;
+  Alcotest.(check bool) "fails" false (Mc.holds with_efd);
   Alcotest.(check bool) "early step recorded" true
     (with_efd.Mc.early_failure_step <> None)
 

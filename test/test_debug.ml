@@ -61,8 +61,11 @@ let test_lc_trace_real () =
   let ast = Flatten.flatten (Parser.parse counter_src) in
   let aut = Autom.invariance ~name:"no2" ~ok:(Expr.parse "s!=2") in
   let out = Lc.check ast aut in
-  Alcotest.(check bool) "fails" false out.Lc.holds;
-  let t = Trace.fair_lasso out.Lc.env ~reach:out.Lc.reach ~fair:out.Lc.fair in
+  Alcotest.(check bool) "fails" false (Lc.holds out);
+  let prod = Option.get out.Lc.product in
+  let t =
+    Trace.fair_lasso prod.Lc.env ~reach:prod.Lc.reach ~fair:prod.Lc.fair
+  in
   Alcotest.(check bool) "verified" true t.Trace.verified;
   Alcotest.(check bool) "cycle nonempty" true (List.length t.Trace.cycle >= 1);
   (* the trace must visit a state where the monitor has left "good" *)
@@ -85,7 +88,10 @@ let test_prefix_shortest () =
   let ast = Flatten.flatten (Parser.parse counter_src) in
   let aut = Autom.invariance ~name:"no2" ~ok:(Expr.parse "s!=2") in
   let out = Lc.check ~early_failure:false ast aut in
-  let t = Trace.fair_lasso out.Lc.env ~reach:out.Lc.reach ~fair:out.Lc.fair in
+  let prod = Option.get out.Lc.product in
+  let t =
+    Trace.fair_lasso prod.Lc.env ~reach:prod.Lc.reach ~fair:prod.Lc.fair
+  in
   (* earliest fair state is at depth >= 2 (need to see s=2 to leave good);
      the shortest possible lasso has prefix <= 3 *)
   Alcotest.(check bool)
@@ -132,7 +138,7 @@ let test_mcdbg_ag () =
   let ctx = Mcdbg.make trans ~reach in
   let f = Ctl.parse "AG s!=2" in
   let outcome = Mc.check ~reach trans f in
-  Alcotest.(check bool) "fails" false outcome.Mc.holds;
+  Alcotest.(check bool) "fails" false (Mc.holds outcome);
   match Mcdbg.explain_failure ctx f outcome with
   | Some (Mcdbg.Path (steps, Mcdbg.Prop_value (_, false))) ->
       (* path of length 3: s=0, s=1, s=2 *)
@@ -148,7 +154,7 @@ let test_mcdbg_af () =
   let ctx = Mcdbg.make trans ~reach in
   let f = Ctl.parse "AF s=1" in
   let outcome = Mc.check ~reach trans f in
-  Alcotest.(check bool) "fails (can pause forever)" false outcome.Mc.holds;
+  Alcotest.(check bool) "fails (can pause forever)" false (Mc.holds outcome);
   match Mcdbg.explain_failure ctx f outcome with
   | Some (Mcdbg.Lasso t) ->
       Alcotest.(check bool) "lasso verified" true t.Trace.verified;
@@ -181,7 +187,7 @@ let test_mcdbg_ex_true_witness () =
   (* !EX s=1 fails at init; the explanation is the EX witness *)
   let f = Ctl.parse "!(EX s=1)" in
   let outcome = Mc.check ~reach trans f in
-  Alcotest.(check bool) "fails" false outcome.Mc.holds;
+  Alcotest.(check bool) "fails" false (Mc.holds outcome);
   match Mcdbg.explain_failure ctx f outcome with
   | Some (Mcdbg.Negation (Mcdbg.Successor (step, Mcdbg.Prop_value (_, true)))) ->
       Alcotest.(check bool) "witness reaches s=1" true
@@ -258,10 +264,11 @@ let prop_counterexamples_sound =
           ~ok:(Expr.parse (Printf.sprintf "s!=%s" target))
       in
       let out = Lc.check model aut in
-      if out.Lc.holds then true (* nothing to witness *)
+      if (Lc.holds out) then true (* nothing to witness *)
       else begin
+        let prod = Option.get out.Lc.product in
         let t =
-          Trace.fair_lasso out.Lc.env ~reach:out.Lc.reach ~fair:out.Lc.fair
+          Trace.fair_lasso prod.Lc.env ~reach:prod.Lc.reach ~fair:prod.Lc.fair
         in
         let composed = Net.of_model (Autom.compose model aut) in
         let states =

@@ -80,9 +80,10 @@ let test_ctl_counter () =
     (fun (name, src, expected) ->
       let f = Ctl.parse src in
       let outcome = Mc.check trans f in
-      Alcotest.(check bool) (name ^ " (symbolic)") expected outcome.Mc.holds;
-      let _, holds = Enum.check_ctl net g [] f in
-      Alcotest.(check bool) (name ^ " (explicit)") expected holds)
+      Alcotest.(check bool) (name ^ " (symbolic)") expected (Mc.holds outcome);
+      let _, verdict = Enum.check_ctl net g [] f in
+      Alcotest.(check bool) (name ^ " (explicit)") expected
+        (Hsis_limits.Verdict.holds verdict))
     ctl_cases
 
 let test_ctl_fair_counter () =
@@ -102,9 +103,10 @@ let test_ctl_fair_counter () =
     (fun (name, src, expected) ->
       let f = Ctl.parse src in
       let outcome = Mc.check ~fairness:compiled trans f in
-      Alcotest.(check bool) (name ^ " (symbolic)") expected outcome.Mc.holds;
-      let _, holds = Enum.check_ctl net g econstrs f in
-      Alcotest.(check bool) (name ^ " (explicit)") expected holds)
+      Alcotest.(check bool) (name ^ " (symbolic)") expected (Mc.holds outcome);
+      let _, verdict = Enum.check_ctl net g econstrs f in
+      Alcotest.(check bool) (name ^ " (explicit)") expected
+        (Hsis_limits.Verdict.holds verdict))
     cases
 
 let test_lc_counter () =
@@ -112,14 +114,14 @@ let test_lc_counter () =
   let ok_prop = Autom.invariance ~name:"nosecond" ~ok:(Expr.parse "s!=2") in
   let sym_out = Lc.check flat ok_prop in
   Alcotest.(check bool) "s!=2 containment fails (symbolic)" false
-    sym_out.Lc.holds;
+    (Lc.holds sym_out);
   Alcotest.(check bool) "s!=2 containment fails (explicit)" false
-    (Enum.check_lc flat ok_prop);
+    (Hsis_limits.Verdict.holds (Enum.check_lc flat ok_prop));
   let triv = Autom.invariance ~name:"trivial" ~ok:Expr.True in
   Alcotest.(check bool) "trivial containment holds (symbolic)" true
-    (Lc.check flat triv).Lc.holds;
+    (Lc.holds (Lc.check flat triv));
   Alcotest.(check bool) "trivial containment holds (explicit)" true
-    (Enum.check_lc flat triv)
+    (Hsis_limits.Verdict.holds (Enum.check_lc flat triv))
 
 let test_lc_liveness () =
   let flat = Flatten.flatten (Parser.parse counter_src) in
@@ -153,9 +155,9 @@ let test_lc_liveness () =
      ("go can stall") EG-style stalling makes the liveness moot. *)
   let inv3 = Autom.invariance ~name:"never3" ~ok:(Expr.parse "s!=3") in
   Alcotest.(check bool) "never3 fails under fairness (symbolic)" false
-    (Lc.check ~fairness flat inv3).Lc.holds;
+    (Lc.holds (Lc.check ~fairness flat inv3));
   Alcotest.(check bool) "never3 fails under fairness (explicit)" false
-    (Enum.check_lc ~fairness flat inv3)
+    (Hsis_limits.Verdict.holds (Enum.check_lc ~fairness flat inv3))
 
 let test_lc_nondeterministic_rejected () =
   let flat = Flatten.flatten (Parser.parse counter_src) in
@@ -296,8 +298,9 @@ let prop_random_crosscheck =
       List.for_all
         (fun src ->
           let f = Ctl.parse src in
-          let sym_holds = (Mc.check ~reach:r trans f).Mc.holds in
-          let _, exp_holds = Enum.check_ctl net g [] f in
+          let sym_holds = (Mc.holds (Mc.check ~reach:r trans f)) in
+          let _, exp_verdict = Enum.check_ctl net g [] f in
+          let exp_holds = Hsis_limits.Verdict.holds exp_verdict in
           if sym_holds <> exp_holds then
             QCheck.Test.fail_reportf "seed %d formula %s: symbolic %b explicit %b"
               seed src sym_holds exp_holds
@@ -324,8 +327,9 @@ let prop_random_crosscheck_fair =
       List.for_all
         (fun src ->
           let f = Ctl.parse src in
-          let sym_holds = (Mc.check ~fairness:compiled trans f).Mc.holds in
-          let _, exp_holds = Enum.check_ctl net g econstrs f in
+          let sym_holds = (Mc.holds (Mc.check ~fairness:compiled trans f)) in
+          let _, exp_verdict = Enum.check_ctl net g econstrs f in
+          let exp_holds = Hsis_limits.Verdict.holds exp_verdict in
           if sym_holds <> exp_holds then
             QCheck.Test.fail_reportf
               "seed %d formula %s (fair): symbolic %b explicit %b" seed src
@@ -346,8 +350,8 @@ let prop_random_lc =
       in
       List.for_all
         (fun aut ->
-          let sym_holds = (Lc.check model aut).Lc.holds in
-          let exp_holds = Enum.check_lc model aut in
+          let sym_holds = (Lc.holds (Lc.check model aut)) in
+          let exp_holds = Hsis_limits.Verdict.holds (Enum.check_lc model aut) in
           if sym_holds <> exp_holds then
             QCheck.Test.fail_reportf "seed %d automaton %s: symbolic %b explicit %b"
               seed aut.Autom.a_name sym_holds exp_holds

@@ -100,7 +100,7 @@ let test_fanout () =
   Alcotest.(check (list int)) "self loop" [ 2 ]
     (sorted_states (Enum.successors net [| 2 |]));
   let g = Enum.build net in
-  Alcotest.(check bool) "graph complete" true g.Enum.complete;
+  Alcotest.(check bool) "graph complete" true (Enum.complete g);
   Alcotest.(check int) "all three states reached" 3 (Array.length g.Enum.states);
   Alcotest.(check int) "both inits interned" 2 (List.length g.Enum.init)
 
@@ -122,15 +122,16 @@ let test_limit () =
   let net = net_of counter_src in
   Alcotest.(check int) "full count" 4 (Enum.count_reachable net);
   let g = Enum.build net in
-  Alcotest.(check bool) "unbounded build completes" true g.Enum.complete;
+  Alcotest.(check bool) "unbounded build completes" true (Enum.complete g);
   Alcotest.(check int) "four states" 4 (Array.length g.Enum.states);
   let t = Enum.build ~limit:2 net in
-  Alcotest.(check bool) "limit marks incomplete" false t.Enum.complete;
+  Alcotest.(check bool) "limit marks incomplete" false (Enum.complete t);
   Alcotest.(check bool) "truncated below the full graph" true
     (Array.length t.Enum.states < 4)
 
 (* A one-state automaton accepting every word: language containment must
-   hold, and a tiny product limit must surface as None, not a verdict. *)
+   hold, and a tiny product limit must surface as an inconclusive verdict,
+   never a conclusive one. *)
 let accept_all =
   {
     Autom.a_name = "all";
@@ -148,12 +149,19 @@ let accept_all =
       ];
   }
 
-let test_lc_opt () =
+let test_lc_verdict () =
+  let open Hsis_limits in
   let m = model_of counter_src in
-  Alcotest.(check (option bool)) "containment holds" (Some true)
-    (Enum.check_lc_opt m accept_all);
-  Alcotest.(check (option bool)) "tiny limit yields None" None
-    (Enum.check_lc_opt ~limit:1 m accept_all)
+  Alcotest.(check bool) "containment holds" true
+    (Verdict.holds (Enum.check_lc m accept_all));
+  (match Enum.check_lc ~limit:1 m accept_all with
+  | Verdict.Inconclusive { Verdict.reason = Limits.Limit_nodes; _ } -> ()
+  | v -> Alcotest.failf "tiny limit: expected Inconclusive(nodes), got %s"
+           (Verdict.name v));
+  (* an inconclusive verdict is compatible with both conclusive answers *)
+  Alcotest.(check bool) "inconclusive agrees with pass" true
+    (Verdict.agree (Enum.check_lc ~limit:1 m accept_all)
+       (Verdict.Pass : unit Verdict.t))
 
 let () =
   Alcotest.run "enum"
@@ -163,6 +171,6 @@ let () =
           Alcotest.test_case "valuations of a state" `Quick test_valuations;
           Alcotest.test_case "successor fan-out" `Quick test_fanout;
           Alcotest.test_case "state limit" `Quick test_limit;
-          Alcotest.test_case "check_lc_opt" `Quick test_lc_opt;
+          Alcotest.test_case "check_lc verdicts" `Quick test_lc_verdict;
         ] );
     ]

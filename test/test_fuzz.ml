@@ -36,6 +36,32 @@ let test_smoke () =
   Alcotest.(check bool) "checked some formulas" true
     (report.Diff.ctl_checked > 0)
 
+(* Budget mode: every problem is re-checked under a deliberately tiny
+   deterministic budget.  A budgeted run may come back inconclusive but
+   must never contradict the unbounded verdict — any Budget_verdict
+   discrepancy is a soundness bug in the interrupt machinery. *)
+let test_budget_smoke () =
+  let budget = Hsis_limits.Limits.make ~max_steps:2 ~max_nodes:2000 () in
+  let report =
+    Diff.run
+      { Diff.default_config with iters = 15; seed; budget = Some budget }
+  in
+  Alcotest.(check int)
+    (Printf.sprintf "all iterations ran (HSIS_TEST_SEED=%d)" seed)
+    15 report.Diff.iterations;
+  Alcotest.(check bool) "budget reruns happened" true
+    (report.Diff.budget_checked > 0);
+  match
+    List.filter
+      (fun d -> d.Diff.d_kind = Diff.Budget_verdict)
+      report.Diff.discrepancies
+  with
+  | [] -> ()
+  | d :: _ ->
+      Alcotest.failf
+        "budgeted run contradicted unbounded run (HSIS_TEST_SEED=%d): %s"
+        seed d.Diff.d_detail
+
 (* Determinism: the same seed must generate the same problems, so a rerun
    produces an identical report modulo wall-clock time. *)
 let test_deterministic () =
@@ -173,6 +199,7 @@ let () =
       ( "differential",
         [
           Alcotest.test_case "fixed-seed smoke" `Quick test_smoke;
+          Alcotest.test_case "budget smoke" `Quick test_budget_smoke;
           Alcotest.test_case "deterministic" `Quick test_deterministic;
         ] );
       ( "shrink",

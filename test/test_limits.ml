@@ -1,0 +1,220 @@
+(* The resource governor end to end: budget breaches must interrupt the
+   BDD kernels and the engines, leave the manager audit-clean, surface as
+   Inconclusive verdicts carrying usable partial state, and map onto the
+   CLI exit-code protocol. *)
+
+open Hsis_bdd
+open Hsis_limits
+open Hsis_check
+open Hsis_core
+open Hsis_models
+
+let scheduler_design n =
+  let m = Scheduler.make ~n () in
+  Hsis.read_verilog m.Model.verilog
+
+(* ------------------------------------------------------------------ *)
+(* Limits / Verdict units *)
+
+let test_limits_basics () =
+  Alcotest.(check bool) "none is none" true (Limits.is_none Limits.none);
+  Alcotest.(check bool) "make () is none" true (Limits.is_none (Limits.make ()));
+  let l = Limits.make ~max_nodes:10 () in
+  Alcotest.(check bool) "armed" false (Limits.is_none l);
+  Alcotest.(check bool) "under quota" true (Limits.breach l ~live:5 = None);
+  Alcotest.(check bool) "over quota" true
+    (Limits.breach l ~live:11 = Some Limits.Limit_nodes);
+  (* an already-expired deadline breaches immediately *)
+  let d = Limits.make ~timeout:(-1.0) () in
+  Alcotest.(check bool) "expired deadline" true
+    (Limits.breach d ~live:0 = Some Limits.Limit_deadline);
+  (* step quota: steps 0..n-1 allowed, step n not *)
+  let s = Limits.make ~max_steps:3 () in
+  Alcotest.(check bool) "step 2 allowed" true (Limits.step_allowed s ~step:2);
+  Alcotest.(check bool) "step 3 denied" false (Limits.step_allowed s ~step:3);
+  Alcotest.(check bool) "unlimited steps" true
+    (Limits.step_allowed Limits.none ~step:max_int);
+  List.iter
+    (fun (r, n) -> Alcotest.(check string) "reason name" n (Limits.reason_name r))
+    [
+      (Limits.Limit_deadline, "deadline");
+      (Limits.Limit_nodes, "nodes");
+      (Limits.Limit_steps, "steps");
+      (Limits.Cancelled, "cancelled");
+    ]
+
+let test_verdict_exit_codes () =
+  Alcotest.(check int) "pass" 0 (Verdict.exit_code (Verdict.Pass : unit Verdict.t));
+  Alcotest.(check int) "fail" 3 (Verdict.exit_code (Verdict.Fail ()));
+  Alcotest.(check int) "inconclusive" 4
+    (Verdict.exit_code (Verdict.inconclusive Limits.Limit_deadline : unit Verdict.t));
+  (* agreement: inconclusive never contradicts, conclusive must match *)
+  let inc : unit Verdict.t = Verdict.inconclusive Limits.Cancelled in
+  Alcotest.(check bool) "inc vs pass" true (Verdict.agree inc Verdict.Pass);
+  Alcotest.(check bool) "inc vs fail" true (Verdict.agree inc (Verdict.Fail ()));
+  Alcotest.(check bool) "pass vs fail" false
+    (Verdict.agree (Verdict.Pass : unit Verdict.t) (Verdict.Fail ()))
+
+(* ------------------------------------------------------------------ *)
+(* Kernel-level interrupts *)
+
+(* A node quota breached mid-[and_exists] must raise, and the manager must
+   pass its own invariant audit immediately afterwards (caches wiped, no
+   half-built entries), staying fully usable. *)
+let test_node_quota_audit () =
+  let man = Bdd.new_man () in
+  let vars = Array.init 24 (fun i -> Bdd.new_var ~name:(Printf.sprintf "v%d" i) man) in
+  let build () =
+    (* order-hostile conjunction: plenty of intermediate nodes *)
+    let f = ref (Bdd.dtrue man) in
+    for i = 0 to 7 do
+      f := Bdd.dand !f (Bdd.dor vars.(i) vars.(i + 8))
+    done;
+    let g = ref (Bdd.dtrue man) in
+    for i = 8 to 15 do
+      g := Bdd.dand !g (Bdd.xor vars.(i) vars.(i + 8))
+    done;
+    let cube = Array.to_list (Array.sub vars 8 8) in
+    Bdd.and_exists ~cube:(Bdd.cube man cube) !f !g
+  in
+  let quota = Limits.make ~max_nodes:(Bdd.node_count man + 8) () in
+  (match Bdd.with_limits man quota build with
+  | _ -> Alcotest.fail "tiny node quota did not interrupt"
+  | exception Bdd.Interrupted Limits.Limit_nodes -> ()
+  | exception Bdd.Interrupted r ->
+      Alcotest.failf "wrong interrupt reason: %s" (Limits.reason_name r));
+  Alcotest.(check (list string)) "audit clean after interrupt" [] (Bdd.check man);
+  (* limits were restored by with_limits: the same work now completes *)
+  let r = build () in
+  Alcotest.(check bool) "manager usable after interrupt" false (Bdd.is_false r);
+  Alcotest.(check (list string)) "audit clean after rerun" [] (Bdd.check man);
+  (* the interrupt was tallied for observability *)
+  let st = Bdd.stats man in
+  Alcotest.(check (option int)) "nodes interrupt tallied" (Some 1)
+    (List.assoc_opt "nodes" st.Hsis_obs.Obs.limits.Hsis_obs.Obs.Limit.interrupts);
+  Alcotest.(check bool) "budget polls counted" true
+    (st.Hsis_obs.Obs.limits.Hsis_obs.Obs.Limit.checks > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Engine-level interrupts with partial state *)
+
+(* A step quota mid-reachability must yield Inconclusive(steps) with the
+   partial onion intact: the explored rings are exactly the first
+   max_steps+1 rings of the unbounded run. *)
+let test_reach_step_quota () =
+  let d = scheduler_design 6 in
+  Hsis.set_limits d (Limits.make ~max_steps:3 ());
+  let partial = Hsis.reachable d in
+  (match partial.Reach.verdict with
+  | Verdict.Inconclusive { Verdict.reason = Limits.Limit_steps; at_step = Some 3 } -> ()
+  | v -> Alcotest.failf "expected Inconclusive(steps) at step 3, got %s" (Verdict.name v));
+  Alcotest.(check int) "onion has 4 rings" 4 (Array.length partial.Reach.rings);
+  (* an inconclusive result is not cached: lifting the budget recomputes *)
+  Hsis.set_limits d Limits.none;
+  let full = Hsis.reachable d in
+  Alcotest.(check bool) "unbounded rerun completes" true (Reach.complete full);
+  (* the partial onion is exactly the unbounded run's first four rings *)
+  Array.iteri
+    (fun k ring ->
+      Alcotest.(check bool) (Printf.sprintf "ring %d matches unbounded" k) true
+        (Bdd.equal ring full.Reach.rings.(k)))
+    partial.Reach.rings;
+  (* the partial reachable set is a strict subset of the true one *)
+  Alcotest.(check bool) "partial below full" true
+    (Bdd.is_false (Bdd.dand partial.Reach.reachable (Bdd.dnot full.Reach.reachable)));
+  Alcotest.(check bool) "strictly smaller" true
+    (not (Bdd.equal partial.Reach.reachable full.Reach.reachable))
+
+(* An expired deadline interrupts reachability before any image step; the
+   partial onion still holds the initial ring, so callers can always make
+   sense of the result structure. *)
+let test_reach_deadline () =
+  let d = scheduler_design 6 in
+  Hsis.set_limits d (Limits.make ~timeout:0.0 ());
+  let r = Hsis.reachable d in
+  (match r.Reach.verdict with
+  | Verdict.Inconclusive { Verdict.reason = Limits.Limit_deadline; _ } -> ()
+  | v -> Alcotest.failf "expected Inconclusive(deadline), got %s" (Verdict.name v));
+  Alcotest.(check bool) "onion non-empty" true (Array.length r.Reach.rings >= 1);
+  Alcotest.(check bool) "initial states present" true
+    (not (Bdd.is_false r.Reach.rings.(0)))
+
+(* The cancellation callback must stop a CTL model-checking run. *)
+let test_cancellation_stops_mc () =
+  let d = scheduler_design 6 in
+  let polls = ref 0 in
+  let cancel () =
+    incr polls;
+    !polls > 40
+  in
+  Hsis.set_limits d (Limits.make ~cancelled:cancel ());
+  let r = Hsis.check_ctl d ~name:"token" (Hsis_auto.Ctl.parse "AG EF pos=0") in
+  (match r.Hsis.pr_verdict with
+  | Verdict.Inconclusive { Verdict.reason = Limits.Cancelled; _ } -> ()
+  | v -> Alcotest.failf "expected Inconclusive(cancelled), got %s" (Verdict.name v));
+  Alcotest.(check bool) "callback was polled" true (!polls > 40)
+
+(* ------------------------------------------------------------------ *)
+(* Report-level exit-code precedence *)
+
+let prop name verdict =
+  { Hsis.pr_name = name; pr_verdict = verdict; pr_time = 0.0; pr_early_step = None }
+
+let test_report_exit_codes () =
+  let pass = (Verdict.Pass : Hsis.ctl_evidence Verdict.t) in
+  let fail = Verdict.Fail { Hsis.ce_explanation = None } in
+  let inc : Hsis.ctl_evidence Verdict.t =
+    Verdict.inconclusive Limits.Limit_deadline
+  in
+  let report ctl =
+    { Hsis.design_name = "x"; ctl; lc = []; mc_time = 0.0; lc_time = 0.0 }
+  in
+  Alcotest.(check int) "all pass -> 0" 0
+    (Hsis.report_exit_code (report [ prop "a" pass; prop "b" pass ]));
+  Alcotest.(check int) "inconclusive -> 4" 4
+    (Hsis.report_exit_code (report [ prop "a" pass; prop "b" inc ]));
+  Alcotest.(check int) "fail beats inconclusive" 3
+    (Hsis.report_exit_code (report [ prop "a" inc; prop "b" fail; prop "c" pass ]));
+  Alcotest.(check int) "empty report passes" 0 (Hsis.report_exit_code (report []))
+
+(* The verdict tally the facade feeds into snapshots reflects what ran. *)
+let test_verdict_tally () =
+  let d = scheduler_design 5 in
+  let f = Hsis_auto.Ctl.parse "AG EF pos=0" in
+  Hsis.set_limits d (Limits.make ~max_steps:1 ());
+  let r1 = Hsis.check_ctl d ~name:"budgeted" f in
+  Alcotest.(check bool) "budgeted run inconclusive" false
+    (Verdict.conclusive r1.Hsis.pr_verdict);
+  Hsis.set_limits d Limits.none;
+  let r2 = Hsis.check_ctl d ~name:"unbounded" f in
+  Alcotest.(check bool) "unbounded run passes" true
+    (Verdict.holds r2.Hsis.pr_verdict);
+  let snap = Hsis.snapshot d in
+  Alcotest.(check (option int)) "one inconclusive tallied" (Some 1)
+    (List.assoc_opt "inconclusive" snap.Hsis_obs.Obs.verdicts);
+  Alcotest.(check (option int)) "one pass tallied" (Some 1)
+    (List.assoc_opt "pass" snap.Hsis_obs.Obs.verdicts)
+
+let () =
+  Alcotest.run "limits"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "limit basics" `Quick test_limits_basics;
+          Alcotest.test_case "verdict exit codes" `Quick test_verdict_exit_codes;
+        ] );
+      ( "kernel",
+        [ Alcotest.test_case "node quota + audit" `Quick test_node_quota_audit ] );
+      ( "engines",
+        [
+          Alcotest.test_case "reach step quota" `Quick test_reach_step_quota;
+          Alcotest.test_case "reach deadline" `Quick test_reach_deadline;
+          Alcotest.test_case "cancellation stops mc" `Quick
+            test_cancellation_stops_mc;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "exit-code precedence" `Quick test_report_exit_codes;
+          Alcotest.test_case "verdict tally" `Quick test_verdict_tally;
+        ] );
+    ]

@@ -19,12 +19,12 @@ let test_pingpong () =
   Alcotest.(check int) "6 ctl" 6 (List.length report.Hsis.ctl);
   Alcotest.(check int) "6 lc" 6 (List.length report.Hsis.lc);
   List.iter
-    (fun (c : Hsis.ctl_result) ->
-      Alcotest.(check bool) ("ctl " ^ c.Hsis.cr_name) true c.Hsis.cr_holds)
+    (fun (c : Hsis.ctl_evidence Hsis.property_result) ->
+      Alcotest.(check bool) ("ctl " ^ c.Hsis.pr_name) true (Hsis_limits.Verdict.holds c.Hsis.pr_verdict))
     report.Hsis.ctl;
   List.iter
-    (fun (l : Hsis.lc_result) ->
-      Alcotest.(check bool) ("lc " ^ l.Hsis.lr_name) true l.Hsis.lr_holds)
+    (fun (l : Hsis.lc_evidence Hsis.property_result) ->
+      Alcotest.(check bool) ("lc " ^ l.Hsis.pr_name) true (Hsis_limits.Verdict.holds l.Hsis.pr_verdict))
     report.Hsis.lc
 
 let test_philos () =
@@ -39,24 +39,27 @@ let test_philos () =
   Alcotest.(check int) "explicit agrees" (int_of_float states)
     (Enum.count_reachable (Model.net m));
   let find_ctl name =
-    List.find (fun c -> c.Hsis.cr_name = name) report.Hsis.ctl
+    List.find (fun c -> c.Hsis.pr_name = name) report.Hsis.ctl
   in
   Alcotest.(check bool) "mutual exclusion" true
-    (find_ctl "mutual_exclusion").Hsis.cr_holds;
+    (Hsis_limits.Verdict.holds (find_ctl "mutual_exclusion").Hsis.pr_verdict);
   Alcotest.(check bool) "possible progress" true
-    (find_ctl "possible_progress").Hsis.cr_holds;
+    (Hsis_limits.Verdict.holds (find_ctl "possible_progress").Hsis.pr_verdict);
   let find_lc name =
-    List.find (fun l -> l.Hsis.lr_name = name) report.Hsis.lc
+    List.find (fun l -> l.Hsis.pr_name = name) report.Hsis.lc
   in
   Alcotest.(check bool) "never_both_eat holds" true
-    (find_lc "never_both_eat").Hsis.lr_holds;
+    (Hsis_limits.Verdict.holds (find_lc "never_both_eat").Hsis.pr_verdict);
   let starving = find_lc "p0_eats_forever_often" in
   Alcotest.(check bool) "liveness fails (deadlock)" false
-    starving.Hsis.lr_holds;
+    (Hsis_limits.Verdict.holds starving.Hsis.pr_verdict);
   (* the failing property must come with a verified error trace *)
-  match starving.Hsis.lr_trace with
-  | None -> Alcotest.fail "no error trace produced"
-  | Some t ->
+  match starving.Hsis.pr_verdict with
+  | Hsis_limits.Verdict.Fail { Hsis.le_trace = None; _ } ->
+      Alcotest.fail "no error trace produced"
+  | Hsis_limits.Verdict.Pass | Hsis_limits.Verdict.Inconclusive _ ->
+      Alcotest.fail "expected a Fail verdict"
+  | Hsis_limits.Verdict.Fail { Hsis.le_trace = Some t; _ } ->
       Alcotest.(check bool) "trace has a cycle" true (List.length t.Trace.cycle >= 1);
       Alcotest.(check bool) "trace verified" true t.Trace.verified
 
@@ -66,9 +69,10 @@ let test_philos_explicit_lc () =
   let pif = Model.parse_pif m in
   let aut name = Option.get (Hsis_auto.Pif.find_automaton pif name) in
   Alcotest.(check bool) "explicit: mutex holds" true
-    (Enum.check_lc flat (aut "never_both_eat"));
+    (Hsis_limits.Verdict.holds (Enum.check_lc flat (aut "never_both_eat")));
   Alcotest.(check bool) "explicit: liveness fails" false
-    (Enum.check_lc flat (aut "p0_eats_forever_often"))
+    (Hsis_limits.Verdict.holds
+       (Enum.check_lc flat (aut "p0_eats_forever_often")))
 
 let test_gigamax () =
   let m = Gigamax.make () in
@@ -82,12 +86,12 @@ let test_gigamax () =
     (Enum.count_reachable (Model.net m));
   Alcotest.(check int) "9 ctl" 9 (List.length report.Hsis.ctl);
   List.iter
-    (fun (c : Hsis.ctl_result) ->
-      Alcotest.(check bool) ("ctl " ^ c.Hsis.cr_name) true c.Hsis.cr_holds)
+    (fun (c : Hsis.ctl_evidence Hsis.property_result) ->
+      Alcotest.(check bool) ("ctl " ^ c.Hsis.pr_name) true (Hsis_limits.Verdict.holds c.Hsis.pr_verdict))
     report.Hsis.ctl;
   List.iter
-    (fun (l : Hsis.lc_result) ->
-      Alcotest.(check bool) ("lc " ^ l.Hsis.lr_name) true l.Hsis.lr_holds)
+    (fun (l : Hsis.lc_evidence Hsis.property_result) ->
+      Alcotest.(check bool) ("lc " ^ l.Hsis.pr_name) true (Hsis_limits.Verdict.holds l.Hsis.pr_verdict))
     report.Hsis.lc
 
 let test_scheduler_small () =
@@ -98,12 +102,12 @@ let test_scheduler_small () =
   Alcotest.(check int) "explicit agrees" 64
     (Enum.count_reachable (Model.net m));
   List.iter
-    (fun (c : Hsis.ctl_result) ->
-      Alcotest.(check bool) ("ctl " ^ c.Hsis.cr_name) true c.Hsis.cr_holds)
+    (fun (c : Hsis.ctl_evidence Hsis.property_result) ->
+      Alcotest.(check bool) ("ctl " ^ c.Hsis.pr_name) true (Hsis_limits.Verdict.holds c.Hsis.pr_verdict))
     report.Hsis.ctl;
   List.iter
-    (fun (l : Hsis.lc_result) ->
-      Alcotest.(check bool) ("lc " ^ l.Hsis.lr_name) true l.Hsis.lr_holds)
+    (fun (l : Hsis.lc_evidence Hsis.property_result) ->
+      Alcotest.(check bool) ("lc " ^ l.Hsis.pr_name) true (Hsis_limits.Verdict.holds l.Hsis.pr_verdict))
     report.Hsis.lc
 
 let test_scheduler_medium () =
@@ -120,12 +124,12 @@ let test_dcnew () =
     true
     (states >= 1.0e4 && states <= 1.0e6);
   List.iter
-    (fun (c : Hsis.ctl_result) ->
-      Alcotest.(check bool) ("ctl " ^ c.Hsis.cr_name) true c.Hsis.cr_holds)
+    (fun (c : Hsis.ctl_evidence Hsis.property_result) ->
+      Alcotest.(check bool) ("ctl " ^ c.Hsis.pr_name) true (Hsis_limits.Verdict.holds c.Hsis.pr_verdict))
     report.Hsis.ctl;
   List.iter
-    (fun (l : Hsis.lc_result) ->
-      Alcotest.(check bool) ("lc " ^ l.Hsis.lr_name) true l.Hsis.lr_holds)
+    (fun (l : Hsis.lc_evidence Hsis.property_result) ->
+      Alcotest.(check bool) ("lc " ^ l.Hsis.pr_name) true (Hsis_limits.Verdict.holds l.Hsis.pr_verdict))
     report.Hsis.lc
 
 let test_mdlc () =
@@ -137,12 +141,12 @@ let test_mdlc () =
     true
     (states >= 1.0e3 && states <= 1.0e6);
   List.iter
-    (fun (c : Hsis.ctl_result) ->
-      Alcotest.(check bool) ("ctl " ^ c.Hsis.cr_name) true c.Hsis.cr_holds)
+    (fun (c : Hsis.ctl_evidence Hsis.property_result) ->
+      Alcotest.(check bool) ("ctl " ^ c.Hsis.pr_name) true (Hsis_limits.Verdict.holds c.Hsis.pr_verdict))
     report.Hsis.ctl;
   List.iter
-    (fun (l : Hsis.lc_result) ->
-      Alcotest.(check bool) ("lc " ^ l.Hsis.lr_name) true l.Hsis.lr_holds)
+    (fun (l : Hsis.lc_evidence Hsis.property_result) ->
+      Alcotest.(check bool) ("lc " ^ l.Hsis.pr_name) true (Hsis_limits.Verdict.holds l.Hsis.pr_verdict))
     report.Hsis.lc
 
 let () =

@@ -238,6 +238,50 @@ let test_design_snapshot_roundtrip () =
   Alcotest.(check string) "schema version" Obs.schema_version
     (Obs.Json.to_str (Obs.Json.member "schema" j))
 
+(* Documents from every schema generation must parse: /1 and /2 lack the
+   /3 "limits" object and "verdicts" tally, which default to zero/empty;
+   a /3 document round-trips them intact. *)
+let test_schema_compat () =
+  let v2 =
+    Obs.of_json
+      (Obs.Json.parse
+         {|{"schema":"hsis-obs/2","cache":{"entries":4,"slots":64,"evictions":9,"ops":[]}}|})
+  in
+  Alcotest.(check int) "v2 slots read" 64 v2.Obs.man.Obs.cache.Obs.Cache.slots;
+  Alcotest.(check int) "v2 limit checks default 0" 0
+    v2.Obs.man.Obs.limits.Obs.Limit.checks;
+  Alcotest.(check (list (pair string int))) "v2 interrupts default empty" []
+    v2.Obs.man.Obs.limits.Obs.Limit.interrupts;
+  Alcotest.(check (list (pair string int))) "v2 verdicts default empty" []
+    v2.Obs.verdicts;
+  let v3 =
+    Obs.of_json
+      (Obs.Json.parse
+         {|{"schema":"hsis-obs/3",
+            "limits":{"checks":42,"interrupts":{"deadline":2,"nodes":1}},
+            "verdicts":{"pass":5,"fail":1,"inconclusive":2}}|})
+  in
+  Alcotest.(check int) "v3 limit checks" 42 v3.Obs.man.Obs.limits.Obs.Limit.checks;
+  Alcotest.(check (option int)) "v3 deadline interrupts" (Some 2)
+    (List.assoc_opt "deadline" v3.Obs.man.Obs.limits.Obs.Limit.interrupts);
+  Alcotest.(check (option int)) "v3 verdict tally" (Some 5)
+    (List.assoc_opt "pass" v3.Obs.verdicts);
+  (* and a synthetic /3 snapshot round-trips the new members intact *)
+  let man = Bdd.new_man () in
+  ignore (workload man 5);
+  let snap =
+    Obs.snapshot ~verdicts:[ ("pass", 3); ("inconclusive", 1) ] (Bdd.stats man)
+  in
+  let snap' = Obs.of_json (Obs.Json.parse (Obs.json_string snap)) in
+  Alcotest.(check (list (pair string int))) "verdicts survive"
+    snap.Obs.verdicts snap'.Obs.verdicts;
+  Alcotest.(check int) "limit checks survive"
+    snap.Obs.man.Obs.limits.Obs.Limit.checks
+    snap'.Obs.man.Obs.limits.Obs.Limit.checks;
+  Alcotest.(check (list (pair string int))) "interrupt tally survives"
+    snap.Obs.man.Obs.limits.Obs.Limit.interrupts
+    snap'.Obs.man.Obs.limits.Obs.Limit.interrupts
+
 let () =
   Alcotest.run "obs"
     [
@@ -260,5 +304,6 @@ let () =
         [
           Alcotest.test_case "design roundtrip" `Quick
             test_design_snapshot_roundtrip;
+          Alcotest.test_case "schema compat /1 /2 /3" `Quick test_schema_compat;
         ] );
     ]

@@ -12,12 +12,12 @@ let test_correct () =
   let pif = Model.parse_pif m in
   let report = Hsis.run_pif d pif in
   List.iter
-    (fun (c : Hsis.ctl_result) ->
-      Alcotest.(check bool) ("ctl " ^ c.Hsis.cr_name) true c.Hsis.cr_holds)
+    (fun (c : Hsis.ctl_evidence Hsis.property_result) ->
+      Alcotest.(check bool) ("ctl " ^ c.Hsis.pr_name) true (Hsis_limits.Verdict.holds c.Hsis.pr_verdict))
     report.Hsis.ctl;
   List.iter
-    (fun (l : Hsis.lc_result) ->
-      Alcotest.(check bool) ("lc " ^ l.Hsis.lr_name) true l.Hsis.lr_holds)
+    (fun (l : Hsis.lc_evidence Hsis.property_result) ->
+      Alcotest.(check bool) ("lc " ^ l.Hsis.pr_name) true (Hsis_limits.Verdict.holds l.Hsis.pr_verdict))
     report.Hsis.lc
 
 let test_liveness_needs_fairness () =
@@ -28,7 +28,7 @@ let test_liveness_needs_fairness () =
   let f = Ctl.parse "AG (p0=WAITTURN -> AF p0=CRIT)" in
   let unfair = Hsis.check_ctl d ~name:"starve" f in
   Alcotest.(check bool) "starvation without fairness" false
-    unfair.Hsis.cr_holds;
+    (Hsis_limits.Verdict.holds unfair.Hsis.pr_verdict);
   let fair =
     Hsis.check_ctl
       ~fairness:
@@ -38,26 +38,26 @@ let test_liveness_needs_fairness () =
         ]
       d ~name:"progress" f
   in
-  Alcotest.(check bool) "progress under fairness" true fair.Hsis.cr_holds
+  Alcotest.(check bool) "progress under fairness" true (Hsis_limits.Verdict.holds fair.Hsis.pr_verdict)
 
 let test_broken () =
   let m = Peterson.broken () in
   let d = Hsis.read_verilog m.Model.verilog in
   let mutex = Hsis.check_ctl d ~name:"mutex" (Ctl.parse "AG !(p0=CRIT & p1=CRIT)") in
-  Alcotest.(check bool) "mutex violated" false mutex.Hsis.cr_holds;
+  Alcotest.(check bool) "mutex violated" false (Hsis_limits.Verdict.holds mutex.Hsis.pr_verdict);
   (* the language-containment route agrees and yields a verified trace *)
   let aut =
     Autom.invariance ~name:"excl" ~ok:(Expr.parse "!(p0=CRIT & p1=CRIT)")
   in
   let lc = Hsis.check_lc d aut in
-  Alcotest.(check bool) "lc violated" false lc.Hsis.lr_holds;
-  (match lc.Hsis.lr_trace with
-  | Some t ->
+  Alcotest.(check bool) "lc violated" false (Hsis_limits.Verdict.holds lc.Hsis.pr_verdict);
+  (match lc.Hsis.pr_verdict with
+  | Hsis_limits.Verdict.Fail { Hsis.le_trace = Some t; _ } ->
       Alcotest.(check bool) "trace verified" true t.Hsis_debug.Trace.verified
-  | None -> Alcotest.fail "no trace");
+  | _ -> Alcotest.fail "no trace");
   (* explicit engine agrees on the violation *)
   Alcotest.(check bool) "explicit agrees" false
-    (Enum.check_lc (Model.flat m) aut)
+    (Hsis_limits.Verdict.holds (Enum.check_lc (Model.flat m) aut))
 
 let test_explicit_crosscheck () =
   let m = Peterson.make () in
@@ -74,10 +74,11 @@ let test_explicit_crosscheck () =
     ]
   in
   let econstrs = Enum.compile_fairness net g fair_syn in
-  let _, holds =
+  let _, verdict =
     Enum.check_ctl net g econstrs (Ctl.parse "AG (p0=WAITTURN -> AF p0=CRIT)")
   in
-  Alcotest.(check bool) "explicit fair liveness" true holds
+  Alcotest.(check bool) "explicit fair liveness" true
+    (Hsis_limits.Verdict.holds verdict)
 
 let () =
   Alcotest.run "peterson"

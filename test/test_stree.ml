@@ -109,7 +109,7 @@ let test_interleaved_ctl () =
   let man = Bdd.new_man () in
   let sym = Sym.make man net in
   let trans = Trans.build sym in
-  let holds src = (Mc.check trans (Ctl.parse src)).Mc.holds in
+  let holds src = (Mc.holds (Mc.check trans (Ctl.parse src))) in
   (* desynchronized states are reachable *)
   Alcotest.(check bool) "EF (a=3 & b=0)" true (holds "EF (a=3 & b=0)");
   (* but each counter still only ever increments *)
@@ -132,7 +132,7 @@ let test_fair_interleaving () =
         Fair.Inf (Fair.State (Expr.parse "_ch0=1"));
       ]
   in
-  let holds src = (Mc.check ~fairness trans (Ctl.parse src)).Mc.holds in
+  let holds src = (Mc.holds (Mc.check ~fairness trans (Ctl.parse src))) in
   Alcotest.(check bool) "AF a=1 holds under fair scheduling" true
     (holds "AF a=1");
   Alcotest.(check bool) "AG AF b=0 holds" true (holds "AG AF b=0")

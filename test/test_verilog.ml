@@ -95,7 +95,7 @@ let test_enum_ctl () =
   let man = Hsis_bdd.Bdd.new_man () in
   let sym = Sym.make man net in
   let trans = Trans.build sym in
-  let check src = (Mc.check trans (Hsis_auto.Ctl.parse src)).Mc.holds in
+  let check src = (Mc.holds (Mc.check trans (Hsis_auto.Ctl.parse src))) in
   Alcotest.(check bool) "EF st=ACK" true (check "EF st=ACK");
   Alcotest.(check bool) "AG (st=ACK -> AX st=IDLE)" true
     (check "AG (st=ACK -> AX st=IDLE)");
@@ -193,7 +193,7 @@ endmodule
   let man = Hsis_bdd.Bdd.new_man () in
   let sym = Sym.make man net in
   let trans = Trans.build sym in
-  let check src = (Mc.check trans (Hsis_auto.Ctl.parse src)).Mc.holds in
+  let check src = (Mc.holds (Mc.check trans (Hsis_auto.Ctl.parse src))) in
   Alcotest.(check bool) "EF big" true (check "EF big=1");
   Alcotest.(check bool) "eq2 consistent" true (check "AG (eq2=1 -> s=2)")
 
