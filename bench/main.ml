@@ -11,6 +11,7 @@
      ablate-efd   early failure detection (A2)
      bech         Bechamel micro-benchmarks
      bdd          BDD kernel ops/s (and/ite/exists/and_exists) -> BENCH_bdd.json
+     par [jobs]   parallel scaling (fuzz + check fan-out)  -> BENCH_par.json
      json         observability smoke check: emit + re-parse a stats JSON
 
    With no argument everything runs (Table 1 at paper scale last, since
@@ -583,6 +584,118 @@ let bdd_bench () =
   pr "wrote BENCH_bdd.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Parallel scaling: the two fan-out workloads of the par pool, sequential
+   vs parallel wall-clock, written to BENCH_par.json.
+
+   - fuzz: differential iterations spread over worker domains.  Also
+     cross-checks the determinism contract: the parallel report (minus
+     elapsed/pool members) must be byte-identical to the sequential one.
+   - check: the Table-1 (small scale) designs checked concurrently, one
+     design per task, each task reading the design and running its full
+     PIF property set in its own BDD manager. *)
+
+let par_bench ?(jobs = 4) () =
+  let open Hsis_par in
+  pr "@.== Parallel scaling (%d jobs) ==@." jobs;
+  (* fuzz workload *)
+  let fuzz_cfg j =
+    let open Hsis_gen in
+    { Diff.default_config with Diff.iters = 150; seed = 42; jobs = j }
+  in
+  let seq_report, t_fseq = wall (fun () -> Hsis_gen.Diff.run (fuzz_cfg 1)) in
+  let par_report, t_fpar = wall (fun () -> Hsis_gen.Diff.run (fuzz_cfg jobs)) in
+  (* scheduling-independent members only: elapsed and pool stats differ
+     between runs by construction *)
+  let strip = function
+    | Obs.Json.Obj ms ->
+        Obs.Json.Obj
+          (List.filter
+             (fun (k, _) -> not (List.mem k [ "elapsed_s"; "jobs"; "pool" ]))
+             ms)
+    | j -> j
+  in
+  let canon r = Obs.Json.to_string (strip (Hsis_gen.Diff.report_to_json r)) in
+  let fuzz_identical = canon seq_report = canon par_report in
+  let fuzz_speedup = t_fseq /. Float.max 1e-9 t_fpar in
+  pr "  fuzz  %d iters: seq %.2fs, par %.2fs (%.2fx), reports identical %b@."
+    seq_report.Hsis_gen.Diff.iterations t_fseq t_fpar fuzz_speedup
+    fuzz_identical;
+  (* check workload: one Table-1 design per task *)
+  let models = Models.table1_small () in
+  let check_design (m : Model.t) =
+    let d = Hsis.read_verilog m.Model.verilog in
+    Hsis.set_reach_profile d false;
+    let report = Hsis.run_pif ~witnesses:false d (Model.parse_pif m) in
+    (m.Model.name, Hsis.report_exit_code report)
+  in
+  let (cseq, _), t_cseq = wall (fun () -> Par.map ~jobs:1 check_design models) in
+  let (cpar, cstats), t_cpar =
+    wall (fun () -> Par.map ~jobs check_design models)
+  in
+  let check_agree = cseq = cpar in
+  let check_speedup = t_cseq /. Float.max 1e-9 t_cpar in
+  pr "  check %d designs: seq %.2fs, par %.2fs (%.2fx), verdicts agree %b@."
+    (List.length models) t_cseq t_cpar check_speedup check_agree;
+  let util = Par.utilization cstats in
+  Array.iteri
+    (fun w u ->
+      pr "    worker %d: %d tasks, %.2fs busy (%.0f%% utilization)@." w
+        cstats.Par.worker_tasks.(w)
+        cstats.Par.worker_busy.(w)
+        (100.0 *. u))
+    util;
+  let worker_json =
+    Obs.Json.List
+      (List.init cstats.Par.jobs (fun w ->
+           Obs.Json.Obj
+             [
+               ("tasks", Obs.Json.Int cstats.Par.worker_tasks.(w));
+               ("busy_s", Obs.Json.Float cstats.Par.worker_busy.(w));
+               ("utilization", Obs.Json.Float util.(w));
+             ]))
+  in
+  let j =
+    Obs.Json.Obj
+      [
+        ("bench", Obs.Json.Str "par");
+        ("schema", Obs.Json.Str Obs.schema_version);
+        ("jobs", Obs.Json.Int jobs);
+        ("cores", Obs.Json.Int (Par.default_jobs ()));
+        ( "fuzz",
+          Obs.Json.Obj
+            [
+              ("iters", Obs.Json.Int seq_report.Hsis_gen.Diff.iterations);
+              ("seed", Obs.Json.Int 42);
+              ("seq_s", Obs.Json.Float t_fseq);
+              ("par_s", Obs.Json.Float t_fpar);
+              ("speedup", Obs.Json.Float fuzz_speedup);
+              ("identical_reports", Obs.Json.Bool fuzz_identical);
+            ] );
+        ( "check",
+          Obs.Json.Obj
+            [
+              ( "designs",
+                Obs.Json.List
+                  (List.map
+                     (fun (m : Model.t) -> Obs.Json.Str m.Model.name)
+                     models) );
+              ("seq_s", Obs.Json.Float t_cseq);
+              ("par_s", Obs.Json.Float t_cpar);
+              ("speedup", Obs.Json.Float check_speedup);
+              ("verdicts_agree", Obs.Json.Bool check_agree);
+              ("steals", Obs.Json.Int cstats.Par.steals);
+              ("workers", worker_json);
+            ] );
+      ]
+  in
+  write_file "BENCH_par.json" (Obs.Json.to_string j);
+  pr "wrote BENCH_par.json@.";
+  if not (fuzz_identical && check_agree) then begin
+    prerr_endline "par bench: parallel results diverged from sequential";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Observability smoke check (run from the test alias): emit a snapshot
    for a small design, re-parse it, and fail loudly if any section that
    downstream tooling depends on is missing.  Guards against stats
@@ -637,6 +750,11 @@ let () =
   | "ablate-efd" -> ablate_efd ()
   | "bech" -> run_bechamel ()
   | "bdd" -> bdd_bench ()
+  | "par" ->
+      let jobs =
+        if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 4
+      in
+      par_bench ~jobs ()
   | "json" -> json_smoke ()
   | "all" ->
       fig2 ();

@@ -44,11 +44,11 @@ let limits_of timeout max_nodes max_steps =
   | None, None, None -> Limits.none
   | _ -> Limits.make ?timeout ?max_nodes ?max_steps ()
 
-(* Render the design's observability snapshot per the --stats/--stats-json
-   flags shared by the check and reach commands. *)
-let emit_stats design show_stats stats_json =
+(* Render an observability snapshot per the --stats/--stats-json flags
+   shared by the check and reach commands.  Takes the snapshot rather than
+   the design so parallel runs can pass the pool-merged document. *)
+let emit_stats snap show_stats stats_json =
   if show_stats || stats_json <> None then begin
-    let snap = Hsis.snapshot design in
     if show_stats then Format.printf "@.%a" Obs.pp snap;
     match stats_json with
     | Some path ->
@@ -62,10 +62,12 @@ let emit_stats design show_stats stats_json =
 (* ------------------------------------------------------------------ *)
 
 let check_cmd verilog blifmv builtin pif_path heuristic no_early witness
-    timeout max_nodes max_steps show_stats stats_json () =
+    jobs fail_fast simplify timeout max_nodes max_steps show_stats stats_json
+    () =
   wrap (fun () ->
       let design, builtin_pif = load_design verilog blifmv builtin heuristic in
       Hsis.set_reach_profile design (show_stats || stats_json <> None);
+      Hsis.set_reach_simplify design simplify;
       Hsis.set_limits design (limits_of timeout max_nodes max_steps);
       let pif =
         match (pif_path, builtin_pif) with
@@ -73,8 +75,19 @@ let check_cmd verilog blifmv builtin pif_path heuristic no_early witness
         | None, Some p -> p
         | None, None -> failwith "no properties: give --pif"
       in
-      let report =
-        Hsis.run_pif ~early_failure:(not no_early) ~witnesses:witness design pif
+      (* fail-fast rides on the pool's cancellation protocol, so a
+         sequential --fail-fast run is just a one-worker pool *)
+      let report, merged_snap =
+        if jobs > 1 || fail_fast then
+          let r, snap =
+            Hsis.run_pif_par ~early_failure:(not no_early) ~witnesses:witness
+              ~fail_fast ~jobs design pif
+          in
+          (r, Some snap)
+        else
+          ( Hsis.run_pif ~early_failure:(not no_early) ~witnesses:witness
+              design pif,
+            None )
       in
       Format.printf "%a" Hsis.pp_report report;
       if witness then begin
@@ -96,14 +109,20 @@ let check_cmd verilog blifmv builtin pif_path heuristic no_early witness
             | _ -> ())
           report.Hsis.ctl
       end;
-      emit_stats design show_stats stats_json;
+      (let snap =
+         match merged_snap with
+         | Some s -> s
+         | None -> Hsis.snapshot design
+       in
+       emit_stats snap show_stats stats_json);
       Hsis.report_exit_code report)
 
-let reach_cmd verilog blifmv builtin heuristic timeout max_nodes max_steps
-    show_stats stats_json () =
+let reach_cmd verilog blifmv builtin heuristic simplify timeout max_nodes
+    max_steps show_stats stats_json () =
   wrap (fun () ->
       let design, _ = load_design verilog blifmv builtin heuristic in
       Hsis.set_reach_profile design (show_stats || stats_json <> None);
+      Hsis.set_reach_simplify design simplify;
       Hsis.set_limits design (limits_of timeout max_nodes max_steps);
       let r = Hsis.reachable design in
       Format.printf "design        : %s@." design.Hsis.flat.Hsis_blifmv.Ast.m_name;
@@ -121,7 +140,7 @@ let reach_cmd verilog blifmv builtin heuristic timeout max_nodes max_steps
       let st = Hsis.stats design in
       Format.printf "bdd nodes     : %d (%d vars)@." st.Obs.arena.Obs.Arena.live
         st.Obs.arena.Obs.Arena.vars;
-      emit_stats design show_stats stats_json;
+      emit_stats (Hsis.snapshot design) show_stats stats_json;
       Verdict.exit_code r.Hsis_check.Reach.verdict)
 
 let sim_cmd verilog blifmv builtin heuristic steps seed () =
@@ -178,7 +197,7 @@ let refine_cmd impl_path spec_path obs timeout max_nodes max_steps () =
       Verdict.exit_code r.Hsis_bisim.Simrel.verdict)
 
 let fuzz_cmd iters seed limit ctl_per_iter no_lc no_shrink budget out json
-    quiet () =
+    jobs quiet () =
   wrap (fun () ->
       let open Hsis_gen in
       let cfg =
@@ -190,6 +209,7 @@ let fuzz_cmd iters seed limit ctl_per_iter no_lc no_shrink budget out json
           ctl_per_iter;
           lc = not no_lc;
           shrink = not no_shrink;
+          jobs;
           budget =
             (* deterministic (no deadline): wall-clock budgets make fuzz
                runs irreproducible *)
@@ -217,7 +237,7 @@ let stats_cmd verilog blifmv builtin heuristic stats_json () =
       let design, _ = load_design verilog blifmv builtin heuristic in
       ignore (Hsis.reachable design);
       Format.printf "%a" Obs.pp (Hsis.snapshot design);
-      emit_stats design false stats_json;
+      emit_stats (Hsis.snapshot design) false stats_json;
       let report = Hsis.minimize design in
       Format.printf "don't-care minimization: %d -> %d part nodes@."
         report.Hsis_bisim.Dontcare.before report.Hsis_bisim.Dontcare.after;
@@ -301,6 +321,35 @@ let max_steps_arg =
           "Fixpoint iteration budget (inconclusive + exit 4 when \
            exceeded).")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains.  With $(docv) > 1 the work (one property per \
+           task for $(b,check), one iteration per task for $(b,fuzz)) is \
+           spread over a share-nothing domain pool; results are collected \
+           in task order, so verdicts and findings match a sequential run.")
+
+let fail_fast_arg =
+  Arg.(
+    value & flag
+    & info [ "fail-fast" ]
+        ~doc:
+          "Stop at the first definitive property failure: remaining \
+           properties are cancelled and reported inconclusive.  The exit \
+           code is still 3.")
+
+let simplify_arg =
+  Arg.(
+    value & flag
+    & info [ "simplify" ]
+        ~doc:
+          "Restrict-simplify each reachability frontier against the \
+           already-reached interior before the image call.  Results are \
+           unchanged; the image inputs may shrink (saved nodes appear in \
+           the $(b,--stats) reach profile).")
+
 let check =
   Cmd.v
     (Cmd.info "check" ~doc:"check CTL and language-containment properties"
@@ -311,18 +360,21 @@ let check =
                when a resource budget left some verdict inconclusive.";
          ])
     Term.(
-      const (fun a b c d e f g h i j k l -> check_cmd a b c d e f g h i j k l ())
+      const (fun a b c d e f g h i j k l m n o ->
+          check_cmd a b c d e f g h i j k l m n o ())
       $ verilog_arg $ blifmv_arg $ builtin_arg $ pif_arg $ heuristic_arg
-      $ no_early_arg $ witness_arg $ timeout_arg $ max_nodes_arg
-      $ max_steps_arg $ stats_arg $ stats_json_arg)
+      $ no_early_arg $ witness_arg $ jobs_arg $ fail_fast_arg $ simplify_arg
+      $ timeout_arg $ max_nodes_arg $ max_steps_arg $ stats_arg
+      $ stats_json_arg)
 
 let reach =
   Cmd.v
     (Cmd.info "reach" ~doc:"compute the reachable state set")
     Term.(
-      const (fun a b c d e f g h i -> reach_cmd a b c d e f g h i ())
-      $ verilog_arg $ blifmv_arg $ builtin_arg $ heuristic_arg $ timeout_arg
-      $ max_nodes_arg $ max_steps_arg $ stats_arg $ stats_json_arg)
+      const (fun a b c d e f g h i j -> reach_cmd a b c d e f g h i j ())
+      $ verilog_arg $ blifmv_arg $ builtin_arg $ heuristic_arg $ simplify_arg
+      $ timeout_arg $ max_nodes_arg $ max_steps_arg $ stats_arg
+      $ stats_json_arg)
 
 let sim =
   Cmd.v
@@ -426,9 +478,10 @@ let fuzz =
          "differential fuzzing: random BLIF-MV designs checked by the \
           symbolic engines against the explicit-state oracle")
     Term.(
-      const (fun a b c d e f g h i j -> fuzz_cmd a b c d e f g h i j ())
+      const (fun a b c d e f g h i j k -> fuzz_cmd a b c d e f g h i j k ())
       $ iters_arg $ fseed_arg $ limit_arg $ ctl_arg $ no_lc_arg
-      $ no_shrink_arg $ budget_arg $ out_arg $ json_arg $ quiet_arg)
+      $ no_shrink_arg $ budget_arg $ out_arg $ json_arg $ jobs_arg
+      $ quiet_arg)
 
 let () =
   let doc = "HSIS: a BDD-based environment for formal verification" in

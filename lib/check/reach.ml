@@ -15,7 +15,7 @@ let bad_hit t = match t.verdict with Verdict.Fail k -> Some k | _ -> None
 let complete t = Verdict.conclusive t.verdict
 
 let compute ?(use_mono = false) ?bad ?(stop_on_bad = false)
-    ?(limits = Limits.none) ?(profile = true) trans init =
+    ?(limits = Limits.none) ?(profile = true) ?(simplify = false) trans init =
   let man = Trans.man trans in
   let hits set =
     match bad with
@@ -25,7 +25,7 @@ let compute ?(use_mono = false) ?bad ?(stop_on_bad = false)
   let samples = ref [] in
   (* dag_size walks the whole reached set each step, which is pure
      profiling overhead on large runs — skip it unless asked. *)
-  let sample k frontier reached dt =
+  let sample k frontier reached dt saved =
     if profile then
       samples :=
         {
@@ -33,10 +33,11 @@ let compute ?(use_mono = false) ?bad ?(stop_on_bad = false)
           frontier_nodes = Bdd.dag_size frontier;
           reachable_nodes = Bdd.dag_size reached;
           step_time = dt;
+          simplify_saved = saved;
         }
         :: !samples
   in
-  sample 0 init init 0.0;
+  sample 0 init init 0.0 0;
   (* Loop state lives in refs so that an interrupt escaping an image
      computation still leaves the rings built so far in reach: the partial
      onion is returned alongside the Inconclusive verdict. *)
@@ -78,13 +79,33 @@ let compute ?(use_mono = false) ?bad ?(stop_on_bad = false)
         finish (Verdict.inconclusive ~at_step:!step Limits.Limit_steps)
       end
       else begin
-        let (fresh, reached'), dt =
+        let (fresh, reached', saved), dt =
           Obs.Clock.wall (fun () ->
-              let next = Trans.image ~use_mono trans !frontier in
+              (* Frontier simplification: [restrict] the frontier against
+                 (frontier ∨ ¬reached), i.e. minimize it treating the
+                 already-reached interior (reached ∧ ¬frontier) as don't
+                 care.  The result F' satisfies frontier ⊆ F' ⊆ reached,
+                 and any such image input preserves the exact BFS rings:
+                 the extra states have depth ≤ k, so their successors
+                 (depth ≤ k+1) either are already reached or belong to
+                 ring k+1 anyway.  Kept only when it actually shrinks the
+                 dag, so ~simplify can never inflate an image input. *)
+              let input, saved =
+                if simplify then begin
+                  let care = Bdd.dor !frontier (Bdd.dnot !reached) in
+                  let f' = Bdd.restrict !frontier ~care in
+                  let n = Bdd.dag_size !frontier in
+                  let n' = Bdd.dag_size f' in
+                  if n' < n then (f', n - n') else (!frontier, 0)
+                end
+                else (!frontier, 0)
+              in
+              let next = Trans.image ~use_mono trans input in
               let fresh = Bdd.dand next (Bdd.dnot !reached) in
-              (fresh, Bdd.dor !reached fresh))
+              (fresh, Bdd.dor !reached fresh, saved))
         in
-        if not (Bdd.is_false fresh) then sample (!step + 1) fresh reached' dt;
+        if not (Bdd.is_false fresh) then
+          sample (!step + 1) fresh reached' dt saved;
         step := !step + 1;
         reached := reached';
         frontier := fresh;

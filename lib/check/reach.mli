@@ -33,7 +33,7 @@ val complete : t -> bool
 
 val compute :
   ?use_mono:bool -> ?bad:Bdd.t -> ?stop_on_bad:bool -> ?limits:Limits.t ->
-  ?profile:bool -> Trans.t -> Bdd.t -> t
+  ?profile:bool -> ?simplify:bool -> Trans.t -> Bdd.t -> t
 (** [compute trans init].  With [stop_on_bad] (early failure detection) the
     exploration stops at the first ring intersecting [bad]; [reachable] is
     then a subset of the true reachable set.  [limits] is installed on the
@@ -43,7 +43,13 @@ val compute :
     [Inconclusive] verdict with the rings built so far.  [profile]
     (default [true]) records the per-step fixpoint profile; it costs a
     [Bdd.dag_size] traversal of the frontier and the full reached set per
-    image step, so benchmarks turn it off. *)
+    image step, so benchmarks turn it off.  [simplify] (default [false])
+    Coudert-Madre-[restrict]s each frontier against the complement of the
+    already-reached interior before the image call — the image input may
+    then include extra already-reached states, which changes no result
+    (reachable set, rings, verdict and profile steps are identical) but
+    can shrink the image input dag; nodes saved per step are reported in
+    the profile's [simplify_saved] member. *)
 
 val count_states : Trans.t -> Bdd.t -> float
 (** Number of states in a set (satisfying assignments over state bits). *)

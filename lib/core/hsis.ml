@@ -11,6 +11,7 @@ type design = {
   flat : Ast.model;
   net : Net.t;
   trans : Trans.t;
+  heuristic : Trans.heuristic;
   verilog_lines : int option;
   blifmv_lines : int;
   read_time : float;
@@ -19,9 +20,11 @@ type design = {
   mutable limits : Limits.t;
   mutable reach_cache : Reach.t option;
   mutable profile_reach : bool;
+  mutable simplify_reach : bool;
 }
 
 let set_reach_profile d b = d.profile_reach <- b
+let set_reach_simplify d b = d.simplify_reach <- b
 let set_limits d l = d.limits <- l
 let limits d = d.limits
 
@@ -49,9 +52,9 @@ let read_flat ?(heuristic = Trans.Min_width) ?verilog_lines ?timers flat =
         in
         (net, trans))
   in
-  { flat; net; trans; verilog_lines; blifmv_lines; read_time; timers;
-    verdicts = Obs.Tally.create (); limits = Limits.none;
-    reach_cache = None; profile_reach = true }
+  { flat; net; trans; heuristic; verilog_lines; blifmv_lines; read_time;
+    timers; verdicts = Obs.Tally.create (); limits = Limits.none;
+    reach_cache = None; profile_reach = true; simplify_reach = false }
 
 let read_blifmv ?heuristic src =
   let timers = Obs.Timers.create () in
@@ -81,8 +84,8 @@ let reachable d =
   | None ->
       let r =
         Obs.Timers.time d.timers "reach" (fun () ->
-            Reach.compute ~limits:d.limits ~profile:d.profile_reach d.trans
-              (Trans.initial d.trans))
+            Reach.compute ~limits:d.limits ~profile:d.profile_reach
+              ~simplify:d.simplify_reach d.trans (Trans.initial d.trans))
       in
       if Verdict.conclusive r.Reach.verdict then d.reach_cache <- Some r;
       r
@@ -206,6 +209,103 @@ let run_pif ?(early_failure = true) ?(witnesses = false) d (pif : Pif.t) =
     lc_time = List.fold_left (fun acc r -> acc +. r.pr_time) 0.0 lc;
   }
 
+let stats d = Bdd.stats (Trans.man d.trans)
+
+let snapshot d =
+  let reach =
+    match d.reach_cache with
+    | Some r -> Array.to_list r.Reach.profile
+    | None -> []
+  in
+  Obs.snapshot
+    ~phases:(Obs.Timers.to_list d.timers)
+    ~reach
+    ~relation:(Trans.rel_profile d.trans)
+    ~verdicts:(Obs.Tally.to_list d.verdicts)
+    (stats d)
+
+(* Parallel property checking: fan the (design × property) pairs of a PIF
+   file out over a [Par] domain pool.  Share-nothing — every task rebuilds
+   the design (symbol table, relation BDDs, its own manager) inside its
+   domain from the flattened AST, so no BDD state crosses domains while
+   workers run.  Results are collected by task index, so the report lists
+   properties in PIF order regardless of which worker finished first. *)
+let run_pif_par ?(early_failure = true) ?(witnesses = false)
+    ?(fail_fast = false) ~jobs d (pif : Pif.t) =
+  let open Hsis_par in
+  let tasks =
+    Array.of_list
+      (List.map (fun (name, f) -> `Ctl (name, f)) pif.Pif.p_ctl
+      @ List.map
+          (fun name ->
+            match Pif.find_automaton pif name with
+            | Some aut -> `Lc aut
+            | None -> invalid_arg ("run_pif_par: unknown automaton " ^ name))
+          pif.Pif.p_lc)
+  in
+  let run_task ~cancelled i =
+    (* Bridge pool-level cancellation (fail-fast, sibling failure) into the
+       task's own budget so BDD kernels poll it. *)
+    let sub = read_flat ~heuristic:d.heuristic d.flat in
+    sub.profile_reach <- false;
+    sub.simplify_reach <- d.simplify_reach;
+    sub.limits <- Par.with_cancelled d.limits cancelled;
+    let res =
+      match tasks.(i) with
+      | `Ctl (name, f) ->
+          `Ctl
+            (check_ctl ~fairness:pif.Pif.p_fairness ~early_failure
+               ~explain:witnesses sub ~name f)
+      | `Lc aut ->
+          `Lc
+            (check_lc ~fairness:pif.Pif.p_fairness ~early_failure
+               ~trace:witnesses sub aut)
+    in
+    (res, snapshot sub)
+  in
+  let failed (res, _snap) =
+    match res with
+    | `Ctl p -> ( match p.pr_verdict with Verdict.Fail _ -> true | _ -> false)
+    | `Lc p -> ( match p.pr_verdict with Verdict.Fail _ -> true | _ -> false)
+  in
+  let stop_when = if fail_fast then Some (fun _ r -> failed r) else None in
+  let results, pstats =
+    Par.run ~jobs ~limits:d.limits ?stop_when ~tasks:(Array.length tasks)
+      run_task
+  in
+  (* A task skipped by cancellation still yields a property result — an
+     Inconclusive(Cancelled) verdict, tallied on the parent design so the
+     merged verdict counts cover every property. *)
+  let skipped name =
+    let pr_verdict = Verdict.inconclusive Limits.Cancelled in
+    tally d pr_verdict;
+    { pr_name = name; pr_verdict; pr_time = 0.0; pr_early_step = None }
+  in
+  let ctl = ref [] and lc = ref [] and snaps = ref [] in
+  Array.iteri
+    (fun i task ->
+      match (task, results.(i)) with
+      | `Ctl (name, _), None -> ctl := skipped name :: !ctl
+      | `Lc aut, None -> lc := skipped aut.Autom.a_name :: !lc
+      | _, Some (`Ctl p, snap) ->
+          ctl := p :: !ctl;
+          snaps := snap :: !snaps
+      | _, Some (`Lc p, snap) ->
+          lc := p :: !lc;
+          snaps := snap :: !snaps)
+    tasks;
+  let ctl = List.rev !ctl and lc = List.rev !lc in
+  let merged = Obs.merge (snapshot d :: List.rev !snaps) in
+  let merged = { merged with Obs.workers = Par.worker_samples pstats } in
+  ( {
+      design_name = d.flat.Ast.m_name;
+      ctl;
+      lc;
+      mc_time = List.fold_left (fun acc r -> acc +. r.pr_time) 0.0 ctl;
+      lc_time = List.fold_left (fun acc r -> acc +. r.pr_time) 0.0 lc;
+    },
+    merged )
+
 (* CLI protocol over a whole report: any definitive failure wins (3), else
    any inconclusive result (4), else pass (0). *)
 let report_exit_code r =
@@ -229,21 +329,6 @@ let bisimulation ?class_cap d =
 let minimize d =
   Hsis_bisim.Dontcare.with_reachable d.trans
     ~reach:(reachable d).Reach.reachable
-
-let stats d = Bdd.stats (Trans.man d.trans)
-
-let snapshot d =
-  let reach =
-    match d.reach_cache with
-    | Some r -> Array.to_list r.Reach.profile
-    | None -> []
-  in
-  Obs.snapshot
-    ~phases:(Obs.Timers.to_list d.timers)
-    ~reach
-    ~relation:(Trans.rel_profile d.trans)
-    ~verdicts:(Obs.Tally.to_list d.verdicts)
-    (stats d)
 
 let verdict_cell v =
   match v with

@@ -15,6 +15,10 @@ type design = {
   flat : Ast.model;  (** flattened BLIF-MV *)
   net : Net.t;
   trans : Trans.t;
+  heuristic : Trans.heuristic;
+      (** ordering heuristic the relation was built with; {!run_pif_par}
+          tasks rebuild the design with the same heuristic so parallel
+          verdicts match sequential ones *)
   verilog_lines : int option;
   blifmv_lines : int;
   read_time : float;
@@ -31,6 +35,10 @@ type design = {
   mutable profile_reach : bool;
       (** record the per-step fixpoint profile during {!reachable}
           (default [true]; see {!set_reach_profile}) *)
+  mutable simplify_reach : bool;
+      (** [restrict]-simplify each reachability frontier against the
+          already-reached interior before the image call (default [false];
+          see {!set_reach_simplify}) *)
 }
 
 val set_reach_profile : design -> bool -> unit
@@ -38,6 +46,14 @@ val set_reach_profile : design -> bool -> unit
     {!reachable} call.  Profiling walks the frontier and the full reached
     set with [Bdd.dag_size] each image step; the CLI enables it only when
     [--stats] / [--stats-json] is passed, and benchmarks disable it. *)
+
+val set_reach_simplify : design -> bool -> unit
+(** Enable frontier simplification for subsequent {!reachable} calls: each
+    frontier is Coudert-Madre-[restrict]ed against the complement of the
+    reached interior before the image computation, which can shrink the
+    image input without changing the reachable set, the onion rings or the
+    verdict (see [Reach.compute ~simplify]).  Nodes saved per step appear
+    in the reach profile.  Default off. *)
 
 val set_limits : design -> Limits.t -> unit
 (** Install a resource budget governing every subsequent engine call on
@@ -117,6 +133,26 @@ val run_pif :
   ?early_failure:bool -> ?witnesses:bool -> design -> Pif.t -> report
 (** Check every [ctl] and [lc] property of the PIF file under its fairness
     constraints (and the design's installed {!val-limits}). *)
+
+val run_pif_par :
+  ?early_failure:bool ->
+  ?witnesses:bool ->
+  ?fail_fast:bool ->
+  jobs:int ->
+  design ->
+  Pif.t ->
+  report * Obs.snapshot
+(** {!run_pif} fanned out over a [Par] domain pool: one share-nothing task
+    per property, each rebuilding the design (own BDD manager) inside its
+    worker domain from the flattened AST.  Results are keyed by property
+    index, so the report lists properties in PIF order and verdicts match
+    {!run_pif} regardless of scheduling.  The design's {!val-limits}
+    deadline / cancellation governs the whole pool; with [fail_fast] the
+    first definitive [Fail] cancels the remaining tasks, which come back as
+    [Inconclusive (Cancelled)].  Also returns the merged observability
+    snapshot ([Obs.merge] of the parent and every task snapshot, with the
+    pool's per-worker activity in its [workers] member) — per-task manager
+    counters are not otherwise reachable once the tasks finish. *)
 
 val report_exit_code : report -> int
 (** CLI protocol: [3] if any property has a definitive [Fail] verdict,

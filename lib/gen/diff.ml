@@ -6,6 +6,7 @@ open Hsis_auto
 open Hsis_check
 open Hsis_debug
 open Hsis_limits
+open Hsis_par
 
 type kind =
   | Reach_count
@@ -45,6 +46,7 @@ type config = {
   out_dir : string option;
   gen_config : Gen.config;
   log : (string -> unit) option;
+  jobs : int;
 }
 
 let default_config =
@@ -59,6 +61,7 @@ let default_config =
     out_dir = None;
     gen_config = Gen.default;
     log = None;
+    jobs = 1;
   }
 
 type report = {
@@ -72,6 +75,7 @@ type report = {
   skips : Obs.Tally.t;
   discrepancies : discrepancy list;
   elapsed : float;
+  pool : Par.stats option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -483,9 +487,72 @@ let gen_problem cfg rng =
   let p_early = Rng.bool rng in
   (m, { p_fairness; p_ctls; p_aut; p_heuristic; p_early })
 
+(* Log + shrink + repro for one discrepancy.  Pure of shared state: the
+   built record is returned, not accumulated, so the same code serves the
+   sequential loop and parallel workers. *)
+let record_disc cfg ~log ~iter failure p m =
+  log (Printf.sprintf "iteration %d: DISCREPANCY %s" iter (describe failure));
+  let p, m =
+    if cfg.shrink then
+      shrink_problem ~limit:cfg.state_limit ?budget:cfg.budget p failure m
+    else (p, m)
+  in
+  (* re-derive the failure detail from the shrunk problem when possible,
+     so the repro describes what the shrunk file actually does *)
+  let failure =
+    if not cfg.shrink then failure
+    else
+      match
+        (run_checks ~limit:cfg.state_limit ?budget:cfg.budget p m).o_failure
+      with
+      | Some f when kind_of f = kind_of failure -> f
+      | _ -> failure
+  in
+  let repro = write_repro cfg ~iter failure p m in
+  {
+    d_iter = iter;
+    d_kind = kind_of failure;
+    d_detail = describe failure;
+    d_model = m;
+    d_ctl = (match p.p_ctls with [ f ] -> Some f | _ -> None);
+    d_automaton = p.p_aut;
+    d_fairness = p.p_fairness;
+    d_repro = repro;
+  }
+
+(* One full iteration on its own generator stream: generate, cross-check,
+   and (on a mismatch) shrink and write the repro.  Returns the outcome
+   plus the recorded discrepancy, touching no shared state — safe to run
+   from any pool worker. *)
+let run_iter cfg ~log iter rng =
+  match gen_problem cfg rng with
+  | exception e ->
+      ( base_outcome,
+        Some
+          (record_disc cfg ~log ~iter
+             (Fail_crash ("generator: " ^ Printexc.to_string e))
+             {
+               p_fairness = [];
+               p_ctls = [];
+               p_aut = None;
+               p_heuristic = Trans.Min_width;
+               p_early = false;
+             }
+             (empty_model "generator-crash")) )
+  | m, p ->
+      let o = run_checks ~limit:cfg.state_limit ?budget:cfg.budget p m in
+      (o, Option.map (fun f -> record_disc cfg ~log ~iter f p m) o.o_failure)
+
 let run cfg =
   let t0 = Obs.Clock.now () in
   let master = Rng.make cfg.seed in
+  (* Iteration i's generator is split i of the master stream, materialized
+     up front.  This draws exactly what the old per-iteration cursor drew,
+     but makes the streams index-addressable: a parallel schedule executing
+     iterations out of order still feeds iteration i bit-identical
+     randomness, so findings match the sequential run byte for byte. *)
+  let streams = Array.init cfg.iters (fun _ -> Rng.split master) in
+  let log s = match cfg.log with Some f -> f s | None -> () in
   let skips = Obs.Tally.create () in
   let discrepancies = ref [] in
   let states = ref 0 in
@@ -493,72 +560,42 @@ let run cfg =
   let lc_n = ref 0 in
   let budget_n = ref 0 in
   let traces = ref 0 in
-  let log s = match cfg.log with Some f -> f s | None -> () in
-  let record ~iter failure p m =
-    log
-      (Printf.sprintf "iteration %d: DISCREPANCY %s" iter (describe failure));
-    let p, m =
-      if cfg.shrink then
-        shrink_problem ~limit:cfg.state_limit ?budget:cfg.budget p failure m
-      else (p, m)
-    in
-    (* re-derive the failure detail from the shrunk problem when possible,
-       so the repro describes what the shrunk file actually does *)
-    let failure =
-      if not cfg.shrink then failure
-      else
-        match
-          (run_checks ~limit:cfg.state_limit ?budget:cfg.budget p m)
-            .o_failure
-        with
-        | Some f when kind_of f = kind_of failure -> f
-        | _ -> failure
-    in
-    let repro = write_repro cfg ~iter failure p m in
-    discrepancies :=
-      {
-        d_iter = iter;
-        d_kind = kind_of failure;
-        d_detail = describe failure;
-        d_model = m;
-        d_ctl = (match p.p_ctls with [ f ] -> Some f | _ -> None);
-        d_automaton = p.p_aut;
-        d_fairness = p.p_fairness;
-        d_repro = repro;
-      }
-      :: !discrepancies
+  let tally_result (o, disc) =
+    states := !states + o.o_states;
+    ctl_n := !ctl_n + o.o_ctl_checked;
+    lc_n := !lc_n + o.o_lc_checked;
+    budget_n := !budget_n + o.o_budget_checked;
+    traces := !traces + o.o_traces;
+    List.iter (fun s -> Obs.Tally.incr skips s) o.o_skips;
+    match disc with
+    | Some d -> discrepancies := d :: !discrepancies
+    | None -> ()
   in
-  for iter = 0 to cfg.iters - 1 do
-    let rng = Rng.split master in
-    match gen_problem cfg rng with
-    | exception e ->
-        record ~iter
-          (Fail_crash ("generator: " ^ Printexc.to_string e))
-          {
-            p_fairness = [];
-            p_ctls = [];
-            p_aut = None;
-            p_heuristic = Trans.Min_width;
-            p_early = false;
-          }
-          (empty_model "generator-crash")
-    | m, p ->
-        let o = run_checks ~limit:cfg.state_limit ?budget:cfg.budget p m in
-        states := !states + o.o_states;
-        ctl_n := !ctl_n + o.o_ctl_checked;
-        lc_n := !lc_n + o.o_lc_checked;
-        budget_n := !budget_n + o.o_budget_checked;
-        traces := !traces + o.o_traces;
-        List.iter (fun s -> Obs.Tally.incr skips s) o.o_skips;
-        (match o.o_failure with
-        | None -> ()
-        | Some f -> record ~iter f p m);
+  let pool =
+    if cfg.jobs <= 1 then begin
+      for iter = 0 to cfg.iters - 1 do
+        tally_result (run_iter cfg ~log iter streams.(iter));
         if (iter + 1) mod 50 = 0 then
           log
             (Printf.sprintf "%d/%d iterations, %d states, %d discrepancies"
                (iter + 1) cfg.iters !states
                (List.length !discrepancies))
-  done;
+      done;
+      None
+    end
+    else begin
+      let results, pstats =
+        Par.run ~jobs:cfg.jobs ~tasks:cfg.iters (fun ~cancelled:_ iter ->
+            run_iter cfg ~log iter streams.(iter))
+      in
+      (* Fold in iteration order: the totals and the discrepancy list come
+         out identical to a sequential run whatever the worker schedule
+         was.  (No limits are installed on the pool, so every slot is
+         filled unless a worker died on an exception, which re-raised.) *)
+      Array.iter (function Some r -> tally_result r | None -> ()) results;
+      Some pstats
+    end
+  in
   {
     config = cfg;
     iterations = cfg.iters;
@@ -570,6 +607,7 @@ let run cfg =
     skips;
     discrepancies = List.rev !discrepancies;
     elapsed = Obs.Clock.now () -. t0;
+    pool;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -622,6 +660,29 @@ let report_to_json r =
       ("discrepancies_by_kind", Obs.Tally.to_json (kinds_tally r.discrepancies));
       ("discrepancies", List (List.map disc_to_json r.discrepancies));
       ("elapsed_s", Float r.elapsed);
+      ("jobs", Int r.config.jobs);
+      ( "pool",
+        match r.pool with
+        | None -> Null
+        | Some s ->
+            Obj
+              [
+                ("jobs", Int s.Par.jobs);
+                ("tasks", Int s.Par.tasks);
+                ("completed", Int s.Par.completed);
+                ("steals", Int s.Par.steals);
+                ("wall_s", Float s.Par.wall);
+                ( "workers",
+                  List
+                    (List.map
+                       (fun (w : Obs.worker_sample) ->
+                         Obj
+                           [
+                             ("tasks", Int w.Obs.w_tasks);
+                             ("time_s", Float w.Obs.w_time);
+                           ])
+                       (Par.worker_samples s)) );
+              ] );
     ]
 
 let pp_report fmt r =
@@ -631,6 +692,11 @@ let pp_report fmt r =
      checks: %d CTL, %d LC, %d budget reruns, %d counterexamples replayed@\n"
     r.config.seed r.iterations r.elapsed r.states_explored r.ctl_checked
     r.lc_checked r.budget_checked r.traces_replayed;
+  (match r.pool with
+  | None -> ()
+  | Some s ->
+      Format.fprintf fmt "pool: %d workers, %d tasks, %d steals@\n" s.Par.jobs
+        s.Par.tasks s.Par.steals);
   (match Obs.Tally.to_list r.skips with
   | [] -> ()
   | sk ->

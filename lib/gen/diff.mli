@@ -60,6 +60,14 @@ type config = {
   out_dir : string option;  (** where to write repro files (default none) *)
   gen_config : Gen.config;
   log : (string -> unit) option;  (** progress callback *)
+  jobs : int;
+      (** worker domains to spread iterations over (default 1 =
+          sequential).  Findings are independent of [jobs]: iteration [i]
+          always consumes split [i] of the master stream, results are
+          collected by iteration index, and shrinking/repro writing are
+          per-iteration — so the report (minus [elapsed]/[pool]) and the
+          repro files are byte-identical at any job count.  With [jobs > 1]
+          progress log lines may interleave. *)
 }
 
 val default_config : config
@@ -76,16 +84,24 @@ type report = {
   skips : Obs.Tally.t;  (** skip reasons, e.g. ["system-state-limit"] *)
   discrepancies : discrepancy list;  (** oldest first *)
   elapsed : float;  (** wall-clock seconds *)
+  pool : Hsis_par.Par.stats option;
+      (** domain-pool statistics when [config.jobs > 1]; [None] for
+          sequential runs *)
 }
 
 val run : config -> report
-(** Deterministic given [config.seed]: each iteration draws from its own
-    split of the master stream, so runs are reproducible and iteration [k]
-    generates the same problem regardless of what earlier iterations did
-    with their generators. *)
+(** Deterministic given [config.seed]: the per-iteration generator streams
+    are pre-split from the master up front ([Array.init iters (fun _ ->
+    Rng.split master)]), so iteration [k] generates the same problem
+    regardless of what earlier iterations did with their generators — and,
+    with [config.jobs > 1], regardless of which worker domain runs it or in
+    what order. *)
 
 val report_to_json : report -> Obs.Json.t
 (** Schema ["hsis-fuzz/1"]: run parameters, totals, per-kind discrepancy
-    tallies and per-discrepancy records (with repro paths). *)
+    tallies and per-discrepancy records (with repro paths).  Parallel runs
+    additionally fill the ["pool"] member (worker count, steal count,
+    per-worker busy time); scheduling-independent members are byte-stable
+    across job counts. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -346,9 +346,12 @@ type reach_sample = {
   frontier_nodes : int;
   reachable_nodes : int;
   step_time : float;
+  simplify_saved : int;
 }
 
 type rel_profile = { rel_parts : int; rel_nodes : int; rel_largest : int }
+
+type worker_sample = { w_tasks : int; w_time : float }
 
 (* ------------------------------------------------------------------ *)
 (* Phase timers *)
@@ -428,10 +431,12 @@ type snapshot = {
   reach : reach_sample list;
   relation : rel_profile option;
   verdicts : (string * int) list;
+  workers : worker_sample list;
 }
 
-let snapshot ?(phases = []) ?(reach = []) ?relation ?(verdicts = []) man =
-  { man; phases; reach; relation; verdicts }
+let snapshot ?(phases = []) ?(reach = []) ?relation ?(verdicts = [])
+    ?(workers = []) man =
+  { man; phases; reach; relation; verdicts; workers }
 
 (* [diff before after]: monotone counters are subtracted (clamped at zero so
    the result is always non-negative), gauges — live/dead/peak nodes, cache
@@ -501,6 +506,103 @@ let diff before after =
     reach = after.reach;
     relation = after.relation;
     verdicts = List.map (tally_diff before.verdicts) after.verdicts;
+    workers = after.workers;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Merging share-nothing parallel runs *)
+
+(* Sum an assoc tally in first-seen key order — associative because list
+   concatenation is, and each key's total is a plain sum. *)
+let merge_tallies add zero tallies =
+  List.fold_left
+    (fun acc entries ->
+      List.fold_left
+        (fun acc (name, v) ->
+          let rec go = function
+            | [] -> [ (name, add zero v) ]
+            | (n, u) :: rest when String.equal n name -> (n, add u v) :: rest
+            | e :: rest -> e :: go rest
+          in
+          go acc)
+        acc entries)
+    [] tallies
+
+let merge snapshots =
+  let mans = List.map (fun s -> s.man) snapshots in
+  let ops =
+    (* per-op tallies keyed by kernel name, merged pairwise *)
+    List.fold_left
+      (fun acc m ->
+        List.fold_left
+          (fun acc (o : Cache.op) ->
+            let rec go = function
+              | [] -> [ o ]
+              | (p : Cache.op) :: rest when String.equal p.name o.name ->
+                  { p with
+                    Cache.hits = p.hits + o.hits;
+                    misses = p.misses + o.misses }
+                  :: rest
+              | p :: rest -> p :: go rest
+            in
+            go acc)
+          acc m.cache.Cache.ops)
+      [] mans
+  in
+  let sum f = List.fold_left (fun acc m -> acc + f m) 0 mans in
+  let sumf f = List.fold_left (fun acc m -> acc +. f m) 0.0 mans in
+  let man =
+    {
+      cache =
+        {
+          Cache.entries = sum (fun m -> m.cache.Cache.entries);
+          slots = sum (fun m -> m.cache.Cache.slots);
+          evictions = sum (fun m -> m.cache.Cache.evictions);
+          ops;
+        };
+      gc =
+        {
+          Gc.runs = sum (fun m -> m.gc.Gc.runs);
+          freed = sum (fun m -> m.gc.Gc.freed);
+          time = sumf (fun m -> m.gc.Gc.time);
+        };
+      reorder =
+        {
+          Reorder.runs = sum (fun m -> m.reorder.Reorder.runs);
+          time = sumf (fun m -> m.reorder.Reorder.time);
+        };
+      arena =
+        {
+          Arena.live = sum (fun m -> m.arena.Arena.live);
+          dead = sum (fun m -> m.arena.Arena.dead);
+          (* vars is a per-manager ordering width, not an additive count *)
+          vars =
+            List.fold_left (fun acc m -> max acc m.arena.Arena.vars) 0 mans;
+          peak_live = sum (fun m -> m.arena.Arena.peak_live);
+          capacity = sum (fun m -> m.arena.Arena.capacity);
+        };
+      limits =
+        {
+          Limit.checks = sum (fun m -> m.limits.Limit.checks);
+          interrupts =
+            merge_tallies ( + ) 0
+              (List.map (fun m -> m.limits.Limit.interrupts) mans);
+        };
+    }
+  in
+  let first_non_empty f =
+    List.fold_left
+      (fun acc s -> match acc with [] -> f s | _ -> acc)
+      [] snapshots
+  in
+  {
+    man;
+    phases =
+      merge_tallies ( +. ) 0.0 (List.map (fun s -> s.phases) snapshots);
+    reach = first_non_empty (fun s -> s.reach);
+    relation = List.find_map (fun s -> s.relation) snapshots;
+    verdicts = merge_tallies ( + ) 0 (List.map (fun s -> s.verdicts) snapshots);
+    workers = List.concat_map (fun s -> s.workers) snapshots;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -545,6 +647,16 @@ let pp fmt s =
       s.verdicts;
     Format.fprintf fmt "@."
   end;
+  if s.workers <> [] then begin
+    Format.fprintf fmt "workers     : %d" (List.length s.workers);
+    List.iteri
+      (fun i w ->
+        Format.fprintf fmt "%s w%d %d tasks %.3fs"
+          (if i = 0 then " —" else ",")
+          i w.w_tasks w.w_time)
+      s.workers;
+    Format.fprintf fmt "@."
+  end;
   (match s.relation with
   | Some r ->
       Format.fprintf fmt "relation    : %d parts, %d nodes (largest %d)@."
@@ -565,19 +677,30 @@ let pp fmt s =
       Format.fprintf fmt
         "reach       : %d frontiers, peak frontier %d nodes@." (List.length samples)
         peak;
+      let saved =
+        List.fold_left (fun acc r -> acc + r.simplify_saved) 0 samples
+      in
+      if saved <> 0 then
+        Format.fprintf fmt
+          "  frontier simplification saved %d image-input nodes@." saved;
       List.iter
         (fun r ->
           Format.fprintf fmt
-            "  step %3d: frontier %7d nodes, reached %7d nodes, %.3fs@."
-            r.step r.frontier_nodes r.reachable_nodes r.step_time)
+            "  step %3d: frontier %7d nodes, reached %7d nodes, %.3fs%s@."
+            r.step r.frontier_nodes r.reachable_nodes r.step_time
+            (if r.simplify_saved <> 0 then
+               Printf.sprintf " (restrict saved %d)" r.simplify_saved
+             else ""))
         samples
 
-(* /2 added the cache "slots" and "evictions" members; /3 adds the "limits"
-   object (budget checks and per-reason interrupt counts) and the top-level
-   "verdicts" tally.  Each bump is additive: older readers ignore the new
-   members, and of_json defaults them to zero/empty when reading /1 or /2
-   documents. *)
-let schema_version = "hsis-obs/3"
+(* /2 added the cache "slots" and "evictions" members; /3 added the
+   "limits" object (budget checks and per-reason interrupt counts) and the
+   top-level "verdicts" tally; /4 adds the "workers" member (per-worker
+   task counts and wall time of a merged parallel run) and the per-step
+   "simplify_saved" member of the reach profile.  Each bump is additive:
+   older readers ignore the new members, and of_json defaults them to
+   zero/empty when reading older documents. *)
+let schema_version = "hsis-obs/4"
 
 let to_json s =
   let open Json in
@@ -591,7 +714,11 @@ let to_json s =
     Obj
       [ ("step", Int r.step); ("frontier_nodes", Int r.frontier_nodes);
         ("reachable_nodes", Int r.reachable_nodes);
-        ("time_s", Float r.step_time) ]
+        ("time_s", Float r.step_time);
+        ("simplify_saved", Int r.simplify_saved) ]
+  in
+  let worker w =
+    Obj [ ("tasks", Int w.w_tasks); ("time_s", Float w.w_time) ]
   in
   Obj
     ([
@@ -630,6 +757,21 @@ let to_json s =
        ("phases", List (List.map phase s.phases));
        ("reach_profile", List (List.map sample s.reach));
      ]
+    @ (match s.workers with
+      | [] -> []
+      | ws ->
+          [
+            ( "workers",
+              Obj
+                [
+                  ("count", Int (List.length ws));
+                  ( "total_time_s",
+                    Float
+                      (List.fold_left (fun acc w -> acc +. w.w_time) 0.0 ws)
+                  );
+                  ("workers", List (List.map worker ws));
+                ] );
+          ])
     @
     match s.relation with
     | None -> []
@@ -713,8 +855,22 @@ let of_json j =
           frontier_nodes = to_int (member "frontier_nodes" jr);
           reachable_nodes = to_int (member "reachable_nodes" jr);
           step_time = to_float (member "time_s" jr);
+          simplify_saved = to_int (member "simplify_saved" jr);
         })
       (to_list (member "reach_profile" j))
+  in
+  (* Absent on /1–/3 documents: a single-manager snapshot has no workers. *)
+  let workers =
+    match member "workers" j with
+    | None -> []
+    | Some jw ->
+        List.map
+          (fun w ->
+            {
+              w_tasks = to_int (member "tasks" w);
+              w_time = to_float (member "time_s" w);
+            })
+          (to_list (member "workers" jw))
   in
   let relation =
     match member "relation" j with
@@ -727,6 +883,7 @@ let of_json j =
             rel_largest = to_int (member "largest" jr);
           }
   in
-  { man = { cache; gc; reorder; arena; limits }; phases; reach; relation; verdicts }
+  { man = { cache; gc; reorder; arena; limits }; phases; reach; relation;
+    verdicts; workers }
 
 let json_string s = Json.to_string (to_json s)

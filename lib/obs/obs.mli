@@ -130,8 +130,18 @@ type reach_sample = {
   frontier_nodes : int;  (** dag size of the new-states frontier *)
   reachable_nodes : int;  (** dag size of the reached-set BDD so far *)
   step_time : float;  (** seconds to compute this frontier (0 at step 0) *)
+  simplify_saved : int;
+      (** dag nodes shaved off the image input by frontier [restrict]
+          simplification ([Reach.compute ~simplify]); 0 when off *)
 }
 (** One point of the per-iteration fixpoint profile recorded by [Reach]. *)
+
+type worker_sample = {
+  w_tasks : int;  (** tasks this pool worker executed *)
+  w_time : float;  (** wall-clock seconds it spent inside tasks *)
+}
+(** Per-worker activity of a parallel run ([Par] pool), carried on merged
+    snapshots as the [workers] member (schema hsis-obs/4). *)
 
 type rel_profile = { rel_parts : int; rel_nodes : int; rel_largest : int }
 (** Shape of the conjunctively partitioned transition relation. *)
@@ -188,6 +198,9 @@ type snapshot = {
   verdicts : (string * int) list;
       (** verdict name (["pass"], ["fail"], ["inconclusive"]) -> count of
           property results produced, in first-seen order (monotone) *)
+  workers : worker_sample list;
+      (** per-worker activity when this snapshot aggregates a parallel run
+          ({!merge}); empty for single-manager snapshots *)
 }
 
 val snapshot :
@@ -195,6 +208,7 @@ val snapshot :
   ?reach:reach_sample list ->
   ?relation:rel_profile ->
   ?verdicts:(string * int) list ->
+  ?workers:worker_sample list ->
   man_stats ->
   snapshot
 
@@ -202,12 +216,25 @@ val diff : snapshot -> snapshot -> snapshot
 (** [diff before after]: monotone counters (cache hits/misses, gc, reorder,
     limit checks/interrupts, verdict tallies, phase times) subtracted and
     clamped at zero; gauges (arena, cache entries, reach profile, relation
-    profile) taken from [after]. *)
+    profile, workers) taken from [after]. *)
+
+val merge : snapshot list -> snapshot
+(** Aggregate the snapshots of a share-nothing parallel run (one BDD
+    manager per task) into one document.  Counters (cache hits/misses,
+    evictions, gc, reorder, limit activity, verdict tallies, phase times)
+    and additive gauges (live/dead/peak nodes, capacities, cache slots)
+    are summed; [vars] takes the maximum; the reach profile is the first
+    non-empty one and the relation profile the first present one (the
+    parent design's, by convention, when it is the head of the list);
+    [workers] lists are concatenated.  Associative: [merge [a; merge [b;
+    c]]] = [merge [merge [a; b]; c]] — so per-worker partial merges
+    compose.  [merge [] ] is the all-zero snapshot. *)
 
 val schema_version : string
-(** Value of the ["schema"] member of emitted JSON ("hsis-obs/3"; /2 added
+(** Value of the ["schema"] member of emitted JSON ("hsis-obs/4"; /2 added
     the additive cache ["slots"]/["evictions"] members, /3 the ["limits"]
-    object and ["verdicts"] tally). *)
+    object and ["verdicts"] tally, /4 the ["workers"] member and the
+    per-step ["simplify_saved"] reach-profile member). *)
 
 val pp : Format.formatter -> snapshot -> unit
 (** Human-readable multi-line report. *)

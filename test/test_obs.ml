@@ -282,6 +282,90 @@ let test_schema_compat () =
     snap.Obs.man.Obs.limits.Obs.Limit.interrupts
     snap'.Obs.man.Obs.limits.Obs.Limit.interrupts
 
+(* Merging share-nothing per-task snapshots: counters sum, gauges combine,
+   worker samples concatenate — and the operation is associative, so
+   per-worker partial merges compose.  Phase/worker times use exact binary
+   fractions so float sums are order-independent and structural equality
+   is exact. *)
+let test_merge () =
+  let w t s = { Obs.w_tasks = t; Obs.w_time = s } in
+  let mk rounds phases verdicts workers =
+    let man = Bdd.new_man () in
+    ignore (workload man rounds);
+    Obs.snapshot ~phases ~verdicts ~workers (Bdd.stats man)
+  in
+  let a = mk 4 [ ("reach", 1.0) ] [ ("pass", 2) ] [ w 3 0.5 ] in
+  let b = mk 9 [ ("reach", 0.5); ("mc", 0.25) ] [ ("fail", 1) ] [ w 1 0.25 ] in
+  let c = mk 14 [ ("lc", 2.0) ] [ ("pass", 4) ] [] in
+  let m = Obs.merge [ a; b; c ] in
+  let hits s = Obs.Cache.hits s.Obs.man.Obs.cache in
+  let misses s = Obs.Cache.misses s.Obs.man.Obs.cache in
+  Alcotest.(check int) "hits sum" (hits a + hits b + hits c) (hits m);
+  Alcotest.(check int) "misses sum" (misses a + misses b + misses c)
+    (misses m);
+  let live s = s.Obs.man.Obs.arena.Obs.Arena.live in
+  Alcotest.(check int) "live nodes sum" (live a + live b + live c) (live m);
+  let vars s = s.Obs.man.Obs.arena.Obs.Arena.vars in
+  Alcotest.(check int) "vars is the max" (max (vars a) (max (vars b) (vars c)))
+    (vars m);
+  Alcotest.(check (list (pair string (float 1e-9)))) "phases sum in order"
+    [ ("reach", 1.5); ("mc", 0.25); ("lc", 2.0) ]
+    m.Obs.phases;
+  Alcotest.(check (list (pair string int))) "verdict tallies sum"
+    [ ("pass", 6); ("fail", 1) ]
+    m.Obs.verdicts;
+  Alcotest.(check bool) "worker samples concatenate" true
+    (m.Obs.workers = [ w 3 0.5; w 1 0.25 ]);
+  (* associativity: partial merges compose *)
+  Alcotest.(check bool) "associative" true
+    (Obs.merge [ a; Obs.merge [ b; c ] ]
+    = Obs.merge [ Obs.merge [ a; b ]; c ]);
+  (* neutral element *)
+  let z = Obs.merge [] in
+  Alcotest.(check int) "merge [] has zero hits" 0 (hits z);
+  Alcotest.(check bool) "merge [] is empty" true
+    (z.Obs.phases = [] && z.Obs.verdicts = [] && z.Obs.workers = []);
+  Alcotest.(check bool) "merge [x] keeps counters" true
+    (hits (Obs.merge [ a ]) = hits a)
+
+(* /4 adds the workers member (and per-step simplify_saved): it must
+   round-trip, and documents from every earlier generation must still
+   parse with workers defaulting to empty. *)
+let test_workers_roundtrip () =
+  let man = Bdd.new_man () in
+  ignore (workload man 6);
+  let snap =
+    Obs.snapshot
+      ~workers:
+        [
+          { Obs.w_tasks = 5; Obs.w_time = 1.25 };
+          { Obs.w_tasks = 2; Obs.w_time = 0.5 };
+        ]
+      (Bdd.stats man)
+  in
+  let snap' = Obs.of_json (Obs.Json.parse (Obs.json_string snap)) in
+  Alcotest.(check bool) "workers survive the round-trip" true
+    (snap.Obs.workers = snap'.Obs.workers);
+  (* a /3 document has no workers member *)
+  let v3 =
+    Obs.of_json
+      (Obs.Json.parse {|{"schema":"hsis-obs/3","limits":{"checks":1}}|})
+  in
+  Alcotest.(check bool) "v3 workers default empty" true (v3.Obs.workers = []);
+  (* a /3 reach profile has no simplify_saved member *)
+  let v3r =
+    Obs.of_json
+      (Obs.Json.parse
+         {|{"schema":"hsis-obs/3",
+            "reach_profile":[{"step":0,"frontier_nodes":3,"reachable_nodes":3,"step_time":0.0}]}|})
+  in
+  (match v3r.Obs.reach with
+  | [ s ] ->
+      Alcotest.(check int) "v3 simplify_saved defaults 0" 0
+        s.Obs.simplify_saved
+  | _ -> Alcotest.fail "v3 reach profile lost");
+  Alcotest.(check string) "schema is /4" "hsis-obs/4" Obs.schema_version
+
 let () =
   Alcotest.run "obs"
     [
@@ -305,5 +389,8 @@ let () =
           Alcotest.test_case "design roundtrip" `Quick
             test_design_snapshot_roundtrip;
           Alcotest.test_case "schema compat /1 /2 /3" `Quick test_schema_compat;
+          Alcotest.test_case "merge sums and is associative" `Quick test_merge;
+          Alcotest.test_case "workers member round-trip + compat" `Quick
+            test_workers_roundtrip;
         ] );
     ]

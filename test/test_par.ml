@@ -1,0 +1,312 @@
+(* The domain pool and the job-count invariance contracts: pool mechanics
+   (ordered results, fail-fast, cancellation, error re-raise), fuzz runs
+   whose findings must be identical at -j 1/2/4 (including the shrink +
+   repro-file pipeline, exercised via a config that crashes the
+   generator), and parallel property checking matching run_pif. *)
+
+open Hsis_obs
+open Hsis_limits
+open Hsis_par
+open Hsis_core
+open Hsis_models
+
+(* ------------------------------------------------------------------ *)
+(* Pool mechanics *)
+
+let test_pool_results () =
+  let results, stats =
+    Par.run ~jobs:4 ~tasks:25 (fun ~cancelled:_ i -> i * i)
+  in
+  Alcotest.(check int) "all slots" 25 (Array.length results);
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check (option int)) (Printf.sprintf "slot %d" i)
+        (Some (i * i)) r)
+    results;
+  Alcotest.(check int) "completed" 25 stats.Par.completed;
+  Alcotest.(check int) "cancelled" 0 stats.Par.cancelled;
+  Alcotest.(check int) "workers ran every task once" 25
+    (Array.fold_left ( + ) 0 stats.Par.worker_tasks);
+  Alcotest.(check int) "worker sample count" stats.Par.jobs
+    (List.length (Par.worker_samples stats))
+
+let test_pool_sequential_order () =
+  (* a one-worker pool must behave like a plain for-loop: ascending task
+     order, no domain spawned (the order ref would race otherwise) *)
+  let order = ref [] in
+  let results, _ =
+    Par.run ~jobs:1 ~tasks:6 (fun ~cancelled:_ i ->
+        order := i :: !order;
+        i)
+  in
+  Alcotest.(check (list int)) "ascending at one job" [ 0; 1; 2; 3; 4; 5 ]
+    (List.rev !order);
+  Alcotest.(check bool) "all done" true (Array.for_all (( <> ) None) results)
+
+let test_pool_exception () =
+  Alcotest.check_raises "task exception re-raised" (Failure "boom")
+    (fun () ->
+      ignore
+        (Par.run ~jobs:2 ~tasks:8 (fun ~cancelled:_ i ->
+             if i = 3 then failwith "boom")))
+
+let test_pool_cancelled_budget () =
+  (* an already-cancelled pool budget skips every task *)
+  let limits =
+    { Limits.none with Limits.cancelled = Some (fun () -> true) }
+  in
+  let results, stats =
+    Par.run ~jobs:2 ~limits ~tasks:5 (fun ~cancelled:_ i -> i)
+  in
+  Alcotest.(check bool) "all skipped" true (Array.for_all (( = ) None) results);
+  Alcotest.(check int) "cancelled count" 5 stats.Par.cancelled;
+  (* map refuses to return a partial result set *)
+  Alcotest.check_raises "map raises on cancellation"
+    (Limits.Interrupted Limits.Cancelled) (fun () ->
+      ignore (Par.map ~jobs:2 ~limits (fun x -> x) [ 1; 2; 3 ]))
+
+let test_pool_fail_fast () =
+  let results, stats =
+    Par.run ~jobs:1 ~tasks:10
+      ~stop_when:(fun _ r -> r = 4)
+      ~limits:Limits.none
+      (fun ~cancelled:_ i -> i * 2)
+  in
+  Alcotest.(check (option int)) "task 0 ran" (Some 0) results.(0);
+  Alcotest.(check (option int)) "task 2 (the trigger) ran" (Some 4)
+    results.(2);
+  for i = 3 to 9 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "task %d cancelled" i)
+      None results.(i)
+  done;
+  Alcotest.(check int) "completed" 3 stats.Par.completed;
+  Alcotest.(check int) "cancelled" 7 stats.Par.cancelled
+
+let test_map_order () =
+  let rs, _ = Par.map ~jobs:3 (fun x -> x + 1) [ 5; 1; 9; 7 ] in
+  Alcotest.(check (list int)) "order preserved" [ 6; 2; 10; 8 ] rs
+
+let test_with_cancelled () =
+  let flag = ref false in
+  let l = Par.with_cancelled Limits.none (fun () -> !flag) in
+  Alcotest.(check bool) "no breach initially" true
+    (Limits.breach l ~live:0 = None);
+  flag := true;
+  Alcotest.(check bool) "breach once the pool flag flips" true
+    (Limits.breach l ~live:0 <> None);
+  (* composition keeps the budget's own callback *)
+  let own = ref false in
+  let base =
+    { Limits.none with Limits.cancelled = Some (fun () -> !own) }
+  in
+  let l2 = Par.with_cancelled base (fun () -> false) in
+  Alcotest.(check bool) "own callback still consulted" true
+    (Limits.breach l2 ~live:0 = None
+    &&
+    (own := true;
+     Limits.breach l2 ~live:0 <> None))
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz job-count invariance *)
+
+let canon_fuzz report =
+  (* the scheduling-independent part of the report JSON: everything minus
+     wall-clock and pool statistics *)
+  match Hsis_gen.Diff.report_to_json report with
+  | Obs.Json.Obj ms ->
+      Obs.Json.to_string
+        (Obs.Json.Obj
+           (List.filter
+              (fun (k, _) ->
+                not (List.mem k [ "elapsed_s"; "jobs"; "pool" ]))
+              ms))
+  | j -> Obs.Json.to_string j
+
+let fuzz_cfg ~iters ~seed jobs =
+  { Hsis_gen.Diff.default_config with Hsis_gen.Diff.iters; seed; jobs }
+
+let test_fuzz_jobs_invariance () =
+  List.iter
+    (fun seed ->
+      let run j = Hsis_gen.Diff.run (fuzz_cfg ~iters:12 ~seed j) in
+      let r1 = canon_fuzz (run 1) in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: -j 2 report identical" seed)
+        r1
+        (canon_fuzz (run 2));
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: -j 4 report identical" seed)
+        r1
+        (canon_fuzz (run 4)))
+    [ 42; 1994 ]
+
+(* A generator config with no latches makes every iteration die inside
+   [Gen.flat], which drives the whole discrepancy pipeline — crash record,
+   shrinking, repro writing — deterministically at any job count. *)
+let crash_cfg ~seed ~out_dir jobs =
+  {
+    (fuzz_cfg ~iters:3 ~seed jobs) with
+    Hsis_gen.Diff.out_dir;
+    gen_config =
+      { Hsis_gen.Gen.default with Hsis_gen.Gen.max_latches = 0 };
+  }
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let dir_contents dir =
+  Sys.readdir dir |> Array.to_list |> List.sort compare
+  |> List.map (fun f -> (f, read_file (Filename.concat dir f)))
+
+let test_crash_pipeline_invariance () =
+  (* relative paths: the test runs in dune's sandbox directory *)
+  let d1 = "par-crash-repros-j1" and d2 = "par-crash-repros-j2" in
+  let r1 = Hsis_gen.Diff.run (crash_cfg ~seed:7 ~out_dir:(Some d1) 1) in
+  let r2 = Hsis_gen.Diff.run (crash_cfg ~seed:7 ~out_dir:(Some d2) 2) in
+  Alcotest.(check int) "every iteration is a discrepancy" 3
+    (List.length r1.Hsis_gen.Diff.discrepancies);
+  List.iter
+    (fun (d : Hsis_gen.Diff.discrepancy) ->
+      Alcotest.(check string) "crash kind" "crash"
+        (Hsis_gen.Diff.kind_name d.Hsis_gen.Diff.d_kind))
+    r1.Hsis_gen.Diff.discrepancies;
+  (* same findings... *)
+  let key (d : Hsis_gen.Diff.discrepancy) =
+    (d.Hsis_gen.Diff.d_iter, d.Hsis_gen.Diff.d_kind, d.Hsis_gen.Diff.d_detail)
+  in
+  Alcotest.(check bool) "discrepancy lists identical" true
+    (List.map key r1.Hsis_gen.Diff.discrepancies
+    = List.map key r2.Hsis_gen.Diff.discrepancies);
+  (* ...and byte-identical repro files *)
+  Alcotest.(check bool) "repro files identical" true
+    (dir_contents d1 = dir_contents d2);
+  Alcotest.(check bool) "repro files were written" true (dir_contents d1 <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Parallel property checking *)
+
+let prop_keys ps =
+  List.map
+    (fun p -> (p.Hsis.pr_name, Verdict.name p.Hsis.pr_verdict))
+    ps
+
+let test_check_par_matches_seq () =
+  let m = Option.get (Models.by_name "pingpong") in
+  let pif = Model.parse_pif m in
+  let seq =
+    Hsis.run_pif ~witnesses:false (Hsis.read_verilog m.Model.verilog) pif
+  in
+  let par, snap =
+    Hsis.run_pif_par ~witnesses:false ~jobs:2
+      (Hsis.read_verilog m.Model.verilog)
+      pif
+  in
+  Alcotest.(check (list (pair string string))) "ctl verdicts match"
+    (prop_keys seq.Hsis.ctl) (prop_keys par.Hsis.ctl);
+  Alcotest.(check (list (pair string string))) "lc verdicts match"
+    (prop_keys seq.Hsis.lc) (prop_keys par.Hsis.lc);
+  Alcotest.(check int) "exit codes match"
+    (Hsis.report_exit_code seq)
+    (Hsis.report_exit_code par);
+  (* the merged snapshot aggregates every task manager and carries the
+     pool's per-worker activity *)
+  Alcotest.(check int) "two worker samples" 2 (List.length snap.Obs.workers);
+  let props = List.length seq.Hsis.ctl + List.length seq.Hsis.lc in
+  Alcotest.(check int) "merged verdict tally covers every property" props
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 snap.Obs.verdicts);
+  Alcotest.(check int) "every task executed" props
+    (List.fold_left
+       (fun acc (w : Obs.worker_sample) -> acc + w.Obs.w_tasks)
+       0 snap.Obs.workers)
+
+let test_check_fail_fast_exit_code () =
+  (* fail-fast may skip siblings (inconclusive) but a definitive failure
+     must still dominate the exit code; on an all-pass design fail-fast
+     changes nothing *)
+  let m = Option.get (Models.by_name "pingpong") in
+  let pif = Model.parse_pif m in
+  let report, _ =
+    Hsis.run_pif_par ~witnesses:false ~fail_fast:true ~jobs:2
+      (Hsis.read_verilog m.Model.verilog)
+      pif
+  in
+  Alcotest.(check int) "all-pass design unaffected by fail-fast" 0
+    (Hsis.report_exit_code report)
+
+(* ------------------------------------------------------------------ *)
+(* Frontier simplification is result-invariant *)
+
+let test_reach_simplify_invariant () =
+  let m = Option.get (Models.by_name "pingpong") in
+  let d = Hsis.read_verilog m.Model.verilog in
+  let init = Hsis_fsm.Trans.initial d.Hsis.trans in
+  let plain = Hsis_check.Reach.compute d.Hsis.trans init in
+  let simp = Hsis_check.Reach.compute ~simplify:true d.Hsis.trans init in
+  Alcotest.(check bool) "reachable set identical" true
+    (Hsis_bdd.Bdd.equal plain.Hsis_check.Reach.reachable
+       simp.Hsis_check.Reach.reachable);
+  Alcotest.(check int) "same step count" plain.Hsis_check.Reach.steps
+    simp.Hsis_check.Reach.steps;
+  Alcotest.(check int) "same ring count"
+    (Array.length plain.Hsis_check.Reach.rings)
+    (Array.length simp.Hsis_check.Reach.rings);
+  Array.iteri
+    (fun k r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "ring %d identical" k)
+        true
+        (Hsis_bdd.Bdd.equal r simp.Hsis_check.Reach.rings.(k)))
+    plain.Hsis_check.Reach.rings;
+  Alcotest.(check bool) "same verdict" true
+    (plain.Hsis_check.Reach.verdict = simp.Hsis_check.Reach.verdict);
+  (* saved-node accounting present and sane *)
+  Array.iter
+    (fun (s : Obs.reach_sample) ->
+      Alcotest.(check bool) "saved >= 0" true (s.Obs.simplify_saved >= 0))
+    simp.Hsis_check.Reach.profile;
+  Array.iter
+    (fun (s : Obs.reach_sample) ->
+      Alcotest.(check int) "plain run saves nothing" 0 s.Obs.simplify_saved)
+    plain.Hsis_check.Reach.profile
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "ordered results" `Quick test_pool_results;
+          Alcotest.test_case "sequential order at -j 1" `Quick
+            test_pool_sequential_order;
+          Alcotest.test_case "exception re-raise" `Quick test_pool_exception;
+          Alcotest.test_case "cancelled budget skips all" `Quick
+            test_pool_cancelled_budget;
+          Alcotest.test_case "fail-fast" `Quick test_pool_fail_fast;
+          Alcotest.test_case "map preserves order" `Quick test_map_order;
+          Alcotest.test_case "with_cancelled composes" `Quick
+            test_with_cancelled;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "findings identical at -j 1/2/4" `Slow
+            test_fuzz_jobs_invariance;
+          Alcotest.test_case "crash/shrink/repro pipeline invariant" `Quick
+            test_crash_pipeline_invariance;
+        ] );
+      ( "check",
+        [
+          Alcotest.test_case "parallel matches sequential" `Quick
+            test_check_par_matches_seq;
+          Alcotest.test_case "fail-fast exit code" `Quick
+            test_check_fail_fast_exit_code;
+        ] );
+      ( "reach",
+        [
+          Alcotest.test_case "simplify is result-invariant" `Quick
+            test_reach_simplify_invariant;
+        ] );
+    ]
