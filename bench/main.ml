@@ -12,6 +12,8 @@
      bech         Bechamel micro-benchmarks
      bdd          BDD kernel ops/s (and/ite/exists/and_exists) -> BENCH_bdd.json
      par [jobs]   parallel scaling (fuzz + check fan-out)  -> BENCH_par.json
+     serve [N]    daemon cold-vs-warm latency + N-client throughput
+                  -> BENCH_serve.json
      json         observability smoke check: emit + re-parse a stats JSON
 
    With no argument everything runs (Table 1 at paper scale last, since
@@ -696,6 +698,227 @@ let par_bench ?(jobs = 4) () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Serve-mode benchmark -> BENCH_serve.json.
+
+   Two measurements that justify the daemon's existence:
+
+   - re-check latency, cold vs warm: a user edits one property and
+     re-checks.  Cold pays parse/flatten/order/relation/reach before the
+     property runs; warm hits the session cache and runs just the
+     property.  Same single-property PIF both times, so the ratio
+     isolates the cached-state win.
+   - throughput under concurrent clients: N client threads hammer a
+     Unix-socket daemon with check jobs over a warm cache; jobs/sec is
+     wall-clock over total completed jobs. *)
+
+let serve_bench ?(clients = 2) ?(jobs_per_client = 20) () =
+  let open Hsis_serve in
+  (* One edited property: take the model's first invariant-style (AG)
+     ctl line — the canonical edit-and-re-check workload — and rename
+     it, as if the user had just rewritten it. *)
+  let edited_property (m : Model.t) =
+    let lines = String.split_on_char '\n' m.Model.pif in
+    let is_ctl l =
+      let l = String.trim l in
+      String.length l > 4 && String.sub l 0 4 = "ctl "
+    in
+    let is_invariant l = is_ctl l && String.length l > 0
+      && Option.is_some (String.index_opt l '"')
+      &&
+      let q = String.index l '"' in
+      String.length l > q + 3 && String.sub l (q + 1) 3 = "AG "
+    in
+    let line =
+      match List.find_opt is_invariant lines with
+      | Some l -> Some l
+      | None -> List.find_opt is_ctl lines
+    in
+    match line with
+    | None -> failwith (m.Model.name ^ ": no ctl property to edit")
+    | Some line -> (
+        match String.split_on_char ' ' (String.trim line) with
+        | "ctl" :: name :: rest ->
+            String.concat " " (("ctl" :: (name ^ "_v2") :: rest))
+        | _ -> failwith (m.Model.name ^ ": unparseable ctl line"))
+  in
+  let check_request ?(id = Obs.Json.Null) ?pif source =
+    {
+      Proto.r_id = id;
+      r_op = Proto.Check;
+      r_design = Some source;
+      r_pif = pif;
+      r_budget = Proto.no_budget;
+      r_jobs = None;
+      r_fail_fast = false;
+      r_witnesses = false;
+      r_stats = false;
+    }
+  in
+  pr "serve bench: re-check latency (one edited property), cold vs warm@.";
+  let server = Server.create () in
+  let recheck_rows =
+    List.map
+      (fun (m : Model.t) ->
+        let req =
+          check_request ~pif:(edited_property m)
+            (Proto.Verilog m.Model.verilog)
+        in
+        let cold = Server.handle_request server req in
+        let warm = Server.handle_request server req in
+        (match (cold.Proto.p_status, warm.Proto.p_status) with
+        | `Ok, `Ok -> ()
+        | _ ->
+            prerr_endline ("serve bench: " ^ m.Model.name ^ " errored");
+            exit 1);
+        if cold.Proto.p_exit_code <> warm.Proto.p_exit_code then begin
+          prerr_endline
+            ("serve bench: warm verdict diverged on " ^ m.Model.name);
+          exit 1
+        end;
+        let speedup =
+          cold.Proto.p_elapsed /. Float.max 1e-9 warm.Proto.p_elapsed
+        in
+        pr "  %-12s cold %8.4fs  warm %8.4fs  (%6.1fx)@." m.Model.name
+          cold.Proto.p_elapsed warm.Proto.p_elapsed speedup;
+        (m, cold.Proto.p_elapsed, warm.Proto.p_elapsed, speedup))
+      (Models.table1_small ())
+  in
+  let cold_total =
+    List.fold_left (fun a (_, c, _, _) -> a +. c) 0.0 recheck_rows
+  in
+  let warm_total =
+    List.fold_left (fun a (_, _, w, _) -> a +. w) 0.0 recheck_rows
+  in
+  let total_speedup = cold_total /. Float.max 1e-9 warm_total in
+  pr "  %-12s cold %8.4fs  warm %8.4fs  (%6.1fx)@." "TOTAL" cold_total
+    warm_total total_speedup;
+  (* Throughput: a socket daemon under [clients] concurrent client
+     threads, cache pre-warmed so the steady state is measured. *)
+  pr "serve bench: throughput, %d clients x %d jobs@." clients
+    jobs_per_client;
+  let socket_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hsis-bench-%d.sock" (Unix.getpid ()))
+  in
+  let daemon = Server.create () in
+  let daemon_thread =
+    Thread.create (fun () -> Server.listen daemon ~socket_path) ()
+  in
+  let wait_for_socket () =
+    let rec go n =
+      if n = 0 then failwith "serve bench: daemon socket never appeared";
+      if not (Sys.file_exists socket_path) then begin
+        Thread.delay 0.05;
+        go (n - 1)
+      end
+    in
+    go 100
+  in
+  wait_for_socket ();
+  let designs = [ "pingpong"; "philos" ] in
+  let connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX socket_path);
+    (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+  in
+  let send_request oc req =
+    output_string oc (Obs.Json.to_string (Proto.request_to_json req));
+    output_char oc '\n';
+    flush oc
+  in
+  let read_response ic = Proto.response_of_json (Obs.Json.parse (input_line ic)) in
+  let roundtrip ic oc req =
+    send_request oc req;
+    read_response ic
+  in
+  (* warm the cache once per design *)
+  let fd, ic, oc = connect () in
+  List.iter
+    (fun name -> ignore (roundtrip ic oc (check_request (Proto.Builtin name))))
+    designs;
+  Unix.close fd;
+  let ok_jobs = Array.make clients 0 in
+  let client_run c () =
+    let fd, ic, oc = connect () in
+    for i = 0 to jobs_per_client - 1 do
+      let name = List.nth designs ((c + i) mod List.length designs) in
+      let id = Obs.Json.Str (Printf.sprintf "c%d-%d" c i) in
+      let resp = roundtrip ic oc (check_request ~id (Proto.Builtin name)) in
+      match resp.Proto.p_status with
+      | `Ok -> ok_jobs.(c) <- ok_jobs.(c) + 1
+      | `Error _ -> ()
+    done;
+    Unix.close fd
+  in
+  let (), elapsed =
+    wall (fun () ->
+        let ts = List.init clients (fun c -> Thread.create (client_run c) ()) in
+        List.iter Thread.join ts)
+  in
+  let completed = Array.fold_left ( + ) 0 ok_jobs in
+  let total = clients * jobs_per_client in
+  let jobs_per_s = float_of_int completed /. Float.max 1e-9 elapsed in
+  let fd, ic, oc = connect () in
+  let shutdown_resp =
+    roundtrip ic oc
+      {
+        (check_request (Proto.Builtin "pingpong")) with
+        Proto.r_op = Proto.Shutdown;
+        r_design = None;
+      }
+  in
+  ignore shutdown_resp;
+  Unix.close fd;
+  Thread.join daemon_thread;
+  let cache_stats = Scache.stats (Server.cache daemon) in
+  pr "  %d/%d jobs ok in %.2fs = %.1f jobs/s (cache: %d hits, %d misses)@."
+    completed total elapsed jobs_per_s cache_stats.Scache.hits
+    cache_stats.Scache.misses;
+  let j =
+    Obs.Json.Obj
+      [
+        ("bench", Obs.Json.Str "serve");
+        ("schema", Obs.Json.Str Proto.schema_version);
+        ( "recheck",
+          Obs.Json.List
+            (List.map
+               (fun ((m : Model.t), cold, warm, speedup) ->
+                 Obs.Json.Obj
+                   [
+                     ("design", Obs.Json.Str m.Model.name);
+                     ("cold_s", Obs.Json.Float cold);
+                     ("warm_s", Obs.Json.Float warm);
+                     ("speedup", Obs.Json.Float speedup);
+                   ])
+               recheck_rows) );
+        ( "recheck_total",
+          Obs.Json.Obj
+            [
+              ("cold_s", Obs.Json.Float cold_total);
+              ("warm_s", Obs.Json.Float warm_total);
+              ("speedup", Obs.Json.Float total_speedup);
+            ] );
+        ( "throughput",
+          Obs.Json.Obj
+            [
+              ("clients", Obs.Json.Int clients);
+              ("jobs", Obs.Json.Int total);
+              ("completed", Obs.Json.Int completed);
+              ("elapsed_s", Obs.Json.Float elapsed);
+              ("jobs_per_s", Obs.Json.Float jobs_per_s);
+              ("cache_hits", Obs.Json.Int cache_stats.Scache.hits);
+              ("cache_misses", Obs.Json.Int cache_stats.Scache.misses);
+            ] );
+      ]
+  in
+  write_file "BENCH_serve.json" (Obs.Json.to_string j);
+  pr "wrote BENCH_serve.json@.";
+  if completed <> total then begin
+    prerr_endline "serve bench: some jobs failed";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Observability smoke check (run from the test alias): emit a snapshot
    for a small design, re-parse it, and fail loudly if any section that
    downstream tooling depends on is missing.  Guards against stats
@@ -755,6 +978,11 @@ let () =
         if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 4
       in
       par_bench ~jobs ()
+  | "serve" ->
+      let clients =
+        if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 2
+      in
+      serve_bench ~clients ()
   | "json" -> json_smoke ()
   | "all" ->
       fig2 ();

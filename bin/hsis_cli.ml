@@ -13,21 +13,29 @@ let read_file path =
   close_in ic;
   s
 
-let load_design verilog blifmv builtin heuristic =
-  let heuristic =
-    match heuristic with
-    | "min-width" -> Hsis_fsm.Trans.Min_width
-    | "pairs" -> Hsis_fsm.Trans.Pair_clustering
-    | "naive" -> Hsis_fsm.Trans.Naive
-    | h -> failwith ("unknown heuristic " ^ h)
-  in
+let heuristic_of_name = function
+  | "min-width" -> Hsis_fsm.Trans.Min_width
+  | "pairs" -> Hsis_fsm.Trans.Pair_clustering
+  | "naive" -> Hsis_fsm.Trans.Naive
+  | h -> failwith ("unknown heuristic " ^ h)
+
+(* Every batch command runs through the Session API the serve daemon uses:
+   open a session pinning the design's artifacts, run against it, close.
+   Builtins additionally carry their bundled PIF property set. *)
+let open_session verilog blifmv builtin heuristic =
+  let heuristic = heuristic_of_name heuristic in
   match (verilog, blifmv, builtin) with
-  | Some path, None, None -> (Hsis.read_verilog ~heuristic (read_file path), None)
-  | None, Some path, None -> (Hsis.read_blifmv ~heuristic (read_file path), None)
+  | Some path, None, None ->
+      ( Hsis.Session.open_ ~heuristic (Hsis.Session.Verilog (read_file path)),
+        None )
+  | None, Some path, None ->
+      ( Hsis.Session.open_ ~heuristic (Hsis.Session.Blifmv (read_file path)),
+        None )
   | None, None, Some name -> (
       match Hsis_models.Models.by_name name with
       | Some m ->
-          ( Hsis.read_verilog ~heuristic m.Hsis_models.Model.verilog,
+          ( Hsis.Session.open_ ~heuristic
+              (Hsis.Session.Verilog m.Hsis_models.Model.verilog),
             Some (Hsis_models.Model.parse_pif m) )
       | None -> failwith ("unknown builtin design " ^ name))
   | _ -> failwith "give exactly one of --verilog, --blifmv, --builtin"
@@ -37,38 +45,66 @@ let wrap f =
     Printf.eprintf "hsis: %s\n" m;
     1
 
-(* Shared --timeout/--max-nodes/--max-steps resource budget.  The deadline
-   is absolute from this call, covering every engine run of the command. *)
-let limits_of timeout max_nodes max_steps =
-  match (timeout, max_nodes, max_steps) with
-  | None, None, None -> Limits.none
-  | _ -> Limits.make ?timeout ?max_nodes ?max_steps ()
+(* The shared --timeout/--max-nodes/--max-steps resource-budget flags,
+   parsed once for every subcommand (check/reach/refine/fuzz/serve).
+   [arm] fixes the absolute deadline at that call, covering every engine
+   run of the command; serve instead keeps the raw spec and arms it per
+   job ([to_proto]). *)
+type budget_flags = {
+  b_timeout : float option;
+  b_max_nodes : int option;
+  b_max_steps : int option;
+}
 
-(* Render an observability snapshot per the --stats/--stats-json flags
-   shared by the check and reach commands.  Takes the snapshot rather than
-   the design so parallel runs can pass the pool-merged document. *)
-let emit_stats snap show_stats stats_json =
-  if show_stats || stats_json <> None then begin
-    if show_stats then Format.printf "@.%a" Obs.pp snap;
-    match stats_json with
-    | Some path ->
-        let oc = open_out path in
-        output_string oc (Obs.json_string snap);
-        output_char oc '\n';
-        close_out oc
+let budget_is_none b =
+  b.b_timeout = None && b.b_max_nodes = None && b.b_max_steps = None
+
+let arm_budget b =
+  if budget_is_none b then Limits.none
+  else
+    Limits.make ?timeout:b.b_timeout ?max_nodes:b.b_max_nodes
+      ?max_steps:b.b_max_steps ()
+
+let proto_budget b =
+  {
+    Hsis_serve.Proto.timeout_s = b.b_timeout;
+    max_nodes = b.b_max_nodes;
+    max_steps = b.b_max_steps;
+  }
+
+(* The shared --stats/--stats-json flags (check/reach/stats/fuzz/serve). *)
+type stats_flags = { show_stats : bool; stats_json : string option }
+
+let want_stats sf = sf.show_stats || sf.stats_json <> None
+
+let write_json_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  output_char oc '\n';
+  close_out oc
+
+(* Render an observability snapshot per the --stats/--stats-json flags.
+   Takes the snapshot rather than the design so parallel runs can pass the
+   pool-merged document. *)
+let emit_stats snap sf =
+  if want_stats sf then begin
+    if sf.show_stats then Format.printf "@.%a" Obs.pp snap;
+    match sf.stats_json with
+    | Some path -> write_json_file path (Obs.json_string snap)
     | None -> ()
   end
 
 (* ------------------------------------------------------------------ *)
 
 let check_cmd verilog blifmv builtin pif_path heuristic no_early witness
-    jobs fail_fast simplify timeout max_nodes max_steps show_stats stats_json
-    () =
+    jobs fail_fast simplify budget sf () =
   wrap (fun () ->
-      let design, builtin_pif = load_design verilog blifmv builtin heuristic in
-      Hsis.set_reach_profile design (show_stats || stats_json <> None);
+      let session, builtin_pif =
+        open_session verilog blifmv builtin heuristic
+      in
+      let design = Hsis.Session.design session in
+      Hsis.set_reach_profile design (want_stats sf);
       Hsis.set_reach_simplify design simplify;
-      Hsis.set_limits design (limits_of timeout max_nodes max_steps);
       let pif =
         match (pif_path, builtin_pif) with
         | Some p, _ -> Hsis_auto.Pif.parse_file p
@@ -78,16 +114,8 @@ let check_cmd verilog blifmv builtin pif_path heuristic no_early witness
       (* fail-fast rides on the pool's cancellation protocol, so a
          sequential --fail-fast run is just a one-worker pool *)
       let report, merged_snap =
-        if jobs > 1 || fail_fast then
-          let r, snap =
-            Hsis.run_pif_par ~early_failure:(not no_early) ~witnesses:witness
-              ~fail_fast ~jobs design pif
-          in
-          (r, Some snap)
-        else
-          ( Hsis.run_pif ~early_failure:(not no_early) ~witnesses:witness
-              design pif,
-            None )
+        Hsis.Session.run ~early_failure:(not no_early) ~witnesses:witness
+          ~fail_fast ~jobs ~limits:(arm_budget budget) session pif
       in
       Format.printf "%a" Hsis.pp_report report;
       if witness then begin
@@ -114,17 +142,17 @@ let check_cmd verilog blifmv builtin pif_path heuristic no_early witness
          | Some s -> s
          | None -> Hsis.snapshot design
        in
-       emit_stats snap show_stats stats_json);
+       emit_stats snap sf);
+      Hsis.Session.close session;
       Hsis.report_exit_code report)
 
-let reach_cmd verilog blifmv builtin heuristic simplify timeout max_nodes
-    max_steps show_stats stats_json () =
+let reach_cmd verilog blifmv builtin heuristic simplify budget sf () =
   wrap (fun () ->
-      let design, _ = load_design verilog blifmv builtin heuristic in
-      Hsis.set_reach_profile design (show_stats || stats_json <> None);
+      let session, _ = open_session verilog blifmv builtin heuristic in
+      let design = Hsis.Session.design session in
+      Hsis.set_reach_profile design (want_stats sf);
       Hsis.set_reach_simplify design simplify;
-      Hsis.set_limits design (limits_of timeout max_nodes max_steps);
-      let r = Hsis.reachable design in
+      let r = Hsis.reachable ~limits:(arm_budget budget) design in
       Format.printf "design        : %s@." design.Hsis.flat.Hsis_blifmv.Ast.m_name;
       Format.printf "read time     : %.3fs@." design.Hsis.read_time;
       Format.printf "blif-mv lines : %d@." design.Hsis.blifmv_lines;
@@ -140,12 +168,14 @@ let reach_cmd verilog blifmv builtin heuristic simplify timeout max_nodes
       let st = Hsis.stats design in
       Format.printf "bdd nodes     : %d (%d vars)@." st.Obs.arena.Obs.Arena.live
         st.Obs.arena.Obs.Arena.vars;
-      emit_stats (Hsis.snapshot design) show_stats stats_json;
+      emit_stats (Hsis.snapshot design) sf;
+      Hsis.Session.close session;
       Verdict.exit_code r.Hsis_check.Reach.verdict)
 
 let sim_cmd verilog blifmv builtin heuristic steps seed () =
   wrap (fun () ->
-      let design, _ = load_design verilog blifmv builtin heuristic in
+      let session, _ = open_session verilog blifmv builtin heuristic in
+      let design = Hsis.Session.design session in
       let sim = Hsis.simulator design in
       let net = Hsis_sim.Simulator.net sim in
       let state = ref seed in
@@ -169,7 +199,7 @@ let sim_cmd verilog blifmv builtin heuristic steps seed () =
        with Exit -> ());
       0)
 
-let refine_cmd impl_path spec_path obs timeout max_nodes max_steps () =
+let refine_cmd impl_path spec_path obs budget () =
   wrap (fun () ->
       let net_of path =
         let src = read_file path in
@@ -182,7 +212,7 @@ let refine_cmd impl_path spec_path obs timeout max_nodes max_steps () =
       let impl = net_of impl_path in
       let spec = net_of spec_path in
       let obs = match obs with [] -> None | o -> Some o in
-      let limits = limits_of timeout max_nodes max_steps in
+      let limits = arm_budget budget in
       let r = Hsis_bisim.Simrel.refines ?obs ~limits ~impl ~spec () in
       (match r.Hsis_bisim.Simrel.verdict with
       | Verdict.Pass ->
@@ -196,8 +226,8 @@ let refine_cmd impl_path spec_path obs timeout max_nodes max_steps () =
             (Limits.reason_name reason) r.Hsis_bisim.Simrel.iterations);
       Verdict.exit_code r.Hsis_bisim.Simrel.verdict)
 
-let fuzz_cmd iters seed limit ctl_per_iter no_lc no_shrink budget out json
-    jobs quiet () =
+let fuzz_cmd iters seed limit ctl_per_iter no_lc no_shrink budget_mode out
+    json jobs quiet bflags stats_json () =
   wrap (fun () ->
       let open Hsis_gen in
       let cfg =
@@ -211,9 +241,13 @@ let fuzz_cmd iters seed limit ctl_per_iter no_lc no_shrink budget out json
           shrink = not no_shrink;
           jobs;
           budget =
-            (* deterministic (no deadline): wall-clock budgets make fuzz
-               runs irreproducible *)
-            (if budget then Some (Limits.make ~max_steps:2 ~max_nodes:2000 ())
+            (* The shared budget flags define the per-problem budget of
+               the budgeted differential rerun; --budget alone uses a tiny
+               deterministic default.  Prefer --max-steps/--max-nodes: a
+               wall-clock deadline makes fuzz runs irreproducible. *)
+            (if not (budget_is_none bflags) then Some (arm_budget bflags)
+             else if budget_mode then
+               Some (Limits.make ~max_steps:2 ~max_nodes:2000 ())
              else None);
           out_dir = out;
           log =
@@ -223,24 +257,53 @@ let fuzz_cmd iters seed limit ctl_per_iter no_lc no_shrink budget out json
       in
       let report = Diff.run cfg in
       Format.printf "%a" Diff.pp_report report;
-      (match json with
-      | Some path ->
-          let oc = open_out path in
-          output_string oc (Obs.Json.to_string (Diff.report_to_json report));
-          output_char oc '\n';
-          close_out oc
-      | None -> ());
+      let report_json =
+        lazy (Obs.Json.to_string (Diff.report_to_json report))
+      in
+      List.iter
+        (function
+          | Some path -> write_json_file path (Lazy.force report_json)
+          | None -> ())
+        [ json; stats_json ];
       if report.Diff.discrepancies = [] then 0 else 3)
 
 let stats_cmd verilog blifmv builtin heuristic stats_json () =
   wrap (fun () ->
-      let design, _ = load_design verilog blifmv builtin heuristic in
+      let session, _ = open_session verilog blifmv builtin heuristic in
+      let design = Hsis.Session.design session in
       ignore (Hsis.reachable design);
       Format.printf "%a" Obs.pp (Hsis.snapshot design);
-      emit_stats (Hsis.snapshot design) false stats_json;
+      emit_stats (Hsis.snapshot design)
+        { show_stats = false; stats_json };
       let report = Hsis.minimize design in
       Format.printf "don't-care minimization: %d -> %d part nodes@."
         report.Hsis_bisim.Dontcare.before report.Hsis_bisim.Dontcare.after;
+      Hsis.Session.close session;
+      0)
+
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd socket cache_entries cache_nodes heuristic jobs budget sf () =
+  wrap (fun () ->
+      let open Hsis_serve in
+      let config =
+        {
+          Server.cache_entries;
+          cache_nodes;
+          default_budget = proto_budget budget;
+          default_jobs = jobs;
+          heuristic = heuristic_of_name heuristic;
+        }
+      in
+      let server = Server.create ~config () in
+      (match socket with
+      | Some path -> Server.listen server ~socket_path:path
+      | None -> Server.run_channels server stdin stdout);
+      (let stats = Obs.Json.to_string (Server.stats_json server) in
+       if sf.show_stats then print_endline stats;
+       match sf.stats_json with
+       | Some path -> write_json_file path stats
+       | None -> ());
       0)
 
 (* ------------------------------------------------------------------ *)
@@ -350,6 +413,17 @@ let simplify_arg =
            unchanged; the image inputs may shrink (saved nodes appear in \
            the $(b,--stats) reach profile).")
 
+(* The one budget parser and the one stats parser, shared by every
+   subcommand that takes them (check/reach/refine/fuzz/serve), so flag
+   names, docs and semantics cannot drift apart per command. *)
+let budget_term =
+  let make t n s = { b_timeout = t; b_max_nodes = n; b_max_steps = s } in
+  Term.(const make $ timeout_arg $ max_nodes_arg $ max_steps_arg)
+
+let stats_term =
+  let make s j = { show_stats = s; stats_json = j } in
+  Term.(const make $ stats_arg $ stats_json_arg)
+
 let check =
   Cmd.v
     (Cmd.info "check" ~doc:"check CTL and language-containment properties"
@@ -360,21 +434,19 @@ let check =
                when a resource budget left some verdict inconclusive.";
          ])
     Term.(
-      const (fun a b c d e f g h i j k l m n o ->
-          check_cmd a b c d e f g h i j k l m n o ())
+      const (fun a b c d e f g h i j k l ->
+          check_cmd a b c d e f g h i j k l ())
       $ verilog_arg $ blifmv_arg $ builtin_arg $ pif_arg $ heuristic_arg
       $ no_early_arg $ witness_arg $ jobs_arg $ fail_fast_arg $ simplify_arg
-      $ timeout_arg $ max_nodes_arg $ max_steps_arg $ stats_arg
-      $ stats_json_arg)
+      $ budget_term $ stats_term)
 
 let reach =
   Cmd.v
     (Cmd.info "reach" ~doc:"compute the reachable state set")
     Term.(
-      const (fun a b c d e f g h i j -> reach_cmd a b c d e f g h i j ())
+      const (fun a b c d e f g -> reach_cmd a b c d e f g ())
       $ verilog_arg $ blifmv_arg $ builtin_arg $ heuristic_arg $ simplify_arg
-      $ timeout_arg $ max_nodes_arg $ max_steps_arg $ stats_arg
-      $ stats_json_arg)
+      $ budget_term $ stats_term)
 
 let sim =
   Cmd.v
@@ -406,9 +478,8 @@ let refine =
     (Cmd.info "refine"
        ~doc:"check that IMPL refines SPEC over the observed signals")
     Term.(
-      const (fun a b c d e f -> refine_cmd a b c d e f ())
-      $ impl_arg $ spec_arg $ obs_arg $ timeout_arg $ max_nodes_arg
-      $ max_steps_arg)
+      const (fun a b c d -> refine_cmd a b c d ())
+      $ impl_arg $ spec_arg $ obs_arg $ budget_term)
 
 let fuzz =
   let iters_arg =
@@ -478,10 +549,43 @@ let fuzz =
          "differential fuzzing: random BLIF-MV designs checked by the \
           symbolic engines against the explicit-state oracle")
     Term.(
-      const (fun a b c d e f g h i j k -> fuzz_cmd a b c d e f g h i j k ())
+      const (fun a b c d e f g h i j k l m ->
+          fuzz_cmd a b c d e f g h i j k l m ())
       $ iters_arg $ fseed_arg $ limit_arg $ ctl_arg $ no_lc_arg
       $ no_shrink_arg $ budget_arg $ out_arg $ json_arg $ jobs_arg
-      $ quiet_arg)
+      $ quiet_arg $ budget_term $ stats_json_arg)
+
+let serve =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket at $(docv) instead of serving \
+             stdin/stdout.")
+  in
+  let cache_entries_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "cache-entries" ] ~docv:"N"
+          ~doc:"Session-cache entry budget (LRU eviction beyond it).")
+  in
+  let cache_nodes_arg =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "cache-nodes" ] ~docv:"NODES"
+          ~doc:"Session-cache total live-BDD-node budget.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "long-running verification daemon: line-delimited JSON jobs over \
+          stdin/stdout or a Unix socket, with a warm session cache")
+    Term.(
+      const (fun a b c d e f g -> serve_cmd a b c d e f g ())
+      $ socket_arg $ cache_entries_arg $ cache_nodes_arg $ heuristic_arg
+      $ jobs_arg $ budget_term $ stats_term)
 
 let () =
   let doc = "HSIS: a BDD-based environment for formal verification" in
@@ -489,4 +593,4 @@ let () =
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "hsis" ~doc)
-          [ check; reach; sim; stats; refine; fuzz ]))
+          [ check; reach; sim; stats; refine; fuzz; serve ]))

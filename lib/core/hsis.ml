@@ -19,6 +19,7 @@ type design = {
   verdicts : Obs.Tally.t;
   mutable limits : Limits.t;
   mutable reach_cache : Reach.t option;
+  mutable reach_order_rev : int;
   mutable profile_reach : bool;
   mutable simplify_reach : bool;
 }
@@ -54,7 +55,8 @@ let read_flat ?(heuristic = Trans.Min_width) ?verilog_lines ?timers flat =
   in
   { flat; net; trans; heuristic; verilog_lines; blifmv_lines; read_time;
     timers; verdicts = Obs.Tally.create (); limits = Limits.none;
-    reach_cache = None; profile_reach = true; simplify_reach = false }
+    reach_cache = None; reach_order_rev = 0; profile_reach = true;
+    simplify_reach = false }
 
 let read_blifmv ?heuristic src =
   let timers = Obs.Timers.create () in
@@ -75,19 +77,38 @@ let read_verilog ?heuristic src =
   in
   read_flat ?heuristic ~verilog_lines ~timers flat
 
+(* Reorder generation of the design's manager: the reach cache is only
+   valid for the variable order it was computed under, so it carries the
+   sifting-run count at fill time and is dropped when that moves (e.g. a
+   later property check triggering auto-reorder, or an explicit
+   [Bdd.sift] between jobs of a warm serve session). *)
+let reorder_runs d =
+  (Bdd.stats (Trans.man d.trans)).Obs.reorder.Obs.Reorder.runs
+
+let reach_cache_valid d =
+  d.reach_cache <> None && d.reach_order_rev = reorder_runs d
+
 (* Only conclusive explorations are cached: a run truncated by a budget is
    returned to the caller but recomputed on the next call (the absolute
    deadline makes retries after expiry fail fast rather than loop). *)
-let reachable d =
+let reachable ?limits d =
+  let limits = Option.value limits ~default:d.limits in
+  if d.reach_cache <> None && not (reach_cache_valid d) then
+    d.reach_cache <- None;
   match d.reach_cache with
   | Some r -> r
   | None ->
       let r =
         Obs.Timers.time d.timers "reach" (fun () ->
-            Reach.compute ~limits:d.limits ~profile:d.profile_reach
+            Reach.compute ~limits ~profile:d.profile_reach
               ~simplify:d.simplify_reach d.trans (Trans.initial d.trans))
       in
-      if Verdict.conclusive r.Reach.verdict then d.reach_cache <- Some r;
+      if Verdict.conclusive r.Reach.verdict then begin
+        (* stamp with the order as of completion: sifting may have run
+           inside the fixpoint itself *)
+        d.reach_cache <- Some r;
+        d.reach_order_rev <- reorder_runs d
+      end;
       r
 
 let reached_states d = Reach.count_states d.trans (reachable d).Reach.reachable
@@ -110,21 +131,22 @@ type 'ev property_result = {
 
 let tally d v = Obs.Tally.incr d.verdicts (Verdict.name v)
 
-let check_ctl ?(fairness = []) ?(early_failure = true) ?(explain = false) d
-    ~name formula =
-  let reach = reachable d in
+let check_ctl ?(fairness = []) ?(early_failure = true) ?(explain = false)
+    ?limits d ~name formula =
+  let limits = Option.value limits ~default:d.limits in
+  let reach = reachable ~limits d in
   let engine, pr_time =
     timed (fun () ->
         match
-          Bdd.with_limits (Trans.man d.trans) d.limits (fun () ->
+          Bdd.with_limits (Trans.man d.trans) limits (fun () ->
               Fair.compile_all d.trans fairness)
         with
         | exception Limits.Interrupted r -> Error r
         | compiled ->
             Ok
               ( compiled,
-                Mc.check ~fairness:compiled ~early_failure ~reach
-                  ~limits:d.limits d.trans formula ))
+                Mc.check ~fairness:compiled ~early_failure ~reach ~limits
+                  d.trans formula ))
   in
   Obs.Timers.add d.timers "mc" pr_time;
   let pr_verdict, pr_early_step =
@@ -147,10 +169,11 @@ let check_ctl ?(fairness = []) ?(early_failure = true) ?(explain = false) d
   tally d pr_verdict;
   { pr_name = name; pr_verdict; pr_time; pr_early_step }
 
-let check_lc ?(fairness = []) ?(early_failure = true) ?(trace = true) d aut =
+let check_lc ?(fairness = []) ?(early_failure = true) ?(trace = true) ?limits
+    d aut =
+  let limits = Option.value limits ~default:d.limits in
   let outcome, pr_time =
-    timed (fun () ->
-        Lc.check ~fairness ~early_failure ~limits:d.limits d.flat aut)
+    timed (fun () -> Lc.check ~fairness ~early_failure ~limits d.flat aut)
   in
   Obs.Timers.add d.timers "lc" pr_time;
   let evidence _fair =
@@ -183,12 +206,14 @@ type report = {
   lc_time : float;
 }
 
-let run_pif ?(early_failure = true) ?(witnesses = false) d (pif : Pif.t) =
+let run_pif ?(early_failure = true) ?(witnesses = false) ?limits d
+    (pif : Pif.t) =
+  let limits = Option.value limits ~default:d.limits in
   let ctl =
     List.map
       (fun (name, f) ->
         check_ctl ~fairness:pif.Pif.p_fairness ~early_failure
-          ~explain:witnesses d ~name f)
+          ~explain:witnesses ~limits d ~name f)
       pif.Pif.p_ctl
   in
   let lc =
@@ -197,7 +222,7 @@ let run_pif ?(early_failure = true) ?(witnesses = false) d (pif : Pif.t) =
         match Pif.find_automaton pif name with
         | Some aut ->
             check_lc ~fairness:pif.Pif.p_fairness ~early_failure
-              ~trace:witnesses d aut
+              ~trace:witnesses ~limits d aut
         | None -> invalid_arg ("run_pif: unknown automaton " ^ name))
       pif.Pif.p_lc
   in
@@ -231,8 +256,9 @@ let snapshot d =
    workers run.  Results are collected by task index, so the report lists
    properties in PIF order regardless of which worker finished first. *)
 let run_pif_par ?(early_failure = true) ?(witnesses = false)
-    ?(fail_fast = false) ~jobs d (pif : Pif.t) =
+    ?(fail_fast = false) ?limits ~jobs d (pif : Pif.t) =
   let open Hsis_par in
+  let limits = Option.value limits ~default:d.limits in
   let tasks =
     Array.of_list
       (List.map (fun (name, f) -> `Ctl (name, f)) pif.Pif.p_ctl
@@ -249,7 +275,7 @@ let run_pif_par ?(early_failure = true) ?(witnesses = false)
     let sub = read_flat ~heuristic:d.heuristic d.flat in
     sub.profile_reach <- false;
     sub.simplify_reach <- d.simplify_reach;
-    sub.limits <- Par.with_cancelled d.limits cancelled;
+    sub.limits <- Par.with_cancelled limits cancelled;
     let res =
       match tasks.(i) with
       | `Ctl (name, f) ->
@@ -270,8 +296,7 @@ let run_pif_par ?(early_failure = true) ?(witnesses = false)
   in
   let stop_when = if fail_fast then Some (fun _ r -> failed r) else None in
   let results, pstats =
-    Par.run ~jobs ~limits:d.limits ?stop_when ~tasks:(Array.length tasks)
-      run_task
+    Par.run ~jobs ~limits ?stop_when ~tasks:(Array.length tasks) run_task
   in
   (* A task skipped by cancellation still yields a property result — an
      Inconclusive(Cancelled) verdict, tallied on the parent design so the
@@ -348,3 +373,98 @@ let pp_report fmt r =
   in
   List.iter (line "ctl") r.ctl;
   List.iter (line "lc ") r.lc
+
+let property_to_json (p : 'ev property_result) =
+  let verdict_members =
+    match Verdict.to_json p.pr_verdict with
+    | Obs.Json.Obj ms -> ms
+    | j -> [ ("verdict", j) ]
+  in
+  Obs.Json.Obj
+    (("name", Obs.Json.Str p.pr_name)
+     :: verdict_members
+    @ [ ("time_s", Obs.Json.Float p.pr_time) ]
+    @
+    match p.pr_early_step with
+    | Some k -> [ ("early_step", Obs.Json.Int k) ]
+    | None -> [])
+
+let report_to_json r =
+  Obs.Json.Obj
+    [
+      ("design", Obs.Json.Str r.design_name);
+      ("ctl", Obs.Json.List (List.map property_to_json r.ctl));
+      ("lc", Obs.Json.List (List.map property_to_json r.lc));
+      ("mc_s", Obs.Json.Float r.mc_time);
+      ("lc_s", Obs.Json.Float r.lc_time);
+      ("exit_code", Obs.Json.Int (report_exit_code r));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Sessions: the explicit unit of design state.  A session pins one read
+   design (flattened network, symbol table, relation BDDs, variable order,
+   reach cache) under a content hash of its source, so callers that used
+   to mutate per-call globals instead open a session, run property checks
+   against it — possibly many, with per-run budgets — and close it.  The
+   serve daemon's warm cache is a map from [hash] to open sessions; the
+   batch CLI is the degenerate open-run-close case. *)
+
+module Session = struct
+  type source = Verilog of string | Blifmv of string | Flat of Ast.model
+
+  (* Content hash of the design source (stable across processes): the key
+     of the serve-mode session cache.  The source kind is folded in so a
+     Verilog text and a BLIF-MV text that happen to be equal do not
+     collide. *)
+  let hash source =
+    let tag, text =
+      match source with
+      | Verilog s -> ("verilog", s)
+      | Blifmv s -> ("blifmv", s)
+      | Flat m -> ("flat", Printer.model_to_string m)
+    in
+    Digest.to_hex (Digest.string (tag ^ "\x00" ^ text))
+
+  type t = {
+    s_id : string;
+    s_heuristic : Trans.heuristic;
+    s_design : design;
+    mutable s_hits : int;
+    mutable s_closed : bool;
+  }
+
+  let open_ ?(heuristic = Trans.Min_width) source =
+    let design =
+      match source with
+      | Verilog s -> read_verilog ~heuristic s
+      | Blifmv s -> read_blifmv ~heuristic s
+      | Flat m -> read_flat ~heuristic m
+    in
+    { s_id = hash source; s_heuristic = heuristic; s_design = design;
+      s_hits = 0; s_closed = false }
+
+  let id s = s.s_id
+  let design s = s.s_design
+  let heuristic s = s.s_heuristic
+  let hits s = s.s_hits
+  let touch s = s.s_hits <- s.s_hits + 1
+  let closed s = s.s_closed
+
+  let live_nodes s =
+    (Bdd.stats (Trans.man s.s_design.trans)).Obs.arena.Obs.Arena.live
+
+  let close s =
+    s.s_closed <- true;
+    s.s_design.reach_cache <- None
+
+  let run ?(early_failure = true) ?(witnesses = false) ?(fail_fast = false)
+      ?(jobs = 1) ?limits s pif =
+    if s.s_closed then invalid_arg "Hsis.Session.run: session is closed";
+    if jobs > 1 || fail_fast then
+      let r, snap =
+        run_pif_par ~early_failure ~witnesses ~fail_fast ?limits ~jobs
+          s.s_design pif
+      in
+      (r, Some snap)
+    else (run_pif ~early_failure ~witnesses ?limits s.s_design pif, None)
+end

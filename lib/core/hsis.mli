@@ -32,6 +32,10 @@ type design = {
           property checked on this design; rendered by {!snapshot} *)
   mutable limits : Limits.t;  (** see {!set_limits} *)
   mutable reach_cache : Reach.t option;  (** filled by {!reachable} *)
+  mutable reach_order_rev : int;
+      (** reorder-run count of the BDD manager when {!reach_cache} was
+          filled; the cache is dropped when the variable order has moved
+          since (see {!reach_cache_valid}) *)
   mutable profile_reach : bool;
       (** record the per-step fixpoint profile during {!reachable}
           (default [true]; see {!set_reach_profile}) *)
@@ -74,10 +78,19 @@ val read_flat :
   Ast.model ->
   design
 
-val reachable : design -> Reach.t
-(** Runs under {!val-limits}.  Conclusive results are cached; a truncated
-    exploration (verdict [Inconclusive]) is returned but recomputed on the
-    next call. *)
+val reachable : ?limits:Limits.t -> design -> Reach.t
+(** Runs under [limits] (default: the design's installed {!val-limits}).
+    Conclusive results are cached; a truncated exploration (verdict
+    [Inconclusive]) is returned but recomputed on the next call.  The
+    cache is keyed to the manager's variable order: if sifting ran since
+    it was filled (a later job triggering auto-reorder, an explicit
+    [Bdd.sift] between serve jobs), it is invalidated and the set is
+    recomputed under the new order. *)
+
+val reach_cache_valid : design -> bool
+(** Whether a cached reachable set exists {e and} is still keyed to the
+    manager's current variable order.  [false] either when nothing is
+    cached or when a reorder since the fill has invalidated it. *)
 
 val reached_states : design -> float
 
@@ -108,15 +121,20 @@ val check_ctl :
   ?fairness:Fair.syntactic list ->
   ?early_failure:bool ->
   ?explain:bool ->
+  ?limits:Limits.t ->
   design ->
   name:string ->
   Ctl.t ->
   ctl_evidence property_result
+(** [limits] overrides the design's installed budget for this one check —
+    the serve daemon's per-job budgets use this instead of mutating the
+    shared session. *)
 
 val check_lc :
   ?fairness:Fair.syntactic list ->
   ?early_failure:bool ->
   ?trace:bool ->
+  ?limits:Limits.t ->
   design ->
   Autom.t ->
   lc_evidence property_result
@@ -130,14 +148,21 @@ type report = {
 }
 
 val run_pif :
-  ?early_failure:bool -> ?witnesses:bool -> design -> Pif.t -> report
+  ?early_failure:bool ->
+  ?witnesses:bool ->
+  ?limits:Limits.t ->
+  design ->
+  Pif.t ->
+  report
 (** Check every [ctl] and [lc] property of the PIF file under its fairness
-    constraints (and the design's installed {!val-limits}). *)
+    constraints (and [limits], default the design's installed
+    {!val-limits}). *)
 
 val run_pif_par :
   ?early_failure:bool ->
   ?witnesses:bool ->
   ?fail_fast:bool ->
+  ?limits:Limits.t ->
   jobs:int ->
   design ->
   Pif.t ->
@@ -158,6 +183,15 @@ val report_exit_code : report -> int
 (** CLI protocol: [3] if any property has a definitive [Fail] verdict,
     else [4] if any is [Inconclusive], else [0]. *)
 
+val property_to_json : 'ev property_result -> Obs.Json.t
+(** [{"name", "verdict" (+ "reason"/"at_step"), "time_s", "early_step"?}];
+    evidence is not serialized. *)
+
+val report_to_json : report -> Obs.Json.t
+(** The whole report — per-property verdicts plus engine times and the
+    {!report_exit_code} — as dependency-free JSON (the ["result"] member
+    of serve-mode responses). *)
+
 val simulator : design -> Hsis_sim.Simulator.t
 
 val bisimulation : ?class_cap:int -> design -> Hsis_bisim.Bisim.result
@@ -176,3 +210,63 @@ val snapshot : design -> Obs.snapshot
     or [Obs.to_json]. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+(** {1 Sessions}
+
+    The explicit unit of design state replacing ad-hoc per-call facade
+    mutation: a session pins one read design — flattened network, symbol
+    table, relation BDDs, variable order, reach cache — under a content
+    hash of its source.  Callers open a session, run property checks
+    against it (many, with independent per-run budgets via the [?limits]
+    overrides above), and close it.  The serve daemon keeps a bounded
+    cache of open sessions keyed by {!Session.hash} so a re-check of an
+    already-read design skips straight to the engines; the batch CLI is
+    the degenerate open-run-close case, so both share one code path. *)
+
+module Session : sig
+  type source = Verilog of string | Blifmv of string | Flat of Ast.model
+
+  val hash : source -> string
+  (** Stable content hash (hex) of the design source, folding in the
+      source kind.  Cache key of the serve-mode session cache. *)
+
+  type t
+
+  val open_ : ?heuristic:Trans.heuristic -> source -> t
+  (** Read the design and pin its artifacts.  [Session.id] of the result
+      is [hash source]. *)
+
+  val id : t -> string
+  val design : t -> design
+  val heuristic : t -> Trans.heuristic
+
+  val hits : t -> int
+  (** Warm reuses recorded by {!touch}; [0] for a fresh session. *)
+
+  val touch : t -> unit
+  (** Record a warm reuse (called by the serve cache on a hit). *)
+
+  val live_nodes : t -> int
+  (** Live BDD nodes held by the session's manager — the unit of the
+      serve cache's memory budget. *)
+
+  val run :
+    ?early_failure:bool ->
+    ?witnesses:bool ->
+    ?fail_fast:bool ->
+    ?jobs:int ->
+    ?limits:Limits.t ->
+    t ->
+    Pif.t ->
+    report * Obs.snapshot option
+  (** Check a PIF property set against the session's design: {!run_pif}
+      when [jobs <= 1] and not [fail_fast], {!run_pif_par} (returning the
+      pool-merged snapshot) otherwise.  [limits] governs this run only.
+      Raises [Invalid_argument] on a closed session. *)
+
+  val close : t -> unit
+  (** Drop the session's cached artifacts and mark it closed ({!run}
+      refuses).  Safe to call twice. *)
+
+  val closed : t -> bool
+end

@@ -1,0 +1,158 @@
+open Hsis_obs
+open Hsis_core
+open Hsis_fsm
+
+type entry = {
+  key : string;  (** session hash + heuristic *)
+  session : Hsis.Session.t;
+  mutable stamp : int;  (** LRU clock value of the last use *)
+}
+
+type t = {
+  max_entries : int;
+  max_live_nodes : int;
+  mutable entries : entry list;  (** unordered; small N *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  per_entry_hits : Obs.Tally.t;
+  per_entry_evictions : Obs.Tally.t;
+}
+
+let create ?(max_entries = 8) ?(max_live_nodes = 2_000_000) () =
+  {
+    max_entries = max 1 max_entries;
+    max_live_nodes = max 1 max_live_nodes;
+    entries = [];
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    per_entry_hits = Obs.Tally.create ();
+    per_entry_evictions = Obs.Tally.create ();
+  }
+
+let heuristic_name = function
+  | Trans.Min_width -> "min-width"
+  | Trans.Pair_clustering -> "pairs"
+  | Trans.Naive -> "naive"
+
+let key_of ~heuristic source =
+  Hsis.Session.hash source ^ "/" ^ heuristic_name heuristic
+
+let short_id s = String.sub (Hsis.Session.id s) 0 8
+
+let next_tick t =
+  t.tick <- t.tick + 1;
+  t.tick
+
+let total_live t =
+  List.fold_left (fun acc e -> acc + Hsis.Session.live_nodes e.session) 0
+    t.entries
+
+(* Evict least-recently-used entries until both budgets hold.  [keep] (the
+   session just inserted or just used) is exempt: the cache always admits
+   the working design even when it alone exceeds the node budget —
+   matching Limits-style budgets, which interrupt work beyond the quota
+   rather than refusing to start it. *)
+let enforce ?keep t =
+  let is_kept e =
+    match keep with Some s -> e.session == s | None -> false
+  in
+  let over () =
+    List.length t.entries > t.max_entries || total_live t > t.max_live_nodes
+  in
+  let evictable () =
+    List.exists (fun e -> not (is_kept e)) t.entries
+  in
+  while over () && evictable () do
+    let victim =
+      List.fold_left
+        (fun acc e ->
+          if is_kept e then acc
+          else
+            match acc with
+            | None -> Some e
+            | Some v -> if e.stamp < v.stamp then Some e else acc)
+        None t.entries
+    in
+    match victim with
+    | None -> ()
+    | Some v ->
+        t.entries <- List.filter (fun e -> e != v) t.entries;
+        t.evictions <- t.evictions + 1;
+        Obs.Tally.incr t.per_entry_evictions (short_id v.session);
+        Hsis.Session.close v.session
+  done
+
+let find_or_open t ~heuristic source =
+  let key = key_of ~heuristic source in
+  match List.find_opt (fun e -> e.key = key) t.entries with
+  | Some e ->
+      e.stamp <- next_tick t;
+      t.hits <- t.hits + 1;
+      Hsis.Session.touch e.session;
+      Obs.Tally.incr t.per_entry_hits (short_id e.session);
+      (e.session, true)
+  | None ->
+      let session = Hsis.Session.open_ ~heuristic source in
+      t.misses <- t.misses + 1;
+      t.entries <- { key; session; stamp = next_tick t } :: t.entries;
+      enforce ~keep:session t;
+      (session, false)
+
+type stats = {
+  entries : int;
+  live_nodes : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+let stats (t : t) =
+  {
+    entries = List.length t.entries;
+    live_nodes = total_live t;
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+  }
+
+let entry_hits t = Obs.Tally.to_list t.per_entry_hits
+
+let by_recency (t : t) =
+  List.sort (fun a b -> compare b.stamp a.stamp) t.entries
+
+let ids t = List.map (fun e -> Hsis.Session.id e.session) (by_recency t)
+
+let clear (t : t) =
+  List.iter (fun e -> Hsis.Session.close e.session) t.entries;
+  t.entries <- []
+
+let to_json t =
+  let s = stats t in
+  Obs.Json.Obj
+    [
+      ("entries", Obs.Json.Int s.entries);
+      ("live_nodes", Obs.Json.Int s.live_nodes);
+      ("max_entries", Obs.Json.Int t.max_entries);
+      ("max_live_nodes", Obs.Json.Int t.max_live_nodes);
+      ("hits", Obs.Json.Int s.hits);
+      ("misses", Obs.Json.Int s.misses);
+      ("evictions", Obs.Json.Int s.evictions);
+      ("per_entry_hits", Obs.Tally.to_json t.per_entry_hits);
+      ("per_entry_evictions", Obs.Tally.to_json t.per_entry_evictions);
+      ( "sessions",
+        Obs.Json.List
+          (List.map
+             (fun e ->
+               Obs.Json.Obj
+                 [
+                   ("id", Obs.Json.Str (Hsis.Session.id e.session));
+                   ("hits", Obs.Json.Int (Hsis.Session.hits e.session));
+                   ( "live_nodes",
+                     Obs.Json.Int (Hsis.Session.live_nodes e.session) );
+                 ])
+             (by_recency t)) );
+    ]

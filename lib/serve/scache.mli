@@ -1,0 +1,62 @@
+open Hsis_obs
+open Hsis_core
+open Hsis_fsm
+
+(** The warm-state session cache of the serve daemon.
+
+    Keys are [Hsis.Session.hash] content hashes of the design source
+    (plus the ordering heuristic, so the same text read under two
+    heuristics yields two sessions); values are open {!Hsis.Session}s
+    holding the parsed/flattened network, the relation BDDs with their
+    quantification schedule, the manager's variable order and any
+    conclusive reach set — everything a re-check of an edited property
+    skips rebuilding.
+
+    Eviction is LRU under a two-sided budget in the style of [Limits]:
+    a maximum entry count and a maximum total of live BDD nodes across
+    all cached sessions (a session's footprint grows as jobs run, so the
+    budget is re-enforced after every job, not only on insert).  Evicted
+    sessions are closed.  Hit/miss/eviction totals and per-entry hit
+    counters are kept as [Obs.Tally]-style counters and surfaced through
+    {!to_json} (the ["cache"] member of serve responses and of [hsis
+    serve --stats-json] output). *)
+
+type t
+
+val create : ?max_entries:int -> ?max_live_nodes:int -> unit -> t
+(** Defaults: 8 entries, 2_000_000 live nodes.  Both clamped to >= 1
+    entry so the working design always fits. *)
+
+val find_or_open :
+  t -> heuristic:Trans.heuristic -> Hsis.Session.source -> Hsis.Session.t * bool
+(** The session for this source — reused warm when cached ([true]), read
+    cold and inserted otherwise ([false]).  Insertion enforces the budget
+    (never evicting the session being returned). *)
+
+val enforce : ?keep:Hsis.Session.t -> t -> unit
+(** Re-apply the budget (LRU eviction) — called after each served job,
+    since running jobs grows the cached managers.  [keep] is exempt. *)
+
+type stats = {
+  entries : int;
+  live_nodes : int;  (** total across cached sessions, as of last probe *)
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+val stats : t -> stats
+
+val entry_hits : t -> (string * int) list
+(** Per-entry hit counters, keyed by short (8-hex-char) session id; evicted
+    entries keep their counts (the key is the design, not the slot). *)
+
+val ids : t -> string list
+(** Cached session ids, most recently used first. *)
+
+val clear : t -> unit
+(** Close and drop every session (counters are kept). *)
+
+val to_json : t -> Obs.Json.t
+(** [{"entries", "live_nodes", "max_entries", "max_live_nodes", "hits",
+    "misses", "evictions", "per_entry": {...}, "sessions": [...]}]. *)

@@ -1,0 +1,62 @@
+open Hsis_obs
+open Hsis_fsm
+
+(** The warm-state verification daemon behind [hsis serve].
+
+    One server owns a {!Scache} of open design sessions and answers
+    {!Proto} requests — over stdin/stdout ({!run_channels}) or a Unix
+    socket with one thread per client ({!listen}).  Job execution is
+    serialized by an internal lock (a job may itself fan out over the
+    [Par] domain pool via its ["jobs"] member), so concurrent clients
+    interleave at line granularity and the session cache needs no finer
+    locking.
+
+    The daemon never dies on bad input: unparseable lines, invalid
+    requests and job-level failures are all answered with in-band
+    [status = "error"] responses (see {!Proto}), and the next line is
+    served normally. *)
+
+type config = {
+  cache_entries : int;  (** session-cache entry budget *)
+  cache_nodes : int;  (** session-cache total live-BDD-node budget *)
+  default_budget : Proto.budget;
+      (** per-job resource budget applied when a request carries none
+          (the [--timeout] / [--max-nodes] / [--max-steps] CLI flags) *)
+  default_jobs : int;  (** [Par] fan-out for requests without ["jobs"] *)
+  heuristic : Trans.heuristic;
+}
+
+val default_config : config
+(** 8 entries, 2M nodes, no budget, 1 job, min-width. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val cache : t -> Scache.t
+val jobs_served : t -> int
+val stopping : t -> bool
+
+val stats_json : t -> Obs.Json.t
+(** Daemon counters: uptime, jobs served, error count, and the session
+    cache's {!Scache.to_json} — the payload of the ["stats"] op and of
+    [hsis serve --stats-json]. *)
+
+val handle_request : t -> Proto.request -> Proto.response
+(** Execute one already-parsed request (no locking — single-client use,
+    e.g. tests). *)
+
+val handle_line : t -> string -> Proto.response option * [ `Continue | `Stop ]
+(** One request line -> at most one response line, taking the dispatch
+    lock.  [None] for blank lines (no response owed).  [`Stop] after a
+    ["shutdown"] request — the caller should answer, then wind down.
+    Never raises: all errors are folded into the response. *)
+
+val run_channels : t -> in_channel -> out_channel -> unit
+(** Serve line-by-line until EOF or shutdown; responses are flushed after
+    every line. *)
+
+val listen : t -> socket_path:string -> unit
+(** Bind a Unix-domain stream socket (replacing any stale file), accept
+    clients until a ["shutdown"] request arrives, one thread per client,
+    then remove the socket file.  Blocks the calling thread. *)
