@@ -11,7 +11,8 @@
      ablate-efd   early failure detection (A2)
      bech         Bechamel micro-benchmarks
      bdd          BDD kernel ops/s (and/ite/exists/and_exists) -> BENCH_bdd.json
-     par [jobs]   parallel scaling (fuzz + check fan-out)  -> BENCH_par.json
+     par [jobs]   parallel scaling (fuzz + scaled designs, seq vs
+                  share-nothing vs shared-work)  -> BENCH_par.json
      serve [N]    daemon cold-vs-warm latency + N-client throughput
                   -> BENCH_serve.json
      json         observability smoke check: emit + re-parse a stats JSON
@@ -586,15 +587,144 @@ let bdd_bench () =
   pr "wrote BENCH_bdd.json@."
 
 (* ------------------------------------------------------------------ *)
-(* Parallel scaling: the two fan-out workloads of the par pool, sequential
-   vs parallel wall-clock, written to BENCH_par.json.
+(* Parallel scaling -> BENCH_par.json (schema hsis-par/2).
 
    - fuzz: differential iterations spread over worker domains.  Also
      cross-checks the determinism contract: the parallel report (minus
      elapsed/pool members) must be byte-identical to the sequential one.
-   - check: the Table-1 (small scale) designs checked concurrently, one
-     design per task, each task reading the design and running its full
-     PIF property set in its own BDD manager. *)
+   - scaled: each parameterized design (ring / philos at benchmark sizes)
+     measured four ways — sequential [run_pif], shared-work [-j 1]
+     (no-regression check), shared-work [-j jobs] (snapshot-shipped TR and
+     reach set), and share-nothing [-j jobs] (every task rebuilds from
+     source).  Verdict strings and exit codes must agree across all four.
+
+   Each (design, mode) cell runs in a fresh process (the bench re-execs
+   itself with the hidden [_par-probe] subcommand): back-to-back in-process
+   measurement lets the earlier runs' grown major heap inflate the later
+   ones by 20-40%, which is enough to drown the effects being measured. *)
+
+let par_probe name mode jobs =
+  let m =
+    match Models.by_name name with
+    | Some m -> m
+    | None -> failwith ("par probe: unknown design " ^ name)
+  in
+  let pif = Model.parse_pif m in
+  let d = Hsis.read_verilog m.Model.verilog in
+  Hsis.set_reach_profile d false;
+  let (report, obs), t =
+    wall (fun () ->
+        match mode with
+        | "seq" -> (Hsis.run_pif ~witnesses:false d pif, Obs.merge [])
+        | "sw" -> Hsis.run_pif_par ~witnesses:false ~share:true ~jobs d pif
+        | "sn" -> Hsis.run_pif_par ~witnesses:false ~share:false ~jobs d pif
+        | _ -> failwith ("par probe: unknown mode " ^ mode))
+  in
+  let verdict_chars rs =
+    String.concat ""
+      (List.map
+         (fun (r : _ Hsis.property_result) ->
+           match r.Hsis.pr_verdict with
+           | Hsis_limits.Verdict.Pass -> "P"
+           | Hsis_limits.Verdict.Fail _ -> "F"
+           | Hsis_limits.Verdict.Inconclusive _ -> "I")
+         rs)
+  in
+  let snap = obs.Obs.man.Obs.snap in
+  Printf.printf "PROBE time %.6f\n" t;
+  Printf.printf "PROBE exit %d\n" (Hsis.report_exit_code report);
+  Printf.printf "PROBE verdicts %s%s\n"
+    (verdict_chars report.Hsis.ctl)
+    (verdict_chars report.Hsis.lc);
+  Printf.printf "PROBE snap %d %d %d %d\n" snap.Obs.Snap.exports
+    snap.Obs.Snap.imports snap.Obs.Snap.nodes snap.Obs.Snap.bytes
+
+type probe = {
+  pb_time : float;
+  pb_exit : int;
+  pb_verdicts : string;
+  pb_snap : int * int * int * int;  (* exports, imports, nodes, bytes *)
+}
+
+let run_probe name mode jobs =
+  let out = Filename.temp_file "hsis_probe" ".txt" in
+  let cmd =
+    Printf.sprintf "%s _par-probe %s %s %d > %s"
+      (Filename.quote Sys.executable_name)
+      (Filename.quote name) mode jobs (Filename.quote out)
+  in
+  let rc = Sys.command cmd in
+  if rc <> 0 then
+    failwith (Printf.sprintf "par probe %s %s exited %d" name mode rc);
+  let ic = open_in out in
+  let p =
+    ref { pb_time = 0.0; pb_exit = 0; pb_verdicts = ""; pb_snap = (0, 0, 0, 0) }
+  in
+  (try
+     while true do
+       let line = input_line ic in
+       (try Scanf.sscanf line "PROBE time %f" (fun t -> p := { !p with pb_time = t })
+        with Scanf.Scan_failure _ | Failure _ -> ());
+       (try Scanf.sscanf line "PROBE exit %d" (fun e -> p := { !p with pb_exit = e })
+        with Scanf.Scan_failure _ | Failure _ -> ());
+       (try
+          Scanf.sscanf line "PROBE verdicts %s"
+            (fun v -> p := { !p with pb_verdicts = v })
+        with Scanf.Scan_failure _ | Failure _ -> ());
+       (try
+          Scanf.sscanf line "PROBE snap %d %d %d %d"
+            (fun e i n b -> p := { !p with pb_snap = (e, i, n, b) })
+        with Scanf.Scan_failure _ | Failure _ -> ())
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove out;
+  !p
+
+let scaled_row ~jobs name =
+  let p_seq = run_probe name "seq" 1 in
+  let p_sw1 = run_probe name "sw" 1 in
+  let p_sw = run_probe name "sw" jobs in
+  let p_sn = run_probe name "sn" jobs in
+  let agree =
+    List.for_all
+      (fun p -> p.pb_verdicts = p_seq.pb_verdicts && p.pb_exit = p_seq.pb_exit)
+      [ p_sw1; p_sw; p_sn ]
+  in
+  let speedup_vs_sn = p_sn.pb_time /. Float.max 1e-9 p_sw.pb_time in
+  let speedup_vs_seq = p_seq.pb_time /. Float.max 1e-9 p_sw.pb_time in
+  let j1_ratio = p_sw1.pb_time /. Float.max 1e-9 p_seq.pb_time in
+  let e, i, n, b = p_sw.pb_snap in
+  pr
+    "  %-8s seq %6.2fs  sw-j1 %6.2fs (%.2fx)  sw-j%d %6.2fs  sn-j%d %6.2fs  \
+     vs-sn %5.2fx  vs-seq %5.2fx  agree %b@."
+    name p_seq.pb_time p_sw1.pb_time j1_ratio jobs p_sw.pb_time jobs
+    p_sn.pb_time speedup_vs_sn speedup_vs_seq agree;
+  let row =
+    Obs.Json.Obj
+      [
+        ("design", Obs.Json.Str name);
+        ("props", Obs.Json.Int (String.length p_seq.pb_verdicts));
+        ("exit_code", Obs.Json.Int p_seq.pb_exit);
+        ("seq_s", Obs.Json.Float p_seq.pb_time);
+        ("sw_j1_s", Obs.Json.Float p_sw1.pb_time);
+        ("sw_s", Obs.Json.Float p_sw.pb_time);
+        ("sn_s", Obs.Json.Float p_sn.pb_time);
+        ("speedup_vs_sn", Obs.Json.Float speedup_vs_sn);
+        ("speedup_vs_seq", Obs.Json.Float speedup_vs_seq);
+        ("j1_ratio", Obs.Json.Float j1_ratio);
+        ("verdicts_agree", Obs.Json.Bool agree);
+        ( "snapshot",
+          Obs.Json.Obj
+            [
+              ("exports", Obs.Json.Int e);
+              ("imports", Obs.Json.Int i);
+              ("nodes", Obs.Json.Int n);
+              ("bytes", Obs.Json.Int b);
+            ] );
+      ]
+  in
+  (row, agree)
 
 let par_bench ?(jobs = 4) () =
   let open Hsis_par in
@@ -622,45 +752,18 @@ let par_bench ?(jobs = 4) () =
   pr "  fuzz  %d iters: seq %.2fs, par %.2fs (%.2fx), reports identical %b@."
     seq_report.Hsis_gen.Diff.iterations t_fseq t_fpar fuzz_speedup
     fuzz_identical;
-  (* check workload: one Table-1 design per task *)
-  let models = Models.table1_small () in
-  let check_design (m : Model.t) =
-    let d = Hsis.read_verilog m.Model.verilog in
-    Hsis.set_reach_profile d false;
-    let report = Hsis.run_pif ~witnesses:false d (Model.parse_pif m) in
-    (m.Model.name, Hsis.report_exit_code report)
-  in
-  let (cseq, _), t_cseq = wall (fun () -> Par.map ~jobs:1 check_design models) in
-  let (cpar, cstats), t_cpar =
-    wall (fun () -> Par.map ~jobs check_design models)
-  in
-  let check_agree = cseq = cpar in
-  let check_speedup = t_cseq /. Float.max 1e-9 t_cpar in
-  pr "  check %d designs: seq %.2fs, par %.2fs (%.2fx), verdicts agree %b@."
-    (List.length models) t_cseq t_cpar check_speedup check_agree;
-  let util = Par.utilization cstats in
-  Array.iteri
-    (fun w u ->
-      pr "    worker %d: %d tasks, %.2fs busy (%.0f%% utilization)@." w
-        cstats.Par.worker_tasks.(w)
-        cstats.Par.worker_busy.(w)
-        (100.0 *. u))
-    util;
-  let worker_json =
-    Obs.Json.List
-      (List.init cstats.Par.jobs (fun w ->
-           Obs.Json.Obj
-             [
-               ("tasks", Obs.Json.Int cstats.Par.worker_tasks.(w));
-               ("busy_s", Obs.Json.Float cstats.Par.worker_busy.(w));
-               ("utilization", Obs.Json.Float util.(w));
-             ]))
-  in
+  (* scaled workload: one row per parameterized design, each cell in a
+     fresh process; property checking fanned out within each design *)
+  let designs = [ "ring8"; "ring10"; "philos8" ] in
+  pr "  scaled designs (per-mode fresh process, %d jobs):@." jobs;
+  let rows = List.map (scaled_row ~jobs) designs in
+  let rows_agree = List.for_all snd rows in
   let j =
     Obs.Json.Obj
       [
         ("bench", Obs.Json.Str "par");
-        ("schema", Obs.Json.Str Obs.schema_version);
+        ("schema", Obs.Json.Str "hsis-par/2");
+        ("obs_schema", Obs.Json.Str Obs.schema_version);
         ("jobs", Obs.Json.Int jobs);
         ("cores", Obs.Json.Int (Par.default_jobs ()));
         ( "fuzz",
@@ -673,26 +776,12 @@ let par_bench ?(jobs = 4) () =
               ("speedup", Obs.Json.Float fuzz_speedup);
               ("identical_reports", Obs.Json.Bool fuzz_identical);
             ] );
-        ( "check",
-          Obs.Json.Obj
-            [
-              ( "designs",
-                Obs.Json.List
-                  (List.map
-                     (fun (m : Model.t) -> Obs.Json.Str m.Model.name)
-                     models) );
-              ("seq_s", Obs.Json.Float t_cseq);
-              ("par_s", Obs.Json.Float t_cpar);
-              ("speedup", Obs.Json.Float check_speedup);
-              ("verdicts_agree", Obs.Json.Bool check_agree);
-              ("steals", Obs.Json.Int cstats.Par.steals);
-              ("workers", worker_json);
-            ] );
+        ("scaled", Obs.Json.List (List.map fst rows));
       ]
   in
   write_file "BENCH_par.json" (Obs.Json.to_string j);
   pr "wrote BENCH_par.json@.";
-  if not (fuzz_identical && check_agree) then begin
+  if not (fuzz_identical && rows_agree) then begin
     prerr_endline "par bench: parallel results diverged from sequential";
     exit 1
   end
@@ -978,6 +1067,10 @@ let () =
         if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 4
       in
       par_bench ~jobs ()
+  | "_par-probe" ->
+      (* internal: one (design, mode, jobs) cell of the par bench, run in
+         its own process so modes don't share a heap *)
+      par_probe Sys.argv.(2) Sys.argv.(3) (int_of_string Sys.argv.(4))
   | "serve" ->
       let clients =
         if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 2

@@ -391,8 +391,11 @@ let jobs_arg =
         ~doc:
           "Worker domains.  With $(docv) > 1 the work (one property per \
            task for $(b,check), one iteration per task for $(b,fuzz)) is \
-           spread over a share-nothing domain pool; results are collected \
-           in task order, so verdicts and findings match a sequential run.")
+           spread over a domain pool.  $(b,check) builds the design once \
+           and ships its BDDs to the workers as a snapshot (fuzz tasks \
+           stay share-nothing — every seed is a different design); \
+           results are collected in task order, so verdicts and findings \
+           match a sequential run.")
 
 let fail_fast_arg =
   Arg.(

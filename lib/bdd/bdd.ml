@@ -56,6 +56,7 @@ let nand a b = dnot (dand a b)
 let nor a b = dnot (dor a b)
 let imp a b = dor (dnot a) b
 let eqv a b = dnot (xor a b)
+let iff = eqv
 
 let ite f g h =
   same_man f g;
@@ -146,6 +147,157 @@ let with_limits m l f =
 
 let stats = Man.stats
 let check = Man.check
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots: compact cross-manager serialization of shared DAGs.
+
+   Wire layout: [snap_nodes] holds one 4-int record per DAG node in
+   topological (children-first) order — (variable index, low ref, high
+   ref, complement bit).  The complement bit is reserved 0: this package
+   has no complement edges, but the slot keeps the record shape stable if
+   they are ever added.  A child ref is 0 for false, 1 for true, and
+   [k + 2] for the node of record [k] — always an earlier record, so
+   rehydration is a single linear pass of [Man.mk] calls with no
+   unique-table misses beyond the nodes themselves.  [snap_order] is the
+   exporting manager's variable order (outermost first): a snapshot is
+   directly valid in any manager whose order agrees on these variables;
+   on a mismatch {!import} either rejects ([strict]) or re-canonicalizes
+   node-by-node via ite. *)
+
+type snapshot = {
+  snap_order : int array;
+  snap_nodes : int array;
+  snap_roots : int array;
+}
+
+let snapshot_nodes s = Array.length s.snap_nodes / 4
+
+(* Wire size if written as 64-bit words: records + roots + order + a
+   length header.  Used for Obs accounting and cache budgets. *)
+let snapshot_bytes s =
+  8
+  * (Array.length s.snap_nodes + Array.length s.snap_roots
+    + Array.length s.snap_order + 1)
+
+let snapshot_order s = Array.to_list s.snap_order
+
+let export m roots =
+  List.iter
+    (fun h ->
+      if h.man != m then invalid_arg "Bdd.export: handle from another manager")
+    roots;
+  let t0 = Hsis_obs.Obs.Clock.now () in
+  let idx = Hashtbl.create 256 in
+  (* records, appended 4 ints at a time *)
+  let buf = ref (Array.make 1024 0) in
+  let len = ref 0 in
+  let push x =
+    if !len = Array.length !buf then begin
+      let b = Array.make (2 * !len) 0 in
+      Array.blit !buf 0 b 0 !len;
+      buf := b
+    end;
+    !buf.(!len) <- x;
+    incr len
+  in
+  let ref_of u =
+    if u = Man.false_id then 0
+    else if u = Man.true_id then 1
+    else Hashtbl.find idx u + 2
+  in
+  (* Explicit-stack post-order DFS: children are always emitted before
+     their parents, which is exactly the topological record order. *)
+  let stack = Stack.create () in
+  let visit u =
+    if not (Man.is_const u || Hashtbl.mem idx u) then
+      Stack.push (`Enter u) stack
+  in
+  List.iter (fun h -> visit h.node) roots;
+  while not (Stack.is_empty stack) do
+    match Stack.pop stack with
+    | `Enter u ->
+        if not (Hashtbl.mem idx u) then begin
+          Stack.push (`Emit u) stack;
+          visit (Man.hi m u);
+          visit (Man.lo m u)
+        end
+    | `Emit u ->
+        if not (Hashtbl.mem idx u) then begin
+          push (Man.var m u);
+          push (ref_of (Man.lo m u));
+          push (ref_of (Man.hi m u));
+          push 0;
+          Hashtbl.replace idx u ((!len / 4) - 1)
+        end
+  done;
+  let s =
+    {
+      snap_order = Array.of_list (Man.order m);
+      snap_nodes = Array.sub !buf 0 !len;
+      snap_roots = Array.of_list (List.map (fun h -> ref_of h.node) roots);
+    }
+  in
+  Man.note_snapshot m `Export ~nodes:(snapshot_nodes s)
+    ~bytes:(snapshot_bytes s)
+    ~seconds:(Hsis_obs.Obs.Clock.now () -. t0);
+  s
+
+(* Level of a variable in [m]'s current order (via its literal, which
+   [mk]-probes but allocates at most once). *)
+let var_level m v = Man.level m (Man.ithvar m v)
+
+let import ?(strict = false) m s =
+  let t0 = Hsis_obs.Obs.Clock.now () in
+  let nvars = Man.num_vars m in
+  (* Order compatibility: the exporting order restricted to variables this
+     manager knows must be increasing under the local order too. *)
+  let order_ok =
+    let last = ref (-1) in
+    Array.for_all
+      (fun v ->
+        v >= nvars
+        ||
+        let l = var_level m v in
+        let ok = l > !last in
+        last := l;
+        ok)
+      s.snap_order
+  in
+  if strict && not order_ok then
+    invalid_arg "Bdd.import: variable order mismatch";
+  let n = Array.length s.snap_nodes / 4 in
+  let ids = Array.make n Man.false_id in
+  let resolve r =
+    if r = 0 then Man.false_id
+    else if r = 1 then Man.true_id
+    else ids.(r - 2)
+  in
+  (* Single linear pass; no operation entry hooks run, so no collection
+     can reclaim a record before a later record (or a root handle) takes
+     its reference. *)
+  for k = 0 to n - 1 do
+    let v = s.snap_nodes.(4 * k) in
+    if v < 0 || v >= nvars then
+      invalid_arg "Bdd.import: snapshot variable not allocated here";
+    let l = resolve s.snap_nodes.(4 * k + 1) in
+    let h = resolve s.snap_nodes.(4 * k + 2) in
+    ids.(k) <-
+      (if order_ok then Man.mk m v l h
+       else begin
+         (* Re-permute under the local order: mk is only sound when both
+            children still sit strictly below the variable; otherwise
+            rebuild the node with ite, which re-canonicalizes. *)
+         let lv = var_level m v in
+         if Man.level m l > lv && Man.level m h > lv then Man.mk m v l h
+         else Man.apply_ite m (Man.ithvar m v) h l
+       end)
+  done;
+  let roots =
+    List.map (fun r -> wrap m (resolve r)) (Array.to_list s.snap_roots)
+  in
+  Man.note_snapshot m `Import ~nodes:n ~bytes:(snapshot_bytes s)
+    ~seconds:(Hsis_obs.Obs.Clock.now () -. t0);
+  roots
 
 let pp fmt h =
   if is_true h then Format.fprintf fmt "true"

@@ -49,6 +49,11 @@ val nand : t -> t -> t
 val nor : t -> t -> t
 val imp : t -> t -> t
 val eqv : t -> t -> t
+
+val iff : t -> t -> t
+(** Alias of {!eqv}: true exactly where the two functions agree (so
+    [is_true (iff a b)] is semantic equivalence). *)
+
 val ite : t -> t -> t -> t
 val conj : man -> t list -> t
 val disj : man -> t list -> t
@@ -108,6 +113,45 @@ val pick_state : t -> over:int list -> (int * bool) list
 val iter_cubes : t -> ((int -> bool option) -> unit) -> unit
 (** Iterate the satisfying paths; the callback receives a partial
     assignment lookup. *)
+
+(** {1 Snapshots}
+
+    A compact, manager-independent serialization of a set of BDDs: the
+    reachable DAG as a flat int array in topological (children-first)
+    order, one [(var, low, high, complement)] record per node, plus the
+    exporting manager's variable order.  Snapshots are plain immutable
+    data — safe to share across domains — and rehydrate with a single
+    linear pass.  They are how the shared-work parallel path ships a
+    transition relation built once on the coordinator into fresh
+    per-worker managers. *)
+
+type snapshot
+
+val export : man -> t list -> snapshot
+(** Serialize the DAG reachable from the given handles (all of which must
+    belong to [man]).  Shared subgraphs are stored once; root order is
+    preserved.  Linear in the DAG size. *)
+
+val import : ?strict:bool -> man -> snapshot -> t list
+(** Rehydrate a snapshot, returning one handle per exported root (in
+    order).  Every variable mentioned by the snapshot must already exist
+    in [man] (raises [Invalid_argument] otherwise — allocate them first,
+    e.g. by building the same symbol table).  When the importing order
+    agrees with the exporting order on the snapshot's variables, this is
+    a single linear pass of unique-table inserts; on a mismatch the nodes
+    are re-canonicalized one by one under the local order ([ite] per
+    record), or rejected with [Invalid_argument] when [strict] is set.
+    Counts toward the manager's snapshot obs counters either way. *)
+
+val snapshot_nodes : snapshot -> int
+(** DAG nodes recorded in the snapshot. *)
+
+val snapshot_bytes : snapshot -> int
+(** Wire size in bytes (8 per stored word): the unit of snapshot obs
+    accounting and serve-cache budgets. *)
+
+val snapshot_order : snapshot -> int list
+(** The exporting manager's variable order, outermost first. *)
 
 (** {1 Garbage collection and reordering} *)
 

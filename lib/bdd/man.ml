@@ -103,6 +103,13 @@ type t = {
   mutable intr_nodes : int;
   mutable intr_steps : int;
   mutable intr_cancelled : int;
+  (* snapshot traffic: Bdd.export/Bdd.import activity on this manager *)
+  mutable snap_exports : int;
+  mutable snap_imports : int;
+  mutable snap_nodes : int;
+  mutable snap_bytes : int;
+  mutable snap_export_time : float;
+  mutable snap_import_time : float;
 }
 
 let initial_cache_slots = 1 lsl 12
@@ -151,6 +158,12 @@ let create ?(initial_capacity = 1 lsl 12) () =
     intr_nodes = 0;
     intr_steps = 0;
     intr_cancelled = 0;
+    snap_exports = 0;
+    snap_imports = 0;
+    snap_nodes = 0;
+    snap_bytes = 0;
+    snap_export_time = 0.0;
+    snap_import_time = 0.0;
   }
 
 let is_const u = u < 2
@@ -1235,6 +1248,26 @@ let stats m : Obs.man_stats =
             [ ("deadline", m.intr_deadline); ("nodes", m.intr_nodes);
               ("steps", m.intr_steps); ("cancelled", m.intr_cancelled) ];
       };
+    snap =
+      {
+        Obs.Snap.exports = m.snap_exports;
+        imports = m.snap_imports;
+        nodes = m.snap_nodes;
+        bytes = m.snap_bytes;
+        export_time = m.snap_export_time;
+        import_time = m.snap_import_time;
+      };
   }
 
 let order m = Array.to_list (Array.sub m.invperm 0 m.nvars)
+
+let note_snapshot m dir ~nodes ~bytes ~seconds =
+  m.snap_nodes <- m.snap_nodes + nodes;
+  m.snap_bytes <- m.snap_bytes + bytes;
+  match dir with
+  | `Export ->
+      m.snap_exports <- m.snap_exports + 1;
+      m.snap_export_time <- m.snap_export_time +. seconds
+  | `Import ->
+      m.snap_imports <- m.snap_imports + 1;
+      m.snap_import_time <- m.snap_import_time +. seconds

@@ -146,6 +146,12 @@ val note_interrupt : t -> Hsis_limits.Limits.reason -> unit
 
 (** {1 Diagnostics} *)
 
+val note_snapshot :
+  t -> [ `Export | `Import ] -> nodes:int -> bytes:int -> seconds:float -> unit
+(** Record one snapshot export/import (node count, wire bytes, wall time)
+    in this manager's obs counters; rendered by {!stats} as the [snap]
+    member. *)
+
 val stats : t -> Hsis_obs.Obs.man_stats
 (** Structured per-manager counters: computed-cache hit/miss rates per
     operation kernel, GC and reorder run counts with cumulative wall-clock

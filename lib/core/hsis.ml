@@ -22,7 +22,33 @@ type design = {
   mutable reach_order_rev : int;
   mutable profile_reach : bool;
   mutable simplify_reach : bool;
+  mutable shared_cache : shared_cell option;
 }
+
+(* The exported form of a design, built once on the coordinator and
+   rehydrated into fresh per-domain managers by [design_of_shared].  Only
+   immutable plain data and the snapshot int arrays cross domains; no BDD
+   handle ever does.  [sd_parts] relation parts head the snapshot roots,
+   followed (when the coordinator's reach cache was conclusive) by the
+   reachable set and its [sd_rings] onion rings. *)
+and shared_design = {
+  sd_flat : Ast.model;
+  sd_net : Net.t;
+  sd_heuristic : Trans.heuristic;
+  sd_shape : Trans.shared;
+  sd_parts : int;
+  sd_snapshot : Bdd.snapshot;
+  sd_rings : int;
+  sd_reach_steps : int;
+  sd_simplify : bool;
+  sd_verilog_lines : int option;
+  sd_blifmv_lines : int;
+}
+
+(* A cached payload is keyed to the coordinator manager's reorder
+   generation: sifting changes the exported order, and a stale snapshot
+   would force the slow per-node re-permute path on every import. *)
+and shared_cell = { sc_payload : shared_design; sc_order_rev : int }
 
 let set_reach_profile d b = d.profile_reach <- b
 let set_reach_simplify d b = d.simplify_reach <- b
@@ -56,7 +82,7 @@ let read_flat ?(heuristic = Trans.Min_width) ?verilog_lines ?timers flat =
   { flat; net; trans; heuristic; verilog_lines; blifmv_lines; read_time;
     timers; verdicts = Obs.Tally.create (); limits = Limits.none;
     reach_cache = None; reach_order_rev = 0; profile_reach = true;
-    simplify_reach = false }
+    simplify_reach = false; shared_cache = None }
 
 let read_blifmv ?heuristic src =
   let timers = Obs.Timers.create () in
@@ -249,14 +275,111 @@ let snapshot d =
     ~verdicts:(Obs.Tally.to_list d.verdicts)
     (stats d)
 
+(* ------------------------------------------------------------------ *)
+(* Sharing a built design across domains.  [share_design] runs on the
+   coordinator: it captures the relation's manager-independent shape
+   (schedules, supports) and exports the relation parts — plus the
+   conclusive reach set and its onion rings when cached — as one BDD
+   snapshot.  [design_of_shared] runs inside a worker domain: fresh
+   manager, same symbol table (Sym.make on the shared net is
+   deterministic, so variable indices line up), one linear-pass import,
+   and a pre-filled reach cache.  Workers thus skip the two expensive
+   coordinator phases: Rel.table_rel/latch_rel construction and the
+   reachability fixpoint. *)
+
+let share_design d =
+  let fresh () =
+    let parts = Trans.parts d.trans in
+    let reach_roots, rings, steps =
+      if reach_cache_valid d then
+        match d.reach_cache with
+        | Some r ->
+            ( r.Reach.reachable :: Array.to_list r.Reach.rings,
+              Array.length r.Reach.rings,
+              r.Reach.steps )
+        | None -> ([], 0, 0)
+      else ([], 0, 0)
+    in
+    let snapshot =
+      Bdd.export (Trans.man d.trans) (Array.to_list parts @ reach_roots)
+    in
+    let sd =
+      {
+        sd_flat = d.flat;
+        sd_net = d.net;
+        sd_heuristic = d.heuristic;
+        sd_shape = Trans.share d.trans;
+        sd_parts = Array.length parts;
+        sd_snapshot = snapshot;
+        sd_rings = rings;
+        sd_reach_steps = steps;
+        sd_simplify = d.simplify_reach;
+        sd_verilog_lines = d.verilog_lines;
+        sd_blifmv_lines = d.blifmv_lines;
+      }
+    in
+    d.shared_cache <- Some { sc_payload = sd; sc_order_rev = reorder_runs d };
+    sd
+  in
+  match d.shared_cache with
+  | Some { sc_payload; sc_order_rev }
+    when sc_order_rev = reorder_runs d
+         (* re-export when a reach set has become available since *)
+         && (sc_payload.sd_rings > 0 || not (reach_cache_valid d)) ->
+      sc_payload
+  | _ -> fresh ()
+
+let design_of_shared sd =
+  let (net, trans, reach), read_time =
+    timed (fun () ->
+        let man = Bdd.new_man () in
+        let sym = Sym.make man sd.sd_net in
+        let roots = Array.of_list (Bdd.import man sd.sd_snapshot) in
+        let parts = Array.sub roots 0 sd.sd_parts in
+        let trans = Trans.of_shared sym sd.sd_shape ~parts in
+        let reach =
+          if sd.sd_rings = 0 then None
+          else
+            Some
+              {
+                Reach.reachable = roots.(sd.sd_parts);
+                rings = Array.sub roots (sd.sd_parts + 1) sd.sd_rings;
+                steps = sd.sd_reach_steps;
+                verdict = Verdict.Pass;
+                profile = [||];
+              }
+        in
+        (sd.sd_net, trans, reach))
+  in
+  let d =
+    { flat = sd.sd_flat; net; trans; heuristic = sd.sd_heuristic;
+      verilog_lines = sd.sd_verilog_lines; blifmv_lines = sd.sd_blifmv_lines;
+      read_time; timers = Obs.Timers.create ();
+      verdicts = Obs.Tally.create (); limits = Limits.none;
+      reach_cache = reach; reach_order_rev = 0; profile_reach = false;
+      simplify_reach = sd.sd_simplify; shared_cache = None }
+  in
+  d.reach_order_rev <- reorder_runs d;
+  d
+
 (* Parallel property checking: fan the (design × property) pairs of a PIF
-   file out over a [Par] domain pool.  Share-nothing — every task rebuilds
-   the design (symbol table, relation BDDs, its own manager) inside its
-   domain from the flattened AST, so no BDD state crosses domains while
-   workers run.  Results are collected by task index, so the report lists
-   properties in PIF order regardless of which worker finished first. *)
+   file out over a [Par] domain pool.  Two modes:
+
+   - shared-work (default): the coordinator builds the relation — and,
+     when any CTL property will need it, the reachability fixpoint — once,
+     exports them as a [Bdd.snapshot], and every task rehydrates into a
+     fresh manager inside its domain ([design_of_shared]), skipping the
+     per-task relation build and reach fixpoint entirely;
+   - share-nothing ([~share:false]): every task rebuilds the design from
+     the flattened AST, repeating that work per property (kept for
+     comparison benchmarks).
+
+   Either way no BDD state crosses domains while workers run — snapshots
+   are plain int arrays.  Results are collected by task index, so the
+   report lists properties in PIF order regardless of which worker
+   finished first. *)
 let run_pif_par ?(early_failure = true) ?(witnesses = false)
-    ?(fail_fast = false) ?limits ~jobs d (pif : Pif.t) =
+    ?(fail_fast = false) ?(share = true) ?limits ~jobs d (pif : Pif.t) =
   let open Hsis_par in
   let limits = Option.value limits ~default:d.limits in
   let tasks =
@@ -269,34 +392,96 @@ let run_pif_par ?(early_failure = true) ?(witnesses = false)
             | None -> invalid_arg ("run_pif_par: unknown automaton " ^ name))
           pif.Pif.p_lc)
   in
+  let shared =
+    if not share || jobs <= 1 then None
+    else begin
+      (* The reach fixpoint is per-design work every CTL task repeats:
+         run it once here so the export ships the result.  A budget
+         interrupt just leaves the cache unfilled — workers then compute
+         reach themselves under their own budgets, as before. *)
+      if pif.Pif.p_ctl <> [] then ignore (reachable ~limits d);
+      Some (share_design d)
+    end
+  in
+  (* One rehydrated design per worker domain, not per task: the first
+     task a worker runs imports the snapshot, later tasks on the same
+     worker reuse the warm manager — computed caches included, so
+     neighbouring properties share fixpoint iterates just as they do
+     sequentially.  The key is fresh per call, so nothing leaks between
+     runs; worker domains die with the pool. *)
+  let worker_design = Domain.DLS.new_key (fun () -> None) in
+  let check_on ~limits sub = function
+    | `Ctl (name, f) ->
+        `Ctl
+          (check_ctl ~fairness:pif.Pif.p_fairness ~early_failure
+             ~explain:witnesses ~limits sub ~name f)
+    | `Lc aut ->
+        `Lc
+          (check_lc ~fairness:pif.Pif.p_fairness ~early_failure
+             ~trace:witnesses ~limits sub aut)
+  in
+  let zero_snap = Obs.merge [] in
   let run_task ~cancelled i =
     (* Bridge pool-level cancellation (fail-fast, sibling failure) into the
        task's own budget so BDD kernels poll it. *)
-    let sub = read_flat ~heuristic:d.heuristic d.flat in
+    let sub, before =
+      match shared with
+      | Some sd -> (
+          match Domain.DLS.get worker_design with
+          | Some (sd', sub) when sd' == sd ->
+              (* warm: count only this task's increments, so the merged
+                 document still sums to the run's totals *)
+              (sub, Some (snapshot sub))
+          | _ ->
+              let sub = design_of_shared sd in
+              Domain.DLS.set worker_design (Some (sd, sub));
+              (sub, None))
+      | None -> (read_flat ~heuristic:d.heuristic d.flat, None)
+    in
     sub.profile_reach <- false;
     sub.simplify_reach <- d.simplify_reach;
-    sub.limits <- Par.with_cancelled limits cancelled;
-    let res =
-      match tasks.(i) with
-      | `Ctl (name, f) ->
-          `Ctl
-            (check_ctl ~fairness:pif.Pif.p_fairness ~early_failure
-               ~explain:witnesses sub ~name f)
-      | `Lc aut ->
-          `Lc
-            (check_lc ~fairness:pif.Pif.p_fairness ~early_failure
-               ~trace:witnesses sub aut)
+    let res = check_on ~limits:(Par.with_cancelled limits cancelled) sub tasks.(i) in
+    let snap =
+      match before with
+      | Some b -> Obs.diff b (snapshot sub)
+      | None -> snapshot sub
     in
-    (res, snapshot sub)
+    (res, snap)
   in
   let failed (res, _snap) =
     match res with
     | `Ctl p -> ( match p.pr_verdict with Verdict.Fail _ -> true | _ -> false)
     | `Lc p -> ( match p.pr_verdict with Verdict.Fail _ -> true | _ -> false)
   in
-  let stop_when = if fail_fast then Some (fun _ r -> failed r) else None in
-  let results, pstats =
-    Par.run ~jobs ~limits ?stop_when ~tasks:(Array.length tasks) run_task
+  let results, worker_samples =
+    if jobs <= 1 then begin
+      (* A single worker cannot overlap anything: run the tasks in order
+         on the coordinator design itself — no pool, no export, no extra
+         manager, so -j 1 is a true no-regression against {!run_pif}
+         (fail-fast still stops at the first definitive failure; skipped
+         tasks come back cancelled below).  Per-task snapshots are zero:
+         the parent design's own snapshot already carries the work. *)
+      let n = Array.length tasks in
+      let results = Array.make n None in
+      let t0 = Obs.Clock.now () in
+      let ran = ref 0 in
+      (try
+         for i = 0 to n - 1 do
+           let res = check_on ~limits d tasks.(i) in
+           incr ran;
+           results.(i) <- Some (res, zero_snap);
+           if fail_fast && failed (res, zero_snap) then raise Exit
+         done
+       with Exit -> ());
+      (results, [ { Obs.w_tasks = !ran; w_time = Obs.Clock.now () -. t0 } ])
+    end
+    else begin
+      let stop_when = if fail_fast then Some (fun _ r -> failed r) else None in
+      let results, pstats =
+        Par.run ~jobs ~limits ?stop_when ~tasks:(Array.length tasks) run_task
+      in
+      (results, Par.worker_samples pstats)
+    end
   in
   (* A task skipped by cancellation still yields a property result — an
      Inconclusive(Cancelled) verdict, tallied on the parent design so the
@@ -321,7 +506,7 @@ let run_pif_par ?(early_failure = true) ?(witnesses = false)
     tasks;
   let ctl = List.rev !ctl and lc = List.rev !lc in
   let merged = Obs.merge (snapshot d :: List.rev !snaps) in
-  let merged = { merged with Obs.workers = Par.worker_samples pstats } in
+  let merged = { merged with Obs.workers = worker_samples } in
   ( {
       design_name = d.flat.Ast.m_name;
       ctl;
@@ -453,9 +638,15 @@ module Session = struct
   let live_nodes s =
     (Bdd.stats (Trans.man s.s_design.trans)).Obs.arena.Obs.Arena.live
 
+  let snapshot_bytes s =
+    match s.s_design.shared_cache with
+    | Some { sc_payload; _ } -> Bdd.snapshot_bytes sc_payload.sd_snapshot
+    | None -> 0
+
   let close s =
     s.s_closed <- true;
-    s.s_design.reach_cache <- None
+    s.s_design.reach_cache <- None;
+    s.s_design.shared_cache <- None
 
   let run ?(early_failure = true) ?(witnesses = false) ?(fail_fast = false)
       ?(jobs = 1) ?limits s pif =

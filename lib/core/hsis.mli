@@ -43,7 +43,20 @@ type design = {
       (** [restrict]-simplify each reachability frontier against the
           already-reached interior before the image call (default [false];
           see {!set_reach_simplify}) *)
+  mutable shared_cache : shared_cell option;
+      (** last {!share_design} payload, keyed to the manager's reorder
+          generation; reused by later shared-work runs on the same design
+          (e.g. a warm serve session) instead of re-exporting *)
 }
+
+and shared_design
+(** The exported, domain-shareable form of a design: the flattened network
+    and relation {e shape} (plain immutable data) plus one [Bdd.snapshot]
+    carrying the relation parts and — when the coordinator's reach cache
+    was conclusive — the reachable set and its onion rings.  Produced by
+    {!share_design}, consumed by {!design_of_shared}. *)
+
+and shared_cell = { sc_payload : shared_design; sc_order_rev : int }
 
 val set_reach_profile : design -> bool -> unit
 (** Enable or disable per-step reachability profiling before the first
@@ -158,26 +171,53 @@ val run_pif :
     constraints (and [limits], default the design's installed
     {!val-limits}). *)
 
+val share_design : design -> shared_design
+(** Export the design for cross-domain rehydration: the relation parts —
+    and, when {!reach_cache_valid} holds, the reachable set with its onion
+    rings — as one [Bdd.snapshot], alongside the relation shape
+    ([Trans.share]).  Cached on the design ({!design.shared_cache}) keyed
+    to the manager's reorder generation, so repeated shared-work runs
+    export once. *)
+
+val design_of_shared : shared_design -> design
+(** Rehydrate inside a worker domain: fresh BDD manager, deterministic
+    symbol table ([Sym.make] on the shared net gives identical variable
+    indices), one linear-pass [Bdd.import], and a pre-filled conclusive
+    reach cache when the payload carried one.  The result is a full
+    {!design} whose property checks skip both the relation build and the
+    reachability fixpoint.  Reach profiling starts disabled; budgets start
+    at [Limits.none]. *)
+
 val run_pif_par :
   ?early_failure:bool ->
   ?witnesses:bool ->
   ?fail_fast:bool ->
+  ?share:bool ->
   ?limits:Limits.t ->
   jobs:int ->
   design ->
   Pif.t ->
   report * Obs.snapshot
-(** {!run_pif} fanned out over a [Par] domain pool: one share-nothing task
-    per property, each rebuilding the design (own BDD manager) inside its
-    worker domain from the flattened AST.  Results are keyed by property
-    index, so the report lists properties in PIF order and verdicts match
-    {!run_pif} regardless of scheduling.  The design's {!val-limits}
-    deadline / cancellation governs the whole pool; with [fail_fast] the
-    first definitive [Fail] cancels the remaining tasks, which come back as
-    [Inconclusive (Cancelled)].  Also returns the merged observability
-    snapshot ([Obs.merge] of the parent and every task snapshot, with the
-    pool's per-worker activity in its [workers] member) — per-task manager
-    counters are not otherwise reachable once the tasks finish. *)
+(** {!run_pif} fanned out over a [Par] domain pool, one task per property.
+    By default ([share]) the coordinator builds the relation — and the
+    reachability fixpoint, when any CTL property is present — once,
+    exports them with {!share_design}, and each task rehydrates with
+    {!design_of_shared} into its own fresh manager: per-design work is
+    done once instead of once per property.  With [~share:false] every
+    task rebuilds the design from the flattened AST (the original
+    share-nothing mode, kept for comparison benchmarks).  Language-
+    containment products are still built per task in both modes
+    ([Lc.check] works from the flattened AST).  Results are keyed by
+    property index, so the report lists properties in PIF order and
+    verdicts match {!run_pif} regardless of scheduling.  The design's
+    {!val-limits} deadline / cancellation governs the whole pool; with
+    [fail_fast] the first definitive [Fail] cancels the remaining tasks,
+    which come back as [Inconclusive (Cancelled)].  Also returns the
+    merged observability snapshot ([Obs.merge] of the parent and every
+    task snapshot, with the pool's per-worker activity in its [workers]
+    member and the snapshot export/import traffic in each manager's
+    [snap] counters) — per-task manager counters are not otherwise
+    reachable once the tasks finish. *)
 
 val report_exit_code : report -> int
 (** CLI protocol: [3] if any property has a definitive [Fail] verdict,
@@ -249,6 +289,11 @@ module Session : sig
   val live_nodes : t -> int
   (** Live BDD nodes held by the session's manager — the unit of the
       serve cache's memory budget. *)
+
+  val snapshot_bytes : t -> int
+  (** Wire bytes of the session design's cached {!share_design} payload
+      (0 when none): counted into the serve cache's per-entry weight so a
+      warm session's retained export is paid for. *)
 
   val run :
     ?early_failure:bool ->

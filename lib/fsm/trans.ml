@@ -213,6 +213,40 @@ let map_parts t f =
     (* supports unchanged: restrict-style maps only shrink supports *)
   }
 
+(* The manager-independent shape of a built relation: heuristic, abstract
+   supports, and the image/preimage schedules (plain variant data).  No
+   BDD handles — safe to share across domains.  The parts themselves
+   travel separately as a [Bdd.snapshot]. *)
+type shared = {
+  sh_heuristic : heuristic;
+  sh_supports : int list array;
+  sh_img : Schedule.t;
+  sh_pre : Schedule.t;
+}
+
+let share t =
+  {
+    sh_heuristic = t.heuristic;
+    sh_supports = t.supports;
+    sh_img = image_schedule t;
+    sh_pre = preimage_schedule t;
+  }
+
+let of_shared sym sh ~parts =
+  if Array.length parts <> Array.length sh.sh_supports then
+    invalid_arg "Trans.of_shared: parts/supports length mismatch";
+  {
+    sym;
+    heuristic = sh.sh_heuristic;
+    parts;
+    supports = sh.sh_supports;
+    mono = None;
+    mono_peak = 0;
+    img_sched = Some sh.sh_img;
+    pre_sched = Some sh.sh_pre;
+    abs_scheds = Hashtbl.create 16;
+  }
+
 let parts_size t =
   Array.fold_left (fun acc p -> acc + Bdd.dag_size p) 0 t.parts
 

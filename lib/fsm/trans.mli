@@ -58,6 +58,28 @@ val map_parts : t -> (Bdd.t -> Bdd.t) -> t
 (** Apply a transformation (e.g. don't-care minimization) to each part;
     supports may only shrink, so schedules stay valid. *)
 
+(** {1 Cross-domain sharing}
+
+    A relation is rebuilt in another manager in two pieces: the
+    manager-independent {e shape} below (heuristic, abstract supports,
+    quantification schedules — immutable plain data, safe to share
+    across domains) and the parts themselves, shipped as a
+    [Bdd.snapshot] and re-imported.  Together they skip both the
+    [Rel.table_rel]/[Rel.latch_rel] construction and the schedule
+    clustering on the receiving side. *)
+
+type shared
+
+val share : t -> shared
+(** Capture the shape, forcing the image and preimage schedules if not
+    yet computed. *)
+
+val of_shared : Sym.t -> shared -> parts:Bdd.t array -> t
+(** Reassemble a relation in [sym]'s manager from a shared shape and
+    re-imported parts (same count and order as [parts] of the source —
+    raises [Invalid_argument] on a length mismatch).  Abstraction
+    schedules restart empty; the monolithic relation is not carried. *)
+
 val parts_size : t -> int
 (** Total dag nodes across parts (metric for minimization benches). *)
 

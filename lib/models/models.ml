@@ -18,15 +18,34 @@ let table1_small () =
     Mdlc.make ();
   ]
 
+let scaled ?(sizes = [ 8; 12; 16 ]) () =
+  List.concat_map
+    (fun n -> [ Philos.make ~n (); Ring.make ~n (); Scheduler.make ~n () ])
+    sizes
+
+(* "philos7" / "ring12" / "scheduler40" -> Some 7 / 12 / 40 *)
+let param_of prefix name =
+  let pl = String.length prefix in
+  if String.length name > pl && String.sub name 0 pl = prefix then
+    match int_of_string_opt (String.sub name pl (String.length name - pl)) with
+    | Some n when n >= 2 -> Some n
+    | _ -> None
+  else None
+
 let by_name name =
-  let candidates =
+  let static =
     table1 ()
-    @ [
-        Scheduler.make ~n:5 ();
-        Scheduler.make ~n:8 ();
-        Scheduler.make ~n:12 ();
-        Peterson.make ();
-        Peterson.broken ();
-      ]
+    @ [ Ring.make (); Peterson.make (); Peterson.broken () ]
   in
-  List.find_opt (fun m -> m.Model.name = name) candidates
+  match List.find_opt (fun m -> m.Model.name = name) static with
+  | Some m -> Some m
+  | None -> (
+      match param_of "scheduler" name with
+      | Some n -> Some (Scheduler.make ~n ())
+      | None -> (
+          match param_of "philos" name with
+          | Some n -> Some (Philos.make ~n ())
+          | None -> (
+              match param_of "ring" name with
+              | Some n -> Some (Ring.make ~n ())
+              | None -> None)))

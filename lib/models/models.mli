@@ -7,5 +7,12 @@ val table1 : unit -> Model.t list
 val table1_small : unit -> Model.t list
 (** Same designs with the scheduler scaled down (for tests). *)
 
+val scaled : ?sizes:int list -> unit -> Model.t list
+(** The parameterized families (philos / ring / scheduler) at each given
+    size — the scaled designs of the parallel benchmarks, 10-100x the
+    Table 1 state counts at the default sizes. *)
+
 val by_name : string -> Model.t option
-(** Table-1 designs plus scheduler5/8/12 and peterson / peterson-broken. *)
+(** Table-1 designs, ring, peterson / peterson-broken, plus any instance
+    of the parameterized families by suffixed name: ["philos<n>"],
+    ["ring<n>"], ["scheduler<n>"] (n >= 2). *)

@@ -1,4 +1,4 @@
-let verilog =
+let verilog2 =
   {|
 // Two dining philosophers, forks taken one at a time (deadlock possible).
 module philos(clk);
@@ -36,7 +36,7 @@ module philos(clk);
 endmodule
 |}
 
-let pif =
+let pif2 =
   {|
 ctl mutual_exclusion "AG !(p0=EAT & p1=EAT)";
 ctl possible_progress "AG (p0=HUNGRY -> EF p0=EAT)";
@@ -60,10 +60,76 @@ automaton p0_eats_forever_often {
 lc p0_eats_forever_often;
 |}
 
-let make () =
-  {
-    Model.name = "philos";
-    verilog;
-    pif;
-    description = "two dining philosophers with single-fork pickup";
-  }
+(* The same protocol at ring size [n]: philosopher [i] picks fork [i]
+   (left) first, then fork [i+1 mod n]; one philosopher moves per step,
+   chosen by a multi-way $ND.  Forks are single bits — ownership is
+   implicit in the philosopher states, and only the holder releases.  The
+   circular wait (everybody in ONE) stays reachable at every [n]. *)
+let verilog n =
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "// %d dining philosophers, forks taken one at a time (deadlock possible).\n" n;
+  pf "module philos(clk);\n  input clk;\n";
+  for i = 0 to n - 1 do
+    pf "  enum {THINK, HUNGRY, ONE, EAT} reg p%d;\n" i
+  done;
+  for i = 0 to n - 1 do
+    pf "  reg f%d;\n" i
+  done;
+  pf "  wire [%d:0] turn;\n" (max 1 (Scheduler.bits_for n) - 1);
+  pf "  assign turn = $ND(%s);\n"
+    (String.concat ", " (List.init n string_of_int));
+  pf "  wire act;\n  assign act = $ND(0, 1);\n";
+  for i = 0 to n - 1 do
+    pf "  initial p%d = THINK;\n" i
+  done;
+  for i = 0 to n - 1 do
+    pf "  initial f%d = 0;\n" i
+  done;
+  pf "  always @(posedge clk) begin\n    if (act) begin\n";
+  for i = 0 to n - 1 do
+    let right = (i + 1) mod n in
+    pf "      %s (turn == %d) begin\n" (if i = 0 then "if" else "end else if") i;
+    pf "        case (p%d)\n" i;
+    pf "          THINK: p%d <= HUNGRY;\n" i;
+    pf "          HUNGRY: if (f%d == 0) begin f%d <= 1; p%d <= ONE; end\n" i i i;
+    pf "          ONE: if (f%d == 0) begin f%d <= 1; p%d <= EAT; end\n" right
+      right i;
+    pf "          EAT: begin p%d <= THINK; f%d <= 0; f%d <= 0; end\n" i i right;
+    pf "        endcase\n"
+  done;
+  pf "      end\n    end\n  end\nendmodule\n";
+  Buffer.contents b
+
+(* Per-philosopher properties, so the property count scales with the ring:
+   [n] adjacent-mutex invariants plus [n] possible-progress formulas (each
+   an EF fixpoint — the per-property model-checking work the parallel
+   benchmarks fan out). *)
+let pif n =
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  for i = 0 to n - 1 do
+    pf "ctl mutual_exclusion_%d \"AG !(p%d=EAT & p%d=EAT)\";\n" i i
+      ((i + 1) mod n)
+  done;
+  for i = 0 to n - 1 do
+    pf "ctl possible_progress_%d \"AG (p%d=HUNGRY -> EF p%d=EAT)\";\n" i i i
+  done;
+  Buffer.contents b
+
+let make ?(n = 2) () =
+  if n = 2 then
+    {
+      Model.name = "philos";
+      verilog = verilog2;
+      pif = pif2;
+      description = "two dining philosophers with single-fork pickup";
+    }
+  else
+    {
+      Model.name = Printf.sprintf "philos%d" n;
+      verilog = verilog n;
+      pif = pif n;
+      description =
+        Printf.sprintf "%d dining philosophers with single-fork pickup" n;
+    }

@@ -1,6 +1,12 @@
-(** Dining philosophers (Table 1 row "philos"): two philosophers, two
-    forks picked up one at a time — mutual exclusion holds, the liveness
-    containment property fails on the classic deadlock, which exercises
-    the debugger. *)
+(** Dining philosophers (Table 1 row "philos"): forks picked up one at a
+    time (left first), so the classic circular-wait deadlock is reachable
+    at every ring size.  The default [n = 2] is the paper's hand-written
+    instance, whose liveness containment property fails on the deadlock
+    and exercises the debugger; larger [n] generates the same protocol
+    with [n] philosophers and a property list that scales with the ring
+    ([n] adjacent-mutex invariants + [n] EF-progress formulas), sized for
+    the parallel benchmarks. *)
 
-val make : unit -> Model.t
+val make : ?n:int -> unit -> Model.t
+(** Default [n = 2] (named ["philos"]); generated instances are named
+    ["philos<n>"]. *)

@@ -1,0 +1,79 @@
+(* A token-ring mutex with [n] stations.  A single token position cycles
+   through the stations; each station independently runs IDLE -> WAIT ->
+   CS -> IDLE, entering its critical section only while the token is at
+   its slot.  The token may only advance past an IDLE station, so a
+   waiting station freezes it until it has been through the critical
+   section — entering CS and advancing the token can never happen in the
+   same step, which is what makes the mutual exclusion invariants hold.
+   Reachable states grow as [n * 3^n]: the scaled rows of the parallel
+   benchmarks. *)
+
+let default_n = 4
+
+let verilog n =
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let w = max 1 (Scheduler.bits_for n) in
+  pf "// Token-ring mutex with %d stations.\n" n;
+  pf "module ring(clk);\n  input clk;\n";
+  pf "  reg [%d:0] pos;\n" (w - 1);
+  for i = 0 to n - 1 do
+    pf "  enum {IDLE, WAIT, CS} reg s%d;\n" i
+  done;
+  pf "  wire [%d:0] who;\n" (w - 1);
+  pf "  assign who = $ND(%s);\n"
+    (String.concat ", " (List.init n string_of_int));
+  pf "  wire req;\n  assign req = $ND(0, 1);\n";
+  pf "  wire mv;\n  assign mv = $ND(0, 1);\n";
+  for i = 0 to n - 1 do
+    pf "  wire idle%d;\n  assign idle%d = s%d == IDLE;\n" i i i
+  done;
+  (* token may advance only past an idle station *)
+  pf "  wire atpos_idle;\n  assign atpos_idle = ";
+  for i = 0 to n - 2 do
+    pf "(pos == %d) ? idle%d : " i i
+  done;
+  pf "idle%d;\n" (n - 1);
+  pf "  wire advance;\n  assign advance = mv & atpos_idle;\n";
+  pf "  initial pos = 0;\n";
+  for i = 0 to n - 1 do
+    pf "  initial s%d = IDLE;\n" i
+  done;
+  pf "  always @(posedge clk) begin\n";
+  pf "    if (advance) pos <= (pos == %d) ? 0 : pos + 1;\n" (n - 1);
+  pf "  end\n";
+  for i = 0 to n - 1 do
+    pf "  always @(posedge clk) begin\n";
+    pf "    if (who == %d) begin\n" i;
+    pf "      case (s%d)\n" i;
+    pf "        IDLE: if (req) s%d <= WAIT;\n" i;
+    pf "        WAIT: if (pos == %d) s%d <= CS;\n" i i;
+    pf "        CS: if (req) s%d <= IDLE;\n" i;
+    pf "      endcase\n";
+    pf "    end\n";
+    pf "  end\n"
+  done;
+  pf "endmodule\n";
+  Buffer.contents b
+
+(* [n] adjacent-exclusion invariants plus [n] EF-accession formulas: one
+   property per station in each direction around the ring. *)
+let pif n =
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  for i = 0 to n - 1 do
+    pf "ctl mutex_%d \"AG !(s%d=CS & s%d=CS)\";\n" i i ((i + 1) mod n)
+  done;
+  for i = 0 to n - 1 do
+    pf "ctl accession_%d \"AG (s%d=WAIT -> EF s%d=CS)\";\n" i i i
+  done;
+  Buffer.contents b
+
+let make ?(n = default_n) () =
+  {
+    Model.name =
+      (if n = default_n then "ring" else Printf.sprintf "ring%d" n);
+    verilog = verilog n;
+    pif = pif n;
+    description = Printf.sprintf "token-ring mutex with %d stations" n;
+  }

@@ -1,0 +1,13 @@
+(** Token-ring mutex with [n] stations: a unique token position cycles
+    past idle stations; each station runs IDLE -> WAIT -> CS, entering
+    its critical section only with the token at its slot (a waiting
+    station freezes the token until served).  Mutual exclusion holds;
+    every station can always eventually be served.  Reachable states grow
+    as [n * 3^n] and the property list scales with [n] ([n] adjacent
+    mutex invariants + [n] EF accession formulas) — the scaled family of
+    the parallel benchmarks. *)
+
+val make : ?n:int -> unit -> Model.t
+(** Default [n = 4] (named ["ring"]); other sizes are named ["ring<n>"]. *)
+
+val default_n : int

@@ -8,3 +8,7 @@ val make : ?n:int -> unit -> Model.t
 (** Default [n = 17]. *)
 
 val default_n : int
+
+val bits_for : int -> int
+(** Bits needed to count to [n - 1] (shared by the other generated
+    families). *)

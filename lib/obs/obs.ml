@@ -333,12 +333,31 @@ module Limit = struct
   let zero = { checks = 0; interrupts = [] }
 end
 
+module Snap = struct
+  (* BDD snapshot traffic (Bdd.export / Bdd.import): how many snapshots
+     this manager produced and consumed, the total nodes and wire bytes
+     shipped, and the wall-clock cost of each direction.  All monotone. *)
+  type t = {
+    exports : int;
+    imports : int;
+    nodes : int;
+    bytes : int;
+    export_time : float;
+    import_time : float;
+  }
+
+  let zero =
+    { exports = 0; imports = 0; nodes = 0; bytes = 0; export_time = 0.0;
+      import_time = 0.0 }
+end
+
 type man_stats = {
   cache : Cache.t;
   gc : Gc.t;
   reorder : Reorder.t;
   arena : Arena.t;
   limits : Limit.t;
+  snap : Snap.t;
 }
 
 type reach_sample = {
@@ -501,6 +520,21 @@ let diff before after =
                 (tally_diff before.man.limits.Limit.interrupts)
                 after.man.limits.Limit.interrupts;
           };
+        snap =
+          {
+            Snap.exports =
+              sub after.man.snap.Snap.exports before.man.snap.Snap.exports;
+            imports =
+              sub after.man.snap.Snap.imports before.man.snap.Snap.imports;
+            nodes = sub after.man.snap.Snap.nodes before.man.snap.Snap.nodes;
+            bytes = sub after.man.snap.Snap.bytes before.man.snap.Snap.bytes;
+            export_time =
+              subf after.man.snap.Snap.export_time
+                before.man.snap.Snap.export_time;
+            import_time =
+              subf after.man.snap.Snap.import_time
+                before.man.snap.Snap.import_time;
+          };
       };
     phases = List.map phase_diff after.phases;
     reach = after.reach;
@@ -588,6 +622,15 @@ let merge snapshots =
             merge_tallies ( + ) 0
               (List.map (fun m -> m.limits.Limit.interrupts) mans);
         };
+      snap =
+        {
+          Snap.exports = sum (fun m -> m.snap.Snap.exports);
+          imports = sum (fun m -> m.snap.Snap.imports);
+          nodes = sum (fun m -> m.snap.Snap.nodes);
+          bytes = sum (fun m -> m.snap.Snap.bytes);
+          export_time = sumf (fun m -> m.snap.Snap.export_time);
+          import_time = sumf (fun m -> m.snap.Snap.import_time);
+        };
     }
   in
   let first_non_empty f =
@@ -640,6 +683,12 @@ let pp fmt s =
       l.Limit.interrupts;
     Format.fprintf fmt "@."
   end;
+  let sn = s.man.snap in
+  if sn.Snap.exports > 0 || sn.Snap.imports > 0 then
+    Format.fprintf fmt
+      "snapshot    : %d exports %.3fs, %d imports %.3fs, %d nodes, %d bytes@."
+      sn.Snap.exports sn.Snap.export_time sn.Snap.imports sn.Snap.import_time
+      sn.Snap.nodes sn.Snap.bytes;
   if s.verdicts <> [] then begin
     Format.fprintf fmt "verdicts    :";
     List.iter
@@ -695,12 +744,13 @@ let pp fmt s =
 
 (* /2 added the cache "slots" and "evictions" members; /3 added the
    "limits" object (budget checks and per-reason interrupt counts) and the
-   top-level "verdicts" tally; /4 adds the "workers" member (per-worker
+   top-level "verdicts" tally; /4 added the "workers" member (per-worker
    task counts and wall time of a merged parallel run) and the per-step
-   "simplify_saved" member of the reach profile.  Each bump is additive:
-   older readers ignore the new members, and of_json defaults them to
-   zero/empty when reading older documents. *)
-let schema_version = "hsis-obs/4"
+   "simplify_saved" member of the reach profile; /5 adds the "snapshot"
+   object (BDD export/import traffic of the shared-work parallel path).
+   Each bump is additive: older readers ignore the new members, and
+   of_json defaults them to zero/empty when reading older documents. *)
+let schema_version = "hsis-obs/5"
 
 let to_json s =
   let open Json in
@@ -752,6 +802,14 @@ let to_json s =
                  (List.map
                     (fun (n, v) -> (n, Int v))
                     s.man.limits.Limit.interrupts) ) ] );
+       ( "snapshot",
+         Obj
+           [ ("exports", Int s.man.snap.Snap.exports);
+             ("imports", Int s.man.snap.Snap.imports);
+             ("nodes", Int s.man.snap.Snap.nodes);
+             ("bytes", Int s.man.snap.Snap.bytes);
+             ("export_s", Float s.man.snap.Snap.export_time);
+             ("import_s", Float s.man.snap.Snap.import_time) ] );
        ( "verdicts",
          Obj (List.map (fun (n, v) -> (n, Int v)) s.verdicts) );
        ("phases", List (List.map phase s.phases));
@@ -841,6 +899,18 @@ let of_json j =
       interrupts = int_tally (member "interrupts" jl);
     }
   in
+  (* Absent on /1–/4 documents; default to zero traffic. *)
+  let snap =
+    let js = Option.value ~default:(Obj []) (member "snapshot" j) in
+    {
+      Snap.exports = to_int (member "exports" js);
+      imports = to_int (member "imports" js);
+      nodes = to_int (member "nodes" js);
+      bytes = to_int (member "bytes" js);
+      export_time = to_float (member "export_s" js);
+      import_time = to_float (member "import_s" js);
+    }
+  in
   let verdicts = int_tally (member "verdicts" j) in
   let phases =
     List.map
@@ -883,7 +953,7 @@ let of_json j =
             rel_largest = to_int (member "largest" jr);
           }
   in
-  { man = { cache; gc; reorder; arena; limits }; phases; reach; relation;
-    verdicts; workers }
+  { man = { cache; gc; reorder; arena; limits; snap }; phases; reach;
+    relation; verdicts; workers }
 
 let json_string s = Json.to_string (to_json s)

@@ -116,12 +116,28 @@ module Limit : sig
   val zero : t
 end
 
+module Snap : sig
+  type t = {
+    exports : int;  (** snapshots produced by [Bdd.export] *)
+    imports : int;  (** snapshots consumed by [Bdd.import] *)
+    nodes : int;  (** total DAG nodes shipped, both directions *)
+    bytes : int;  (** total wire bytes shipped, both directions *)
+    export_time : float;  (** wall-clock seconds spent exporting *)
+    import_time : float;  (** wall-clock seconds spent importing *)
+  }
+  (** BDD snapshot traffic of the shared-work parallel path.  All
+      monotone. *)
+
+  val zero : t
+end
+
 type man_stats = {
   cache : Cache.t;
   gc : Gc.t;
   reorder : Reorder.t;
   arena : Arena.t;
   limits : Limit.t;
+  snap : Snap.t;
 }
 (** One BDD manager's counters, as returned by [Bdd.stats]. *)
 
@@ -141,7 +157,7 @@ type worker_sample = {
   w_time : float;  (** wall-clock seconds it spent inside tasks *)
 }
 (** Per-worker activity of a parallel run ([Par] pool), carried on merged
-    snapshots as the [workers] member (schema hsis-obs/4). *)
+    snapshots as the [workers] member (since schema hsis-obs/4). *)
 
 type rel_profile = { rel_parts : int; rel_nodes : int; rel_largest : int }
 (** Shape of the conjunctively partitioned transition relation. *)
@@ -231,10 +247,11 @@ val merge : snapshot list -> snapshot
     compose.  [merge [] ] is the all-zero snapshot. *)
 
 val schema_version : string
-(** Value of the ["schema"] member of emitted JSON ("hsis-obs/4"; /2 added
+(** Value of the ["schema"] member of emitted JSON ("hsis-obs/5"; /2 added
     the additive cache ["slots"]/["evictions"] members, /3 the ["limits"]
     object and ["verdicts"] tally, /4 the ["workers"] member and the
-    per-step ["simplify_saved"] reach-profile member). *)
+    per-step ["simplify_saved"] reach-profile member, /5 the ["snapshot"]
+    object with BDD export/import traffic). *)
 
 val pp : Format.formatter -> snapshot -> unit
 (** Human-readable multi-line report. *)

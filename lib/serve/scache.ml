@@ -47,9 +47,24 @@ let next_tick t =
   t.tick <- t.tick + 1;
   t.tick
 
+(* A cached shared-work snapshot ([Session.snapshot_bytes]) is heap the
+   session holds beyond its BDD arena; charge it against the node budget
+   at the wire rate of one node per 4 boxed-int record (32 bytes). *)
+let snapshot_node_equiv s = Hsis.Session.snapshot_bytes s / 32
+
+let weight e =
+  Hsis.Session.live_nodes e.session + snapshot_node_equiv e.session
+
 let total_live t =
   List.fold_left (fun acc e -> acc + Hsis.Session.live_nodes e.session) 0
     t.entries
+
+let total_snapshot_bytes t =
+  List.fold_left
+    (fun acc e -> acc + Hsis.Session.snapshot_bytes e.session)
+    0 t.entries
+
+let total_weight t = List.fold_left (fun acc e -> acc + weight e) 0 t.entries
 
 (* Evict least-recently-used entries until both budgets hold.  [keep] (the
    session just inserted or just used) is exempt: the cache always admits
@@ -61,7 +76,7 @@ let enforce ?keep t =
     match keep with Some s -> e.session == s | None -> false
   in
   let over () =
-    List.length t.entries > t.max_entries || total_live t > t.max_live_nodes
+    List.length t.entries > t.max_entries || total_weight t > t.max_live_nodes
   in
   let evictable () =
     List.exists (fun e -> not (is_kept e)) t.entries
@@ -105,6 +120,7 @@ let find_or_open t ~heuristic source =
 type stats = {
   entries : int;
   live_nodes : int;
+  snapshot_bytes : int;
   hits : int;
   misses : int;
   evictions : int;
@@ -114,6 +130,7 @@ let stats (t : t) =
   {
     entries = List.length t.entries;
     live_nodes = total_live t;
+    snapshot_bytes = total_snapshot_bytes t;
     hits = t.hits;
     misses = t.misses;
     evictions = t.evictions;
@@ -136,6 +153,7 @@ let to_json t =
     [
       ("entries", Obs.Json.Int s.entries);
       ("live_nodes", Obs.Json.Int s.live_nodes);
+      ("snapshot_bytes", Obs.Json.Int s.snapshot_bytes);
       ("max_entries", Obs.Json.Int t.max_entries);
       ("max_live_nodes", Obs.Json.Int t.max_live_nodes);
       ("hits", Obs.Json.Int s.hits);
@@ -153,6 +171,8 @@ let to_json t =
                    ("hits", Obs.Json.Int (Hsis.Session.hits e.session));
                    ( "live_nodes",
                      Obs.Json.Int (Hsis.Session.live_nodes e.session) );
+                   ( "snapshot_bytes",
+                     Obs.Json.Int (Hsis.Session.snapshot_bytes e.session) );
                  ])
              (by_recency t)) );
     ]

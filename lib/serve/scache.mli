@@ -13,10 +13,12 @@ open Hsis_fsm
     skips rebuilding.
 
     Eviction is LRU under a two-sided budget in the style of [Limits]:
-    a maximum entry count and a maximum total of live BDD nodes across
-    all cached sessions (a session's footprint grows as jobs run, so the
-    budget is re-enforced after every job, not only on insert).  Evicted
-    sessions are closed.  Hit/miss/eviction totals and per-entry hit
+    a maximum entry count and a maximum total footprint across all cached
+    sessions, counted in node-equivalents — live BDD nodes plus any
+    cached shared-work snapshot ([Hsis.Session.snapshot_bytes]) at the
+    wire rate of 32 bytes per node record.  A session's footprint grows
+    as jobs run, so the budget is re-enforced after every job, not only
+    on insert.  Evicted sessions are closed.  Hit/miss/eviction totals and per-entry hit
     counters are kept as [Obs.Tally]-style counters and surfaced through
     {!to_json} (the ["cache"] member of serve responses and of [hsis
     serve --stats-json] output). *)
@@ -40,6 +42,9 @@ val enforce : ?keep:Hsis.Session.t -> t -> unit
 type stats = {
   entries : int;
   live_nodes : int;  (** total across cached sessions, as of last probe *)
+  snapshot_bytes : int;
+      (** total cached shared-work snapshot bytes across sessions; counted
+          against the node budget at 32 bytes per node-equivalent *)
   hits : int;
   misses : int;
   evictions : int;
@@ -58,5 +63,6 @@ val clear : t -> unit
 (** Close and drop every session (counters are kept). *)
 
 val to_json : t -> Obs.Json.t
-(** [{"entries", "live_nodes", "max_entries", "max_live_nodes", "hits",
-    "misses", "evictions", "per_entry": {...}, "sessions": [...]}]. *)
+(** [{"entries", "live_nodes", "snapshot_bytes", "max_entries",
+    "max_live_nodes", "hits", "misses", "evictions", "per_entry": {...},
+    "sessions": [...]}]. *)

@@ -104,6 +104,7 @@ let cache_member t interaction =
          [
            ("entries", Obs.Json.Int s.Scache.entries);
            ("live_nodes", Obs.Json.Int s.Scache.live_nodes);
+           ("snapshot_bytes", Obs.Json.Int s.Scache.snapshot_bytes);
            ("hits", Obs.Json.Int s.Scache.hits);
            ("misses", Obs.Json.Int s.Scache.misses);
            ("evictions", Obs.Json.Int s.Scache.evictions);

@@ -364,7 +364,7 @@ let test_workers_roundtrip () =
       Alcotest.(check int) "v3 simplify_saved defaults 0" 0
         s.Obs.simplify_saved
   | _ -> Alcotest.fail "v3 reach profile lost");
-  Alcotest.(check string) "schema is /4" "hsis-obs/4" Obs.schema_version
+  Alcotest.(check string) "schema is /5" "hsis-obs/5" Obs.schema_version
 
 let () =
   Alcotest.run "obs"

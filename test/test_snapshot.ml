@@ -1,0 +1,197 @@
+(* BDD snapshot export/import: round-trips across managers, constants,
+   GC survival, variable-order mismatch (strict reject vs re-canonicalize),
+   and Rng-fuzzed random formula sets.  The round-trip check is semantic:
+   export from m1, import into m2, export from m2, import back into m1,
+   and require [Bdd.iff original back] to be the true BDD. *)
+
+open Hsis_bdd
+module Rng = Hsis_gen.Rng
+
+let alloc n m = Array.init n (fun _ -> Bdd.new_var m)
+
+(* A fresh manager with [n] variables allocated in index order, i.e. the
+   same order as any other manager built this way. *)
+let twin_man n =
+  let m = Bdd.new_man () in
+  let _ = alloc n m in
+  m
+
+let check_round_trip ~msg m1 roots =
+  let m2 = twin_man (Bdd.num_vars m1) in
+  let snap = Bdd.export m1 roots in
+  let imported = Bdd.import m2 snap in
+  Alcotest.(check int)
+    (msg ^ ": root count") (List.length roots) (List.length imported);
+  let back = Bdd.import m1 (Bdd.export m2 imported) in
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: root %d survives the round trip" msg i)
+        true
+        (Bdd.is_true (Bdd.iff a b)))
+    (List.combine roots back)
+
+(* Random formula over [vars], driven by the fuzz harness's Rng. *)
+let rec rand_bdd rng vars depth =
+  let m = Bdd.man_of vars.(0) in
+  if depth = 0 then
+    match Rng.int rng 6 with
+    | 0 -> Bdd.dtrue m
+    | 1 -> Bdd.dfalse m
+    | _ ->
+        let v = Rng.pick_arr rng vars in
+        if Rng.bool rng then v else Bdd.dnot v
+  else
+    let sub () = rand_bdd rng vars (depth - 1) in
+    match Rng.int rng 5 with
+    | 0 -> Bdd.dand (sub ()) (sub ())
+    | 1 -> Bdd.dor (sub ()) (sub ())
+    | 2 -> Bdd.xor (sub ()) (sub ())
+    | 3 -> Bdd.dnot (sub ())
+    | _ -> Bdd.ite (sub ()) (sub ()) (sub ())
+
+let test_basic () =
+  let m1 = Bdd.new_man () in
+  let v = alloc 4 m1 in
+  let f = Bdd.dor (Bdd.dand v.(0) v.(1)) (Bdd.xor v.(2) v.(3)) in
+  let g = Bdd.imp v.(1) (Bdd.dand v.(2) (Bdd.dnot v.(0))) in
+  check_round_trip ~msg:"basic" m1 [ f; g; Bdd.dnot f ];
+  let snap = Bdd.export m1 [ f; g ] in
+  Alcotest.(check bool) "nodes positive" true (Bdd.snapshot_nodes snap > 0);
+  Alcotest.(check bool)
+    "bytes cover the records" true
+    (Bdd.snapshot_bytes snap >= 32 * Bdd.snapshot_nodes snap);
+  Alcotest.(check (list int))
+    "snapshot carries the exporting order" (Bdd.order m1)
+    (Bdd.snapshot_order snap)
+
+let test_empty_and_constants () =
+  let m1 = Bdd.new_man () in
+  let _ = alloc 2 m1 in
+  Alcotest.(check int)
+    "no roots, no handles" 0
+    (List.length (Bdd.import (twin_man 2) (Bdd.export m1 [])));
+  let m2 = twin_man 2 in
+  let imported = Bdd.import m2 (Bdd.export m1 [ Bdd.dtrue m1; Bdd.dfalse m1 ]) in
+  (match imported with
+  | [ t; f ] ->
+      Alcotest.(check bool) "true imports as true" true (Bdd.is_true t);
+      Alcotest.(check bool) "false imports as false" true (Bdd.is_false f)
+  | _ -> Alcotest.fail "constant import arity");
+  let snap = Bdd.export m1 [ Bdd.dtrue m1 ] in
+  Alcotest.(check int) "constants ship zero nodes" 0 (Bdd.snapshot_nodes snap)
+
+let test_after_gc () =
+  let m1 = Bdd.new_man () in
+  let v = alloc 6 m1 in
+  let roots =
+    List.init 3 (fun i ->
+        Bdd.dand (Bdd.dor v.(i) v.(i + 1)) (Bdd.dnot v.(i + 2)))
+  in
+  (* drop the intermediate handles built above, then collect *)
+  let _freed = Bdd.gc m1 in
+  check_round_trip ~msg:"after exporter GC" m1 roots;
+  (* and the importer side: rehydrate, collect, keep using the handles *)
+  let m2 = twin_man 6 in
+  let imported = Bdd.import m2 (Bdd.export m1 roots) in
+  let _freed = Bdd.gc m2 in
+  let back = Bdd.import m1 (Bdd.export m2 imported) in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool)
+        "importer GC keeps snapshots valid" true
+        (Bdd.is_true (Bdd.iff a b)))
+    roots back
+
+(* An importing manager whose order provably differs from creation order:
+   the interleaved conjunction x0&x4 | x1&x5 | x2&x6 | x3&x7 is
+   exponential under 0..7 and linear under the paired order, so sifting
+   always permutes. *)
+let sifted_man n =
+  let m2 = Bdd.new_man () in
+  let w = alloc n m2 in
+  let h = ref (Bdd.dfalse m2) in
+  for i = 0 to (n / 2) - 1 do
+    h := Bdd.dor !h (Bdd.dand w.(i) w.(i + (n / 2)))
+  done;
+  Bdd.sift m2;
+  Alcotest.(check bool)
+    "sifting permuted the importer's order" true
+    (Bdd.order m2 <> List.init n Fun.id);
+  m2
+
+let test_order_mismatch_strict () =
+  let m1 = Bdd.new_man () in
+  let v = alloc 8 m1 in
+  let f = Bdd.ite v.(0) (Bdd.dand v.(3) v.(5)) (Bdd.xor v.(6) v.(7)) in
+  let snap = Bdd.export m1 [ f ] in
+  let m2 = sifted_man 8 in
+  Alcotest.check_raises "strict import rejects a permuted order"
+    (Invalid_argument "Bdd.import: variable order mismatch") (fun () ->
+      ignore (Bdd.import ~strict:true m2 snap))
+
+let test_order_mismatch_permissive () =
+  let m1 = Bdd.new_man () in
+  let v = alloc 8 m1 in
+  let roots =
+    [
+      Bdd.ite v.(0) (Bdd.dand v.(3) v.(5)) (Bdd.xor v.(6) v.(7));
+      Bdd.dor (Bdd.dand v.(1) v.(2)) (Bdd.dnot v.(4));
+    ]
+  in
+  let m2 = sifted_man 8 in
+  let imported = Bdd.import m2 (Bdd.export m1 roots) in
+  (* semantic equality under the permuted order, checked point-wise *)
+  let rng = Rng.make 7 in
+  for _ = 1 to 200 do
+    let bits = Array.init 8 (fun _ -> Rng.bool rng) in
+    let env i = bits.(i) in
+    List.iter2
+      (fun a b ->
+        Alcotest.(check bool)
+          "re-canonicalized import agrees point-wise" (Bdd.eval a env)
+          (Bdd.eval b env))
+      roots imported
+  done
+
+let test_unknown_variable () =
+  let m1 = Bdd.new_man () in
+  let v = alloc 4 m1 in
+  let snap = Bdd.export m1 [ Bdd.dand v.(1) v.(3) ] in
+  let m2 = twin_man 2 in
+  Alcotest.check_raises "importing into a smaller manager is rejected"
+    (Invalid_argument "Bdd.import: snapshot variable not allocated here")
+    (fun () -> ignore (Bdd.import m2 snap))
+
+let test_fuzz () =
+  let rng = Rng.make 1994 in
+  for _round = 1 to 40 do
+    let nvars = Rng.range rng 1 10 in
+    let m1 = Bdd.new_man () in
+    let vars = alloc nvars m1 in
+    let roots =
+      List.init (Rng.range rng 1 5) (fun _ ->
+          rand_bdd rng vars (Rng.range rng 0 6))
+    in
+    check_round_trip ~msg:"fuzz" m1 roots
+  done
+
+let () =
+  Alcotest.run "snapshot"
+    [
+      ( "round-trip",
+        [
+          Alcotest.test_case "basic" `Quick test_basic;
+          Alcotest.test_case "empty and constants" `Quick
+            test_empty_and_constants;
+          Alcotest.test_case "after GC" `Quick test_after_gc;
+          Alcotest.test_case "fuzzed" `Quick test_fuzz;
+        ] );
+      ( "order",
+        [
+          Alcotest.test_case "strict reject" `Quick test_order_mismatch_strict;
+          Alcotest.test_case "permissive re-canonicalize" `Quick
+            test_order_mismatch_permissive;
+          Alcotest.test_case "unknown variable" `Quick test_unknown_variable;
+        ] );
+    ]
