@@ -13,6 +13,11 @@
      bdd          BDD kernel ops/s (and/ite/exists/and_exists) -> BENCH_bdd.json
      par [jobs]   parallel scaling (fuzz + scaled designs, seq vs
                   share-nothing vs shared-work)  -> BENCH_par.json
+     scale [small] [--check]
+                  TR-strategy curves (mono vs part vs iso) over the
+                  hierarchical scaled families -> BENCH_scale.json;
+                  --check asserts verdict agreement and the iso <= part
+                  <= mono peak-live ordering (CI's scale-smoke job)
      serve [N]    daemon cold-vs-warm latency + N-client throughput
                   -> BENCH_serve.json
      json         observability smoke check: emit + re-parse a stats JSON
@@ -278,8 +283,13 @@ let ablate_tr () =
       in
       let r_mono, t_mono =
         wall (fun () ->
-            Hsis_check.Reach.compute ~use_mono:true ~profile:false
-              d.Hsis.trans init)
+            Hsis_fsm.Trans.set_strategy d.Hsis.trans Hsis_fsm.Trans.Monolithic;
+            Fun.protect
+              ~finally:(fun () ->
+                Hsis_fsm.Trans.set_strategy d.Hsis.trans
+                  Hsis_fsm.Trans.Partitioned)
+              (fun () ->
+                Hsis_check.Reach.compute ~profile:false d.Hsis.trans init))
       in
       let agree =
         Hsis_bdd.Bdd.equal r_part.Hsis_check.Reach.reachable
@@ -603,6 +613,16 @@ let bdd_bench () =
    measurement lets the earlier runs' grown major heap inflate the later
    ones by 20-40%, which is enough to drown the effects being measured. *)
 
+let verdict_chars rs =
+  String.concat ""
+    (List.map
+       (fun (r : _ Hsis.property_result) ->
+         match r.Hsis.pr_verdict with
+         | Hsis_limits.Verdict.Pass -> "P"
+         | Hsis_limits.Verdict.Fail _ -> "F"
+         | Hsis_limits.Verdict.Inconclusive _ -> "I")
+       rs)
+
 let par_probe name mode jobs =
   let m =
     match Models.by_name name with
@@ -619,16 +639,6 @@ let par_probe name mode jobs =
         | "sw" -> Hsis.run_pif_par ~witnesses:false ~share:true ~jobs d pif
         | "sn" -> Hsis.run_pif_par ~witnesses:false ~share:false ~jobs d pif
         | _ -> failwith ("par probe: unknown mode " ^ mode))
-  in
-  let verdict_chars rs =
-    String.concat ""
-      (List.map
-         (fun (r : _ Hsis.property_result) ->
-           match r.Hsis.pr_verdict with
-           | Hsis_limits.Verdict.Pass -> "P"
-           | Hsis_limits.Verdict.Fail _ -> "F"
-           | Hsis_limits.Verdict.Inconclusive _ -> "I")
-         rs)
   in
   let snap = obs.Obs.man.Obs.snap in
   Printf.printf "PROBE time %.6f\n" t;
@@ -787,6 +797,235 @@ let par_bench ?(jobs = 4) () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* TR-strategy scaling -> BENCH_scale.json (schema hsis-scale/1).
+
+   Nodes/time-vs-N curves for the three TR strategies ([--tr mono], [part],
+   [iso]) on the hierarchical scaled families.  Each (design, strategy)
+   cell runs in a fresh process (the hidden [_scale-probe] subcommand) so
+   the peak-live-node high-water mark measures that strategy's
+   construction and fixpoints alone, not a shared heap's history.
+   [--check] turns the expected shape into assertions (CI's scale-smoke
+   job): verdicts and exit codes identical across strategies on every
+   row, and on at least one family's largest size a monotone peak
+   ordering iso <= part <= mono. *)
+
+let scale_probe name strat =
+  let m =
+    match Models.by_name name with
+    | Some m -> m
+    | None -> failwith ("scale probe: unknown design " ^ name)
+  in
+  let strategy =
+    match Hsis_fsm.Trans.strategy_of_name strat with
+    | Some s -> s
+    | None -> failwith ("scale probe: unknown strategy " ^ strat)
+  in
+  let pif = Model.parse_pif m in
+  (* construction cost first: what the strategy directly controls.  The
+     monolithic product is materialized lazily on the first image call,
+     so force it here to charge its conjunction intermediates to the
+     build phase rather than to whichever engine runs first. *)
+  let d, t_build =
+    wall (fun () ->
+        let d = Hsis.read_verilog ~strategy m.Model.verilog in
+        (match strategy with
+        | Hsis_fsm.Trans.Monolithic ->
+            ignore (Hsis_fsm.Trans.monolithic d.Hsis.trans)
+        | Hsis_fsm.Trans.Partitioned | Hsis_fsm.Trans.Iso_shared -> ());
+        d)
+  in
+  let build_peak = (Hsis.stats d).Obs.arena.Obs.Arena.peak_live in
+  Hsis.set_reach_profile d false;
+  let report, t_run =
+    wall (fun () ->
+        ignore (Hsis.reached_states d);
+        Hsis.run_pif ~witnesses:false d pif)
+  in
+  let tr = Hsis_fsm.Trans.tr_profile d.Hsis.trans in
+  Printf.printf "PROBE time %.6f\n" (t_build +. t_run);
+  Printf.printf "PROBE read %.6f\n" t_build;
+  Printf.printf "PROBE states %.0f\n" (Hsis.reached_states d);
+  Printf.printf "PROBE buildpeak %d\n" build_peak;
+  Printf.printf "PROBE peak %d\n"
+    (Hsis.stats d).Obs.arena.Obs.Arena.peak_live;
+  Printf.printf "PROBE exit %d\n" (Hsis.report_exit_code report);
+  Printf.printf "PROBE verdicts %s%s\n"
+    (verdict_chars report.Hsis.ctl)
+    (verdict_chars report.Hsis.lc);
+  Printf.printf "PROBE share %d %d %d\n" tr.Obs.tr_masters tr.Obs.tr_instances
+    tr.Obs.tr_shared_nodes_saved
+
+type scale_cell = {
+  sc_time : float;
+  sc_read : float;
+  sc_states : float;
+  sc_build_peak : int;  (* peak live nodes after relation construction *)
+  sc_peak : int;  (* peak live nodes over the whole run *)
+  sc_exit : int;
+  sc_verdicts : string;
+  sc_share : int * int * int;  (* masters, instances, nodes saved *)
+}
+
+let run_scale_probe name strat =
+  let out = Filename.temp_file "hsis_scale" ".txt" in
+  let cmd =
+    Printf.sprintf "%s _scale-probe %s %s > %s"
+      (Filename.quote Sys.executable_name)
+      (Filename.quote name) strat (Filename.quote out)
+  in
+  let rc = Sys.command cmd in
+  if rc <> 0 then
+    failwith (Printf.sprintf "scale probe %s %s exited %d" name strat rc);
+  let ic = open_in out in
+  let p =
+    ref
+      {
+        sc_time = 0.0;
+        sc_read = 0.0;
+        sc_states = 0.0;
+        sc_build_peak = 0;
+        sc_peak = 0;
+        sc_exit = 0;
+        sc_verdicts = "";
+        sc_share = (0, 0, 0);
+      }
+  in
+  let scan line fmt f =
+    try Scanf.sscanf line fmt f with Scanf.Scan_failure _ | Failure _ -> ()
+  in
+  (try
+     while true do
+       let line = input_line ic in
+       scan line "PROBE time %f" (fun t -> p := { !p with sc_time = t });
+       scan line "PROBE read %f" (fun t -> p := { !p with sc_read = t });
+       scan line "PROBE states %f" (fun s -> p := { !p with sc_states = s });
+       scan line "PROBE buildpeak %d" (fun n ->
+           p := { !p with sc_build_peak = n });
+       scan line "PROBE peak %d" (fun n -> p := { !p with sc_peak = n });
+       scan line "PROBE exit %d" (fun e -> p := { !p with sc_exit = e });
+       scan line "PROBE verdicts %s" (fun v -> p := { !p with sc_verdicts = v });
+       scan line "PROBE share %d %d %d" (fun m i s ->
+           p := { !p with sc_share = (m, i, s) })
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove out;
+  !p
+
+let scale_strategies = [ "mono"; "part"; "iso" ]
+
+let scale_row family n =
+  let design = Printf.sprintf "%s%d" family n in
+  let cells = List.map (fun s -> (s, run_scale_probe design s)) scale_strategies in
+  let base = snd (List.hd cells) in
+  let agree =
+    List.for_all
+      (fun (_, c) ->
+        c.sc_verdicts = base.sc_verdicts && c.sc_exit = base.sc_exit)
+      cells
+  in
+  pr "  %-9s" design;
+  List.iter
+    (fun (s, c) ->
+      pr "  %s %6.2fs build %7d peak %8d" s c.sc_time c.sc_build_peak c.sc_peak)
+    cells;
+  pr "  agree %b@." agree;
+  let cell_json (s, c) =
+    let masters, instances, saved = c.sc_share in
+    ( s,
+      Obs.Json.Obj
+        [
+          ("time_s", Obs.Json.Float c.sc_time);
+          ("build_s", Obs.Json.Float c.sc_read);
+          ("build_peak_live", Obs.Json.Int c.sc_build_peak);
+          ("peak_live", Obs.Json.Int c.sc_peak);
+          ("exit_code", Obs.Json.Int c.sc_exit);
+          ("masters", Obs.Json.Int masters);
+          ("instances", Obs.Json.Int instances);
+          ("shared_nodes_saved", Obs.Json.Int saved);
+        ] )
+  in
+  let row =
+    Obs.Json.Obj
+      [
+        ("design", Obs.Json.Str design);
+        ("n", Obs.Json.Int n);
+        ("states", Obs.Json.Float base.sc_states);
+        ("props", Obs.Json.Int (String.length base.sc_verdicts));
+        ("verdicts_agree", Obs.Json.Bool agree);
+        ("cells", Obs.Json.Obj (List.map cell_json cells));
+      ]
+  in
+  (row, cells, agree)
+
+let scale_bench ?(small = false) ?(check = false) () =
+  let sizes = if small then [ 3; 4 ] else [ 4; 6; 8 ] in
+  pr "@.== TR-strategy scaling (%s) ==@."
+    (String.concat "," (List.map string_of_int sizes));
+  let families = [ "ring"; "philos" ] in
+  let results =
+    List.map
+      (fun family ->
+        pr "  %s:@." family;
+        (family, List.map (scale_row family) sizes))
+      families
+  in
+  let all_agree =
+    List.for_all
+      (fun (_, rows) -> List.for_all (fun (_, _, a) -> a) rows)
+      results
+  in
+  (* the headline curve: sharing must show up as a lower construction
+     high-water mark at the largest size of some family.  Construction is
+     what the strategy controls — monolithic pays the product and its
+     conjunction intermediates, partitioned only the parts, iso-shared
+     one master per group plus cheap permutes — and BDD construction is
+     deterministic, so the ordering is assertable without tolerance. *)
+  let peak_of cells s = (List.assoc s cells).sc_build_peak in
+  let ordered_at_top (_, rows) =
+    let _, cells, _ = List.nth rows (List.length rows - 1) in
+    peak_of cells "iso" <= peak_of cells "part"
+    && peak_of cells "part" <= peak_of cells "mono"
+  in
+  let any_ordered = List.exists ordered_at_top results in
+  let j =
+    Obs.Json.Obj
+      [
+        ("bench", Obs.Json.Str "scale");
+        ("schema", Obs.Json.Str "hsis-scale/1");
+        ("obs_schema", Obs.Json.Str Obs.schema_version);
+        ("sizes", Obs.Json.List (List.map (fun n -> Obs.Json.Int n) sizes));
+        ("verdicts_agree", Obs.Json.Bool all_agree);
+        ("peak_ordered_at_top", Obs.Json.Bool any_ordered);
+        ( "families",
+          Obs.Json.List
+            (List.map
+               (fun (family, rows) ->
+                 Obs.Json.Obj
+                   [
+                     ("family", Obs.Json.Str family);
+                     ( "rows",
+                       Obs.Json.List (List.map (fun (r, _, _) -> r) rows) );
+                   ])
+               results) );
+      ]
+  in
+  write_file "BENCH_scale.json" (Obs.Json.to_string j);
+  pr "wrote BENCH_scale.json@.";
+  if check then begin
+    if not all_agree then begin
+      prerr_endline "scale bench: verdicts diverged across TR strategies";
+      exit 1
+    end;
+    if not any_ordered then begin
+      prerr_endline
+        "scale bench: no family shows iso <= part <= mono peak-live ordering \
+         at its largest size";
+      exit 1
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Serve-mode benchmark -> BENCH_serve.json.
 
    Two measurements that justify the daemon's existence:
@@ -838,6 +1077,7 @@ let serve_bench ?(clients = 2) ?(jobs_per_client = 20) () =
       r_pif = pif;
       r_budget = Proto.no_budget;
       r_jobs = None;
+      r_tr = None;
       r_fail_fast = false;
       r_witnesses = false;
       r_stats = false;
@@ -1071,6 +1311,16 @@ let () =
       (* internal: one (design, mode, jobs) cell of the par bench, run in
          its own process so modes don't share a heap *)
       par_probe Sys.argv.(2) Sys.argv.(3) (int_of_string Sys.argv.(4))
+  | "scale" ->
+      let rest =
+        Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2))
+      in
+      scale_bench ~small:(List.mem "small" rest)
+        ~check:(List.mem "--check" rest) ()
+  | "_scale-probe" ->
+      (* internal: one (design, strategy) cell of the scale bench, run in
+         its own process so the peak-live high-water mark is its own *)
+      scale_probe Sys.argv.(2) Sys.argv.(3)
   | "serve" ->
       let clients =
         if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 2

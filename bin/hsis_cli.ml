@@ -19,22 +19,30 @@ let heuristic_of_name = function
   | "naive" -> Hsis_fsm.Trans.Naive
   | h -> failwith ("unknown heuristic " ^ h)
 
+let tr_of_name name =
+  match Hsis_fsm.Trans.strategy_of_name name with
+  | Some s -> s
+  | None -> failwith ("unknown TR strategy " ^ name ^ " (mono, part, iso)")
+
 (* Every batch command runs through the Session API the serve daemon uses:
    open a session pinning the design's artifacts, run against it, close.
    Builtins additionally carry their bundled PIF property set. *)
-let open_session verilog blifmv builtin heuristic =
+let open_session ?(tr = "part") verilog blifmv builtin heuristic =
   let heuristic = heuristic_of_name heuristic in
+  let tr = tr_of_name tr in
   match (verilog, blifmv, builtin) with
   | Some path, None, None ->
-      ( Hsis.Session.open_ ~heuristic (Hsis.Session.Verilog (read_file path)),
+      ( Hsis.Session.open_ ~heuristic ~tr
+          (Hsis.Session.Verilog (read_file path)),
         None )
   | None, Some path, None ->
-      ( Hsis.Session.open_ ~heuristic (Hsis.Session.Blifmv (read_file path)),
+      ( Hsis.Session.open_ ~heuristic ~tr
+          (Hsis.Session.Blifmv (read_file path)),
         None )
   | None, None, Some name -> (
       match Hsis_models.Models.by_name name with
       | Some m ->
-          ( Hsis.Session.open_ ~heuristic
+          ( Hsis.Session.open_ ~heuristic ~tr
               (Hsis.Session.Verilog m.Hsis_models.Model.verilog),
             Some (Hsis_models.Model.parse_pif m) )
       | None -> failwith ("unknown builtin design " ^ name))
@@ -96,11 +104,11 @@ let emit_stats snap sf =
 
 (* ------------------------------------------------------------------ *)
 
-let check_cmd verilog blifmv builtin pif_path heuristic no_early witness
+let check_cmd verilog blifmv builtin pif_path heuristic tr no_early witness
     jobs fail_fast simplify budget sf () =
   wrap (fun () ->
       let session, builtin_pif =
-        open_session verilog blifmv builtin heuristic
+        open_session ~tr verilog blifmv builtin heuristic
       in
       let design = Hsis.Session.design session in
       Hsis.set_reach_profile design (want_stats sf);
@@ -146,9 +154,9 @@ let check_cmd verilog blifmv builtin pif_path heuristic no_early witness
       Hsis.Session.close session;
       Hsis.report_exit_code report)
 
-let reach_cmd verilog blifmv builtin heuristic simplify budget sf () =
+let reach_cmd verilog blifmv builtin heuristic tr simplify budget sf () =
   wrap (fun () ->
-      let session, _ = open_session verilog blifmv builtin heuristic in
+      let session, _ = open_session ~tr verilog blifmv builtin heuristic in
       let design = Hsis.Session.design session in
       Hsis.set_reach_profile design (want_stats sf);
       Hsis.set_reach_simplify design simplify;
@@ -283,7 +291,7 @@ let stats_cmd verilog blifmv builtin heuristic stats_json () =
 
 (* ------------------------------------------------------------------ *)
 
-let serve_cmd socket cache_entries cache_nodes heuristic jobs budget sf () =
+let serve_cmd socket cache_entries cache_nodes heuristic tr jobs budget sf () =
   wrap (fun () ->
       let open Hsis_serve in
       let config =
@@ -293,6 +301,7 @@ let serve_cmd socket cache_entries cache_nodes heuristic jobs budget sf () =
           default_budget = proto_budget budget;
           default_jobs = jobs;
           heuristic = heuristic_of_name heuristic;
+          tr = tr_of_name tr;
         }
       in
       let server = Server.create ~config () in
@@ -333,6 +342,18 @@ let heuristic_arg =
     value & opt string "min-width"
     & info [ "heuristic" ] ~docv:"H"
         ~doc:"Early-quantification heuristic: min-width, pairs, naive.")
+
+let tr_arg =
+  Arg.(
+    value & opt string "part"
+    & info [ "tr" ] ~docv:"STRAT"
+        ~doc:
+          "Transition-relation strategy: $(b,mono) (one product BDD), \
+           $(b,part) (conjunctive partition with early quantification, the \
+           default), $(b,iso) (partitioned, with component BDDs built once \
+           per isomorphic subckt/module instance group and materialized by \
+           variable permutation).  Verdicts are identical across \
+           strategies; peak node counts and times differ.")
 
 let no_early_arg =
   Arg.(value & flag & info [ "no-early" ] ~doc:"Disable early failure detection.")
@@ -437,19 +458,19 @@ let check =
                when a resource budget left some verdict inconclusive.";
          ])
     Term.(
-      const (fun a b c d e f g h i j k l ->
-          check_cmd a b c d e f g h i j k l ())
+      const (fun a b c d e f g h i j k l m ->
+          check_cmd a b c d e f g h i j k l m ())
       $ verilog_arg $ blifmv_arg $ builtin_arg $ pif_arg $ heuristic_arg
-      $ no_early_arg $ witness_arg $ jobs_arg $ fail_fast_arg $ simplify_arg
-      $ budget_term $ stats_term)
+      $ tr_arg $ no_early_arg $ witness_arg $ jobs_arg $ fail_fast_arg
+      $ simplify_arg $ budget_term $ stats_term)
 
 let reach =
   Cmd.v
     (Cmd.info "reach" ~doc:"compute the reachable state set")
     Term.(
-      const (fun a b c d e f g -> reach_cmd a b c d e f g ())
-      $ verilog_arg $ blifmv_arg $ builtin_arg $ heuristic_arg $ simplify_arg
-      $ budget_term $ stats_term)
+      const (fun a b c d e f g h -> reach_cmd a b c d e f g h ())
+      $ verilog_arg $ blifmv_arg $ builtin_arg $ heuristic_arg $ tr_arg
+      $ simplify_arg $ budget_term $ stats_term)
 
 let sim =
   Cmd.v
@@ -586,9 +607,9 @@ let serve =
          "long-running verification daemon: line-delimited JSON jobs over \
           stdin/stdout or a Unix socket, with a warm session cache")
     Term.(
-      const (fun a b c d e f g -> serve_cmd a b c d e f g ())
+      const (fun a b c d e f g h -> serve_cmd a b c d e f g h ())
       $ socket_arg $ cache_entries_arg $ cache_nodes_arg $ heuristic_arg
-      $ jobs_arg $ budget_term $ stats_term)
+      $ tr_arg $ jobs_arg $ budget_term $ stats_term)
 
 let () =
   let doc = "HSIS: a BDD-based environment for formal verification" in

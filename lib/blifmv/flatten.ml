@@ -2,9 +2,21 @@ exception Error of string
 
 let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
 
+type inst = {
+  i_master : string;
+  i_path : string;
+  i_tables : int * int;
+  i_latches : int * int;
+}
+
+type provenance = inst list
+
 (* Rename every signal of [model] through [rn] and accumulate its contents
-   (minus subckts, which are expanded recursively). *)
-let rec expand ast ~stack ~prefix ~bind (model : Ast.model) acc =
+   (minus subckts, which are expanded recursively).  Each expanded instance
+   appends its whole subtree to the accumulated table/latch lists as one
+   contiguous run; [prov] records those runs so relation construction can
+   later recognize instances of the same master as renamed copies. *)
+let rec expand ast ~stack ~prefix ~bind ~prov (model : Ast.model) acc =
   if List.mem model.Ast.m_name stack then
     err "recursive instantiation of model %s" model.Ast.m_name;
   let stack = model.Ast.m_name :: stack in
@@ -77,28 +89,58 @@ let rec expand ast ~stack ~prefix ~bind (model : Ast.model) acc =
             err "instance %s: port %s of %s left unconnected" s.Ast.s_inst p
               s.Ast.s_model)
         ports;
-      expand ast ~stack ~prefix:(prefix ^ s.Ast.s_inst ^ "/") ~bind:bind' sub
-        acc)
+      let _, tables0, latches0, _ = acc in
+      let t0 = List.length tables0 and l0 = List.length latches0 in
+      let acc =
+        expand ast ~stack ~prefix:(prefix ^ s.Ast.s_inst ^ "/") ~bind:bind'
+          ~prov sub acc
+      in
+      let _, tables1, latches1, _ = acc in
+      prov :=
+        {
+          i_master = s.Ast.s_model;
+          i_path = prefix ^ s.Ast.s_inst ^ "/";
+          i_tables = (t0, List.length tables1 - t0);
+          i_latches = (l0, List.length latches1 - l0);
+        }
+        :: !prov;
+      acc)
     acc model.Ast.m_subckts
 
-let flatten ?root (ast : Ast.t) =
+let flatten_prov ?root (ast : Ast.t) =
   let root_name = Option.value ~default:ast.Ast.root root in
   let model =
     match Ast.find_model ast root_name with
     | Some m -> m
     | None -> err "unknown root model %s" root_name
   in
+  let prov = ref [] in
   let mvs, tables, latches, delays =
-    expand ast ~stack:[] ~prefix:"" ~bind:(Hashtbl.create 1) model
+    expand ast ~stack:[] ~prefix:"" ~bind:(Hashtbl.create 1) ~prov model
       ([], [], [], [])
   in
-  {
-    Ast.m_name = model.Ast.m_name;
-    m_inputs = model.Ast.m_inputs;
-    m_outputs = model.Ast.m_outputs;
-    m_mvs = mvs;
-    m_tables = tables;
-    m_latches = latches;
-    m_subckts = [];
-    m_delays = delays;
-  }
+  let provenance =
+    (* flat position order; a parent (longer run) sorts before a nested
+       child starting at the same index *)
+    List.sort
+      (fun a b ->
+        let c = compare (fst a.i_tables) (fst b.i_tables) in
+        if c <> 0 then c
+        else
+          let c = compare (fst a.i_latches) (fst b.i_latches) in
+          if c <> 0 then c else compare (snd b.i_tables) (snd a.i_tables))
+      !prov
+  in
+  ( {
+      Ast.m_name = model.Ast.m_name;
+      m_inputs = model.Ast.m_inputs;
+      m_outputs = model.Ast.m_outputs;
+      m_mvs = mvs;
+      m_tables = tables;
+      m_latches = latches;
+      m_subckts = [];
+      m_delays = delays;
+    },
+    provenance )
+
+let flatten ?root ast = fst (flatten_prov ?root ast)

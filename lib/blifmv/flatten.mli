@@ -4,6 +4,31 @@
 
 exception Error of string
 
+type inst = {
+  i_master : string;  (** master model name *)
+  i_path : string;  (** flat instance prefix, e.g. ["cpu1/alu/"] *)
+  i_tables : int * int;
+      (** [(start, len)] range of the flat model's table list contributed
+          by this instance (including any nested sub-instances) *)
+  i_latches : int * int;  (** same, into the flat latch list *)
+}
+(** Provenance of one [.subckt] instance: because {!flatten} expands an
+    instance subtree depth-first into contiguous runs of the accumulated
+    table and latch lists, an instance's whole flat contribution is the
+    pair of ranges recorded here.  Two instances of the same master
+    contribute structurally identical runs that differ only by a signal
+    renaming — the replication that isomorphism-sharing transition-relation
+    construction exploits. *)
+
+type provenance = inst list
+(** Every instance at every depth, in flat (pre-order) position order:
+    an instance listed earlier has both its ranges entirely before a
+    later disjoint instance's; a nested instance's ranges are contained
+    in its parent's. *)
+
 val flatten : ?root:string -> Ast.t -> Ast.model
 (** Raises {!Error} on unknown models, recursive instantiation, unbound or
     duplicate connections. *)
+
+val flatten_prov : ?root:string -> Ast.t -> Ast.model * provenance
+(** {!flatten} plus the instance provenance of the result. *)

@@ -14,7 +14,7 @@ type t = {
 let bad_hit t = match t.verdict with Verdict.Fail k -> Some k | _ -> None
 let complete t = Verdict.conclusive t.verdict
 
-let compute ?(use_mono = false) ?bad ?(stop_on_bad = false)
+let compute ?bad ?(stop_on_bad = false)
     ?(limits = Limits.none) ?(profile = true) ?(simplify = false) trans init =
   let man = Trans.man trans in
   let hits set =
@@ -100,7 +100,7 @@ let compute ?(use_mono = false) ?bad ?(stop_on_bad = false)
                 end
                 else (!frontier, 0)
               in
-              let next = Trans.image ~use_mono trans input in
+              let next = Trans.image trans input in
               let fresh = Bdd.dand next (Bdd.dnot !reached) in
               (fresh, Bdd.dor !reached fresh, saved))
         in

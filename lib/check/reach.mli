@@ -32,9 +32,11 @@ val complete : t -> bool
 (** Whether exploration ran to a conclusive verdict. *)
 
 val compute :
-  ?use_mono:bool -> ?bad:Bdd.t -> ?stop_on_bad:bool -> ?limits:Limits.t ->
+  ?bad:Bdd.t -> ?stop_on_bad:bool -> ?limits:Limits.t ->
   ?profile:bool -> ?simplify:bool -> Trans.t -> Bdd.t -> t
-(** [compute trans init].  With [stop_on_bad] (early failure detection) the
+(** [compute trans init].  Image steps follow the transition system's
+    {!Trans.strategy} (switch it with [Trans.set_strategy] to compare
+    evaluation paths).  With [stop_on_bad] (early failure detection) the
     exploration stops at the first ring intersecting [bad]; [reachable] is
     then a subset of the true reachable set.  [limits] is installed on the
     transition system's manager for the duration of the call: its step

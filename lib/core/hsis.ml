@@ -9,6 +9,7 @@ open Hsis_limits
 
 type design = {
   flat : Ast.model;
+  prov : Flatten.provenance;
   net : Net.t;
   trans : Trans.t;
   heuristic : Trans.heuristic;
@@ -28,15 +29,18 @@ type design = {
 (* The exported form of a design, built once on the coordinator and
    rehydrated into fresh per-domain managers by [design_of_shared].  Only
    immutable plain data and the snapshot int arrays cross domains; no BDD
-   handle ever does.  [sd_parts] relation parts head the snapshot roots,
+   handle ever does.  [sd_roots] directly-constructed relation parts head
+   the snapshot roots — under [Iso_shared] that is one component per
+   master, the permuted copies travelling as renamings inside [sd_shape] —
    followed (when the coordinator's reach cache was conclusive) by the
    reachable set and its [sd_rings] onion rings. *)
 and shared_design = {
   sd_flat : Ast.model;
+  sd_prov : Flatten.provenance;
   sd_net : Net.t;
   sd_heuristic : Trans.heuristic;
   sd_shape : Trans.shared;
-  sd_parts : int;
+  sd_roots : int;
   sd_snapshot : Bdd.snapshot;
   sd_rings : int;
   sd_reach_steps : int;
@@ -57,7 +61,8 @@ let limits d = d.limits
 
 let timed f = Obs.Clock.wall f
 
-let read_flat ?(heuristic = Trans.Min_width) ?verilog_lines ?timers flat =
+let read_flat ?(heuristic = Trans.Min_width) ?(strategy = Trans.Partitioned)
+    ?(prov = []) ?verilog_lines ?timers flat =
   let timers =
     match timers with Some t -> t | None -> Obs.Timers.create ()
   in
@@ -72,36 +77,36 @@ let read_flat ?(heuristic = Trans.Min_width) ?verilog_lines ?timers flat =
         in
         let trans =
           Obs.Timers.time timers "relation" (fun () ->
-              let trans = Trans.build ~heuristic sym in
+              let trans = Trans.build ~heuristic ~strategy ~prov sym in
               (* building the relation BDDs is part of "read" in Table 1 *)
               ignore (Trans.parts trans);
               trans)
         in
         (net, trans))
   in
-  { flat; net; trans; heuristic; verilog_lines; blifmv_lines; read_time;
+  { flat; prov; net; trans; heuristic; verilog_lines; blifmv_lines; read_time;
     timers; verdicts = Obs.Tally.create (); limits = Limits.none;
     reach_cache = None; reach_order_rev = 0; profile_reach = true;
     simplify_reach = false; shared_cache = None }
 
-let read_blifmv ?heuristic src =
+let read_blifmv ?heuristic ?strategy src =
   let timers = Obs.Timers.create () in
   let ast = Obs.Timers.time timers "parse" (fun () -> Parser.parse src) in
-  let flat =
-    Obs.Timers.time timers "flatten" (fun () -> Flatten.flatten ast)
+  let flat, prov =
+    Obs.Timers.time timers "flatten" (fun () -> Flatten.flatten_prov ast)
   in
-  read_flat ?heuristic ~timers flat
+  read_flat ?heuristic ?strategy ~prov ~timers flat
 
-let read_verilog ?heuristic src =
+let read_verilog ?heuristic ?strategy src =
   let timers = Obs.Timers.create () in
   let verilog_lines = Ast.line_count src in
   let ast =
     Obs.Timers.time timers "parse" (fun () -> Hsis_verilog.Elab.compile src)
   in
-  let flat =
-    Obs.Timers.time timers "flatten" (fun () -> Flatten.flatten ast)
+  let flat, prov =
+    Obs.Timers.time timers "flatten" (fun () -> Flatten.flatten_prov ast)
   in
-  read_flat ?heuristic ~verilog_lines ~timers flat
+  read_flat ?heuristic ?strategy ~prov ~verilog_lines ~timers flat
 
 (* Reorder generation of the design's manager: the reach cache is only
    valid for the variable order it was computed under, so it carries the
@@ -272,6 +277,7 @@ let snapshot d =
     ~phases:(Obs.Timers.to_list d.timers)
     ~reach
     ~relation:(Trans.rel_profile d.trans)
+    ~tr:(Trans.tr_profile d.trans)
     ~verdicts:(Obs.Tally.to_list d.verdicts)
     (stats d)
 
@@ -289,7 +295,10 @@ let snapshot d =
 
 let share_design d =
   let fresh () =
-    let parts = Trans.parts d.trans in
+    (* Only the directly-constructed parts are exported; permuted copies
+       travel as their renamings inside the shape and are re-materialized
+       on import, so an N-instance iso build ships one component. *)
+    let roots = Trans.shared_roots d.trans in
     let reach_roots, rings, steps =
       if reach_cache_valid d then
         match d.reach_cache with
@@ -300,16 +309,15 @@ let share_design d =
         | None -> ([], 0, 0)
       else ([], 0, 0)
     in
-    let snapshot =
-      Bdd.export (Trans.man d.trans) (Array.to_list parts @ reach_roots)
-    in
+    let snapshot = Bdd.export (Trans.man d.trans) (roots @ reach_roots) in
     let sd =
       {
         sd_flat = d.flat;
+        sd_prov = d.prov;
         sd_net = d.net;
         sd_heuristic = d.heuristic;
         sd_shape = Trans.share d.trans;
-        sd_parts = Array.length parts;
+        sd_roots = List.length roots;
         sd_snapshot = snapshot;
         sd_rings = rings;
         sd_reach_steps = steps;
@@ -324,8 +332,11 @@ let share_design d =
   match d.shared_cache with
   | Some { sc_payload; sc_order_rev }
     when sc_order_rev = reorder_runs d
-         (* re-export when a reach set has become available since *)
-         && (sc_payload.sd_rings > 0 || not (reach_cache_valid d)) ->
+         (* re-export when a reach set has become available since, or when
+            the evaluation strategy was flipped after the capture *)
+         && (sc_payload.sd_rings > 0 || not (reach_cache_valid d))
+         && Trans.shared_strategy sc_payload.sd_shape = Trans.strategy d.trans
+    ->
       sc_payload
   | _ -> fresh ()
 
@@ -335,15 +346,16 @@ let design_of_shared sd =
         let man = Bdd.new_man () in
         let sym = Sym.make man sd.sd_net in
         let roots = Array.of_list (Bdd.import man sd.sd_snapshot) in
-        let parts = Array.sub roots 0 sd.sd_parts in
-        let trans = Trans.of_shared sym sd.sd_shape ~parts in
+        let trans =
+          Trans.of_shared sym sd.sd_shape ~roots:(Array.sub roots 0 sd.sd_roots)
+        in
         let reach =
           if sd.sd_rings = 0 then None
           else
             Some
               {
-                Reach.reachable = roots.(sd.sd_parts);
-                rings = Array.sub roots (sd.sd_parts + 1) sd.sd_rings;
+                Reach.reachable = roots.(sd.sd_roots);
+                rings = Array.sub roots (sd.sd_roots + 1) sd.sd_rings;
                 steps = sd.sd_reach_steps;
                 verdict = Verdict.Pass;
                 profile = [||];
@@ -352,7 +364,8 @@ let design_of_shared sd =
         (sd.sd_net, trans, reach))
   in
   let d =
-    { flat = sd.sd_flat; net; trans; heuristic = sd.sd_heuristic;
+    { flat = sd.sd_flat; prov = sd.sd_prov; net; trans;
+      heuristic = sd.sd_heuristic;
       verilog_lines = sd.sd_verilog_lines; blifmv_lines = sd.sd_blifmv_lines;
       read_time; timers = Obs.Timers.create ();
       verdicts = Obs.Tally.create (); limits = Limits.none;
@@ -436,7 +449,10 @@ let run_pif_par ?(early_failure = true) ?(witnesses = false)
               let sub = design_of_shared sd in
               Domain.DLS.set worker_design (Some (sd, sub));
               (sub, None))
-      | None -> (read_flat ~heuristic:d.heuristic d.flat, None)
+      | None ->
+          ( read_flat ~heuristic:d.heuristic
+              ~strategy:(Trans.strategy d.trans) ~prov:d.prov d.flat,
+            None )
     in
     sub.profile_reach <- false;
     sub.simplify_reach <- d.simplify_reach;
@@ -618,12 +634,12 @@ module Session = struct
     mutable s_closed : bool;
   }
 
-  let open_ ?(heuristic = Trans.Min_width) source =
+  let open_ ?(heuristic = Trans.Min_width) ?(tr = Trans.Partitioned) source =
     let design =
       match source with
-      | Verilog s -> read_verilog ~heuristic s
-      | Blifmv s -> read_blifmv ~heuristic s
-      | Flat m -> read_flat ~heuristic m
+      | Verilog s -> read_verilog ~heuristic ~strategy:tr s
+      | Blifmv s -> read_blifmv ~heuristic ~strategy:tr s
+      | Flat m -> read_flat ~heuristic ~strategy:tr m
     in
     { s_id = hash source; s_heuristic = heuristic; s_design = design;
       s_hits = 0; s_closed = false }
@@ -631,6 +647,7 @@ module Session = struct
   let id s = s.s_id
   let design s = s.s_design
   let heuristic s = s.s_heuristic
+  let tr s = Trans.strategy s.s_design.trans
   let hits s = s.s_hits
   let touch s = s.s_hits <- s.s_hits + 1
   let closed s = s.s_closed
@@ -649,13 +666,24 @@ module Session = struct
     s.s_design.shared_cache <- None
 
   let run ?(early_failure = true) ?(witnesses = false) ?(fail_fast = false)
-      ?(jobs = 1) ?limits s pif =
+      ?(jobs = 1) ?limits ?tr s pif =
     if s.s_closed then invalid_arg "Hsis.Session.run: session is closed";
-    if jobs > 1 || fail_fast then
-      let r, snap =
-        run_pif_par ~early_failure ~witnesses ~fail_fast ?limits ~jobs
-          s.s_design pif
-      in
-      (r, Some snap)
-    else (run_pif ~early_failure ~witnesses ?limits s.s_design pif, None)
+    (* A per-run [tr] flips the evaluation path for the duration of the
+       run, then restores the session's resident strategy.  Construction
+       sharing is fixed at open time; runs are serialized per session, so
+       the flip cannot race another run. *)
+    let resident = Trans.strategy s.s_design.trans in
+    (match tr with
+    | Some strat -> Trans.set_strategy s.s_design.trans strat
+    | None -> ());
+    Fun.protect
+      ~finally:(fun () -> Trans.set_strategy s.s_design.trans resident)
+      (fun () ->
+        if jobs > 1 || fail_fast then
+          let r, snap =
+            run_pif_par ~early_failure ~witnesses ~fail_fast ?limits ~jobs
+              s.s_design pif
+          in
+          (r, Some snap)
+        else (run_pif ~early_failure ~witnesses ?limits s.s_design pif, None))
 end

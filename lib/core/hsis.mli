@@ -13,12 +13,19 @@ open Hsis_limits
 
 type design = {
   flat : Ast.model;  (** flattened BLIF-MV *)
+  prov : Flatten.provenance;
+      (** instance provenance recorded by flattening — which contiguous
+          runs of the flat table/latch lists came from which [.subckt]
+          instance; what [Trans.build ~strategy:Iso_shared] mines for
+          isomorphic instance groups.  Empty for designs read from an
+          already-flat model. *)
   net : Net.t;
   trans : Trans.t;
   heuristic : Trans.heuristic;
       (** ordering heuristic the relation was built with; {!run_pif_par}
-          tasks rebuild the design with the same heuristic so parallel
-          verdicts match sequential ones *)
+          tasks rebuild the design with the same heuristic (and TR
+          strategy / provenance) so parallel verdicts match sequential
+          ones *)
   verilog_lines : int option;
   blifmv_lines : int;
   read_time : float;
@@ -52,9 +59,11 @@ type design = {
 and shared_design
 (** The exported, domain-shareable form of a design: the flattened network
     and relation {e shape} (plain immutable data) plus one [Bdd.snapshot]
-    carrying the relation parts and — when the coordinator's reach cache
-    was conclusive — the reachable set and its onion rings.  Produced by
-    {!share_design}, consumed by {!design_of_shared}. *)
+    carrying the directly-constructed relation parts — under [Iso_shared]
+    one component per master; permuted copies travel as renamings inside
+    the shape — and, when the coordinator's reach cache was conclusive,
+    the reachable set and its onion rings.  Produced by {!share_design},
+    consumed by {!design_of_shared}. *)
 
 and shared_cell = { sc_payload : shared_design; sc_order_rev : int }
 
@@ -82,14 +91,29 @@ val set_limits : design -> Limits.t -> unit
 
 val limits : design -> Limits.t
 
-val read_verilog : ?heuristic:Trans.heuristic -> string -> design
-val read_blifmv : ?heuristic:Trans.heuristic -> string -> design
+val read_verilog :
+  ?heuristic:Trans.heuristic -> ?strategy:Trans.strategy -> string -> design
+
+val read_blifmv :
+  ?heuristic:Trans.heuristic -> ?strategy:Trans.strategy -> string -> design
+(** [strategy] (default [Partitioned]) selects the transition-relation
+    representation ({!Trans.strategy}).  The hierarchical front ends record
+    flattening provenance and hand it to the relation builder, so
+    [~strategy:Iso_shared] shares component BDDs across isomorphic
+    [.subckt] / Verilog-module instances. *)
+
 val read_flat :
   ?heuristic:Trans.heuristic ->
+  ?strategy:Trans.strategy ->
+  ?prov:Flatten.provenance ->
   ?verilog_lines:int ->
   ?timers:Obs.Timers.t ->
   Ast.model ->
   design
+(** Already-flat entry point.  [prov] (default empty) supplies instance
+    provenance when the caller flattened with [Flatten.flatten_prov]
+    itself; without it [Iso_shared] has nothing to mine and degrades to
+    [Partitioned] behaviour. *)
 
 val reachable : ?limits:Limits.t -> design -> Reach.t
 (** Runs under [limits] (default: the design's installed {!val-limits}).
@@ -272,13 +296,19 @@ module Session : sig
 
   type t
 
-  val open_ : ?heuristic:Trans.heuristic -> source -> t
-  (** Read the design and pin its artifacts.  [Session.id] of the result
-      is [hash source]. *)
+  val open_ :
+    ?heuristic:Trans.heuristic -> ?tr:Trans.strategy -> source -> t
+  (** Read the design and pin its artifacts.  [tr] (default [Partitioned])
+      is the construction-time TR strategy ({!read_blifmv}).  [Session.id]
+      of the result is [hash source]. *)
 
   val id : t -> string
   val design : t -> design
   val heuristic : t -> Trans.heuristic
+
+  val tr : t -> Trans.strategy
+  (** The design's resident TR strategy (as opened, or as left by the
+      last {!run} override restore — i.e. the opened one). *)
 
   val hits : t -> int
   (** Warm reuses recorded by {!touch}; [0] for a fresh session. *)
@@ -301,13 +331,17 @@ module Session : sig
     ?fail_fast:bool ->
     ?jobs:int ->
     ?limits:Limits.t ->
+    ?tr:Trans.strategy ->
     t ->
     Pif.t ->
     report * Obs.snapshot option
   (** Check a PIF property set against the session's design: {!run_pif}
       when [jobs <= 1] and not [fail_fast], {!run_pif_par} (returning the
       pool-merged snapshot) otherwise.  [limits] governs this run only.
-      Raises [Invalid_argument] on a closed session. *)
+      [tr] flips the relation's image/preimage evaluation path
+      ([Trans.set_strategy]) for this run only, restoring the session's
+      resident strategy afterwards; construction-time sharing stays as
+      opened.  Raises [Invalid_argument] on a closed session. *)
 
   val close : t -> unit
   (** Drop the session's cached artifacts and mark it closed ({!run}

@@ -4,12 +4,36 @@ open Hsis_blifmv
 open Hsis_quant
 
 type heuristic = Min_width | Pair_clustering | Naive
+type strategy = Monolithic | Partitioned | Iso_shared
+
+let strategy_name = function
+  | Monolithic -> "mono"
+  | Partitioned -> "part"
+  | Iso_shared -> "iso"
+
+let strategy_of_name = function
+  | "mono" | "monolithic" -> Some Monolithic
+  | "part" | "partitioned" -> Some Partitioned
+  | "iso" | "iso-shared" | "iso_shared" -> Some Iso_shared
+  | _ -> None
+
+(* How each part was obtained: built directly from its table/latch, or
+   materialized by permuting an earlier (master) part.  The origin is what
+   lets [share] ship one master component plus renamings instead of N
+   copies. *)
+type origin = Direct | Permuted of { src : int; perm : (int * int) list }
 
 type t = {
   sym : Sym.t;
   heuristic : heuristic;
+  mutable strategy : strategy;
   parts : Bdd.t array;
+  origins : origin array;
   supports : int list array; (* abstract: signal id, or n + id for next *)
+  iso_masters : int;
+  iso_instances : int;
+  iso_nodes_saved : int;
+  iso_permute_time : float;
   mutable mono : Bdd.t option;
   mutable mono_peak : int;
   mutable img_sched : Schedule.t option;
@@ -28,6 +52,8 @@ let schedule_of heuristic problem =
 let sym t = t.sym
 let man t = Sym.man t.sym
 let parts t = t.parts
+let strategy t = t.strategy
+let set_strategy t s = t.strategy <- s
 
 let nsig t = Net.num_signals (Sym.net t.sym)
 
@@ -58,22 +84,208 @@ let abstract_support t b =
   |> List.filter_map (Hashtbl.find_opt var2abs)
   |> List.sort_uniq compare
 
-let build ?(heuristic = Min_width) sym =
+(* ------------------------------------------------------------------ *)
+(* Isomorphism detection.  Provenance says which contiguous runs of the
+   flat table/latch lists came from which .subckt instance; flattening
+   renames but never reorders, so run position k of one instance of a
+   master corresponds to run position k of every other.  We derive the
+   signal renaming positionally from those corresponding tables/latches
+   and verify — structurally, per part — that each member really is a
+   renamed copy of the group's first instance.  Any mismatch (different
+   rows, domain sizes, state-ness, a non-functional or non-injective
+   renaming) silently drops the member back to direct construction. *)
+
+type 'vm plan_entry =
+  | Plan_build
+  | Plan_copy of { src : int; perm : (int * int) list; vm : 'vm }
+
+exception Not_iso
+
+let iso_plan sym (prov : Flatten.provenance) =
   let net = Sym.net sym in
-  let table_parts =
-    List.map (fun tb -> (Rel.table_rel sym tb, Rel.table_support net tb))
-      net.Net.tables
+  let tables = Array.of_list net.Net.tables in
+  let latches = Array.of_list net.Net.latches in
+  let ntab = Array.length tables in
+  let nparts = ntab + Array.length latches in
+  let plan = Array.make nparts Plan_build in
+  let claimed = Array.make nparts false in
+  let masters = ref 0 and instances = ref 0 in
+  let size (i : Flatten.inst) =
+    snd i.Flatten.i_tables + snd i.Flatten.i_latches
   in
-  let latch_parts =
-    List.map (fun l -> (Rel.latch_rel sym l, Rel.latch_support net l))
-      net.Net.latches
+  let part_ids (i : Flatten.inst) =
+    let ts, tl = i.Flatten.i_tables and ls, ll = i.Flatten.i_latches in
+    List.init tl (fun k -> ts + k) @ List.init ll (fun k -> ntab + ls + k)
   in
-  let all = table_parts @ latch_parts in
+  let groups = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (i : Flatten.inst) ->
+      match Hashtbl.find_opt groups i.Flatten.i_master with
+      | Some is -> Hashtbl.replace groups i.Flatten.i_master (i :: is)
+      | None ->
+          Hashtbl.add groups i.Flatten.i_master [ i ];
+          order := i.Flatten.i_master :: !order)
+    prov;
+  let group_list =
+    List.filter_map
+      (fun master ->
+        match Hashtbl.find groups master with
+        | (_ :: _ :: _) as is -> Some (List.rev is)
+        | _ -> None)
+      (List.rev !order)
+  in
+  (* Biggest subtrees first: an outer replicated block subsumes any
+     replication nested inside it.  Ties keep flat-position order. *)
+  let group_list =
+    List.stable_sort
+      (fun a b -> compare (size (List.hd b)) (size (List.hd a)))
+      group_list
+  in
+  let dom_size s = Domain.size (Net.dom net s) in
+  (* Signal renaming rep -> member, derived positionally; raises Not_iso
+     when the member is not a renamed copy. *)
+  let renaming (rep : Flatten.inst) (m : Flatten.inst) =
+    if
+      snd rep.Flatten.i_tables <> snd m.Flatten.i_tables
+      || snd rep.Flatten.i_latches <> snd m.Flatten.i_latches
+    then raise Not_iso;
+    let map = Hashtbl.create 64 in
+    let img = Hashtbl.create 64 in
+    let bind s s' =
+      match Hashtbl.find_opt map s with
+      | Some s'' -> if s'' <> s' then raise Not_iso
+      | None ->
+          if Hashtbl.mem img s' then raise Not_iso;
+          if
+            dom_size s <> dom_size s'
+            || Sym.is_state sym s <> Sym.is_state sym s'
+          then raise Not_iso;
+          Hashtbl.add map s s';
+          Hashtbl.add img s' s
+    in
+    for k = 0 to snd rep.Flatten.i_tables - 1 do
+      let a = tables.(fst rep.Flatten.i_tables + k)
+      and b = tables.(fst m.Flatten.i_tables + k) in
+      if
+        List.length a.Net.ft_inputs <> List.length b.Net.ft_inputs
+        || List.length a.Net.ft_outputs <> List.length b.Net.ft_outputs
+        || a.Net.ft_rows <> b.Net.ft_rows
+        || a.Net.ft_default <> b.Net.ft_default
+      then raise Not_iso;
+      List.iter2 bind a.Net.ft_inputs b.Net.ft_inputs;
+      List.iter2 bind a.Net.ft_outputs b.Net.ft_outputs
+    done;
+    for k = 0 to snd rep.Flatten.i_latches - 1 do
+      let a = latches.(fst rep.Flatten.i_latches + k)
+      and b = latches.(fst m.Flatten.i_latches + k) in
+      if a.Net.fl_reset <> b.Net.fl_reset then raise Not_iso;
+      bind a.Net.fl_input b.Net.fl_input;
+      bind a.Net.fl_output b.Net.fl_output
+    done;
+    (* Identity bindings (shared actuals) need no variable pairs; domain
+       sizes match, so the per-signal encodings have equal widths. *)
+    Hashtbl.fold
+      (fun s s' acc ->
+        if s = s' then acc
+        else
+          let p =
+            List.combine
+              (Enc.var_indices (Sym.pres sym s))
+              (Enc.var_indices (Sym.pres sym s'))
+          in
+          let p =
+            if Sym.is_state sym s then
+              p
+              @ List.combine
+                  (Enc.var_indices (Sym.next sym s))
+                  (Enc.var_indices (Sym.next sym s'))
+            else p
+          in
+          p @ acc)
+      map []
+  in
+  let unclaimed i = List.for_all (fun p -> not claimed.(p)) (part_ids i) in
+  List.iter
+    (fun members ->
+      match List.filter unclaimed members with
+      | rep :: (_ :: _ as rest) when size rep > 0 ->
+          let shared =
+            List.filter_map
+              (fun m ->
+                match renaming rep m with
+                | pairs -> Some (m, pairs)
+                | exception Not_iso -> None)
+              rest
+          in
+          if shared <> [] then begin
+            incr masters;
+            List.iter (fun p -> claimed.(p) <- true) (part_ids rep);
+            List.iter
+              (fun (m, pairs) ->
+                incr instances;
+                List.iter (fun p -> claimed.(p) <- true) (part_ids m);
+                let vm = Bdd.make_varmap (Sym.man sym) pairs in
+                List.iter2
+                  (fun rp mp ->
+                    plan.(mp) <- Plan_copy { src = rp; perm = pairs; vm })
+                  (part_ids rep) (part_ids m))
+              shared
+          end
+      | _ -> ())
+    group_list;
+  (plan, !masters, !instances)
+
+let build ?(heuristic = Min_width) ?(strategy = Partitioned) ?(prov = []) sym =
+  let net = Sym.net sym in
+  let tables = Array.of_list net.Net.tables in
+  let latches = Array.of_list net.Net.latches in
+  let ntab = Array.length tables in
+  let nparts = ntab + Array.length latches in
+  let plan, masters, instances =
+    match strategy with
+    | Iso_shared when prov <> [] -> iso_plan sym prov
+    | _ -> (Array.make nparts Plan_build, 0, 0)
+  in
+  let bman = Sym.man sym in
+  let parts = Array.make nparts (Bdd.dtrue bman) in
+  let origins = Array.make nparts Direct in
+  let nodes_saved = ref 0 in
+  let permute_time = ref 0.0 in
+  let direct i =
+    if i < ntab then Rel.table_rel sym tables.(i)
+    else Rel.latch_rel sym latches.(i - ntab)
+  in
+  for i = 0 to nparts - 1 do
+    match plan.(i) with
+    (* masters precede their copies in flat order; the src >= i guard is
+       pure defense against a provenance that violates that *)
+    | Plan_copy { src; perm; vm } when src < i ->
+        let b, dt =
+          Hsis_obs.Obs.Clock.wall (fun () -> Bdd.permute vm parts.(src))
+        in
+        permute_time := !permute_time +. dt;
+        nodes_saved := !nodes_saved + Bdd.dag_size parts.(src);
+        parts.(i) <- b;
+        origins.(i) <- Permuted { src; perm }
+    | Plan_build | Plan_copy _ -> parts.(i) <- direct i
+  done;
+  let supports =
+    Array.init nparts (fun i ->
+        if i < ntab then Rel.table_support net tables.(i)
+        else Rel.latch_support net latches.(i - ntab))
+  in
   {
     sym;
     heuristic;
-    parts = Array.of_list (List.map fst all);
-    supports = Array.of_list (List.map snd all);
+    strategy;
+    parts;
+    origins;
+    supports;
+    iso_masters = masters;
+    iso_instances = instances;
+    iso_nodes_saved = !nodes_saved;
+    iso_permute_time = !permute_time;
     mono = None;
     mono_peak = 0;
     img_sched = None;
@@ -133,30 +345,29 @@ let preimage_schedule t =
       t.pre_sched <- Some s;
       s
 
-let image ?(use_mono = false) t s =
+let image t s =
   let next_result =
-    if use_mono then
-      Bdd.and_exists ~cube:(Sym.state_cube t.sym) s (monolithic t)
-    else begin
-      let rels = Array.append t.parts [| s |] in
-      let sched = image_schedule t in
-      (Apply.execute ~rels ~cube_of:(cube_of t) sched).Apply.value
-    end
+    match t.strategy with
+    | Monolithic -> Bdd.and_exists ~cube:(Sym.state_cube t.sym) s (monolithic t)
+    | Partitioned | Iso_shared ->
+        let rels = Array.append t.parts [| s |] in
+        let sched = image_schedule t in
+        (Apply.execute ~rels ~cube_of:(cube_of t) sched).Apply.value
   in
   Bdd.dand
     (Bdd.permute (Sym.next_to_pres t.sym) next_result)
     (Sym.domain_ok t.sym)
 
-let preimage ?(use_mono = false) t s =
+let preimage t s =
   let s_next = Bdd.permute (Sym.pres_to_next t.sym) s in
   let result =
-    if use_mono then
-      Bdd.and_exists ~cube:(Sym.next_cube t.sym) s_next (monolithic t)
-    else begin
-      let rels = Array.append t.parts [| s_next |] in
-      let sched = preimage_schedule t in
-      (Apply.execute ~rels ~cube_of:(cube_of t) sched).Apply.value
-    end
+    match t.strategy with
+    | Monolithic ->
+        Bdd.and_exists ~cube:(Sym.next_cube t.sym) s_next (monolithic t)
+    | Partitioned | Iso_shared ->
+        let rels = Array.append t.parts [| s_next |] in
+        let sched = preimage_schedule t in
+        (Apply.execute ~rels ~cube_of:(cube_of t) sched).Apply.value
   in
   Bdd.dand result (Sym.domain_ok t.sym)
 
@@ -196,6 +407,7 @@ let transition_constraint t extra =
   {
     t with
     parts = Array.append t.parts [| extra |];
+    origins = Array.append t.origins [| Direct |];
     supports = Array.append t.supports [| abstract_support t extra |];
     mono = None;
     mono_peak = 0;
@@ -208,38 +420,114 @@ let map_parts t f =
   {
     t with
     parts = Array.map f t.parts;
+    (* the mapped parts are no longer renamed copies of each other *)
+    origins = Array.make (Array.length t.parts) Direct;
     mono = None;
     mono_peak = 0;
     (* supports unchanged: restrict-style maps only shrink supports *)
   }
 
-(* The manager-independent shape of a built relation: heuristic, abstract
-   supports, and the image/preimage schedules (plain variant data).  No
-   BDD handles — safe to share across domains.  The parts themselves
-   travel separately as a [Bdd.snapshot]. *)
+let tr_profile t =
+  {
+    Hsis_obs.Obs.tr_strategy = strategy_name t.strategy;
+    tr_masters = t.iso_masters;
+    tr_instances = t.iso_instances;
+    tr_shared_nodes_saved = t.iso_nodes_saved;
+    tr_permute_time = t.iso_permute_time;
+  }
+
+(* The manager-independent shape of a built relation: heuristic, strategy,
+   abstract supports, the image/preimage schedules and the per-part
+   reconstruction sources (plain variant data).  No BDD handles — safe to
+   share across domains.  The root parts travel separately as a
+   [Bdd.snapshot]; permuted parts travel as their renaming only and are
+   re-materialized on import. *)
+type part_src = Sh_root of int | Sh_perm of { src : int; perm : (int * int) list }
+
 type shared = {
   sh_heuristic : heuristic;
+  sh_strategy : strategy;
   sh_supports : int list array;
+  sh_srcs : part_src array;
+  sh_masters : int;
+  sh_instances : int;
   sh_img : Schedule.t;
   sh_pre : Schedule.t;
 }
 
 let share t =
+  let nroots = ref 0 in
+  let srcs =
+    Array.map
+      (function
+        | Direct ->
+            let k = !nroots in
+            incr nroots;
+            Sh_root k
+        | Permuted { src; perm } -> Sh_perm { src; perm })
+      t.origins
+  in
   {
     sh_heuristic = t.heuristic;
+    sh_strategy = t.strategy;
     sh_supports = t.supports;
+    sh_srcs = srcs;
+    sh_masters = t.iso_masters;
+    sh_instances = t.iso_instances;
     sh_img = image_schedule t;
     sh_pre = preimage_schedule t;
   }
 
-let of_shared sym sh ~parts =
-  if Array.length parts <> Array.length sh.sh_supports then
-    invalid_arg "Trans.of_shared: parts/supports length mismatch";
+let shared_roots t =
+  let acc = ref [] in
+  Array.iteri
+    (fun i o -> match o with Direct -> acc := t.parts.(i) :: !acc | _ -> ())
+    t.origins;
+  List.rev !acc
+
+let shared_nroots sh =
+  Array.fold_left
+    (fun n s -> match s with Sh_root _ -> n + 1 | Sh_perm _ -> n)
+    0 sh.sh_srcs
+
+let shared_strategy sh = sh.sh_strategy
+
+let of_shared sym sh ~roots =
+  if Array.length roots <> shared_nroots sh then
+    invalid_arg "Trans.of_shared: root count mismatch";
+  let n = Array.length sh.sh_srcs in
+  let bman = Sym.man sym in
+  let parts = Array.make n (Bdd.dtrue bman) in
+  let origins = Array.make n Direct in
+  let saved = ref 0 in
+  let ptime = ref 0.0 in
+  Array.iteri
+    (fun i s ->
+      match s with
+      | Sh_root k -> parts.(i) <- roots.(k)
+      | Sh_perm { src; perm } ->
+          if src >= i then
+            invalid_arg "Trans.of_shared: forward permutation source";
+          let vm = Bdd.make_varmap bman perm in
+          let b, dt =
+            Hsis_obs.Obs.Clock.wall (fun () -> Bdd.permute vm parts.(src))
+          in
+          ptime := !ptime +. dt;
+          saved := !saved + Bdd.dag_size parts.(src);
+          parts.(i) <- b;
+          origins.(i) <- Permuted { src; perm })
+    sh.sh_srcs;
   {
     sym;
     heuristic = sh.sh_heuristic;
+    strategy = sh.sh_strategy;
     parts;
+    origins;
     supports = sh.sh_supports;
+    iso_masters = sh.sh_masters;
+    iso_instances = sh.sh_instances;
+    iso_nodes_saved = !saved;
+    iso_permute_time = !ptime;
     mono = None;
     mono_peak = 0;
     img_sched = Some sh.sh_img;

@@ -1,4 +1,5 @@
 open Hsis_bdd
+open Hsis_blifmv
 
 (** Symbolic transition structure of a network: conjunctively partitioned
     transition relation with early-quantification schedules for image and
@@ -6,11 +7,50 @@ open Hsis_bdd
 
 type heuristic = Min_width | Pair_clustering | Naive
 
+(** How the transition relation is represented and used:
+
+    - [Monolithic] — image/preimage go through the single product T(x,y)
+      (built lazily from the parts, cached);
+    - [Partitioned] — the conjunctive partition is kept and image/preimage
+      interleave conjunction with early quantification under the
+      heuristic's schedule (the HSIS default);
+    - [Iso_shared] — like [Partitioned], but construction exploits
+      replication: instance groups that {!Flatten.provenance} proves are
+      copies of one master (isomorphic up to a signal renaming) have their
+      component BDDs built once and materialized per instance via
+      [Bdd.permute].  In one manager the permuted parts are the same
+      canonical nodes direct construction would produce, so every verdict
+      is identical — the win is the avoided construction intermediates
+      and the smaller snapshot exported by {!share}. *)
+type strategy = Monolithic | Partitioned | Iso_shared
+
+val strategy_name : strategy -> string
+(** ["mono"] / ["part"] / ["iso"] — the CLI and wire spelling. *)
+
+val strategy_of_name : string -> strategy option
+
 type t
 
-val build : ?heuristic:heuristic -> Sym.t -> t
+val build :
+  ?heuristic:heuristic ->
+  ?strategy:strategy ->
+  ?prov:Flatten.provenance ->
+  Sym.t ->
+  t
 (** Build the relation parts (one per table, one per latch) and the image /
-    preimage schedules. *)
+    preimage schedules.  Defaults: [Min_width], [Partitioned], no
+    provenance.  Under [Iso_shared] with provenance, instance groups are
+    checked part-by-part for structural equality modulo the positional
+    signal renaming; any group (or member) failing the check silently
+    falls back to direct construction, so the result is always correct. *)
+
+val strategy : t -> strategy
+
+val set_strategy : t -> strategy -> unit
+(** Switch the image/preimage evaluation path of an already-built relation
+    ([Monolithic] vs the schedule-driven partition).  Construction-time
+    sharing is fixed at {!build}; flipping to [Iso_shared] after the fact
+    behaves like [Partitioned]. *)
 
 val sym : t -> Sym.t
 val man : t -> Bdd.man
@@ -27,11 +67,12 @@ val monolithic_peak : t -> int
 (** Largest intermediate BDD seen while building {!monolithic} (0 if not yet
     built). *)
 
-val image : ?use_mono:bool -> t -> Bdd.t -> Bdd.t
-(** Successors of a state set (present vars -> present vars). *)
+val image : t -> Bdd.t -> Bdd.t
+(** Successors of a state set (present vars -> present vars), computed per
+    the relation's {!strategy}. *)
 
-val preimage : ?use_mono:bool -> t -> Bdd.t -> Bdd.t
-(** Predecessors of a state set. *)
+val preimage : t -> Bdd.t -> Bdd.t
+(** Predecessors of a state set, computed per the relation's {!strategy}. *)
 
 val preimage_within : t -> restrict_to:Bdd.t -> Bdd.t -> Bdd.t
 (** [preimage] intersected with a state set (the common EX-within-Z step of
@@ -56,17 +97,25 @@ val transition_constraint : t -> Bdd.t -> t
 
 val map_parts : t -> (Bdd.t -> Bdd.t) -> t
 (** Apply a transformation (e.g. don't-care minimization) to each part;
-    supports may only shrink, so schedules stay valid. *)
+    supports may only shrink, so schedules stay valid.  The mapped parts
+    are no longer renamed copies of each other, so the result exports
+    every part directly. *)
+
+val tr_profile : t -> Hsis_obs.Obs.tr_profile
+(** Strategy name plus isomorphism-sharing counters: master groups found,
+    parts materialized by permutation, construction nodes saved, permute
+    time.  All zero outside [Iso_shared] builds. *)
 
 (** {1 Cross-domain sharing}
 
     A relation is rebuilt in another manager in two pieces: the
-    manager-independent {e shape} below (heuristic, abstract supports,
-    quantification schedules — immutable plain data, safe to share
-    across domains) and the parts themselves, shipped as a
-    [Bdd.snapshot] and re-imported.  Together they skip both the
-    [Rel.table_rel]/[Rel.latch_rel] construction and the schedule
-    clustering on the receiving side. *)
+    manager-independent {e shape} below (heuristic, strategy, abstract
+    supports, quantification schedules, and per-part reconstruction
+    sources — immutable plain data, safe to share across domains) and the
+    {e root} parts, shipped as a [Bdd.snapshot] and re-imported.  Parts
+    that were materialized by permutation travel as their [(var, var)]
+    renaming only: the receiving side re-permutes the imported master
+    part, so an N-instance design ships one component instead of N. *)
 
 type shared
 
@@ -74,11 +123,24 @@ val share : t -> shared
 (** Capture the shape, forcing the image and preimage schedules if not
     yet computed. *)
 
-val of_shared : Sym.t -> shared -> parts:Bdd.t array -> t
-(** Reassemble a relation in [sym]'s manager from a shared shape and
-    re-imported parts (same count and order as [parts] of the source —
-    raises [Invalid_argument] on a length mismatch).  Abstraction
-    schedules restart empty; the monolithic relation is not carried. *)
+val shared_roots : t -> Bdd.t list
+(** The directly-constructed parts, in the root order {!of_shared}
+    expects — the BDDs to export alongside {!share}'s shape.  Permuted
+    parts are omitted (they rebuild from their master's root). *)
+
+val shared_nroots : shared -> int
+(** How many roots {!of_shared} expects. *)
+
+val shared_strategy : shared -> strategy
+
+val of_shared : Sym.t -> shared -> roots:Bdd.t array -> t
+(** Reassemble a relation in [sym]'s manager from a shared shape and the
+    re-imported roots ({!shared_nroots} of them, in {!shared_roots} order —
+    raises [Invalid_argument] on a length mismatch).  Permuted parts are
+    re-materialized with [Bdd.permute]; [Sym.make]'s deterministic variable
+    numbering makes the recorded renamings valid in the new manager.
+    Abstraction schedules restart empty; the monolithic relation is not
+    carried. *)
 
 val parts_size : t -> int
 (** Total dag nodes across parts (metric for minimization benches). *)

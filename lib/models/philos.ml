@@ -64,15 +64,22 @@ lc p0_eats_forever_often;
    (left) first, then fork [i+1 mod n]; one philosopher moves per step,
    chosen by a multi-way $ND.  Forks are single bits — ownership is
    implicit in the philosopher states, and only the holder releases.  The
-   circular wait (everybody in ONE) stays reachable at every [n]. *)
+   circular wait (everybody in ONE) stays reachable at every [n].
+
+   The design is hierarchical: one [phil] module instantiated [n] times.
+   A fork is shared by two neighbours, so the fork bits stay in the top;
+   each instance reads whether its forks are free and exports its
+   take/release intents ([takel]/[taker]/[rel]), which the top folds into
+   the fork updates.  All [n] instances are exact renamings of each
+   other, which is what the [Iso_shared] transition-relation strategy
+   detects and builds only once. *)
 let verilog n =
   let b = Buffer.create 4096 in
   let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
-  pf "// %d dining philosophers, forks taken one at a time (deadlock possible).\n" n;
+  pf "// %d dining philosophers, forks taken one at a time (deadlock possible).\n"
+    n;
+  (* the root is the first module in the file *)
   pf "module philos(clk);\n  input clk;\n";
-  for i = 0 to n - 1 do
-    pf "  enum {THINK, HUNGRY, ONE, EAT} reg p%d;\n" i
-  done;
   for i = 0 to n - 1 do
     pf "  reg f%d;\n" i
   done;
@@ -81,39 +88,67 @@ let verilog n =
     (String.concat ", " (List.init n string_of_int));
   pf "  wire act;\n  assign act = $ND(0, 1);\n";
   for i = 0 to n - 1 do
-    pf "  initial p%d = THINK;\n" i
+    pf "  wire go%d;\n  assign go%d = act & (turn == %d);\n" i i i;
+    pf "  wire free%d;\n  assign free%d = f%d == 0;\n" i i i;
+    pf "  wire tl%d;\n  wire tr%d;\n  wire rel%d;\n" i i i
   done;
   for i = 0 to n - 1 do
     pf "  initial f%d = 0;\n" i
   done;
-  pf "  always @(posedge clk) begin\n    if (act) begin\n";
+  (* fork [i]: left fork of philosopher [i], right fork of [i-1]; taken
+     by either neighbour's pickup intent, dropped when its holder eats
+     (the two intents are mutually exclusive — one mover per step). *)
+  for i = 0 to n - 1 do
+    let left = (i + n - 1) mod n in
+    pf "  always @(posedge clk) begin\n";
+    pf "    if (tl%d | tr%d) f%d <= 1;\n" i left i;
+    pf "    else if (rel%d | rel%d) f%d <= 0;\n" i left i;
+    pf "  end\n"
+  done;
   for i = 0 to n - 1 do
     let right = (i + 1) mod n in
-    pf "      %s (turn == %d) begin\n" (if i = 0 then "if" else "end else if") i;
-    pf "        case (p%d)\n" i;
-    pf "          THINK: p%d <= HUNGRY;\n" i;
-    pf "          HUNGRY: if (f%d == 0) begin f%d <= 1; p%d <= ONE; end\n" i i i;
-    pf "          ONE: if (f%d == 0) begin f%d <= 1; p%d <= EAT; end\n" right
-      right i;
-    pf "          EAT: begin p%d <= THINK; f%d <= 0; f%d <= 0; end\n" i i right;
-    pf "        endcase\n"
+    pf
+      "  phil ph%d (.clk(clk), .go(go%d), .lfree(free%d), .rfree(free%d), \
+       .takel(tl%d), .taker(tr%d), .rel(rel%d));\n"
+      i i i right i i i
   done;
-  pf "      end\n    end\n  end\nendmodule\n";
+  pf "endmodule\n\n";
+  pf "module phil(clk, go, lfree, rfree, takel, taker, rel);\n";
+  pf "  input clk;\n  input go;\n  input lfree;\n  input rfree;\n";
+  pf "  output takel;\n  output taker;\n  output rel;\n";
+  pf "  enum {THINK, HUNGRY, ONE, EAT} reg s;\n";
+  pf "  initial s = THINK;\n";
+  pf "  assign takel = go & (s == HUNGRY) & lfree;\n";
+  pf "  assign taker = go & (s == ONE) & rfree;\n";
+  pf "  assign rel = go & (s == EAT);\n";
+  pf "  always @(posedge clk) begin\n";
+  pf "    if (go) begin\n";
+  pf "      case (s)\n";
+  pf "        THINK: s <= HUNGRY;\n";
+  pf "        HUNGRY: if (lfree) s <= ONE;\n";
+  pf "        ONE: if (rfree) s <= EAT;\n";
+  pf "        EAT: s <= THINK;\n";
+  pf "      endcase\n";
+  pf "    end\n";
+  pf "  end\n";
+  pf "endmodule\n";
   Buffer.contents b
 
 (* Per-philosopher properties, so the property count scales with the ring:
    [n] adjacent-mutex invariants plus [n] possible-progress formulas (each
    an EF fixpoint — the per-property model-checking work the parallel
-   benchmarks fan out). *)
+   benchmarks fan out).  Philosopher state lives at the flattened
+   hierarchical name [ph<i>/s]. *)
 let pif n =
   let b = Buffer.create 1024 in
   let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   for i = 0 to n - 1 do
-    pf "ctl mutual_exclusion_%d \"AG !(p%d=EAT & p%d=EAT)\";\n" i i
+    pf "ctl mutual_exclusion_%d \"AG !(ph%d/s=EAT & ph%d/s=EAT)\";\n" i i
       ((i + 1) mod n)
   done;
   for i = 0 to n - 1 do
-    pf "ctl possible_progress_%d \"AG (p%d=HUNGRY -> EF p%d=EAT)\";\n" i i i
+    pf "ctl possible_progress_%d \"AG (ph%d/s=HUNGRY -> EF ph%d/s=EAT)\";\n" i
+      i i
   done;
   Buffer.contents b
 

@@ -6,7 +6,15 @@
    section — entering CS and advancing the token can never happen in the
    same step, which is what makes the mutual exclusion invariants hold.
    Reachable states grow as [n * 3^n]: the scaled rows of the parallel
-   benchmarks. *)
+   benchmarks.
+
+   The design is hierarchical: one [station] module instantiated [n]
+   times under the [ring] top, with the token arbitration (who moves,
+   whether the token may advance) kept in the top.  Every per-station
+   comparison against [who] and [pos] is computed in the top and fed in
+   as a 1-bit port, so the [n] instances are exact renamings of each
+   other — the shape the [Iso_shared] transition-relation strategy
+   recognizes and builds only once. *)
 
 let default_n = 4
 
@@ -14,19 +22,20 @@ let verilog n =
   let b = Buffer.create 4096 in
   let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   let w = max 1 (Scheduler.bits_for n) in
-  pf "// Token-ring mutex with %d stations.\n" n;
+  pf "// Token-ring mutex with %d stations (one station module, %d instances).\n"
+    n n;
+  (* the root is the first module in the file *)
   pf "module ring(clk);\n  input clk;\n";
   pf "  reg [%d:0] pos;\n" (w - 1);
-  for i = 0 to n - 1 do
-    pf "  enum {IDLE, WAIT, CS} reg s%d;\n" i
-  done;
   pf "  wire [%d:0] who;\n" (w - 1);
   pf "  assign who = $ND(%s);\n"
     (String.concat ", " (List.init n string_of_int));
   pf "  wire req;\n  assign req = $ND(0, 1);\n";
   pf "  wire mv;\n  assign mv = $ND(0, 1);\n";
   for i = 0 to n - 1 do
-    pf "  wire idle%d;\n  assign idle%d = s%d == IDLE;\n" i i i
+    pf "  wire go%d;\n  assign go%d = who == %d;\n" i i i;
+    pf "  wire at%d;\n  assign at%d = pos == %d;\n" i i i;
+    pf "  wire idle%d;\n" i
   done;
   (* token may advance only past an idle station *)
   pf "  wire atpos_idle;\n  assign atpos_idle = ";
@@ -36,36 +45,43 @@ let verilog n =
   pf "idle%d;\n" (n - 1);
   pf "  wire advance;\n  assign advance = mv & atpos_idle;\n";
   pf "  initial pos = 0;\n";
-  for i = 0 to n - 1 do
-    pf "  initial s%d = IDLE;\n" i
-  done;
   pf "  always @(posedge clk) begin\n";
   pf "    if (advance) pos <= (pos == %d) ? 0 : pos + 1;\n" (n - 1);
   pf "  end\n";
   for i = 0 to n - 1 do
-    pf "  always @(posedge clk) begin\n";
-    pf "    if (who == %d) begin\n" i;
-    pf "      case (s%d)\n" i;
-    pf "        IDLE: if (req) s%d <= WAIT;\n" i;
-    pf "        WAIT: if (pos == %d) s%d <= CS;\n" i i;
-    pf "        CS: if (req) s%d <= IDLE;\n" i;
-    pf "      endcase\n";
-    pf "    end\n";
-    pf "  end\n"
+    pf "  station st%d (.clk(clk), .go(go%d), .at(at%d), .req(req), .idle(idle%d));\n"
+      i i i i
   done;
+  pf "endmodule\n\n";
+  pf "module station(clk, go, at, req, idle);\n";
+  pf "  input clk;\n  input go;\n  input at;\n  input req;\n";
+  pf "  output idle;\n";
+  pf "  enum {IDLE, WAIT, CS} reg s;\n";
+  pf "  initial s = IDLE;\n";
+  pf "  assign idle = s == IDLE;\n";
+  pf "  always @(posedge clk) begin\n";
+  pf "    if (go) begin\n";
+  pf "      case (s)\n";
+  pf "        IDLE: if (req) s <= WAIT;\n";
+  pf "        WAIT: if (at) s <= CS;\n";
+  pf "        CS: if (req) s <= IDLE;\n";
+  pf "      endcase\n";
+  pf "    end\n";
+  pf "  end\n";
   pf "endmodule\n";
   Buffer.contents b
 
 (* [n] adjacent-exclusion invariants plus [n] EF-accession formulas: one
-   property per station in each direction around the ring. *)
+   property per station in each direction around the ring.  Station state
+   lives at the flattened hierarchical name [st<i>/s]. *)
 let pif n =
   let b = Buffer.create 1024 in
   let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   for i = 0 to n - 1 do
-    pf "ctl mutex_%d \"AG !(s%d=CS & s%d=CS)\";\n" i i ((i + 1) mod n)
+    pf "ctl mutex_%d \"AG !(st%d/s=CS & st%d/s=CS)\";\n" i i ((i + 1) mod n)
   done;
   for i = 0 to n - 1 do
-    pf "ctl accession_%d \"AG (s%d=WAIT -> EF s%d=CS)\";\n" i i i
+    pf "ctl accession_%d \"AG (st%d/s=WAIT -> EF st%d/s=CS)\";\n" i i i
   done;
   Buffer.contents b
 

@@ -370,6 +370,14 @@ type reach_sample = {
 
 type rel_profile = { rel_parts : int; rel_nodes : int; rel_largest : int }
 
+type tr_profile = {
+  tr_strategy : string;
+  tr_masters : int;
+  tr_instances : int;
+  tr_shared_nodes_saved : int;
+  tr_permute_time : float;
+}
+
 type worker_sample = { w_tasks : int; w_time : float }
 
 (* ------------------------------------------------------------------ *)
@@ -449,13 +457,14 @@ type snapshot = {
   phases : (string * float) list;
   reach : reach_sample list;
   relation : rel_profile option;
+  tr : tr_profile option;
   verdicts : (string * int) list;
   workers : worker_sample list;
 }
 
-let snapshot ?(phases = []) ?(reach = []) ?relation ?(verdicts = [])
+let snapshot ?(phases = []) ?(reach = []) ?relation ?tr ?(verdicts = [])
     ?(workers = []) man =
-  { man; phases; reach; relation; verdicts; workers }
+  { man; phases; reach; relation; tr; verdicts; workers }
 
 (* [diff before after]: monotone counters are subtracted (clamped at zero so
    the result is always non-negative), gauges — live/dead/peak nodes, cache
@@ -539,6 +548,7 @@ let diff before after =
     phases = List.map phase_diff after.phases;
     reach = after.reach;
     relation = after.relation;
+    tr = after.tr;
     verdicts = List.map (tally_diff before.verdicts) after.verdicts;
     workers = after.workers;
   }
@@ -644,6 +654,7 @@ let merge snapshots =
       merge_tallies ( +. ) 0.0 (List.map (fun s -> s.phases) snapshots);
     reach = first_non_empty (fun s -> s.reach);
     relation = List.find_map (fun s -> s.relation) snapshots;
+    tr = List.find_map (fun s -> s.tr) snapshots;
     verdicts = merge_tallies ( + ) 0 (List.map (fun s -> s.verdicts) snapshots);
     workers = List.concat_map (fun s -> s.workers) snapshots;
   }
@@ -711,6 +722,17 @@ let pp fmt s =
       Format.fprintf fmt "relation    : %d parts, %d nodes (largest %d)@."
         r.rel_parts r.rel_nodes r.rel_largest
   | None -> ());
+  (match s.tr with
+  | Some t when t.tr_strategy <> "" ->
+      Format.fprintf fmt "tr          : %s" t.tr_strategy;
+      if t.tr_masters > 0 then
+        Format.fprintf fmt
+          ", %d masters shared by %d permuted instances (%d nodes saved, \
+           %.3fs permuting)"
+          t.tr_masters t.tr_instances t.tr_shared_nodes_saved
+          t.tr_permute_time;
+      Format.fprintf fmt "@."
+  | _ -> ());
   if s.phases <> [] then begin
     Format.fprintf fmt "phases      :@.";
     List.iter
@@ -746,11 +768,13 @@ let pp fmt s =
    "limits" object (budget checks and per-reason interrupt counts) and the
    top-level "verdicts" tally; /4 added the "workers" member (per-worker
    task counts and wall time of a merged parallel run) and the per-step
-   "simplify_saved" member of the reach profile; /5 adds the "snapshot"
-   object (BDD export/import traffic of the shared-work parallel path).
-   Each bump is additive: older readers ignore the new members, and
-   of_json defaults them to zero/empty when reading older documents. *)
-let schema_version = "hsis-obs/5"
+   "simplify_saved" member of the reach profile; /5 added the "snapshot"
+   object (BDD export/import traffic of the shared-work parallel path);
+   /6 adds the "tr" object (transition-relation strategy and isomorphism
+   sharing counters).  Each bump is additive: older readers ignore the new
+   members, and of_json defaults them to zero/empty when reading older
+   documents. *)
+let schema_version = "hsis-obs/6"
 
 let to_json s =
   let open Json in
@@ -830,15 +854,27 @@ let to_json s =
                   ("workers", List (List.map worker ws));
                 ] );
           ])
+    @ (match s.relation with
+      | None -> []
+      | Some r ->
+          [
+            ( "relation",
+              Obj
+                [ ("parts", Int r.rel_parts); ("nodes", Int r.rel_nodes);
+                  ("largest", Int r.rel_largest) ] );
+          ])
     @
-    match s.relation with
+    match s.tr with
     | None -> []
-    | Some r ->
+    | Some t ->
         [
-          ( "relation",
+          ( "tr",
             Obj
-              [ ("parts", Int r.rel_parts); ("nodes", Int r.rel_nodes);
-                ("largest", Int r.rel_largest) ] );
+              [ ("strategy", Str t.tr_strategy);
+                ("masters", Int t.tr_masters);
+                ("instances", Int t.tr_instances);
+                ("shared_nodes_saved", Int t.tr_shared_nodes_saved);
+                ("permute_s", Float t.tr_permute_time) ] );
         ])
 
 let of_json j =
@@ -953,7 +989,21 @@ let of_json j =
             rel_largest = to_int (member "largest" jr);
           }
   in
+  (* Absent on /1–/5 documents. *)
+  let tr =
+    match member "tr" j with
+    | None -> None
+    | Some jt ->
+        Some
+          {
+            tr_strategy = to_str (member "strategy" jt);
+            tr_masters = to_int (member "masters" jt);
+            tr_instances = to_int (member "instances" jt);
+            tr_shared_nodes_saved = to_int (member "shared_nodes_saved" jt);
+            tr_permute_time = to_float (member "permute_s" jt);
+          }
+  in
   { man = { cache; gc; reorder; arena; limits; snap }; phases; reach;
-    relation; verdicts; workers }
+    relation; tr; verdicts; workers }
 
 let json_string s = Json.to_string (to_json s)

@@ -162,6 +162,22 @@ type worker_sample = {
 type rel_profile = { rel_parts : int; rel_nodes : int; rel_largest : int }
 (** Shape of the conjunctively partitioned transition relation. *)
 
+type tr_profile = {
+  tr_strategy : string;
+      (** construction strategy name (["mono"], ["part"], ["iso"]) *)
+  tr_masters : int;
+      (** isomorphic instance groups whose component BDDs were built once *)
+  tr_instances : int;
+      (** relation parts materialized by [Bdd.permute] from a master part
+          instead of direct construction *)
+  tr_shared_nodes_saved : int;
+      (** total dag size of the master parts each permuted instance
+          avoided re-constructing *)
+  tr_permute_time : float;  (** wall-clock seconds spent permuting *)
+}
+(** Transition-relation strategy and isomorphism-sharing counters, carried
+    on snapshots as the [tr] member (since schema hsis-obs/6). *)
+
 (** {1 Phase timers} *)
 
 module Timers : sig
@@ -211,6 +227,9 @@ type snapshot = {
   phases : (string * float) list;  (** phase name -> seconds, in order *)
   reach : reach_sample list;
   relation : rel_profile option;
+  tr : tr_profile option;
+      (** transition-relation strategy and sharing counters, when the
+          snapshot came from a built design *)
   verdicts : (string * int) list;
       (** verdict name (["pass"], ["fail"], ["inconclusive"]) -> count of
           property results produced, in first-seen order (monotone) *)
@@ -223,6 +242,7 @@ val snapshot :
   ?phases:(string * float) list ->
   ?reach:reach_sample list ->
   ?relation:rel_profile ->
+  ?tr:tr_profile ->
   ?verdicts:(string * int) list ->
   ?workers:worker_sample list ->
   man_stats ->
@@ -247,11 +267,12 @@ val merge : snapshot list -> snapshot
     compose.  [merge [] ] is the all-zero snapshot. *)
 
 val schema_version : string
-(** Value of the ["schema"] member of emitted JSON ("hsis-obs/5"; /2 added
+(** Value of the ["schema"] member of emitted JSON ("hsis-obs/6"; /2 added
     the additive cache ["slots"]/["evictions"] members, /3 the ["limits"]
     object and ["verdicts"] tally, /4 the ["workers"] member and the
     per-step ["simplify_saved"] reach-profile member, /5 the ["snapshot"]
-    object with BDD export/import traffic). *)
+    object with BDD export/import traffic, /6 the ["tr"] object with the
+    transition-relation strategy and isomorphism-sharing counters). *)
 
 val pp : Format.formatter -> snapshot -> unit
 (** Human-readable multi-line report. *)

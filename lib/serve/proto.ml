@@ -46,6 +46,7 @@ type request = {
   r_pif : string option;
   r_budget : budget;
   r_jobs : int option;
+  r_tr : Hsis_fsm.Trans.strategy option;
   r_fail_fast : bool;
   r_witnesses : bool;
   r_stats : bool;
@@ -160,6 +161,13 @@ let request_of_json j =
       (match opt_int "jobs" j with
       | Some n when n < 1 -> bad "\"jobs\" must be >= 1"
       | v -> v);
+    r_tr =
+      (match opt_str "tr" j with
+      | None -> None
+      | Some s -> (
+          match Hsis_fsm.Trans.strategy_of_name s with
+          | Some _ as v -> v
+          | None -> bad "\"tr\" must be one of \"mono\", \"part\", \"iso\""));
     r_fail_fast = opt_bool "fail_fast" j;
     r_witnesses = opt_bool "witnesses" j;
     r_stats = opt_bool "stats" j;
@@ -188,6 +196,10 @@ let request_to_json r =
           else [ ("budget", budget_to_json r.r_budget) ]);
          (match r.r_jobs with
          | Some n -> [ ("jobs", Obs.Json.Int n) ]
+         | None -> []);
+         (match r.r_tr with
+         | Some s ->
+             [ ("tr", Obs.Json.Str (Hsis_fsm.Trans.strategy_name s)) ]
          | None -> []);
          (if r.r_fail_fast then [ ("fail_fast", Obs.Json.Bool true) ] else []);
          (if r.r_witnesses then [ ("witnesses", Obs.Json.Bool true) ] else []);

@@ -18,7 +18,8 @@ open Hsis_limits
      "pif": "<pif text>",                     -- check: property set
                                                  (builtins default to theirs)
      "budget": {"timeout_s": f, "max_nodes": n, "max_steps": n},
-     "jobs": n, "fail_fast": b, "witnesses": b,
+     "jobs": n, "tr": "mono" | "part" | "iso",
+     "fail_fast": b, "witnesses": b,
      "stats": b,                              -- attach an obs snapshot
      "fuzz": {"iters": n, "seed": n, "state_limit": n, "ctl_per_iter": n}}
     v}
@@ -76,6 +77,10 @@ type request = {
   r_pif : string option;
   r_budget : budget;
   r_jobs : int option;
+  r_tr : Hsis_fsm.Trans.strategy option;
+      (** per-job transition-relation strategy override; [None] leaves the
+          daemon default (configured at startup, [part] out of the box).
+          Named on the wire as ["mono"] / ["part"] / ["iso"]. *)
   r_fail_fast : bool;
   r_witnesses : bool;
   r_stats : bool;

@@ -38,8 +38,9 @@ let heuristic_name = function
   | Trans.Pair_clustering -> "pairs"
   | Trans.Naive -> "naive"
 
-let key_of ~heuristic source =
-  Hsis.Session.hash source ^ "/" ^ heuristic_name heuristic
+let key_of ~heuristic ~tr source =
+  Hsis.Session.hash source ^ "/" ^ heuristic_name heuristic ^ "/"
+  ^ Trans.strategy_name tr
 
 let short_id s = String.sub (Hsis.Session.id s) 0 8
 
@@ -101,8 +102,8 @@ let enforce ?keep t =
         Hsis.Session.close v.session
   done
 
-let find_or_open t ~heuristic source =
-  let key = key_of ~heuristic source in
+let find_or_open t ~heuristic ~tr source =
+  let key = key_of ~heuristic ~tr source in
   match List.find_opt (fun e -> e.key = key) t.entries with
   | Some e ->
       e.stamp <- next_tick t;
@@ -111,7 +112,7 @@ let find_or_open t ~heuristic source =
       Obs.Tally.incr t.per_entry_hits (short_id e.session);
       (e.session, true)
   | None ->
-      let session = Hsis.Session.open_ ~heuristic source in
+      let session = Hsis.Session.open_ ~heuristic ~tr source in
       t.misses <- t.misses + 1;
       t.entries <- { key; session; stamp = next_tick t } :: t.entries;
       enforce ~keep:session t;

@@ -5,8 +5,9 @@ open Hsis_fsm
 (** The warm-state session cache of the serve daemon.
 
     Keys are [Hsis.Session.hash] content hashes of the design source
-    (plus the ordering heuristic, so the same text read under two
-    heuristics yields two sessions); values are open {!Hsis.Session}s
+    (plus the ordering heuristic and the construction-time TR strategy,
+    so the same text read under two heuristics or strategies yields two
+    sessions); values are open {!Hsis.Session}s
     holding the parsed/flattened network, the relation BDDs with their
     quantification schedule, the manager's variable order and any
     conclusive reach set — everything a re-check of an edited property
@@ -30,10 +31,17 @@ val create : ?max_entries:int -> ?max_live_nodes:int -> unit -> t
     entry so the working design always fits. *)
 
 val find_or_open :
-  t -> heuristic:Trans.heuristic -> Hsis.Session.source -> Hsis.Session.t * bool
+  t ->
+  heuristic:Trans.heuristic ->
+  tr:Trans.strategy ->
+  Hsis.Session.source ->
+  Hsis.Session.t * bool
 (** The session for this source — reused warm when cached ([true]), read
-    cold and inserted otherwise ([false]).  Insertion enforces the budget
-    (never evicting the session being returned). *)
+    cold and inserted otherwise ([false]).  [tr] is the construction-time
+    TR strategy ([Hsis.Session.open_ ~tr]); per-job evaluation overrides
+    go through [Session.run ~tr] instead and do not fork cache entries.
+    Insertion enforces the budget (never evicting the session being
+    returned). *)
 
 val enforce : ?keep:Hsis.Session.t -> t -> unit
 (** Re-apply the budget (LRU eviction) — called after each served job,

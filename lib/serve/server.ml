@@ -10,6 +10,7 @@ type config = {
   default_budget : Proto.budget;
   default_jobs : int;
   heuristic : Trans.heuristic;
+  tr : Trans.strategy;
 }
 
 let default_config =
@@ -19,6 +20,7 @@ let default_config =
     default_budget = Proto.no_budget;
     default_jobs = 1;
     heuristic = Trans.Min_width;
+    tr = Trans.Partitioned;
   }
 
 type t = {
@@ -124,13 +126,14 @@ let do_check t req =
   in
   let pif = Hsis_auto.Pif.parse pif_text in
   let session, hit =
-    Scache.find_or_open t.scache ~heuristic:t.config.heuristic source
+    Scache.find_or_open t.scache ~heuristic:t.config.heuristic
+      ~tr:t.config.tr source
   in
   let limits = Proto.limits_of_budget (job_budget t req) in
   let report, snap =
     Hsis.Session.run ~witnesses:req.Proto.r_witnesses
-      ~fail_fast:req.Proto.r_fail_fast ~jobs:(job_jobs t req) ~limits session
-      pif
+      ~fail_fast:req.Proto.r_fail_fast ~jobs:(job_jobs t req) ~limits
+      ?tr:req.Proto.r_tr session pif
   in
   Scache.enforce ~keep:session t.scache;
   let obs =
@@ -147,11 +150,21 @@ let do_check t req =
 let do_reach t req =
   let source, _ = required_design req in
   let session, hit =
-    Scache.find_or_open t.scache ~heuristic:t.config.heuristic source
+    Scache.find_or_open t.scache ~heuristic:t.config.heuristic
+      ~tr:t.config.tr source
   in
   let design = Hsis.Session.design session in
   let limits = Proto.limits_of_budget (job_budget t req) in
-  let r = Hsis.reachable ~limits design in
+  (* Per-job TR override: flip the evaluation path for this job only. *)
+  let resident = Trans.strategy design.Hsis.trans in
+  (match req.Proto.r_tr with
+  | Some s -> Trans.set_strategy design.Hsis.trans s
+  | None -> ());
+  let r =
+    Fun.protect
+      ~finally:(fun () -> Trans.set_strategy design.Hsis.trans resident)
+      (fun () -> Hsis.reachable ~limits design)
+  in
   Scache.enforce ~keep:session t.scache;
   let verdict_members =
     match Verdict.to_json r.Hsis_check.Reach.verdict with

@@ -24,10 +24,13 @@ type config = {
           (the [--timeout] / [--max-nodes] / [--max-steps] CLI flags) *)
   default_jobs : int;  (** [Par] fan-out for requests without ["jobs"] *)
   heuristic : Trans.heuristic;
+  tr : Trans.strategy;
+      (** construction-time TR strategy of sessions this daemon opens;
+          requests override per job with the ["tr"] member *)
 }
 
 val default_config : config
-(** 8 entries, 2M nodes, no budget, 1 job, min-width. *)
+(** 8 entries, 2M nodes, no budget, 1 job, min-width, partitioned TR. *)
 
 type t
 

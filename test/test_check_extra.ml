@@ -161,7 +161,9 @@ let test_mono_vs_partitioned_pre () =
   let sym = Trans.sym trans in
   let target = Trans.abstract_to_states trans (Expr.to_bdd sym (Expr.parse "s=2")) in
   let p1 = Trans.preimage trans target in
-  let p2 = Trans.preimage ~use_mono:true trans target in
+  Trans.set_strategy trans Trans.Monolithic;
+  let p2 = Trans.preimage trans target in
+  Trans.set_strategy trans Trans.Partitioned;
   Alcotest.(check bool) "preimages agree" true (Bdd.equal p1 p2)
 
 let test_invariance_fast_path () =

@@ -50,7 +50,8 @@ let test_image_heuristics_agree () =
       let r = Reach.compute trans (Trans.initial trans) in
       Alcotest.(check (float 1e-9)) "4 states" 4.0
         (Reach.count_states trans r.Reach.reachable);
-      let r' = Reach.compute ~use_mono:true trans (Trans.initial trans) in
+      Trans.set_strategy trans Trans.Monolithic;
+      let r' = Reach.compute trans (Trans.initial trans) in
       Alcotest.(check bool) "monolithic image agrees" true
         (Bdd.equal r.Reach.reachable r'.Reach.reachable))
     [ Trans.Min_width; Trans.Pair_clustering; Trans.Naive ]

@@ -1,0 +1,185 @@
+(* The isomorphism-sharing TR strategy: detection finds the instance
+   groups the hierarchical scaled models are built from, and verdicts /
+   reachable-state counts are identical across all three strategies —
+   sequentially, under shared-work parallelism, and after a sifting
+   reorder.  A fuzz round cross-checks iso against mono on random
+   hierarchical designs. *)
+
+open Hsis_models
+open Hsis_core
+open Hsis_fsm
+open Hsis_obs
+
+let holds v = Hsis_limits.Verdict.holds v
+
+let verdicts (r : Hsis.report) =
+  List.map
+    (fun (c : Hsis.ctl_evidence Hsis.property_result) ->
+      (c.Hsis.pr_name, holds c.Hsis.pr_verdict))
+    r.Hsis.ctl
+  @ List.map
+      (fun (l : Hsis.lc_evidence Hsis.property_result) ->
+        (l.Hsis.pr_name, holds l.Hsis.pr_verdict))
+      r.Hsis.lc
+
+let read ~strategy (m : Model.t) =
+  Hsis.read_verilog ~strategy m.Model.verilog
+
+(* Detection: the n-station ring and n-philosopher table each carry one
+   replicated master module, so iso finds 1 group with n - 1 permuted
+   copies and saves the copies' construction. *)
+let test_masters_found () =
+  List.iter
+    (fun (m, n) ->
+      let d = read ~strategy:Trans.Iso_shared m in
+      let p = Trans.tr_profile d.Hsis.trans in
+      Alcotest.(check string)
+        (m.Model.name ^ ": strategy") "iso" p.Obs.tr_strategy;
+      Alcotest.(check int) (m.Model.name ^ ": masters") 1 p.Obs.tr_masters;
+      Alcotest.(check int)
+        (m.Model.name ^ ": instances") (n - 1) p.Obs.tr_instances;
+      Alcotest.(check bool)
+        (m.Model.name ^ ": nodes saved")
+        true
+        (p.Obs.tr_shared_nodes_saved > 0))
+    [ (Ring.make ~n:4 (), 4); (Philos.make ~n:3 (), 3) ]
+
+(* Non-hierarchical sources have no provenance: iso degrades to plain
+   partitioned construction without claiming any sharing. *)
+let test_no_provenance_degrades () =
+  let m = Peterson.make () in
+  let d = read ~strategy:Trans.Iso_shared m in
+  let p = Trans.tr_profile d.Hsis.trans in
+  Alcotest.(check int) "no masters" 0 p.Obs.tr_masters;
+  Alcotest.(check int) "no instances" 0 p.Obs.tr_instances
+
+let strategies =
+  [ Trans.Monolithic; Trans.Partitioned; Trans.Iso_shared ]
+
+(* All three strategies are evaluation variants of the same relation:
+   identical reachable-state counts and identical per-property verdicts. *)
+let test_strategies_agree () =
+  List.iter
+    (fun (m : Model.t) ->
+      let pif = Model.parse_pif m in
+      let runs =
+        List.map
+          (fun strategy ->
+            let d = read ~strategy m in
+            let states = Hsis.reached_states d in
+            let r = Hsis.run_pif ~witnesses:false d pif in
+            (strategy, states, verdicts r))
+          strategies
+      in
+      match runs with
+      | (_, states0, vs0) :: rest ->
+          List.iter
+            (fun (s, states, vs) ->
+              let tag =
+                Printf.sprintf "%s/%s" m.Model.name (Trans.strategy_name s)
+              in
+              Alcotest.(check (float 0.0))
+                (tag ^ ": reached states") states0 states;
+              Alcotest.(check (list (pair string bool)))
+                (tag ^ ": verdicts") vs0 vs)
+            rest
+      | [] -> assert false)
+    [ Ring.make ~n:3 (); Philos.make ~n:3 () ]
+
+(* Shared-work fan-out from an iso-built coordinator: the snapshot ships
+   one component per master and the workers re-permute the copies, so a
+   2-domain run must match the sequential report exactly. *)
+let test_iso_parallel_matches_sequential () =
+  List.iter
+    (fun (m : Model.t) ->
+      let pif = Model.parse_pif m in
+      let seq =
+        let d = read ~strategy:Trans.Iso_shared m in
+        Hsis.run_pif ~witnesses:false d pif
+      in
+      let s =
+        Hsis.Session.open_ ~tr:Trans.Iso_shared
+          (Hsis.Session.Verilog m.Model.verilog)
+      in
+      Fun.protect
+        ~finally:(fun () -> Hsis.Session.close s)
+        (fun () ->
+          let par, _obs = Hsis.Session.run ~witnesses:false ~jobs:2 s pif in
+          Alcotest.(check (list (pair string bool)))
+            (m.Model.name ^ ": jobs 2 verdicts match")
+            (verdicts seq) (verdicts par);
+          Alcotest.(check int)
+            (m.Model.name ^ ": jobs 2 exit code matches")
+            (Hsis.report_exit_code seq)
+            (Hsis.report_exit_code par)))
+    [ Ring.make ~n:3 (); Philos.make ~n:3 () ]
+
+(* Sifting moves levels, not variable indices, so a reordered manager
+   still evaluates the permuted parts correctly. *)
+let test_iso_survives_sifting () =
+  let m = Ring.make ~n:4 () in
+  let pif = Model.parse_pif m in
+  let baseline =
+    let d = read ~strategy:Trans.Partitioned m in
+    verdicts (Hsis.run_pif ~witnesses:false d pif)
+  in
+  let d = read ~strategy:Trans.Iso_shared m in
+  Hsis_bdd.Bdd.sift (Trans.man d.Hsis.trans);
+  Alcotest.(check (list (pair string bool)))
+    "verdicts after sift" baseline
+    (verdicts (Hsis.run_pif ~witnesses:false d pif))
+
+(* Fuzz: random hierarchical BLIF-MV designs (Gen.hierarchical), read
+   once with iso and once with mono; reachable-state counts and a random
+   CTL verdict must agree on every seed. *)
+let test_fuzz_iso_vs_mono () =
+  let config = { Hsis_gen.Gen.default with hierarchy = true } in
+  let seed =
+    Hsis_gen.Rng.seed_from_env ~var:"HSIS_ISO_SEED" ~default:20260808 ()
+  in
+  let rng = Hsis_gen.Rng.make seed in
+  for round = 1 to 25 do
+    let r = Hsis_gen.Rng.split rng in
+    let ast = Hsis_gen.Gen.hierarchical ~config r in
+    let flat, prov = Hsis_blifmv.Flatten.flatten_prov ast in
+    let d_iso = Hsis.read_flat ~strategy:Trans.Iso_shared ~prov flat in
+    let d_mono = Hsis.read_flat ~strategy:Trans.Monolithic flat in
+    let tag = Printf.sprintf "seed %d round %d" seed round in
+    Alcotest.(check (float 0.0))
+      (tag ^ ": reached states")
+      (Hsis.reached_states d_mono)
+      (Hsis.reached_states d_iso);
+    let net = Hsis_blifmv.Net.of_model flat in
+    let f = Hsis_gen.Gen.ctl ~config r net in
+    let v_iso = (Hsis.check_ctl d_iso ~name:"fuzz" f).Hsis.pr_verdict in
+    let v_mono = (Hsis.check_ctl d_mono ~name:"fuzz" f).Hsis.pr_verdict in
+    Alcotest.(check bool)
+      (tag ^ ": ctl verdict")
+      (holds v_mono) (holds v_iso)
+  done
+
+let () =
+  Alcotest.run "iso"
+    [
+      ( "detection",
+        [
+          Alcotest.test_case "masters found on scaled models" `Quick
+            test_masters_found;
+          Alcotest.test_case "flat source degrades gracefully" `Quick
+            test_no_provenance_degrades;
+        ] );
+      ( "agreement",
+        [
+          Alcotest.test_case "mono/part/iso agree" `Quick
+            test_strategies_agree;
+          Alcotest.test_case "iso + jobs 2 matches sequential" `Quick
+            test_iso_parallel_matches_sequential;
+          Alcotest.test_case "iso survives sifting" `Quick
+            test_iso_survives_sifting;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "random hierarchy iso vs mono" `Quick
+            test_fuzz_iso_vs_mono;
+        ] );
+    ]

@@ -364,7 +364,50 @@ let test_workers_roundtrip () =
       Alcotest.(check int) "v3 simplify_saved defaults 0" 0
         s.Obs.simplify_saved
   | _ -> Alcotest.fail "v3 reach profile lost");
-  Alcotest.(check string) "schema is /5" "hsis-obs/5" Obs.schema_version
+  Alcotest.(check string) "schema is /6" "hsis-obs/6" Obs.schema_version
+
+(* /6 adds the tr member (transition-relation strategy and isomorphism
+   sharing counters): it must round-trip, and documents from every earlier
+   generation — which have no tr member — must still parse with tr
+   defaulting to absent. *)
+let test_tr_roundtrip () =
+  let man = Bdd.new_man () in
+  ignore (workload man 4);
+  let tr =
+    {
+      Obs.tr_strategy = "iso";
+      tr_masters = 2;
+      tr_instances = 5;
+      tr_shared_nodes_saved = 1234;
+      tr_permute_time = 0.125;
+    }
+  in
+  let snap = Obs.snapshot ~tr (Bdd.stats man) in
+  let snap' = Obs.of_json (Obs.Json.parse (Obs.json_string snap)) in
+  Alcotest.(check bool) "tr survives the round-trip" true
+    (snap'.Obs.tr = Some tr);
+  (* absence also round-trips *)
+  let bare = Obs.snapshot (Bdd.stats man) in
+  let bare' = Obs.of_json (Obs.Json.parse (Obs.json_string bare)) in
+  Alcotest.(check bool) "absent tr stays absent" true (bare'.Obs.tr = None);
+  (* /1-/5 documents have no tr member *)
+  List.iter
+    (fun v ->
+      let doc =
+        Obs.of_json
+          (Obs.Json.parse
+             (Printf.sprintf {|{"schema":"hsis-obs/%d","gc":{"runs":1}}|} v))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "v%d tr defaults to absent" v)
+        true (doc.Obs.tr = None))
+    [ 1; 2; 3; 4; 5 ];
+  (* diff keeps the after side's tr; merge keeps the first present one *)
+  let d = Obs.diff bare snap in
+  Alcotest.(check bool) "diff takes after's tr" true (d.Obs.tr = Some tr);
+  let m = Obs.merge [ bare; snap ] in
+  Alcotest.(check bool) "merge finds the first present tr" true
+    (m.Obs.tr = Some tr)
 
 let () =
   Alcotest.run "obs"
@@ -392,5 +435,7 @@ let () =
           Alcotest.test_case "merge sums and is associative" `Quick test_merge;
           Alcotest.test_case "workers member round-trip + compat" `Quick
             test_workers_roundtrip;
+          Alcotest.test_case "tr member round-trip + compat" `Quick
+            test_tr_roundtrip;
         ] );
     ]

@@ -21,6 +21,7 @@ let full_request =
     r_budget =
       { Proto.timeout_s = Some 1.5; max_nodes = Some 1000; max_steps = None };
     r_jobs = Some 2;
+    r_tr = Some Hsis_fsm.Trans.Iso_shared;
     r_fail_fast = true;
     r_witnesses = false;
     r_stats = true;
@@ -139,7 +140,10 @@ let test_cache_lru_eviction () =
   let b = Models.by_name "scheduler5" |> Option.get in
   let c = Models.by_name "philos" |> Option.get in
   let cache = Scache.create ~max_entries:2 () in
-  let open_ m = Scache.find_or_open cache ~heuristic:Hsis_fsm.Trans.Min_width (source_of m) in
+  let open_ m =
+    Scache.find_or_open cache ~heuristic:Hsis_fsm.Trans.Min_width
+      ~tr:Hsis_fsm.Trans.Partitioned (source_of m)
+  in
   let sa, hit_a = open_ a in
   let _, hit_b = open_ b in
   Alcotest.(check bool) "first opens miss" false (hit_a || hit_b);
@@ -169,7 +173,10 @@ let test_cache_node_budget () =
   (* a node budget of 1 means any second entry overflows, but the entry
      just inserted is always kept *)
   let cache = Scache.create ~max_entries:8 ~max_live_nodes:1 () in
-  let open_ m = Scache.find_or_open cache ~heuristic:Hsis_fsm.Trans.Min_width (source_of m) in
+  let open_ m =
+    Scache.find_or_open cache ~heuristic:Hsis_fsm.Trans.Min_width
+      ~tr:Hsis_fsm.Trans.Partitioned (source_of m)
+  in
   let _, _ = open_ a in
   let sb, _ = open_ b in
   let s = Scache.stats cache in
@@ -209,6 +216,7 @@ let test_warm_cold_verdicts () =
           r_pif = Some m.Model.pif;
           r_budget = Proto.no_budget;
           r_jobs = None;
+          r_tr = None;
           r_fail_fast = false;
           r_witnesses = false;
           r_stats = false;
