@@ -420,7 +420,27 @@ let run_bechamel () =
    (via a forced collection) between rounds so each round re-does real
    work instead of replaying the computed cache. *)
 
-let bdd_bench () =
+(* Host parallelism context, recorded in the par/scale bench JSON so a
+   scaling curve can be judged against the machine that produced it:
+   [recommended_domains] is the runtime's [Domain.recommended_domain_count]
+   and [host_cores] the raw processor count from /proc/cpuinfo (falling
+   back to the former where that file is absent, e.g. non-Linux hosts). *)
+let host_cores () =
+  match open_in "/proc/cpuinfo" with
+  | exception Sys_error _ -> Hsis_par.Par.default_jobs ()
+  | ic ->
+      let n = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.length line >= 9 && String.sub line 0 9 = "processor"
+           then incr n
+         done
+       with End_of_file -> ());
+      close_in ic;
+      if !n > 0 then !n else Hsis_par.Par.default_jobs ()
+
+let bdd_bench ?(kernel_jobs = 2) () =
   pr "@.== BDD kernel micro-benchmarks ==@.";
   let open Hsis_bdd in
   let seed = ref 0x2545F49 in
@@ -509,39 +529,41 @@ let bdd_bench () =
      Two next-state bits are left unconstrained (nondeterministic), so
      frontiers branch and the reached set covers a large state space. *)
   let bits = 16 in
-  let man2 = Bdd.new_man () in
-  let x = Array.make bits (Bdd.dtrue man2) in
-  let y = Array.make bits (Bdd.dtrue man2) in
-  for i = 0 to bits - 1 do
-    x.(i) <- Bdd.new_var ~name:(Printf.sprintf "x%d" i) man2;
-    y.(i) <- Bdd.new_var ~name:(Printf.sprintf "y%d" i) man2
-  done;
-  let next_fn i =
-    (* rule-30-flavoured neighbourhood update: chaotic dynamics, so the
-       reachable set is rich *)
-    let l = x.((i + bits - 1) mod bits)
-    and c = x.(i)
-    and r = x.((i + 1) mod bits) in
-    Bdd.xor l (Bdd.dor c r)
+  let eca_setup man2 =
+    let x = Array.make bits (Bdd.dtrue man2) in
+    let y = Array.make bits (Bdd.dtrue man2) in
+    for i = 0 to bits - 1 do
+      x.(i) <- Bdd.new_var ~name:(Printf.sprintf "x%d" i) man2;
+      y.(i) <- Bdd.new_var ~name:(Printf.sprintf "y%d" i) man2
+    done;
+    let next_fn i =
+      (* rule-30-flavoured neighbourhood update: chaotic dynamics, so the
+         reachable set is rich *)
+      let l = x.((i + bits - 1) mod bits)
+      and c = x.(i)
+      and r = x.((i + 1) mod bits) in
+      Bdd.xor l (Bdd.dor c r)
+    in
+    let rel =
+      Bdd.conj man2
+        (List.concat
+           (List.init bits (fun i ->
+                if i mod 8 = 3 then [] (* nondeterministic bit *)
+                else [ Bdd.eqv y.(i) (next_fn i) ])))
+    in
+    let xcube = Bdd.cube man2 (Array.to_list x) in
+    let unprime =
+      Bdd.make_varmap man2
+        (List.init bits (fun i ->
+             (Bdd.var_index y.(i), Bdd.var_index x.(i))))
+    in
+    let init =
+      Bdd.conj man2
+        (List.init bits (fun i -> if i = 0 then x.(i) else Bdd.dnot x.(i)))
+    in
+    (rel, xcube, unprime, init)
   in
-  let rel =
-    Bdd.conj man2
-      (List.concat
-         (List.init bits (fun i ->
-              if i mod 8 = 3 then [] (* nondeterministic bit *)
-              else [ Bdd.eqv y.(i) (next_fn i) ])))
-  in
-  let xcube = Bdd.cube man2 (Array.to_list x) in
-  let unprime =
-    Bdd.make_varmap man2
-      (List.init bits (fun i ->
-           (Bdd.var_index y.(i), Bdd.var_index x.(i))))
-  in
-  let init =
-    Bdd.conj man2
-      (List.init bits (fun i -> if i = 0 then x.(i) else Bdd.dnot x.(i)))
-  in
-  let image_kernel () =
+  let image_bfs (rel, xcube, unprime, init) =
     let ops = ref 0 in
     let reached = ref init in
     let frontier = ref init in
@@ -554,8 +576,11 @@ let bdd_bench () =
       reached := Bdd.dor !reached fresh;
       frontier := fresh
     done;
-    !ops
+    (!ops, !reached)
   in
+  let man2 = Bdd.new_man () in
+  let eca = eca_setup man2 in
+  let image_kernel () = fst (image_bfs eca) in
   let image_rounds name f =
     ignore (Bdd.gc man2);
     let ops = ref 0 in
@@ -580,6 +605,99 @@ let bdd_bench () =
   let k_exists = kernel "exists" exists_kernel in
   let k_image = image_rounds "and_exists" image_kernel in
   let kernels = [ k_and; k_ite; k_exists; k_image ] in
+  (* Intra-operation parallel rows: the same deterministic workload per
+     kernel, once with kernel_jobs = 1 (the allocation-free sequential
+     path) and once with kernel_jobs = [kernel_jobs]; the two results are
+     compared for canonical equality through a snapshot round-trip, so a
+     speedup can never come from computing a different function.  On a
+     single-core host the kj>1 row measures overhead, not speedup — the
+     JSON records both times so the reader can judge against host_cores. *)
+  let intra_ite man3 =
+    seed := 0xC0FFEE;
+    let v = Array.init nvars (fun _ -> Bdd.new_var man3) in
+    let rec rf depth =
+      if depth = 0 then begin
+        let b = v.(rand nvars) in
+        if rand 2 = 0 then b else Bdd.dnot b
+      end
+      else begin
+        let a = rf (depth - 1) in
+        let b = rf (depth - 1) in
+        match rand 3 with
+        | 0 -> Bdd.dand a b
+        | 1 -> Bdd.dor a b
+        | _ -> Bdd.xor a b
+      end
+    in
+    let p = Array.init 16 (fun _ -> rf 6) in
+    fun () ->
+      (* keep every result as its own root instead of folding them into
+         one accumulator: an xor chain over random functions blows up
+         exponentially, and the comparison below wants the individual
+         answers anyway *)
+      let out = ref [] in
+      let ops = ref 0 in
+      for i = 0 to 15 do
+        for j = 0 to 15 do
+          out := Bdd.ite p.(i) p.(j) p.((i + j) mod 16) :: !out;
+          incr ops
+        done
+      done;
+      (!ops, List.rev !out)
+  in
+  let intra_image man3 =
+    let inputs = eca_setup man3 in
+    fun () ->
+      (* several full BFS fixpoints so the row measures more than one
+         cache-cold traversal; each round re-does real work because gc
+         flushes the computed cache *)
+      let ops = ref 0 in
+      let reached = ref [] in
+      for _ = 1 to 6 do
+        let o, r = image_bfs inputs in
+        ops := !ops + o;
+        reached := r :: !reached;
+        ignore (Bdd.gc man3)
+      done;
+      (!ops, !reached)
+  in
+  let intra_case name mk =
+    let run jobs =
+      let m = Bdd.new_man ~kernel_jobs:jobs () in
+      let work = mk m in
+      ignore (Bdd.gc m);
+      let (ops, result), dt = wall work in
+      (m, ops, result, dt)
+    in
+    let m1, ops1, r1, t1 = run 1 in
+    let mn, _opsn, rn, tn = run kernel_jobs in
+    let agree =
+      let back = Bdd.import m1 (Bdd.export mn rn) in
+      List.length back = List.length r1 && List.for_all2 Bdd.equal back r1
+    in
+    Bdd.set_kernel_jobs mn 1 (* park the worker domains *);
+    if not agree then begin
+      Printf.eprintf
+        "bench bdd: intra %s results diverge across kernel_jobs\n" name;
+      exit 1
+    end;
+    let speedup = if tn > 0.0 then t1 /. tn else 0.0 in
+    pr "  intra %-8s kj=1 %7.3fs  kj=%d %7.3fs  speedup %5.2fx  agree %b@."
+      name t1 kernel_jobs tn speedup agree;
+    Obs.Json.Obj
+      [
+        ("kernel", Obs.Json.Str name);
+        ("ops", Obs.Json.Int ops1);
+        ("kj1_time_s", Obs.Json.Float t1);
+        ("kjn", Obs.Json.Int kernel_jobs);
+        ("kjn_time_s", Obs.Json.Float tn);
+        ("speedup", Obs.Json.Float speedup);
+        ("results_agree", Obs.Json.Bool agree);
+      ]
+  in
+  let intra_rows =
+    [ intra_case "ite" intra_ite; intra_case "and_exists" intra_image ]
+  in
   let j =
     Obs.Json.Obj
       [
@@ -588,7 +706,10 @@ let bdd_bench () =
         ("pool_vars", Obs.Json.Int nvars);
         ("image_bits", Obs.Json.Int bits);
         ("rounds", Obs.Json.Int rounds);
+        ("kernel_jobs", Obs.Json.Int kernel_jobs);
+        ("host_cores", Obs.Json.Int (host_cores ()));
         ("kernels", Obs.Json.List kernels);
+        ("intra", Obs.Json.List intra_rows);
         ("obs", Obs.to_json (Obs.snapshot (Bdd.stats man)));
         ("obs_image", Obs.to_json (Obs.snapshot (Bdd.stats man2)));
       ]
@@ -597,7 +718,8 @@ let bdd_bench () =
   pr "wrote BENCH_bdd.json@."
 
 (* ------------------------------------------------------------------ *)
-(* Parallel scaling -> BENCH_par.json (schema hsis-par/2).
+(* Parallel scaling -> BENCH_par.json (schema hsis-par/3; /3 added the
+   additive [recommended_domains] and [host_cores] members).
 
    - fuzz: differential iterations spread over worker domains.  Also
      cross-checks the determinism contract: the parallel report (minus
@@ -772,10 +894,12 @@ let par_bench ?(jobs = 4) () =
     Obs.Json.Obj
       [
         ("bench", Obs.Json.Str "par");
-        ("schema", Obs.Json.Str "hsis-par/2");
+        ("schema", Obs.Json.Str "hsis-par/3");
         ("obs_schema", Obs.Json.Str Obs.schema_version);
         ("jobs", Obs.Json.Int jobs);
         ("cores", Obs.Json.Int (Par.default_jobs ()));
+        ("recommended_domains", Obs.Json.Int (Par.default_jobs ()));
+        ("host_cores", Obs.Json.Int (host_cores ()));
         ( "fuzz",
           Obs.Json.Obj
             [
@@ -994,6 +1118,8 @@ let scale_bench ?(small = false) ?(check = false) () =
         ("bench", Obs.Json.Str "scale");
         ("schema", Obs.Json.Str "hsis-scale/1");
         ("obs_schema", Obs.Json.Str Obs.schema_version);
+        ("recommended_domains", Obs.Json.Int (Hsis_par.Par.default_jobs ()));
+        ("host_cores", Obs.Json.Int (host_cores ()));
         ("sizes", Obs.Json.List (List.map (fun n -> Obs.Json.Int n) sizes));
         ("verdicts_agree", Obs.Json.Bool all_agree);
         ("peak_ordered_at_top", Obs.Json.Bool any_ordered);
@@ -1077,6 +1203,7 @@ let serve_bench ?(clients = 2) ?(jobs_per_client = 20) () =
       r_pif = pif;
       r_budget = Proto.no_budget;
       r_jobs = None;
+      r_kernel_jobs = None;
       r_tr = None;
       r_fail_fast = false;
       r_witnesses = false;
@@ -1301,7 +1428,14 @@ let () =
   | "ablate-dc" -> ablate_dc ()
   | "ablate-efd" -> ablate_efd ()
   | "bech" -> run_bechamel ()
-  | "bdd" -> bdd_bench ()
+  | "bdd" ->
+      let kj = ref 2 in
+      Array.iteri
+        (fun i a ->
+          if a = "--kernel-jobs" && i + 1 < Array.length Sys.argv then
+            kj := int_of_string Sys.argv.(i + 1))
+        Sys.argv;
+      bdd_bench ~kernel_jobs:!kj ()
   | "par" ->
       let jobs =
         if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 4

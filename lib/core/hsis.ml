@@ -58,11 +58,13 @@ let set_reach_profile d b = d.profile_reach <- b
 let set_reach_simplify d b = d.simplify_reach <- b
 let set_limits d l = d.limits <- l
 let limits d = d.limits
+let set_kernel_jobs d n = Bdd.set_kernel_jobs (Trans.man d.trans) n
+let kernel_jobs d = Bdd.kernel_jobs (Trans.man d.trans)
 
 let timed f = Obs.Clock.wall f
 
 let read_flat ?(heuristic = Trans.Min_width) ?(strategy = Trans.Partitioned)
-    ?(prov = []) ?verilog_lines ?timers flat =
+    ?kernel_jobs ?(prov = []) ?verilog_lines ?timers flat =
   let timers =
     match timers with Some t -> t | None -> Obs.Timers.create ()
   in
@@ -72,15 +74,15 @@ let read_flat ?(heuristic = Trans.Min_width) ?(strategy = Trans.Partitioned)
         let net, sym =
           Obs.Timers.time timers "order" (fun () ->
               let net = Net.of_model flat in
-              let man = Bdd.new_man () in
+              let man = Bdd.new_man ?kernel_jobs () in
               (net, Sym.make man net))
         in
         let trans =
           Obs.Timers.time timers "relation" (fun () ->
-              let trans = Trans.build ~heuristic ~strategy ~prov sym in
-              (* building the relation BDDs is part of "read" in Table 1 *)
-              ignore (Trans.parts trans);
-              trans)
+              (* building the relation BDDs is part of "read" in Table 1;
+                 under the iso strategy renamed copies stay pending here and
+                 materialize on first image/preimage touch *)
+              Trans.build ~heuristic ~strategy ~prov sym)
         in
         (net, trans))
   in
@@ -89,15 +91,15 @@ let read_flat ?(heuristic = Trans.Min_width) ?(strategy = Trans.Partitioned)
     reach_cache = None; reach_order_rev = 0; profile_reach = true;
     simplify_reach = false; shared_cache = None }
 
-let read_blifmv ?heuristic ?strategy src =
+let read_blifmv ?heuristic ?strategy ?kernel_jobs src =
   let timers = Obs.Timers.create () in
   let ast = Obs.Timers.time timers "parse" (fun () -> Parser.parse src) in
   let flat, prov =
     Obs.Timers.time timers "flatten" (fun () -> Flatten.flatten_prov ast)
   in
-  read_flat ?heuristic ?strategy ~prov ~timers flat
+  read_flat ?heuristic ?strategy ?kernel_jobs ~prov ~timers flat
 
-let read_verilog ?heuristic ?strategy src =
+let read_verilog ?heuristic ?strategy ?kernel_jobs src =
   let timers = Obs.Timers.create () in
   let verilog_lines = Ast.line_count src in
   let ast =
@@ -106,7 +108,7 @@ let read_verilog ?heuristic ?strategy src =
   let flat, prov =
     Obs.Timers.time timers "flatten" (fun () -> Flatten.flatten_prov ast)
   in
-  read_flat ?heuristic ?strategy ~prov ~verilog_lines ~timers flat
+  read_flat ?heuristic ?strategy ?kernel_jobs ~prov ~verilog_lines ~timers flat
 
 (* Reorder generation of the design's manager: the reach cache is only
    valid for the variable order it was computed under, so it carries the
@@ -634,12 +636,13 @@ module Session = struct
     mutable s_closed : bool;
   }
 
-  let open_ ?(heuristic = Trans.Min_width) ?(tr = Trans.Partitioned) source =
+  let open_ ?(heuristic = Trans.Min_width) ?(tr = Trans.Partitioned)
+      ?kernel_jobs source =
     let design =
       match source with
-      | Verilog s -> read_verilog ~heuristic ~strategy:tr s
-      | Blifmv s -> read_blifmv ~heuristic ~strategy:tr s
-      | Flat m -> read_flat ~heuristic ~strategy:tr m
+      | Verilog s -> read_verilog ~heuristic ~strategy:tr ?kernel_jobs s
+      | Blifmv s -> read_blifmv ~heuristic ~strategy:tr ?kernel_jobs s
+      | Flat m -> read_flat ~heuristic ~strategy:tr ?kernel_jobs m
     in
     { s_id = hash source; s_heuristic = heuristic; s_design = design;
       s_hits = 0; s_closed = false }
@@ -666,18 +669,24 @@ module Session = struct
     s.s_design.shared_cache <- None
 
   let run ?(early_failure = true) ?(witnesses = false) ?(fail_fast = false)
-      ?(jobs = 1) ?limits ?tr s pif =
+      ?(jobs = 1) ?limits ?tr ?kernel_jobs:kj s pif =
     if s.s_closed then invalid_arg "Hsis.Session.run: session is closed";
-    (* A per-run [tr] flips the evaluation path for the duration of the
-       run, then restores the session's resident strategy.  Construction
-       sharing is fixed at open time; runs are serialized per session, so
-       the flip cannot race another run. *)
+    (* A per-run [tr] (or [kernel_jobs]) flips the evaluation path for the
+       duration of the run, then restores the session's resident setting.
+       Construction sharing is fixed at open time; runs are serialized per
+       session, so the flip cannot race another run. *)
     let resident = Trans.strategy s.s_design.trans in
+    let resident_kj = kernel_jobs s.s_design in
     (match tr with
     | Some strat -> Trans.set_strategy s.s_design.trans strat
     | None -> ());
+    (match kj with
+    | Some n -> set_kernel_jobs s.s_design n
+    | None -> ());
     Fun.protect
-      ~finally:(fun () -> Trans.set_strategy s.s_design.trans resident)
+      ~finally:(fun () ->
+        Trans.set_strategy s.s_design.trans resident;
+        set_kernel_jobs s.s_design resident_kj)
       (fun () ->
         if jobs > 1 || fail_fast then
           let r, snap =

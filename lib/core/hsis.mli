@@ -91,20 +91,40 @@ val set_limits : design -> Limits.t -> unit
 
 val limits : design -> Limits.t
 
+val set_kernel_jobs : design -> int -> unit
+(** Set the intra-operation parallelism degree of the design's BDD manager
+    (clamped to >= 1; see [Bdd.set_kernel_jobs]).  With more than one job
+    the apply kernels fork cofactor recursions onto a persistent domain
+    pool; results are bit-identical across job counts.  Safe between
+    engine calls. *)
+
+val kernel_jobs : design -> int
+
 val read_verilog :
-  ?heuristic:Trans.heuristic -> ?strategy:Trans.strategy -> string -> design
+  ?heuristic:Trans.heuristic ->
+  ?strategy:Trans.strategy ->
+  ?kernel_jobs:int ->
+  string ->
+  design
 
 val read_blifmv :
-  ?heuristic:Trans.heuristic -> ?strategy:Trans.strategy -> string -> design
+  ?heuristic:Trans.heuristic ->
+  ?strategy:Trans.strategy ->
+  ?kernel_jobs:int ->
+  string ->
+  design
 (** [strategy] (default [Partitioned]) selects the transition-relation
     representation ({!Trans.strategy}).  The hierarchical front ends record
     flattening provenance and hand it to the relation builder, so
     [~strategy:Iso_shared] shares component BDDs across isomorphic
-    [.subckt] / Verilog-module instances. *)
+    [.subckt] / Verilog-module instances.  [kernel_jobs] (default 1) sets
+    the manager's intra-operation parallelism degree
+    ({!val-set_kernel_jobs}). *)
 
 val read_flat :
   ?heuristic:Trans.heuristic ->
   ?strategy:Trans.strategy ->
+  ?kernel_jobs:int ->
   ?prov:Flatten.provenance ->
   ?verilog_lines:int ->
   ?timers:Obs.Timers.t ->
@@ -297,10 +317,15 @@ module Session : sig
   type t
 
   val open_ :
-    ?heuristic:Trans.heuristic -> ?tr:Trans.strategy -> source -> t
+    ?heuristic:Trans.heuristic ->
+    ?tr:Trans.strategy ->
+    ?kernel_jobs:int ->
+    source ->
+    t
   (** Read the design and pin its artifacts.  [tr] (default [Partitioned])
-      is the construction-time TR strategy ({!read_blifmv}).  [Session.id]
-      of the result is [hash source]. *)
+      is the construction-time TR strategy ({!read_blifmv});
+      [kernel_jobs] (default 1) the manager's intra-operation parallelism
+      degree.  [Session.id] of the result is [hash source]. *)
 
   val id : t -> string
   val design : t -> design
@@ -332,6 +357,7 @@ module Session : sig
     ?jobs:int ->
     ?limits:Limits.t ->
     ?tr:Trans.strategy ->
+    ?kernel_jobs:int ->
     t ->
     Pif.t ->
     report * Obs.snapshot option
@@ -339,9 +365,13 @@ module Session : sig
       when [jobs <= 1] and not [fail_fast], {!run_pif_par} (returning the
       pool-merged snapshot) otherwise.  [limits] governs this run only.
       [tr] flips the relation's image/preimage evaluation path
-      ([Trans.set_strategy]) for this run only, restoring the session's
-      resident strategy afterwards; construction-time sharing stays as
-      opened.  Raises [Invalid_argument] on a closed session. *)
+      ([Trans.set_strategy]) and [kernel_jobs] the manager's
+      intra-operation parallelism degree, both for this run only — the
+      session's resident settings are restored afterwards;
+      construction-time sharing stays as opened.  [jobs] workers each get
+      their own manager and stay at [kernel_jobs = 1] (the two degrees
+      multiply domains otherwise).  Raises [Invalid_argument] on a closed
+      session. *)
 
   val close : t -> unit
   (** Drop the session's cached artifacts and mark it closed ({!run}

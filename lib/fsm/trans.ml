@@ -23,17 +23,25 @@ let strategy_of_name = function
    copies. *)
 type origin = Direct | Permuted of { src : int; perm : (int * int) list }
 
+(* A part slot: directly-built parts are materialized at [build]; renamed
+   copies stay [Pending] — holding only their source index and varmap —
+   until an evaluation first touches them ([force_part]).  A property
+   check that never conjoins a copy's part never pays its permute. *)
+type cell =
+  | Built of Bdd.t
+  | Pending of { src : int; vm : Bdd.varmap }
+
 type t = {
   sym : Sym.t;
   heuristic : heuristic;
   mutable strategy : strategy;
-  parts : Bdd.t array;
+  cells : cell array;
   origins : origin array;
   supports : int list array; (* abstract: signal id, or n + id for next *)
   iso_masters : int;
   iso_instances : int;
-  iso_nodes_saved : int;
-  iso_permute_time : float;
+  mutable iso_nodes_saved : int;
+  mutable iso_permute_time : float;
   mutable mono : Bdd.t option;
   mutable mono_peak : int;
   mutable img_sched : Schedule.t option;
@@ -51,7 +59,23 @@ let schedule_of heuristic problem =
 
 let sym t = t.sym
 let man t = Sym.man t.sym
-let parts t = t.parts
+
+(* Materialize one part, permuting its (recursively forced) source on
+   first touch.  The sharing counters accumulate here rather than at
+   [build]: they record work actually avoided, and [tr_permute_time] the
+   permute cost actually paid. *)
+let rec force_part t i =
+  match t.cells.(i) with
+  | Built b -> b
+  | Pending { src; vm } ->
+      let srcb = force_part t src in
+      let b, dt = Hsis_obs.Obs.Clock.wall (fun () -> Bdd.permute vm srcb) in
+      t.iso_permute_time <- t.iso_permute_time +. dt;
+      t.iso_nodes_saved <- t.iso_nodes_saved + Bdd.dag_size srcb;
+      t.cells.(i) <- Built b;
+      b
+
+let parts t = Array.init (Array.length t.cells) (force_part t)
 let strategy t = t.strategy
 let set_strategy t s = t.strategy <- s
 
@@ -248,10 +272,8 @@ let build ?(heuristic = Min_width) ?(strategy = Partitioned) ?(prov = []) sym =
     | _ -> (Array.make nparts Plan_build, 0, 0)
   in
   let bman = Sym.man sym in
-  let parts = Array.make nparts (Bdd.dtrue bman) in
+  let cells = Array.make nparts (Built (Bdd.dtrue bman)) in
   let origins = Array.make nparts Direct in
-  let nodes_saved = ref 0 in
-  let permute_time = ref 0.0 in
   let direct i =
     if i < ntab then Rel.table_rel sym tables.(i)
     else Rel.latch_rel sym latches.(i - ntab)
@@ -259,16 +281,13 @@ let build ?(heuristic = Min_width) ?(strategy = Partitioned) ?(prov = []) sym =
   for i = 0 to nparts - 1 do
     match plan.(i) with
     (* masters precede their copies in flat order; the src >= i guard is
-       pure defense against a provenance that violates that *)
+       pure defense against a provenance that violates that.  Copies are
+       NOT permuted here: the cell stays pending until an evaluation
+       first touches the part ([force_part]). *)
     | Plan_copy { src; perm; vm } when src < i ->
-        let b, dt =
-          Hsis_obs.Obs.Clock.wall (fun () -> Bdd.permute vm parts.(src))
-        in
-        permute_time := !permute_time +. dt;
-        nodes_saved := !nodes_saved + Bdd.dag_size parts.(src);
-        parts.(i) <- b;
+        cells.(i) <- Pending { src; vm };
         origins.(i) <- Permuted { src; perm }
-    | Plan_build | Plan_copy _ -> parts.(i) <- direct i
+    | Plan_build | Plan_copy _ -> cells.(i) <- Built (direct i)
   done;
   let supports =
     Array.init nparts (fun i ->
@@ -279,13 +298,13 @@ let build ?(heuristic = Min_width) ?(strategy = Partitioned) ?(prov = []) sym =
     sym;
     heuristic;
     strategy;
-    parts;
+    cells;
     origins;
     supports;
     iso_masters = masters;
     iso_instances = instances;
-    iso_nodes_saved = !nodes_saved;
-    iso_permute_time = !permute_time;
+    iso_nodes_saved = 0;
+    iso_permute_time = 0.0;
     mono = None;
     mono_peak = 0;
     img_sched = None;
@@ -315,7 +334,7 @@ let monolithic t =
       in
       let sched = schedule_of t.heuristic problem in
       let { Apply.value; peak_nodes } =
-        Apply.execute ~rels:t.parts ~cube_of:(cube_of t) sched
+        Apply.execute ~rels:(parts t) ~cube_of:(cube_of t) sched
       in
       t.mono <- Some value;
       t.mono_peak <- peak_nodes;
@@ -350,7 +369,7 @@ let image t s =
     match t.strategy with
     | Monolithic -> Bdd.and_exists ~cube:(Sym.state_cube t.sym) s (monolithic t)
     | Partitioned | Iso_shared ->
-        let rels = Array.append t.parts [| s |] in
+        let rels = Array.append (parts t) [| s |] in
         let sched = image_schedule t in
         (Apply.execute ~rels ~cube_of:(cube_of t) sched).Apply.value
   in
@@ -365,7 +384,7 @@ let preimage t s =
     | Monolithic ->
         Bdd.and_exists ~cube:(Sym.next_cube t.sym) s_next (monolithic t)
     | Partitioned | Iso_shared ->
-        let rels = Array.append t.parts [| s_next |] in
+        let rels = Array.append (parts t) [| s_next |] in
         let sched = preimage_schedule t in
         (Apply.execute ~rels ~cube_of:(cube_of t) sched).Apply.value
   in
@@ -379,7 +398,7 @@ let abs_schedule t ~with_latches p_support =
   | Some s -> s
   | None ->
       let nparts =
-        if with_latches then Array.length t.parts
+        if with_latches then Array.length t.cells
         else List.length (Sym.net t.sym).Net.tables
       in
       let supports =
@@ -393,20 +412,20 @@ let abs_schedule t ~with_latches p_support =
 let abstract_to_states t p =
   let net = Sym.net t.sym in
   let ntables = List.length net.Net.tables in
-  let table_parts = Array.sub t.parts 0 ntables in
+  let table_parts = Array.init ntables (force_part t) in
   let rels = Array.append table_parts [| p |] in
   let sched = abs_schedule t ~with_latches:false (abstract_support t p) in
   (Apply.execute ~rels ~cube_of:(cube_of t) sched).Apply.value
 
 let abstract_to_edges t p =
-  let rels = Array.append t.parts [| p |] in
+  let rels = Array.append (parts t) [| p |] in
   let sched = abs_schedule t ~with_latches:true (abstract_support t p) in
   (Apply.execute ~rels ~cube_of:(cube_of t) sched).Apply.value
 
 let transition_constraint t extra =
   {
     t with
-    parts = Array.append t.parts [| extra |];
+    cells = Array.append t.cells [| Built extra |];
     origins = Array.append t.origins [| Direct |];
     supports = Array.append t.supports [| abstract_support t extra |];
     mono = None;
@@ -419,9 +438,11 @@ let transition_constraint t extra =
 let map_parts t f =
   {
     t with
-    parts = Array.map f t.parts;
+    (* mapping forces every pending copy: the mapped result depends on
+       the materialized part *)
+    cells = Array.map (fun b -> Built (f b)) (parts t);
     (* the mapped parts are no longer renamed copies of each other *)
-    origins = Array.make (Array.length t.parts) Direct;
+    origins = Array.make (Array.length t.cells) Direct;
     mono = None;
     mono_peak = 0;
     (* supports unchanged: restrict-style maps only shrink supports *)
@@ -478,10 +499,17 @@ let share t =
     sh_pre = preimage_schedule t;
   }
 
+(* Only Direct parts ship as snapshot roots, and Direct cells are always
+   [Built] — sharing never forces a pending copy (the importer
+   re-materializes copies lazily too). *)
 let shared_roots t =
   let acc = ref [] in
   Array.iteri
-    (fun i o -> match o with Direct -> acc := t.parts.(i) :: !acc | _ -> ())
+    (fun i o ->
+      match (o, t.cells.(i)) with
+      | Direct, Built b -> acc := b :: !acc
+      | Direct, Pending _ -> assert false
+      | Permuted _, _ -> ())
     t.origins;
   List.rev !acc
 
@@ -497,37 +525,30 @@ let of_shared sym sh ~roots =
     invalid_arg "Trans.of_shared: root count mismatch";
   let n = Array.length sh.sh_srcs in
   let bman = Sym.man sym in
-  let parts = Array.make n (Bdd.dtrue bman) in
+  let cells = Array.make n (Built (Bdd.dtrue bman)) in
   let origins = Array.make n Direct in
-  let saved = ref 0 in
-  let ptime = ref 0.0 in
   Array.iteri
     (fun i s ->
       match s with
-      | Sh_root k -> parts.(i) <- roots.(k)
+      | Sh_root k -> cells.(i) <- Built roots.(k)
       | Sh_perm { src; perm } ->
           if src >= i then
             invalid_arg "Trans.of_shared: forward permutation source";
-          let vm = Bdd.make_varmap bman perm in
-          let b, dt =
-            Hsis_obs.Obs.Clock.wall (fun () -> Bdd.permute vm parts.(src))
-          in
-          ptime := !ptime +. dt;
-          saved := !saved + Bdd.dag_size parts.(src);
-          parts.(i) <- b;
+          (* lazy on import too: the permute runs on first touch *)
+          cells.(i) <- Pending { src; vm = Bdd.make_varmap bman perm };
           origins.(i) <- Permuted { src; perm })
     sh.sh_srcs;
   {
     sym;
     heuristic = sh.sh_heuristic;
     strategy = sh.sh_strategy;
-    parts;
+    cells;
     origins;
     supports = sh.sh_supports;
     iso_masters = sh.sh_masters;
     iso_instances = sh.sh_instances;
-    iso_nodes_saved = !saved;
-    iso_permute_time = !ptime;
+    iso_nodes_saved = 0;
+    iso_permute_time = 0.0;
     mono = None;
     mono_peak = 0;
     img_sched = Some sh.sh_img;
@@ -535,17 +556,31 @@ let of_shared sym sh ~roots =
     abs_scheds = Hashtbl.create 16;
   }
 
+(* Size of the part at [i] without forcing it: a renamed copy has the
+   node count of (a permutation of) its source — the source's size is the
+   exact answer for level-preserving renamings and the right estimate
+   otherwise, and profiling must not trigger materialization. *)
+let rec cell_size t i =
+  match t.cells.(i) with
+  | Built b -> Bdd.dag_size b
+  | Pending { src; _ } -> cell_size t src
+
 let parts_size t =
-  Array.fold_left (fun acc p -> acc + Bdd.dag_size p) 0 t.parts
+  let n = Array.length t.cells in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    acc := !acc + cell_size t i
+  done;
+  !acc
 
 let rel_profile t =
-  let sizes = Array.map Bdd.dag_size t.parts in
+  let sizes = Array.init (Array.length t.cells) (cell_size t) in
   {
-    Hsis_obs.Obs.rel_parts = Array.length t.parts;
+    Hsis_obs.Obs.rel_parts = Array.length t.cells;
     rel_nodes = Array.fold_left ( + ) 0 sizes;
     rel_largest = Array.fold_left max 0 sizes;
   }
 
 let solve_step t ~pres ~next =
-  let conj = Array.fold_left Bdd.dand (Bdd.dand pres next) t.parts in
+  let conj = Array.fold_left Bdd.dand (Bdd.dand pres next) (parts t) in
   conj

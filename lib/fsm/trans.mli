@@ -55,6 +55,10 @@ val set_strategy : t -> strategy -> unit
 val sym : t -> Sym.t
 val man : t -> Bdd.man
 val parts : t -> Bdd.t array
+(** All relation parts.  Under [Iso_shared], renamed instance copies are
+    materialized lazily — this call (like any evaluation touching a
+    pending part) forces the outstanding permutes; construction and
+    import store only [{src; varmap}] cells for them. *)
 
 val initial : t -> Bdd.t
 (** Initial states, with state domain constraints applied. *)
@@ -143,11 +147,14 @@ val of_shared : Sym.t -> shared -> roots:Bdd.t array -> t
     carried. *)
 
 val parts_size : t -> int
-(** Total dag nodes across parts (metric for minimization benches). *)
+(** Total dag nodes across parts (metric for minimization benches).
+    Does not force pending iso copies: a pending copy is counted at its
+    source's size. *)
 
 val rel_profile : t -> Hsis_obs.Obs.rel_profile
 (** Shape of the partitioned relation (part count, total and largest part
-    dag sizes) for observability snapshots. *)
+    dag sizes) for observability snapshots; pending iso copies are
+    profiled at their source's size without being forced. *)
 
 val solve_step : t -> pres:Bdd.t -> next:Bdd.t -> Bdd.t
 (** The conjunction of all parts with the given present and next state

@@ -131,6 +131,27 @@ module Snap : sig
   val zero : t
 end
 
+module Intra : sig
+  type t = {
+    domains : int;  (** per-domain kernel contexts created (gauge) *)
+    ops : int;  (** top-level apply calls run as parallel sections *)
+    forked : int;  (** cofactor tasks forked onto the kernel pool *)
+    stolen : int;  (** forked tasks executed by a non-forking domain *)
+    cutoff_hits : int;  (** recursions kept inline by the granularity cutoff *)
+    lock_contention : int;  (** unique-subtable lock acquisitions that waited *)
+    cache_hits : int;  (** per-domain computed-cache hits, all domains *)
+    cache_misses : int;  (** per-domain computed-cache misses, all domains *)
+    per_domain : (int * int) list;
+        (** per-context (hits, misses) breakdown (gauge) *)
+  }
+  (** Intra-operation parallel kernel activity ([kernel_jobs > 1]), carried
+      on snapshots inside [man_stats] as the [intra] member (since schema
+      hsis-obs/7).  All monotone except [domains] and [per_domain]. *)
+
+  val zero : t
+  val hit_rate : t -> float
+end
+
 type man_stats = {
   cache : Cache.t;
   gc : Gc.t;
@@ -138,6 +159,7 @@ type man_stats = {
   arena : Arena.t;
   limits : Limit.t;
   snap : Snap.t;
+  intra : Intra.t;
 }
 (** One BDD manager's counters, as returned by [Bdd.stats]. *)
 
@@ -267,12 +289,13 @@ val merge : snapshot list -> snapshot
     compose.  [merge [] ] is the all-zero snapshot. *)
 
 val schema_version : string
-(** Value of the ["schema"] member of emitted JSON ("hsis-obs/6"; /2 added
+(** Value of the ["schema"] member of emitted JSON ("hsis-obs/7"; /2 added
     the additive cache ["slots"]/["evictions"] members, /3 the ["limits"]
     object and ["verdicts"] tally, /4 the ["workers"] member and the
     per-step ["simplify_saved"] reach-profile member, /5 the ["snapshot"]
     object with BDD export/import traffic, /6 the ["tr"] object with the
-    transition-relation strategy and isomorphism-sharing counters). *)
+    transition-relation strategy and isomorphism-sharing counters, /7 the
+    ["intra"] object with the intra-operation parallel kernel counters). *)
 
 val pp : Format.formatter -> snapshot -> unit
 (** Human-readable multi-line report. *)

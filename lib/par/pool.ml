@@ -1,0 +1,133 @@
+(* Persistent fork-join pool.  One central queue of erased runner closures
+   under a mutex: tasks here are coarse (cutoff-gated cofactor subtrees),
+   so a shared queue does not contend measurably and keeps claim semantics
+   trivial — each future owns an atomic claim flag, and whoever wins the
+   CAS runs the task, so a task queued twice conceptually (once in the
+   queue, once by its work-first joiner) still executes exactly once. *)
+
+type 'a state =
+  | Pending of (unit -> 'a)
+  | Done of 'a
+  | Raised of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  claimed : bool Atomic.t;
+  state : 'a state Atomic.t;
+  forker : int; (* Domain id, for the stolen counter *)
+}
+
+type t = {
+  lock : Mutex.t;
+  cond : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable live : bool;
+  n_jobs : int;
+  forked : int Atomic.t;
+  stolen : int Atomic.t;
+}
+
+let jobs t = t.n_jobs
+let counters t = (Atomic.get t.forked, Atomic.get t.stolen)
+
+(* Run a claimed future's thunk and publish the outcome.  The Atomic.set
+   is the release point: a joiner observing [Done]/[Raised] also observes
+   every plain write the thunk made before it. *)
+let execute fut =
+  match Atomic.get fut.state with
+  | Pending thunk ->
+      let outcome =
+        try Done (thunk ())
+        with e -> Raised (e, Printexc.get_raw_backtrace ())
+      in
+      Atomic.set fut.state outcome
+  | Done _ | Raised _ -> ()
+
+let try_pop t =
+  Mutex.lock t.lock;
+  let job = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+  Mutex.unlock t.lock;
+  job
+
+let rec worker t =
+  Mutex.lock t.lock;
+  let rec next () =
+    if not t.live then None
+    else if Queue.is_empty t.queue then begin
+      Condition.wait t.cond t.lock;
+      next ()
+    end
+    else Some (Queue.pop t.queue)
+  in
+  let job = next () in
+  Mutex.unlock t.lock;
+  match job with
+  | None -> ()
+  | Some run ->
+      run ();
+      worker t
+
+let create ~jobs =
+  let t =
+    {
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      queue = Queue.create ();
+      live = true;
+      n_jobs = max 1 jobs;
+      forked = Atomic.make 0;
+      stolen = Atomic.make 0;
+    }
+  in
+  for _ = 2 to t.n_jobs do
+    ignore (Domain.spawn (fun () -> worker t))
+  done;
+  t
+
+let fork t thunk =
+  let fut =
+    {
+      claimed = Atomic.make false;
+      state = Atomic.make (Pending thunk);
+      forker = (Domain.self () :> int);
+    }
+  in
+  let runner () =
+    if Atomic.compare_and_set fut.claimed false true then begin
+      if (Domain.self () :> int) <> fut.forker then Atomic.incr t.stolen;
+      execute fut
+    end
+  in
+  Atomic.incr t.forked;
+  Mutex.lock t.lock;
+  Queue.push runner t.queue;
+  Condition.signal t.cond;
+  Mutex.unlock t.lock;
+  fut
+
+let join t fut =
+  (* Work-first: unclaimed means nobody started it — cheapest is to run it
+     on this domain right now (this is the common case under low load). *)
+  if Atomic.compare_and_set fut.claimed false true then execute fut;
+  let rec wait () =
+    match Atomic.get fut.state with
+    | Done v -> v
+    | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+    | Pending _ -> (
+        (* Claimed elsewhere and still running: help drain the queue
+           rather than spin — nested forks mean the task we run here may
+           be exactly what our future is waiting on. *)
+        match try_pop t with
+        | Some run ->
+            run ();
+            wait ()
+        | None ->
+            Domain.cpu_relax ();
+            wait ())
+  in
+  wait ()
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.live <- false;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.lock

@@ -1,0 +1,46 @@
+(** Persistent fork-join pool for intra-operation parallelism.
+
+    Unlike {!Par.run} — which spawns fresh domains per call and distributes a
+    flat array of independent tasks — a [Pool.t] keeps [jobs - 1] helper
+    domains parked on a condition variable and supports fine-grained nested
+    fork/join: a recursive BDD apply forks one cofactor as a task and
+    computes the other inline, then joins.  Joins are work-first: if the
+    forked task has not been claimed yet, the joiner claims and runs it
+    itself (no context switch, no latency); if another domain claimed it,
+    the joiner helps by running other queued tasks while it waits.
+
+    The pool never blocks process exit: helper domains are parked in
+    [Condition.wait] and are simply abandoned at exit (verified safe), so
+    {!shutdown} is broadcast-only and optional. *)
+
+type t
+(** A pool of cooperating domains.  The creating domain participates in
+    work, so a pool with [jobs = n] uses [n] domains total. *)
+
+type 'a future
+(** A forked computation; claimed exactly once, joined exactly once. *)
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [max 0 (jobs - 1)] helper domains, parked until
+    work arrives. *)
+
+val jobs : t -> int
+
+val fork : t -> (unit -> 'a) -> 'a future
+(** Enqueue a task.  It runs on whichever domain claims it first — a parked
+    helper, a joiner helping while it waits, or the forker itself at
+    {!join}. *)
+
+val join : t -> 'a future -> 'a
+(** Wait for a future, claiming and running it inline when still
+    unclaimed.  Re-raises the task's exception (with its backtrace) if it
+    raised.  Every forked future must be joined — including on exceptional
+    unwind — so a parallel section quiesces before its caller returns. *)
+
+val counters : t -> int * int
+(** [(forked, stolen)] cumulative counts; a task is "stolen" when it was
+    executed by a domain other than the one that forked it. *)
+
+val shutdown : t -> unit
+(** Wake all parked helpers and let them exit.  Tasks already running
+    finish; nothing new is accepted.  Idempotent. *)

@@ -21,6 +21,7 @@ let full_request =
     r_budget =
       { Proto.timeout_s = Some 1.5; max_nodes = Some 1000; max_steps = None };
     r_jobs = Some 2;
+    r_kernel_jobs = Some 2;
     r_tr = Some Hsis_fsm.Trans.Iso_shared;
     r_fail_fast = true;
     r_witnesses = false;
@@ -216,6 +217,7 @@ let test_warm_cold_verdicts () =
           r_pif = Some m.Model.pif;
           r_budget = Proto.no_budget;
           r_jobs = None;
+          r_kernel_jobs = None;
           r_tr = None;
           r_fail_fast = false;
           r_witnesses = false;
